@@ -1,0 +1,130 @@
+//! Atomic `f64` accumulation.
+//!
+//! GPUs expose `atomicAdd(double*, double)` as a single read-modify-write
+//! (RMW) instruction; compilers that cannot emit it fall back to a
+//! compare-and-swap (CAS) retry loop, which the paper identifies as the
+//! cause of the MI250X slowdowns for SYCL+DPC++ and OpenMP+clang (§V-B,
+//! the `-munsafe-fp-atomics` discussion). CPUs have no native `f64`
+//! fetch-add either, so *every* strategy here is a CAS loop — but we provide
+//! two variants with measurably different contention behaviour so the
+//! RMW-vs-CAS axis of the study stays observable:
+//!
+//! * [`add_relaxed`] — a single `compare_exchange_weak` loop with a plain
+//!   reload on failure (the "RMW-like" fast path);
+//! * [`add_seqcst_spin`] — a deliberately conservative loop using
+//!   sequentially-consistent ordering and a full `compare_exchange`,
+//!   modelling the slower codegen.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Reinterpret an exclusively borrowed `f64` slice as atomic words.
+///
+/// # Safety rationale (encapsulated; the function itself is safe)
+///
+/// * `AtomicU64` has the same size and alignment as `u64`/`f64` on every
+///   platform with 64-bit atomics (checked by a const assertion).
+/// * The `&mut` borrow guarantees no other live references; downgrading the
+///   exclusive borrow to a shared slice of atomics is the standard
+///   `from_mut_slice` pattern (stabilized upstream as
+///   `AtomicU64::from_mut_slice` on nightly; reimplemented here).
+/// * All access during the borrow goes through atomic operations.
+pub fn as_atomic(slice: &mut [f64]) -> &[AtomicU64] {
+    const _: () = assert!(std::mem::size_of::<AtomicU64>() == std::mem::size_of::<f64>());
+    const _: () = assert!(std::mem::align_of::<AtomicU64>() == std::mem::align_of::<f64>());
+    let len = slice.len();
+    let ptr = slice.as_mut_ptr() as *const AtomicU64;
+    // SAFETY: size/align asserted above; exclusive borrow rules out aliasing
+    // non-atomic access for the lifetime of the returned slice.
+    unsafe { std::slice::from_raw_parts(ptr, len) }
+}
+
+/// Atomically `slot += v` with relaxed ordering and a weak CAS
+/// (the fast, RMW-like variant).
+#[inline]
+pub fn add_relaxed(slot: &AtomicU64, v: f64) {
+    if v == 0.0 {
+        return;
+    }
+    let mut cur = slot.load(Ordering::Relaxed);
+    loop {
+        let new = f64::from_bits(cur) + v;
+        match slot.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Atomically `slot += v` with sequentially-consistent ordering, a strong
+/// CAS, and a fresh load per retry (the slow, CAS-loop-codegen variant).
+#[inline]
+pub fn add_seqcst_spin(slot: &AtomicU64, v: f64) {
+    if v == 0.0 {
+        return;
+    }
+    loop {
+        let cur = slot.load(Ordering::SeqCst);
+        let new = f64::from_bits(cur) + v;
+        if slot
+            .compare_exchange(cur, new.to_bits(), Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            return;
+        }
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_view_round_trips() {
+        let mut v = vec![1.5f64, -2.25, 0.0];
+        {
+            let a = as_atomic(&mut v);
+            assert_eq!(f64::from_bits(a[0].load(Ordering::Relaxed)), 1.5);
+            add_relaxed(&a[1], 1.0);
+            add_seqcst_spin(&a[2], 4.5);
+        }
+        assert_eq!(v, vec![1.5, -1.25, 4.5]);
+    }
+
+    #[test]
+    fn concurrent_adds_lose_nothing() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 10_000;
+        let mut target = vec![0.0f64; 4];
+        {
+            let a = as_atomic(&mut target);
+            std::thread::scope(|s| {
+                for t in 0..THREADS {
+                    let a = &a;
+                    s.spawn(move || {
+                        for i in 0..PER_THREAD {
+                            let slot = (t + i) % 4;
+                            if t % 2 == 0 {
+                                add_relaxed(&a[slot], 1.0);
+                            } else {
+                                add_seqcst_spin(&a[slot], 1.0);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        let total: f64 = target.iter().sum();
+        assert_eq!(total, (THREADS * PER_THREAD) as f64);
+    }
+
+    #[test]
+    fn zero_add_is_a_noop_fast_path() {
+        let mut v = vec![3.0f64];
+        let a = as_atomic(&mut v);
+        add_relaxed(&a[0], 0.0);
+        add_seqcst_spin(&a[0], 0.0);
+        assert_eq!(f64::from_bits(a[0].load(Ordering::Relaxed)), 3.0);
+    }
+}

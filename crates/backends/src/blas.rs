@@ -1,0 +1,136 @@
+//! Scalar BLAS-1 helpers used by LSQR between the sparse products.
+//!
+//! `nrm2` uses the scaled (overflow-safe) algorithm of the reference BLAS
+//! `DNRM2`, because LSQR feeds it vectors whose magnitude varies over many
+//! orders of magnitude as the bidiagonalization converges.
+
+/// Overflow-safe Euclidean norm (reference `DNRM2` algorithm).
+pub fn nrm2(v: &[f64]) -> f64 {
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &x in v {
+        if x != 0.0 {
+            let ax = x.abs();
+            if scale < ax {
+                let r = scale / ax;
+                ssq = 1.0 + ssq * r * r;
+                scale = ax;
+            } else {
+                let r = ax / scale;
+                ssq += r * r;
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// `v *= s`.
+pub fn scal(v: &mut [f64], s: f64) {
+    for x in v {
+        *x *= s;
+    }
+}
+
+/// `y += a·x`.
+pub fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `sqrt(a² + b²)` without undue overflow (LSQR's plane-rotation helper).
+pub fn d2norm(a: f64, b: f64) -> f64 {
+    let scale = a.abs() + b.abs();
+    if scale == 0.0 {
+        0.0
+    } else {
+        let ar = a / scale;
+        let br = b / scale;
+        scale * (ar * ar + br * br).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nrm2_matches_naive_on_moderate_values() {
+        let v: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        let naive = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((nrm2(&v) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrm2_survives_extreme_magnitudes() {
+        let v = vec![1e-300, 1e300, 1e-300];
+        assert!((nrm2(&v) - 1e300).abs() / 1e300 < 1e-12);
+        let tiny = vec![1e-308; 4];
+        assert!(nrm2(&tiny) > 0.0);
+        assert!(nrm2(&tiny).is_finite());
+    }
+
+    #[test]
+    fn nrm2_of_empty_and_zero() {
+        assert_eq!(nrm2(&[]), 0.0);
+        assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_manual_sum() {
+        let a = [1.0, -2.0, 3.0];
+        let b = [4.0, 5.0, -6.0];
+        assert_eq!(dot(&a, &b), 4.0 - 10.0 - 18.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot length mismatch")]
+    fn dot_rejects_mismatched_lengths() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn d2norm_matches_hypot() {
+        for (a, b) in [(3.0, 4.0), (-3.0, 4.0), (0.0, 0.0), (1e200, 1e200)] {
+            let want = f64::hypot(a, b);
+            let got = d2norm(a, b);
+            if want == 0.0 {
+                assert_eq!(got, 0.0);
+            } else {
+                assert!((got - want).abs() / want < 1e-12);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn axpy_then_inverse_restores(a in -10.0f64..10.0, n in 1usize..50) {
+            prop_assume!(a.abs() > 1e-6);
+            let x: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
+            let y0: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+            let mut y = y0.clone();
+            axpy(&mut y, a, &x);
+            axpy(&mut y, -a, &x);
+            for (yi, y0i) in y.iter().zip(&y0) {
+                prop_assert!((yi - y0i).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn scal_scales_norm(s in -4.0f64..4.0, n in 1usize..50) {
+            let mut v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 0.1).collect();
+            let before = nrm2(&v);
+            scal(&mut v, s);
+            prop_assert!((nrm2(&v) - s.abs() * before).abs() < 1e-9 * (1.0 + before));
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Per-block sequential kernels.
+//!
+//! These are the Rust equivalents of the production
+//! `aprod{1,2}_Kernel_{astro,att,instr,glob}()` CUDA kernels (§IV). Each
+//! kernel processes a *range* of rows (or stars) and writes into a
+//! *block-local* output slice, so parallel backends can hand disjoint
+//! ranges/sections to different threads without synchronization where the
+//! structure permits, and add their own conflict strategy where it does not.
+//!
+//! Output indexing conventions:
+//! * `aprod1_*`: `out[i]` accumulates row `rows.start + i`.
+//! * `aprod2_astro`: `out` covers astrometric columns
+//!   `5·stars.start .. 5·stars.end` (always collision-free across stars).
+//! * `aprod2_att` / `aprod2_instr` / `aprod2_glob`: `out` covers the whole
+//!   block section in block-local coordinates; different rows may collide.
+//! * `aprod2_att_owned` / `aprod2_instr_owned`: owner-computes variants that
+//!   scan rows but only write columns inside an owned block-local range.
+
+use std::ops::Range;
+
+use gaia_sparse::system::{ASTRO_NNZ_PER_ROW, INSTR_NNZ_PER_ROW};
+use gaia_sparse::{SparseSystem, ATT_AXES, ATT_PARAMS_PER_AXIS};
+
+/// `out[i] += astro_row(rows.start+i) · x_astro_slice` for observation rows.
+pub fn aprod1_astro(sys: &SparseSystem, x: &[f64], rows: Range<usize>, out: &mut [f64]) {
+    debug_assert!(rows.end <= sys.n_obs_rows());
+    debug_assert_eq!(out.len(), rows.len());
+    for (i, row) in rows.enumerate() {
+        let (vals, start) = sys.astro_row(row);
+        let xs = &x[start as usize..start as usize + ASTRO_NNZ_PER_ROW];
+        let mut acc = 0.0;
+        for k in 0..ASTRO_NNZ_PER_ROW {
+            acc += vals[k] * xs[k];
+        }
+        out[i] += acc;
+    }
+}
+
+/// Attitude part of `aprod1` for any row range (observations + constraints).
+pub fn aprod1_att(sys: &SparseSystem, x: &[f64], rows: Range<usize>, out: &mut [f64]) {
+    debug_assert!(rows.end <= sys.n_rows());
+    debug_assert_eq!(out.len(), rows.len());
+    let dof = sys.layout().n_deg_freedom_att as usize;
+    let att_base = sys.columns().att as usize;
+    for (i, row) in rows.enumerate() {
+        let (vals, off) = sys.att_row(row);
+        let mut acc = 0.0;
+        for axis in 0..ATT_AXES as usize {
+            let base = att_base + axis * dof + off as usize;
+            for k in 0..ATT_PARAMS_PER_AXIS as usize {
+                acc += vals[axis * ATT_PARAMS_PER_AXIS as usize + k] * x[base + k];
+            }
+        }
+        out[i] += acc;
+    }
+}
+
+/// Instrumental part of `aprod1` for observation rows.
+pub fn aprod1_instr(sys: &SparseSystem, x: &[f64], rows: Range<usize>, out: &mut [f64]) {
+    debug_assert!(rows.end <= sys.n_obs_rows());
+    debug_assert_eq!(out.len(), rows.len());
+    let instr_base = sys.columns().instr as usize;
+    for (i, row) in rows.enumerate() {
+        let (vals, cols) = sys.instr_row(row);
+        let mut acc = 0.0;
+        for k in 0..INSTR_NNZ_PER_ROW {
+            acc += vals[k] * x[instr_base + cols[k] as usize];
+        }
+        out[i] += acc;
+    }
+}
+
+/// Global part of `aprod1` for observation rows (no-op when the layout has
+/// no global parameter).
+pub fn aprod1_glob(sys: &SparseSystem, x: &[f64], rows: Range<usize>, out: &mut [f64]) {
+    debug_assert!(rows.end <= sys.n_obs_rows());
+    debug_assert_eq!(out.len(), rows.len());
+    if sys.layout().n_glob_params == 0 {
+        return;
+    }
+    let glob_col = sys.columns().glob as usize;
+    let xg = x[glob_col];
+    let glob = sys.values_glob();
+    for (i, row) in rows.enumerate() {
+        out[i] += glob[row] * xg;
+    }
+}
+
+/// Full `aprod1` over a row range into an aligned output slice.
+pub fn aprod1_range(sys: &SparseSystem, x: &[f64], rows: Range<usize>, out: &mut [f64]) {
+    let obs_end = rows.end.min(sys.n_obs_rows());
+    if rows.start < obs_end {
+        let obs = rows.start..obs_end;
+        let n = obs.len();
+        aprod1_astro(sys, x, obs.clone(), &mut out[..n]);
+        aprod1_instr(sys, x, obs.clone(), &mut out[..n]);
+        aprod1_glob(sys, x, obs, &mut out[..n]);
+    }
+    aprod1_att(sys, x, rows, out);
+}
+
+/// Astrometric `aprod2`, parallel-safe across stars: for each star in
+/// `stars`, accumulate the contributions of all its observation rows into
+/// the star's 5 columns. `out` covers columns `5·stars.start..5·stars.end`.
+pub fn aprod2_astro(sys: &SparseSystem, y: &[f64], stars: Range<usize>, out: &mut [f64]) {
+    debug_assert_eq!(out.len(), stars.len() * ASTRO_NNZ_PER_ROW);
+    let layout = *sys.layout();
+    for (si, star) in stars.enumerate() {
+        let slot = &mut out[si * ASTRO_NNZ_PER_ROW..(si + 1) * ASTRO_NNZ_PER_ROW];
+        for row in layout.rows_of_star(star as u64) {
+            let (vals, _) = sys.astro_row(row as usize);
+            let yr = y[row as usize];
+            for k in 0..ASTRO_NNZ_PER_ROW {
+                slot[k] += vals[k] * yr;
+            }
+        }
+    }
+}
+
+/// Attitude `aprod2` over a row range into the full block-local attitude
+/// section. Different rows may write the same columns; the caller must
+/// ensure exclusive access to `out` (serial, owned copy, or a lock).
+pub fn aprod2_att(sys: &SparseSystem, y: &[f64], rows: Range<usize>, out: &mut [f64]) {
+    debug_assert_eq!(out.len() as u64, sys.layout().n_att_cols());
+    let dof = sys.layout().n_deg_freedom_att as usize;
+    for row in rows {
+        let yr = y[row];
+        if yr == 0.0 {
+            continue;
+        }
+        let (vals, off) = sys.att_row(row);
+        for axis in 0..ATT_AXES as usize {
+            let base = axis * dof + off as usize;
+            for k in 0..ATT_PARAMS_PER_AXIS as usize {
+                out[base + k] += vals[axis * ATT_PARAMS_PER_AXIS as usize + k] * yr;
+            }
+        }
+    }
+}
+
+/// Attitude `aprod2`, owner-computes: scan `rows` but only update columns in
+/// the owned block-local range. `out.len() == own.len()`.
+pub fn aprod2_att_owned(
+    sys: &SparseSystem,
+    y: &[f64],
+    rows: Range<usize>,
+    own: Range<usize>,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(out.len(), own.len());
+    let dof = sys.layout().n_deg_freedom_att as usize;
+    for row in rows {
+        let yr = y[row];
+        if yr == 0.0 {
+            continue;
+        }
+        let (vals, off) = sys.att_row(row);
+        for axis in 0..ATT_AXES as usize {
+            let base = axis * dof + off as usize;
+            for k in 0..ATT_PARAMS_PER_AXIS as usize {
+                let col = base + k;
+                if col >= own.start && col < own.end {
+                    out[col - own.start] += vals[axis * ATT_PARAMS_PER_AXIS as usize + k] * yr;
+                }
+            }
+        }
+    }
+}
+
+/// Instrumental `aprod2` over a row range into the full block-local
+/// instrument section (exclusive access required).
+pub fn aprod2_instr(sys: &SparseSystem, y: &[f64], rows: Range<usize>, out: &mut [f64]) {
+    debug_assert!(rows.end <= sys.n_obs_rows());
+    debug_assert_eq!(out.len() as u64, sys.layout().n_instr_params);
+    for row in rows {
+        let yr = y[row];
+        if yr == 0.0 {
+            continue;
+        }
+        let (vals, cols) = sys.instr_row(row);
+        for k in 0..INSTR_NNZ_PER_ROW {
+            out[cols[k] as usize] += vals[k] * yr;
+        }
+    }
+}
+
+/// Instrumental `aprod2`, owner-computes over a block-local column range.
+pub fn aprod2_instr_owned(
+    sys: &SparseSystem,
+    y: &[f64],
+    rows: Range<usize>,
+    own: Range<usize>,
+    out: &mut [f64],
+) {
+    debug_assert!(rows.end <= sys.n_obs_rows());
+    debug_assert_eq!(out.len(), own.len());
+    for row in rows {
+        let yr = y[row];
+        if yr == 0.0 {
+            continue;
+        }
+        let (vals, cols) = sys.instr_row(row);
+        for k in 0..INSTR_NNZ_PER_ROW {
+            let col = cols[k] as usize;
+            if col >= own.start && col < own.end {
+                out[col - own.start] += vals[k] * yr;
+            }
+        }
+    }
+}
+
+/// Global `aprod2` over a row range: a plain reduction into the single
+/// global slot.
+pub fn aprod2_glob(sys: &SparseSystem, y: &[f64], rows: Range<usize>, out: &mut [f64]) {
+    debug_assert!(rows.end <= sys.n_obs_rows());
+    if sys.layout().n_glob_params == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len(), 1);
+    let glob = sys.values_glob();
+    let mut acc = 0.0;
+    for row in rows {
+        acc += glob[row] * y[row];
+    }
+    out[0] += acc;
+}
+
+/// Split `0..n` into `parts` near-equal contiguous ranges.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut cursor = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(cursor..cursor + len);
+        cursor += len;
+    }
+    debug_assert_eq!(cursor, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_sparse::dense::DenseMatrix;
+    use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
+
+    fn sys() -> SparseSystem {
+        Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(11)).generate()
+    }
+
+    fn x_for(sys: &SparseSystem) -> Vec<f64> {
+        (0..sys.n_cols()).map(|i| (i as f64 * 0.21).sin()).collect()
+    }
+
+    fn y_for(sys: &SparseSystem) -> Vec<f64> {
+        (0..sys.n_rows()).map(|i| (i as f64 * 0.13).cos()).collect()
+    }
+
+    #[test]
+    fn aprod1_range_matches_dense() {
+        let s = sys();
+        let d = DenseMatrix::from_sparse(&s);
+        let x = x_for(&s);
+        let mut want = vec![0.0; s.n_rows()];
+        d.mat_vec_acc(&x, &mut want);
+        let mut got = vec![0.0; s.n_rows()];
+        aprod1_range(&s, &x, 0..s.n_rows(), &mut got);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-10, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn aprod1_split_ranges_equal_whole() {
+        let s = sys();
+        let x = x_for(&s);
+        let mut whole = vec![0.0; s.n_rows()];
+        aprod1_range(&s, &x, 0..s.n_rows(), &mut whole);
+        let mut parts = vec![0.0; s.n_rows()];
+        for r in split_ranges(s.n_rows(), 5) {
+            let (start, end) = (r.start, r.end);
+            aprod1_range(&s, &x, r, &mut parts[start..end]);
+        }
+        for (a, b) in whole.iter().zip(&parts) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn aprod2_blocks_match_dense() {
+        let s = sys();
+        let d = DenseMatrix::from_sparse(&s);
+        let y = y_for(&s);
+        let mut want = vec![0.0; s.n_cols()];
+        d.mat_t_vec_acc(&y, &mut want);
+
+        let c = s.columns();
+        let mut got = vec![0.0; s.n_cols()];
+        let (astro_out, rest) = got.split_at_mut(c.att as usize);
+        let (att_out, rest2) = rest.split_at_mut((c.instr - c.att) as usize);
+        let (instr_out, glob_out) = rest2.split_at_mut((c.glob - c.instr) as usize);
+        aprod2_astro(&s, &y, 0..s.layout().n_stars as usize, astro_out);
+        aprod2_att(&s, &y, 0..s.n_rows(), att_out);
+        aprod2_instr(&s, &y, 0..s.n_obs_rows(), instr_out);
+        aprod2_glob(&s, &y, 0..s.n_obs_rows(), glob_out);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-10, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn owner_computes_variants_cover_all_columns() {
+        let s = sys();
+        let y = y_for(&s);
+        let natt = s.layout().n_att_cols() as usize;
+        let mut whole = vec![0.0; natt];
+        aprod2_att(&s, &y, 0..s.n_rows(), &mut whole);
+        let mut pieces = vec![0.0; natt];
+        for own in split_ranges(natt, 4) {
+            let (a, b) = (own.start, own.end);
+            aprod2_att_owned(&s, &y, 0..s.n_rows(), own, &mut pieces[a..b]);
+        }
+        for (a, b) in whole.iter().zip(&pieces) {
+            assert!((a - b).abs() < 1e-12);
+        }
+
+        let ninstr = s.layout().n_instr_params as usize;
+        let mut whole_i = vec![0.0; ninstr];
+        aprod2_instr(&s, &y, 0..s.n_obs_rows(), &mut whole_i);
+        let mut pieces_i = vec![0.0; ninstr];
+        for own in split_ranges(ninstr, 3) {
+            let (a, b) = (own.start, own.end);
+            aprod2_instr_owned(&s, &y, 0..s.n_obs_rows(), own, &mut pieces_i[a..b]);
+        }
+        for (a, b) in whole_i.iter().zip(&pieces_i) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn split_ranges_partitions_exactly() {
+        for n in [0usize, 1, 7, 100] {
+            for parts in [1usize, 2, 3, 8, 150] {
+                let rs = split_ranges(n, parts);
+                assert_eq!(rs.len(), parts);
+                let total: usize = rs.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n);
+                let mut cursor = 0;
+                for r in rs {
+                    assert_eq!(r.start, cursor);
+                    cursor = r.end;
+                    // Near-equal: lengths differ by at most 1.
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn glob_kernels_are_noops_without_global_parameter() {
+        let mut layout = SystemLayout::tiny();
+        layout.n_glob_params = 0;
+        let s = Generator::new(GeneratorConfig::new(layout).seed(3)).generate();
+        let x = x_for(&s);
+        let y = y_for(&s);
+        let mut out1 = vec![0.0; s.n_obs_rows()];
+        aprod1_glob(&s, &x, 0..s.n_obs_rows(), &mut out1);
+        assert!(out1.iter().all(|&v| v == 0.0));
+        let mut out2: Vec<f64> = vec![];
+        aprod2_glob(&s, &y, 0..s.n_obs_rows(), &mut out2);
+    }
+}

@@ -1,0 +1,61 @@
+//! # gaia-backends
+//!
+//! Parallel compute backends for the AVU-GSR `aprod` kernels.
+//!
+//! The paper ports the same two sparse products — `aprod1` (`b̃ += A x̃`) and
+//! `aprod2` (`x̃ += Aᵀ b̃`) — to CUDA, HIP, SYCL, OpenMP-GPU, and C++ PSTL,
+//! and studies how each framework's *properties* (explicit kernel tuning,
+//! atomic-update code generation, asynchronous streams) interact with the
+//! hardware. Rust has no production GPU-offload story, so this crate
+//! reproduces the framework axis on the CPU with strategies that exercise
+//! the same algorithmic trade-offs the paper discusses in §IV:
+//!
+//! | Backend | Paper analogue | `aprod2` conflict strategy |
+//! |---|---|---|
+//! | [`SeqBackend`] | reference / oracle | none (serial) |
+//! | [`ChunkedBackend`] | OpenMP target teams (owner-computes) | column-range ownership |
+//! | [`AtomicBackend`] | CUDA/HIP atomicAdd (RMW) | hardware atomics on `f64` |
+//! | [`CasLoopBackend`] | compilers that emit CAS loops instead of RMW (§V-B, MI250X discussion) | compare-and-swap retry loops |
+//! | [`ReplicatedBackend`] | privatization + reduction | per-thread buffers |
+//! | [`StripedBackend`] | lock-based fallback | striped mutexes |
+//! | [`RayonBackend`] | C++ PSTL (tuning-oblivious runtime) | star-chunk split + fold/reduce |
+//! | [`StreamedBackend`] | CUDA streams overlapping the four `aprod2` kernels | disjoint block sections on concurrent threads |
+//! | [`HybridBackend`] | the production composition: per-block strategy mix in streams | star-chunks + privatized attitude + owner-computes instrumental |
+//!
+//! All backends implement [`Backend`] and are validated against each other
+//! and against a dense oracle; the astrometric part of `aprod2` is always
+//! parallelized over *stars* (collision-free thanks to the block-diagonal
+//! structure, exactly as in the production CUDA code), while the attitude,
+//! instrumental, and global parts need a conflict strategy.
+
+#![warn(missing_docs)]
+
+pub mod atomicf64;
+pub mod blas;
+pub mod kernels;
+pub mod registry;
+pub mod traits;
+pub mod tuning;
+
+mod backend_atomic;
+mod backend_chunked;
+mod backend_csr;
+mod backend_hybrid;
+mod backend_rayon;
+mod backend_replicated;
+mod backend_seq;
+mod backend_streamed;
+mod backend_striped;
+
+pub use backend_atomic::{AtomicBackend, CasLoopBackend};
+pub use backend_chunked::ChunkedBackend;
+pub use backend_csr::CsrBackend;
+pub use backend_hybrid::HybridBackend;
+pub use backend_rayon::RayonBackend;
+pub use backend_replicated::ReplicatedBackend;
+pub use backend_seq::SeqBackend;
+pub use backend_streamed::StreamedBackend;
+pub use backend_striped::StripedBackend;
+pub use registry::{all_backends, backend_by_name, backend_names};
+pub use traits::Backend;
+pub use tuning::Tuning;

@@ -1,0 +1,66 @@
+//! Backend registry: construct every strategy by name, the way the paper's
+//! harness selects a framework per run.
+
+use crate::traits::Backend;
+use crate::{
+    AtomicBackend, CasLoopBackend, ChunkedBackend, RayonBackend, ReplicatedBackend, SeqBackend,
+    StreamedBackend, StripedBackend,
+};
+
+/// Names of all registered backend strategies.
+pub fn backend_names() -> &'static [&'static str] {
+    &[
+        "seq",
+        "chunked",
+        "atomic",
+        "casloop",
+        "replicated",
+        "striped",
+        "rayon",
+        "streamed",
+        "hybrid",
+    ]
+}
+
+/// Instantiate every backend with the given thread budget.
+pub fn all_backends(threads: usize) -> Vec<Box<dyn Backend>> {
+    backend_names()
+        .iter()
+        .map(|n| backend_by_name(n, threads).expect("registry is self-consistent"))
+        .collect()
+}
+
+/// Instantiate a backend by strategy name.
+pub fn backend_by_name(name: &str, threads: usize) -> Option<Box<dyn Backend>> {
+    Some(match name {
+        "seq" => Box::new(SeqBackend),
+        "chunked" => Box::new(ChunkedBackend::with_threads(threads)),
+        "atomic" => Box::new(AtomicBackend::with_threads(threads)),
+        "casloop" => Box::new(CasLoopBackend::with_threads(threads)),
+        "replicated" => Box::new(ReplicatedBackend::with_threads(threads)),
+        "striped" => Box::new(StripedBackend::with_threads(threads)),
+        "rayon" => Box::new(RayonBackend),
+        "streamed" => Box::new(StreamedBackend::with_threads(threads)),
+        "hybrid" => Box::new(crate::HybridBackend::with_threads(threads)),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_instantiates_every_name() {
+        for name in backend_names() {
+            let b = backend_by_name(name, 2).unwrap();
+            assert!(!b.description().is_empty());
+        }
+        assert_eq!(all_backends(2).len(), backend_names().len());
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(backend_by_name("cuda", 2).is_none());
+    }
+}

@@ -1,0 +1,82 @@
+//! The [`Backend`] trait: what the LSQR solver needs from a compute engine.
+
+use gaia_sparse::SparseSystem;
+
+use crate::blas;
+
+/// A compute backend able to evaluate the two AVU-GSR sparse products and
+/// the handful of BLAS-1 operations LSQR needs between them.
+///
+/// Both products are *accumulating*, matching the classic `aprod(mode, ...)`
+/// contract of Paige & Saunders' LSQR:
+///
+/// * `aprod1`: `out[r] += Σ_c A[r,c] · x[c]` for every row `r`;
+/// * `aprod2`: `out[c] += Σ_r A[r,c] · y[r]` for every column `c`.
+///
+/// Implementations must be deterministic *up to floating-point reduction
+/// order*; tests compare backends with a tolerance proportional to the
+/// system size.
+pub trait Backend: Send + Sync {
+    /// Stable identifier (used in reports and the registry).
+    fn name(&self) -> String;
+
+    /// One-line description of the strategy.
+    fn description(&self) -> &'static str;
+
+    /// `out += A x`. `x.len() == sys.n_cols()`, `out.len() == sys.n_rows()`.
+    fn aprod1(&self, sys: &SparseSystem, x: &[f64], out: &mut [f64]);
+
+    /// `out += Aᵀ y`. `y.len() == sys.n_rows()`, `out.len() == sys.n_cols()`.
+    fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]);
+
+    /// Euclidean norm. Overridable with a parallel implementation.
+    fn nrm2(&self, v: &[f64]) -> f64 {
+        blas::nrm2(v)
+    }
+
+    /// `v *= s`.
+    fn scal(&self, v: &mut [f64], s: f64) {
+        blas::scal(v, s);
+    }
+
+    /// `y += a·x`.
+    fn axpy(&self, y: &mut [f64], a: f64, x: &[f64]) {
+        blas::axpy(y, a, x);
+    }
+
+    /// Check argument shapes; call at the top of `aprod1`.
+    fn check_aprod1(&self, sys: &SparseSystem, x: &[f64], out: &[f64]) {
+        assert_eq!(x.len(), sys.n_cols(), "aprod1: x length mismatch");
+        assert_eq!(out.len(), sys.n_rows(), "aprod1: out length mismatch");
+    }
+
+    /// Check argument shapes; call at the top of `aprod2`.
+    fn check_aprod2(&self, sys: &SparseSystem, y: &[f64], out: &[f64]) {
+        assert_eq!(y.len(), sys.n_rows(), "aprod2: y length mismatch");
+        assert_eq!(out.len(), sys.n_cols(), "aprod2: out length mismatch");
+    }
+}
+
+impl<B: Backend + ?Sized> Backend for Box<B> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn description(&self) -> &'static str {
+        (**self).description()
+    }
+    fn aprod1(&self, sys: &SparseSystem, x: &[f64], out: &mut [f64]) {
+        (**self).aprod1(sys, x, out)
+    }
+    fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
+        (**self).aprod2(sys, y, out)
+    }
+    fn nrm2(&self, v: &[f64]) -> f64 {
+        (**self).nrm2(v)
+    }
+    fn scal(&self, v: &mut [f64], s: f64) {
+        (**self).scal(v, s)
+    }
+    fn axpy(&self, y: &mut [f64], a: f64, x: &[f64]) {
+        (**self).axpy(y, a, x)
+    }
+}

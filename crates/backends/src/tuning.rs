@@ -1,0 +1,70 @@
+//! Execution tuning parameters.
+//!
+//! CUDA, HIP, and SYCL let the programmer pick the number of blocks and
+//! threads per block for each kernel, and the paper reports "up to 40 %
+//! reduction in iteration time" from such tuning (§V-B). The CPU analogue
+//! is the thread count and the row-chunk granularity, which [`Tuning`]
+//! captures. Backends that model tuning-oblivious frameworks (rayon / PSTL)
+//! ignore it.
+
+/// Thread count and chunking for a backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tuning {
+    /// Worker threads to use.
+    pub threads: usize,
+    /// Target number of chunks per thread (finer chunks improve load
+    /// balance, coarser chunks reduce scheduling overhead — the CPU mirror
+    /// of the blocks × threads-per-block trade-off).
+    pub chunks_per_thread: usize,
+}
+
+impl Tuning {
+    /// One chunk per thread, `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        Tuning {
+            threads: threads.max(1),
+            chunks_per_thread: 1,
+        }
+    }
+
+    /// Use all available parallelism.
+    pub fn auto() -> Self {
+        Tuning::with_threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Total chunk count for a work size of `n` items (never exceeds `n`).
+    pub fn chunk_count(&self, n: usize) -> usize {
+        (self.threads * self.chunks_per_thread).clamp(1, n.max(1))
+    }
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_count_is_bounded_by_work() {
+        let t = Tuning {
+            threads: 8,
+            chunks_per_thread: 4,
+        };
+        assert_eq!(t.chunk_count(1000), 32);
+        assert_eq!(t.chunk_count(3), 3);
+        assert_eq!(t.chunk_count(0), 1);
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(Tuning::with_threads(0).threads, 1);
+    }
+}

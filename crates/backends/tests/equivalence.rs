@@ -1,0 +1,145 @@
+//! Property-based backend equivalence: every parallel strategy must agree
+//! with the sequential oracle on arbitrary systems, inputs, thread counts,
+//! and prior output contents (the accumulate contract).
+
+use gaia_backends::{all_backends, backend_by_name, Backend, SeqBackend};
+use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
+use proptest::prelude::*;
+
+fn layouts() -> impl Strategy<Value = SystemLayout> {
+    (3u64..10, 12u64..20, 4u64..12, 6u64..12, 0u32..2, 0u64..4)
+        .prop_map(|(s, o, d, i, g, c)| SystemLayout {
+            n_stars: s,
+            obs_per_star: o,
+            n_deg_freedom_att: d,
+            n_instr_params: i,
+            n_glob_params: g,
+            n_constraint_rows: c,
+        })
+        .prop_filter("overdetermined", |l| l.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_backend_matches_seq_on_random_systems(
+        layout in layouts(),
+        seed in 0u64..300,
+        threads in 1usize..6,
+        bias in -2.0f64..2.0,
+    ) {
+        let sys = Generator::new(GeneratorConfig::new(layout).seed(seed)).generate();
+        let x: Vec<f64> = (0..sys.n_cols()).map(|i| ((i + 1) as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..sys.n_rows()).map(|i| ((i + 2) as f64 * 0.41).cos()).collect();
+        let seq = SeqBackend;
+        let mut want1 = vec![bias; sys.n_rows()];
+        seq.aprod1(&sys, &x, &mut want1);
+        let mut want2 = vec![bias; sys.n_cols()];
+        seq.aprod2(&sys, &y, &mut want2);
+
+        for backend in all_backends(threads) {
+            let mut got1 = vec![bias; sys.n_rows()];
+            backend.aprod1(&sys, &x, &mut got1);
+            for (g, w) in got1.iter().zip(&want1) {
+                prop_assert!((g - w).abs() < 1e-10, "{} aprod1", backend.name());
+            }
+            let mut got2 = vec![bias; sys.n_cols()];
+            backend.aprod2(&sys, &y, &mut got2);
+            for (g, w) in got2.iter().zip(&want2) {
+                prop_assert!((g - w).abs() < 1e-10, "{} aprod2", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn aprod1_is_linear(seed in 0u64..100, a in -3.0f64..3.0) {
+        // A(a·x) == a·(A x): catches any backend that mangles scaling.
+        let sys = Generator::new(
+            GeneratorConfig::new(SystemLayout::tiny()).seed(seed),
+        ).generate();
+        let backend = backend_by_name("streamed", 3).unwrap();
+        let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.11).cos()).collect();
+        let ax: Vec<f64> = x.iter().map(|v| a * v).collect();
+        let mut out1 = vec![0.0; sys.n_rows()];
+        backend.aprod1(&sys, &ax, &mut out1);
+        let mut out2 = vec![0.0; sys.n_rows()];
+        backend.aprod1(&sys, &x, &mut out2);
+        for (o1, o2) in out1.iter().zip(&out2) {
+            prop_assert!((o1 - a * o2).abs() < 1e-9 * (1.0 + o2.abs()));
+        }
+    }
+
+    #[test]
+    fn aprod2_transpose_identity(seed in 0u64..100, threads in 1usize..5) {
+        // ⟨A x, y⟩ == ⟨x, Aᵀ y⟩ — the adjoint identity both products must
+        // satisfy together; LSQR's convergence theory depends on it.
+        let sys = Generator::new(
+            GeneratorConfig::new(SystemLayout::tiny()).seed(seed),
+        ).generate();
+        let backend = backend_by_name("atomic", threads).unwrap();
+        let x: Vec<f64> = (0..sys.n_cols()).map(|i| ((i + 5) as f64 * 0.23).sin()).collect();
+        let y: Vec<f64> = (0..sys.n_rows()).map(|i| ((i + 9) as f64 * 0.29).cos()).collect();
+        let mut ax = vec![0.0; sys.n_rows()];
+        backend.aprod1(&sys, &x, &mut ax);
+        let mut aty = vec![0.0; sys.n_cols()];
+        backend.aprod2(&sys, &y, &mut aty);
+        let lhs: f64 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+}
+
+#[test]
+fn zero_input_leaves_output_untouched() {
+    let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(1)).generate();
+    for backend in all_backends(4) {
+        let x = vec![0.0; sys.n_cols()];
+        let mut out = vec![3.5; sys.n_rows()];
+        backend.aprod1(&sys, &x, &mut out);
+        assert!(
+            out.iter().all(|&v| v == 3.5),
+            "{}: aprod1 of zero must not change out",
+            backend.name()
+        );
+        let y = vec![0.0; sys.n_rows()];
+        let mut out2 = vec![-1.25; sys.n_cols()];
+        backend.aprod2(&sys, &y, &mut out2);
+        assert!(
+            out2.iter().all(|&v| v == -1.25),
+            "{}: aprod2 of zero must not change out",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "x length mismatch")]
+fn shape_mismatch_panics() {
+    let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(2)).generate();
+    let backend = SeqBackend;
+    let x = vec![0.0; sys.n_cols() - 1];
+    let mut out = vec![0.0; sys.n_rows()];
+    backend.aprod1(&sys, &x, &mut out);
+}
+
+#[test]
+fn repeated_application_accumulates() {
+    // Calling aprod1 twice must equal 2·(A x) — the accumulate contract.
+    let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(3)).generate();
+    let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.17).sin()).collect();
+    for backend in all_backends(3) {
+        let mut once = vec![0.0; sys.n_rows()];
+        backend.aprod1(&sys, &x, &mut once);
+        let mut twice = vec![0.0; sys.n_rows()];
+        backend.aprod1(&sys, &x, &mut twice);
+        backend.aprod1(&sys, &x, &mut twice);
+        for (t, o) in twice.iter().zip(&once) {
+            assert!(
+                (t - 2.0 * o).abs() < 1e-10,
+                "{}: accumulate contract violated",
+                backend.name()
+            );
+        }
+    }
+}

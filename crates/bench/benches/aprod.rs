@@ -1,0 +1,63 @@
+//! Criterion benchmark of the two hot kernels (`aprod1`, `aprod2`) across
+//! every backend strategy — the measured counterpart of the paper's
+//! per-kernel profiling ("most of the time of this code is spent computing
+//! the matrix-by-vector products of aprod1 and aprod2", §V-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gaia_backends::{backend_by_name, backend_names, Backend, CsrBackend};
+use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
+use std::hint::black_box;
+
+fn bench_aprods(c: &mut Criterion) {
+    let layout = SystemLayout::medium();
+    let sys = Generator::new(GeneratorConfig::new(layout).seed(1)).generate();
+    let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.1).sin()).collect();
+    let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.2).cos()).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let nnz = sys.layout().nnz_total();
+
+    // The structured backends plus the generic-CSR comparison of §V-B
+    // (amd-lab-notes), measured rather than modeled.
+    let mut backends: Vec<(String, Box<dyn Backend>)> = backend_names()
+        .iter()
+        .map(|n| (n.to_string(), backend_by_name(n, threads).unwrap()))
+        .collect();
+    backends.push((
+        "csr".to_string(),
+        Box::new(CsrBackend::for_system(&sys, threads)),
+    ));
+
+    let mut g1 = c.benchmark_group("aprod1");
+    g1.throughput(Throughput::Elements(nnz));
+    g1.sample_size(10);
+    for (name, backend) in &backends {
+        let mut out = vec![0.0f64; sys.n_rows()];
+        g1.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                backend.aprod1(&sys, black_box(&x), &mut out);
+                black_box(&out);
+            });
+        });
+    }
+    g1.finish();
+
+    let mut g2 = c.benchmark_group("aprod2");
+    g2.throughput(Throughput::Elements(nnz));
+    g2.sample_size(10);
+    for (name, backend) in &backends {
+        let mut out = vec![0.0f64; sys.n_cols()];
+        g2.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                backend.aprod2(&sys, black_box(&y), &mut out);
+                black_box(&out);
+            });
+        });
+    }
+    g2.finish();
+}
+
+criterion_group!(benches, bench_aprods);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benchmark of the MPI-substitute collectives: allreduce cost
+//! vs rank count and payload size (the communication term of the
+//! distributed LSQR).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gaia_mpi_sim::{run, ReduceOp};
+use std::hint::black_box;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce");
+    g.sample_size(10);
+    for ranks in [2usize, 4, 8] {
+        for len in [16usize, 4096] {
+            let id = BenchmarkId::new(format!("ranks{ranks}"), format!("len{len}"));
+            g.throughput(Throughput::Elements((ranks * len) as u64));
+            g.bench_function(id, |b| {
+                b.iter(|| {
+                    let out = run(ranks, |comm| {
+                        let mut buf = vec![comm.rank() as f64; len];
+                        for _ in 0..4 {
+                            comm.allreduce(ReduceOp::Sum, &mut buf);
+                        }
+                        buf[0]
+                    });
+                    black_box(out);
+                });
+            });
+        }
+    }
+    g.finish();
+
+    let mut gb = c.benchmark_group("barrier");
+    gb.sample_size(10);
+    for ranks in [2usize, 8] {
+        gb.bench_function(BenchmarkId::from_parameter(ranks), |b| {
+            b.iter(|| {
+                run(ranks, |comm| {
+                    for _ in 0..16 {
+                        comm.barrier();
+                    }
+                })
+            });
+        });
+    }
+    gb.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    use gaia_mpi_sim::{ring_allreduce, Mesh};
+    let mut g = c.benchmark_group("ring_allreduce");
+    g.sample_size(10);
+    for ranks in [2usize, 4, 8] {
+        let len = 4096usize;
+        g.throughput(Throughput::Elements((ranks * len) as u64));
+        g.bench_function(BenchmarkId::from_parameter(ranks), |b| {
+            b.iter(|| {
+                let mesh = Mesh::new(ranks);
+                std::thread::scope(|scope| {
+                    for rank in 0..ranks {
+                        let mesh = &mesh;
+                        scope.spawn(move || {
+                            let mut buf = vec![rank as f64; len];
+                            ring_allreduce(mesh, rank, &mut buf);
+                            black_box(buf[0]);
+                        });
+                    }
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives, bench_ring);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark of the synthetic dataset generator (the artifact
+//! synthesizes the dataset at runtime from the GB size, so generation
+//! throughput matters for large runs) and of the column-norm
+//! preconditioner construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gaia_lsqr::ColumnScaling;
+use gaia_sparse::{footprint, Generator, GeneratorConfig, SystemLayout};
+use std::hint::black_box;
+
+fn bench_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate");
+    g.sample_size(10);
+    for (label, layout) in [
+        ("small", SystemLayout::small()),
+        ("medium", SystemLayout::medium()),
+    ] {
+        g.throughput(Throughput::Bytes(footprint::device_bytes(&layout)));
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let sys = Generator::new(GeneratorConfig::new(layout).seed(1)).generate();
+                black_box(sys.n_rows());
+            });
+        });
+    }
+    g.finish();
+
+    let sys = Generator::new(GeneratorConfig::new(SystemLayout::medium()).seed(1)).generate();
+    c.bench_function("column_scaling", |b| {
+        b.iter(|| black_box(ColumnScaling::from_system(&sys)));
+    });
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

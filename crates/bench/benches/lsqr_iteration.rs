@@ -1,0 +1,41 @@
+//! Criterion benchmark of the full LSQR iteration per backend and thread
+//! budget — the measured analogue of the paper's Fig. 4 (average iteration
+//! time per platform × framework), with backends as frameworks and thread
+//! budgets as platforms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaia_backends::backend_by_name;
+use gaia_lsqr::{solve, LsqrConfig};
+use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
+use std::hint::black_box;
+
+const ITERS_PER_SOLVE: usize = 5;
+
+fn bench_iterations(c: &mut Criterion) {
+    let layout = SystemLayout::medium();
+    let sys = Generator::new(GeneratorConfig::new(layout).seed(2)).generate();
+    let cfg = LsqrConfig::fixed_iterations(ITERS_PER_SOLVE);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+
+    let mut g = c.benchmark_group("lsqr_iteration");
+    g.sample_size(10);
+    for budget in [1usize, max_threads] {
+        for name in ["seq", "chunked", "atomic", "replicated", "streamed", "rayon"] {
+            let backend = backend_by_name(name, budget).unwrap();
+            let id = BenchmarkId::new(name, format!("t{budget}"));
+            g.bench_with_input(id, name, |b, _| {
+                b.iter(|| {
+                    let sol = solve(&sys, &backend, &cfg);
+                    black_box(sol.rnorm);
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_iterations);
+criterion_main!(benches);

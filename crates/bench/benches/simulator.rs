@@ -1,0 +1,53 @@
+//! Criterion benchmark of the simulator itself: full-grid evaluation,
+//! tuner sweeps, and the fluid discrete-event engine. The simulator is
+//! used inside test suites and parameter sweeps, so its own throughput
+//! matters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaia_gpu_sim::events::{simulate_concurrent, FluidTask};
+use gaia_gpu_sim::tuner::tune;
+use gaia_gpu_sim::{all_frameworks, all_platforms, iteration_time, SimConfig};
+use gaia_sparse::SystemLayout;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let layout = SystemLayout::from_gb(10.0);
+
+    c.bench_function("sim/full_grid_10gb", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for fw in all_frameworks() {
+                for p in all_platforms() {
+                    if let Some(br) = iteration_time(&layout, &fw, &p, &SimConfig::default()) {
+                        total += br.seconds;
+                    }
+                }
+            }
+            black_box(total);
+        });
+    });
+
+    let cuda = gaia_gpu_sim::framework_by_name("CUDA").unwrap();
+    let t4 = gaia_gpu_sim::platform_by_name("T4").unwrap();
+    c.bench_function("sim/tuner_sweep", |b| {
+        b.iter(|| black_box(tune(&layout, &cuda, &t4, 1024)));
+    });
+
+    let mut g = c.benchmark_group("sim/fluid_des");
+    for n in [4usize, 64, 512] {
+        let tasks: Vec<FluidTask> = (0..n)
+            .map(|i| FluidTask {
+                name: format!("k{i}"),
+                shared_seconds: 0.01 + 0.001 * i as f64,
+                private_seconds: if i % 3 == 0 { 0.002 } else { 0.0 },
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &tasks, |b, tasks| {
+            b.iter(|| black_box(simulate_concurrent(tasks).makespan));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Calibration inspector: prints the modeled time/efficiency/P grids for
+//! the three paper problem sizes. Used while fitting the simulator
+//! constants; kept as a development tool.
+
+use gaia_gpu_sim::{all_frameworks, all_platforms, iteration_time, SimConfig};
+use gaia_p3::{report, MeasurementSet, Normalization};
+use gaia_sparse::SystemLayout;
+
+fn main() {
+    for gb in [10.0, 30.0, 60.0] {
+        let layout = SystemLayout::from_gb(gb);
+        let mut set = MeasurementSet::new();
+        for fw in all_frameworks() {
+            for p in all_platforms() {
+                if let Some(b) = iteration_time(&layout, &fw, &p, &SimConfig::default()) {
+                    set.record(&fw.name, &p.name, b.seconds);
+                }
+            }
+        }
+        let platforms: Vec<String> = set.platforms();
+        let m = set.efficiencies(Normalization::PlatformBest);
+        println!("=== {gb} GB ===");
+        println!("{}", report::times_table(&set, &platforms));
+        println!("{}", report::efficiency_table(&m, &platforms));
+        println!("{}", report::pp_table(&m, &platforms));
+    }
+}

@@ -1,0 +1,44 @@
+//! Profiler-style timeline view (the simulator's `nsys`/`rocprof`
+//! substitute): where one modeled iteration spends its time, per
+//! framework, with the stream overlap of the `aprod2` kernels visible.
+//!
+//! Usage: `cargo run -p gaia-bench --bin profile [platform] [GB]`
+
+use gaia_gpu_sim::{all_frameworks, iteration_time, platform_by_name, timeline, SimConfig};
+use gaia_sparse::SystemLayout;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let platform_name = args.next().unwrap_or_else(|| "H100".to_string());
+    let gb: f64 = args.next().map(|a| a.parse().expect("GB")).unwrap_or(10.0);
+    let Some(platform) = platform_by_name(&platform_name) else {
+        eprintln!("unknown platform {platform_name}");
+        std::process::exit(1);
+    };
+    let layout = SystemLayout::from_gb(gb);
+    println!(
+        "modeled iteration timeline on {} ({gb} GB problem)\n",
+        platform.name
+    );
+    for fw in all_frameworks() {
+        let Some(b) = iteration_time(&layout, &fw, &platform, &SimConfig::default()) else {
+            println!("{}: not supported here\n", fw.name);
+            continue;
+        };
+        println!("{}:", fw.name);
+        print!("{}", timeline::render(&b, fw.streams, 64));
+        if fw.streams {
+            if let Some(sched) =
+                gaia_gpu_sim::model::aprod2_fluid_schedule(&layout, &fw, &platform)
+            {
+                print!("{}", timeline::render_fluid(&sched, 64));
+            }
+        }
+        println!();
+    }
+    println!(
+        "The aprod products dominate every framework's iteration, matching the\n\
+         paper's profiler finding (§V-A); stream frameworks collapse the four\n\
+         aprod2 kernels into overlapped lanes."
+    );
+}

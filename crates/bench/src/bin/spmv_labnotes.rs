@@ -1,0 +1,98 @@
+//! §V-B MI250X cross-check: "we take similar SpMV kernels, implemented
+//! using HIP by amd-lab-notes, and test them on matrix sizes similar to
+//! our own. We tested them on A100 and MI250X architectures. Indeed, the
+//! performance was similar to the one obtained by our AVU-GSR solver."
+//!
+//! A generic CSR SpMV over the same matrix moves strictly more index
+//! metadata than the structure-aware `aprod1`, and on both A100 and
+//! MI250X its modeled time tracks the AVU-GSR kernels — supporting the
+//! paper's conclusion that the MI250X shortfall is a property of the
+//! access pattern (non-coalesced gathers), not of the port.
+
+use gaia_gpu_sim::workload::{csr_spmv_kernel, iteration_kernels, Phase};
+use gaia_gpu_sim::{framework_by_name, platform_by_name};
+use gaia_sparse::SystemLayout;
+
+fn main() {
+    let layout = SystemLayout::from_gb(10.0);
+    let hip = framework_by_name("HIP").expect("registry");
+
+    println!("structured aprod1 vs generic CSR SpMV (HIP, 10 GB matrix)");
+    println!(
+        "{:<8} {:>14} {:>14} {:>12} {:>14}",
+        "platform", "aprod1 [s]", "csr spmv [s]", "csr/aprod1", "eff BW [GB/s]"
+    );
+    let mut rows = Vec::new();
+    for name in ["A100", "MI250X"] {
+        let p = platform_by_name(name).expect("registry");
+        // Effective bandwidth of the tuned HIP kernels on this platform.
+        let bw = p.bw_bytes_per_sec() * p.coalescing * hip.codegen_on(&p);
+        let aprod1_bytes: u64 = iteration_kernels(&layout)
+            .iter()
+            .filter(|k| k.phase == Phase::Aprod1)
+            .map(|k| k.bytes)
+            .sum();
+        let csr = csr_spmv_kernel(&layout);
+        let t_aprod1 = aprod1_bytes as f64 / bw;
+        let t_csr = csr.bytes as f64 / bw;
+        println!(
+            "{:<8} {:>14.4} {:>14.4} {:>12.3} {:>14.0}",
+            name,
+            t_aprod1,
+            t_csr,
+            t_csr / t_aprod1,
+            bw / 1e9
+        );
+        rows.push(serde_json::json!({
+            "platform": name,
+            "aprod1_seconds": t_aprod1,
+            "csr_seconds": t_csr,
+            "effective_bw_gbs": bw / 1e9,
+        }));
+    }
+    gaia_bench::write_artifact("spmv_labnotes.json", &serde_json::json!(rows));
+
+    let a100 = platform_by_name("A100").expect("registry");
+    let mi = platform_by_name("MI250X").expect("registry");
+    let ratio = (a100.bw_gbs * a100.coalescing) / (mi.bw_gbs * mi.coalescing);
+    println!(
+        "\nA100/MI250X effective-bandwidth ratio for this access pattern: {ratio:.2}x\n\
+         (peak-bandwidth ratio is only {:.2}x — the gap is the §V-B\n\
+         non-coalescing effect, reproduced by the generic SpMV too).",
+        a100.bw_gbs / mi.bw_gbs
+    );
+
+    // Measured counterpart on this machine's CPU: structured storage vs a
+    // real CSR mirror, same matrix, same kernels-per-iteration budget.
+    use gaia_backends::{Backend, CsrBackend, SeqBackend};
+    use gaia_sparse::{Generator, GeneratorConfig};
+    use std::time::Instant;
+    let small = SystemLayout::medium();
+    let sys = Generator::new(GeneratorConfig::new(small).seed(3)).generate();
+    let csr = CsrBackend::for_system(&sys, 1);
+    let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.01).sin()).collect();
+    let mut out = vec![0.0f64; sys.n_rows()];
+    let reps = 20;
+    let time_it = |backend: &dyn Backend, out: &mut Vec<f64>| {
+        backend.aprod1(&sys, &x, out); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            backend.aprod1(&sys, &x, out);
+        }
+        t0.elapsed().as_secs_f64() / reps as f64
+    };
+    let t_structured = time_it(&SeqBackend, &mut out);
+    let t_csr = time_it(&csr, &mut out);
+    let structured_bytes = gaia_sparse::footprint::device_bytes(&sys.layout().clone());
+    println!(
+        "\nmeasured on this CPU ({} rows): structured aprod1 {:.3} ms, CSR {:.3} ms ({:.2}x)\n\
+         storage: structured {:.1} MB vs CSR {:.1} MB ({:.2}x more metadata)",
+        sys.n_rows(),
+        1e3 * t_structured,
+        1e3 * t_csr,
+        t_csr / t_structured,
+        structured_bytes as f64 / 1e6,
+        csr.storage_bytes() as f64 / 1e6,
+        csr.storage_bytes() as f64 / structured_bytes as f64,
+    );
+}

@@ -1,0 +1,111 @@
+//! # gaia-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! `DESIGN.md` for the experiment index) plus criterion micro-benchmarks
+//! of the real CPU backends.
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig3` | Fig. 3 a/b/c — efficiency cascades + `P` per problem size |
+//! | `fig4` | Fig. 4 a/b/c — average iteration time per platform × framework |
+//! | `fig5` | Fig. 5 a/b/c — application efficiency per platform × framework |
+//! | `fig6` | Fig. 6 a–d — solution/standard-error validation (real solves) |
+//! | `table_flags` | Tables I–III — compilers and compilation flags |
+//! | `speedup_production` | §V-B optimized-vs-production CUDA 2.0× claim |
+//! | `tuning_ablation` | §V-B "up to 40 % reduction" kernel-tuning claim |
+//! | `spmv_labnotes` | §V-B amd-lab-notes SpMV cross-check on A100/MI250X |
+//! | `cpu_portability` | measured `P` of the real Rust backends (this repo's own hardware study) |
+//! | `calibrate` | raw model grids (development tool) |
+
+use gaia_gpu_sim::{all_frameworks, all_platforms, iteration_time, SimConfig};
+use gaia_p3::MeasurementSet;
+use gaia_sparse::SystemLayout;
+
+/// The paper's three problem sizes in GB.
+pub const PROBLEM_SIZES_GB: [f64; 3] = [10.0, 30.0, 60.0];
+
+/// Simulate the full framework × platform grid for a problem size,
+/// producing the timing set the p3 analysis consumes. Unsupported
+/// combinations (vendor or capacity) are simply absent.
+pub fn simulate_measurements(gb: f64) -> (SystemLayout, MeasurementSet) {
+    let layout = SystemLayout::from_gb(gb);
+    let mut set = MeasurementSet::new();
+    for fw in all_frameworks() {
+        for p in all_platforms() {
+            if let Some(b) = iteration_time(&layout, &fw, &p, &SimConfig::default()) {
+                set.record(&fw.name, &p.name, b.seconds);
+            }
+        }
+    }
+    (layout, set)
+}
+
+/// The platform set supporting a problem size (paper §V-B), in the
+/// paper's presentation order.
+pub fn platform_set(gb: f64) -> Vec<String> {
+    let layout = SystemLayout::from_gb(gb);
+    let bytes = gaia_sparse::footprint::total_device_bytes(&layout);
+    all_platforms()
+        .into_iter()
+        .filter(|p| p.fits(bytes))
+        .map(|p| p.name)
+        .collect()
+}
+
+/// Write a JSON artifact under `results/` (created on demand) so the
+/// figures can be re-plotted externally; prints the path.
+pub fn write_artifact(name: &str, json: &serde_json::Value) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match std::fs::write(&path, serde_json::to_string_pretty(json).expect("serializable")) {
+        Ok(()) => println!("[artifact] {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Write a text artifact (SVG, CSV, ...) under `results/`.
+pub fn write_text_artifact(name: &str, contents: &str) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => println!("[artifact] {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_sets_match_paper() {
+        assert_eq!(platform_set(10.0), ["T4", "V100", "A100", "H100", "MI250X"]);
+        assert_eq!(platform_set(30.0), ["V100", "A100", "H100", "MI250X"]);
+        assert_eq!(platform_set(60.0), ["H100", "MI250X"]);
+    }
+
+    #[test]
+    fn grid_has_expected_cell_counts() {
+        // 10 GB: 7 portable frameworks × 5 platforms + CUDA × 4 = 39.
+        let (_, set) = simulate_measurements(10.0);
+        let cells: usize = set
+            .apps()
+            .iter()
+            .map(|a| {
+                set.platforms()
+                    .iter()
+                    .filter(|p| set.time(a, p).is_some())
+                    .count()
+            })
+            .sum();
+        assert_eq!(cells, 7 * 5 + 4);
+    }
+}

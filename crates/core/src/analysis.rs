@@ -1,0 +1,181 @@
+//! Convergence analysis of a solve's iteration history.
+//!
+//! The paper's timing protocol fixes 100 iterations because "it was not
+//! important to obtain the solution at convergence but to measure the
+//! iteration time" (Appendix A); production runs, by contrast, care about
+//! *how many* iterations convergence takes — which is what the
+//! preconditioning customization buys. This module extracts that view
+//! from a [`Solution`]'s history: the asymptotic linear convergence rate,
+//! the iteration count to reach a tolerance, and a compact textual
+//! convergence profile.
+
+use crate::solution::Solution;
+
+/// Fitted convergence characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceProfile {
+    /// Per-iteration geometric reduction factor of the residual norm,
+    /// fitted over the tail of the run (`< 1` means converging).
+    pub rate: f64,
+    /// Iterations the solver actually ran.
+    pub iterations: usize,
+    /// Relative residual at the end.
+    pub final_relative_residual: f64,
+    /// Estimated iterations to gain one decimal digit of residual
+    /// accuracy (`ln 10 / -ln rate`), `None` when not converging.
+    pub iterations_per_digit: Option<f64>,
+}
+
+/// Fit the tail convergence rate of a solve (geometric mean of the last
+/// up-to-`window` residual ratios). Returns `None` when the history is
+/// too short to say anything (< 3 iterations).
+pub fn convergence_profile(solution: &Solution, window: usize) -> Option<ConvergenceProfile> {
+    let h = &solution.history;
+    if h.len() < 3 {
+        return None;
+    }
+    let window = window.max(2).min(h.len() - 1);
+    let tail = &h[h.len() - window - 1..];
+    // Geometric mean of ratios r_{k+1}/r_k over the tail, in log space.
+    let mut log_sum = 0.0;
+    let mut count = 0usize;
+    for w in tail.windows(2) {
+        if w[0].rnorm > 0.0 && w[1].rnorm > 0.0 {
+            log_sum += (w[1].rnorm / w[0].rnorm).ln();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return None;
+    }
+    let rate = (log_sum / count as f64).exp();
+    let iterations_per_digit = if rate < 1.0 && rate > 0.0 {
+        Some(std::f64::consts::LN_10 / -rate.ln())
+    } else {
+        None
+    };
+    Some(ConvergenceProfile {
+        rate,
+        iterations: solution.iterations,
+        final_relative_residual: solution.relative_residual(),
+        iterations_per_digit,
+    })
+}
+
+/// First iteration whose relative residual drops below `tol`, if any.
+pub fn iterations_to_tolerance(solution: &Solution, tol: f64) -> Option<usize> {
+    if solution.bnorm == 0.0 {
+        return Some(0);
+    }
+    solution
+        .history
+        .iter()
+        .find(|s| s.rnorm / solution.bnorm <= tol)
+        .map(|s| s.iteration)
+}
+
+/// Compact textual profile: relative residual at logarithmically spaced
+/// iterations (for run logs and the CLI).
+pub fn profile_text(solution: &Solution) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let n = solution.history.len();
+    if n == 0 {
+        return "no iterations recorded\n".into();
+    }
+    let mut marks: Vec<usize> = vec![0];
+    let mut k = 1usize;
+    while k < n {
+        marks.push(k);
+        k *= 2;
+    }
+    if *marks.last().unwrap() != n - 1 {
+        marks.push(n - 1);
+    }
+    for &i in &marks {
+        let s = &solution.history[i];
+        let _ = writeln!(
+            out,
+            "  iter {:>5}  |r|/|b| = {:.3e}  ‖Aᵀr‖ = {:.3e}",
+            s.iteration,
+            s.rnorm / solution.bnorm.max(f64::MIN_POSITIVE),
+            s.arnorm
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LsqrConfig;
+    use crate::lsqr::solve;
+    use gaia_backends::SeqBackend;
+    use gaia_sparse::{Generator, GeneratorConfig, Rhs, SystemLayout};
+
+    fn solved(precondition: bool) -> Solution {
+        let (sys, _) = Generator::new(
+            GeneratorConfig::new(SystemLayout::small())
+                .seed(61)
+                .rhs(Rhs::FromTrueSolution { noise_sigma: 0.0 }),
+        )
+        .generate_with_truth();
+        solve(
+            &sys,
+            &SeqBackend,
+            &LsqrConfig::new().precondition(precondition).max_iters(5_000),
+        )
+    }
+
+    #[test]
+    fn converging_solve_has_rate_below_one() {
+        let sol = solved(true);
+        let p = convergence_profile(&sol, 10).expect("enough history");
+        assert!(p.rate < 1.0, "rate {}", p.rate);
+        assert!(p.iterations_per_digit.unwrap() > 0.0);
+        assert_eq!(p.iterations, sol.iterations);
+    }
+
+    #[test]
+    fn preconditioning_improves_the_fitted_rate() {
+        let with = convergence_profile(&solved(true), 10).unwrap();
+        let without = convergence_profile(&solved(false), 10).unwrap();
+        // Column scaling must not make the tail rate worse.
+        assert!(
+            with.rate <= without.rate + 0.05,
+            "precond rate {} vs plain {}",
+            with.rate,
+            without.rate
+        );
+    }
+
+    #[test]
+    fn iterations_to_tolerance_is_monotone_in_tol() {
+        let sol = solved(true);
+        let loose = iterations_to_tolerance(&sol, 1e-2).unwrap();
+        let tight = iterations_to_tolerance(&sol, 1e-6).unwrap();
+        assert!(loose <= tight);
+        assert!(iterations_to_tolerance(&sol, 1e-300).is_none());
+    }
+
+    #[test]
+    fn short_histories_yield_none() {
+        let (sys, _) = Generator::new(
+            GeneratorConfig::new(SystemLayout::tiny())
+                .seed(62)
+                .rhs(Rhs::FromTrueSolution { noise_sigma: 0.0 }),
+        )
+        .generate_with_truth();
+        let sol = solve(&sys, &SeqBackend, &LsqrConfig::fixed_iterations(2));
+        assert!(convergence_profile(&sol, 10).is_none());
+    }
+
+    #[test]
+    fn profile_text_is_log_spaced_and_nonempty() {
+        let sol = solved(true);
+        let text = profile_text(&sol);
+        assert!(text.contains("iter     1") || text.contains("iter 1"), "{text}");
+        let lines = text.lines().count();
+        assert!(lines >= 3 && lines <= 2 + (sol.iterations as f64).log2() as usize + 2);
+    }
+}

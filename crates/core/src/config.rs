@@ -1,0 +1,145 @@
+//! Solver configuration.
+
+/// LSQR stopping rules and options.
+///
+/// The tolerances follow the classical `LSQR(atol, btol, conlim, itnlim)`
+/// interface of Paige & Saunders. The production AVU-GSR solver "stops when
+/// it reaches convergence or the maximum number of iterations" (§III-B);
+/// the paper's timing runs fix 100 iterations and ignore convergence, which
+/// is what [`LsqrConfig::fixed_iterations`] reproduces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LsqrConfig {
+    /// Relative tolerance on `A` (estimate of relative error in the data).
+    pub atol: f64,
+    /// Relative tolerance on `b`.
+    pub btol: f64,
+    /// Condition-number limit; the solve stops if the estimate of
+    /// `cond(A)` exceeds it. `f64::INFINITY` disables the test.
+    pub conlim: f64,
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Tikhonov damping parameter (0 in the AVU-GSR production solver).
+    pub damp: f64,
+    /// Accumulate the `var` estimate of `diag((AᵀA)⁻¹)` used for the
+    /// standard errors of the solution (§V-C needs it; timing-only runs can
+    /// switch it off).
+    pub compute_var: bool,
+    /// Apply the Jacobi column-scaling preconditioner (the "customized and
+    /// preconditioned version of the LSQR algorithm" of §III-B).
+    pub precondition: bool,
+}
+
+impl LsqrConfig {
+    /// Production-like defaults: tight tolerances, preconditioning and
+    /// variance estimation on.
+    pub fn new() -> Self {
+        LsqrConfig {
+            atol: 1e-10,
+            btol: 1e-10,
+            conlim: 1e12,
+            max_iters: 2_000,
+            damp: 0.0,
+            compute_var: true,
+            precondition: true,
+        }
+    }
+
+    /// The paper's timing configuration: run exactly `n` iterations, no
+    /// convergence tests, no variance accumulation.
+    pub fn fixed_iterations(n: usize) -> Self {
+        LsqrConfig {
+            atol: 0.0,
+            btol: 0.0,
+            conlim: f64::INFINITY,
+            max_iters: n,
+            damp: 0.0,
+            compute_var: false,
+            precondition: true,
+        }
+    }
+
+    /// Override the maximum iteration count.
+    pub fn max_iters(mut self, n: usize) -> Self {
+        self.max_iters = n;
+        self
+    }
+
+    /// Override the tolerances.
+    pub fn tolerances(mut self, atol: f64, btol: f64) -> Self {
+        self.atol = atol;
+        self.btol = btol;
+        self
+    }
+
+    /// Enable or disable preconditioning.
+    pub fn precondition(mut self, on: bool) -> Self {
+        self.precondition = on;
+        self
+    }
+
+    /// Enable or disable variance accumulation.
+    pub fn compute_var(mut self, on: bool) -> Self {
+        self.compute_var = on;
+        self
+    }
+
+    /// Set the damping parameter.
+    pub fn damp(mut self, damp: f64) -> Self {
+        assert!(damp >= 0.0, "damp must be non-negative");
+        self.damp = damp;
+        self
+    }
+
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.atol < 0.0 || self.btol < 0.0 {
+            return Err("tolerances must be non-negative".into());
+        }
+        if self.conlim <= 0.0 {
+            return Err("conlim must be positive".into());
+        }
+        if self.max_iters == 0 {
+            return Err("max_iters must be at least 1".into());
+        }
+        if self.damp < 0.0 {
+            return Err("damp must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for LsqrConfig {
+    fn default() -> Self {
+        LsqrConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        LsqrConfig::new().validate().unwrap();
+        LsqrConfig::fixed_iterations(100).validate().unwrap();
+    }
+
+    #[test]
+    fn fixed_iterations_disables_convergence_tests() {
+        let c = LsqrConfig::fixed_iterations(100);
+        assert_eq!(c.atol, 0.0);
+        assert_eq!(c.btol, 0.0);
+        assert_eq!(c.conlim, f64::INFINITY);
+        assert!(!c.compute_var);
+        assert_eq!(c.max_iters, 100);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(LsqrConfig::new().max_iters(0).validate().is_err());
+        assert!(LsqrConfig::new().tolerances(-1.0, 0.0).validate().is_err());
+        let mut c = LsqrConfig::new();
+        c.conlim = 0.0;
+        assert!(c.validate().is_err());
+    }
+}

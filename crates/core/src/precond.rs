@@ -1,0 +1,129 @@
+//! Jacobi (column-scaling) preconditioner.
+//!
+//! The production solver runs a "customized and preconditioned version of
+//! the LSQR algorithm" (§III-B). The customization that matters numerically
+//! is column equilibration: the astrometric, attitude, instrumental, and
+//! global columns have wildly different norms (they aggregate very
+//! different numbers of observations), and LSQR's convergence rate depends
+//! on the condition number. We solve `min ‖(A D) y − b‖` with
+//! `D = diag(1/‖a_j‖)` and map back `x = D y`; the `var` estimates map back
+//! with `D²`.
+
+use gaia_sparse::SparseSystem;
+
+/// Column scaling `D = diag(1/‖a_j‖)` (identity for zero columns).
+#[derive(Debug, Clone)]
+pub struct ColumnScaling {
+    inv_norms: Vec<f64>,
+}
+
+impl ColumnScaling {
+    /// Build from the column norms of `sys`.
+    pub fn from_system(sys: &SparseSystem) -> Self {
+        let inv_norms = sys
+            .column_norms()
+            .into_iter()
+            .map(|n| if n > 0.0 { 1.0 / n } else { 1.0 })
+            .collect();
+        ColumnScaling { inv_norms }
+    }
+
+    /// Identity scaling of dimension `n` (used when preconditioning is
+    /// disabled, keeping the solver code path uniform).
+    pub fn identity(n: usize) -> Self {
+        ColumnScaling {
+            inv_norms: vec![1.0; n],
+        }
+    }
+
+    /// Dimension.
+    pub fn len(&self) -> usize {
+        self.inv_norms.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inv_norms.is_empty()
+    }
+
+    /// The diagonal entries of `D`.
+    pub fn inv_norms(&self) -> &[f64] {
+        &self.inv_norms
+    }
+
+    /// `out = D · v` (element-wise), writing into a caller buffer.
+    pub fn apply(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.inv_norms.len());
+        assert_eq!(out.len(), self.inv_norms.len());
+        for ((o, &x), &d) in out.iter_mut().zip(v).zip(&self.inv_norms) {
+            *o = x * d;
+        }
+    }
+
+    /// `v *= D` in place.
+    pub fn apply_in_place(&self, v: &mut [f64]) {
+        assert_eq!(v.len(), self.inv_norms.len());
+        for (x, &d) in v.iter_mut().zip(&self.inv_norms) {
+            *x *= d;
+        }
+    }
+
+    /// Map a preconditioned solution back: `x = D y` in place.
+    pub fn unscale_solution(&self, y: &mut [f64]) {
+        self.apply_in_place(y);
+    }
+
+    /// Map preconditioned variance estimates back: `var *= D²` in place.
+    pub fn unscale_variance(&self, var: &mut [f64]) {
+        assert_eq!(var.len(), self.inv_norms.len());
+        for (v, &d) in var.iter_mut().zip(&self.inv_norms) {
+            *v *= d * d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
+
+    #[test]
+    fn scaled_columns_have_unit_norm() {
+        let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(91)).generate();
+        let scaling = ColumnScaling::from_system(&sys);
+        // Rebuild column norms of A·D by scaling each entry.
+        let mut sq = vec![0.0f64; sys.n_cols()];
+        for row in 0..sys.n_rows() {
+            for (col, val) in sys.row_entries(row) {
+                let scaled = val * scaling.inv_norms()[col as usize];
+                sq[col as usize] += scaled * scaled;
+            }
+        }
+        for (j, &s) in sq.iter().enumerate() {
+            if s > 0.0 {
+                assert!((s.sqrt() - 1.0).abs() < 1e-10, "column {j} norm {}", s.sqrt());
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_a_noop() {
+        let id = ColumnScaling::identity(4);
+        let mut v = vec![1.0, -2.0, 3.0, 0.5];
+        let orig = v.clone();
+        id.apply_in_place(&mut v);
+        assert_eq!(v, orig);
+        assert_eq!(id.len(), 4);
+        assert!(!id.is_empty());
+    }
+
+    #[test]
+    fn unscale_variance_squares_the_scaling() {
+        let s = ColumnScaling {
+            inv_norms: vec![2.0, 0.5],
+        };
+        let mut var = vec![1.0, 8.0];
+        s.unscale_variance(&mut var);
+        assert_eq!(var, vec![4.0, 2.0]);
+    }
+}

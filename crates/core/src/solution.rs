@@ -1,0 +1,208 @@
+//! Solver output: solution vector, standard errors, stop reason, and
+//! per-iteration statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Why LSQR stopped — the `istop` codes of the reference implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// `x = 0` already solves the system (`b = 0`).
+    TrivialSolution,
+    /// `Ax ≈ b` within `atol`/`btol` (consistent system solved).
+    ResidualSmall,
+    /// The least-squares optimality condition `‖Aᵀr‖ ≤ atol·‖A‖·‖r‖` holds.
+    LeastSquaresConverged,
+    /// Condition-number estimate exceeded `conlim`.
+    ConditionLimit,
+    /// `Ax ≈ b` to machine precision.
+    ResidualMachinePrecision,
+    /// Optimality to machine precision.
+    LeastSquaresMachinePrecision,
+    /// Condition estimate exceeded machine-precision headroom.
+    ConditionMachinePrecision,
+    /// Iteration limit reached (the paper's fixed-100-iteration runs always
+    /// end here by design).
+    IterationLimit,
+}
+
+impl StopReason {
+    /// True when the solve ended in a converged state (any reason other
+    /// than hitting the iteration limit or the condition limit).
+    pub fn converged(self) -> bool {
+        !matches!(
+            self,
+            StopReason::IterationLimit
+                | StopReason::ConditionLimit
+                | StopReason::ConditionMachinePrecision
+        )
+    }
+}
+
+/// Scalar diagnostics captured after each LSQR iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Residual norm estimate `‖r‖`.
+    pub rnorm: f64,
+    /// Optimality norm estimate `‖Aᵀr‖`.
+    pub arnorm: f64,
+    /// Frobenius-norm estimate of `A` accumulated so far.
+    pub anorm: f64,
+    /// Condition-number estimate of `A`.
+    pub acond: f64,
+    /// Solution norm estimate `‖x‖`.
+    pub xnorm: f64,
+    /// Wall-clock seconds spent in this iteration.
+    pub seconds: f64,
+}
+
+/// Result of an LSQR solve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Solution {
+    /// Solution vector (in the original, unpreconditioned variables).
+    pub x: Vec<f64>,
+    /// Estimate of `diag((AᵀA)⁻¹)` (unpreconditioned variables); empty when
+    /// `compute_var` was off.
+    pub var: Vec<f64>,
+    /// Stop reason.
+    pub stop: StopReason,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − Ax‖`.
+    pub rnorm: f64,
+    /// Final optimality norm `‖Aᵀ(b − Ax)‖`.
+    pub arnorm: f64,
+    /// Final estimate of `‖A‖_F`.
+    pub anorm: f64,
+    /// Final condition-number estimate.
+    pub acond: f64,
+    /// Final solution norm.
+    pub xnorm: f64,
+    /// Norm of the right-hand side.
+    pub bnorm: f64,
+    /// Number of rows of the solved system.
+    pub n_rows: usize,
+    /// Per-iteration diagnostics (in iteration order).
+    pub history: Vec<IterationStats>,
+}
+
+impl Solution {
+    /// Per-unknown standard errors, the quantity plotted in Fig. 6 (right
+    /// panels): `se_j = sqrt(var_j · s²)` with the residual variance
+    /// `s² = ‖r‖² / (m − n)`. Returns `None` when `var` was not computed or
+    /// the system has no redundancy.
+    pub fn standard_errors(&self) -> Option<Vec<f64>> {
+        if self.var.is_empty() {
+            return None;
+        }
+        let m = self.n_rows as f64;
+        let n = self.x.len() as f64;
+        if m <= n {
+            return None;
+        }
+        let s2 = self.rnorm * self.rnorm / (m - n);
+        Some(self.var.iter().map(|&v| (v * s2).max(0.0).sqrt()).collect())
+    }
+
+    /// Mean seconds per iteration, the paper's primary performance metric
+    /// ("we compare the performances ... using the LSQR iteration time").
+    pub fn mean_iteration_seconds(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        self.history.iter().map(|s| s.seconds).sum::<f64>() / self.history.len() as f64
+    }
+
+    /// Relative residual `‖r‖ / ‖b‖`.
+    pub fn relative_residual(&self) -> f64 {
+        if self.bnorm == 0.0 {
+            0.0
+        } else {
+            self.rnorm / self.bnorm
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_solution() -> Solution {
+        Solution {
+            x: vec![1.0, 2.0],
+            var: vec![0.25, 4.0],
+            stop: StopReason::ResidualSmall,
+            iterations: 3,
+            rnorm: 2.0,
+            arnorm: 0.1,
+            anorm: 10.0,
+            acond: 50.0,
+            xnorm: 2.2,
+            bnorm: 4.0,
+            n_rows: 6,
+            history: vec![
+                IterationStats {
+                    iteration: 1,
+                    rnorm: 3.0,
+                    arnorm: 1.0,
+                    anorm: 9.0,
+                    acond: 30.0,
+                    xnorm: 1.0,
+                    seconds: 0.5,
+                },
+                IterationStats {
+                    iteration: 2,
+                    rnorm: 2.0,
+                    arnorm: 0.1,
+                    anorm: 10.0,
+                    acond: 50.0,
+                    xnorm: 2.2,
+                    seconds: 1.5,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn standard_errors_follow_residual_variance() {
+        let s = dummy_solution();
+        // s² = 4 / (6 − 2) = 1 → se = sqrt(var).
+        let se = s.standard_errors().unwrap();
+        assert!((se[0] - 0.5).abs() < 1e-12);
+        assert!((se[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_errors_none_without_var_or_redundancy() {
+        let mut s = dummy_solution();
+        s.var.clear();
+        assert!(s.standard_errors().is_none());
+        let mut s2 = dummy_solution();
+        s2.n_rows = 2;
+        assert!(s2.standard_errors().is_none());
+    }
+
+    #[test]
+    fn mean_iteration_time_averages_history() {
+        let s = dummy_solution();
+        assert!((s.mean_iteration_seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stop_reason_convergence_classification() {
+        assert!(StopReason::ResidualSmall.converged());
+        assert!(StopReason::LeastSquaresConverged.converged());
+        assert!(StopReason::TrivialSolution.converged());
+        assert!(!StopReason::IterationLimit.converged());
+        assert!(!StopReason::ConditionLimit.converged());
+    }
+
+    #[test]
+    fn relative_residual_handles_zero_b() {
+        let mut s = dummy_solution();
+        assert!((s.relative_residual() - 0.5).abs() < 1e-12);
+        s.bnorm = 0.0;
+        assert_eq!(s.relative_residual(), 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Convergence-theory property tests for the LSQR core: agreement with
+//! the dense least-squares oracle on arbitrary systems, damping behaviour,
+//! residual orthogonality, and tolerance semantics.
+
+use gaia_backends::{Backend, SeqBackend};
+use gaia_lsqr::{solve, LsqrConfig, StopReason};
+use gaia_sparse::dense::DenseMatrix;
+use gaia_sparse::{Generator, GeneratorConfig, Rhs, SystemLayout};
+use proptest::prelude::*;
+
+fn layouts() -> impl Strategy<Value = SystemLayout> {
+    (3u64..8, 14u64..22, 4u64..10, 6u64..10, 0u32..2, 0u64..4)
+        .prop_map(|(s, o, d, i, g, c)| SystemLayout {
+            n_stars: s,
+            obs_per_star: o,
+            n_deg_freedom_att: d,
+            n_instr_params: i,
+            n_glob_params: g,
+            n_constraint_rows: c,
+        })
+        .prop_filter("overdetermined", |l| l.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn lsqr_matches_dense_least_squares(layout in layouts(), seed in 0u64..200) {
+        let cfg = GeneratorConfig::new(layout)
+            .seed(seed)
+            .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-3 });
+        let (sys, _) = Generator::new(cfg).generate_with_truth();
+        let sol = solve(&sys, &SeqBackend, &LsqrConfig::new().max_iters(20_000));
+        prop_assume!(sol.stop.converged());
+        let dense = DenseMatrix::from_sparse(&sys);
+        // Layouts with few/no constraint rows can be rank-deficient (the
+        // paper adds constraints precisely to fix that); the oracle flags
+        // those and the property only covers full-rank instances.
+        let Some(x_ls) = dense.try_least_squares(sys.known_terms()) else {
+            return Ok(());
+        };
+        let err: f64 = sol.x.iter().zip(&x_ls).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let scale: f64 = x_ls.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
+        prop_assert!(err / scale < 1e-5, "relative error {}", err / scale);
+    }
+
+    #[test]
+    fn normal_equations_hold_at_the_solution(layout in layouts(), seed in 200u64..300) {
+        // Aᵀ(b − A x) ≈ 0 at the least-squares solution.
+        let cfg = GeneratorConfig::new(layout)
+            .seed(seed)
+            .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-2 });
+        let (sys, _) = Generator::new(cfg).generate_with_truth();
+        let sol = solve(&sys, &SeqBackend, &LsqrConfig::new().max_iters(20_000));
+        prop_assume!(sol.stop.converged());
+        let backend = SeqBackend;
+        let mut ax = vec![0.0; sys.n_rows()];
+        backend.aprod1(&sys, &sol.x, &mut ax);
+        let r: Vec<f64> = sys.known_terms().iter().zip(&ax).map(|(b, a)| b - a).collect();
+        let mut atr = vec![0.0; sys.n_cols()];
+        backend.aprod2(&sys, &r, &mut atr);
+        let atr_norm = gaia_backends::blas::nrm2(&atr);
+        let scale = sol.anorm * gaia_backends::blas::nrm2(&r);
+        prop_assert!(
+            atr_norm <= 1e-6 * (1.0 + scale),
+            "‖Aᵀr‖ = {atr_norm} vs scale {scale}"
+        );
+    }
+
+    #[test]
+    fn increasing_damp_never_grows_the_solution_norm(
+        seed in 0u64..60,
+        d1 in 0.0f64..0.5,
+        d2 in 0.5f64..4.0,
+    ) {
+        let cfg = GeneratorConfig::new(SystemLayout::tiny())
+            .seed(seed)
+            .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-4 });
+        let (sys, _) = Generator::new(cfg).generate_with_truth();
+        let a = solve(&sys, &SeqBackend, &LsqrConfig::new().damp(d1));
+        let b = solve(&sys, &SeqBackend, &LsqrConfig::new().damp(d2));
+        prop_assert!(b.xnorm <= a.xnorm * (1.0 + 1e-8), "{} vs {}", b.xnorm, a.xnorm);
+    }
+
+    #[test]
+    fn looser_tolerances_stop_no_later(seed in 0u64..60) {
+        let cfg = GeneratorConfig::new(SystemLayout::tiny())
+            .seed(seed)
+            .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-6 });
+        let (sys, _) = Generator::new(cfg).generate_with_truth();
+        let tight = solve(&sys, &SeqBackend, &LsqrConfig::new().tolerances(1e-12, 1e-12));
+        let loose = solve(&sys, &SeqBackend, &LsqrConfig::new().tolerances(1e-6, 1e-6));
+        prop_assert!(loose.iterations <= tight.iterations);
+    }
+}
+
+#[test]
+fn conlim_triggers_condition_stop_on_ill_conditioned_system() {
+    // Unpreconditioned Gaia systems have wildly different column norms →
+    // a tiny conlim must fire the condition-limit stop.
+    let cfg = GeneratorConfig::new(SystemLayout::small())
+        .seed(7)
+        .rhs(Rhs::FromTrueSolution { noise_sigma: 0.0 });
+    let (sys, _) = Generator::new(cfg).generate_with_truth();
+    let mut config = LsqrConfig::new().precondition(false);
+    config.conlim = 2.0;
+    let sol = solve(&sys, &SeqBackend, &config);
+    assert_eq!(sol.stop, StopReason::ConditionLimit);
+    assert!(sol.iterations < config.max_iters);
+}
+
+#[test]
+fn history_length_always_equals_iterations() {
+    let cfg = GeneratorConfig::new(SystemLayout::tiny())
+        .seed(8)
+        .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-8 });
+    let (sys, _) = Generator::new(cfg).generate_with_truth();
+    for max in [1usize, 3, 10, 1000] {
+        let sol = solve(&sys, &SeqBackend, &LsqrConfig::new().max_iters(max));
+        assert_eq!(sol.history.len(), sol.iterations);
+        assert!(sol.iterations <= max);
+    }
+}
+
+#[test]
+fn var_is_nonnegative_and_zero_where_untouched() {
+    let cfg = GeneratorConfig::new(SystemLayout::tiny())
+        .seed(9)
+        .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-5 });
+    let (sys, _) = Generator::new(cfg).generate_with_truth();
+    let sol = solve(&sys, &SeqBackend, &LsqrConfig::new());
+    assert!(sol.var.iter().all(|&v| v >= 0.0));
+    assert!(sol.var.iter().any(|&v| v > 0.0));
+}

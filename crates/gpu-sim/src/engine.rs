@@ -1,0 +1,89 @@
+//! Stream scheduling of the `aprod2` kernels.
+//!
+//! §IV: "we execute the kernels in streams, allowing their asynchronous
+//! overlap. Since the atomic operations in each submatrix target different
+//! subsections of x̃, the asynchronous execution of the kernels does not
+//! increase the execution cost of the atomic operations."
+//!
+//! Overlap cannot beat the memory system: the schedule is bounded below by
+//! the bandwidth time of the combined traffic. What overlap *does* hide is
+//! the serialization excess of the low-occupancy atomic kernels (which are
+//! deliberately launched with few blocks, leaving SMs free for the
+//! others). We therefore model the overlapped `aprod2` phase as
+//! `max(bandwidth bound, slowest single kernel)`, and the non-overlapped
+//! one as the plain sum.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing of a single kernel inside one iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelTiming {
+    /// Kernel name.
+    pub name: String,
+    /// Modeled execution time in seconds (excluding launch latency).
+    pub seconds: f64,
+}
+
+/// Duration of the `aprod2` phase given each kernel's standalone time and
+/// the bandwidth-bound lower limit of the combined traffic.
+pub fn aprod2_phase_seconds(
+    kernels: &[KernelTiming],
+    overlapped: bool,
+    bandwidth_bound: f64,
+) -> f64 {
+    let sum: f64 = kernels.iter().map(|k| k.seconds).sum();
+    if !overlapped {
+        return sum;
+    }
+    let slowest = kernels.iter().map(|k| k.seconds).fold(0.0, f64::max);
+    bandwidth_bound.max(slowest).min(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernels() -> Vec<KernelTiming> {
+        vec![
+            KernelTiming {
+                name: "aprod2_astro".into(),
+                seconds: 0.2,
+            },
+            KernelTiming {
+                name: "aprod2_att".into(),
+                seconds: 0.5,
+            },
+            KernelTiming {
+                name: "aprod2_instr".into(),
+                seconds: 0.3,
+            },
+            KernelTiming {
+                name: "aprod2_glob".into(),
+                seconds: 0.05,
+            },
+        ]
+    }
+
+    #[test]
+    fn no_streams_is_the_sum() {
+        assert!((aprod2_phase_seconds(&kernels(), false, 0.8) - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streams_never_beat_the_bandwidth_bound() {
+        let t = aprod2_phase_seconds(&kernels(), true, 0.8);
+        assert!((t - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streams_never_beat_the_slowest_kernel() {
+        let t = aprod2_phase_seconds(&kernels(), true, 0.1);
+        assert!((t - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_never_exceeds_serial_execution() {
+        let t = aprod2_phase_seconds(&kernels(), true, 100.0);
+        assert!((t - 1.05).abs() < 1e-12, "clamped to the serial sum");
+    }
+}

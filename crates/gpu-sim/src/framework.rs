@@ -1,0 +1,195 @@
+//! Programming-framework (plus compiler) description.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::platform::{PlatformSpec, Vendor};
+
+/// How much kernel-shape control a framework exposes (§IV, §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tunability {
+    /// Explicit blocks × threads-per-block (CUDA, HIP, SYCL `NDrange`):
+    /// the tuner picks the platform optimum.
+    Full,
+    /// Coarse pragma-level control (`num_teams`, `thread_limit`): tuned to
+    /// the platform optimum, "with parameters similar to the ones used by
+    /// HIP and SYCL" (§V-B).
+    Pragma,
+    /// No control at all (C++ PSTL): the runtime default applies
+    /// everywhere. §V-B: "the default parameter tuning spans 256 threads
+    /// per block on each architecture".
+    Fixed {
+        /// The runtime's hard-wired threads-per-block.
+        tpb: u32,
+    },
+}
+
+/// FP64 atomic accumulation emitted for the colliding `aprod2` blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AtomicCodegen {
+    /// Native read-modify-write (`atomicAdd` / `global_atomic_add_f64`).
+    Rmw,
+    /// Compare-and-swap retry loop — "they probably generate code in which
+    /// atomic operations are performed with a compare-and-swap (CAS) loop.
+    /// In our case, this degrades performance" (§V-B).
+    CasLoop,
+}
+
+/// Compiler/toolchain metadata (paper Tables I–III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Toolchain {
+    /// Compiler used on NVIDIA platforms (`None` = not supported).
+    pub nvidia_compiler: Option<String>,
+    /// Compilation flags on NVIDIA (Table II; `XX` stands for the SM
+    /// architecture number).
+    pub nvidia_flags: Option<String>,
+    /// Compiler used on AMD (`None` = not supported).
+    pub amd_compiler: Option<String>,
+    /// Compilation flags on AMD (Table III).
+    pub amd_flags: Option<String>,
+}
+
+/// One framework + compiler combination of the study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameworkSpec {
+    /// Display name, matching the paper's legend (`"HIP"`,
+    /// `"SYCL+ACPP"`, ...).
+    pub name: String,
+    /// Vendors the toolchain can target at all.
+    pub targets: Vec<Vendor>,
+    /// Kernel-shape control.
+    pub tunability: Tunability,
+    /// Atomic codegen per vendor.
+    pub atomics_nvidia: AtomicCodegen,
+    /// Atomic codegen on AMD (irrelevant when AMD is not targeted).
+    pub atomics_amd: AtomicCodegen,
+    /// Whether the port overlaps the four `aprod2` kernels in streams /
+    /// out-of-order queues (§IV: CUDA, HIP, SYCL do; OpenMP and PSTL
+    /// execute them back-to-back).
+    pub streams: bool,
+    /// Fixed per-iteration runtime synchronization overhead in
+    /// microseconds (queue flushes, dependence tracking). This is what
+    /// hurts heavyweight runtimes on *fast* GPUs, where kernels are too
+    /// short to hide it — and why the T4 is SYCL+DPC++'s relatively best
+    /// platform (§V-B).
+    pub sync_us: f64,
+    /// Per-platform code-generation efficiency: the fraction of the
+    /// platform's tuned effective bandwidth this compiler's kernels
+    /// achieve. 1.0 = native-quality codegen. Keyed by platform name;
+    /// missing key = `default_codegen_eff`. These are the calibration
+    /// constants of the model — each entry cites its paper passage in
+    /// [`crate::frameworks`].
+    pub codegen_eff: BTreeMap<String, f64>,
+    /// Fallback codegen efficiency.
+    pub default_codegen_eff: f64,
+    /// Sensitivity to running close to the memory-capacity limit
+    /// (0 = explicit memory management, unaffected; 1 = fully
+    /// runtime-managed memory, strongly affected). Models the §V-B
+    /// observation that efficiencies spread out at 30 GB, where the V100
+    /// (and at 60 GB the MI250X) run within a few % of device capacity.
+    pub pressure_sensitivity: f64,
+    /// Extra multiplier on the atomic collision cost (1.0 = the optimized
+    /// kernel layout of §IV that shrinks the colliding regions; the
+    /// production baseline that predates that optimization uses > 1).
+    pub atomic_contention_mult: f64,
+    /// Bandwidth factor for the memory-coherence mode (1.0 = coarse-grain;
+    /// < 1 for fine-grain coherence, which the paper found to cause
+    /// "performance degradations due to the atomic operations" before
+    /// forcing coarse grain via `hipMemAdvise`).
+    pub coherence_bw_factor: f64,
+    /// Toolchain metadata (Tables I–III).
+    pub toolchain: Toolchain,
+}
+
+impl FrameworkSpec {
+    /// Can this framework target the platform's vendor?
+    pub fn supports_vendor(&self, vendor: Vendor) -> bool {
+        self.targets.contains(&vendor)
+    }
+
+    /// Atomic codegen on a platform.
+    pub fn atomics_on(&self, platform: &PlatformSpec) -> AtomicCodegen {
+        match platform.vendor {
+            Vendor::Nvidia => self.atomics_nvidia,
+            Vendor::Amd => self.atomics_amd,
+        }
+    }
+
+    /// Threads-per-block the framework ends up using on a platform.
+    pub fn tpb_on(&self, platform: &PlatformSpec) -> u32 {
+        match self.tunability {
+            Tunability::Full | Tunability::Pragma => platform.opt_tpb,
+            Tunability::Fixed { tpb } => tpb,
+        }
+    }
+
+    /// Codegen efficiency on a platform.
+    pub fn codegen_on(&self, platform: &PlatformSpec) -> f64 {
+        self.codegen_eff
+            .get(&platform.name)
+            .copied()
+            .unwrap_or(self.default_codegen_eff)
+    }
+
+    /// Compiler used on a platform, if supported (Table I).
+    pub fn compiler_on(&self, vendor: Vendor) -> Option<&str> {
+        match vendor {
+            Vendor::Nvidia => self.toolchain.nvidia_compiler.as_deref(),
+            Vendor::Amd => self.toolchain.amd_compiler.as_deref(),
+        }
+    }
+
+    /// Compilation flags on a platform, if supported (Tables II–III).
+    pub fn flags_on(&self, vendor: Vendor) -> Option<&str> {
+        match vendor {
+            Vendor::Nvidia => self.toolchain.nvidia_flags.as_deref(),
+            Vendor::Amd => self.toolchain.amd_flags.as_deref(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms::platform_by_name;
+
+    #[test]
+    fn tpb_respects_tunability() {
+        let t4 = platform_by_name("T4").unwrap();
+        let h100 = platform_by_name("H100").unwrap();
+        let mut fw = crate::frameworks::framework_by_name("CUDA").unwrap();
+        assert_eq!(fw.tpb_on(&t4), 32);
+        assert_eq!(fw.tpb_on(&h100), 256);
+        fw.tunability = Tunability::Fixed { tpb: 256 };
+        assert_eq!(fw.tpb_on(&t4), 256);
+    }
+
+    #[test]
+    fn codegen_falls_back_to_default() {
+        let fw = FrameworkSpec {
+            name: "X".into(),
+            targets: vec![Vendor::Nvidia],
+            tunability: Tunability::Full,
+            atomics_nvidia: AtomicCodegen::Rmw,
+            atomics_amd: AtomicCodegen::Rmw,
+            streams: false,
+            sync_us: 0.0,
+            codegen_eff: BTreeMap::new(),
+            default_codegen_eff: 0.8,
+            pressure_sensitivity: 0.0,
+            atomic_contention_mult: 1.0,
+            coherence_bw_factor: 1.0,
+            toolchain: Toolchain {
+                nvidia_compiler: Some("nvcc".into()),
+                nvidia_flags: None,
+                amd_compiler: None,
+                amd_flags: None,
+            },
+        };
+        let t4 = platform_by_name("T4").unwrap();
+        assert_eq!(fw.codegen_on(&t4), 0.8);
+        assert!(fw.supports_vendor(Vendor::Nvidia));
+        assert!(!fw.supports_vendor(Vendor::Amd));
+    }
+}

@@ -1,0 +1,64 @@
+//! # gaia-gpu-sim
+//!
+//! A mechanistic performance simulator for the hardware/framework grid of
+//! the paper. Rust has no production CUDA/HIP/SYCL/OpenMP-offload/PSTL
+//! story and this reproduction has no GPUs, so the paper's *measurement*
+//! campaign is replaced by a first-principles model that encodes exactly
+//! the effects the paper discusses, and is calibrated so the published
+//! result *shapes* hold (see `DESIGN.md` §5 and `EXPERIMENTS.md`):
+//!
+//! * **Roofline**: every `aprod` kernel is memory-bandwidth-bound; kernel
+//!   time is `bytes moved / effective bandwidth` ([`workload`], [`model`]).
+//! * **Occupancy / kernel tuning**: effective bandwidth depends on the
+//!   threads-per-block choice; each platform has an optimum (32 on
+//!   T4/V100, 256 on A100/H100, 64 on MI250X — §V-B) and tunable
+//!   frameworks (CUDA/HIP/SYCL) find it, while C++ PSTL is pinned to its
+//!   runtime default of 256 ([`occupancy`], [`tuner`]).
+//! * **Atomic code generation**: the colliding `aprod2` blocks pay an
+//!   RMW penalty, or a much larger CAS-loop penalty for the
+//!   framework-compiler pairs that cannot emit native FP64 atomics on AMD
+//!   (SYCL+DPC++ and OpenMP+clang without `-munsafe-fp-atomics`, §V-B)
+//!   ([`atomics`]).
+//! * **Streams**: CUDA-style overlap of the four `aprod2` kernels hides
+//!   part of the atomic serialization (§IV) ([`engine`]).
+//! * **Runtime overhead**: per-kernel launch cost and per-iteration
+//!   runtime synchronization (the DPC++ overhead that makes the *older*
+//!   T4 its relatively best platform, because long kernels hide it).
+//! * **Memory capacity**: problems that do not fit the device are
+//!   unsupported — exactly the paper's platform sets per problem size
+//!   (10 GB everywhere, 30 GB except T4, 60 GB only H100/MI250X).
+//! * **Capacity pressure**: running within ~15 % of the device memory
+//!   limit degrades frameworks that rely on automatic memory management.
+//!
+//! Calibration constants live in [`platforms`] (datasheet numbers) and
+//! [`frameworks`] (per-framework codegen factors, each tied to a paper
+//! passage). The calibration tests in [`model`] assert the headline
+//! shapes: HIP ≈ 0.94 average `P`, SYCL+AdaptiveCpp ≈ 0.93, CUDA ≈ 0.97 on
+//! NVIDIA-only, PSTL+vendor ≈ 0.62, OpenMP+LLVM worst at 10 GB.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod atomics;
+pub mod energy;
+pub mod engine;
+pub mod events;
+pub mod framework;
+pub mod frameworks;
+pub mod model;
+pub mod occupancy;
+pub mod platform;
+pub mod platforms;
+pub mod roofline;
+pub mod scaling;
+pub mod sensitivity;
+pub mod timeline;
+pub mod whatif;
+pub mod tuner;
+pub mod workload;
+
+pub use framework::{AtomicCodegen, FrameworkSpec, Toolchain, Tunability};
+pub use frameworks::{all_frameworks, framework_by_name, FRAMEWORK_NAMES};
+pub use model::{iteration_time, IterationBreakdown, SimConfig};
+pub use platform::{PlatformSpec, Vendor};
+pub use platforms::{all_platforms, platform_by_name, PLATFORM_NAMES};

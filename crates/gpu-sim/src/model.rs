@@ -1,0 +1,579 @@
+//! The iteration-time model: platforms × frameworks × problem layouts.
+
+use gaia_sparse::footprint::total_device_bytes;
+use gaia_sparse::SystemLayout;
+use serde::{Deserialize, Serialize};
+
+use crate::atomics::atomic_multiplier;
+use crate::engine::{aprod2_phase_seconds, KernelTiming};
+use crate::framework::FrameworkSpec;
+use crate::occupancy::occupancy_efficiency;
+use crate::platform::PlatformSpec;
+use crate::workload::{iteration_kernels, Phase};
+
+/// Absolute device-memory headroom below which capacity pressure kicks in.
+/// Runtime-managed memory (managed allocations, system USM) starts paging
+/// and throttling when the *spare bytes* — not the spare fraction — run
+/// out: the V100 running the 30 GB problem keeps only ~0.7 GB free, while
+/// the MI250X running 60 GB still has ~1.7 GB.
+pub const PRESSURE_MARGIN_BYTES: f64 = 2e9;
+
+/// Simulation options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimConfig {
+    /// Force a threads-per-block value (used by the tuner and the tuning
+    /// ablation; `None` = the framework's own choice).
+    pub tpb_override: Option<u32>,
+}
+
+/// Full accounting of one modeled iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationBreakdown {
+    /// Total modeled iteration time in seconds.
+    pub seconds: f64,
+    /// Time in the four `aprod1` kernels.
+    pub aprod1_seconds: f64,
+    /// Time in the (possibly overlapped) `aprod2` phase.
+    pub aprod2_seconds: f64,
+    /// Time in the BLAS-1 vector work.
+    pub blas_seconds: f64,
+    /// Kernel-launch latency.
+    pub launch_seconds: f64,
+    /// Runtime synchronization overhead.
+    pub sync_seconds: f64,
+    /// Threads-per-block actually used.
+    pub tpb: u32,
+    /// Effective bandwidth in GB/s after all derating factors.
+    pub effective_bw_gbs: f64,
+    /// Device-memory occupancy ratio of the problem.
+    pub memory_ratio: f64,
+    /// Per-kernel timings (launch latency excluded).
+    pub kernels: Vec<KernelTiming>,
+}
+
+/// Capacity-pressure bandwidth factor for a framework given the problem's
+/// device footprint and the platform memory.
+pub fn pressure_factor(fw: &FrameworkSpec, bytes_needed: u64, mem_bytes: u64) -> f64 {
+    let spare = mem_bytes.saturating_sub(bytes_needed) as f64;
+    if spare >= PRESSURE_MARGIN_BYTES {
+        1.0
+    } else {
+        let depth = 1.0 - spare / PRESSURE_MARGIN_BYTES;
+        (1.0 - fw.pressure_sensitivity * depth).max(0.05)
+    }
+}
+
+/// Model the average LSQR iteration time of `fw` on `platform` for
+/// `layout`. Returns `None` when the framework cannot target the vendor or
+/// the problem does not fit in device memory (→ `P = 0` semantics).
+pub fn iteration_time(
+    layout: &SystemLayout,
+    fw: &FrameworkSpec,
+    platform: &PlatformSpec,
+    cfg: &SimConfig,
+) -> Option<IterationBreakdown> {
+    if !fw.supports_vendor(platform.vendor) {
+        return None;
+    }
+    let bytes_needed = total_device_bytes(layout);
+    if !platform.fits(bytes_needed) {
+        return None;
+    }
+    let memory_ratio = bytes_needed as f64 / platform.mem_bytes() as f64;
+
+    let tpb = cfg.tpb_override.unwrap_or_else(|| fw.tpb_on(platform));
+    let occ = occupancy_efficiency(platform, tpb);
+    let effective_bw = platform.bw_bytes_per_sec()
+        * platform.coalescing
+        * occ
+        * fw.codegen_on(platform)
+        * fw.coherence_bw_factor
+        * pressure_factor(fw, bytes_needed, platform.mem_bytes());
+    let fp64_peak = platform.fp64_tflops * 1e12;
+    let atomics = fw.atomics_on(platform);
+
+    let mut aprod1_seconds = 0.0;
+    let mut blas_seconds = 0.0;
+    let mut aprod2_kernels: Vec<KernelTiming> = Vec::with_capacity(4);
+    let mut aprod2_bw_bound = 0.0;
+    let mut kernels_out = Vec::new();
+    let mut launches = 0u32;
+
+    for k in iteration_kernels(layout) {
+        let mem_time = k.bytes as f64 / effective_bw;
+        let flop_time = k.flops as f64 / fp64_peak;
+        let base = mem_time.max(flop_time);
+        match k.phase {
+            Phase::Aprod1 => {
+                aprod1_seconds += base;
+                launches += 1;
+                kernels_out.push(KernelTiming {
+                    name: k.name,
+                    seconds: base,
+                });
+            }
+            Phase::Blas => {
+                blas_seconds += base;
+                // The BLAS-1 work is several small launches.
+                launches += 6;
+                kernels_out.push(KernelTiming {
+                    name: k.name,
+                    seconds: base,
+                });
+            }
+            Phase::Aprod2 => {
+                // Atomic portion of the traffic pays the codegen-dependent
+                // multiplier.
+                let plain = (k.bytes - k.atomic_bytes) as f64 / effective_bw;
+                let atomic = k.atomic_bytes as f64 / effective_bw
+                    * atomic_multiplier(atomics, platform, fw.atomic_contention_mult);
+                let t = plain + atomic.max(flop_time.min(atomic));
+                aprod2_bw_bound += mem_time;
+                launches += 1;
+                let timing = KernelTiming {
+                    name: k.name,
+                    seconds: t,
+                };
+                aprod2_kernels.push(timing.clone());
+                kernels_out.push(timing);
+            }
+        }
+    }
+
+    let aprod2_seconds = aprod2_phase_seconds(&aprod2_kernels, fw.streams, aprod2_bw_bound);
+    let launch_seconds = f64::from(launches) * platform.launch_us * 1e-6;
+    let sync_seconds = fw.sync_us * 1e-6;
+    let seconds = aprod1_seconds + aprod2_seconds + blas_seconds + launch_seconds + sync_seconds;
+
+    Some(IterationBreakdown {
+        seconds,
+        aprod1_seconds,
+        aprod2_seconds,
+        blas_seconds,
+        launch_seconds,
+        sync_seconds,
+        tpb,
+        effective_bw_gbs: effective_bw / 1e9,
+        memory_ratio,
+        kernels: kernels_out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frameworks::{all_frameworks, framework_by_name, FRAMEWORK_NAMES};
+    use crate::platforms::{all_platforms, platform_by_name, PLATFORM_NAMES};
+
+    fn grid_times(gb: f64) -> Vec<(String, String, f64)> {
+        let layout = SystemLayout::from_gb(gb);
+        let mut out = Vec::new();
+        for fw in all_frameworks() {
+            for p in all_platforms() {
+                if let Some(b) = iteration_time(&layout, &fw, &p, &SimConfig::default()) {
+                    out.push((fw.name.clone(), p.name.clone(), b.seconds));
+                }
+            }
+        }
+        out
+    }
+
+    fn eff(times: &[(String, String, f64)], fw: &str, platform: &str) -> Option<f64> {
+        let t = times
+            .iter()
+            .find(|(f, p, _)| f == fw && p == platform)
+            .map(|(_, _, t)| *t)?;
+        let best = times
+            .iter()
+            .filter(|(_, p, _)| p == platform)
+            .map(|(_, _, t)| *t)
+            .fold(f64::INFINITY, f64::min);
+        Some(best / t)
+    }
+
+    fn pp(times: &[(String, String, f64)], fw: &str, platforms: &[&str]) -> f64 {
+        let mut inv = 0.0;
+        for p in platforms {
+            match eff(times, fw, p) {
+                Some(e) if e > 0.0 => inv += 1.0 / e,
+                _ => return 0.0,
+            }
+        }
+        platforms.len() as f64 / inv
+    }
+
+    #[test]
+    fn unsupported_combinations_return_none() {
+        let layout = SystemLayout::from_gb(10.0);
+        let cuda = framework_by_name("CUDA").unwrap();
+        let mi = platform_by_name("MI250X").unwrap();
+        assert!(iteration_time(&layout, &cuda, &mi, &SimConfig::default()).is_none());
+        let t4 = platform_by_name("T4").unwrap();
+        let hip = framework_by_name("HIP").unwrap();
+        let layout30 = SystemLayout::from_gb(30.0);
+        assert!(iteration_time(&layout30, &hip, &t4, &SimConfig::default()).is_none());
+    }
+
+    #[test]
+    fn faster_platforms_give_faster_iterations() {
+        // Fig. 4: "newer and more performant platforms clearly deliver
+        // lower average iteration times across all model sizes".
+        let times = grid_times(10.0);
+        let t = |p: &str| {
+            times
+                .iter()
+                .find(|(f, pl, _)| f == "CUDA" && pl == p)
+                .map(|(_, _, t)| *t)
+                .unwrap()
+        };
+        assert!(t("H100") < t("A100"));
+        assert!(t("A100") < t("V100"));
+        assert!(t("V100") < t("T4"));
+    }
+
+    #[test]
+    fn iteration_times_are_sub5min_as_in_artifact_appendix() {
+        // Appendix A: "a single execution (100 iterations) should not
+        // exceed 5 minutes" → one iteration stays well under 3 s.
+        for gb in [10.0, 30.0, 60.0] {
+            for (fw, p, t) in grid_times(gb) {
+                assert!(t < 3.0, "{fw} on {p} at {gb} GB: {t}s");
+                assert!(t > 1e-4, "{fw} on {p} at {gb} GB suspiciously fast: {t}s");
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Calibration shape tests: the published headline results (§V-B).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn hip_wins_p_at_10gb_with_sycl_acpp_close() {
+        let times = grid_times(10.0);
+        let all: Vec<&str> = PLATFORM_NAMES.to_vec();
+        let hip = pp(&times, "HIP", &all);
+        let acpp = pp(&times, "SYCL+ACPP", &all);
+        assert!(hip > 0.90, "HIP P(10GB) = {hip}");
+        assert!(acpp > 0.85, "SYCL+ACPP P(10GB) = {acpp}");
+        assert!(hip >= acpp, "HIP ({hip}) must lead at 10 GB over ACPP ({acpp})");
+        for fw in FRAMEWORK_NAMES.iter().filter(|f| **f != "HIP") {
+            assert!(pp(&times, fw, &all) <= hip + 1e-12, "{fw} beats HIP at 10 GB");
+        }
+    }
+
+    #[test]
+    fn sycl_acpp_overtakes_hip_at_30gb() {
+        // §V-B: "Here the best score is 0.93 by SYCL+ACPP which surpasses
+        // HIP with a score of 0.88."
+        let times = grid_times(30.0);
+        let set: Vec<&str> = vec!["V100", "A100", "H100", "MI250X"];
+        let hip = pp(&times, "HIP", &set);
+        let acpp = pp(&times, "SYCL+ACPP", &set);
+        assert!(acpp > hip, "ACPP ({acpp}) must surpass HIP ({hip}) at 30 GB");
+        assert!(acpp > 0.85 && hip > 0.80, "acpp {acpp} hip {hip}");
+    }
+
+    #[test]
+    fn cuda_is_zero_on_full_set_but_wins_nvidia_only() {
+        let times = grid_times(10.0);
+        assert_eq!(pp(&times, "CUDA", PLATFORM_NAMES.as_ref()), 0.0);
+        let nvidia = vec!["T4", "V100", "A100", "H100"];
+        let cuda = pp(&times, "CUDA", &nvidia);
+        assert!(cuda > 0.95, "CUDA P(NVIDIA-only) = {cuda} (paper: 0.97)");
+        for fw in FRAMEWORK_NAMES.iter().filter(|f| **f != "CUDA") {
+            assert!(
+                pp(&times, fw, &nvidia) <= cuda + 1e-12,
+                "{fw} beats CUDA on NVIDIA-only"
+            );
+        }
+    }
+
+    #[test]
+    fn omp_llvm_is_the_worst_supported_framework_at_10gb() {
+        // §V-B: "the worst value is 0.25 obtained by OMP+LLVM".
+        let times = grid_times(10.0);
+        let all: Vec<&str> = PLATFORM_NAMES.to_vec();
+        let omp = pp(&times, "OMP+LLVM", &all);
+        assert!(omp < 0.40, "OMP+LLVM P(10GB) = {omp} (paper: 0.25)");
+        assert!(omp > 0.10, "OMP+LLVM must still run everywhere ({omp})");
+        for fw in FRAMEWORK_NAMES.iter().filter(|f| **f != "OMP+LLVM" && **f != "CUDA") {
+            assert!(pp(&times, fw, &all) >= omp, "{fw} below OMP+LLVM");
+        }
+    }
+
+    #[test]
+    fn platform_winners_match_the_paper() {
+        // §V-B: fastest framework per platform is CUDA on T4/A100, HIP on
+        // V100/H100, OMP+V on MI250X.
+        let times = grid_times(10.0);
+        let winner = |platform: &str| -> String {
+            times
+                .iter()
+                .filter(|(_, p, _)| p == platform)
+                .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+                .map(|(f, _, _)| f.clone())
+                .unwrap()
+        };
+        assert_eq!(winner("T4"), "CUDA");
+        assert_eq!(winner("A100"), "CUDA");
+        assert_eq!(winner("V100"), "HIP");
+        assert_eq!(winner("H100"), "HIP");
+        assert_eq!(winner("MI250X"), "OMP+V");
+    }
+
+    #[test]
+    fn best_platform_per_framework_matches_the_paper() {
+        // §V-B at 10 GB: H100 is the best platform for several frameworks
+        // "including even HIP"; "MI250X is the best platform for OMP+V";
+        // "surprisingly, T4 is the best platform for SYCL+DPCPP"; "only
+        // V100 has never been the best platform".
+        let times = grid_times(10.0);
+        let best_platform = |fw: &str| -> String {
+            PLATFORM_NAMES
+                .iter()
+                .filter_map(|p| eff(&times, fw, p).map(|e| (p.to_string(), e)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .map(|(p, _)| p)
+                .unwrap()
+        };
+        assert_eq!(best_platform("HIP"), "H100");
+        assert_eq!(best_platform("OMP+V"), "MI250X");
+        assert_eq!(best_platform("SYCL+DPCPP"), "T4");
+        let h100_count = FRAMEWORK_NAMES
+            .iter()
+            .filter(|f| best_platform(f) == "H100")
+            .count();
+        assert!(h100_count >= 3, "H100 best for {h100_count} frameworks");
+        for fw in FRAMEWORK_NAMES {
+            assert_ne!(best_platform(fw), "V100", "{fw}: V100 is never the best");
+        }
+    }
+
+    #[test]
+    fn pstl_vendor_average_p_is_mid_range() {
+        // §V-B/abstract: "the tuning-oblivious C++ PSTL achieves 0.62 when
+        // coupled with vendor-specific compilers" (average over sizes).
+        let sets: [(f64, Vec<&str>); 3] = [
+            (10.0, PLATFORM_NAMES.to_vec()),
+            (30.0, vec!["V100", "A100", "H100", "MI250X"]),
+            (60.0, vec!["H100", "MI250X"]),
+        ];
+        let mut total = 0.0;
+        for (gb, set) in &sets {
+            let times = grid_times(*gb);
+            total += pp(&times, "PSTL+V", set);
+        }
+        let avg = total / 3.0;
+        assert!(
+            (0.5..0.8).contains(&avg),
+            "PSTL+V average P = {avg} (paper: 0.62)"
+        );
+    }
+
+    #[test]
+    fn pstl_efficiency_increases_from_t4_to_h100() {
+        // §V-B: "The C++ PSTL efficiency increases from T4 to H100,
+        // reaching a value of 90% application efficiency on H100."
+        let times = grid_times(10.0);
+        let e = |p: &str| eff(&times, "PSTL+ACPP", p).unwrap();
+        assert!(e("T4") < e("V100") && e("V100") < e("A100") && e("A100") < e("H100"));
+        assert!(e("H100") > 0.85, "PSTL+ACPP on H100 = {}", e("H100"));
+        assert!(e("T4") < 0.7, "PSTL+ACPP on T4 = {}", e("T4"));
+        // And 0.45-0.6 on MI250X for both PSTL variants.
+        for fw in ["PSTL+ACPP", "PSTL+V"] {
+            let m = eff(&times, fw, "MI250X").unwrap();
+            assert!((0.40..0.65).contains(&m), "{fw} on MI250X = {m}");
+        }
+    }
+
+    #[test]
+    fn cas_loop_frameworks_sink_on_mi250x() {
+        let times = grid_times(10.0);
+        for fw in ["OMP+LLVM", "SYCL+DPCPP"] {
+            let e = eff(&times, fw, "MI250X").unwrap();
+            assert!(e < 0.65, "{fw} on MI250X = {e} (CAS loops must hurt)");
+        }
+        // While the RMW frameworks stay healthy there.
+        for fw in ["HIP", "OMP+V", "SYCL+ACPP"] {
+            let e = eff(&times, fw, "MI250X").unwrap();
+            assert!(e > 0.80, "{fw} on MI250X = {e}");
+        }
+    }
+
+    #[test]
+    fn production_baseline_is_about_2x_slower_than_optimized_cuda() {
+        // §V-B: "a preliminary comparison of our optimized CUDA version
+        // against the production version ... obtaining a speed-up of 2.0x
+        // on Leonardo on a 42 GB problem" (A100-class node).
+        let layout = SystemLayout::from_gb(42.0);
+        let h100 = platform_by_name("H100").unwrap();
+        let cuda = framework_by_name("CUDA").unwrap();
+        let prod = framework_by_name("CUDA-production").unwrap();
+        let t_opt = iteration_time(&layout, &cuda, &h100, &SimConfig::default())
+            .unwrap()
+            .seconds;
+        let t_prod = iteration_time(&layout, &prod, &h100, &SimConfig::default())
+            .unwrap()
+            .seconds;
+        let speedup = t_prod / t_opt;
+        assert!(
+            (1.6..2.6).contains(&speedup),
+            "optimized-vs-production speedup = {speedup} (paper: 2.0)"
+        );
+    }
+
+    #[test]
+    fn more_frameworks_score_high_at_60gb() {
+        // §V-B: at 60 GB "more frameworks obtain high scores due to the
+        // low number of hardware platforms".
+        let t10 = grid_times(10.0);
+        let t60 = grid_times(60.0);
+        let all: Vec<&str> = PLATFORM_NAMES.to_vec();
+        let set60: Vec<&str> = vec!["H100", "MI250X"];
+        let high10 = FRAMEWORK_NAMES
+            .iter()
+            .filter(|f| pp(&t10, f, &all) > 0.85)
+            .count();
+        let high60 = FRAMEWORK_NAMES
+            .iter()
+            .filter(|f| **f != "CUDA")
+            .filter(|f| pp(&t60, f, &set60) > 0.85)
+            .count();
+        assert!(high60 > high10, "high scores: 10GB {high10}, 60GB {high60}");
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total() {
+        let layout = SystemLayout::from_gb(10.0);
+        let fw = framework_by_name("HIP").unwrap();
+        let p = platform_by_name("MI250X").unwrap();
+        let b = iteration_time(&layout, &fw, &p, &SimConfig::default()).unwrap();
+        let sum = b.aprod1_seconds + b.aprod2_seconds + b.blas_seconds + b.launch_seconds
+            + b.sync_seconds;
+        assert!((b.seconds - sum).abs() < 1e-15);
+        assert_eq!(b.kernels.len(), 9);
+        assert_eq!(b.tpb, p.opt_tpb);
+    }
+}
+
+/// Fluid-simulated schedule of the `aprod2` phase (see [`crate::events`]):
+/// the discrete-event counterpart of the closed-form overlap model, used
+/// by the profiler view for exact per-kernel intervals.
+pub fn aprod2_fluid_schedule(
+    layout: &SystemLayout,
+    fw: &FrameworkSpec,
+    platform: &PlatformSpec,
+) -> Option<crate::events::FluidSchedule> {
+    use crate::events::{simulate_concurrent, simulate_serial, FluidTask};
+    let b = iteration_time(layout, fw, platform, &SimConfig::default())?;
+    let effective_bw = b.effective_bw_gbs * 1e9;
+    let atomics = fw.atomics_on(platform);
+    let tasks: Vec<FluidTask> = iteration_kernels(layout)
+        .into_iter()
+        .filter(|k| k.phase == Phase::Aprod2)
+        .map(|k| {
+            let shared = k.bytes as f64 / effective_bw;
+            let excess = atomic_multiplier(atomics, platform, fw.atomic_contention_mult) - 1.0;
+            let private = k.atomic_bytes as f64 / effective_bw * excess;
+            FluidTask {
+                name: k.name,
+                shared_seconds: shared,
+                private_seconds: private,
+            }
+        })
+        .collect();
+    Some(if fw.streams {
+        simulate_concurrent(&tasks)
+    } else {
+        simulate_serial(&tasks)
+    })
+}
+
+#[cfg(test)]
+mod fluid_tests {
+    use super::*;
+    use crate::frameworks::{all_frameworks, framework_by_name};
+    use crate::platforms::{all_platforms, platform_by_name};
+
+    #[test]
+    fn fluid_schedule_brackets_the_closed_form() {
+        // For every supported cell, the fluid makespan and the closed-form
+        // aprod2 phase must agree within the overlap-model slack (the
+        // closed form charges max(bw bound, slowest kernel); the fluid
+        // model can land anywhere between that and the serial sum).
+        let layout = SystemLayout::from_gb(10.0);
+        for fw in all_frameworks() {
+            for p in all_platforms() {
+                let (Some(b), Some(s)) = (
+                    iteration_time(&layout, &fw, &p, &SimConfig::default()),
+                    aprod2_fluid_schedule(&layout, &fw, &p),
+                ) else {
+                    continue;
+                };
+                if fw.streams {
+                    // Same lower bounds; fluid may exceed the closed form
+                    // by at most the private tails it cannot hide.
+                    let serial: f64 = s
+                        .kernels
+                        .iter()
+                        .map(|k| k.end - k.start)
+                        .sum();
+                    assert!(
+                        s.makespan >= b.aprod2_seconds - 1e-12,
+                        "{} on {}: fluid {} below closed form {}",
+                        fw.name,
+                        p.name,
+                        s.makespan,
+                        b.aprod2_seconds
+                    );
+                    assert!(
+                        s.makespan <= serial + 1e-12,
+                        "{} on {}: fluid exceeds serial",
+                        fw.name,
+                        p.name
+                    );
+                    // Agreement within 25 % for RMW codegen; CAS loops
+                    // grow private tails the closed form optimistically
+                    // hides under the bandwidth bound, so allow more slack
+                    // there (the fluid number is the more faithful one —
+                    // recorded as a model limitation in EXPERIMENTS.md).
+                    let tol = match fw.atomics_on(&p) {
+                        crate::framework::AtomicCodegen::Rmw => 0.25,
+                        crate::framework::AtomicCodegen::CasLoop => 0.60,
+                    };
+                    assert!(
+                        (s.makespan - b.aprod2_seconds).abs() <= tol * b.aprod2_seconds,
+                        "{} on {}: fluid {} vs closed {}",
+                        fw.name,
+                        p.name,
+                        s.makespan,
+                        b.aprod2_seconds
+                    );
+                } else {
+                    // Serial frameworks: both models are the plain sum.
+                    assert!(
+                        (s.makespan - b.aprod2_seconds).abs() <= 1e-9 * b.aprod2_seconds,
+                        "{} on {}: serial fluid {} vs closed {}",
+                        fw.name,
+                        p.name,
+                        s.makespan,
+                        b.aprod2_seconds
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fluid_schedule_orders_kernels_sensibly() {
+        let layout = SystemLayout::from_gb(10.0);
+        let fw = framework_by_name("CUDA").unwrap();
+        let p = platform_by_name("H100").unwrap();
+        let s = aprod2_fluid_schedule(&layout, &fw, &p).unwrap();
+        assert_eq!(s.kernels.len(), 4);
+        // The attitude kernel carries the most traffic and the largest
+        // atomic tail — it finishes last among the four.
+        let att_end = s.kernels.iter().find(|k| k.name == "aprod2_att").unwrap().end;
+        assert!((att_end - s.makespan).abs() < 1e-15, "attitude ends last");
+    }
+}

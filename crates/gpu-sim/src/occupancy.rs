@@ -1,0 +1,75 @@
+//! Threads-per-block → bandwidth-efficiency model.
+//!
+//! §V-B: with the PSTL default of 256 threads per block, "while this number
+//! of threads efficiently optimizes the kernel's execution on H100 and
+//! A100, it is less efficient on the weaker T4 and V100, where ... the
+//! number of threads that give best performance is 32". We model the
+//! efficiency of a threads-per-block choice as a geometric falloff per
+//! factor-of-two distance from the platform optimum; the falloff rate is a
+//! per-platform constant (newer architectures are flatter).
+
+use crate::platform::PlatformSpec;
+
+/// Clamp range for thread-block sizes (warp/wavefront to CUDA maximum).
+pub const TPB_RANGE: [u32; 6] = [32, 64, 128, 256, 512, 1024];
+
+/// Bandwidth efficiency in `(0, 1]` of running the `aprod` kernels with
+/// `tpb` threads per block on `platform` (1.0 at the platform optimum).
+pub fn occupancy_efficiency(platform: &PlatformSpec, tpb: u32) -> f64 {
+    assert!(tpb.is_power_of_two() && (32..=1024).contains(&tpb), "tpb {tpb}");
+    let distance = (f64::from(tpb).log2() - f64::from(platform.opt_tpb).log2()).abs();
+    platform.occ_falloff.powf(distance)
+}
+
+/// The best tpb over [`TPB_RANGE`] (trivially the platform optimum under
+/// this model; the tuner uses the full iteration model instead, which can
+/// shift the optimum when atomics dominate).
+pub fn best_tpb(platform: &PlatformSpec) -> u32 {
+    platform.opt_tpb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms::platform_by_name;
+
+    #[test]
+    fn optimum_has_unit_efficiency() {
+        for name in crate::platforms::PLATFORM_NAMES {
+            let p = platform_by_name(name).unwrap();
+            assert_eq!(occupancy_efficiency(&p, p.opt_tpb), 1.0);
+        }
+    }
+
+    #[test]
+    fn efficiency_decays_away_from_optimum() {
+        let t4 = platform_by_name("T4").unwrap();
+        let e32 = occupancy_efficiency(&t4, 32);
+        let e256 = occupancy_efficiency(&t4, 256);
+        let e1024 = occupancy_efficiency(&t4, 1024);
+        assert!(e32 > e256 && e256 > e1024);
+        // Three octaves away: falloff³.
+        assert!((e256 - t4.occ_falloff.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pstl_default_hurts_old_platforms_more_than_new() {
+        // The §V-B PSTL observation: 256 tpb is near-optimal on A100/H100,
+        // costly on T4/V100.
+        let loss = |name: &str| {
+            let p = platform_by_name(name).unwrap();
+            1.0 - occupancy_efficiency(&p, 256)
+        };
+        assert!(loss("T4") > 0.25);
+        assert!(loss("V100") > 0.2);
+        assert!(loss("A100") < 1e-12);
+        assert!(loss("H100") < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "tpb")]
+    fn rejects_non_power_of_two() {
+        let t4 = platform_by_name("T4").unwrap();
+        occupancy_efficiency(&t4, 48);
+    }
+}

@@ -1,0 +1,100 @@
+//! GPU platform description.
+
+use serde::{Deserialize, Serialize};
+
+/// GPU vendor (determines which frameworks can target the platform and
+/// which atomic instructions the compilers emit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    /// NVIDIA (CUDA-capable).
+    Nvidia,
+    /// AMD (ROCm).
+    Amd,
+}
+
+/// One GPU platform of the study (§V-A). All throughput numbers are public
+/// datasheet values; the tuning-related fields (`opt_tpb`, `occ_falloff`,
+/// `coalescing`) are calibration constants tied to paper observations —
+/// see the field docs and `DESIGN.md` §5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Short name used everywhere (`"T4"`, `"V100"`, ...).
+    pub name: String,
+    /// Vendor.
+    pub vendor: Vendor,
+    /// Usable device memory in GB (the paper quotes 15 GB for the T4
+    /// because that is what is allocatable, not the 16 GB marketing size).
+    pub mem_gb: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub bw_gbs: f64,
+    /// Streaming multiprocessors / compute units.
+    pub sm_count: u32,
+    /// Peak FP64 throughput in TFLOP/s (unused by the bandwidth-bound
+    /// `aprod` kernels but kept for roofline completeness and the SpMV
+    /// comparison harness).
+    pub fp64_tflops: f64,
+    /// Kernel launch latency in microseconds.
+    pub launch_us: f64,
+    /// Threads-per-block that maximizes effective bandwidth for the
+    /// gather/scatter `aprod` kernels on this platform. §V-B: "the number
+    /// of threads that give best performance is 32" on T4/V100, while 256
+    /// "efficiently optimizes the kernel's execution on H100 and A100";
+    /// on MI250X "low numbers of threads and blocks offer the best
+    /// performance".
+    pub opt_tpb: u32,
+    /// Multiplicative bandwidth-efficiency loss per factor-of-two distance
+    /// from `opt_tpb` (closer to 1.0 = flatter tuning curve; newer
+    /// architectures are less tuning-sensitive).
+    pub occ_falloff: f64,
+    /// Fraction of peak bandwidth the (partially coalesced) `aprod`
+    /// access pattern achieves when perfectly tuned. §V-B attributes the
+    /// MI250X shortfall to "noncoalescent memory accesses by threads",
+    /// verified against the amd-lab-notes SpMV kernels.
+    pub coalescing: f64,
+    /// Whether the ISA exposes native FP64 atomic read-modify-write
+    /// (NVIDIA: yes; AMD CDNA2: only unsafe FP atomics, i.e. compilers
+    /// need `-munsafe-fp-atomics` to use them).
+    pub native_f64_atomics: bool,
+}
+
+impl PlatformSpec {
+    /// Device memory in bytes.
+    pub fn mem_bytes(&self) -> u64 {
+        (self.mem_gb * 1e9) as u64
+    }
+
+    /// Does a working set of `bytes` fit on the device?
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.mem_bytes()
+    }
+
+    /// Peak bandwidth in bytes/second.
+    pub fn bw_bytes_per_sec(&self) -> f64 {
+        self.bw_gbs * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_is_inclusive_at_capacity() {
+        let p = PlatformSpec {
+            name: "X".into(),
+            vendor: Vendor::Nvidia,
+            mem_gb: 1.0,
+            bw_gbs: 100.0,
+            sm_count: 10,
+            fp64_tflops: 1.0,
+            launch_us: 4.0,
+            opt_tpb: 256,
+            occ_falloff: 0.95,
+            coalescing: 0.8,
+            native_f64_atomics: true,
+        };
+        assert!(p.fits(1_000_000_000));
+        assert!(!p.fits(1_000_000_001));
+        assert_eq!(p.bw_bytes_per_sec(), 1e11);
+    }
+}

@@ -1,0 +1,159 @@
+//! The five platforms of the study (§V-A).
+//!
+//! Bandwidth/SM/memory numbers are datasheet values for the exact SKUs the
+//! paper lists (T4 16 GB → 15 GB usable, V100S 32 GB PCIe, A100 40 GB SXM
+//! on EpiTo, H100 96 GB on Grace-Hopper, MI250X — one GCD, which is what a
+//! single-GPU ROCm run sees). `opt_tpb` / `occ_falloff` / `coalescing` are
+//! calibration constants; each is annotated with the §V-B observation it
+//! encodes.
+
+use crate::platform::{PlatformSpec, Vendor};
+
+/// Names of the five platforms, in the paper's presentation order.
+pub const PLATFORM_NAMES: [&str; 5] = ["T4", "V100", "A100", "H100", "MI250X"];
+
+/// All five platform specs.
+pub fn all_platforms() -> Vec<PlatformSpec> {
+    PLATFORM_NAMES
+        .iter()
+        .map(|n| platform_by_name(n).expect("registry is self-consistent"))
+        .collect()
+}
+
+/// Look up a platform by (case-insensitive) name.
+pub fn platform_by_name(name: &str) -> Option<PlatformSpec> {
+    let spec = match name.to_ascii_uppercase().as_str() {
+        // NVIDIA Tesla T4: Turing, 16 GB GDDR6 (15 usable), 320 GB/s,
+        // 40 SMs. 1:32 FP64 rate (0.25 TFLOP/s). Oldest, most
+        // tuning-sensitive platform: best tpb is 32 (§V-B).
+        "T4" => PlatformSpec {
+            name: "T4".into(),
+            vendor: Vendor::Nvidia,
+            mem_gb: 15.0,
+            bw_gbs: 320.0,
+            sm_count: 40,
+            fp64_tflops: 0.25,
+            launch_us: 4.0,
+            opt_tpb: 32,
+            occ_falloff: 0.87,
+            coalescing: 0.82,
+            native_f64_atomics: true,
+        },
+        // NVIDIA V100S 32 GB (CascadeLake node): Volta, 1134 GB/s, 80 SMs,
+        // 8.2 TFLOP/s FP64. Best tpb 32, slightly flatter curve than T4.
+        "V100" => PlatformSpec {
+            name: "V100".into(),
+            vendor: Vendor::Nvidia,
+            mem_gb: 32.0,
+            bw_gbs: 1134.0,
+            sm_count: 80,
+            fp64_tflops: 8.2,
+            launch_us: 4.0,
+            opt_tpb: 32,
+            occ_falloff: 0.905,
+            coalescing: 0.84,
+            native_f64_atomics: true,
+        },
+        // NVIDIA A100 40 GB (EpiTo): Ampere, 1555 GB/s, 108 SMs,
+        // 9.7 TFLOP/s FP64 (19.5 with tensor cores, unused here).
+        // 256 threads per block is already efficient (§V-B).
+        "A100" => PlatformSpec {
+            name: "A100".into(),
+            vendor: Vendor::Nvidia,
+            mem_gb: 40.0,
+            bw_gbs: 1555.0,
+            sm_count: 108,
+            fp64_tflops: 9.7,
+            launch_us: 4.0,
+            opt_tpb: 256,
+            occ_falloff: 0.965,
+            coalescing: 0.86,
+            native_f64_atomics: true,
+        },
+        // NVIDIA H100 96 GB on GraceHopper: Hopper, HBM3 ≈ 4000 GB/s,
+        // 132 SMs, 34 TFLOP/s FP64. Flattest tuning curve — the paper's
+        // tuning-oblivious frameworks do best here.
+        "H100" => PlatformSpec {
+            name: "H100".into(),
+            vendor: Vendor::Nvidia,
+            mem_gb: 96.0,
+            bw_gbs: 4000.0,
+            sm_count: 132,
+            fp64_tflops: 34.0,
+            launch_us: 3.0,
+            opt_tpb: 256,
+            occ_falloff: 0.985,
+            coalescing: 0.88,
+            native_f64_atomics: true,
+        },
+        // AMD MI250X, one GCD (Setonix): CDNA2, 64 GB HBM2e and
+        // 1600 GB/s per GCD, 110 CUs, 24 TFLOP/s FP64. The low
+        // `coalescing` encodes §V-B: "the lower performance is due to
+        // noncoalescent memory accesses by threads", cross-checked with
+        // the amd-lab-notes SpMV kernels; best config uses "low numbers
+        // of threads and blocks". FP64 atomic RMW only via
+        // `-munsafe-fp-atomics`.
+        "MI250X" => PlatformSpec {
+            name: "MI250X".into(),
+            vendor: Vendor::Amd,
+            mem_gb: 64.0,
+            bw_gbs: 1600.0,
+            sm_count: 110,
+            fp64_tflops: 24.0,
+            launch_us: 8.0,
+            opt_tpb: 64,
+            occ_falloff: 0.90,
+            coalescing: 0.52,
+            native_f64_atomics: false,
+        },
+        _ => return None,
+    };
+    Some(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_sparse::footprint::total_device_bytes;
+    use gaia_sparse::SystemLayout;
+
+    #[test]
+    fn registry_has_five_platforms() {
+        assert_eq!(all_platforms().len(), 5);
+        assert!(platform_by_name("h100").is_some(), "case-insensitive");
+        assert!(platform_by_name("K80").is_none());
+    }
+
+    #[test]
+    fn capacity_gating_matches_paper_platform_sets() {
+        // §V-B: 10 GB on all devices, 30 GB all except T4, 60 GB only on
+        // H100 and MI250X.
+        let fits_on = |gb: f64| -> Vec<String> {
+            let bytes = total_device_bytes(&SystemLayout::from_gb(gb));
+            all_platforms()
+                .into_iter()
+                .filter(|p| p.fits(bytes))
+                .map(|p| p.name)
+                .collect()
+        };
+        assert_eq!(fits_on(10.0), ["T4", "V100", "A100", "H100", "MI250X"]);
+        assert_eq!(fits_on(30.0), ["V100", "A100", "H100", "MI250X"]);
+        assert_eq!(fits_on(60.0), ["H100", "MI250X"]);
+    }
+
+    #[test]
+    fn newer_nvidia_platforms_are_flatter_to_tune() {
+        let t4 = platform_by_name("T4").unwrap();
+        let a100 = platform_by_name("A100").unwrap();
+        let h100 = platform_by_name("H100").unwrap();
+        assert!(t4.occ_falloff < a100.occ_falloff);
+        assert!(a100.occ_falloff < h100.occ_falloff);
+    }
+
+    #[test]
+    fn only_amd_lacks_native_f64_atomics() {
+        for p in all_platforms() {
+            assert_eq!(p.native_f64_atomics, p.vendor == Vendor::Nvidia);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Roofline analysis of the solver kernels.
+//!
+//! §VI: "The main operations are two sparse matrix-by-vector products, a
+//! well-known, highly memory-bound operation." This module quantifies
+//! that: arithmetic intensity (flops per byte) of every kernel, each
+//! platform's ridge point (`peak_flops / peak_bandwidth`), and how far
+//! below the ridge the solver sits — the analysis that justifies the
+//! simulator's bandwidth-only kernel model.
+
+use gaia_sparse::SystemLayout;
+use serde::{Deserialize, Serialize};
+
+use crate::platform::PlatformSpec;
+use crate::workload::{iteration_kernels, KernelDesc};
+
+/// Roofline placement of one kernel on one platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Kernel name.
+    pub kernel: String,
+    /// Arithmetic intensity in FLOP/byte.
+    pub intensity: f64,
+    /// The platform's ridge point in FLOP/byte (below ⇒ memory-bound).
+    pub ridge: f64,
+    /// Attainable performance at this intensity, in GFLOP/s
+    /// (`min(peak, bw × intensity)`).
+    pub attainable_gflops: f64,
+    /// Fraction of the platform's FP64 peak that attainable performance
+    /// represents.
+    pub fraction_of_peak: f64,
+}
+
+impl RooflinePoint {
+    /// True when the kernel sits on the bandwidth slope of the roofline.
+    pub fn memory_bound(&self) -> bool {
+        self.intensity < self.ridge
+    }
+}
+
+/// Arithmetic intensity of a kernel descriptor.
+pub fn intensity(kernel: &KernelDesc) -> f64 {
+    if kernel.bytes == 0 {
+        return f64::INFINITY;
+    }
+    kernel.flops as f64 / kernel.bytes as f64
+}
+
+/// The platform's ridge point in FLOP/byte.
+pub fn ridge_point(platform: &PlatformSpec) -> f64 {
+    platform.fp64_tflops * 1e12 / platform.bw_bytes_per_sec()
+}
+
+/// Roofline placement of every per-iteration kernel on `platform`.
+pub fn analyze(layout: &SystemLayout, platform: &PlatformSpec) -> Vec<RooflinePoint> {
+    let ridge = ridge_point(platform);
+    let peak = platform.fp64_tflops * 1e12;
+    iteration_kernels(layout)
+        .into_iter()
+        .map(|k| {
+            let ai = intensity(&k);
+            let attainable = (platform.bw_bytes_per_sec() * ai).min(peak);
+            RooflinePoint {
+                kernel: k.name,
+                intensity: ai,
+                ridge,
+                attainable_gflops: attainable / 1e9,
+                fraction_of_peak: attainable / peak,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms::{all_platforms, platform_by_name};
+
+    #[test]
+    fn every_solver_kernel_is_memory_bound_everywhere() {
+        // The §VI premise, verified over the whole grid: the aprod kernels
+        // sit far below every platform's ridge point.
+        let layout = SystemLayout::from_gb(10.0);
+        for p in all_platforms() {
+            for pt in analyze(&layout, &p) {
+                assert!(
+                    pt.memory_bound(),
+                    "{} on {}: AI {} vs ridge {}",
+                    pt.kernel,
+                    p.name,
+                    pt.intensity,
+                    pt.ridge
+                );
+                // "Far below": at least 10x under the ridge on FP64-strong
+                // parts (everything but the T4, whose FP64 peak is tiny).
+                if p.name != "T4" {
+                    assert!(pt.intensity * 10.0 < pt.ridge, "{} on {}", pt.kernel, p.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intensity_is_a_structure_constant() {
+        // Arithmetic intensity depends only on the matrix structure, not
+        // the problem size: doubling the size doubles flops and bytes.
+        let a = analyze(
+            &SystemLayout::from_gb(1.0),
+            &platform_by_name("A100").unwrap(),
+        );
+        let b = analyze(
+            &SystemLayout::from_gb(8.0),
+            &platform_by_name("A100").unwrap(),
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert!(
+                (x.intensity - y.intensity).abs() < 0.02 * x.intensity.max(1e-12),
+                "{}: {} vs {}",
+                x.kernel,
+                x.intensity,
+                y.intensity
+            );
+        }
+    }
+
+    #[test]
+    fn aprod_intensity_is_fractions_of_a_flop_per_byte() {
+        // 2 flops per stored non-zero against ~20+ bytes of traffic.
+        let layout = SystemLayout::from_gb(10.0);
+        let pts = analyze(&layout, &platform_by_name("H100").unwrap());
+        for pt in pts.iter().filter(|p| p.kernel.starts_with("aprod")) {
+            assert!(
+                pt.intensity > 0.01 && pt.intensity < 0.25,
+                "{}: AI {}",
+                pt.kernel,
+                pt.intensity
+            );
+        }
+    }
+
+    #[test]
+    fn ridge_points_match_datasheet_ratios() {
+        // H100 (34 TF / 4 TB/s) ridge ≈ 8.5; T4 (0.25 TF / 0.32 TB/s)
+        // ridge ≈ 0.78 — even the T4 is compute-rich relative to the
+        // solver's ~0.1 FLOP/byte.
+        let h100 = platform_by_name("H100").unwrap();
+        assert!((ridge_point(&h100) - 8.5).abs() < 0.1);
+        let t4 = platform_by_name("T4").unwrap();
+        assert!((ridge_point(&t4) - 0.78).abs() < 0.03);
+    }
+}

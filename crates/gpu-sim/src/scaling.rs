@@ -1,0 +1,276 @@
+//! Multi-GPU / multi-node scaling model.
+//!
+//! The paper restricts its `P` study to a single GPU ("we measured the P
+//! metric considering only runs using a single GPU", §V-A) but builds on
+//! the predecessor study (ref \[22\], Malenza et al. 2024) that measured
+//! the *weak scalability* of the CUDA and C++ PSTL ports "on up to 256
+//! nodes of Leonardo with NVIDIA A100 GPUs". This module extends the
+//! simulator with that axis:
+//!
+//! * each rank holds a shard of the observations and runs the
+//!   single-GPU iteration model on it;
+//! * per iteration, `aprod2` partial results are allreduce-summed across
+//!   ranks (the unknown vector is replicated, as in `gaia-lsqr`'s
+//!   distributed solver), plus two latency-bound scalar reductions for
+//!   the norms;
+//! * the allreduce is modeled as a bandwidth-optimal ring:
+//!   `2·(N−1)/N · payload / link_bw + 2·(N−1) · latency`, using NVLink
+//!   within a node and the per-node NIC across nodes.
+//!
+//! Under **weak scaling** the star count grows with the rank count, so
+//! the unknown vector — and hence the allreduce payload — grows linearly
+//! with `N` while per-rank compute stays constant: communication
+//! eventually dominates, which is exactly the ceiling the predecessor
+//! paper reports when projecting toward exascale.
+
+use gaia_sparse::SystemLayout;
+use serde::{Deserialize, Serialize};
+
+use crate::framework::FrameworkSpec;
+use crate::model::{iteration_time, SimConfig};
+use crate::platform::PlatformSpec;
+
+/// Interconnect description of a GPU cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Cluster name.
+    pub name: String,
+    /// GPUs per node.
+    pub gpus_per_node: u32,
+    /// Intra-node GPU-to-GPU bandwidth in GB/s (NVLink / Infinity Fabric).
+    pub intra_node_bw_gbs: f64,
+    /// Inter-node bandwidth per node in GB/s (NIC).
+    pub inter_node_bw_gbs: f64,
+    /// Per-hop network latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl ClusterSpec {
+    /// Leonardo-like booster node: 4 GPUs per node, NVLink 3 inside,
+    /// 2×100 Gb/s HDR InfiniBand out.
+    pub fn leonardo() -> Self {
+        ClusterSpec {
+            name: "Leonardo".into(),
+            gpus_per_node: 4,
+            intra_node_bw_gbs: 300.0,
+            inter_node_bw_gbs: 25.0,
+            latency_us: 5.0,
+        }
+    }
+
+    /// Setonix-like node: 8 GCDs per node, Infinity Fabric inside,
+    /// Slingshot-10 out.
+    pub fn setonix() -> Self {
+        ClusterSpec {
+            name: "Setonix".into(),
+            gpus_per_node: 8,
+            intra_node_bw_gbs: 200.0,
+            inter_node_bw_gbs: 25.0,
+            latency_us: 4.0,
+        }
+    }
+
+    /// Slowest link in a job of `n_gpus` (NVLink while single-node, NIC
+    /// beyond).
+    pub fn link_bw_gbs(&self, n_gpus: u32) -> f64 {
+        if n_gpus <= self.gpus_per_node {
+            self.intra_node_bw_gbs
+        } else {
+            self.inter_node_bw_gbs
+        }
+    }
+
+    /// Ring-allreduce time for `payload_bytes` across `n_gpus`.
+    pub fn allreduce_seconds(&self, n_gpus: u32, payload_bytes: u64) -> f64 {
+        if n_gpus <= 1 {
+            return 0.0;
+        }
+        let n = f64::from(n_gpus);
+        let bw = self.link_bw_gbs(n_gpus) * 1e9;
+        2.0 * (n - 1.0) / n * payload_bytes as f64 / bw
+            + 2.0 * (n - 1.0) * self.latency_us * 1e-6
+    }
+}
+
+/// One point of a scaling curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// GPUs in the job.
+    pub n_gpus: u32,
+    /// Modeled iteration time (max over ranks + communication).
+    pub iteration_seconds: f64,
+    /// Compute component.
+    pub compute_seconds: f64,
+    /// Communication component.
+    pub comm_seconds: f64,
+    /// Scaling efficiency relative to one GPU (weak: `T₁/T_N`;
+    /// strong: `T₁/(N·T_N)`).
+    pub efficiency: f64,
+}
+
+/// Weak-scaling sweep: `gb_per_gpu` stays fixed while the problem grows
+/// with the rank count. Returns `None` when the per-GPU shard does not
+/// fit the device or the framework cannot run there.
+pub fn weak_scaling(
+    fw: &FrameworkSpec,
+    platform: &PlatformSpec,
+    cluster: &ClusterSpec,
+    gb_per_gpu: f64,
+    gpu_counts: &[u32],
+) -> Option<Vec<ScalingPoint>> {
+    let shard = SystemLayout::from_gb(gb_per_gpu);
+    let compute = iteration_time(&shard, fw, platform, &SimConfig::default())?.seconds;
+    let mut points = Vec::with_capacity(gpu_counts.len());
+    let t1 = {
+        // Single-GPU reference: no communication.
+        compute
+    };
+    for &n in gpu_counts {
+        assert!(n >= 1, "need at least one GPU");
+        // Weak scaling: total unknowns grow with N (stars scale with the
+        // observation count), so the replicated-vector allreduce payload
+        // is the *global* column count.
+        let total = SystemLayout::from_gb(gb_per_gpu * f64::from(n));
+        let payload = total.n_cols() * 8;
+        let comm = cluster.allreduce_seconds(n, payload)
+            // two latency-bound scalar norm reductions per iteration
+            + 2.0 * cluster.allreduce_seconds(n, 8);
+        let t = compute + comm;
+        points.push(ScalingPoint {
+            n_gpus: n,
+            iteration_seconds: t,
+            compute_seconds: compute,
+            comm_seconds: comm,
+            efficiency: t1 / t,
+        });
+    }
+    Some(points)
+}
+
+/// Strong-scaling sweep: a fixed `total_gb` problem split across ranks.
+/// Ranks whose shard would still not fit the device are skipped (returns
+/// only feasible points).
+pub fn strong_scaling(
+    fw: &FrameworkSpec,
+    platform: &PlatformSpec,
+    cluster: &ClusterSpec,
+    total_gb: f64,
+    gpu_counts: &[u32],
+) -> Vec<ScalingPoint> {
+    let total = SystemLayout::from_gb(total_gb);
+    let payload = total.n_cols() * 8;
+    let mut points = Vec::new();
+    let mut t1: Option<f64> = None;
+    for &n in gpu_counts {
+        assert!(n >= 1, "need at least one GPU");
+        let shard = SystemLayout::from_gb(total_gb / f64::from(n));
+        let Some(b) = iteration_time(&shard, fw, platform, &SimConfig::default()) else {
+            continue;
+        };
+        let comm = cluster.allreduce_seconds(n, payload) + 2.0 * cluster.allreduce_seconds(n, 8);
+        let t = b.seconds + comm;
+        if n == 1 {
+            t1 = Some(t);
+        }
+        let efficiency = match t1 {
+            Some(t1) => t1 / (f64::from(n) * t),
+            // If one GPU cannot hold the problem (the paper's 60 GB case),
+            // report efficiency relative to ideal splitting of the first
+            // feasible point.
+            None => {
+                t1 = Some(t * f64::from(n));
+                1.0
+            }
+        };
+        points.push(ScalingPoint {
+            n_gpus: n,
+            iteration_seconds: t,
+            compute_seconds: b.seconds,
+            comm_seconds: comm,
+            efficiency,
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frameworks::framework_by_name;
+    use crate::platforms::platform_by_name;
+
+    fn setup() -> (FrameworkSpec, PlatformSpec, ClusterSpec) {
+        (
+            framework_by_name("CUDA").unwrap(),
+            platform_by_name("A100").unwrap(),
+            ClusterSpec::leonardo(),
+        )
+    }
+
+    #[test]
+    fn weak_scaling_starts_at_unit_efficiency_and_decays() {
+        let (fw, p, cluster) = setup();
+        let pts = weak_scaling(&fw, &p, &cluster, 10.0, &[1, 4, 16, 64, 256]).unwrap();
+        assert_eq!(pts[0].n_gpus, 1);
+        assert!((pts[0].efficiency - 1.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].efficiency <= w[0].efficiency + 1e-12,
+                "weak-scaling efficiency must not increase: {w:?}"
+            );
+        }
+        // Communication eventually dominates (the predecessor paper's
+        // exascale ceiling): at 256 GPUs the payload is 256× the 1-GPU
+        // unknown vector.
+        let last = pts.last().unwrap();
+        assert!(last.comm_seconds > pts[1].comm_seconds * 10.0);
+        assert!(last.efficiency < 0.9);
+    }
+
+    #[test]
+    fn crossing_the_node_boundary_costs_bandwidth() {
+        let cluster = ClusterSpec::leonardo();
+        let payload = 100_000_000u64;
+        let inside = cluster.allreduce_seconds(4, payload);
+        let outside = cluster.allreduce_seconds(5, payload);
+        assert!(
+            outside > inside * 5.0,
+            "NIC hop must dominate: {inside} vs {outside}"
+        );
+    }
+
+    #[test]
+    fn strong_scaling_speedup_is_sublinear_but_real() {
+        let (fw, p, cluster) = setup();
+        let pts = strong_scaling(&fw, &p, &cluster, 30.0, &[1, 2, 4]);
+        assert_eq!(pts.len(), 3);
+        assert!((pts[0].efficiency - 1.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            assert!(w[1].iteration_seconds < w[0].iteration_seconds, "{w:?}");
+            assert!(w[1].efficiency <= w[0].efficiency + 1e-12);
+        }
+    }
+
+    #[test]
+    fn strong_scaling_skips_infeasible_single_gpu() {
+        // 60 GB does not fit an A100: the 1-GPU point must be absent and
+        // the first feasible point normalized to efficiency 1.
+        let (fw, p, cluster) = setup();
+        let pts = strong_scaling(&fw, &p, &cluster, 60.0, &[1, 2, 4]);
+        assert!(pts.iter().all(|pt| pt.n_gpus >= 2));
+        assert!((pts[0].efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_gpu_has_no_communication() {
+        let cluster = ClusterSpec::leonardo();
+        assert_eq!(cluster.allreduce_seconds(1, 1 << 30), 0.0);
+    }
+
+    #[test]
+    fn unsupported_framework_yields_none() {
+        let cuda = framework_by_name("CUDA").unwrap();
+        let mi = platform_by_name("MI250X").unwrap();
+        assert!(weak_scaling(&cuda, &mi, &ClusterSpec::setonix(), 10.0, &[1, 2]).is_none());
+    }
+}

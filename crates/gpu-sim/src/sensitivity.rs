@@ -1,0 +1,208 @@
+//! Calibration sensitivity analysis.
+//!
+//! The simulator's free constants are fitted to the paper's narrative
+//! (DESIGN.md §5). A fit is only trustworthy if the *conclusions* survive
+//! perturbing those constants: if HIP's lead at 10 GB vanished when a
+//! codegen factor moved by 2 %, the reproduction would be a knife-edge
+//! artifact. This module perturbs each calibration dimension by a relative
+//! factor and recomputes the `P` ranking, reporting which headline
+//! conclusions are stable — the robustness analysis a reviewer would ask
+//! for.
+
+use serde::{Deserialize, Serialize};
+
+use gaia_sparse::SystemLayout;
+
+use crate::framework::FrameworkSpec;
+use crate::frameworks::all_frameworks;
+use crate::model::{iteration_time, SimConfig};
+use crate::platforms::all_platforms;
+
+/// A calibration dimension that can be perturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Knob {
+    /// Every framework's per-platform codegen factor.
+    CodegenEff,
+    /// Per-iteration runtime synchronization overheads.
+    SyncOverhead,
+    /// Capacity-pressure sensitivities.
+    PressureSensitivity,
+    /// Atomic contention multipliers (excess scaling).
+    AtomicContention,
+}
+
+/// All perturbable knobs.
+pub const KNOBS: [Knob; 4] = [
+    Knob::CodegenEff,
+    Knob::SyncOverhead,
+    Knob::PressureSensitivity,
+    Knob::AtomicContention,
+];
+
+/// Apply a relative perturbation of `factor` to one knob of a framework
+/// (1.0 = unchanged). Codegen factors are clamped to stay positive.
+pub fn perturb(fw: &FrameworkSpec, knob: Knob, factor: f64) -> FrameworkSpec {
+    let mut out = fw.clone();
+    match knob {
+        Knob::CodegenEff => {
+            for v in out.codegen_eff.values_mut() {
+                *v = (*v * factor).max(1e-3);
+            }
+            out.default_codegen_eff = (out.default_codegen_eff * factor).max(1e-3);
+        }
+        Knob::SyncOverhead => out.sync_us *= factor,
+        Knob::PressureSensitivity => {
+            out.pressure_sensitivity = (out.pressure_sensitivity * factor).min(1.0)
+        }
+        Knob::AtomicContention => out.atomic_contention_mult *= factor,
+    }
+    out
+}
+
+/// Result of checking the headline conclusions under one perturbation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensitivityResult {
+    /// Perturbed knob.
+    pub knob: Knob,
+    /// Relative perturbation applied (e.g. 1.05 = +5 %).
+    pub factor: f64,
+    /// HIP and SYCL+ACPP remain the top two portable frameworks at 10 GB.
+    pub leaders_stable: bool,
+    /// OMP+LLVM remains the worst supported framework at 10 GB.
+    pub worst_stable: bool,
+    /// OMP+V remains the fastest framework on the MI250X.
+    pub mi250x_winner_stable: bool,
+    /// HIP's P at 10 GB under the perturbation.
+    pub hip_pp: f64,
+}
+
+fn pp(times: &[(String, String, f64)], fw: &str, platforms: &[String]) -> f64 {
+    let mut inv = 0.0;
+    for p in platforms {
+        let Some(t) = times
+            .iter()
+            .find(|(f, pl, _)| f == fw && pl == p)
+            .map(|(_, _, t)| *t)
+        else {
+            return 0.0;
+        };
+        let best = times
+            .iter()
+            .filter(|(_, pl, _)| pl == p)
+            .map(|(_, _, t)| *t)
+            .fold(f64::INFINITY, f64::min);
+        inv += t / best;
+    }
+    platforms.len() as f64 / inv
+}
+
+/// Evaluate the headline conclusions with `knob` of *every* framework
+/// perturbed by `factor` (a uniform miscalibration — the hardest case,
+/// since relative errors between frameworks are what the model fits).
+pub fn check(knob: Knob, factor: f64) -> SensitivityResult {
+    let layout = SystemLayout::from_gb(10.0);
+    let mut times = Vec::new();
+    for fw in all_frameworks() {
+        let fw = perturb(&fw, knob, factor);
+        for p in all_platforms() {
+            if let Some(b) = iteration_time(&layout, &fw, &p, &SimConfig::default()) {
+                times.push((fw.name.clone(), p.name.clone(), b.seconds));
+            }
+        }
+    }
+    let platforms: Vec<String> = all_platforms().into_iter().map(|p| p.name).collect();
+
+    let mut ranking: Vec<(String, f64)> = crate::frameworks::FRAMEWORK_NAMES
+        .iter()
+        .map(|f| (f.to_string(), pp(&times, f, &platforms)))
+        .collect();
+    ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+
+    let top2: Vec<&str> = ranking.iter().take(2).map(|(f, _)| f.as_str()).collect();
+    let leaders_stable = top2.contains(&"HIP") && top2.contains(&"SYCL+ACPP");
+    let worst = ranking
+        .iter()
+        .filter(|(_, p)| *p > 0.0)
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .map(|(f, _)| f.clone())
+        .unwrap_or_default();
+    let worst_stable = worst == "OMP+LLVM";
+
+    let mi_winner = times
+        .iter()
+        .filter(|(_, p, _)| p == "MI250X")
+        .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
+        .map(|(f, _, _)| f.clone())
+        .unwrap_or_default();
+    let mi250x_winner_stable = mi_winner == "OMP+V";
+
+    let hip_pp = pp(&times, "HIP", &platforms);
+    SensitivityResult {
+        knob,
+        factor,
+        leaders_stable,
+        worst_stable,
+        mi250x_winner_stable,
+        hip_pp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unperturbed_baseline_reports_all_stable() {
+        for knob in KNOBS {
+            let r = check(knob, 1.0);
+            assert!(r.leaders_stable, "{knob:?}");
+            assert!(r.worst_stable, "{knob:?}");
+            assert!(r.mi250x_winner_stable, "{knob:?}");
+            assert!(r.hip_pp > 0.9);
+        }
+    }
+
+    #[test]
+    fn conclusions_survive_five_percent_miscalibration() {
+        // The headline orderings must not be knife-edge: a uniform ±5 %
+        // error in any single knob class leaves them intact.
+        for knob in KNOBS {
+            for factor in [0.95, 1.05] {
+                let r = check(knob, factor);
+                assert!(
+                    r.leaders_stable && r.worst_stable && r.mi250x_winner_stable,
+                    "{knob:?} x{factor}: {r:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_contention_perturbation_does_move_results() {
+        // Sanity: the knobs are live — a 5x uniform atomic-contention
+        // blow-up measurably shifts HIP's P. (It shifts it *up*: streams
+        // hide HIP's own atomic excess while the serial frameworks eat
+        // theirs in full, so the platform bests move in HIP's favour —
+        // itself a nice corollary of the §IV stream design.)
+        let base = check(Knob::AtomicContention, 1.0);
+        let hot = check(Knob::AtomicContention, 5.0);
+        assert!(
+            (hot.hip_pp - base.hip_pp).abs() > 0.005,
+            "{} vs {}",
+            hot.hip_pp,
+            base.hip_pp
+        );
+        assert!(hot.hip_pp > base.hip_pp, "streams shield HIP from contention");
+    }
+
+    #[test]
+    fn perturb_clamps_and_scales_correctly() {
+        let fw = crate::frameworks::framework_by_name("HIP").unwrap();
+        let p = perturb(&fw, Knob::SyncOverhead, 2.0);
+        assert_eq!(p.sync_us, fw.sync_us * 2.0);
+        let p2 = perturb(&fw, Knob::PressureSensitivity, 100.0);
+        assert!(p2.pressure_sensitivity <= 1.0);
+        let p3 = perturb(&fw, Knob::CodegenEff, 1e-9);
+        assert!(p3.codegen_eff.values().all(|&v| v >= 1e-3));
+    }
+}

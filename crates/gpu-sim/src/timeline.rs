@@ -1,0 +1,153 @@
+//! ASCII timeline of one modeled iteration — the simulator's substitute
+//! for the `nsys`/`rocprof` traces the paper used to attribute time
+//! ("we used code profilers from NVIDIA and AMD to verify that most of
+//! the time of this code is spent computing the matrix-by-vector products
+//! of aprod1 and aprod2", §V-A).
+
+use std::fmt::Write as _;
+
+use crate::model::IterationBreakdown;
+
+/// Render a Gantt-style view of the iteration: `aprod1` kernels in
+/// sequence, the `aprod2` phase (overlapped or serial), and the BLAS tail.
+pub fn render(b: &IterationBreakdown, overlapped: bool, width: usize) -> String {
+    let total = b.seconds.max(f64::MIN_POSITIVE);
+    let cols = |t: f64| ((t / total) * width as f64).round() as usize;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "iteration {:.3} ms  (aprod1 {:.0}%  aprod2 {:.0}%  blas {:.0}%  overhead {:.0}%)",
+        1e3 * b.seconds,
+        100.0 * b.aprod1_seconds / total,
+        100.0 * b.aprod2_seconds / total,
+        100.0 * b.blas_seconds / total,
+        100.0 * (b.launch_seconds + b.sync_seconds) / total,
+    );
+
+    // aprod1 kernels run back-to-back on the default stream.
+    let mut cursor = 0usize;
+    let mut lane0 = vec![' '; width];
+    for k in b.kernels.iter().filter(|k| k.name.starts_with("aprod1")) {
+        let len = cols(k.seconds).max(1);
+        let ch = k.name.chars().nth(7).unwrap_or('?');
+        for slot in lane0.iter_mut().skip(cursor).take(len) {
+            *slot = ch;
+        }
+        cursor += len;
+    }
+    let _ = writeln!(out, "  stream0 |{}|", lane0.into_iter().collect::<String>());
+
+    // aprod2: one lane per kernel when overlapped, all on stream0 when not.
+    let aprod2: Vec<_> = b
+        .kernels
+        .iter()
+        .filter(|k| k.name.starts_with("aprod2"))
+        .collect();
+    if overlapped {
+        for (i, k) in aprod2.iter().enumerate() {
+            let mut lane = vec![' '; width];
+            let len = cols(k.seconds).max(1);
+            for slot in lane.iter_mut().skip(cursor).take(len) {
+                *slot = '#';
+            }
+            let _ = writeln!(
+                out,
+                "  stream{} |{}| {}",
+                i + 1,
+                lane.into_iter().collect::<String>(),
+                k.name
+            );
+        }
+    } else {
+        let mut lane = vec![' '; width];
+        let mut c = cursor;
+        for k in &aprod2 {
+            let len = cols(k.seconds).max(1);
+            let ch = k.name.chars().nth(7).unwrap_or('?');
+            for slot in lane.iter_mut().skip(c).take(len) {
+                *slot = ch;
+            }
+            c += len;
+        }
+        let _ = writeln!(out, "  stream0 |{}| aprod2 (serial)", lane.into_iter().collect::<String>());
+    }
+    out
+}
+
+/// Render a fluid-simulated `aprod2` schedule (exact per-kernel intervals
+/// from [`crate::events`]) as one lane per kernel: `=` while sharing
+/// bandwidth, `#` during the private atomic tail.
+pub fn render_fluid(schedule: &crate::events::FluidSchedule, width: usize) -> String {
+    let mut out = String::new();
+    let total = schedule.makespan.max(f64::MIN_POSITIVE);
+    let col = |t: f64| ((t / total) * width as f64).round() as usize;
+    let _ = writeln!(out, "aprod2 fluid schedule, makespan {:.3} ms", 1e3 * schedule.makespan);
+    for k in &schedule.kernels {
+        let mut lane = vec![' '; width + 1];
+        for slot in lane.iter_mut().take(col(k.shared_end)).skip(col(k.start)) {
+            *slot = '=';
+        }
+        for slot in lane.iter_mut().take(col(k.end)).skip(col(k.shared_end)) {
+            *slot = '#';
+        }
+        let _ = writeln!(
+            out,
+            "  |{}| {} ({:.3} ms)",
+            lane[..width].iter().collect::<String>(),
+            k.name,
+            1e3 * (k.end - k.start)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frameworks::framework_by_name;
+    use crate::model::{iteration_time, SimConfig};
+    use crate::platforms::platform_by_name;
+    use gaia_sparse::SystemLayout;
+
+    #[test]
+    fn timeline_renders_for_streamed_and_serial_frameworks() {
+        let layout = SystemLayout::from_gb(10.0);
+        let h100 = platform_by_name("H100").unwrap();
+        for (name, overlapped) in [("CUDA", true), ("OMP+V", false)] {
+            let fw = framework_by_name(name).unwrap();
+            let b = iteration_time(&layout, &fw, &h100, &SimConfig::default()).unwrap();
+            let text = render(&b, overlapped, 60);
+            assert!(text.contains("iteration"), "{text}");
+            assert!(text.contains("stream0"), "{text}");
+            if overlapped {
+                assert!(text.contains("stream4"), "four aprod2 lanes: {text}");
+            } else {
+                assert!(text.contains("aprod2 (serial)"), "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn fluid_rendering_shows_shared_and_private_phases() {
+        let layout = SystemLayout::from_gb(10.0);
+        let fw = framework_by_name("HIP").unwrap();
+        let mi = platform_by_name("MI250X").unwrap();
+        let sched = crate::model::aprod2_fluid_schedule(&layout, &fw, &mi).unwrap();
+        let text = render_fluid(&sched, 60);
+        assert!(text.contains("aprod2_att"), "{text}");
+        assert!(text.contains('='), "shared phase rendered");
+        assert!(text.contains('#'), "atomic tail rendered");
+        assert_eq!(text.lines().count(), 5, "header + four kernels");
+    }
+
+    #[test]
+    fn percentages_sum_to_about_100() {
+        let layout = SystemLayout::from_gb(10.0);
+        let fw = framework_by_name("HIP").unwrap();
+        let mi = platform_by_name("MI250X").unwrap();
+        let b = iteration_time(&layout, &fw, &mi, &SimConfig::default()).unwrap();
+        let total = b.aprod1_seconds + b.aprod2_seconds + b.blas_seconds + b.launch_seconds
+            + b.sync_seconds;
+        assert!((total - b.seconds).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,175 @@
+//! Kernel descriptors for one LSQR iteration of a given problem layout.
+//!
+//! One iteration launches the eight production kernels
+//! (`aprod{1,2}_Kernel_{astro,att,instr,glob}`, §IV) plus the BLAS-1
+//! vector work between them. Byte counts come from
+//! [`gaia_sparse::footprint`]; the simulator only needs *traffic*,
+//! *flops*, and which portion of the traffic goes through atomics.
+
+use gaia_sparse::footprint::{
+    aprod1_traffic_bytes, aprod2_traffic_bytes, aprod_flops, VALUE_BYTES,
+};
+use gaia_sparse::layout::BlockKind;
+use gaia_sparse::SystemLayout;
+use serde::{Deserialize, Serialize};
+
+/// Which of the two sparse products a kernel belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// `b̃ += A x̃` (row-parallel, conflict-free).
+    Aprod1,
+    /// `x̃ += Aᵀ b̃` (column updates, conflicts outside the astrometric
+    /// block).
+    Aprod2,
+    /// Vector operations between the products (norms, scalings, x/w
+    /// updates).
+    Blas,
+}
+
+/// One kernel launch of the iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Kernel name, e.g. `"aprod2_att"`.
+    pub name: String,
+    /// Product phase.
+    pub phase: Phase,
+    /// Block processed (`None` for the BLAS work).
+    pub block: Option<BlockKind>,
+    /// Bytes moved through the memory hierarchy.
+    pub bytes: u64,
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Bytes of the traffic that are executed as atomic updates
+    /// (0 for conflict-free kernels).
+    pub atomic_bytes: u64,
+}
+
+/// The per-iteration kernel list for a layout.
+pub fn iteration_kernels(layout: &SystemLayout) -> Vec<KernelDesc> {
+    let mut kernels = Vec::with_capacity(9);
+    for kind in BlockKind::ALL {
+        kernels.push(KernelDesc {
+            name: format!("aprod1_{}", kind.label()),
+            phase: Phase::Aprod1,
+            block: Some(kind),
+            bytes: aprod1_traffic_bytes(layout, kind),
+            flops: aprod_flops(layout, kind),
+            atomic_bytes: 0,
+        });
+    }
+    for kind in BlockKind::ALL {
+        let bytes = aprod2_traffic_bytes(layout, kind);
+        // The scattered read-modify-write of x̃ is the atomic part:
+        // 16 bytes per stored non-zero. The astrometric block is
+        // conflict-free thanks to its block-diagonal structure (§IV).
+        let atomic_bytes = if kind == BlockKind::Astrometric {
+            0
+        } else {
+            2 * layout.nnz(kind) * VALUE_BYTES
+        };
+        kernels.push(KernelDesc {
+            name: format!("aprod2_{}", kind.label()),
+            phase: Phase::Aprod2,
+            block: Some(kind),
+            bytes,
+            flops: aprod_flops(layout, kind),
+            atomic_bytes,
+        });
+    }
+    // BLAS-1 between the products: scale + norm of u (2 passes over m),
+    // scale + norm of v (2 passes over n), x/w update (3 passes over n),
+    // preconditioner application (2 passes over n).
+    let m = layout.n_rows();
+    let n = layout.n_cols();
+    let blas_bytes = (3 * m + 7 * n) * VALUE_BYTES;
+    kernels.push(KernelDesc {
+        name: "blas1".into(),
+        phase: Phase::Blas,
+        block: None,
+        bytes: blas_bytes,
+        flops: 2 * (m + n),
+        atomic_bytes: 0,
+    });
+    kernels
+}
+
+/// Total bytes of one iteration (the roofline lower bound numerator).
+pub fn iteration_bytes(layout: &SystemLayout) -> u64 {
+    iteration_kernels(layout).iter().map(|k| k.bytes).sum()
+}
+
+/// A generic CSR SpMV of the same matrix, for the amd-lab-notes
+/// cross-check of §V-B ("we take similar SpMV kernels ... and test them on
+/// matrix sizes similar to our own"): one value + one column index per
+/// non-zero, a row-pointer array, gathered x, streamed y.
+pub fn csr_spmv_kernel(layout: &SystemLayout) -> KernelDesc {
+    let nnz = layout.nnz_total();
+    let rows = layout.n_rows();
+    let bytes = nnz * (VALUE_BYTES + 4) + (rows + 1) * 4 + nnz * VALUE_BYTES + rows * VALUE_BYTES;
+    KernelDesc {
+        name: "csr_spmv".into(),
+        phase: Phase::Aprod1,
+        block: None,
+        bytes,
+        flops: 2 * nnz,
+        atomic_bytes: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_has_nine_kernels() {
+        let l = SystemLayout::from_gb(1.0);
+        let ks = iteration_kernels(&l);
+        assert_eq!(ks.len(), 9);
+        assert_eq!(ks.iter().filter(|k| k.phase == Phase::Aprod1).count(), 4);
+        assert_eq!(ks.iter().filter(|k| k.phase == Phase::Aprod2).count(), 4);
+    }
+
+    #[test]
+    fn only_non_astro_aprod2_kernels_have_atomics() {
+        let l = SystemLayout::from_gb(1.0);
+        for k in iteration_kernels(&l) {
+            let expect_atomics = k.phase == Phase::Aprod2
+                && !matches!(k.block, Some(BlockKind::Astrometric) | None);
+            assert_eq!(k.atomic_bytes > 0, expect_atomics, "{}", k.name);
+            assert!(k.atomic_bytes <= k.bytes, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn iteration_traffic_scales_linearly_with_problem_size() {
+        let b1 = iteration_bytes(&SystemLayout::from_gb(1.0)) as f64;
+        let b10 = iteration_bytes(&SystemLayout::from_gb(10.0)) as f64;
+        let ratio = b10 / b1;
+        assert!((ratio - 10.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn iteration_moves_a_few_times_the_matrix_size() {
+        // Two sparse products + vectors: traffic should be ~2-4× the
+        // stored matrix bytes.
+        let l = SystemLayout::from_gb(10.0);
+        let matrix = gaia_sparse::footprint::device_bytes(&l) as f64;
+        let traffic = iteration_bytes(&l) as f64;
+        assert!(traffic > 2.0 * matrix && traffic < 6.0 * matrix, "{}", traffic / matrix);
+    }
+
+    #[test]
+    fn csr_spmv_moves_more_index_traffic_than_structured_aprod1() {
+        // The structured storage replaces per-nnz column indices with two
+        // per-row indices for 17 of 24 entries — the generic CSR kernel
+        // must move more metadata.
+        let l = SystemLayout::from_gb(1.0);
+        let csr = csr_spmv_kernel(&l);
+        let aprod1: u64 = iteration_kernels(&l)
+            .iter()
+            .filter(|k| k.phase == Phase::Aprod1)
+            .map(|k| k.bytes)
+            .sum();
+        assert!(csr.bytes > aprod1 * 9 / 10, "csr {} vs aprod1 {}", csr.bytes, aprod1);
+    }
+}

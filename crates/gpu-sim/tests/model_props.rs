@@ -1,0 +1,162 @@
+//! Model-level property tests: monotonicity, boundedness, and internal
+//! consistency of the performance simulator across its whole input space.
+
+use gaia_gpu_sim::scaling::{weak_scaling, ClusterSpec};
+use gaia_gpu_sim::{
+    all_frameworks, all_platforms, framework_by_name, iteration_time, platform_by_name,
+    occupancy::occupancy_efficiency, SimConfig,
+};
+use gaia_sparse::SystemLayout;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn iteration_time_is_monotone_in_problem_size(
+        gb1 in 1.0f64..5.0,
+        factor in 1.1f64..3.0,
+    ) {
+        let gb2 = gb1 * factor;
+        for fw in all_frameworks() {
+            for p in all_platforms() {
+                let t1 = iteration_time(&SystemLayout::from_gb(gb1), &fw, &p, &SimConfig::default());
+                let t2 = iteration_time(&SystemLayout::from_gb(gb2), &fw, &p, &SimConfig::default());
+                if let (Some(a), Some(b)) = (t1, t2) {
+                    prop_assert!(
+                        b.seconds > a.seconds,
+                        "{} on {}: {} GB {}s vs {} GB {}s",
+                        fw.name, p.name, gb1, a.seconds, gb2, b.seconds
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tuned_tpb_is_never_slower_than_any_other(tpb_idx in 0usize..6) {
+        let tpb = [32u32, 64, 128, 256, 512, 1024][tpb_idx];
+        let layout = SystemLayout::from_gb(5.0);
+        let cuda = framework_by_name("CUDA").unwrap();
+        for p in all_platforms().iter().filter(|p| p.name != "MI250X") {
+            let tuned = iteration_time(&layout, &cuda, p, &SimConfig { tpb_override: Some(p.opt_tpb) }).unwrap();
+            let other = iteration_time(&layout, &cuda, p, &SimConfig { tpb_override: Some(tpb) }).unwrap();
+            prop_assert!(tuned.seconds <= other.seconds + 1e-15, "{} tpb {tpb}", p.name);
+        }
+    }
+
+    #[test]
+    fn occupancy_is_bounded_and_peaks_at_optimum(tpb_idx in 0usize..6) {
+        let tpb = [32u32, 64, 128, 256, 512, 1024][tpb_idx];
+        for p in all_platforms() {
+            let e = occupancy_efficiency(&p, tpb);
+            prop_assert!(e > 0.0 && e <= 1.0);
+            prop_assert!(e <= occupancy_efficiency(&p, p.opt_tpb));
+        }
+    }
+
+    #[test]
+    fn weak_scaling_efficiency_is_in_unit_interval(
+        gb in 2.0f64..10.0,
+        n_idx in 1usize..6,
+    ) {
+        let n = [1u32, 2, 4, 8, 32, 128][n_idx];
+        let fw = framework_by_name("CUDA").unwrap();
+        let p = platform_by_name("A100").unwrap();
+        let pts = weak_scaling(&fw, &p, &ClusterSpec::leonardo(), gb, &[1, n]).unwrap();
+        for pt in pts {
+            prop_assert!(pt.efficiency > 0.0 && pt.efficiency <= 1.0 + 1e-12);
+            prop_assert!(pt.iteration_seconds >= pt.compute_seconds);
+        }
+    }
+}
+
+#[test]
+fn every_supported_cell_has_a_full_breakdown() {
+    let layout = SystemLayout::from_gb(10.0);
+    for fw in all_frameworks() {
+        for p in all_platforms() {
+            let Some(b) = iteration_time(&layout, &fw, &p, &SimConfig::default()) else {
+                continue;
+            };
+            assert!(b.seconds > 0.0);
+            assert!(b.effective_bw_gbs > 0.0 && b.effective_bw_gbs < p.bw_gbs * 1.2);
+            assert!(b.memory_ratio > 0.0 && b.memory_ratio <= 1.0);
+            assert_eq!(b.kernels.len(), 9);
+            assert!(b.kernels.iter().all(|k| k.seconds >= 0.0));
+        }
+    }
+}
+
+#[test]
+fn streams_help_or_are_neutral_never_hurt() {
+    // Turning streams off for a stream-enabled framework must not make it
+    // faster.
+    let layout = SystemLayout::from_gb(10.0);
+    for p in all_platforms() {
+        let hip = framework_by_name("HIP").unwrap();
+        let mut serial = hip.clone();
+        serial.streams = false;
+        let (Some(with), Some(without)) = (
+            iteration_time(&layout, &hip, &p, &SimConfig::default()),
+            iteration_time(&layout, &serial, &p, &SimConfig::default()),
+        ) else {
+            continue;
+        };
+        assert!(
+            with.seconds <= without.seconds + 1e-15,
+            "{}: streams slowed HIP down",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn cas_codegen_always_costs_relative_to_rmw() {
+    use gaia_gpu_sim::AtomicCodegen;
+    let layout = SystemLayout::from_gb(10.0);
+    for p in all_platforms() {
+        // Non-overlapped framework: every unit of CAS excess lands on the
+        // critical path, so the cost must be strictly visible.
+        let base = framework_by_name("OMP+V").unwrap();
+        let mut cas = base.clone();
+        cas.atomics_nvidia = AtomicCodegen::CasLoop;
+        cas.atomics_amd = AtomicCodegen::CasLoop;
+        let (Some(fast), Some(slow)) = (
+            iteration_time(&layout, &base, &p, &SimConfig::default()),
+            iteration_time(&layout, &cas, &p, &SimConfig::default()),
+        ) else {
+            continue;
+        };
+        assert!(slow.seconds > fast.seconds, "{}", p.name);
+
+        // Stream-overlapped frameworks may *hide* a moderate CAS excess
+        // under the bandwidth bound (that is the §IV point of streams),
+        // but can never get faster from it.
+        let streamed = framework_by_name("SYCL+ACPP").unwrap();
+        let mut streamed_cas = streamed.clone();
+        streamed_cas.atomics_nvidia = AtomicCodegen::CasLoop;
+        streamed_cas.atomics_amd = AtomicCodegen::CasLoop;
+        let (Some(f2), Some(s2)) = (
+            iteration_time(&layout, &streamed, &p, &SimConfig::default()),
+            iteration_time(&layout, &streamed_cas, &p, &SimConfig::default()),
+        ) else {
+            continue;
+        };
+        assert!(s2.seconds >= f2.seconds - 1e-15, "{}", p.name);
+    }
+}
+
+#[test]
+fn pressure_only_engages_near_capacity() {
+    use gaia_gpu_sim::model::pressure_factor;
+    let hip = framework_by_name("HIP").unwrap();
+    // Plenty of headroom: factor 1.
+    assert_eq!(pressure_factor(&hip, 10_000_000_000, 96_000_000_000), 1.0);
+    // Within the 2 GB margin: factor < 1, decreasing as spare shrinks.
+    let f1 = pressure_factor(&hip, 31_000_000_000, 32_000_000_000);
+    let f2 = pressure_factor(&hip, 31_500_000_000, 32_000_000_000);
+    assert!(f1 < 1.0 && f2 < f1, "{f1} {f2}");
+    // Never collapses to zero.
+    assert!(pressure_factor(&hip, 32_000_000_000, 32_000_000_000) >= 0.05);
+}

@@ -1,0 +1,121 @@
+//! Reduction operators and the combine step of each collective.
+
+/// Element-wise reduction operator (the subset of `MPI_Op` the solver
+/// needs: norms and scalar/vector sums use `Sum`, the paper's "iteration
+/// time maximized among all MPI processes" uses `Max`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    /// Apply the operator to an accumulator element.
+    #[inline]
+    pub fn apply(self, acc: f64, v: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => acc + v,
+            ReduceOp::Max => acc.max(v),
+            ReduceOp::Min => acc.min(v),
+        }
+    }
+}
+
+/// The collective being executed; all ranks of a round must agree
+/// (mismatches panic, catching the classic deadlock bug at its source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollOp {
+    /// Synchronization only.
+    Barrier,
+    /// Element-wise reduction, result replicated to all ranks.
+    Allreduce(ReduceOp),
+    /// Every rank receives every rank's buffer.
+    Allgather,
+    /// Root's buffer replicated to all ranks.
+    Bcast {
+        /// Broadcasting rank.
+        root: usize,
+    },
+}
+
+/// Combine the per-rank contributions of one round, in rank order.
+pub fn combine(op: CollOp, contributions: Vec<Option<Vec<f64>>>) -> Vec<Vec<f64>> {
+    match op {
+        CollOp::Barrier => Vec::new(),
+        CollOp::Allreduce(r) => {
+            let mut iter = contributions.into_iter().map(|c| {
+                c.expect("allreduce: every rank must contribute")
+            });
+            let mut acc = iter.next().expect("allreduce on empty world");
+            for contrib in iter {
+                assert_eq!(
+                    contrib.len(),
+                    acc.len(),
+                    "allreduce: buffer lengths differ across ranks"
+                );
+                for (a, v) in acc.iter_mut().zip(contrib) {
+                    *a = r.apply(*a, v);
+                }
+            }
+            vec![acc]
+        }
+        CollOp::Allgather => contributions
+            .into_iter()
+            .map(|c| c.expect("allgather: every rank must contribute"))
+            .collect(),
+        CollOp::Bcast { root } => {
+            let buf = contributions
+                .into_iter()
+                .nth(root)
+                .flatten()
+                .expect("bcast: root must contribute");
+            vec![buf]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_ops_apply_correctly() {
+        assert_eq!(ReduceOp::Sum.apply(1.0, 2.0), 3.0);
+        assert_eq!(ReduceOp::Max.apply(1.0, 2.0), 2.0);
+        assert_eq!(ReduceOp::Min.apply(1.0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn combine_allreduce_is_rank_ordered() {
+        let contribs = vec![Some(vec![1.0]), Some(vec![2.0]), Some(vec![4.0])];
+        let out = combine(CollOp::Allreduce(ReduceOp::Sum), contribs);
+        assert_eq!(out, vec![vec![7.0]]);
+    }
+
+    #[test]
+    fn combine_bcast_picks_root() {
+        let contribs = vec![None, Some(vec![9.0, 8.0]), None];
+        let out = combine(CollOp::Bcast { root: 1 }, contribs);
+        assert_eq!(out, vec![vec![9.0, 8.0]]);
+    }
+
+    #[test]
+    fn combine_allgather_preserves_order_and_shape() {
+        let contribs = vec![Some(vec![1.0]), Some(vec![]), Some(vec![2.0, 3.0])];
+        let out = combine(CollOp::Allgather, contribs);
+        assert_eq!(out, vec![vec![1.0], vec![], vec![2.0, 3.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn combine_allreduce_rejects_ragged_buffers() {
+        combine(
+            CollOp::Allreduce(ReduceOp::Sum),
+            vec![Some(vec![1.0]), Some(vec![1.0, 2.0])],
+        );
+    }
+}

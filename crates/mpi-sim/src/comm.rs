@@ -1,0 +1,273 @@
+//! The [`World`] (shared collective state) and per-rank [`Communicator`].
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::collectives::{combine, CollOp, ReduceOp};
+
+/// Shared state of one communicator world.
+///
+/// Collectives are globally ordered: every rank must call the same
+/// collective operation in the same sequence (standard MPI contract).
+/// The implementation is a sense-reversing barrier carrying a payload:
+/// each rank deposits its contribution under the lock; the last arriver
+/// combines all contributions (in rank order, for determinism) and flips
+/// the sense; woken ranks pick up an `Arc` of the result.
+pub struct World {
+    size: usize,
+    round: Mutex<Round>,
+    cv: Condvar,
+}
+
+struct Round {
+    arrived: usize,
+    sense: bool,
+    op: Option<CollOp>,
+    contributions: Vec<Option<Vec<f64>>>,
+    result: Option<Arc<Vec<Vec<f64>>>>,
+}
+
+impl World {
+    /// Create a world of `size` ranks.
+    pub fn new(size: usize) -> Arc<Self> {
+        assert!(size > 0, "world needs at least one rank");
+        Arc::new(World {
+            size,
+            round: Mutex::new(Round {
+                arrived: 0,
+                sense: false,
+                op: None,
+                contributions: vec![None; size],
+                result: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Communicator handle for `rank`.
+    pub fn communicator(self: &Arc<Self>, rank: usize) -> Communicator {
+        assert!(rank < self.size, "rank {rank} out of range");
+        Communicator {
+            rank,
+            world: Arc::clone(self),
+        }
+    }
+
+    fn collective(
+        &self,
+        rank: usize,
+        op: CollOp,
+        contribution: Option<Vec<f64>>,
+    ) -> Arc<Vec<Vec<f64>>> {
+        let mut round = self.round.lock().expect("world lock poisoned");
+        match round.op {
+            None => round.op = Some(op),
+            Some(existing) => assert_eq!(
+                existing, op,
+                "collective mismatch: rank {rank} called {op:?} while the round runs {existing:?}"
+            ),
+        }
+        assert!(
+            round.contributions[rank].is_none() || contribution.is_none(),
+            "rank {rank} contributed twice to one round"
+        );
+        round.contributions[rank] = contribution;
+        round.arrived += 1;
+        let my_sense = round.sense;
+        if round.arrived == self.size {
+            // Last arriver: combine in rank order and release the others.
+            let contribs = std::mem::replace(&mut round.contributions, vec![None; self.size]);
+            round.result = Some(Arc::new(combine(op, contribs)));
+            round.arrived = 0;
+            round.op = None;
+            round.sense = !round.sense;
+            self.cv.notify_all();
+            return Arc::clone(round.result.as_ref().expect("result just set"));
+        }
+        loop {
+            round = self.cv.wait(round).expect("world lock poisoned");
+            if round.sense != my_sense {
+                return Arc::clone(round.result.as_ref().expect("result set by last arriver"));
+            }
+        }
+    }
+}
+
+/// Per-rank handle into a [`World`]. Clone-free; create one per rank.
+pub struct Communicator {
+    rank: usize,
+    world: Arc<World>,
+}
+
+impl Communicator {
+    /// This rank's id, `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.world.size
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.world.collective(self.rank, CollOp::Barrier, Some(Vec::new()));
+    }
+
+    /// Element-wise allreduce of `buf` in place; all ranks must pass
+    /// equal-length buffers.
+    pub fn allreduce(&self, op: ReduceOp, buf: &mut [f64]) {
+        let result =
+            self.world
+                .collective(self.rank, CollOp::Allreduce(op), Some(buf.to_vec()));
+        buf.copy_from_slice(&result[0]);
+    }
+
+    /// Scalar allreduce convenience.
+    pub fn allreduce_scalar(&self, op: ReduceOp, v: f64) -> f64 {
+        let mut buf = [v];
+        self.allreduce(op, &mut buf);
+        buf[0]
+    }
+
+    /// Gather every rank's buffer on every rank (buffers may differ in
+    /// length). Returns one `Vec` per rank, in rank order.
+    pub fn allgather(&self, buf: &[f64]) -> Vec<Vec<f64>> {
+        let result = self
+            .world
+            .collective(self.rank, CollOp::Allgather, Some(buf.to_vec()));
+        result.as_ref().clone()
+    }
+
+    /// Broadcast `buf` from `root` to every rank. On non-root ranks `buf`
+    /// is resized to the root's length.
+    pub fn bcast(&self, root: usize, buf: &mut Vec<f64>) {
+        let contribution = (self.rank == root).then(|| buf.clone());
+        let result = self
+            .world
+            .collective(self.rank, CollOp::Bcast { root }, contribution);
+        buf.clear();
+        buf.extend_from_slice(&result[0]);
+    }
+}
+
+/// Run `f` on `size` ranks (threads) sharing one world; returns the
+/// per-rank results in rank order.
+pub fn run<R, F>(size: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Communicator) -> R + Sync,
+{
+    let world = World::new(size);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..size)
+            .map(|rank| {
+                let comm = world.communicator(rank);
+                let f = &f;
+                scope.spawn(move || f(comm))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_sum_is_replicated() {
+        for size in [1usize, 2, 3, 8] {
+            let out = run(size, |c| c.allreduce_scalar(ReduceOp::Sum, (c.rank() + 1) as f64));
+            let want = (size * (size + 1) / 2) as f64;
+            assert_eq!(out, vec![want; size]);
+        }
+    }
+
+    #[test]
+    fn allreduce_max_and_min() {
+        let out = run(5, |c| {
+            let max = c.allreduce_scalar(ReduceOp::Max, c.rank() as f64);
+            let min = c.allreduce_scalar(ReduceOp::Min, c.rank() as f64);
+            (max, min)
+        });
+        assert!(out.iter().all(|&(mx, mn)| mx == 4.0 && mn == 0.0));
+    }
+
+    #[test]
+    fn vector_allreduce_is_elementwise() {
+        let out = run(3, |c| {
+            let mut buf = vec![c.rank() as f64, 10.0 * c.rank() as f64];
+            c.allreduce(ReduceOp::Sum, &mut buf);
+            buf
+        });
+        assert_eq!(out, vec![vec![3.0, 30.0]; 3]);
+    }
+
+    #[test]
+    fn bcast_replicates_root_buffer() {
+        let out = run(4, |c| {
+            let mut buf = if c.rank() == 2 {
+                vec![1.0, 2.0, 3.0]
+            } else {
+                vec![]
+            };
+            c.bcast(2, &mut buf);
+            buf
+        });
+        assert_eq!(out, vec![vec![1.0, 2.0, 3.0]; 4]);
+    }
+
+    #[test]
+    fn allgather_keeps_rank_order_with_ragged_buffers() {
+        let out = run(3, |c| {
+            let mine = vec![c.rank() as f64; c.rank()];
+            c.allgather(&mine)
+        });
+        let want = vec![vec![], vec![1.0], vec![2.0, 2.0]];
+        assert!(out.iter().all(|o| *o == want));
+    }
+
+    #[test]
+    fn many_back_to_back_collectives_do_not_interleave() {
+        let out = run(4, |c| {
+            let mut acc = 0.0;
+            for i in 0..200 {
+                acc += c.allreduce_scalar(ReduceOp::Sum, i as f64 + c.rank() as f64);
+                if i % 17 == 0 {
+                    c.barrier();
+                }
+            }
+            acc
+        });
+        assert!(out.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn reduction_order_is_deterministic_across_runs() {
+        // Values chosen so floating-point addition order matters.
+        let values = [1e16, 1.0, -1e16, 1.0];
+        let first = run(4, |c| {
+            c.allreduce_scalar(ReduceOp::Sum, values[c.rank()])
+        });
+        for _ in 0..10 {
+            let again = run(4, |c| c.allreduce_scalar(ReduceOp::Sum, values[c.rank()]));
+            assert_eq!(first, again);
+        }
+    }
+
+    #[test]
+    fn single_rank_world_is_trivial() {
+        let out = run(1, |c| {
+            c.barrier();
+            let mut buf = vec![5.0];
+            c.allreduce(ReduceOp::Sum, &mut buf);
+            c.bcast(0, &mut buf);
+            buf[0]
+        });
+        assert_eq!(out, vec![5.0]);
+    }
+}

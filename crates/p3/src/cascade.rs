@@ -1,0 +1,145 @@
+//! Cascade data (the left panels of paper Fig. 3).
+//!
+//! A cascade orders, per application, the platforms from most to least
+//! efficient; the line for an application shows how its efficiency decays
+//! and how the cumulative `P` evolves as more platforms are considered.
+//! "The first value on the x-axis describes the maximum efficiency on the
+//! best-performing hardware for a given framework. The hardware platform
+//! itself is identified by the letter in the plot below" (§V-B).
+
+use serde::{Deserialize, Serialize};
+
+use crate::efficiency::EfficiencyMatrix;
+use crate::pp::performance_portability;
+
+/// One step of an application's cascade.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CascadePoint {
+    /// 1-based position in the app's platform ordering.
+    pub rank: usize,
+    /// Platform occupying this position.
+    pub platform: String,
+    /// Application efficiency on that platform.
+    pub efficiency: f64,
+    /// Cumulative `P` over the `rank` best platforms.
+    pub cumulative_pp: f64,
+}
+
+/// Cascade of one application over a platform set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cascade {
+    /// Application name.
+    pub app: String,
+    /// Ordered cascade points (best platform first). Unsupported platforms
+    /// are appended with efficiency 0 and cumulative `P` 0, as in the
+    /// p3-analysis plots where CUDA's line drops to zero on AMD.
+    pub points: Vec<CascadePoint>,
+}
+
+impl Cascade {
+    /// Build the cascade of `app` over `platforms` from an efficiency
+    /// matrix.
+    pub fn build(matrix: &EfficiencyMatrix, app: &str, platforms: &[String]) -> Self {
+        let mut supported: Vec<(String, f64)> = Vec::new();
+        let mut unsupported: Vec<String> = Vec::new();
+        for p in platforms {
+            match matrix.efficiency(app, p) {
+                Some(e) if e > 0.0 => supported.push((p.clone(), e)),
+                _ => unsupported.push(p.clone()),
+            }
+        }
+        supported.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite efficiencies"));
+
+        let mut points = Vec::with_capacity(platforms.len());
+        let mut effs: Vec<Option<f64>> = Vec::new();
+        for (rank, (platform, e)) in supported.into_iter().enumerate() {
+            effs.push(Some(e));
+            points.push(CascadePoint {
+                rank: rank + 1,
+                platform,
+                efficiency: e,
+                cumulative_pp: performance_portability(&effs),
+            });
+        }
+        for platform in unsupported {
+            effs.push(None);
+            points.push(CascadePoint {
+                rank: points.len() + 1,
+                platform,
+                efficiency: 0.0,
+                cumulative_pp: 0.0,
+            });
+        }
+        Cascade {
+            app: app.to_string(),
+            points,
+        }
+    }
+
+    /// Final `P` over the whole platform set (last cumulative value).
+    pub fn final_pp(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| p.cumulative_pp)
+    }
+
+    /// Best platform for this app, if any is supported.
+    pub fn best_platform(&self) -> Option<&str> {
+        self.points
+            .first()
+            .filter(|p| p.efficiency > 0.0)
+            .map(|p| p.platform.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::efficiency::{MeasurementSet, Normalization};
+
+    fn matrix() -> (EfficiencyMatrix, Vec<String>) {
+        let mut s = MeasurementSet::new();
+        s.record("cuda", "h100", 1.0);
+        s.record("cuda", "t4", 8.0);
+        s.record("hip", "h100", 1.25);
+        s.record("hip", "t4", 8.0);
+        s.record("hip", "mi250x", 3.0);
+        s.record("omp", "mi250x", 2.5);
+        s.record("omp", "h100", 2.0);
+        s.record("omp", "t4", 20.0);
+        let platforms = vec!["h100".into(), "mi250x".into(), "t4".into()];
+        (s.efficiencies(Normalization::PlatformBest), platforms)
+    }
+
+    #[test]
+    fn cascade_orders_platforms_by_efficiency() {
+        let (m, platforms) = matrix();
+        let c = Cascade::build(&m, "hip", &platforms);
+        let order: Vec<&str> = c.points.iter().map(|p| p.platform.as_str()).collect();
+        // hip eff: h100 = 1/1.25 = 0.8, t4 = 8/8 = 1.0, mi250x = 2.5/3 ≈ 0.83.
+        assert_eq!(order, vec!["t4", "mi250x", "h100"]);
+        assert_eq!(c.best_platform(), Some("t4"));
+        // Cumulative P is non-increasing along the cascade.
+        for w in c.points.windows(2) {
+            assert!(w[1].cumulative_pp <= w[0].cumulative_pp + 1e-12);
+        }
+    }
+
+    #[test]
+    fn unsupported_platforms_zero_the_tail() {
+        let (m, platforms) = matrix();
+        let c = Cascade::build(&m, "cuda", &platforms);
+        assert_eq!(c.points.len(), 3);
+        let last = c.points.last().unwrap();
+        assert_eq!(last.platform, "mi250x");
+        assert_eq!(last.efficiency, 0.0);
+        assert_eq!(c.final_pp(), 0.0);
+        // But the partial cascade over supported platforms is positive.
+        assert!(c.points[1].cumulative_pp > 0.0);
+    }
+
+    #[test]
+    fn final_pp_matches_direct_computation() {
+        let (m, platforms) = matrix();
+        let c = Cascade::build(&m, "omp", &platforms);
+        assert!((c.final_pp() - m.pp("omp", &platforms)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,227 @@
+//! Timing measurements and the application-efficiency matrix.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One timing observation: application (framework+compiler) × platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Application / code-version identifier (e.g. `"SYCL+ACPP"`).
+    pub app: String,
+    /// Platform identifier (e.g. `"H100"`).
+    pub platform: String,
+    /// Average LSQR iteration time in seconds (lower is better).
+    pub seconds: f64,
+}
+
+/// How raw times are turned into efficiencies in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Normalization {
+    /// *Application efficiency* (the paper's metric): best observed time on
+    /// the platform across all applications, divided by this application's
+    /// time on that platform.
+    #[default]
+    PlatformBest,
+    /// Per-application normalization: the application's own best time
+    /// across platforms, divided by its time on this platform (the literal
+    /// reading of the artifact appendix; measures cross-platform spread of
+    /// one code version rather than competitiveness).
+    AppBestPlatform,
+}
+
+/// A collection of measurements over an app × platform grid. Missing cells
+/// mean "does not run there" (e.g. CUDA on MI250X, or a problem too large
+/// for the device memory) and make `P` zero over sets containing them.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MeasurementSet {
+    times: BTreeMap<(String, String), f64>,
+}
+
+impl MeasurementSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a measurement (replaces any previous value for the cell).
+    pub fn record(&mut self, app: &str, platform: &str, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds > 0.0,
+            "measurement must be positive and finite ({app} on {platform}: {seconds})"
+        );
+        self.times
+            .insert((app.to_string(), platform.to_string()), seconds);
+    }
+
+    /// Add from a [`Measurement`].
+    pub fn push(&mut self, m: Measurement) {
+        self.record(&m.app, &m.platform, m.seconds);
+    }
+
+    /// Look up a cell.
+    pub fn time(&self, app: &str, platform: &str) -> Option<f64> {
+        self.times
+            .get(&(app.to_string(), platform.to_string()))
+            .copied()
+    }
+
+    /// All distinct applications, sorted.
+    pub fn apps(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.times.keys().map(|(a, _)| a.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// All distinct platforms, sorted.
+    pub fn platforms(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.times.keys().map(|(_, p)| p.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Best (lowest) time on a platform across all applications.
+    pub fn platform_best(&self, platform: &str) -> Option<f64> {
+        self.times
+            .iter()
+            .filter(|((_, p), _)| p == platform)
+            .map(|(_, &t)| t)
+            .min_by(|a, b| a.partial_cmp(b).expect("times are finite"))
+    }
+
+    /// Best (lowest) time of an application across all platforms.
+    pub fn app_best(&self, app: &str) -> Option<f64> {
+        self.times
+            .iter()
+            .filter(|((a, _), _)| a == app)
+            .map(|(_, &t)| t)
+            .min_by(|a, b| a.partial_cmp(b).expect("times are finite"))
+    }
+
+    /// Compute the efficiency matrix under a normalization.
+    pub fn efficiencies(&self, norm: Normalization) -> EfficiencyMatrix {
+        let apps = self.apps();
+        let platforms = self.platforms();
+        let mut cells = BTreeMap::new();
+        for app in &apps {
+            for platform in &platforms {
+                if let Some(t) = self.time(app, platform) {
+                    let reference = match norm {
+                        Normalization::PlatformBest => self.platform_best(platform),
+                        Normalization::AppBestPlatform => self.app_best(app),
+                    }
+                    .expect("cell exists, so a best exists");
+                    cells.insert((app.clone(), platform.clone()), reference / t);
+                }
+            }
+        }
+        EfficiencyMatrix {
+            apps,
+            platforms,
+            cells,
+        }
+    }
+}
+
+/// Application × platform efficiency matrix (values in `(0, 1]`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EfficiencyMatrix {
+    apps: Vec<String>,
+    platforms: Vec<String>,
+    cells: BTreeMap<(String, String), f64>,
+}
+
+impl EfficiencyMatrix {
+    /// Applications (sorted).
+    pub fn apps(&self) -> &[String] {
+        &self.apps
+    }
+
+    /// Platforms (sorted).
+    pub fn platforms(&self) -> &[String] {
+        &self.platforms
+    }
+
+    /// Efficiency of `app` on `platform` (`None` = unsupported).
+    pub fn efficiency(&self, app: &str, platform: &str) -> Option<f64> {
+        self.cells
+            .get(&(app.to_string(), platform.to_string()))
+            .copied()
+    }
+
+    /// Efficiencies of one app over a platform set, `None` for unsupported.
+    pub fn app_row(&self, app: &str, platforms: &[String]) -> Vec<Option<f64>> {
+        platforms
+            .iter()
+            .map(|p| self.efficiency(app, p))
+            .collect()
+    }
+
+    /// Pennycook `P` of an app over a platform set.
+    pub fn pp(&self, app: &str, platforms: &[String]) -> f64 {
+        crate::pp::performance_portability(&self.app_row(app, platforms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MeasurementSet {
+        let mut s = MeasurementSet::new();
+        s.record("cuda", "h100", 1.0);
+        s.record("hip", "h100", 2.0);
+        s.record("hip", "mi250x", 1.0);
+        s.record("omp", "h100", 4.0);
+        s.record("omp", "mi250x", 2.0);
+        s
+    }
+
+    #[test]
+    fn platform_best_picks_min() {
+        let s = sample();
+        assert_eq!(s.platform_best("h100"), Some(1.0));
+        assert_eq!(s.platform_best("mi250x"), Some(1.0));
+        assert_eq!(s.platform_best("t4"), None);
+    }
+
+    #[test]
+    fn platform_best_normalization() {
+        let e = sample().efficiencies(Normalization::PlatformBest);
+        assert_eq!(e.efficiency("cuda", "h100"), Some(1.0));
+        assert_eq!(e.efficiency("hip", "h100"), Some(0.5));
+        assert_eq!(e.efficiency("hip", "mi250x"), Some(1.0));
+        assert_eq!(e.efficiency("omp", "h100"), Some(0.25));
+        assert_eq!(e.efficiency("cuda", "mi250x"), None);
+    }
+
+    #[test]
+    fn app_best_normalization() {
+        let e = sample().efficiencies(Normalization::AppBestPlatform);
+        // hip's best is 1.0 on mi250x → eff 0.5 on h100, 1.0 on mi250x.
+        assert_eq!(e.efficiency("hip", "h100"), Some(0.5));
+        assert_eq!(e.efficiency("hip", "mi250x"), Some(1.0));
+        // cuda runs on one platform only → eff 1.0 there.
+        assert_eq!(e.efficiency("cuda", "h100"), Some(1.0));
+    }
+
+    #[test]
+    fn pp_over_sets() {
+        let e = sample().efficiencies(Normalization::PlatformBest);
+        let all = vec!["h100".to_string(), "mi250x".to_string()];
+        // hip: harmonic mean of {0.5, 1.0} = 2/3.
+        assert!((e.pp("hip", &all) - 2.0 / 3.0).abs() < 1e-12);
+        // cuda: unsupported on mi250x → 0.
+        assert_eq!(e.pp("cuda", &all), 0.0);
+        // cuda over the NVIDIA-only set → 1.
+        assert_eq!(e.pp("cuda", &["h100".to_string()]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_nonpositive_times() {
+        MeasurementSet::new().record("a", "p", 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # gaia-p3
+//!
+//! A Rust reimplementation of the analysis layer the paper uses: the
+//! application-efficiency matrix, Pennycook's performance-portability
+//! metric `P` (Eq. 1), and the cascade plots of Fig. 3 produced with the
+//! p3-analysis-library (ref \[52\]).
+//!
+//! `P(a, p, H)` is the harmonic mean of application `a`'s efficiency over
+//! the platform set `H`, and **zero** if any platform in `H` is
+//! unsupported:
+//!
+//! ```text
+//!             |H| / Σ_{i∈H} 1/e_i(a,p)   if a runs on every i ∈ H
+//! P(a,p,H) =
+//!             0                           otherwise
+//! ```
+//!
+//! Efficiency is *application efficiency*: the best observed time on a
+//! platform across all applications, divided by this application's time
+//! there (see `DESIGN.md` for why this is the reading consistent with the
+//! paper's numbers; the per-application normalization is also available).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cascade;
+pub mod efficiency;
+pub mod means;
+pub mod plot;
+pub mod pp;
+pub mod report;
+pub mod subsets;
+pub mod svg;
+
+pub use cascade::{Cascade, CascadePoint};
+pub use efficiency::{EfficiencyMatrix, Measurement, MeasurementSet, Normalization};
+pub use pp::performance_portability;

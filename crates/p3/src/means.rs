@@ -1,0 +1,120 @@
+//! Why the harmonic mean.
+//!
+//! Pennycook et al. choose the harmonic mean for `P` deliberately: it is
+//! the only Pythagorean mean whose value corresponds to *total work over
+//! total time* when the same problem runs once per platform, and it
+//! punishes imbalance — one bad platform drags the score the way it drags
+//! a real campaign. This module implements all three means plus the
+//! AM–GM–HM comparison so the choice is demonstrable (and tested) rather
+//! than asserted.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Geometric mean of positive values; 0 if any value is non-positive.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Harmonic mean of positive values; 0 if any value is non-positive
+/// (matching `P`'s unsupported-platform semantics).
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+/// The three means of an efficiency set, for side-by-side reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanComparison {
+    /// Harmonic mean — Pennycook's `P`.
+    pub harmonic: f64,
+    /// Geometric mean.
+    pub geometric: f64,
+    /// Arithmetic mean — the over-optimistic aggregate.
+    pub arithmetic: f64,
+}
+
+/// Compute all three means.
+pub fn compare(values: &[f64]) -> MeanComparison {
+    MeanComparison {
+        harmonic: harmonic_mean(values),
+        geometric: geometric_mean(values),
+        arithmetic: arithmetic_mean(values),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hm_equals_total_work_over_total_time() {
+        // Same problem on each platform: times t_i, efficiencies e_i =
+        // t_best_i / t_i. With per-platform bests b_i and the same unit of
+        // work W per platform, the campaign-level efficiency is
+        // Σ b_i / Σ t_i when b_i are equal — exactly the harmonic mean of
+        // the e_i. Verify on a concrete case with equal bests.
+        let best = 2.0;
+        let times = [2.0, 4.0, 8.0];
+        let effs: Vec<f64> = times.iter().map(|t| best / t).collect();
+        let campaign = (times.len() as f64 * best) / times.iter().sum::<f64>();
+        assert!((harmonic_mean(&effs) - campaign).abs() < 1e-12);
+        // The arithmetic mean overstates it.
+        assert!(arithmetic_mean(&effs) > campaign + 0.05);
+    }
+
+    #[test]
+    fn one_bad_platform_dominates_the_harmonic_mean() {
+        let effs = [1.0, 1.0, 1.0, 0.05];
+        let c = compare(&effs);
+        assert!(c.harmonic < 0.2, "{c:?}");
+        assert!(c.arithmetic > 0.7, "{c:?}");
+        assert!(c.geometric > c.harmonic && c.geometric < c.arithmetic);
+    }
+
+    proptest! {
+        #[test]
+        fn am_gm_hm_inequality(values in proptest::collection::vec(0.01f64..1.0, 1..12)) {
+            let c = compare(&values);
+            prop_assert!(c.harmonic <= c.geometric + 1e-12);
+            prop_assert!(c.geometric <= c.arithmetic + 1e-12);
+        }
+
+        #[test]
+        fn all_means_equal_on_constant_input(v in 0.01f64..1.0, n in 1usize..10) {
+            let values = vec![v; n];
+            let c = compare(&values);
+            prop_assert!((c.harmonic - v).abs() < 1e-12);
+            prop_assert!((c.geometric - v).abs() < 1e-12);
+            prop_assert!((c.arithmetic - v).abs() < 1e-12);
+        }
+
+        #[test]
+        fn harmonic_matches_pp_on_supported_sets(
+            values in proptest::collection::vec(0.01f64..1.0, 1..10),
+        ) {
+            let wrapped: Vec<Option<f64>> = values.iter().copied().map(Some).collect();
+            let pp = crate::pp::performance_portability(&wrapped);
+            prop_assert!((pp - harmonic_mean(&values)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_and_empty_semantics_match_p() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert_eq!(harmonic_mean(&[0.5, 0.0]), 0.0);
+        assert_eq!(geometric_mean(&[0.5, -1.0]), 0.0);
+        assert_eq!(arithmetic_mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Minimal ASCII charts for terminal reproduction of the figures.
+//!
+//! The paper's figures are matplotlib plots from the p3-analysis-library;
+//! in a text harness we render the same data as horizontal bar charts
+//! (Figs. 4 and 5) and per-app cascade strips (Fig. 3). The CSV emitters in
+//! [`crate::report`] carry the exact values for external plotting.
+
+use std::fmt::Write as _;
+
+/// Horizontal bar chart of labeled values scaled to `width` columns.
+/// Values must be non-negative; bars render with `#`, and the numeric
+/// value is appended.
+pub fn bar_chart(title: &str, entries: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if entries.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let max = entries.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(1);
+    for (label, value) in entries {
+        assert!(*value >= 0.0, "bar chart values must be non-negative");
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "  {:<label_w$} |{:<width$}| {:.4}",
+            label,
+            "#".repeat(bar_len),
+            value
+        );
+    }
+    out
+}
+
+/// Cascade strip: efficiency per rank for one app, annotated with platform
+/// initials below, as in the Fig. 3 lower panels.
+pub fn cascade_strip(cascade: &crate::cascade::Cascade, width: usize) -> String {
+    let entries: Vec<(String, f64)> = cascade
+        .points
+        .iter()
+        .map(|p| (format!("#{} {}", p.rank, p.platform), p.efficiency))
+        .collect();
+    bar_chart(
+        &format!("{} (P = {:.3})", cascade.app, cascade.final_pp()),
+        &entries,
+        width,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_width() {
+        let chart = bar_chart(
+            "t",
+            &[("a".to_string(), 1.0), ("bb".to_string(), 0.5)],
+            10,
+        );
+        assert!(chart.contains("##########"), "{chart}");
+        assert!(chart.contains("#####"), "{chart}");
+        assert!(chart.contains("1.0000"));
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        assert!(bar_chart("x", &[], 10).contains("no data"));
+    }
+
+    #[test]
+    fn zero_values_render_empty_bars() {
+        let chart = bar_chart("z", &[("a".to_string(), 0.0)], 10);
+        assert!(chart.contains("| 0.0000") || chart.contains("|          | 0.0000"), "{chart}");
+    }
+}

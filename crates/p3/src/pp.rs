@@ -1,0 +1,100 @@
+//! Pennycook's performance-portability metric (paper Eq. 1).
+
+/// `P(a, p, H)`: harmonic mean of the efficiencies over the platform set;
+/// zero if the application does not run on every platform (`None` or a
+/// non-positive efficiency).
+///
+/// Properties (exercised by the property tests below):
+/// * `P` lies between the minimum and maximum efficiency;
+/// * `P` equals the common value when all efficiencies are equal;
+/// * `P` is monotone: improving any efficiency cannot decrease it;
+/// * adding a platform can only keep or lower `P` when the added
+///   efficiency is below the current `P` (harmonic-mean dilution — this is
+///   why the paper's 60 GB scores look better: fewer platforms).
+pub fn performance_portability(efficiencies: &[Option<f64>]) -> f64 {
+    if efficiencies.is_empty() {
+        return 0.0;
+    }
+    let mut inv_sum = 0.0f64;
+    for e in efficiencies {
+        match e {
+            Some(v) if *v > 0.0 => inv_sum += 1.0 / v,
+            _ => return 0.0,
+        }
+    }
+    efficiencies.len() as f64 / inv_sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn harmonic_mean_of_known_values() {
+        let p = performance_portability(&[Some(1.0), Some(0.5)]);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsupported_platform_zeroes_p() {
+        assert_eq!(performance_portability(&[Some(1.0), None]), 0.0);
+        assert_eq!(performance_portability(&[Some(1.0), Some(0.0)]), 0.0);
+    }
+
+    #[test]
+    fn empty_set_is_zero() {
+        assert_eq!(performance_portability(&[]), 0.0);
+    }
+
+    #[test]
+    fn single_platform_is_its_efficiency() {
+        assert!((performance_portability(&[Some(0.73)]) - 0.73).abs() < 1e-15);
+    }
+
+    proptest! {
+        #[test]
+        fn p_is_bounded_by_min_and_max(effs in proptest::collection::vec(0.01f64..1.0, 1..10)) {
+            let wrapped: Vec<Option<f64>> = effs.iter().copied().map(Some).collect();
+            let p = performance_portability(&wrapped);
+            let min = effs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = effs.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(p >= min - 1e-12 && p <= max + 1e-12);
+        }
+
+        #[test]
+        fn p_of_equal_efficiencies_is_that_value(e in 0.01f64..1.0, n in 1usize..10) {
+            let wrapped = vec![Some(e); n];
+            let p = performance_portability(&wrapped);
+            prop_assert!((p - e).abs() < 1e-12);
+        }
+
+        #[test]
+        fn p_is_monotone_in_each_efficiency(
+            effs in proptest::collection::vec(0.01f64..0.99, 2..8),
+            idx in 0usize..8,
+            bump in 0.001f64..0.01,
+        ) {
+            let idx = idx % effs.len();
+            let wrapped: Vec<Option<f64>> = effs.iter().copied().map(Some).collect();
+            let before = performance_portability(&wrapped);
+            let mut improved = effs.clone();
+            improved[idx] += bump;
+            let wrapped2: Vec<Option<f64>> = improved.iter().copied().map(Some).collect();
+            let after = performance_portability(&wrapped2);
+            prop_assert!(after >= before - 1e-12);
+        }
+
+        #[test]
+        fn adding_a_weak_platform_lowers_p(
+            effs in proptest::collection::vec(0.5f64..1.0, 1..6),
+            weak in 0.01f64..0.4,
+        ) {
+            let mut wrapped: Vec<Option<f64>> = effs.iter().copied().map(Some).collect();
+            let before = performance_portability(&wrapped);
+            wrapped.push(Some(weak));
+            let after = performance_portability(&wrapped);
+            prop_assert!(after <= before + 1e-12);
+        }
+    }
+}

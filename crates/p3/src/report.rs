@@ -1,0 +1,166 @@
+//! Text tables and CSV output for the figure harness.
+
+use std::fmt::Write as _;
+
+use crate::cascade::Cascade;
+use crate::efficiency::{EfficiencyMatrix, MeasurementSet};
+
+/// Render the raw time grid as an aligned text table (seconds), with `-`
+/// for unsupported cells. Apps are rows, platforms columns.
+pub fn times_table(set: &MeasurementSet, platforms: &[String]) -> String {
+    grid_table(
+        &set.apps(),
+        platforms,
+        |app, platform| set.time(app, platform),
+        "time [s]",
+        "{:.4}",
+    )
+}
+
+/// Render the efficiency matrix as an aligned text table.
+pub fn efficiency_table(matrix: &EfficiencyMatrix, platforms: &[String]) -> String {
+    grid_table(
+        matrix.apps(),
+        platforms,
+        |app, platform| matrix.efficiency(app, platform),
+        "efficiency",
+        "{:.3}",
+    )
+}
+
+fn grid_table(
+    apps: &[String],
+    platforms: &[String],
+    cell: impl Fn(&str, &str) -> Option<f64>,
+    title: &str,
+    _fmt: &str,
+) -> String {
+    let name_w = apps
+        .iter()
+        .map(|a| a.len())
+        .max()
+        .unwrap_or(4)
+        .max(title.len());
+    let col_w = platforms.iter().map(|p| p.len()).max().unwrap_or(6).max(8);
+    let mut out = String::new();
+    let _ = write!(out, "{:<name_w$}", title);
+    for p in platforms {
+        let _ = write!(out, " {:>col_w$}", p);
+    }
+    out.push('\n');
+    for app in apps {
+        let _ = write!(out, "{:<name_w$}", app);
+        for p in platforms {
+            match cell(app, p) {
+                Some(v) => {
+                    let _ = write!(out, " {:>col_w$.4}", v);
+                }
+                None => {
+                    let _ = write!(out, " {:>col_w$}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the `P` summary for every app over a platform set.
+pub fn pp_table(matrix: &EfficiencyMatrix, platforms: &[String]) -> String {
+    let mut rows: Vec<(String, f64)> = matrix
+        .apps()
+        .iter()
+        .map(|a| (a.clone(), matrix.pp(a, platforms)))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite P"));
+    let name_w = rows.iter().map(|(a, _)| a.len()).max().unwrap_or(4).max(9);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<name_w$} {:>6}", "framework", "P");
+    for (app, p) in rows {
+        let _ = writeln!(out, "{:<name_w$} {:>6.3}", app, p);
+    }
+    out
+}
+
+/// Render a cascade (one app) in the style of the Fig. 3 annotations.
+pub fn cascade_table(cascade: &Cascade) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cascade for {} (final P = {:.3})",
+        cascade.app,
+        cascade.final_pp()
+    );
+    for pt in &cascade.points {
+        let _ = writeln!(
+            out,
+            "  #{:<2} {:<10} eff {:>6.3}  cumulative P {:>6.3}",
+            pt.rank, pt.platform, pt.efficiency, pt.cumulative_pp
+        );
+    }
+    out
+}
+
+/// CSV of the efficiency matrix (`app,platform,efficiency`; unsupported
+/// cells emitted with an empty value, as p3-analysis does).
+pub fn efficiency_csv(matrix: &EfficiencyMatrix, platforms: &[String]) -> String {
+    let mut out = String::from("app,platform,efficiency\n");
+    for app in matrix.apps() {
+        for p in platforms {
+            match matrix.efficiency(app, p) {
+                Some(v) => {
+                    let _ = writeln!(out, "{app},{p},{v}");
+                }
+                None => {
+                    let _ = writeln!(out, "{app},{p},");
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::efficiency::{MeasurementSet, Normalization};
+
+    fn set() -> MeasurementSet {
+        let mut s = MeasurementSet::new();
+        s.record("cuda", "h100", 1.0);
+        s.record("hip", "h100", 2.0);
+        s.record("hip", "mi250x", 1.5);
+        s
+    }
+
+    #[test]
+    fn tables_contain_all_cells() {
+        let s = set();
+        let platforms = s.platforms();
+        let t = times_table(&s, &platforms);
+        assert!(t.contains("cuda") && t.contains("hip"));
+        assert!(t.contains('-'), "unsupported cell must render as dash");
+        let m = s.efficiencies(Normalization::PlatformBest);
+        let e = efficiency_table(&m, &platforms);
+        assert!(e.contains("0.5"), "hip on h100 is 0.5: {e}");
+    }
+
+    #[test]
+    fn pp_table_is_sorted_descending() {
+        let s = set();
+        let m = s.efficiencies(Normalization::PlatformBest);
+        let t = pp_table(&m, &["h100".to_string()]);
+        let cuda_pos = t.find("cuda").unwrap();
+        let hip_pos = t.find("hip").unwrap();
+        assert!(cuda_pos < hip_pos, "cuda (P=1) sorts before hip: {t}");
+    }
+
+    #[test]
+    fn csv_has_header_and_blank_for_unsupported() {
+        let s = set();
+        let m = s.efficiencies(Normalization::PlatformBest);
+        let csv = efficiency_csv(&m, &s.platforms());
+        assert!(csv.starts_with("app,platform,efficiency\n"));
+        assert!(csv.contains("cuda,mi250x,\n"));
+    }
+}

@@ -1,0 +1,132 @@
+//! `P` over platform subsets.
+//!
+//! The paper repeatedly evaluates `P` over *sets* of platforms — all
+//! five, the four NVIDIA ones ("if we only consider NVIDIA platforms,
+//! CUDA would be the winner with 0.97"), and the per-size capacity
+//! subsets — and Pennycook et al. themselves present `P` for different
+//! platform/application subsets because no code runs everywhere. This
+//! module systematizes that: named subsets, leave-one-out analysis (which
+//! platform costs a framework the most), and the subset winner table.
+
+use std::collections::BTreeMap;
+
+use crate::efficiency::EfficiencyMatrix;
+
+/// `P` of every app over one named platform subset, sorted best-first.
+pub fn subset_ranking(
+    matrix: &EfficiencyMatrix,
+    platforms: &[String],
+) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = matrix
+        .apps()
+        .iter()
+        .map(|a| (a.clone(), matrix.pp(a, platforms)))
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite P"));
+    out
+}
+
+/// The app with the highest `P` over the subset (`None` when every app
+/// scores zero, e.g. a subset nobody fully supports).
+pub fn subset_winner(matrix: &EfficiencyMatrix, platforms: &[String]) -> Option<(String, f64)> {
+    subset_ranking(matrix, platforms)
+        .into_iter()
+        .find(|(_, p)| *p > 0.0)
+}
+
+/// Leave-one-out analysis for one app: `P` over the full set and over
+/// each set with one platform removed. The platform whose removal raises
+/// `P` the most is the app's bottleneck (for CUDA that is trivially the
+/// MI250X; for OMP+LLVM it is the T4).
+pub fn leave_one_out(
+    matrix: &EfficiencyMatrix,
+    app: &str,
+    platforms: &[String],
+) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for removed in platforms {
+        let subset: Vec<String> = platforms.iter().filter(|p| *p != removed).cloned().collect();
+        out.insert(removed.clone(), matrix.pp(app, &subset));
+    }
+    out
+}
+
+/// The platform whose removal improves `app`'s `P` the most, with the
+/// improved score.
+pub fn bottleneck_platform(
+    matrix: &EfficiencyMatrix,
+    app: &str,
+    platforms: &[String],
+) -> Option<(String, f64)> {
+    leave_one_out(matrix, app, platforms)
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite P"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::efficiency::{MeasurementSet, Normalization};
+
+    fn matrix() -> (EfficiencyMatrix, Vec<String>) {
+        let mut s = MeasurementSet::new();
+        // "cuda" unsupported on amd; "omp" terrible on old.
+        s.record("cuda", "old", 2.0);
+        s.record("cuda", "new", 1.0);
+        s.record("hip", "old", 2.1);
+        s.record("hip", "new", 1.05);
+        s.record("hip", "amd", 1.0);
+        s.record("omp", "old", 20.0);
+        s.record("omp", "new", 1.2);
+        s.record("omp", "amd", 1.1);
+        let platforms = vec!["old".into(), "new".into(), "amd".into()];
+        (s.efficiencies(Normalization::PlatformBest), platforms)
+    }
+
+    #[test]
+    fn winner_over_full_set_skips_unsupported_apps() {
+        let (m, platforms) = matrix();
+        let (winner, p) = subset_winner(&m, &platforms).unwrap();
+        assert_eq!(winner, "hip");
+        assert!(p > 0.9);
+    }
+
+    #[test]
+    fn vendor_subset_flips_the_winner() {
+        // The paper's NVIDIA-only observation: CUDA wins once AMD is out.
+        let (m, _) = matrix();
+        let nvidia: Vec<String> = vec!["old".into(), "new".into()];
+        let (winner, _) = subset_winner(&m, &nvidia).unwrap();
+        assert_eq!(winner, "cuda");
+    }
+
+    #[test]
+    fn bottleneck_identifies_the_costly_platform() {
+        let (m, platforms) = matrix();
+        // omp's harmonic mean is dominated by its "old" disaster.
+        let (worst, improved) = bottleneck_platform(&m, "omp", &platforms).unwrap();
+        assert_eq!(worst, "old");
+        assert!(improved > m.pp("omp", &platforms) * 2.0);
+        // cuda's bottleneck is the unsupported platform (P goes 0 → >0).
+        let (cuda_worst, cuda_improved) = bottleneck_platform(&m, "cuda", &platforms).unwrap();
+        assert_eq!(cuda_worst, "amd");
+        assert!(cuda_improved > 0.0);
+        assert_eq!(m.pp("cuda", &platforms), 0.0);
+    }
+
+    #[test]
+    fn ranking_is_sorted_descending() {
+        let (m, platforms) = matrix();
+        let r = subset_ranking(&m, &platforms);
+        for w in r.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn empty_subset_scores_zero_for_everyone() {
+        let (m, _) = matrix();
+        assert!(subset_winner(&m, &[]).is_none());
+    }
+}

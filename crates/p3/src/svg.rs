@@ -1,0 +1,372 @@
+//! Minimal SVG plot emitter.
+//!
+//! The figure binaries print ASCII for the terminal and JSON for external
+//! tooling; this module adds self-contained SVG files (no dependencies)
+//! for the two plot shapes the paper uses: the 1:1 scatter of Fig. 6 and
+//! the per-framework efficiency lines of Fig. 3/5.
+
+use std::fmt::Write as _;
+
+/// Plot dimensions and margins.
+const W: f64 = 480.0;
+const H: f64 = 480.0;
+const M: f64 = 56.0;
+
+fn axis_bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    if lo == hi {
+        let pad = lo.abs().max(1e-12);
+        return (lo - pad, hi + pad);
+    }
+    let pad = 0.05 * (hi - lo);
+    (lo - pad, hi + pad)
+}
+
+fn svg_header(title: &str) -> String {
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
+         viewBox=\"0 0 {W} {H}\" font-family=\"monospace\" font-size=\"11\">\n\
+         <rect width=\"{W}\" height=\"{H}\" fill=\"white\"/>\n\
+         <text x=\"{}\" y=\"18\" text-anchor=\"middle\" font-size=\"13\">{}</text>\n",
+        W / 2.0,
+        xml_escape(title)
+    )
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// A 1:1 scatter plot (paper Fig. 6): points `(x, y)` with the identity
+/// line dashed, axis labels, and a point color.
+pub fn scatter_1to1(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    points: &[(f64, f64)],
+    color: &str,
+) -> String {
+    let (lo, hi) = axis_bounds(points.iter().flat_map(|&(a, b)| [a, b].into_iter()));
+    let scale = |v: f64| M + (v - lo) / (hi - lo) * (W - 2.0 * M);
+    let scale_y = |v: f64| H - M - (v - lo) / (hi - lo) * (H - 2.0 * M);
+    let mut out = svg_header(title);
+    // Frame.
+    let _ = writeln!(
+        out,
+        "<rect x=\"{M}\" y=\"{M}\" width=\"{}\" height=\"{}\" fill=\"none\" stroke=\"black\"/>",
+        W - 2.0 * M,
+        H - 2.0 * M
+    );
+    // Identity line.
+    let _ = writeln!(
+        out,
+        "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"black\" stroke-dasharray=\"6 4\"/>",
+        scale(lo),
+        scale_y(lo),
+        scale(hi),
+        scale_y(hi)
+    );
+    // Points.
+    for &(x, y) in points {
+        let _ = writeln!(
+            out,
+            "<circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"3\" fill=\"{}\" fill-opacity=\"0.6\"/>",
+            scale(x),
+            scale_y(y),
+            xml_escape(color)
+        );
+    }
+    // Axis labels and bounds.
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+        W / 2.0,
+        H - 14.0,
+        xml_escape(x_label)
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"16\" y=\"{}\" text-anchor=\"middle\" transform=\"rotate(-90 16 {})\">{}</text>",
+        H / 2.0,
+        H / 2.0,
+        xml_escape(y_label)
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{M}\" y=\"{}\" font-size=\"9\">{lo:.3e}</text>\
+         <text x=\"{}\" y=\"{}\" font-size=\"9\" text-anchor=\"end\">{hi:.3e}</text>",
+        H - M + 14.0,
+        W - M,
+        H - M + 14.0
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Per-series line chart over integer x positions (paper Fig. 3 cascades /
+/// Fig. 5 efficiencies): `series = [(name, color, values)]`, y in [0, 1].
+pub fn line_chart(
+    title: &str,
+    x_labels: &[String],
+    series: &[(String, String, Vec<Option<f64>>)],
+) -> String {
+    let n = x_labels.len().max(2);
+    let sx = |i: usize| M + i as f64 / (n as f64 - 1.0) * (W - 2.0 * M);
+    let sy = |v: f64| H - M - v.clamp(0.0, 1.05) / 1.05 * (H - 2.0 * M);
+    let mut out = svg_header(title);
+    let _ = writeln!(
+        out,
+        "<rect x=\"{M}\" y=\"{M}\" width=\"{}\" height=\"{}\" fill=\"none\" stroke=\"black\"/>",
+        W - 2.0 * M,
+        H - 2.0 * M
+    );
+    // Gridline at 1.0 and x labels.
+    let _ = writeln!(
+        out,
+        "<line x1=\"{M}\" y1=\"{:.2}\" x2=\"{}\" y2=\"{:.2}\" stroke=\"#bbb\"/>",
+        sy(1.0),
+        W - M,
+        sy(1.0)
+    );
+    for (i, label) in x_labels.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.2}\" y=\"{}\" text-anchor=\"middle\" font-size=\"10\">{}</text>",
+            sx(i),
+            H - M + 16.0,
+            xml_escape(label)
+        );
+    }
+    // Series.
+    for (si, (name, color, values)) in series.iter().enumerate() {
+        let mut path = String::new();
+        let mut pen_down = false;
+        for (i, v) in values.iter().enumerate() {
+            match v {
+                Some(v) => {
+                    let cmd = if pen_down { 'L' } else { 'M' };
+                    let _ = write!(path, "{cmd}{:.2} {:.2} ", sx(i), sy(*v));
+                    pen_down = true;
+                }
+                None => pen_down = false,
+            }
+        }
+        if !path.is_empty() {
+            let _ = writeln!(
+                out,
+                "<path d=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"1.8\"/>",
+                path.trim_end(),
+                xml_escape(color)
+            );
+        }
+        for (i, v) in values.iter().enumerate() {
+            if let Some(v) = v {
+                let _ = writeln!(
+                    out,
+                    "<circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"2.6\" fill=\"{}\"/>",
+                    sx(i),
+                    sy(*v),
+                    xml_escape(color)
+                );
+            }
+        }
+        // Legend.
+        let ly = M + 14.0 * si as f64 + 4.0;
+        let _ = writeln!(
+            out,
+            "<rect x=\"{}\" y=\"{:.2}\" width=\"10\" height=\"10\" fill=\"{}\"/>\
+             <text x=\"{}\" y=\"{:.2}\" font-size=\"10\">{}</text>",
+            W - M - 120.0,
+            ly - 8.0,
+            xml_escape(color),
+            W - M - 106.0,
+            ly,
+            xml_escape(name)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Grouped bar chart: one group per x label, one bar per series (used for
+/// the Fig. 4 iteration-time panels). Values must be non-negative; a log
+/// scale is applied when the spread exceeds 30x (iteration times span
+/// orders of magnitude across platforms, as in the paper's log-scale
+/// Fig. 4).
+pub fn bar_chart_grouped(
+    title: &str,
+    x_labels: &[String],
+    series: &[(String, String, Vec<Option<f64>>)],
+) -> String {
+    let mut out = svg_header(title);
+    let groups = x_labels.len().max(1);
+    let bars = series.len().max(1);
+    let group_w = (W - 2.0 * M) / groups as f64;
+    let bar_w = (group_w * 0.8) / bars as f64;
+    let max = series
+        .iter()
+        .flat_map(|(_, _, v)| v.iter().flatten())
+        .fold(0.0f64, |m, &v| m.max(v));
+    let min_pos = series
+        .iter()
+        .flat_map(|(_, _, v)| v.iter().flatten())
+        .filter(|&&v| v > 0.0)
+        .fold(f64::INFINITY, |m, &v| m.min(v));
+    let log = max > 0.0 && min_pos.is_finite() && max / min_pos > 30.0;
+    let height = |v: f64| -> f64 {
+        if max <= 0.0 || v <= 0.0 {
+            return 0.0;
+        }
+        if log {
+            ((v / min_pos).ln() / (max / min_pos).ln()).max(0.02) * (H - 2.0 * M)
+        } else {
+            v / max * (H - 2.0 * M)
+        }
+    };
+    let _ = writeln!(
+        out,
+        "<rect x=\"{M}\" y=\"{M}\" width=\"{}\" height=\"{}\" fill=\"none\" stroke=\"black\"/>",
+        W - 2.0 * M,
+        H - 2.0 * M
+    );
+    for (g, label) in x_labels.iter().enumerate() {
+        let gx = M + g as f64 * group_w;
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{}\" text-anchor=\"middle\" font-size=\"10\">{}</text>",
+            gx + group_w / 2.0,
+            H - M + 16.0,
+            xml_escape(label)
+        );
+        for (s, (_, color, values)) in series.iter().enumerate() {
+            if let Some(Some(v)) = values.get(g) {
+                let h = height(*v);
+                let x = gx + group_w * 0.1 + s as f64 * bar_w;
+                let _ = writeln!(
+                    out,
+                    "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"{}\"/>",
+                    x,
+                    H - M - h,
+                    bar_w.max(1.0),
+                    h,
+                    xml_escape(color)
+                );
+            }
+        }
+    }
+    for (si, (name, color, _)) in series.iter().enumerate() {
+        let ly = M + 12.0 * si as f64 + 4.0;
+        let _ = writeln!(
+            out,
+            "<rect x=\"{}\" y=\"{:.1}\" width=\"10\" height=\"10\" fill=\"{}\"/>\
+             <text x=\"{}\" y=\"{:.1}\" font-size=\"10\">{}</text>",
+            W - M - 120.0,
+            ly - 8.0,
+            xml_escape(color),
+            W - M - 106.0,
+            ly,
+            xml_escape(name)
+        );
+    }
+    if log {
+        let _ = writeln!(
+            out,
+            "<text x=\"{M}\" y=\"{}\" font-size=\"9\">log scale, floor {min_pos:.3}</text>",
+            M - 6.0
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Default qualitative palette (8 distinguishable colors, matching the
+/// paper's 8 framework lines).
+pub const PALETTE: [&str; 8] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_is_well_formed_svg() {
+        let pts = vec![(1.0, 1.01), (2.0, 1.98), (3.0, 3.0)];
+        let svg = scatter_1to1("t", "prod", "port", &pts, "red");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("stroke-dasharray"), "identity line present");
+        assert!(svg.contains("prod") && svg.contains("port"));
+    }
+
+    #[test]
+    fn line_chart_handles_gaps_and_legend() {
+        let svg = line_chart(
+            "P cascade",
+            &["1".into(), "2".into(), "3".into()],
+            &[
+                ("HIP".into(), PALETTE[1].into(), vec![Some(1.0), Some(0.9), Some(0.8)]),
+                ("CUDA".into(), PALETTE[0].into(), vec![Some(1.0), None, Some(0.0)]),
+            ],
+        );
+        assert!(svg.contains("HIP") && svg.contains("CUDA"));
+        // CUDA's gap breaks the path into two move commands.
+        let cuda_path_count = svg.matches('M').count();
+        assert!(cuda_path_count >= 3, "{cuda_path_count}");
+        assert_eq!(svg.matches("<path").count(), 2);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let svg = scatter_1to1("t", "x", "y", &[], "blue");
+        assert!(svg.contains("</svg>"));
+        let same = scatter_1to1("t", "x", "y", &[(2.0, 2.0)], "blue");
+        assert!(same.contains("<circle"));
+        let empty = line_chart("t", &[], &[]);
+        assert!(empty.contains("</svg>"));
+    }
+
+    #[test]
+    fn grouped_bars_render_one_rect_per_value() {
+        let svg = bar_chart_grouped(
+            "t",
+            &["p1".into(), "p2".into()],
+            &[
+                ("a".into(), "red".into(), vec![Some(1.0), Some(2.0)]),
+                ("b".into(), "blue".into(), vec![Some(3.0), None]),
+            ],
+        );
+        // frame + 3 bars + 2 legend swatches = 6 rects + background.
+        assert_eq!(svg.matches("<rect").count(), 1 + 1 + 3 + 2);
+        assert!(svg.contains("p1") && svg.contains("p2"));
+    }
+
+    #[test]
+    fn grouped_bars_switch_to_log_scale_on_wide_spread() {
+        let svg = bar_chart_grouped(
+            "t",
+            &["x".into()],
+            &[("a".into(), "red".into(), vec![Some(0.001)]),
+              ("b".into(), "blue".into(), vec![Some(1.0)])],
+        );
+        assert!(svg.contains("log scale"), "{svg}");
+    }
+
+    #[test]
+    fn xml_special_characters_are_escaped() {
+        let svg = scatter_1to1("a<b & \"c\"", "x", "y", &[(0.0, 1.0)], "red");
+        assert!(svg.contains("a&lt;b &amp; &quot;c&quot;"));
+        assert!(!svg.contains("a<b"));
+    }
+}

@@ -1,0 +1,227 @@
+//! Dense mirror of small systems, used as a brute-force oracle in tests.
+//!
+//! Every backend's `aprod1`/`aprod2` kernels and the LSQR solver itself are
+//! validated against straightforward dense matrix arithmetic on systems
+//! small enough to materialize (the paper validates its ports against the
+//! production CUDA solution; our oracle plays the role of that reference).
+
+// Row/column index arithmetic on flat buffers reads clearest with plain
+// index loops here; iterator/enumerate forms obscure the r·cols+c layout.
+#![allow(clippy::needless_range_loop)]
+
+use crate::system::SparseSystem;
+
+/// A row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Materialize a sparse system. Refuses absurd sizes (> 64 M entries) to
+    /// protect tests from accidental huge layouts.
+    pub fn from_sparse(sys: &SparseSystem) -> Self {
+        let rows = sys.n_rows();
+        let cols = sys.n_cols();
+        assert!(
+            rows.saturating_mul(cols) <= 64 << 20,
+            "system too large to densify ({rows} x {cols})"
+        );
+        let mut data = vec![0.0f64; rows * cols];
+        for row in 0..rows {
+            for (col, val) in sys.row_entries(row) {
+                data[row * cols + col as usize] += val;
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// `out += A x`.
+    pub fn mat_vec_acc(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(out.len(), self.rows);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            out[r] += row.iter().zip(x).map(|(a, b)| a * b).sum::<f64>();
+        }
+    }
+
+    /// `out += Aᵀ y`.
+    pub fn mat_t_vec_acc(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.rows);
+        assert_eq!(out.len(), self.cols);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let yr = y[r];
+            for (slot, &a) in out.iter_mut().zip(row) {
+                *slot += a * yr;
+            }
+        }
+    }
+
+    /// Count of structurally non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Solve the normal equations `AᵀA x = Aᵀ b` by Gaussian elimination
+    /// with partial pivoting. Only for tiny oracle systems. Panics on a
+    /// numerically rank-deficient system; use
+    /// [`DenseMatrix::try_least_squares`] to detect that case instead
+    /// (rank deficiency is *expected* for AVU-GSR systems generated
+    /// without constraint rows — pinning the null space is the
+    /// constraints' entire job, §III-B).
+    pub fn least_squares(&self, b: &[f64]) -> Vec<f64> {
+        self.try_least_squares(b)
+            .expect("singular normal matrix in oracle solve")
+    }
+
+    /// Fallible variant of [`DenseMatrix::least_squares`]: `None` when the
+    /// normal matrix is numerically singular (rank-deficient system).
+    pub fn try_least_squares(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(b.len(), self.rows);
+        let n = self.cols;
+        assert!(n <= 2048, "oracle least-squares limited to tiny systems");
+        // Form AtA and Atb.
+        let mut ata = vec![0.0f64; n * n];
+        let mut atb = vec![0.0f64; n];
+        for r in 0..self.rows {
+            let row = &self.data[r * n..(r + 1) * n];
+            for i in 0..n {
+                let ai = row[i];
+                if ai == 0.0 {
+                    continue;
+                }
+                atb[i] += ai * b[r];
+                for j in 0..n {
+                    ata[i * n + j] += ai * row[j];
+                }
+            }
+        }
+        gauss_solve(&mut ata, &mut atb, n).then_some(atb)
+    }
+}
+
+/// In-place Gaussian elimination with partial pivoting on an `n × n`
+/// system; `false` signals a numerically singular matrix.
+#[must_use]
+fn gauss_solve(a: &mut [f64], b: &mut [f64], n: usize) -> bool {
+    for k in 0..n {
+        // Pivot.
+        let mut p = k;
+        for r in (k + 1)..n {
+            if a[r * n + k].abs() > a[p * n + k].abs() {
+                p = r;
+            }
+        }
+        if p != k {
+            for c in 0..n {
+                a.swap(k * n + c, p * n + c);
+            }
+            b.swap(k, p);
+        }
+        let pivot = a[k * n + k];
+        if pivot.abs() <= 1e-12 {
+            return false;
+        }
+        for r in (k + 1)..n {
+            let f = a[r * n + k] / pivot;
+            if f == 0.0 {
+                continue;
+            }
+            for c in k..n {
+                a[r * n + c] -= f * a[k * n + c];
+            }
+            b[r] -= f * b[k];
+        }
+    }
+    // Back substitution.
+    for k in (0..n).rev() {
+        let mut s = b[k];
+        for c in (k + 1)..n {
+            s -= a[k * n + c] * b[c];
+        }
+        b[k] = s / a[k * n + k];
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Generator, GeneratorConfig, Rhs};
+    use crate::layout::SystemLayout;
+
+    #[test]
+    fn dense_mirror_matches_row_dot() {
+        let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(5)).generate();
+        let d = DenseMatrix::from_sparse(&sys);
+        let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64).cos()).collect();
+        let mut out = vec![0.0; sys.n_rows()];
+        d.mat_vec_acc(&x, &mut out);
+        for row in 0..sys.n_rows() {
+            assert!((out[row] - sys.row_dot(row, &x)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dense_transpose_matches_row_scatter() {
+        let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(6)).generate();
+        let d = DenseMatrix::from_sparse(&sys);
+        let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut want = vec![0.0; sys.n_cols()];
+        for row in 0..sys.n_rows() {
+            sys.row_scatter(row, y[row], &mut want);
+        }
+        let mut got = vec![0.0; sys.n_cols()];
+        d.mat_t_vec_acc(&y, &mut got);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn least_squares_recovers_noiseless_truth() {
+        let cfg = GeneratorConfig::new(SystemLayout::tiny())
+            .seed(7)
+            .rhs(Rhs::FromTrueSolution { noise_sigma: 0.0 });
+        let (sys, truth) = Generator::new(cfg).generate_with_truth();
+        let x_true = truth.unwrap();
+        let d = DenseMatrix::from_sparse(&sys);
+        let x = d.least_squares(sys.known_terms());
+        let err: f64 = x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-6, "oracle LS error {err}");
+    }
+
+    #[test]
+    fn nnz_matches_layout_accounting() {
+        let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(8)).generate();
+        let d = DenseMatrix::from_sparse(&sys);
+        // The dense mirror has at most layout.nnz_total() non-zeros (some
+        // attitude constraint slots are structurally zero).
+        assert!(d.nnz() as u64 <= sys.layout().nnz_total());
+        assert!(d.nnz() > 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Observation sharding across ranks.
+//!
+//! The production solver "leverages distributed systems via MPI, where each
+//! MPI rank processes a subset of the observations" (§IV). Rows are
+//! distributed star-aligned: all observations of one star live on one rank,
+//! so the astrometric part of `aprod2` stays collision-free within a rank.
+//! Constraint rows are replicated conceptually but *owned* by the last rank
+//! (they are few).
+
+use serde::{Deserialize, Serialize};
+
+use crate::layout::SystemLayout;
+
+/// A contiguous range of rows owned by one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowRange {
+    /// First owned row.
+    pub start: u64,
+    /// One past the last owned row.
+    pub end: u64,
+}
+
+impl RowRange {
+    /// Number of rows in the range.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True when the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterate the rows.
+    pub fn iter(&self) -> impl Iterator<Item = u64> {
+        self.start..self.end
+    }
+}
+
+/// Star-aligned partition of the rows of a system across `n_ranks` ranks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowPartition {
+    n_ranks: usize,
+    ranges: Vec<RowRange>,
+}
+
+impl RowPartition {
+    /// Partition `layout`'s rows across `n_ranks` ranks. Stars are split in
+    /// near-equal contiguous groups; the trailing constraint rows go to the
+    /// last rank.
+    pub fn new(layout: &SystemLayout, n_ranks: usize) -> Self {
+        assert!(n_ranks > 0, "need at least one rank");
+        let stars = layout.n_stars;
+        let mut ranges = Vec::with_capacity(n_ranks);
+        let mut star_cursor = 0u64;
+        for rank in 0..n_ranks as u64 {
+            // Balanced star split: first (stars % n) ranks get one extra.
+            let share = stars / n_ranks as u64
+                + if rank < stars % n_ranks as u64 { 1 } else { 0 };
+            let start_star = star_cursor;
+            star_cursor += share;
+            let start = start_star * layout.obs_per_star;
+            let mut end = star_cursor * layout.obs_per_star;
+            if rank == n_ranks as u64 - 1 {
+                end = layout.n_rows(); // constraint rows
+            }
+            ranges.push(RowRange { start, end });
+        }
+        RowPartition { n_ranks, ranges }
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Row range owned by `rank`.
+    pub fn range(&self, rank: usize) -> RowRange {
+        self.ranges[rank]
+    }
+
+    /// Rank owning `row`.
+    pub fn owner(&self, row: u64) -> usize {
+        self.ranges
+            .iter()
+            .position(|r| row >= r.start && row < r.end)
+            .expect("row outside partition")
+    }
+
+    /// Maximum rows owned by any rank (load-balance metric; the paper
+    /// measures "the iteration time maximized among all MPI processes").
+    pub fn max_rows(&self) -> u64 {
+        self.ranges.iter().map(RowRange::len).max().unwrap_or(0)
+    }
+
+    /// Load imbalance: `max_rows / mean_rows`, 1.0 = perfectly balanced.
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.ranges.iter().map(RowRange::len).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        self.max_rows() as f64 * self.n_ranks as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn partition_covers_all_rows_exactly_once() {
+        let layout = SystemLayout::small();
+        for n_ranks in 1..=7 {
+            let p = RowPartition::new(&layout, n_ranks);
+            let mut cursor = 0u64;
+            for rank in 0..n_ranks {
+                let r = p.range(rank);
+                assert_eq!(r.start, cursor);
+                cursor = r.end;
+            }
+            assert_eq!(cursor, layout.n_rows());
+        }
+    }
+
+    #[test]
+    fn partition_is_star_aligned() {
+        let layout = SystemLayout::small();
+        let p = RowPartition::new(&layout, 5);
+        for rank in 0..4 {
+            // All but the last rank start and end on star boundaries.
+            let r = p.range(rank);
+            assert_eq!(r.start % layout.obs_per_star, 0);
+            assert_eq!(r.end % layout.obs_per_star, 0);
+        }
+    }
+
+    #[test]
+    fn last_rank_owns_constraints() {
+        let layout = SystemLayout::small();
+        let p = RowPartition::new(&layout, 3);
+        let last = p.range(2);
+        assert_eq!(last.end, layout.n_rows());
+        assert!(last.end - layout.n_constraint_rows >= last.start);
+        assert_eq!(p.owner(layout.n_rows() - 1), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn owner_is_consistent_with_ranges(
+            n_ranks in 1usize..9,
+            stars in 4u64..40,
+            obs in 2u64..12,
+        ) {
+            let layout = SystemLayout {
+                n_stars: stars,
+                obs_per_star: obs,
+                n_deg_freedom_att: 8,
+                n_instr_params: 8,
+                n_glob_params: 1,
+                n_constraint_rows: 3,
+            };
+            prop_assume!(layout.validate().is_ok());
+            let p = RowPartition::new(&layout, n_ranks);
+            for row in 0..layout.n_rows() {
+                let rank = p.owner(row);
+                let r = p.range(rank);
+                prop_assert!(row >= r.start && row < r.end);
+            }
+            prop_assert!(p.imbalance() >= 1.0 - 1e-9);
+        }
+    }
+}

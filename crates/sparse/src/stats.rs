@@ -1,0 +1,206 @@
+//! Structural statistics of a system.
+//!
+//! The performance story of the paper hinges on structural properties of
+//! `A`: the astrometric block is collision-free across stars, "the
+//! indexes used by aprod2 can collide" for the other blocks (§IV), and
+//! the attitude access pattern determines coalescing. This module
+//! quantifies those properties for a concrete system — collision factors
+//! (rows per column), touch counts, and attitude locality — both to
+//! document generated datasets and to sanity-check that the generator
+//! reproduces the production structure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layout::BlockKind;
+use crate::system::SparseSystem;
+
+/// Per-block column-collision statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockStats {
+    /// Block described.
+    pub block: BlockKind,
+    /// Columns in the block.
+    pub n_cols: u64,
+    /// Columns touched by at least one row.
+    pub touched_cols: u64,
+    /// Total stored non-zeros in the block.
+    pub nnz: u64,
+    /// Mean rows touching a touched column (the atomic collision factor
+    /// for `aprod2`).
+    pub mean_rows_per_col: f64,
+    /// Maximum rows touching any single column (worst-case contention).
+    pub max_rows_per_col: u64,
+}
+
+/// Whole-system structural statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemStats {
+    /// Per-block collision statistics, in [`BlockKind::ALL`] order.
+    pub blocks: Vec<BlockStats>,
+    /// Mean absolute difference of consecutive rows' attitude offsets —
+    /// the locality the time-ordered generator produces (small values =
+    /// banded attitude block = partially coalesced GPU loads).
+    pub attitude_offset_locality: f64,
+    /// Fraction of dense entries that are structurally zero.
+    pub sparsity: f64,
+}
+
+/// Compute the statistics of a system (cost: one pass over the non-zeros).
+pub fn system_stats(sys: &SparseSystem) -> SystemStats {
+    let cols = sys.columns();
+    let mut touch = vec![0u64; sys.n_cols()];
+    for row in 0..sys.n_rows() {
+        for (col, _) in sys.row_entries(row) {
+            touch[col as usize] += 1;
+        }
+    }
+
+    let blocks = BlockKind::ALL
+        .iter()
+        .map(|&block| {
+            let range = cols.range(block);
+            let slice = &touch[range.start as usize..range.end as usize];
+            let touched: Vec<u64> = slice.iter().copied().filter(|&t| t > 0).collect();
+            let nnz: u64 = slice.iter().sum();
+            BlockStats {
+                block,
+                n_cols: range.end - range.start,
+                touched_cols: touched.len() as u64,
+                nnz,
+                mean_rows_per_col: if touched.is_empty() {
+                    0.0
+                } else {
+                    nnz as f64 / touched.len() as f64
+                },
+                max_rows_per_col: touched.iter().copied().max().unwrap_or(0),
+            }
+        })
+        .collect();
+
+    let offs = sys.matrix_index_att();
+    let n_obs = sys.n_obs_rows();
+    let attitude_offset_locality = if n_obs > 1 {
+        offs[..n_obs]
+            .windows(2)
+            .map(|w| w[0].abs_diff(w[1]) as f64)
+            .sum::<f64>()
+            / (n_obs as f64 - 1.0)
+    } else {
+        0.0
+    };
+
+    let dense_entries = sys.n_rows() as u64 * sys.n_cols() as u64;
+    let nnz_total: u64 = touch.iter().sum();
+    SystemStats {
+        blocks,
+        attitude_offset_locality,
+        sparsity: 1.0 - nnz_total as f64 / dense_entries as f64,
+    }
+}
+
+impl SystemStats {
+    /// Statistics of one block.
+    pub fn block(&self, kind: BlockKind) -> &BlockStats {
+        self.blocks
+            .iter()
+            .find(|b| b.block == kind)
+            .expect("all blocks present")
+    }
+
+    /// The ratio of the worst colliding block's collision factor to the
+    /// astrometric one — how much more contended the atomic kernels are
+    /// than the conflict-free one (per *column*; the astrometric block is
+    /// conflict-free across *stars*, not per column, which is exactly why
+    /// it is parallelized over stars).
+    pub fn contention_ratio(&self) -> f64 {
+        let astro = self.block(BlockKind::Astrometric).mean_rows_per_col;
+        let worst = self
+            .blocks
+            .iter()
+            .filter(|b| b.block != BlockKind::Astrometric)
+            .map(|b| b.mean_rows_per_col)
+            .fold(0.0f64, f64::max);
+        if astro > 0.0 {
+            worst / astro
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Generator, GeneratorConfig};
+    use crate::layout::SystemLayout;
+
+    fn stats_for(layout: SystemLayout, seed: u64) -> SystemStats {
+        let sys = Generator::new(GeneratorConfig::new(layout).seed(seed)).generate();
+        system_stats(&sys)
+    }
+
+    #[test]
+    fn astro_columns_are_touched_exactly_obs_per_star_times() {
+        let layout = SystemLayout::tiny();
+        let s = stats_for(layout, 11);
+        let astro = s.block(BlockKind::Astrometric);
+        assert_eq!(astro.touched_cols, layout.n_astro_cols());
+        // Block-diagonal: every astro column is touched by exactly the
+        // star's observation rows.
+        assert_eq!(astro.mean_rows_per_col, layout.obs_per_star as f64);
+        assert_eq!(astro.max_rows_per_col, layout.obs_per_star);
+    }
+
+    #[test]
+    fn shared_blocks_are_more_contended_than_astro() {
+        // §IV's motivation for atomics: attitude/instr columns aggregate
+        // far more rows per column than the astrometric ones.
+        let s = stats_for(SystemLayout::small(), 12);
+        assert!(
+            s.contention_ratio() > 3.0,
+            "contention ratio {} too small",
+            s.contention_ratio()
+        );
+        let att = s.block(BlockKind::Attitude);
+        let astro = s.block(BlockKind::Astrometric);
+        assert!(att.mean_rows_per_col > astro.mean_rows_per_col);
+    }
+
+    #[test]
+    fn global_column_is_touched_by_every_observation() {
+        let layout = SystemLayout::tiny();
+        let s = stats_for(layout, 13);
+        let glob = s.block(BlockKind::Global);
+        assert_eq!(glob.touched_cols, 1);
+        assert_eq!(glob.max_rows_per_col, layout.n_obs_rows());
+    }
+
+    #[test]
+    fn attitude_offsets_are_local_in_time() {
+        // The time-ordered generator must produce small step-to-step
+        // offset changes (the banded structure of Fig. 2).
+        let s = stats_for(SystemLayout::small(), 14);
+        assert!(
+            s.attitude_offset_locality < 3.0,
+            "locality {} too jumpy",
+            s.attitude_offset_locality
+        );
+    }
+
+    #[test]
+    fn sparsity_is_extreme() {
+        let s = stats_for(SystemLayout::small(), 15);
+        assert!(s.sparsity > 0.97, "sparsity {}", s.sparsity);
+    }
+
+    #[test]
+    fn nnz_accounting_matches_layout() {
+        let layout = SystemLayout::tiny();
+        let s = stats_for(layout, 16);
+        let total: u64 = s.blocks.iter().map(|b| b.nnz).sum();
+        // Touch counting sums the *stored* slots (including the stored
+        // zeros of constraint rows), which is exactly the layout's nnz
+        // accounting.
+        assert_eq!(total, layout.nnz_total());
+    }
+}

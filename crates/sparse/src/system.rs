@@ -1,0 +1,576 @@
+//! In-memory representation of the reduced AVU-GSR matrix and known terms.
+//!
+//! The storage mirrors the production arrays described in §III-B of the
+//! paper: coefficient values are stored per block
+//! (`systemMatrixAstro/Att/Instr/Glob`), and the sparsity is encoded by
+//! `matrixIndexAstro` (start column of the 5 contiguous astrometric
+//! non-zeros), `matrixIndexAtt` (offset of the first attitude non-zero
+//! inside an axis segment; the 3 per-axis blocks repeat with a stride equal
+//! to the attitude degrees of freedom), and `instrCol` (explicit columns of
+//! the 6 irregular instrumental non-zeros). The global block has at most a
+//! single non-zero per row in the one global column.
+//!
+//! Constraint rows (appended after the `n_stars × obs_per_star` observation
+//! rows) carry only attitude coefficients; see [`crate::constraints`].
+
+use crate::layout::{ColumnBlocks, SystemLayout};
+#[cfg(test)]
+use crate::layout::BlockKind;
+use crate::{ASTRO_PARAMS_PER_STAR, ATT_AXES, ATT_PARAMS_PER_AXIS, INSTR_PARAMS_PER_ROW};
+
+/// Number of attitude coefficients stored per row (3 axes × 4).
+pub const ATT_NNZ_PER_ROW: usize = (ATT_AXES * ATT_PARAMS_PER_AXIS) as usize;
+/// Number of astrometric coefficients stored per observation row.
+pub const ASTRO_NNZ_PER_ROW: usize = ASTRO_PARAMS_PER_STAR as usize;
+/// Number of instrumental coefficients stored per observation row.
+pub const INSTR_NNZ_PER_ROW: usize = INSTR_PARAMS_PER_ROW as usize;
+
+/// The reduced sparse system `A x = b`.
+///
+/// All index arrays use *block-local* offsets; absolute columns are obtained
+/// through [`ColumnBlocks`]. Invariants are enforced by
+/// [`SparseSystem::from_parts`] and preserved by the read-only API.
+#[derive(Debug, Clone)]
+pub struct SparseSystem {
+    layout: SystemLayout,
+    cols: ColumnBlocks,
+    /// Astrometric coefficients, `n_obs_rows × 5`, row-major.
+    values_astro: Vec<f64>,
+    /// Attitude coefficients, `n_rows × 12`, row-major
+    /// (axis-major within a row: `[axis0 k0..k3, axis1 k0..k3, axis2 ...]`).
+    values_att: Vec<f64>,
+    /// Instrumental coefficients, `n_obs_rows × 6`, row-major.
+    values_instr: Vec<f64>,
+    /// Global coefficients, `n_obs_rows × n_glob_params`.
+    values_glob: Vec<f64>,
+    /// Start column of the astrometric block of each observation row
+    /// (always `5 × star`, stored explicitly as in production).
+    matrix_index_astro: Vec<u64>,
+    /// Offset of the first attitude non-zero inside each axis segment,
+    /// per row (observations and constraints), in `0..=dof-4`.
+    matrix_index_att: Vec<u64>,
+    /// Instrument-block-local columns of the 6 instrumental non-zeros,
+    /// `n_obs_rows × 6`, strictly increasing within a row.
+    instr_col: Vec<u32>,
+    /// Known terms `b`, `n_rows`.
+    known_terms: Vec<f64>,
+}
+
+impl SparseSystem {
+    /// Assemble a system from raw arrays, validating every structural
+    /// invariant (lengths, index bounds, instrument column ordering).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        layout: SystemLayout,
+        values_astro: Vec<f64>,
+        values_att: Vec<f64>,
+        values_instr: Vec<f64>,
+        values_glob: Vec<f64>,
+        matrix_index_astro: Vec<u64>,
+        matrix_index_att: Vec<u64>,
+        instr_col: Vec<u32>,
+        known_terms: Vec<f64>,
+    ) -> Result<Self, SystemError> {
+        layout.validate().map_err(SystemError::Layout)?;
+        Self::from_parts_impl(
+            layout,
+            values_astro,
+            values_att,
+            values_instr,
+            values_glob,
+            matrix_index_astro,
+            matrix_index_att,
+            instr_col,
+            known_terms,
+        )
+    }
+
+    /// Assemble a *shard* of a larger system (an MPI rank's slice of the
+    /// observations). Identical validation to [`SparseSystem::from_parts`]
+    /// except the overdetermined check: a shard shares the attitude /
+    /// instrumental / global columns with the other ranks, so locally it
+    /// may have fewer rows than columns — the global system remains
+    /// overdetermined.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts_shard(
+        layout: SystemLayout,
+        values_astro: Vec<f64>,
+        values_att: Vec<f64>,
+        values_instr: Vec<f64>,
+        values_glob: Vec<f64>,
+        matrix_index_astro: Vec<u64>,
+        matrix_index_att: Vec<u64>,
+        instr_col: Vec<u32>,
+        known_terms: Vec<f64>,
+    ) -> Result<Self, SystemError> {
+        match layout.validate() {
+            Ok(()) | Err(crate::layout::LayoutError::Underdetermined { .. }) => {}
+            Err(e) => return Err(SystemError::Layout(e)),
+        }
+        Self::from_parts_impl(
+            layout,
+            values_astro,
+            values_att,
+            values_instr,
+            values_glob,
+            matrix_index_astro,
+            matrix_index_att,
+            instr_col,
+            known_terms,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn from_parts_impl(
+        layout: SystemLayout,
+        values_astro: Vec<f64>,
+        values_att: Vec<f64>,
+        values_instr: Vec<f64>,
+        values_glob: Vec<f64>,
+        matrix_index_astro: Vec<u64>,
+        matrix_index_att: Vec<u64>,
+        instr_col: Vec<u32>,
+        known_terms: Vec<f64>,
+    ) -> Result<Self, SystemError> {
+        let n_obs = layout.n_obs_rows() as usize;
+        let n_rows = layout.n_rows() as usize;
+        let expect = |name: &'static str, got: usize, want: usize| {
+            if got == want {
+                Ok(())
+            } else {
+                Err(SystemError::ArrayLength { name, got, want })
+            }
+        };
+        expect("values_astro", values_astro.len(), n_obs * ASTRO_NNZ_PER_ROW)?;
+        expect("values_att", values_att.len(), n_rows * ATT_NNZ_PER_ROW)?;
+        expect("values_instr", values_instr.len(), n_obs * INSTR_NNZ_PER_ROW)?;
+        expect(
+            "values_glob",
+            values_glob.len(),
+            n_obs * layout.n_glob_params as usize,
+        )?;
+        expect("matrix_index_astro", matrix_index_astro.len(), n_obs)?;
+        expect("matrix_index_att", matrix_index_att.len(), n_rows)?;
+        expect("instr_col", instr_col.len(), n_obs * INSTR_NNZ_PER_ROW)?;
+        expect("known_terms", known_terms.len(), n_rows)?;
+
+        for (row, &start) in matrix_index_astro.iter().enumerate() {
+            let star = layout.star_of_row(row as u64);
+            if start != star * ASTRO_PARAMS_PER_STAR as u64 {
+                return Err(SystemError::AstroIndex { row, start, star });
+            }
+        }
+        let max_att_off = layout.n_deg_freedom_att - ATT_PARAMS_PER_AXIS as u64;
+        for (row, &off) in matrix_index_att.iter().enumerate() {
+            if off > max_att_off {
+                return Err(SystemError::AttIndex { row, off, max: max_att_off });
+            }
+        }
+        for row in 0..n_obs {
+            let cols = &instr_col[row * INSTR_NNZ_PER_ROW..(row + 1) * INSTR_NNZ_PER_ROW];
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SystemError::InstrColumnOrder { row });
+                }
+            }
+            if u64::from(cols[INSTR_NNZ_PER_ROW - 1]) >= layout.n_instr_params {
+                return Err(SystemError::InstrColumnRange { row });
+            }
+        }
+
+        Ok(SparseSystem {
+            cols: layout.columns(),
+            layout,
+            values_astro,
+            values_att,
+            values_instr,
+            values_glob,
+            matrix_index_astro,
+            matrix_index_att,
+            instr_col,
+            known_terms,
+        })
+    }
+
+    /// The layout this system was built from.
+    pub fn layout(&self) -> &SystemLayout {
+        &self.layout
+    }
+
+    /// Column block offsets.
+    pub fn columns(&self) -> ColumnBlocks {
+        self.cols
+    }
+
+    /// Total rows (observations + constraints).
+    pub fn n_rows(&self) -> usize {
+        self.layout.n_rows() as usize
+    }
+
+    /// Observation rows only.
+    pub fn n_obs_rows(&self) -> usize {
+        self.layout.n_obs_rows() as usize
+    }
+
+    /// Total unknowns.
+    pub fn n_cols(&self) -> usize {
+        self.layout.n_cols() as usize
+    }
+
+    /// Known terms `b` (length [`SparseSystem::n_rows`]).
+    pub fn known_terms(&self) -> &[f64] {
+        &self.known_terms
+    }
+
+    /// Replace the known terms (used by the generator to install
+    /// `b = A x_true + noise`). Length must match.
+    pub fn set_known_terms(&mut self, b: Vec<f64>) {
+        assert_eq!(b.len(), self.n_rows(), "known terms length mismatch");
+        self.known_terms = b;
+    }
+
+    /// Astrometric coefficients of an observation row and the absolute
+    /// column of the first of the 5 contiguous entries.
+    #[inline]
+    pub fn astro_row(&self, row: usize) -> (&[f64], u64) {
+        debug_assert!(row < self.n_obs_rows());
+        let vals = &self.values_astro[row * ASTRO_NNZ_PER_ROW..(row + 1) * ASTRO_NNZ_PER_ROW];
+        (vals, self.cols.astro + self.matrix_index_astro[row])
+    }
+
+    /// Attitude coefficients of any row (observation or constraint), and the
+    /// block-local offset of the first non-zero within each axis segment.
+    #[inline]
+    pub fn att_row(&self, row: usize) -> (&[f64], u64) {
+        debug_assert!(row < self.n_rows());
+        let vals = &self.values_att[row * ATT_NNZ_PER_ROW..(row + 1) * ATT_NNZ_PER_ROW];
+        (vals, self.matrix_index_att[row])
+    }
+
+    /// Absolute column of attitude entry (`axis`, `k`) for a row whose
+    /// axis-segment offset is `off`.
+    #[inline]
+    pub fn att_col(&self, off: u64, axis: usize, k: usize) -> u64 {
+        self.cols.att + axis as u64 * self.layout.n_deg_freedom_att + off + k as u64
+    }
+
+    /// Instrumental coefficients and their block-local columns for an
+    /// observation row.
+    #[inline]
+    pub fn instr_row(&self, row: usize) -> (&[f64], &[u32]) {
+        debug_assert!(row < self.n_obs_rows());
+        let r = row * INSTR_NNZ_PER_ROW..(row + 1) * INSTR_NNZ_PER_ROW;
+        (&self.values_instr[r.clone()], &self.instr_col[r])
+    }
+
+    /// Global coefficient of an observation row, if the layout solves the
+    /// global parameter, together with its absolute column.
+    #[inline]
+    pub fn glob_row(&self, row: usize) -> Option<(f64, u64)> {
+        debug_assert!(row < self.n_obs_rows());
+        if self.layout.n_glob_params == 0 {
+            None
+        } else {
+            Some((self.values_glob[row], self.cols.glob))
+        }
+    }
+
+    /// Iterate over every stored `(absolute column, value)` pair of a row.
+    /// Constraint rows yield attitude entries only.
+    pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (u64, f64)> + '_ {
+        let obs = row < self.n_obs_rows();
+        let astro = obs.then(|| {
+            let (vals, start) = self.astro_row(row);
+            vals.iter()
+                .enumerate()
+                .map(move |(k, &v)| (start + k as u64, v))
+        });
+        let (att_vals, att_off) = self.att_row(row);
+        let att = att_vals.iter().enumerate().map(move |(i, &v)| {
+            let axis = i / ATT_PARAMS_PER_AXIS as usize;
+            let k = i % ATT_PARAMS_PER_AXIS as usize;
+            (self.att_col(att_off, axis, k), v)
+        });
+        let instr = obs.then(|| {
+            let (vals, cols) = self.instr_row(row);
+            vals.iter()
+                .zip(cols.iter())
+                .map(move |(&v, &c)| (self.cols.instr + u64::from(c), v))
+        });
+        let glob = obs.then(|| self.glob_row(row)).flatten();
+        astro
+            .into_iter()
+            .flatten()
+            .chain(att)
+            .chain(instr.into_iter().flatten())
+            .chain(glob.map(|(v, c)| (c, v)))
+    }
+
+    /// Reference (sequential, obviously-correct) dot product of one row with
+    /// a full-length vector `x`. Used as the oracle by every backend test.
+    pub fn row_dot(&self, row: usize, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.n_cols());
+        self.row_entries(row)
+            .map(|(col, val)| val * x[col as usize])
+            .sum()
+    }
+
+    /// Reference scatter of `scale ×` one row into a full-length vector
+    /// (the transpose-product building block).
+    pub fn row_scatter(&self, row: usize, scale: f64, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.n_cols());
+        for (col, val) in self.row_entries(row) {
+            out[col as usize] += val * scale;
+        }
+    }
+
+    /// Column 2-norms of `A`, used to build the Jacobi (column-scaling)
+    /// preconditioner of the customized LSQR.
+    pub fn column_norms(&self) -> Vec<f64> {
+        let mut sq = vec![0.0f64; self.n_cols()];
+        for row in 0..self.n_rows() {
+            for (col, val) in self.row_entries(row) {
+                sq[col as usize] += val * val;
+            }
+        }
+        sq.iter().map(|&s| s.sqrt()).collect()
+    }
+
+    /// Raw astrometric value array (row-major, 5 per observation row).
+    pub fn values_astro(&self) -> &[f64] {
+        &self.values_astro
+    }
+
+    /// Raw attitude value array (row-major, 12 per row).
+    pub fn values_att(&self) -> &[f64] {
+        &self.values_att
+    }
+
+    /// Raw instrumental value array (row-major, 6 per observation row).
+    pub fn values_instr(&self) -> &[f64] {
+        &self.values_instr
+    }
+
+    /// Raw global value array (one per observation row, empty if the global
+    /// parameter is not solved).
+    pub fn values_glob(&self) -> &[f64] {
+        &self.values_glob
+    }
+
+    /// Raw `matrixIndexAstro` array.
+    pub fn matrix_index_astro(&self) -> &[u64] {
+        &self.matrix_index_astro
+    }
+
+    /// Raw `matrixIndexAtt` array.
+    pub fn matrix_index_att(&self) -> &[u64] {
+        &self.matrix_index_att
+    }
+
+    /// Raw `instrCol` array.
+    pub fn instr_col(&self) -> &[u32] {
+        &self.instr_col
+    }
+}
+
+/// Assembly / validation failures for [`SparseSystem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// The layout itself is invalid.
+    Layout(crate::layout::LayoutError),
+    /// An array has the wrong length.
+    ArrayLength {
+        /// Array name.
+        name: &'static str,
+        /// Provided length.
+        got: usize,
+        /// Required length.
+        want: usize,
+    },
+    /// `matrixIndexAstro[row]` does not point at the row's star block.
+    AstroIndex {
+        /// Offending row.
+        row: usize,
+        /// Stored start column.
+        start: u64,
+        /// Star the row belongs to.
+        star: u64,
+    },
+    /// `matrixIndexAtt[row]` exceeds the axis segment.
+    AttIndex {
+        /// Offending row.
+        row: usize,
+        /// Stored offset.
+        off: u64,
+        /// Maximum allowed offset.
+        max: u64,
+    },
+    /// Instrument columns of a row are not strictly increasing.
+    InstrColumnOrder {
+        /// Offending row.
+        row: usize,
+    },
+    /// An instrument column exceeds the instrument block width.
+    InstrColumnRange {
+        /// Offending row.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::Layout(e) => write!(f, "invalid layout: {e}"),
+            SystemError::ArrayLength { name, got, want } => {
+                write!(f, "array {name} has length {got}, expected {want}")
+            }
+            SystemError::AstroIndex { row, start, star } => write!(
+                f,
+                "matrixIndexAstro[{row}] = {start} does not match star {star}"
+            ),
+            SystemError::AttIndex { row, off, max } => {
+                write!(f, "matrixIndexAtt[{row}] = {off} exceeds {max}")
+            }
+            SystemError::InstrColumnOrder { row } => {
+                write!(f, "instrCol entries of row {row} are not strictly increasing")
+            }
+            SystemError::InstrColumnRange { row } => {
+                write!(f, "instrCol entry of row {row} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Generator, GeneratorConfig};
+
+    fn sys() -> SparseSystem {
+        Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(7)).generate()
+    }
+
+    #[test]
+    fn row_entries_counts_match_layout() {
+        let s = sys();
+        let l = *s.layout();
+        for row in 0..s.n_rows() {
+            let n = s.row_entries(row).count();
+            if row < s.n_obs_rows() {
+                assert_eq!(
+                    n,
+                    ASTRO_NNZ_PER_ROW
+                        + ATT_NNZ_PER_ROW
+                        + INSTR_NNZ_PER_ROW
+                        + l.n_glob_params as usize
+                );
+            } else {
+                assert_eq!(n, ATT_NNZ_PER_ROW);
+            }
+        }
+    }
+
+    #[test]
+    fn row_entries_columns_land_in_their_blocks() {
+        let s = sys();
+        let c = s.columns();
+        for row in 0..s.n_obs_rows() {
+            let (_, start) = s.astro_row(row);
+            assert!(start + 5 <= c.att, "astro block overruns");
+            let (_, off) = s.att_row(row);
+            for axis in 0..3 {
+                for k in 0..4 {
+                    let col = s.att_col(off, axis, k);
+                    assert!(c.range(BlockKind::Attitude).contains(&col));
+                }
+            }
+            let (_, icols) = s.instr_row(row);
+            for &ic in icols {
+                assert!(c
+                    .range(BlockKind::Instrumental)
+                    .contains(&(c.instr + u64::from(ic))));
+            }
+            if let Some((_, gc)) = s.glob_row(row) {
+                assert!(c.range(BlockKind::Global).contains(&gc));
+            }
+        }
+    }
+
+    #[test]
+    fn observations_of_one_star_share_the_astro_block() {
+        // The block-diagonal property that makes aprod2_astro collision-free
+        // when parallelized over stars (§IV).
+        let s = sys();
+        let l = *s.layout();
+        for star in 0..l.n_stars {
+            let mut starts = l.rows_of_star(star).map(|r| s.astro_row(r as usize).1);
+            let first = starts.next().unwrap();
+            assert!(starts.all(|st| st == first));
+            assert_eq!(first, star * 5);
+        }
+    }
+
+    #[test]
+    fn row_dot_equals_entry_sum() {
+        let s = sys();
+        let x: Vec<f64> = (0..s.n_cols()).map(|i| (i as f64 * 0.37).sin()).collect();
+        for row in 0..s.n_rows() {
+            let manual: f64 = s
+                .row_entries(row)
+                .map(|(c, v)| v * x[c as usize])
+                .sum();
+            assert_eq!(s.row_dot(row, &x), manual);
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_lengths() {
+        let s = sys();
+        let l = *s.layout();
+        let err = SparseSystem::from_parts(
+            l,
+            vec![0.0; 1],
+            s.values_att().to_vec(),
+            s.values_instr().to_vec(),
+            s.values_glob().to_vec(),
+            s.matrix_index_astro().to_vec(),
+            s.matrix_index_att().to_vec(),
+            s.instr_col().to_vec(),
+            s.known_terms().to_vec(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SystemError::ArrayLength { name: "values_astro", .. }));
+    }
+
+    #[test]
+    fn from_parts_rejects_unsorted_instr_cols() {
+        let s = sys();
+        let l = *s.layout();
+        let mut instr = s.instr_col().to_vec();
+        instr.swap(0, 1);
+        let err = SparseSystem::from_parts(
+            l,
+            s.values_astro().to_vec(),
+            s.values_att().to_vec(),
+            s.values_instr().to_vec(),
+            s.values_glob().to_vec(),
+            s.matrix_index_astro().to_vec(),
+            s.matrix_index_att().to_vec(),
+            instr,
+            s.known_terms().to_vec(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SystemError::InstrColumnOrder { row: 0 }));
+    }
+
+    #[test]
+    fn column_norms_are_positive_for_touched_columns() {
+        let s = sys();
+        let norms = s.column_norms();
+        let touched = norms.iter().filter(|&&n| n > 0.0).count();
+        // Every astrometric and attitude column is touched by construction.
+        assert!(touched >= (s.layout().n_astro_cols() + s.layout().n_att_cols()) as usize);
+    }
+}

@@ -1,0 +1,117 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Property tests over the system substrate: arbitrary layouts, generator
+//! structure, footprint algebra, and I/O round trips.
+
+use gaia_sparse::dense::DenseMatrix;
+use gaia_sparse::{footprint, io, Generator, GeneratorConfig, Rhs, RowPartition, SystemLayout};
+use proptest::prelude::*;
+
+/// Strategy producing small valid (overdetermined) layouts.
+fn layouts() -> impl Strategy<Value = SystemLayout> {
+    (
+        3u64..12,  // stars
+        12u64..24, // obs per star
+        4u64..16,  // attitude DOF
+        6u64..14,  // instrument params
+        0u32..2,   // global params
+        0u64..5,   // constraint rows
+    )
+        .prop_map(|(s, o, d, i, g, c)| SystemLayout {
+            n_stars: s,
+            obs_per_star: o,
+            n_deg_freedom_att: d,
+            n_instr_params: i,
+            n_glob_params: g,
+            n_constraint_rows: c,
+        })
+        .prop_filter("overdetermined", |l| l.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn footprint_is_additive_and_positive(layout in layouts()) {
+        let values: u64 = gaia_sparse::BlockKind::ALL
+            .iter()
+            .map(|&k| footprint::block_bytes(&layout, k))
+            .sum();
+        let total = footprint::device_bytes(&layout);
+        prop_assert_eq!(
+            total,
+            values + footprint::index_bytes(&layout) + footprint::known_terms_bytes(&layout)
+        );
+        prop_assert!(footprint::solver_workspace_bytes(&layout) > 0);
+    }
+
+    #[test]
+    fn generated_dense_mirror_agrees_with_sparse_products(
+        layout in layouts(),
+        seed in 0u64..500,
+    ) {
+        let sys = Generator::new(GeneratorConfig::new(layout).seed(seed)).generate();
+        let dense = DenseMatrix::from_sparse(&sys);
+        let x: Vec<f64> = (0..sys.n_cols()).map(|i| ((i * 7 + 3) as f64 * 0.013).sin()).collect();
+        let mut want = vec![0.0; sys.n_rows()];
+        dense.mat_vec_acc(&x, &mut want);
+        for row in 0..sys.n_rows() {
+            prop_assert!((sys.row_dot(row, &x) - want[row]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn io_round_trip_over_arbitrary_layouts(layout in layouts(), seed in 0u64..200) {
+        let sys = Generator::new(GeneratorConfig::new(layout).seed(seed)).generate();
+        let mut buf = Vec::new();
+        io::write_system(&sys, &mut buf).unwrap();
+        let loaded = io::read_system(buf.as_slice()).unwrap();
+        prop_assert_eq!(loaded.layout(), sys.layout());
+        prop_assert_eq!(loaded.known_terms(), sys.known_terms());
+        prop_assert_eq!(loaded.values_att(), sys.values_att());
+    }
+
+    #[test]
+    fn random_rhs_mode_produces_full_length_b(layout in layouts(), seed in 0u64..100) {
+        let cfg = GeneratorConfig::new(layout).seed(seed).rhs(Rhs::Random);
+        let (sys, truth) = Generator::new(cfg).generate_with_truth();
+        prop_assert!(truth.is_none());
+        prop_assert_eq!(sys.known_terms().len() as u64, layout.n_rows());
+        prop_assert!(sys.known_terms().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn partition_rows_sum_to_total_for_any_rank_count(
+        layout in layouts(),
+        ranks in 1usize..9,
+    ) {
+        let p = RowPartition::new(&layout, ranks);
+        let total: u64 = (0..ranks).map(|r| p.range(r).len()).sum();
+        prop_assert_eq!(total, layout.n_rows());
+        prop_assert!(p.max_rows() * ranks as u64 >= layout.n_rows());
+    }
+}
+
+#[test]
+fn from_gb_is_monotone_in_size() {
+    let mut prev = 0u64;
+    for gb in [0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 120.0] {
+        let bytes = footprint::device_bytes(&SystemLayout::from_gb(gb));
+        assert!(bytes > prev, "{gb} GB not larger than previous");
+        prev = bytes;
+    }
+}
+
+#[test]
+fn column_norms_match_dense_mirror() {
+    let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(9)).generate();
+    let dense = DenseMatrix::from_sparse(&sys);
+    let norms = sys.column_norms();
+    for c in 0..sys.n_cols() {
+        let want: f64 = (0..sys.n_rows())
+            .map(|r| dense.at(r, c) * dense.at(r, c))
+            .sum::<f64>()
+            .sqrt();
+        assert!((norms[c] - want).abs() < 1e-10, "column {c}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Render the block structure of the reduced matrix `A` (paper Fig. 2):
+//! the block-diagonal astrometric part, the strided 3×4 attitude pattern,
+//! the irregular instrumental columns, and the single global column.
+//!
+//! ```sh
+//! cargo run --example matrix_structure
+//! ```
+
+use gaia_avugsr::sparse::{Generator, GeneratorConfig, SystemLayout};
+
+fn main() {
+    let layout = SystemLayout {
+        n_stars: 4,
+        obs_per_star: 16,
+        n_deg_freedom_att: 10,
+        n_instr_params: 8,
+        n_glob_params: 1,
+        n_constraint_rows: 3,
+    };
+    let sys = Generator::new(GeneratorConfig::new(layout).seed(1)).generate();
+    let cols = sys.n_cols();
+    let c = sys.columns();
+
+    println!(
+        "reduced matrix A: {} rows x {} cols  (•=astro  a=attitude  i=instr  g=global)",
+        sys.n_rows(),
+        cols
+    );
+    let header: String = (0..cols)
+        .map(|j| {
+            let j = j as u64;
+            if j == c.att || j == c.instr || j == c.glob {
+                '|'
+            } else {
+                ' '
+            }
+        })
+        .collect();
+    println!("     {header}");
+
+    for row in 0..sys.n_rows() {
+        let mut line = vec![' '; cols];
+        for (col, _) in sys.row_entries(row) {
+            let col = col as usize;
+            line[col] = if (col as u64) < c.att {
+                '•'
+            } else if (col as u64) < c.instr {
+                'a'
+            } else if (col as u64) < c.glob {
+                'i'
+            } else {
+                'g'
+            };
+        }
+        let kind = if row < sys.n_obs_rows() { "obs " } else { "con " };
+        println!("{kind}{row:>2} {}", line.into_iter().collect::<String>());
+    }
+
+    println!("\ncolumn blocks:");
+    println!("  astrometric  [{:>3}, {:>3})  5 contiguous nnz/row, star-diagonal", c.astro, c.att);
+    println!("  attitude     [{:>3}, {:>3})  3 axes x 4 nnz, stride = DOF per axis", c.att, c.instr);
+    println!("  instrumental [{:>3}, {:>3})  6 irregular nnz/row", c.instr, c.glob);
+    println!("  global       [{:>3}, {:>3})  <=1 nnz/row (PPN-gamma)", c.glob, c.end);
+    println!(
+        "\nstored nnz: {} of {} dense entries ({:.1}% sparse)",
+        sys.layout().nnz_total(),
+        sys.n_rows() as u64 * cols as u64,
+        100.0 * (1.0 - sys.layout().nnz_total() as f64 / (sys.n_rows() as u64 * cols as u64) as f64)
+    );
+}

@@ -1,0 +1,66 @@
+//! End-to-end performance-portability study through the public API:
+//! model the framework × platform grid for a problem size (default the
+//! paper's 10 GB), derive application efficiencies, and rank frameworks
+//! by Pennycook's `P`.
+//!
+//! ```sh
+//! cargo run --example portability_study            # 10 GB
+//! cargo run --example portability_study -- 30      # 30 GB
+//! ```
+
+use gaia_avugsr::gpu::{all_frameworks, all_platforms, iteration_time, SimConfig};
+use gaia_avugsr::p3::{report, Cascade, MeasurementSet, Normalization};
+use gaia_avugsr::sparse::{footprint, SystemLayout};
+
+fn main() {
+    let gb: f64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("problem size in GB"))
+        .unwrap_or(10.0);
+    let layout = SystemLayout::from_gb(gb);
+    println!(
+        "problem: {gb} GB -> {} rows, {} unknowns, {:.1} GB on device\n",
+        layout.n_rows(),
+        layout.n_cols(),
+        footprint::total_device_bytes(&layout) as f64 / 1e9
+    );
+
+    let mut set = MeasurementSet::new();
+    for fw in all_frameworks() {
+        for platform in all_platforms() {
+            match iteration_time(&layout, &fw, &platform, &SimConfig::default()) {
+                Some(b) => {
+                    set.record(&fw.name, &platform.name, b.seconds);
+                }
+                None => println!(
+                    "  {} does not run on {} (vendor or memory capacity)",
+                    fw.name, platform.name
+                ),
+            }
+        }
+    }
+    println!();
+
+    let platforms: Vec<String> = all_platforms()
+        .into_iter()
+        .map(|p| p.name)
+        .filter(|p| set.platform_best(p).is_some())
+        .collect();
+    let matrix = set.efficiencies(Normalization::PlatformBest);
+
+    println!("{}", report::times_table(&set, &platforms));
+    println!("{}", report::efficiency_table(&matrix, &platforms));
+    println!("{}", report::pp_table(&matrix, &platforms));
+
+    // The best and worst cascades, for a feel of the spread.
+    let mut ranked: Vec<(String, f64)> = matrix
+        .apps()
+        .iter()
+        .map(|a| (a.clone(), matrix.pp(a, &platforms)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    for (app, _) in [&ranked[0], &ranked[ranked.len() - 1]] {
+        let c = Cascade::build(&matrix, app, &platforms);
+        print!("{}", report::cascade_table(&c));
+    }
+}

@@ -1,0 +1,61 @@
+//! Port validation (the paper's §V-C protocol in miniature): solve the
+//! same system with every registered backend and check each against the
+//! sequential reference — solutions must agree within 1σ and the
+//! standard-error differences must stay below the 10 µas astrometric
+//! threshold (the right-hand side is calibrated to radians).
+//!
+//! ```sh
+//! cargo run --release --example validation
+//! ```
+
+use gaia_avugsr::backends::{all_backends, SeqBackend};
+use gaia_avugsr::lsqr::validate::GAIA_THRESHOLD_RAD;
+use gaia_avugsr::lsqr::{compare_solutions, solve, LsqrConfig};
+use gaia_avugsr::sparse::{Generator, GeneratorConfig, Rhs, SystemLayout};
+
+fn main() {
+    let layout = SystemLayout::small();
+    let (mut sys, _) = Generator::new(
+        GeneratorConfig::new(layout)
+            .seed(99)
+            .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-5 }),
+    )
+    .generate_with_truth();
+    // Radian-calibrated astrometry: scale b so the solution has the
+    // magnitude of real astrometric corrections.
+    let b: Vec<f64> = sys.known_terms().iter().map(|v| v * 1e-7).collect();
+    sys.set_known_terms(b);
+
+    let cfg = LsqrConfig::new();
+    let reference = solve(&sys, &SeqBackend, &cfg);
+    println!(
+        "reference: {:?} after {} iterations\n",
+        reference.stop, reference.iterations
+    );
+    println!(
+        "{:<14} {:>12} {:>10} {:>12} {:>8} {:>8}",
+        "backend", "max |Δx|", "1σ [%]", "Δse std", "1σ", "10µas"
+    );
+
+    let mut failures = 0;
+    for backend in all_backends(4) {
+        let sol = solve(&sys, &backend, &cfg);
+        let agr = compare_solutions(&reference, &sol);
+        let sigma_ok = agr.passes(0.99);
+        let uas_ok = agr.stderr_within(GAIA_THRESHOLD_RAD);
+        println!(
+            "{:<14} {:>12.3e} {:>10.2} {:>12.3e} {:>8} {:>8}",
+            backend.name(),
+            agr.max_abs_diff,
+            100.0 * agr.within_one_sigma.unwrap_or(0.0),
+            agr.stderr_std_diff.unwrap_or(f64::NAN),
+            if sigma_ok { "PASS" } else { "FAIL" },
+            if uas_ok { "PASS" } else { "FAIL" },
+        );
+        if !(sigma_ok && uas_ok) {
+            failures += 1;
+        }
+    }
+    assert_eq!(failures, 0, "{failures} backend(s) failed validation");
+    println!("\nall backends validate against the reference solution.");
+}

@@ -1,0 +1,22 @@
+//! # gaia-avugsr — facade crate
+//!
+//! Re-exports the whole workspace so that examples, integration tests, and
+//! downstream users can depend on a single crate. See the individual crates
+//! for the real APIs:
+//!
+//! * [`sparse`] — the Gaia block-sparse system and synthetic generator;
+//! * [`lsqr`] — the preconditioned LSQR solver (the paper's core);
+//! * [`backends`] — parallel compute backends (the "frameworks" under study);
+//! * [`mpi`] — in-process MPI-like collectives;
+//! * [`gpu`] — the GPU platform/framework performance simulator;
+//! * [`p3`] — application efficiency and Pennycook's performance-portability
+//!   metric.
+
+#![warn(missing_docs)]
+
+pub use gaia_backends as backends;
+pub use gaia_gpu_sim as gpu;
+pub use gaia_lsqr as lsqr;
+pub use gaia_mpi_sim as mpi;
+pub use gaia_p3 as p3;
+pub use gaia_sparse as sparse;

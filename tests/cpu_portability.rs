@@ -1,0 +1,45 @@
+//! Integration: the measured CPU portability study (real backends, real
+//! wall clock) produces a well-formed Pennycook analysis.
+
+use std::time::Instant;
+
+use gaia_avugsr::backends::backend_by_name;
+use gaia_avugsr::lsqr::{solve, LsqrConfig};
+use gaia_avugsr::p3::{MeasurementSet, Normalization};
+use gaia_avugsr::sparse::{Generator, GeneratorConfig, SystemLayout};
+
+#[test]
+fn measured_backend_portability_analysis_is_well_formed() {
+    let sys = Generator::new(GeneratorConfig::new(SystemLayout::small()).seed(5)).generate();
+    let cfg = LsqrConfig::fixed_iterations(3);
+    let mut set = MeasurementSet::new();
+    for budget in [1usize, 4] {
+        for name in ["seq", "atomic", "replicated", "streamed"] {
+            let backend = backend_by_name(name, budget).unwrap();
+            let start = Instant::now();
+            let sol = solve(&sys, &backend, &cfg);
+            assert_eq!(sol.iterations, 3);
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            set.record(name, &format!("threads-{budget}"), secs);
+        }
+    }
+    let platforms = set.platforms();
+    let matrix = set.efficiencies(Normalization::PlatformBest);
+    for app in matrix.apps() {
+        let p = matrix.pp(app, &platforms);
+        assert!(
+            (0.0..=1.0 + 1e-12).contains(&p),
+            "{app}: P = {p} out of range"
+        );
+        assert!(p > 0.0, "{app} ran on every budget, P must be positive");
+    }
+    // Exactly one backend defines the frontier on each budget.
+    for p in &platforms {
+        let best = matrix
+            .apps()
+            .iter()
+            .filter_map(|a| matrix.efficiency(a, p))
+            .fold(0.0f64, f64::max);
+        assert!((best - 1.0).abs() < 1e-12);
+    }
+}

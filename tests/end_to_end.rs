@@ -1,0 +1,93 @@
+//! Integration: generator → backends → LSQR → validation, across crates.
+
+use gaia_avugsr::backends::{all_backends, SeqBackend};
+use gaia_avugsr::lsqr::distributed::solve_distributed;
+use gaia_avugsr::lsqr::validate::GAIA_THRESHOLD_RAD;
+use gaia_avugsr::lsqr::{compare_solutions, solve, LsqrConfig};
+use gaia_avugsr::sparse::{Generator, GeneratorConfig, Rhs, SystemLayout};
+
+fn radian_system(seed: u64) -> gaia_avugsr::sparse::SparseSystem {
+    let layout = SystemLayout::tiny();
+    let (mut sys, _) = Generator::new(
+        GeneratorConfig::new(layout)
+            .seed(seed)
+            .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-5 }),
+    )
+    .generate_with_truth();
+    let b: Vec<f64> = sys.known_terms().iter().map(|v| v * 1e-7).collect();
+    sys.set_known_terms(b);
+    sys
+}
+
+#[test]
+fn every_backend_validates_against_the_reference() {
+    let sys = radian_system(1);
+    let cfg = LsqrConfig::new();
+    let reference = solve(&sys, &SeqBackend, &cfg);
+    assert!(reference.stop.converged(), "{:?}", reference.stop);
+    for backend in all_backends(3) {
+        let sol = solve(&sys, &backend, &cfg);
+        let agr = compare_solutions(&reference, &sol);
+        assert!(
+            agr.passes(0.99),
+            "backend {} fails 1σ validation: {agr:?}",
+            backend.name()
+        );
+        assert!(
+            agr.stderr_within(GAIA_THRESHOLD_RAD),
+            "backend {} exceeds 10 µas: {agr:?}",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn distributed_and_serial_agree_for_every_rank_count() {
+    let sys = radian_system(2);
+    let cfg = LsqrConfig::new();
+    let serial = solve(&sys, &SeqBackend, &cfg);
+    for ranks in [1, 2, 4, 6] {
+        let dist = solve_distributed(&sys, ranks, &cfg);
+        let agr = compare_solutions(&serial, &dist);
+        // Rank-ordered partial sums round differently from the sequential
+        // reduction, so the convergence test may fire one iteration apart;
+        // the solutions still agree far below the astrometric requirement.
+        assert!(
+            agr.max_abs_diff < 1e-10,
+            "{ranks} ranks: max diff {}",
+            agr.max_abs_diff
+        );
+        assert!(
+            dist.iterations.abs_diff(serial.iterations) <= 1,
+            "{ranks} ranks: {} vs {} iterations",
+            dist.iterations,
+            serial.iterations
+        );
+    }
+}
+
+#[test]
+fn fixed_iteration_timing_protocol_runs_on_all_backends() {
+    // The paper's timing protocol: fixed iterations, no convergence tests.
+    let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(3)).generate();
+    let cfg = LsqrConfig::fixed_iterations(10);
+    for backend in all_backends(2) {
+        let sol = solve(&sys, &backend, &cfg);
+        assert_eq!(sol.iterations, 10, "{}", backend.name());
+        assert_eq!(sol.history.len(), 10);
+        assert!(sol.mean_iteration_seconds() >= 0.0);
+    }
+}
+
+#[test]
+fn solutions_are_deterministic_per_backend_and_seed() {
+    let sys = radian_system(4);
+    let cfg = LsqrConfig::new();
+    // Deterministic backends must reproduce bit-identical solutions.
+    for name in ["seq", "chunked", "streamed"] {
+        let b = gaia_avugsr::backends::backend_by_name(name, 4).unwrap();
+        let s1 = solve(&sys, &b, &cfg);
+        let s2 = solve(&sys, &b, &cfg);
+        assert_eq!(s1.x, s2.x, "{name} is not deterministic");
+    }
+}

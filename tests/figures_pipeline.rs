@@ -1,0 +1,117 @@
+//! Integration: the simulator → p3 analysis pipeline that regenerates the
+//! paper's figures, exercised end-to-end through the facade crate.
+
+use gaia_avugsr::gpu::{
+    all_frameworks, all_platforms, framework_by_name, iteration_time, platform_by_name, SimConfig,
+};
+use gaia_avugsr::p3::{Cascade, MeasurementSet, Normalization};
+use gaia_avugsr::sparse::SystemLayout;
+
+fn measurements(gb: f64) -> MeasurementSet {
+    let layout = SystemLayout::from_gb(gb);
+    let mut set = MeasurementSet::new();
+    for fw in all_frameworks() {
+        for p in all_platforms() {
+            if let Some(b) = iteration_time(&layout, &fw, &p, &SimConfig::default()) {
+                set.record(&fw.name, &p.name, b.seconds);
+            }
+        }
+    }
+    set
+}
+
+#[test]
+fn fig3_pipeline_produces_the_paper_rankings() {
+    let set = measurements(10.0);
+    let platforms = set.platforms();
+    let matrix = set.efficiencies(Normalization::PlatformBest);
+
+    let pp = |app: &str| matrix.pp(app, &platforms);
+    // HIP leads; SYCL+ACPP second; OMP+LLVM worst among portable; CUDA 0.
+    assert!(pp("HIP") > 0.9);
+    assert!(pp("SYCL+ACPP") > 0.85 && pp("SYCL+ACPP") <= pp("HIP"));
+    assert_eq!(pp("CUDA"), 0.0);
+    for fw in ["HIP", "OMP+V", "PSTL+ACPP", "PSTL+V", "SYCL+ACPP", "SYCL+DPCPP"] {
+        assert!(pp(fw) > pp("OMP+LLVM"), "{fw} vs OMP+LLVM");
+    }
+
+    // Cascade invariants: cumulative P is non-increasing and ends at pp().
+    for app in matrix.apps() {
+        let c = Cascade::build(&matrix, app, &platforms);
+        for w in c.points.windows(2) {
+            assert!(w[1].cumulative_pp <= w[0].cumulative_pp + 1e-12, "{app}");
+        }
+        assert!((c.final_pp() - matrix.pp(app, &platforms)).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn fig4_iteration_times_scale_with_problem_size() {
+    let t10 = measurements(10.0);
+    let t30 = measurements(30.0);
+    for app in t30.apps() {
+        for p in t30.platforms() {
+            if let (Some(a), Some(b)) = (t10.time(&app, &p), t30.time(&app, &p)) {
+                let ratio = b / a;
+                assert!(
+                    (1.5..6.0).contains(&ratio),
+                    "{app} on {p}: 30GB/10GB time ratio {ratio}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fig5_efficiencies_are_within_unit_interval() {
+    for gb in [10.0, 30.0, 60.0] {
+        let set = measurements(gb);
+        let m = set.efficiencies(Normalization::PlatformBest);
+        for app in m.apps() {
+            for p in m.platforms() {
+                if let Some(e) = m.efficiency(app, p) {
+                    assert!(e > 0.0 && e <= 1.0 + 1e-12, "{app} on {p}: {e}");
+                }
+            }
+        }
+        // Exactly one framework at efficiency 1.0 per platform (the best).
+        for p in m.platforms() {
+            let best = m
+                .apps()
+                .iter()
+                .filter_map(|a| m.efficiency(a, p))
+                .fold(0.0f64, f64::max);
+            assert!((best - 1.0).abs() < 1e-12, "platform {p}");
+        }
+    }
+}
+
+#[test]
+fn sixty_gb_only_runs_on_h100_and_mi250x() {
+    let set = measurements(60.0);
+    assert_eq!(set.platforms(), vec!["H100".to_string(), "MI250X".to_string()]);
+    // CUDA survives only on the H100 there (the paper notes P over that
+    // set is not meaningful for CUDA).
+    assert!(set.time("CUDA", "H100").is_some());
+    assert!(set.time("CUDA", "MI250X").is_none());
+}
+
+#[test]
+fn tuning_and_model_agree_on_the_untuned_penalty() {
+    // The tuner's "default" column equals the model evaluated at the
+    // forced tpb — no hidden state.
+    let layout = SystemLayout::from_gb(10.0);
+    let fw = framework_by_name("CUDA").unwrap();
+    let t4 = platform_by_name("T4").unwrap();
+    let r = gaia_avugsr::gpu::tuner::tune(&layout, &fw, &t4, 1024).unwrap();
+    let direct = iteration_time(
+        &layout,
+        &fw,
+        &t4,
+        &SimConfig {
+            tpb_override: Some(1024),
+        },
+    )
+    .unwrap();
+    assert!((r.default_seconds - direct.seconds).abs() < 1e-15);
+}

@@ -1,0 +1,170 @@
+//! One integration test per headline claim of the paper's abstract and
+//! conclusions — the top-level contract of this reproduction, exercised
+//! end-to-end through the facade crate. (Finer-grained shape tests live
+//! in `gaia-gpu-sim`; these are the reader-facing claims.)
+
+use gaia_avugsr::gpu::{
+    all_frameworks, all_platforms, framework_by_name, iteration_time, platform_by_name, SimConfig,
+};
+use gaia_avugsr::p3::{subsets, MeasurementSet, Normalization};
+use gaia_avugsr::sparse::SystemLayout;
+
+fn matrix_for(gb: f64) -> (gaia_avugsr::p3::EfficiencyMatrix, Vec<String>) {
+    let layout = SystemLayout::from_gb(gb);
+    let mut set = MeasurementSet::new();
+    for fw in all_frameworks() {
+        for p in all_platforms() {
+            if let Some(b) = iteration_time(&layout, &fw, &p, &SimConfig::default()) {
+                set.record(&fw.name, &p.name, b.seconds);
+            }
+        }
+    }
+    let platforms = set.platforms();
+    (set.efficiencies(Normalization::PlatformBest), platforms)
+}
+
+fn average_pp(app: &str) -> f64 {
+    // Average P across the three problem sizes, each over its own
+    // supported-platform set — the abstract's headline aggregation.
+    let mut total = 0.0;
+    for gb in [10.0, 30.0, 60.0] {
+        let (m, platforms) = matrix_for(gb);
+        total += m.pp(app, &platforms);
+    }
+    total / 3.0
+}
+
+#[test]
+fn abstract_claim_hip_is_most_portable() {
+    // "HIP was demonstrated to be the most portable solution with a 0.94
+    // average P across the tested problem sizes, closely followed by SYCL
+    // coupled with AdaptiveCpp (ACPP) with 0.93."
+    let hip = average_pp("HIP");
+    let acpp = average_pp("SYCL+ACPP");
+    assert!(hip > 0.88, "HIP average P = {hip} (paper 0.94)");
+    assert!(acpp > 0.88, "SYCL+ACPP average P = {acpp} (paper 0.93)");
+    assert!(
+        (hip - acpp).abs() < 0.06,
+        "the two leaders must be close: {hip} vs {acpp}"
+    );
+    // And both must lead every other framework except possibly OMP+V at
+    // 60 GB (two-platform set where it wins MI250X).
+    for other in ["OMP+LLVM", "PSTL+ACPP", "PSTL+V", "SYCL+DPCPP"] {
+        let p = average_pp(other);
+        assert!(p < hip.max(acpp), "{other} average {p} beats the leaders");
+    }
+}
+
+#[test]
+fn abstract_claim_cuda_wins_nvidia_only() {
+    // "If we only consider NVIDIA platforms, CUDA would be the winner
+    // with 0.97."
+    for gb in [10.0, 30.0] {
+        let (m, platforms) = matrix_for(gb);
+        let nvidia: Vec<String> = platforms
+            .iter()
+            .filter(|p| p.as_str() != "MI250X")
+            .cloned()
+            .collect();
+        let (winner, p) = subsets::subset_winner(&m, &nvidia).expect("someone runs on NVIDIA");
+        assert_eq!(winner, "CUDA", "{gb} GB");
+        assert!(p > 0.95, "{gb} GB: CUDA NVIDIA-only P = {p}");
+    }
+}
+
+#[test]
+fn abstract_claim_pstl_vendor_scores_mid_060s() {
+    // "The tuning-oblivious C++ PSTL achieves 0.62 when coupled with
+    // vendor-specific compilers."
+    let p = average_pp("PSTL+V");
+    assert!((0.5..0.78).contains(&p), "PSTL+V average P = {p} (paper 0.62)");
+}
+
+#[test]
+fn conclusion_claim_omp_vendor_rules_mi250x() {
+    // "OpenMP is the most performant on AMD MI250X when compiled with
+    // amdclang++."
+    for gb in [10.0, 30.0, 60.0] {
+        let layout = SystemLayout::from_gb(gb);
+        let mi = platform_by_name("MI250X").unwrap();
+        let mut best: Option<(String, f64)> = None;
+        for fw in all_frameworks() {
+            if let Some(b) = iteration_time(&layout, &fw, &mi, &SimConfig::default()) {
+                if best.as_ref().is_none_or(|(_, t)| b.seconds < *t) {
+                    best = Some((fw.name.clone(), b.seconds));
+                }
+            }
+        }
+        assert_eq!(best.unwrap().0, "OMP+V", "{gb} GB");
+    }
+}
+
+#[test]
+fn conclusion_claim_tuning_matters_for_tunable_frameworks() {
+    // "In the Gaia AVU-GSR case, tuning kernel parameters is fundamental
+    // ... Programming frameworks, such as C++ PSTL, for which this is not
+    // possible, usually have lower performance portability values."
+    let (m, platforms) = matrix_for(10.0);
+    let tunable_best = ["HIP", "SYCL+ACPP"]
+        .iter()
+        .map(|f| m.pp(f, &platforms))
+        .fold(0.0f64, f64::max);
+    for pstl in ["PSTL+ACPP", "PSTL+V"] {
+        let p = m.pp(pstl, &platforms);
+        assert!(
+            p < tunable_best - 0.1,
+            "{pstl} ({p}) too close to the tunable frameworks ({tunable_best})"
+        );
+    }
+}
+
+#[test]
+fn leave_one_out_diagnoses_each_frameworks_bottleneck() {
+    let (m, platforms) = matrix_for(10.0);
+    // CUDA's bottleneck is trivially the AMD platform (P: 0 → positive).
+    let (worst, improved) = subsets::bottleneck_platform(&m, "CUDA", &platforms).unwrap();
+    assert_eq!(worst, "MI250X");
+    assert!(improved > 0.9);
+    // OMP+LLVM's bottleneck is the T4 (its near-broken sm_75 codegen).
+    let (worst, improved) = subsets::bottleneck_platform(&m, "OMP+LLVM", &platforms).unwrap();
+    assert_eq!(worst, "T4");
+    assert!(improved > 2.0 * m.pp("OMP+LLVM", &platforms));
+}
+
+#[test]
+fn artifact_claim_runs_are_fast() {
+    // Appendix A2: "A single execution of solvergaiaSim (100 iterations
+    // ...) should not exceed 5 minutes" — every modeled cell obeys it
+    // with wide margin.
+    for gb in [10.0, 30.0, 60.0] {
+        let layout = SystemLayout::from_gb(gb);
+        for fw in all_frameworks() {
+            for p in all_platforms() {
+                if let Some(b) = iteration_time(&layout, &fw, &p, &SimConfig::default()) {
+                    assert!(
+                        100.0 * b.seconds < 300.0,
+                        "{} on {} at {gb} GB: 100 iterations take {}s",
+                        fw.name,
+                        p.name,
+                        100.0 * b.seconds
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn production_speedup_claim_holds_on_an_a100_class_checkpoint() {
+    // §V-B: optimized CUDA is ~2× the production solver on a 42 GB
+    // problem (Leonardo). Our A100 cannot hold 42 GB (40 GB device), so
+    // the H100 plays the Leonardo role; the claim is the ratio.
+    let layout = SystemLayout::from_gb(42.0);
+    let h100 = platform_by_name("H100").unwrap();
+    let opt = framework_by_name("CUDA").unwrap();
+    let prod = framework_by_name("CUDA-production").unwrap();
+    let t_opt = iteration_time(&layout, &opt, &h100, &SimConfig::default()).unwrap();
+    let t_prod = iteration_time(&layout, &prod, &h100, &SimConfig::default()).unwrap();
+    let speedup = t_prod.seconds / t_opt.seconds;
+    assert!((1.5..2.5).contains(&speedup), "speedup {speedup} (paper 2.0)");
+}

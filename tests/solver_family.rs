@@ -1,0 +1,93 @@
+//! Integration: the solver family (LSQR + LSMR), convergence analysis,
+//! and dataset I/O exercised together through the facade crate.
+
+use gaia_avugsr::backends::{all_backends, SeqBackend};
+use gaia_avugsr::lsqr::analysis::{convergence_profile, iterations_to_tolerance};
+use gaia_avugsr::lsqr::{solve, solve_lsmr, LsqrConfig};
+use gaia_avugsr::sparse::{io, Generator, GeneratorConfig, Rhs, SystemLayout};
+
+fn system(seed: u64) -> gaia_avugsr::sparse::SparseSystem {
+    Generator::new(
+        GeneratorConfig::new(SystemLayout::tiny())
+            .seed(seed)
+            .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-7 }),
+    )
+    .generate()
+}
+
+#[test]
+fn lsmr_agrees_with_lsqr_on_every_backend() {
+    let sys = system(700);
+    let cfg = LsqrConfig::new();
+    let reference = solve(&sys, &SeqBackend, &cfg);
+    for backend in all_backends(3) {
+        let lsmr = solve_lsmr(&sys, &backend, &cfg);
+        assert!(lsmr.stop.converged(), "{} LSMR: {:?}", backend.name(), lsmr.stop);
+        let max_diff = reference
+            .x
+            .iter()
+            .zip(&lsmr.x)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_diff < 1e-7,
+            "{}: LSMR deviates from LSQR by {max_diff}",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn convergence_profiles_describe_both_solvers() {
+    let sys = system(701);
+    let cfg = LsqrConfig::new();
+    let lsqr = solve(&sys, &SeqBackend, &cfg);
+    let lsmr = solve_lsmr(&sys, &SeqBackend, &cfg);
+    for (name, sol) in [("LSQR", &lsqr), ("LSMR", &lsmr)] {
+        let p = convergence_profile(sol, 8).expect("history long enough");
+        assert!(p.rate < 1.0, "{name} rate {}", p.rate);
+        assert!(p.final_relative_residual < 1e-3, "{name}");
+        // Reaching 1e-3 relative residual happens before the run ends.
+        let k = iterations_to_tolerance(sol, 1e-3).expect("reached 1e-3");
+        assert!(k <= sol.iterations);
+    }
+}
+
+#[test]
+fn dataset_round_trip_preserves_the_solution() {
+    // Save → load → solve must equal solve on the original, bit for bit
+    // (the GAVU container is bit-exact).
+    let sys = system(702);
+    let mut buf = Vec::new();
+    io::write_system(&sys, &mut buf).unwrap();
+    let loaded = io::read_system(buf.as_slice()).unwrap();
+    let cfg = LsqrConfig::new();
+    let a = solve(&sys, &SeqBackend, &cfg);
+    let b = solve(&loaded, &SeqBackend, &cfg);
+    assert_eq!(a.x, b.x);
+    assert_eq!(a.iterations, b.iterations);
+}
+
+#[test]
+fn scan_law_datasets_solve_like_linear_ones() {
+    use gaia_avugsr::sparse::{AttitudePattern, InstrumentPattern};
+    // The realism knobs change the sparsity pattern, not solvability.
+    let cfg = GeneratorConfig::new(SystemLayout::tiny())
+        .seed(703)
+        .rhs(Rhs::FromTrueSolution { noise_sigma: 0.0 })
+        .attitude(AttitudePattern::ScanLaw { revolutions: 4 })
+        .instrument(InstrumentPattern::Grouped);
+    let (sys, truth) = Generator::new(cfg).generate_with_truth();
+    let x_true = truth.unwrap();
+    let sol = solve(&sys, &SeqBackend, &LsqrConfig::new());
+    assert!(sol.stop.converged(), "{:?}", sol.stop);
+    let err: f64 = sol
+        .x
+        .iter()
+        .zip(&x_true)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    let scale: f64 = x_true.iter().map(|v| v * v).sum::<f64>().sqrt();
+    assert!(err / scale < 1e-6, "relative error {}", err / scale);
+}
