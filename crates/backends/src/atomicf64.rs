@@ -48,8 +48,7 @@ pub fn add_relaxed(slot: &AtomicU64, v: f64) {
     let mut cur = slot.load(Ordering::Relaxed);
     loop {
         let new = f64::from_bits(cur) + v;
-        match slot.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
-        {
+        match slot.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(actual) => cur = actual,
         }

@@ -7,6 +7,7 @@ use std::sync::atomic::AtomicU64;
 use crossbeam::thread;
 use gaia_sparse::system::{ATT_NNZ_PER_ROW, INSTR_NNZ_PER_ROW};
 use gaia_sparse::{SparseSystem, ATT_AXES, ATT_PARAMS_PER_AXIS};
+use gaia_telemetry::{Block, Phase};
 
 use crate::atomicf64::{self, as_atomic};
 use crate::kernels::{self, split_ranges};
@@ -88,6 +89,9 @@ fn aprod2_att_atomic(
     out: &[AtomicU64],
     flavor: AtomicFlavor,
 ) {
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Att);
+    t.add_bytes(rows.len() as u64 * (3 * ATT_NNZ_PER_ROW as u64 + 1) * 8);
+    t.add_rmws(rows.len() as u64 * ATT_NNZ_PER_ROW as u64);
     let dof = sys.layout().n_deg_freedom_att as usize;
     for row in rows {
         let yr = y[row];
@@ -113,6 +117,9 @@ fn aprod2_instr_atomic(
     out: &[AtomicU64],
     flavor: AtomicFlavor,
 ) {
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Instr);
+    t.add_bytes(rows.len() as u64 * (3 * INSTR_NNZ_PER_ROW as u64 + 1) * 8);
+    t.add_rmws(rows.len() as u64 * INSTR_NNZ_PER_ROW as u64);
     for row in rows {
         let yr = y[row];
         if yr == 0.0 {
@@ -136,6 +143,9 @@ fn aprod2_glob_atomic(
     if sys.layout().n_glob_params == 0 {
         return;
     }
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Glob);
+    t.add_bytes(rows.len() as u64 * 16 + 16);
+    t.add_rmws(1);
     let glob = sys.values_glob();
     let mut acc = 0.0;
     for row in rows {
@@ -275,6 +285,8 @@ mod tests {
     #[test]
     fn names_encode_flavor() {
         assert!(AtomicBackend::with_threads(4).name().starts_with("atomic-"));
-        assert!(CasLoopBackend::with_threads(4).name().starts_with("casloop-"));
+        assert!(CasLoopBackend::with_threads(4)
+            .name()
+            .starts_with("casloop-"));
     }
 }

@@ -35,6 +35,29 @@ impl StreamedBackend {
     }
 }
 
+/// Worker budget per `aprod2` stream for a thread count, as
+/// `(astro, att, instr)`.
+///
+/// The astrometric stream carries ~5/24 of the coefficients but all the
+/// star traversal, so it gets half the budget; attitude a quarter; the
+/// instrumental stream the remainder (the global stream runs on the
+/// calling thread). The effective budget is `threads.max(4)` — one slot
+/// per stream minimum — which is what keeps the `max(1)` floors from
+/// oversubscribing: with a raw budget of 1–3 threads the three floors
+/// would sum past the budget, but raising the floor to 4 makes
+/// `astro + att + instr == total` hold exactly.
+pub(crate) fn stream_worker_budget(threads: usize) -> (usize, usize, usize) {
+    let total = threads.max(4);
+    let astro = (total / 2).max(1);
+    let att = (total / 4).max(1);
+    let instr = (total - astro - att).max(1);
+    debug_assert!(
+        astro + att + instr <= total,
+        "stream budget oversubscribed: {astro}+{att}+{instr} > {total} (threads = {threads})"
+    );
+    (astro, att, instr)
+}
+
 impl Backend for StreamedBackend {
     fn name(&self) -> String {
         format!("streamed-t{}", self.tuning.threads)
@@ -65,16 +88,15 @@ impl Backend for StreamedBackend {
         let (att, rest2) = rest.split_at_mut((c.instr - c.att) as usize);
         let (instr, glob) = rest2.split_at_mut((c.glob - c.instr) as usize);
 
-        // Budget the workers across streams roughly by work share: the
-        // astrometric stream carries ~5/24 of the coefficients but all the
-        // star traversal, so it gets half the budget; the remaining streams
-        // split the rest. Mirrors the production choice of fewer
-        // blocks/threads "in the regions where atomic operations are
-        // performed".
-        let total = self.tuning.threads.max(4);
-        let astro_workers = (total / 2).max(1);
-        let att_workers = (total / 4).max(1);
-        let instr_workers = (total - astro_workers - att_workers).max(1);
+        // Budget the workers across streams roughly by work share,
+        // mirroring the production choice of fewer blocks/threads "in the
+        // regions where atomic operations are performed". The split is
+        // audited against the total in `stream_worker_budget`.
+        let (astro_workers, att_workers, instr_workers) = stream_worker_budget(self.tuning.threads);
+        assert!(
+            astro_workers + att_workers + instr_workers <= self.tuning.threads.max(4),
+            "aprod2 stream budget exceeds the thread budget"
+        );
 
         let n_stars = sys.layout().n_stars as usize;
 
@@ -92,9 +114,7 @@ impl Backend for StreamedBackend {
             for own in split_ranges(att_len, att_workers.min(att_len.max(1))) {
                 let (mine, tail) = att_rest.split_at_mut(own.len());
                 att_rest = tail;
-                scope.spawn(move |_| {
-                    kernels::aprod2_att_owned(sys, y, 0..sys.n_rows(), own, mine)
-                });
+                scope.spawn(move |_| kernels::aprod2_att_owned(sys, y, 0..sys.n_rows(), own, mine));
             }
             // Stream 3: instrumental (owner-computes split).
             let mut instr_rest: &mut [f64] = instr;
@@ -139,6 +159,47 @@ mod tests {
                 assert!((g - w).abs() < 1e-10, "threads={threads}");
             }
             for (g, w) in got2.iter().zip(&want2) {
+                assert!((g - w).abs() < 1e-10, "threads={threads}");
+            }
+        }
+    }
+
+    /// The `max(1)` floors could oversubscribe a raw 1–3 thread budget
+    /// (e.g. threads = 1 would yield 1+1+1 = 3 workers); the `max(4)`
+    /// effective budget is what keeps the sum within bounds. Audit the
+    /// small budgets explicitly, plus representative larger ones.
+    #[test]
+    fn worker_budget_never_oversubscribes() {
+        for threads in [1usize, 2, 3] {
+            let (astro, att, instr) = stream_worker_budget(threads);
+            let effective = threads.max(4);
+            assert!(astro >= 1 && att >= 1 && instr >= 1, "threads = {threads}");
+            assert!(
+                astro + att + instr <= effective,
+                "threads = {threads}: {astro}+{att}+{instr} > {effective}"
+            );
+        }
+        for threads in [4usize, 5, 8, 17, 64] {
+            let (astro, att, instr) = stream_worker_budget(threads);
+            assert!(
+                astro + att + instr <= threads,
+                "threads = {threads}: {astro}+{att}+{instr} > {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_thread_budgets_still_match_seq() {
+        let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(83)).generate();
+        let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.43).sin()).collect();
+        let seq = SeqBackend;
+        let mut want = vec![0.0; sys.n_cols()];
+        seq.aprod2(&sys, &y, &mut want);
+        for threads in [1, 2, 3] {
+            let b = StreamedBackend::with_threads(threads);
+            let mut got = vec![0.0; sys.n_cols()];
+            b.aprod2(&sys, &y, &mut got);
+            for (g, w) in got.iter().zip(&want) {
                 assert!((g - w).abs() < 1e-10, "threads={threads}");
             }
         }

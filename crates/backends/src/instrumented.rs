@@ -1,0 +1,167 @@
+//! [`InstrumentedBackend`]: wrap any [`Backend`] so every `aprod1`/`aprod2`
+//! call is timed whole (scheduling + kernels + joins) into the telemetry
+//! registry's per-phase cells, complementing the per-(phase, block) cells
+//! the kernels record themselves. The wrapper is free when the `telemetry`
+//! feature is off — the probes compile to nothing and calls forward
+//! straight to the inner backend.
+
+use gaia_sparse::SparseSystem;
+use gaia_telemetry::Phase;
+
+use crate::traits::Backend;
+
+const F64: u64 = std::mem::size_of::<f64>() as u64;
+
+/// Analytic estimate of bytes one full `aprod1` touches: every stored
+/// coefficient and its paired operand read once, every output read and
+/// written once.
+pub fn aprod1_bytes(sys: &SparseSystem) -> u64 {
+    2 * coefficient_count(sys) * F64 + 2 * sys.n_rows() as u64 * F64
+}
+
+/// Analytic estimate of bytes one full `aprod2` touches: coefficients and
+/// the `y` operand read once per nonzero, plus a read-modify-write of the
+/// output slot per nonzero.
+pub fn aprod2_bytes(sys: &SparseSystem) -> u64 {
+    4 * coefficient_count(sys) * F64
+}
+
+fn coefficient_count(sys: &SparseSystem) -> u64 {
+    use gaia_sparse::system::{ASTRO_NNZ_PER_ROW, ATT_NNZ_PER_ROW, INSTR_NNZ_PER_ROW};
+    let obs = sys.n_obs_rows() as u64;
+    let glob = if sys.layout().n_glob_params > 0 {
+        obs
+    } else {
+        0
+    };
+    obs * (ASTRO_NNZ_PER_ROW + INSTR_NNZ_PER_ROW) as u64
+        + sys.n_rows() as u64 * ATT_NNZ_PER_ROW as u64
+        + glob
+}
+
+/// A [`Backend`] decorator recording whole-call wall time and analytic
+/// memory traffic for both sparse products.
+pub struct InstrumentedBackend<B> {
+    inner: B,
+}
+
+impl<B: Backend> InstrumentedBackend<B> {
+    /// Wrap `inner`.
+    pub fn new(inner: B) -> Self {
+        InstrumentedBackend { inner }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+}
+
+impl<B: Backend> Backend for InstrumentedBackend<B> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn description(&self) -> &'static str {
+        self.inner.description()
+    }
+
+    fn aprod1(&self, sys: &SparseSystem, x: &[f64], out: &mut [f64]) {
+        let mut t = gaia_telemetry::call_scope(Phase::Aprod1);
+        t.add_bytes(aprod1_bytes(sys));
+        self.inner.aprod1(sys, x, out);
+    }
+
+    fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
+        let mut t = gaia_telemetry::call_scope(Phase::Aprod2);
+        t.add_bytes(aprod2_bytes(sys));
+        self.inner.aprod2(sys, y, out);
+    }
+
+    fn nrm2(&self, v: &[f64]) -> f64 {
+        self.inner.nrm2(v)
+    }
+
+    fn scal(&self, v: &mut [f64], s: f64) {
+        self.inner.scal(v, s)
+    }
+
+    fn axpy(&self, y: &mut [f64], a: f64, x: &[f64]) {
+        self.inner.axpy(y, a, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend_seq::SeqBackend;
+    use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
+
+    #[test]
+    fn wrapper_forwards_results_unchanged() {
+        let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(21)).generate();
+        let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.31).sin()).collect();
+        let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.37).cos()).collect();
+        let plain = SeqBackend;
+        let wrapped = InstrumentedBackend::new(SeqBackend);
+        assert_eq!(wrapped.name(), plain.name());
+
+        let mut want1 = vec![0.0; sys.n_rows()];
+        plain.aprod1(&sys, &x, &mut want1);
+        let mut got1 = vec![0.0; sys.n_rows()];
+        wrapped.aprod1(&sys, &x, &mut got1);
+        assert_eq!(got1, want1);
+
+        let mut want2 = vec![0.0; sys.n_cols()];
+        plain.aprod2(&sys, &y, &mut want2);
+        let mut got2 = vec![0.0; sys.n_cols()];
+        wrapped.aprod2(&sys, &y, &mut got2);
+        assert_eq!(got2, want2);
+
+        assert_eq!(wrapped.nrm2(&x), plain.nrm2(&x));
+    }
+
+    #[test]
+    fn byte_model_scales_with_the_system() {
+        let tiny = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(1)).generate();
+        let small = Generator::new(GeneratorConfig::new(SystemLayout::small()).seed(1)).generate();
+        assert!(aprod1_bytes(&tiny) > 0);
+        assert!(aprod2_bytes(&tiny) > 0);
+        assert!(aprod1_bytes(&small) > aprod1_bytes(&tiny));
+        assert!(aprod2_bytes(&small) > aprod2_bytes(&tiny));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn whole_calls_land_in_the_phase_cells() {
+        let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(22)).generate();
+        let x: Vec<f64> = vec![1.0; sys.n_cols()];
+        let y: Vec<f64> = vec![1.0; sys.n_rows()];
+        let wrapped = InstrumentedBackend::new(SeqBackend);
+        gaia_telemetry::reset();
+        let mut out1 = vec![0.0; sys.n_rows()];
+        wrapped.aprod1(&sys, &x, &mut out1);
+        let mut out2 = vec![0.0; sys.n_cols()];
+        wrapped.aprod2(&sys, &y, &mut out2);
+        let snap = gaia_telemetry::snapshot();
+        assert_eq!(snap.calls.len(), 2);
+        let a1 = snap.calls.iter().find(|c| c.phase == "aprod1").unwrap();
+        assert_eq!(a1.calls, 1);
+        assert_eq!(a1.bytes, aprod1_bytes(&sys));
+        // The per-kernel cells saw the same call, broken down by block.
+        assert!(snap
+            .kernels
+            .iter()
+            .any(|c| c.phase == "aprod1" && c.block == "astro"));
+        assert!(snap
+            .kernels
+            .iter()
+            .any(|c| c.phase == "aprod2" && c.block == "att"));
+        gaia_telemetry::reset();
+    }
+}

@@ -18,13 +18,18 @@
 
 use std::ops::Range;
 
-use gaia_sparse::system::{ASTRO_NNZ_PER_ROW, INSTR_NNZ_PER_ROW};
+use gaia_sparse::system::{ASTRO_NNZ_PER_ROW, ATT_NNZ_PER_ROW, INSTR_NNZ_PER_ROW};
 use gaia_sparse::{SparseSystem, ATT_AXES, ATT_PARAMS_PER_AXIS};
+use gaia_telemetry::{Block, Phase};
+
+const F64: u64 = std::mem::size_of::<f64>() as u64;
 
 /// `out[i] += astro_row(rows.start+i) · x_astro_slice` for observation rows.
 pub fn aprod1_astro(sys: &SparseSystem, x: &[f64], rows: Range<usize>, out: &mut [f64]) {
     debug_assert!(rows.end <= sys.n_obs_rows());
     debug_assert_eq!(out.len(), rows.len());
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod1, Block::Astro);
+    t.add_bytes(rows.len() as u64 * (2 * ASTRO_NNZ_PER_ROW as u64 + 2) * F64);
     for (i, row) in rows.enumerate() {
         let (vals, start) = sys.astro_row(row);
         let xs = &x[start as usize..start as usize + ASTRO_NNZ_PER_ROW];
@@ -40,6 +45,8 @@ pub fn aprod1_astro(sys: &SparseSystem, x: &[f64], rows: Range<usize>, out: &mut
 pub fn aprod1_att(sys: &SparseSystem, x: &[f64], rows: Range<usize>, out: &mut [f64]) {
     debug_assert!(rows.end <= sys.n_rows());
     debug_assert_eq!(out.len(), rows.len());
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod1, Block::Att);
+    t.add_bytes(rows.len() as u64 * (2 * ATT_NNZ_PER_ROW as u64 + 2) * F64);
     let dof = sys.layout().n_deg_freedom_att as usize;
     let att_base = sys.columns().att as usize;
     for (i, row) in rows.enumerate() {
@@ -59,6 +66,8 @@ pub fn aprod1_att(sys: &SparseSystem, x: &[f64], rows: Range<usize>, out: &mut [
 pub fn aprod1_instr(sys: &SparseSystem, x: &[f64], rows: Range<usize>, out: &mut [f64]) {
     debug_assert!(rows.end <= sys.n_obs_rows());
     debug_assert_eq!(out.len(), rows.len());
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod1, Block::Instr);
+    t.add_bytes(rows.len() as u64 * (2 * INSTR_NNZ_PER_ROW as u64 + 2) * F64);
     let instr_base = sys.columns().instr as usize;
     for (i, row) in rows.enumerate() {
         let (vals, cols) = sys.instr_row(row);
@@ -78,6 +87,8 @@ pub fn aprod1_glob(sys: &SparseSystem, x: &[f64], rows: Range<usize>, out: &mut 
     if sys.layout().n_glob_params == 0 {
         return;
     }
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod1, Block::Glob);
+    t.add_bytes(rows.len() as u64 * 3 * F64 + F64);
     let glob_col = sys.columns().glob as usize;
     let xg = x[glob_col];
     let glob = sys.values_glob();
@@ -105,6 +116,17 @@ pub fn aprod1_range(sys: &SparseSystem, x: &[f64], rows: Range<usize>, out: &mut
 pub fn aprod2_astro(sys: &SparseSystem, y: &[f64], stars: Range<usize>, out: &mut [f64]) {
     debug_assert_eq!(out.len(), stars.len() * ASTRO_NNZ_PER_ROW);
     let layout = *sys.layout();
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Astro);
+    let rows_covered = if stars.is_empty() {
+        0
+    } else {
+        layout.rows_of_star(stars.end as u64 - 1).end
+            - layout.rows_of_star(stars.start as u64).start
+    };
+    t.add_bytes(
+        rows_covered * (ASTRO_NNZ_PER_ROW as u64 + 1) * F64
+            + stars.len() as u64 * 2 * ASTRO_NNZ_PER_ROW as u64 * F64,
+    );
     for (si, star) in stars.enumerate() {
         let slot = &mut out[si * ASTRO_NNZ_PER_ROW..(si + 1) * ASTRO_NNZ_PER_ROW];
         for row in layout.rows_of_star(star as u64) {
@@ -122,6 +144,8 @@ pub fn aprod2_astro(sys: &SparseSystem, y: &[f64], stars: Range<usize>, out: &mu
 /// ensure exclusive access to `out` (serial, owned copy, or a lock).
 pub fn aprod2_att(sys: &SparseSystem, y: &[f64], rows: Range<usize>, out: &mut [f64]) {
     debug_assert_eq!(out.len() as u64, sys.layout().n_att_cols());
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Att);
+    t.add_bytes(rows.len() as u64 * (3 * ATT_NNZ_PER_ROW as u64 + 1) * F64);
     let dof = sys.layout().n_deg_freedom_att as usize;
     for row in rows {
         let yr = y[row];
@@ -148,6 +172,10 @@ pub fn aprod2_att_owned(
     out: &mut [f64],
 ) {
     debug_assert_eq!(out.len(), own.len());
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Att);
+    t.add_bytes(
+        rows.len() as u64 * (ATT_NNZ_PER_ROW as u64 + 1) * F64 + own.len() as u64 * 2 * F64,
+    );
     let dof = sys.layout().n_deg_freedom_att as usize;
     for row in rows {
         let yr = y[row];
@@ -172,6 +200,8 @@ pub fn aprod2_att_owned(
 pub fn aprod2_instr(sys: &SparseSystem, y: &[f64], rows: Range<usize>, out: &mut [f64]) {
     debug_assert!(rows.end <= sys.n_obs_rows());
     debug_assert_eq!(out.len() as u64, sys.layout().n_instr_params);
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Instr);
+    t.add_bytes(rows.len() as u64 * (3 * INSTR_NNZ_PER_ROW as u64 + 1) * F64);
     for row in rows {
         let yr = y[row];
         if yr == 0.0 {
@@ -194,6 +224,10 @@ pub fn aprod2_instr_owned(
 ) {
     debug_assert!(rows.end <= sys.n_obs_rows());
     debug_assert_eq!(out.len(), own.len());
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Instr);
+    t.add_bytes(
+        rows.len() as u64 * (INSTR_NNZ_PER_ROW as u64 + 1) * F64 + own.len() as u64 * 2 * F64,
+    );
     for row in rows {
         let yr = y[row];
         if yr == 0.0 {
@@ -217,6 +251,8 @@ pub fn aprod2_glob(sys: &SparseSystem, y: &[f64], rows: Range<usize>, out: &mut 
         return;
     }
     debug_assert_eq!(out.len(), 1);
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Glob);
+    t.add_bytes(rows.len() as u64 * 2 * F64 + 2 * F64);
     let glob = sys.values_glob();
     let mut acc = 0.0;
     for row in rows {
@@ -286,6 +322,58 @@ mod tests {
         }
         for (a, b) in whole.iter().zip(&parts) {
             assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// A range made only of constraint rows (`rows.start >= n_obs_rows()`)
+    /// must skip the observation kernels entirely and still produce the
+    /// attitude contributions — the case every parallel backend hits when
+    /// a worker's chunk lands wholly in the constraint tail.
+    #[test]
+    fn aprod1_range_over_constraint_rows_only() {
+        let s = sys();
+        let x = x_for(&s);
+        assert!(
+            s.n_rows() > s.n_obs_rows(),
+            "layout must have constraint rows"
+        );
+        let tail = s.n_obs_rows()..s.n_rows();
+
+        let mut whole = vec![0.0; s.n_rows()];
+        aprod1_range(&s, &x, 0..s.n_rows(), &mut whole);
+        let mut got = vec![0.0; tail.len()];
+        aprod1_range(&s, &x, tail.clone(), &mut got);
+        for (g, w) in got.iter().zip(&whole[tail.start..]) {
+            assert!((g - w).abs() < 1e-12, "{g} vs {w}");
+        }
+
+        // Empty and point ranges at the boundary are no-ops / single rows.
+        let mut empty: Vec<f64> = vec![];
+        aprod1_range(&s, &x, s.n_rows()..s.n_rows(), &mut empty);
+        let mut one = vec![0.0; 1];
+        aprod1_range(&s, &x, s.n_obs_rows()..s.n_obs_rows() + 1, &mut one);
+        assert!((one[0] - whole[s.n_obs_rows()]).abs() < 1e-12);
+    }
+
+    /// `split_ranges(0, parts)` hands out `parts` empty ranges; every
+    /// kernel must accept them without touching the output.
+    #[test]
+    fn empty_split_ranges_are_kernel_noops() {
+        let s = sys();
+        let x = x_for(&s);
+        let y = y_for(&s);
+        for r in split_ranges(0, 6) {
+            assert!(r.is_empty());
+            let mut out1: Vec<f64> = vec![];
+            aprod1_range(&s, &x, r.clone(), &mut out1);
+            let mut out2: Vec<f64> = vec![];
+            aprod2_astro(&s, &y, r.clone(), &mut out2);
+            let mut att = vec![0.0; s.layout().n_att_cols() as usize];
+            aprod2_att(&s, &y, r.clone(), &mut att);
+            assert!(att.iter().all(|&v| v == 0.0));
+            let mut glob = vec![0.0; 1];
+            aprod2_glob(&s, &y, r, &mut glob);
+            assert_eq!(glob[0], 0.0);
         }
     }
 

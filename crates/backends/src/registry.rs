@@ -1,6 +1,7 @@
 //! Backend registry: construct every strategy by name, the way the paper's
 //! harness selects a framework per run.
 
+use crate::instrumented::InstrumentedBackend;
 use crate::traits::Backend;
 use crate::{
     AtomicBackend, CasLoopBackend, ChunkedBackend, RayonBackend, ReplicatedBackend, SeqBackend,
@@ -46,6 +47,14 @@ pub fn backend_by_name(name: &str, threads: usize) -> Option<Box<dyn Backend>> {
     })
 }
 
+/// Instantiate a backend by name, wrapped in an [`InstrumentedBackend`] so
+/// whole-call `aprod1`/`aprod2` timing lands in the telemetry registry.
+/// Free when the `telemetry` feature is off.
+pub fn instrumented_by_name(name: &str, threads: usize) -> Option<Box<dyn Backend>> {
+    backend_by_name(name, threads)
+        .map(|b| Box::new(InstrumentedBackend::new(b)) as Box<dyn Backend>)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,5 +71,54 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(backend_by_name("cuda", 2).is_none());
+        assert!(instrumented_by_name("cuda", 2).is_none());
+    }
+
+    #[test]
+    fn instrumented_wrapper_preserves_identity() {
+        for name in backend_names() {
+            let plain = backend_by_name(name, 2).unwrap();
+            let wrapped = instrumented_by_name(name, 2).unwrap();
+            assert_eq!(wrapped.name(), plain.name());
+            assert_eq!(wrapped.description(), plain.description());
+        }
+    }
+
+    /// Degenerate thread budgets (1) and budgets far above the row count
+    /// (64 on a tiny system, forcing `split_ranges` to hand out empty
+    /// ranges) must neither panic nor change any result.
+    #[test]
+    fn every_backend_survives_oversized_thread_budgets() {
+        use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
+        let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(77)).generate();
+        let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.17).sin()).collect();
+        let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.29).cos()).collect();
+        let seq = SeqBackend;
+        let mut want1 = vec![0.0; sys.n_rows()];
+        seq.aprod1(&sys, &x, &mut want1);
+        let mut want2 = vec![0.0; sys.n_cols()];
+        seq.aprod2(&sys, &y, &mut want2);
+        for threads in [1usize, 7, 64] {
+            for backend in all_backends(threads) {
+                let mut got1 = vec![0.0; sys.n_rows()];
+                backend.aprod1(&sys, &x, &mut got1);
+                let mut got2 = vec![0.0; sys.n_cols()];
+                backend.aprod2(&sys, &y, &mut got2);
+                for (g, w) in got1.iter().zip(&want1) {
+                    assert!(
+                        (g - w).abs() < 1e-10,
+                        "{} aprod1 at {threads} threads",
+                        backend.name()
+                    );
+                }
+                for (g, w) in got2.iter().zip(&want2) {
+                    assert!(
+                        (g - w).abs() < 1e-10,
+                        "{} aprod2 at {threads} threads",
+                        backend.name()
+                    );
+                }
+            }
+        }
     }
 }

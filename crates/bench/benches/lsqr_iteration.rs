@@ -23,7 +23,14 @@ fn bench_iterations(c: &mut Criterion) {
     let mut g = c.benchmark_group("lsqr_iteration");
     g.sample_size(10);
     for budget in [1usize, max_threads] {
-        for name in ["seq", "chunked", "atomic", "replicated", "streamed", "rayon"] {
+        for name in [
+            "seq",
+            "chunked",
+            "atomic",
+            "replicated",
+            "streamed",
+            "rayon",
+        ] {
             let backend = backend_by_name(name, budget).unwrap();
             let id = BenchmarkId::new(name, format!("t{budget}"));
             g.bench_with_input(id, name, |b, _| {

@@ -55,8 +55,17 @@ fn main() {
     // rayon's global pool is fixed at startup, so the tuning-oblivious
     // backend (like PSTL) uses whatever the runtime decides — we still
     // record it per budget, which is exactly its handicap in this study.
-    let strategies =
-        ["seq", "chunked", "atomic", "casloop", "replicated", "striped", "streamed", "rayon", "hybrid"];
+    let strategies = [
+        "seq",
+        "chunked",
+        "atomic",
+        "casloop",
+        "replicated",
+        "striped",
+        "streamed",
+        "rayon",
+        "hybrid",
+    ];
 
     let mut set = MeasurementSet::new();
     for budget in &budgets {
@@ -88,4 +97,22 @@ fn main() {
             }).collect::<Vec<_>>(),
         }),
     );
+
+    // Per-kernel telemetry of representative strategies at the largest
+    // budget: where inside aprod1/aprod2 each conflict strategy spends its
+    // time (JSON artifacts under results/telemetry/).
+    let top_budget = *budgets.last().unwrap_or(&4);
+    println!("\nper-kernel telemetry at threads-{top_budget}:\n");
+    for name in ["seq", "atomic", "replicated", "streamed"] {
+        let report = gaia_bench::measured_run(
+            &format!("cpu_portability_{name}"),
+            name,
+            top_budget,
+            &sys,
+            ITERATIONS,
+        );
+        println!("{}:", report.backend);
+        print!("{}", gaia_telemetry::kernel_table(&report.telemetry));
+        println!();
+    }
 }

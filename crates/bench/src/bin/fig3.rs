@@ -45,7 +45,10 @@ fn main() {
             .collect();
         if nvidia.len() > 1 {
             println!("NVIDIA-only subset:");
-            for (app, p) in gaia_p3::subsets::subset_ranking(&matrix, &nvidia).iter().take(3) {
+            for (app, p) in gaia_p3::subsets::subset_ranking(&matrix, &nvidia)
+                .iter()
+                .take(3)
+            {
                 println!("  {app:<12} P = {p:.3}");
             }
             if let Some((winner, p)) = gaia_p3::subsets::subset_winner(&matrix, &nvidia) {
@@ -54,7 +57,10 @@ fn main() {
         }
         // Why the harmonic mean: compare against AM/GM for each framework.
         println!("mean comparison (the harmonic mean is the P metric):");
-        println!("  {:<12} {:>6} {:>6} {:>6}", "framework", "HM=P", "GM", "AM");
+        println!(
+            "  {:<12} {:>6} {:>6} {:>6}",
+            "framework", "HM=P", "GM", "AM"
+        );
         for app in matrix.apps() {
             let effs: Vec<f64> = platforms
                 .iter()

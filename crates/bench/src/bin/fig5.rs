@@ -37,7 +37,10 @@ fn main() {
                 (
                     app.clone(),
                     gaia_p3::svg::PALETTE[i % gaia_p3::svg::PALETTE.len()].to_string(),
-                    platforms.iter().map(|p| matrix.efficiency(app, p)).collect(),
+                    platforms
+                        .iter()
+                        .map(|p| matrix.efficiency(app, p))
+                        .collect(),
                 )
             })
             .collect();

@@ -60,7 +60,10 @@ mod gaia_avugsr_fig6 {
         );
 
         let ports: Vec<(&str, Box<dyn Backend>)> = vec![
-            ("HIP-on-H100 role (atomic backend)", Box::new(AtomicBackend::with_threads(4))),
+            (
+                "HIP-on-H100 role (atomic backend)",
+                Box::new(AtomicBackend::with_threads(4)),
+            ),
             (
                 "HIP-on-MI250X role (streamed backend)",
                 Box::new(StreamedBackend::with_threads(4)),
@@ -76,8 +79,14 @@ mod gaia_avugsr_fig6 {
             let below_10uas = agr.stderr_within(10.0 * MICRO_ARCSEC_RAD);
             println!("\n--- {label} ---");
             println!("  max |Δx|            = {:.3e} rad", agr.max_abs_diff);
-            println!("  mean Δx / std Δx    = {:.3e} / {:.3e}", agr.mean_diff, agr.std_diff);
-            println!("  within 1σ           = {:.2}% of unknowns", 100.0 * one_sigma);
+            println!(
+                "  mean Δx / std Δx    = {:.3e} / {:.3e}",
+                agr.mean_diff, agr.std_diff
+            );
+            println!(
+                "  within 1σ           = {:.2}% of unknowns",
+                100.0 * one_sigma
+            );
             println!(
                 "  std-err Δ mean/std  = {:.3e} / {:.3e} rad (10 µas = {:.3e})",
                 agr.stderr_mean_diff.unwrap_or(f64::NAN),

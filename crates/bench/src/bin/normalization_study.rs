@@ -20,8 +20,14 @@ fn main() {
         let platforms = platform_set(gb);
         println!("================ {gb} GB ================");
         for (label, norm) in [
-            ("platform-best (Pennycook application efficiency)", Normalization::PlatformBest),
-            ("per-application best (the appendix's literal wording)", Normalization::AppBestPlatform),
+            (
+                "platform-best (Pennycook application efficiency)",
+                Normalization::PlatformBest,
+            ),
+            (
+                "per-application best (the appendix's literal wording)",
+                Normalization::AppBestPlatform,
+            ),
         ] {
             let matrix = set.efficiencies(norm);
             println!("--- {label} ---");

@@ -3,8 +3,8 @@
 //! numbers, and the justification for the simulator's bandwidth-only
 //! kernel model.
 
-use gaia_gpu_sim::roofline::{analyze, ridge_point};
 use gaia_gpu_sim::all_platforms;
+use gaia_gpu_sim::roofline::{analyze, ridge_point};
 use gaia_sparse::SystemLayout;
 
 fn main() {
@@ -20,7 +20,10 @@ fn main() {
         );
     }
 
-    let h100 = all_platforms().into_iter().find(|p| p.name == "H100").unwrap();
+    let h100 = all_platforms()
+        .into_iter()
+        .find(|p| p.name == "H100")
+        .unwrap();
     println!("\nkernel placements on the H100 roofline (10 GB problem):");
     println!(
         "  {:<14} {:>12} {:>10} {:>16} {:>10}",
@@ -32,7 +35,11 @@ fn main() {
             "  {:<14} {:>12.4} {:>10} {:>12.0} GF/s {:>9.2}%",
             pt.kernel,
             pt.intensity,
-            if pt.memory_bound() { "memory" } else { "compute" },
+            if pt.memory_bound() {
+                "memory"
+            } else {
+                "compute"
+            },
             pt.attainable_gflops,
             100.0 * pt.fraction_of_peak
         );

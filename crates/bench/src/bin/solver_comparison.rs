@@ -33,12 +33,11 @@ fn main() {
         let b = solve_lsmr(&sys, &backend, &solver_cfg);
         let t_lsmr = t0.elapsed().as_secs_f64();
 
-        let max_diff = a
-            .x
-            .iter()
-            .zip(&b.x)
-            .map(|(p, q)| (p - q).abs())
-            .fold(0.0f64, f64::max);
+        let max_diff =
+            a.x.iter()
+                .zip(&b.x)
+                .map(|(p, q)| (p - q).abs())
+                .fold(0.0f64, f64::max);
         println!(
             "{:<10.0e} {:>9} | {:>12} {:>12} | {:>12.2} {:>12.2} | {:>14.3e}",
             noise,

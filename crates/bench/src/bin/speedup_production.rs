@@ -68,5 +68,8 @@ fn main() {
     let t3 = iteration_time(&layout, &step, &h100, &SimConfig::default())
         .expect("fits")
         .seconds;
-    println!("  + coarse grain + streams   : {:.3}x (paper: 2.0x)", base / t3);
+    println!(
+        "  + coarse grain + streams   : {:.3}x (paper: 2.0x)",
+        base / t3
+    );
 }

@@ -38,7 +38,11 @@ fn main() {
         println!(
             "{:<12} {:>9} {:>8} {:>12} {:>12} {:>9.0}",
             fw.name,
-            format!("{:?}", fw.tunability).split(' ').next().unwrap_or("?").trim_start_matches("Fixed"),
+            format!("{:?}", fw.tunability)
+                .split(' ')
+                .next()
+                .unwrap_or("?")
+                .trim_start_matches("Fixed"),
             fw.streams,
             format!("{:?}", fw.atomics_nvidia),
             format!("{:?}", fw.atomics_amd),

@@ -6,9 +6,7 @@
 
 use gaia_gpu_sim::occupancy::TPB_RANGE;
 use gaia_gpu_sim::tuner::tune;
-use gaia_gpu_sim::{
-    all_platforms, framework_by_name, iteration_time, occupancy, SimConfig,
-};
+use gaia_gpu_sim::{all_platforms, framework_by_name, iteration_time, occupancy, SimConfig};
 use gaia_sparse::SystemLayout;
 
 fn main() {

@@ -19,7 +19,8 @@
 
 use gaia_gpu_sim::{all_frameworks, all_platforms, iteration_time, SimConfig};
 use gaia_p3::MeasurementSet;
-use gaia_sparse::SystemLayout;
+use gaia_sparse::{SparseSystem, SystemLayout};
+use gaia_telemetry::report::RunReport;
 
 /// The paper's three problem sizes in GB.
 pub const PROBLEM_SIZES_GB: [f64; 3] = [10.0, 30.0, 60.0];
@@ -61,10 +62,40 @@ pub fn write_artifact(name: &str, json: &serde_json::Value) {
         return;
     }
     let path = dir.join(name);
-    match std::fs::write(&path, serde_json::to_string_pretty(json).expect("serializable")) {
+    match std::fs::write(
+        &path,
+        serde_json::to_string_pretty(json).expect("serializable"),
+    ) {
         Ok(()) => println!("[artifact] {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
+}
+
+/// Run one measured LSQR solve (fixed iterations) on an instrumented
+/// backend, scoping the telemetry registry to the run, and write the
+/// per-kernel run report to `results/telemetry/{run}.json`.
+///
+/// Built with `--no-default-features` the probes are no-ops: the JSON is
+/// still written (iteration history always exists) but the snapshot comes
+/// back empty with `"enabled": false`.
+pub fn measured_run(
+    run: &str,
+    backend_name: &str,
+    threads: usize,
+    sys: &SparseSystem,
+    iterations: usize,
+) -> RunReport {
+    let backend =
+        gaia_backends::instrumented_by_name(backend_name, threads).expect("registry name");
+    gaia_telemetry::reset();
+    let cfg = gaia_lsqr::LsqrConfig::fixed_iterations(iterations);
+    let sol = gaia_lsqr::solve(sys, &backend, &cfg);
+    let report = gaia_lsqr::run_report(run, &backend.name(), "lsqr", sys, &sol);
+    match gaia_telemetry::report::write_report(&report) {
+        Ok(path) => println!("[artifact] {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write telemetry report: {e}"),
+    }
+    report
 }
 
 /// Write a text artifact (SVG, CSV, ...) under `results/`.

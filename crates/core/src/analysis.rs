@@ -123,7 +123,9 @@ mod tests {
         solve(
             &sys,
             &SeqBackend,
-            &LsqrConfig::new().precondition(precondition).max_iters(5_000),
+            &LsqrConfig::new()
+                .precondition(precondition)
+                .max_iters(5_000),
         )
     }
 
@@ -174,7 +176,10 @@ mod tests {
     fn profile_text_is_log_spaced_and_nonempty() {
         let sol = solved(true);
         let text = profile_text(&sol);
-        assert!(text.contains("iter     1") || text.contains("iter 1"), "{text}");
+        assert!(
+            text.contains("iter     1") || text.contains("iter 1"),
+            "{text}"
+        );
         let lines = text.lines().count();
         assert!(lines >= 3 && lines <= 2 + (sol.iterations as f64).log2() as usize + 2);
     }

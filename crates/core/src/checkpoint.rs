@@ -360,7 +360,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("state.json");
         ckpt.save(&path).unwrap();
-        assert!(!path.with_extension("tmp").exists(), "temp file renamed away");
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file renamed away"
+        );
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(loaded.restore(&sys, &cfg).unwrap(), state);
         std::fs::remove_dir_all(&dir).ok();

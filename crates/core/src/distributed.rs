@@ -173,7 +173,11 @@ where
 /// Local squared norm, reduced to the global Euclidean norm.
 fn distributed_nrm2(comm: &Communicator, local: &[f64]) -> f64 {
     let local_sq: f64 = local.iter().map(|x| x * x).sum();
-    comm.allreduce_scalar(ReduceOp::Sum, local_sq).sqrt()
+    let global_sq = {
+        let _t = gaia_telemetry::collective_scope();
+        comm.allreduce_scalar(ReduceOp::Sum, local_sq)
+    };
+    global_sq.sqrt()
 }
 
 #[allow(clippy::needless_range_loop)]
@@ -224,6 +228,8 @@ fn rank_solve(
             local_cols.iter_mut().for_each(|p| *p = 0.0);
             backend.aprod2(&shard.sys, u, local_cols);
             shard.add_to_global(local_cols, partial, &full_layout);
+            let mut t = gaia_telemetry::collective_scope();
+            t.add_bytes(partial.len() as u64 * 8);
             comm.allreduce(ReduceOp::Sum, partial);
         };
 
@@ -366,7 +372,10 @@ fn rank_solve(
         // The paper measures "the iteration time maximized among all MPI
         // processes"; reproduce that in the recorded history.
         let local_secs = t_iter.elapsed().as_secs_f64();
-        let max_secs = comm.allreduce_scalar(ReduceOp::Max, local_secs);
+        let max_secs = {
+            let _t = gaia_telemetry::collective_scope();
+            comm.allreduce_scalar(ReduceOp::Max, local_secs)
+        };
         history.push(IterationStats {
             iteration: itn,
             rnorm,
@@ -510,13 +519,29 @@ mod tests {
     fn hybrid_ranks_with_parallel_backends_agree() {
         // MPI + threads: each rank drives its shard with a different
         // parallel backend — heterogeneity must not change the solution
-        // beyond float noise.
+        // beyond float noise. Iteration counts are compared only within
+        // a noise window, not for equality: the parallel backends sum
+        // `aprod2` contributions in different (for `atomic`,
+        // scheduling-dependent — see tests/restart_props.rs) orders, so
+        // the iteration at which the convergence test first trips may
+        // legitimately shift by one or two around the sequential
+        // reference's crossing.
         let sys = system(303);
         let reference = solve_distributed(&sys, 3, &LsqrConfig::new());
         let hybrid = solve_hybrid(&sys, 3, &LsqrConfig::new(), |rank| {
             let names = ["atomic", "replicated", "streamed"];
             backend_by_name(names[rank % 3], 2).unwrap()
         });
+        assert!(
+            reference.stop.converged(),
+            "reference must converge, stopped with {:?}",
+            reference.stop
+        );
+        assert!(
+            hybrid.stop.converged(),
+            "hybrid must converge, stopped with {:?}",
+            hybrid.stop
+        );
         let max_diff = hybrid
             .x
             .iter()
@@ -524,7 +549,14 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
         assert!(max_diff < 1e-8, "hybrid deviates by {max_diff}");
-        assert_eq!(hybrid.iterations, reference.iterations);
+        let delta = hybrid.iterations.abs_diff(reference.iterations);
+        assert!(
+            delta <= 2,
+            "hybrid took {} iterations vs reference {} — beyond \
+             summation-order noise, likely an aprod defect",
+            hybrid.iterations,
+            reference.iterations
+        );
     }
 
     #[test]

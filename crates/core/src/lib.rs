@@ -31,6 +31,7 @@ pub mod config;
 pub mod distributed;
 pub mod lsmr;
 pub mod lsqr;
+pub mod perf;
 pub mod precond;
 pub mod solution;
 pub mod validate;
@@ -40,6 +41,7 @@ pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::LsqrConfig;
 pub use lsmr::solve_lsmr;
 pub use lsqr::{solve, Lsqr};
+pub use perf::run_report;
 pub use precond::ColumnScaling;
 pub use solution::{IterationStats, Solution, StopReason};
 pub use validate::{compare_solutions, Agreement, MICRO_ARCSEC_RAD};

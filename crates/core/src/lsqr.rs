@@ -444,7 +444,11 @@ mod tests {
             .sum::<f64>()
             .sqrt();
         let scale: f64 = x_ls.iter().map(|v| v * v).sum::<f64>().sqrt();
-        assert!(err / scale < 1e-6, "relative error vs dense LS: {}", err / scale);
+        assert!(
+            err / scale < 1e-6,
+            "relative error vs dense LS: {}",
+            err / scale
+        );
     }
 
     #[test]
@@ -459,11 +463,7 @@ mod tests {
                 .zip(&reference.x)
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0, f64::max);
-            assert!(
-                diff < 1e-6,
-                "backend {} deviates by {diff}",
-                backend.name()
-            );
+            assert!(diff < 1e-6, "backend {} deviates by {diff}", backend.name());
         }
     }
 

@@ -101,7 +101,11 @@ mod tests {
         }
         for (j, &s) in sq.iter().enumerate() {
             if s > 0.0 {
-                assert!((s.sqrt() - 1.0).abs() < 1e-10, "column {j} norm {}", s.sqrt());
+                assert!(
+                    (s.sqrt() - 1.0).abs() < 1e-10,
+                    "column {j} norm {}",
+                    s.sqrt()
+                );
             }
         }
     }

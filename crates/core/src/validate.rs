@@ -94,11 +94,7 @@ pub fn compare_solutions(a: &Solution, b: &Solution) -> Agreement {
                 .sum::<f64>()
                 / n as f64)
                 .sqrt();
-            (
-                Some(within as f64 / n as f64),
-                Some(se_mean),
-                Some(se_std),
-            )
+            (Some(within as f64 / n as f64), Some(se_mean), Some(se_std))
         }
         _ => (None, None, None),
     };

@@ -105,7 +105,11 @@ mod tests {
         for p in all_platforms() {
             let ps = power_spec(&p);
             assert!(ps.idle_w < ps.tdp_w, "{}", p.name);
-            assert!((0.5..=1.0).contains(&ps.mem_bound_utilization), "{}", p.name);
+            assert!(
+                (0.5..=1.0).contains(&ps.mem_bound_utilization),
+                "{}",
+                p.name
+            );
         }
     }
 

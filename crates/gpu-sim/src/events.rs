@@ -232,7 +232,12 @@ mod tests {
         // kernel), clamped to the serial sum. The fluid result must agree
         // within the shortest private tail.
         let cases: Vec<Vec<FluidTask>> = vec![
-            vec![task("astro", 0.14, 0.0), task("att", 0.30, 0.10), task("instr", 0.17, 0.06), task("glob", 0.03, 0.01)],
+            vec![
+                task("astro", 0.14, 0.0),
+                task("att", 0.30, 0.10),
+                task("instr", 0.17, 0.06),
+                task("glob", 0.03, 0.01),
+            ],
             vec![task("a", 0.5, 0.0), task("b", 0.1, 0.0)],
             vec![task("a", 0.05, 0.5), task("b", 0.05, 0.02)],
         ];
@@ -267,7 +272,11 @@ mod tests {
 
     #[test]
     fn schedule_intervals_are_consistent() {
-        let tasks = vec![task("a", 0.2, 0.1), task("b", 0.4, 0.0), task("c", 0.0, 0.3)];
+        let tasks = vec![
+            task("a", 0.2, 0.1),
+            task("b", 0.4, 0.0),
+            task("c", 0.0, 0.3),
+        ];
         let s = simulate_concurrent(&tasks);
         for k in &s.kernels {
             assert!(k.start <= k.shared_end && k.shared_end <= k.end);

@@ -32,10 +32,7 @@ pub fn all_frameworks() -> Vec<FrameworkSpec> {
 }
 
 fn eff(entries: &[(&str, f64)]) -> BTreeMap<String, f64> {
-    entries
-        .iter()
-        .map(|(k, v)| (k.to_string(), *v))
-        .collect()
+    entries.iter().map(|(k, v)| (k.to_string(), *v)).collect()
 }
 
 /// Look up a framework by name.
@@ -54,12 +51,7 @@ pub fn framework_by_name(name: &str) -> Option<FrameworkSpec> {
             atomics_amd: AtomicCodegen::Rmw,
             streams: true,
             sync_us: 30.0,
-            codegen_eff: eff(&[
-                ("T4", 1.0),
-                ("V100", 0.985),
-                ("A100", 1.0),
-                ("H100", 0.99),
-            ]),
+            codegen_eff: eff(&[("T4", 1.0), ("V100", 0.985), ("A100", 1.0), ("H100", 0.99)]),
             default_codegen_eff: 1.0,
             pressure_sensitivity: 0.0, // fully explicit cudaMalloc management
             atomic_contention_mult: 1.0,
@@ -374,7 +366,9 @@ mod tests {
         assert!(!cuda.supports_vendor(Vendor::Amd));
         for name in FRAMEWORK_NAMES.iter().filter(|n| **n != "CUDA") {
             assert!(
-                framework_by_name(name).unwrap().supports_vendor(Vendor::Amd),
+                framework_by_name(name)
+                    .unwrap()
+                    .supports_vendor(Vendor::Amd),
                 "{name} should target AMD"
             );
         }
@@ -420,7 +414,9 @@ mod tests {
         for name in ["HIP", "OMP+V", "PSTL+ACPP", "PSTL+V", "SYCL+ACPP"] {
             let fw = framework_by_name(name).unwrap();
             assert!(
-                fw.flags_on(Vendor::Amd).unwrap().contains("-munsafe-fp-atomics"),
+                fw.flags_on(Vendor::Amd)
+                    .unwrap()
+                    .contains("-munsafe-fp-atomics"),
                 "{name}"
             );
         }

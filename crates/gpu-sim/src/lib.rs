@@ -53,8 +53,8 @@ pub mod roofline;
 pub mod scaling;
 pub mod sensitivity;
 pub mod timeline;
-pub mod whatif;
 pub mod tuner;
+pub mod whatif;
 pub mod workload;
 
 pub use framework::{AtomicCodegen, FrameworkSpec, Toolchain, Tunability};

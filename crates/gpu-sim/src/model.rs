@@ -255,9 +255,15 @@ mod tests {
         let acpp = pp(&times, "SYCL+ACPP", &all);
         assert!(hip > 0.90, "HIP P(10GB) = {hip}");
         assert!(acpp > 0.85, "SYCL+ACPP P(10GB) = {acpp}");
-        assert!(hip >= acpp, "HIP ({hip}) must lead at 10 GB over ACPP ({acpp})");
+        assert!(
+            hip >= acpp,
+            "HIP ({hip}) must lead at 10 GB over ACPP ({acpp})"
+        );
         for fw in FRAMEWORK_NAMES.iter().filter(|f| **f != "HIP") {
-            assert!(pp(&times, fw, &all) <= hip + 1e-12, "{fw} beats HIP at 10 GB");
+            assert!(
+                pp(&times, fw, &all) <= hip + 1e-12,
+                "{fw} beats HIP at 10 GB"
+            );
         }
     }
 
@@ -269,7 +275,10 @@ mod tests {
         let set: Vec<&str> = vec!["V100", "A100", "H100", "MI250X"];
         let hip = pp(&times, "HIP", &set);
         let acpp = pp(&times, "SYCL+ACPP", &set);
-        assert!(acpp > hip, "ACPP ({acpp}) must surpass HIP ({hip}) at 30 GB");
+        assert!(
+            acpp > hip,
+            "ACPP ({acpp}) must surpass HIP ({hip}) at 30 GB"
+        );
         assert!(acpp > 0.85 && hip > 0.80, "acpp {acpp} hip {hip}");
     }
 
@@ -296,7 +305,10 @@ mod tests {
         let omp = pp(&times, "OMP+LLVM", &all);
         assert!(omp < 0.40, "OMP+LLVM P(10GB) = {omp} (paper: 0.25)");
         assert!(omp > 0.10, "OMP+LLVM must still run everywhere ({omp})");
-        for fw in FRAMEWORK_NAMES.iter().filter(|f| **f != "OMP+LLVM" && **f != "CUDA") {
+        for fw in FRAMEWORK_NAMES
+            .iter()
+            .filter(|f| **f != "OMP+LLVM" && **f != "CUDA")
+        {
             assert!(pp(&times, fw, &all) >= omp, "{fw} below OMP+LLVM");
         }
     }
@@ -448,7 +460,10 @@ mod tests {
         let fw = framework_by_name("HIP").unwrap();
         let p = platform_by_name("MI250X").unwrap();
         let b = iteration_time(&layout, &fw, &p, &SimConfig::default()).unwrap();
-        let sum = b.aprod1_seconds + b.aprod2_seconds + b.blas_seconds + b.launch_seconds
+        let sum = b.aprod1_seconds
+            + b.aprod2_seconds
+            + b.blas_seconds
+            + b.launch_seconds
             + b.sync_seconds;
         assert!((b.seconds - sum).abs() < 1e-15);
         assert_eq!(b.kernels.len(), 9);
@@ -513,11 +528,7 @@ mod fluid_tests {
                 if fw.streams {
                     // Same lower bounds; fluid may exceed the closed form
                     // by at most the private tails it cannot hide.
-                    let serial: f64 = s
-                        .kernels
-                        .iter()
-                        .map(|k| k.end - k.start)
-                        .sum();
+                    let serial: f64 = s.kernels.iter().map(|k| k.end - k.start).sum();
                     assert!(
                         s.makespan >= b.aprod2_seconds - 1e-12,
                         "{} on {}: fluid {} below closed form {}",
@@ -573,7 +584,12 @@ mod fluid_tests {
         assert_eq!(s.kernels.len(), 4);
         // The attitude kernel carries the most traffic and the largest
         // atomic tail — it finishes last among the four.
-        let att_end = s.kernels.iter().find(|k| k.name == "aprod2_att").unwrap().end;
+        let att_end = s
+            .kernels
+            .iter()
+            .find(|k| k.name == "aprod2_att")
+            .unwrap()
+            .end;
         assert!((att_end - s.makespan).abs() < 1e-15, "attitude ends last");
     }
 }

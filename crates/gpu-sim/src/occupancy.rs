@@ -16,7 +16,10 @@ pub const TPB_RANGE: [u32; 6] = [32, 64, 128, 256, 512, 1024];
 /// Bandwidth efficiency in `(0, 1]` of running the `aprod` kernels with
 /// `tpb` threads per block on `platform` (1.0 at the platform optimum).
 pub fn occupancy_efficiency(platform: &PlatformSpec, tpb: u32) -> f64 {
-    assert!(tpb.is_power_of_two() && (32..=1024).contains(&tpb), "tpb {tpb}");
+    assert!(
+        tpb.is_power_of_two() && (32..=1024).contains(&tpb),
+        "tpb {tpb}"
+    );
     let distance = (f64::from(tpb).log2() - f64::from(platform.opt_tpb).log2()).abs();
     platform.occ_falloff.powf(distance)
 }

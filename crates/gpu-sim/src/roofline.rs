@@ -93,7 +93,12 @@ mod tests {
                 // "Far below": at least 10x under the ridge on FP64-strong
                 // parts (everything but the T4, whose FP64 peak is tiny).
                 if p.name != "T4" {
-                    assert!(pt.intensity * 10.0 < pt.ridge, "{} on {}", pt.kernel, p.name);
+                    assert!(
+                        pt.intensity * 10.0 < pt.ridge,
+                        "{} on {}",
+                        pt.kernel,
+                        p.name
+                    );
                 }
             }
         }

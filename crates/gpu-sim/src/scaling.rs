@@ -87,8 +87,7 @@ impl ClusterSpec {
         }
         let n = f64::from(n_gpus);
         let bw = self.link_bw_gbs(n_gpus) * 1e9;
-        2.0 * (n - 1.0) / n * payload_bytes as f64 / bw
-            + 2.0 * (n - 1.0) * self.latency_us * 1e-6
+        2.0 * (n - 1.0) / n * payload_bytes as f64 / bw + 2.0 * (n - 1.0) * self.latency_us * 1e-6
     }
 }
 

@@ -192,7 +192,10 @@ mod tests {
             hot.hip_pp,
             base.hip_pp
         );
-        assert!(hot.hip_pp > base.hip_pp, "streams shield HIP from contention");
+        assert!(
+            hot.hip_pp > base.hip_pp,
+            "streams shield HIP from contention"
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ pub fn render(b: &IterationBreakdown, overlapped: bool, width: usize) -> String 
             }
             c += len;
         }
-        let _ = writeln!(out, "  stream0 |{}| aprod2 (serial)", lane.into_iter().collect::<String>());
+        let _ = writeln!(
+            out,
+            "  stream0 |{}| aprod2 (serial)",
+            lane.into_iter().collect::<String>()
+        );
     }
     out
 }
@@ -81,7 +85,11 @@ pub fn render_fluid(schedule: &crate::events::FluidSchedule, width: usize) -> St
     let mut out = String::new();
     let total = schedule.makespan.max(f64::MIN_POSITIVE);
     let col = |t: f64| ((t / total) * width as f64).round() as usize;
-    let _ = writeln!(out, "aprod2 fluid schedule, makespan {:.3} ms", 1e3 * schedule.makespan);
+    let _ = writeln!(
+        out,
+        "aprod2 fluid schedule, makespan {:.3} ms",
+        1e3 * schedule.makespan
+    );
     for k in &schedule.kernels {
         let mut lane = vec![' '; width + 1];
         for slot in lane.iter_mut().take(col(k.shared_end)).skip(col(k.start)) {
@@ -146,7 +154,10 @@ mod tests {
         let fw = framework_by_name("HIP").unwrap();
         let mi = platform_by_name("MI250X").unwrap();
         let b = iteration_time(&layout, &fw, &mi, &SimConfig::default()).unwrap();
-        let total = b.aprod1_seconds + b.aprod2_seconds + b.blas_seconds + b.launch_seconds
+        let total = b.aprod1_seconds
+            + b.aprod2_seconds
+            + b.blas_seconds
+            + b.launch_seconds
             + b.sync_seconds;
         assert!((total - b.seconds).abs() < 1e-15);
     }

@@ -133,8 +133,8 @@ mod tests {
     fn only_non_astro_aprod2_kernels_have_atomics() {
         let l = SystemLayout::from_gb(1.0);
         for k in iteration_kernels(&l) {
-            let expect_atomics = k.phase == Phase::Aprod2
-                && !matches!(k.block, Some(BlockKind::Astrometric) | None);
+            let expect_atomics =
+                k.phase == Phase::Aprod2 && !matches!(k.block, Some(BlockKind::Astrometric) | None);
             assert_eq!(k.atomic_bytes > 0, expect_atomics, "{}", k.name);
             assert!(k.atomic_bytes <= k.bytes, "{}", k.name);
         }
@@ -155,7 +155,11 @@ mod tests {
         let l = SystemLayout::from_gb(10.0);
         let matrix = gaia_sparse::footprint::device_bytes(&l) as f64;
         let traffic = iteration_bytes(&l) as f64;
-        assert!(traffic > 2.0 * matrix && traffic < 6.0 * matrix, "{}", traffic / matrix);
+        assert!(
+            traffic > 2.0 * matrix && traffic < 6.0 * matrix,
+            "{}",
+            traffic / matrix
+        );
     }
 
     #[test]
@@ -170,6 +174,11 @@ mod tests {
             .filter(|k| k.phase == Phase::Aprod1)
             .map(|k| k.bytes)
             .sum();
-        assert!(csr.bytes > aprod1 * 9 / 10, "csr {} vs aprod1 {}", csr.bytes, aprod1);
+        assert!(
+            csr.bytes > aprod1 * 9 / 10,
+            "csr {} vs aprod1 {}",
+            csr.bytes,
+            aprod1
+        );
     }
 }

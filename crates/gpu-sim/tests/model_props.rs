@@ -3,8 +3,8 @@
 
 use gaia_gpu_sim::scaling::{weak_scaling, ClusterSpec};
 use gaia_gpu_sim::{
-    all_frameworks, all_platforms, framework_by_name, iteration_time, platform_by_name,
-    occupancy::occupancy_efficiency, SimConfig,
+    all_frameworks, all_platforms, framework_by_name, iteration_time,
+    occupancy::occupancy_efficiency, platform_by_name, SimConfig,
 };
 use gaia_sparse::SystemLayout;
 use proptest::prelude::*;

@@ -47,9 +47,9 @@ pub fn combine(op: CollOp, contributions: Vec<Option<Vec<f64>>>) -> Vec<Vec<f64>
     match op {
         CollOp::Barrier => Vec::new(),
         CollOp::Allreduce(r) => {
-            let mut iter = contributions.into_iter().map(|c| {
-                c.expect("allreduce: every rank must contribute")
-            });
+            let mut iter = contributions
+                .into_iter()
+                .map(|c| c.expect("allreduce: every rank must contribute"));
             let mut acc = iter.next().expect("allreduce on empty world");
             for contrib in iter {
                 assert_eq!(

@@ -111,15 +111,16 @@ impl Communicator {
 
     /// Synchronize all ranks.
     pub fn barrier(&self) {
-        self.world.collective(self.rank, CollOp::Barrier, Some(Vec::new()));
+        self.world
+            .collective(self.rank, CollOp::Barrier, Some(Vec::new()));
     }
 
     /// Element-wise allreduce of `buf` in place; all ranks must pass
     /// equal-length buffers.
     pub fn allreduce(&self, op: ReduceOp, buf: &mut [f64]) {
-        let result =
-            self.world
-                .collective(self.rank, CollOp::Allreduce(op), Some(buf.to_vec()));
+        let result = self
+            .world
+            .collective(self.rank, CollOp::Allreduce(op), Some(buf.to_vec()));
         buf.copy_from_slice(&result[0]);
     }
 
@@ -181,7 +182,9 @@ mod tests {
     #[test]
     fn allreduce_sum_is_replicated() {
         for size in [1usize, 2, 3, 8] {
-            let out = run(size, |c| c.allreduce_scalar(ReduceOp::Sum, (c.rank() + 1) as f64));
+            let out = run(size, |c| {
+                c.allreduce_scalar(ReduceOp::Sum, (c.rank() + 1) as f64)
+            });
             let want = (size * (size + 1) / 2) as f64;
             assert_eq!(out, vec![want; size]);
         }
@@ -250,9 +253,7 @@ mod tests {
     fn reduction_order_is_deterministic_across_runs() {
         // Values chosen so floating-point addition order matters.
         let values = [1e16, 1.0, -1e16, 1.0];
-        let first = run(4, |c| {
-            c.allreduce_scalar(ReduceOp::Sum, values[c.rank()])
-        });
+        let first = run(4, |c| c.allreduce_scalar(ReduceOp::Sum, values[c.rank()]));
         for _ in 0..10 {
             let again = run(4, |c| c.allreduce_scalar(ReduceOp::Sum, values[c.rank()]));
             assert_eq!(first, again);

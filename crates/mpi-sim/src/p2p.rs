@@ -135,7 +135,11 @@ pub fn ring_allreduce(mesh: &Mesh, rank: usize, buf: &mut [f64]) {
 mod tests {
     use super::*;
 
-    fn run_ring(size: usize, len: usize, init: impl Fn(usize, usize) -> f64 + Sync) -> Vec<Vec<f64>> {
+    fn run_ring(
+        size: usize,
+        len: usize,
+        init: impl Fn(usize, usize) -> f64 + Sync,
+    ) -> Vec<Vec<f64>> {
         let mesh = Mesh::new(size);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..size)
@@ -177,7 +181,9 @@ mod tests {
     fn all_ranks_agree_exactly_with_each_other() {
         // Ring reduction order differs from rank order, but every rank
         // must end with bitwise-identical buffers.
-        let out = run_ring(5, 23, |rank, i| ((rank + 1) as f64).recip() + i as f64 * 0.1);
+        let out = run_ring(5, 23, |rank, i| {
+            ((rank + 1) as f64).recip() + i as f64 * 0.1
+        });
         for buf in &out[1..] {
             assert_eq!(buf, &out[0]);
         }
@@ -205,7 +211,9 @@ mod tests {
         // len < ranks: some segments are empty; the algorithm must still
         // terminate and produce the sum.
         let out = run_ring(6, 3, |rank, i| (rank + i) as f64);
-        let want: Vec<f64> = (0..3).map(|i| (0..6).map(|r| (r + i) as f64).sum()).collect();
+        let want: Vec<f64> = (0..3)
+            .map(|i| (0..6).map(|r| (r + i) as f64).sum())
+            .collect();
         for buf in out {
             for (g, w) in buf.iter().zip(&want) {
                 assert!((g - w).abs() < 1e-12);

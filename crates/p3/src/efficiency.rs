@@ -153,10 +153,7 @@ impl EfficiencyMatrix {
 
     /// Efficiencies of one app over a platform set, `None` for unsupported.
     pub fn app_row(&self, app: &str, platforms: &[String]) -> Vec<Option<f64>> {
-        platforms
-            .iter()
-            .map(|p| self.efficiency(app, p))
-            .collect()
+        platforms.iter().map(|p| self.efficiency(app, p)).collect()
     }
 
     /// Pennycook `P` of an app over a platform set.

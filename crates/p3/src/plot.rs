@@ -58,11 +58,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_width() {
-        let chart = bar_chart(
-            "t",
-            &[("a".to_string(), 1.0), ("bb".to_string(), 0.5)],
-            10,
-        );
+        let chart = bar_chart("t", &[("a".to_string(), 1.0), ("bb".to_string(), 0.5)], 10);
         assert!(chart.contains("##########"), "{chart}");
         assert!(chart.contains("#####"), "{chart}");
         assert!(chart.contains("1.0000"));
@@ -76,6 +72,9 @@ mod tests {
     #[test]
     fn zero_values_render_empty_bars() {
         let chart = bar_chart("z", &[("a".to_string(), 0.0)], 10);
-        assert!(chart.contains("| 0.0000") || chart.contains("|          | 0.0000"), "{chart}");
+        assert!(
+            chart.contains("| 0.0000") || chart.contains("|          | 0.0000"),
+            "{chart}"
+        );
     }
 }

@@ -13,10 +13,7 @@ use std::collections::BTreeMap;
 use crate::efficiency::EfficiencyMatrix;
 
 /// `P` of every app over one named platform subset, sorted best-first.
-pub fn subset_ranking(
-    matrix: &EfficiencyMatrix,
-    platforms: &[String],
-) -> Vec<(String, f64)> {
+pub fn subset_ranking(matrix: &EfficiencyMatrix, platforms: &[String]) -> Vec<(String, f64)> {
     let mut out: Vec<(String, f64)> = matrix
         .apps()
         .iter()
@@ -45,7 +42,11 @@ pub fn leave_one_out(
 ) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     for removed in platforms {
-        let subset: Vec<String> = platforms.iter().filter(|p| *p != removed).cloned().collect();
+        let subset: Vec<String> = platforms
+            .iter()
+            .filter(|p| *p != removed)
+            .cloned()
+            .collect();
         out.insert(removed.clone(), matrix.pp(app, &subset));
     }
     out

@@ -44,7 +44,10 @@ fn svg_header(title: &str) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 /// A 1:1 scatter plot (paper Fig. 6): points `(x, y)` with the identity
@@ -316,8 +319,16 @@ mod tests {
             "P cascade",
             &["1".into(), "2".into(), "3".into()],
             &[
-                ("HIP".into(), PALETTE[1].into(), vec![Some(1.0), Some(0.9), Some(0.8)]),
-                ("CUDA".into(), PALETTE[0].into(), vec![Some(1.0), None, Some(0.0)]),
+                (
+                    "HIP".into(),
+                    PALETTE[1].into(),
+                    vec![Some(1.0), Some(0.9), Some(0.8)],
+                ),
+                (
+                    "CUDA".into(),
+                    PALETTE[0].into(),
+                    vec![Some(1.0), None, Some(0.0)],
+                ),
             ],
         );
         assert!(svg.contains("HIP") && svg.contains("CUDA"));
@@ -357,8 +368,10 @@ mod tests {
         let svg = bar_chart_grouped(
             "t",
             &["x".into()],
-            &[("a".into(), "red".into(), vec![Some(0.001)]),
-              ("b".into(), "blue".into(), vec![Some(1.0)])],
+            &[
+                ("a".into(), "red".into(), vec![Some(0.001)]),
+                ("b".into(), "blue".into(), vec![Some(1.0)]),
+            ],
         );
         assert!(svg.contains("log scale"), "{svg}");
     }

@@ -31,8 +31,10 @@
 //! ```
 
 use crate::layout::SystemLayout;
-use crate::system::{SparseSystem, SystemError, ASTRO_NNZ_PER_ROW, ATT_NNZ_PER_ROW, INSTR_NNZ_PER_ROW};
-use crate::{ATT_PARAMS_PER_AXIS, ATT_AXES};
+use crate::system::{
+    SparseSystem, SystemError, ASTRO_NNZ_PER_ROW, ATT_NNZ_PER_ROW, INSTR_NNZ_PER_ROW,
+};
+use crate::{ATT_AXES, ATT_PARAMS_PER_AXIS};
 
 /// Errors raised while assembling a system incrementally.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,7 +75,10 @@ impl std::fmt::Display for BuildError {
                 write!(f, "attitude offset {offset} exceeds {max}")
             }
             BuildError::BadInstrumentColumns => {
-                write!(f, "instrument columns must be strictly increasing and in range")
+                write!(
+                    f,
+                    "instrument columns must be strictly increasing and in range"
+                )
             }
             BuildError::OutOfOrder => write!(f, "observations must be added star by star"),
             BuildError::System(m) => write!(f, "assembled system invalid: {m}"),
@@ -200,10 +205,7 @@ impl SystemBuilder {
         }
     }
 
-    fn finish(
-        mut self,
-        shard: bool,
-    ) -> Result<SparseSystem, BuildError> {
+    fn finish(mut self, shard: bool) -> Result<SparseSystem, BuildError> {
         // Every star must be complete.
         let expected = self.n_stars * self.obs_per_star;
         let got = self.known_terms.len() as u64;
@@ -379,7 +381,10 @@ mod tests {
         // Row 1 (seed 1.0): astro starts at col 0, x = all ones ⇒ dot =
         // Σastro + Σatt + Σinstr + glob.
         let x = vec![1.0; sys.n_cols()];
-        let want: f64 = (1.0 + 1.1 + 1.2 + 1.3 + 1.4) + 12.0 * 0.5 + (1.0 + 2.0 + 0.0 + 0.5 - 0.5 + 0.25) + 0.01;
+        let want: f64 = (1.0 + 1.1 + 1.2 + 1.3 + 1.4)
+            + 12.0 * 0.5
+            + (1.0 + 2.0 + 0.0 + 0.5 - 0.5 + 0.25)
+            + 0.01;
         assert!((sys.row_dot(1, &x) - want).abs() < 1e-12);
         // Constraint row touches only axis 1.
         let c = sys.columns();
@@ -397,7 +402,10 @@ mod tests {
         let s = b.add_star();
         sample_obs(&mut b, s, 0.0).unwrap();
         let err = b.build_shard().unwrap_err();
-        assert!(matches!(err, BuildError::WrongObservationCount { .. }), "{err}");
+        assert!(
+            matches!(err, BuildError::WrongObservationCount { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -425,7 +433,10 @@ mod tests {
             .instrument([(0, 0.0), (1, 0.0), (2, 0.0), (3, 0.0), (4, 0.0), (5, 0.0)])
             .commit()
             .unwrap_err();
-        assert!(matches!(err, BuildError::AttitudeOffsetOutOfRange { max: 4, .. }));
+        assert!(matches!(
+            err,
+            BuildError::AttitudeOffsetOutOfRange { max: 4, .. }
+        ));
         let err = b
             .observation(s)
             .attitude(0, [0.0; 12])

@@ -24,10 +24,7 @@ use crate::{ATT_AXES, ATT_PARAMS_PER_AXIS};
 /// this axis is zero" equation), while the other two axes' slots hold zero.
 /// Offsets sweep the axis segment so that successive constraint rows pin
 /// different regions of the attitude spline.
-pub fn build_constraint_rows<R: Rng>(
-    layout: &SystemLayout,
-    rng: &mut R,
-) -> (Vec<f64>, Vec<u64>) {
+pub fn build_constraint_rows<R: Rng>(layout: &SystemLayout, rng: &mut R) -> (Vec<f64>, Vec<u64>) {
     let n = layout.n_constraint_rows as usize;
     let mut values = vec![0.0f64; n * ATT_NNZ_PER_ROW];
     let mut offsets = vec![0u64; n];

@@ -348,7 +348,12 @@ mod tests {
         let n_obs = sys.n_obs_rows();
         // Monotone up to the ±2 jitter.
         for w in offs[..n_obs].windows(2) {
-            assert!(w[1] + 3 >= w[0], "attitude offsets regress: {} -> {}", w[0], w[1]);
+            assert!(
+                w[1] + 3 >= w[0],
+                "attitude offsets regress: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -356,8 +361,8 @@ mod tests {
     fn scan_law_revisits_attitude_regions() {
         let layout = SystemLayout::small();
         let sweeps = |pattern: AttitudePattern| -> usize {
-            let sys = Generator::new(GeneratorConfig::new(layout).seed(5).attitude(pattern))
-                .generate();
+            let sys =
+                Generator::new(GeneratorConfig::new(layout).seed(5).attitude(pattern)).generate();
             let offs = sys.matrix_index_att();
             let n_obs = sys.n_obs_rows();
             // Count crossings of the segment midpoint with hysteresis
@@ -395,8 +400,8 @@ mod tests {
         // observations over a wider attitude range — the real-dataset
         // property that couples the astrometric and attitude blocks.
         let span = |pattern: AttitudePattern| -> f64 {
-            let sys = Generator::new(GeneratorConfig::new(layout).seed(5).attitude(pattern))
-                .generate();
+            let sys =
+                Generator::new(GeneratorConfig::new(layout).seed(5).attitude(pattern)).generate();
             let offs = sys.matrix_index_att();
             let mut total = 0u64;
             for star in 0..layout.n_stars {

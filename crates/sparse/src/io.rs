@@ -276,7 +276,10 @@ mod tests {
         buf[magic_and_version] ^= 0xff;
         let err = read_system(buf.as_slice()).unwrap_err();
         assert!(
-            matches!(err, IoError::Invalid(_) | IoError::Format(_) | IoError::Io(_)),
+            matches!(
+                err,
+                IoError::Invalid(_) | IoError::Format(_) | IoError::Io(_)
+            ),
             "{err}"
         );
     }

@@ -250,7 +250,9 @@ impl SystemLayout {
             // Attitude coefficients are stored for constraint rows too.
             BlockKind::Attitude => self.n_rows() * (ATT_AXES * ATT_PARAMS_PER_AXIS) as u64,
             BlockKind::Instrumental => self.n_obs_rows() * INSTR_PARAMS_PER_ROW as u64,
-            BlockKind::Global => self.n_obs_rows() * GLOBAL_PARAMS_PER_ROW.min(self.n_glob_params) as u64,
+            BlockKind::Global => {
+                self.n_obs_rows() * GLOBAL_PARAMS_PER_ROW.min(self.n_glob_params) as u64
+            }
         }
     }
 

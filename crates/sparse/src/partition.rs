@@ -55,8 +55,7 @@ impl RowPartition {
         let mut star_cursor = 0u64;
         for rank in 0..n_ranks as u64 {
             // Balanced star split: first (stars % n) ranks get one extra.
-            let share = stars / n_ranks as u64
-                + if rank < stars % n_ranks as u64 { 1 } else { 0 };
+            let share = stars / n_ranks as u64 + if rank < stars % n_ranks as u64 { 1 } else { 0 };
             let start_star = star_cursor;
             star_cursor += share;
             let start = start_star * layout.obs_per_star;

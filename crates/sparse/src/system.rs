@@ -13,9 +13,9 @@
 //! Constraint rows (appended after the `n_stars × obs_per_star` observation
 //! rows) carry only attitude coefficients; see [`crate::constraints`].
 
-use crate::layout::{ColumnBlocks, SystemLayout};
 #[cfg(test)]
 use crate::layout::BlockKind;
+use crate::layout::{ColumnBlocks, SystemLayout};
 use crate::{ASTRO_PARAMS_PER_STAR, ATT_AXES, ATT_PARAMS_PER_AXIS, INSTR_PARAMS_PER_ROW};
 
 /// Number of attitude coefficients stored per row (3 axes × 4).
@@ -141,9 +141,17 @@ impl SparseSystem {
                 Err(SystemError::ArrayLength { name, got, want })
             }
         };
-        expect("values_astro", values_astro.len(), n_obs * ASTRO_NNZ_PER_ROW)?;
+        expect(
+            "values_astro",
+            values_astro.len(),
+            n_obs * ASTRO_NNZ_PER_ROW,
+        )?;
         expect("values_att", values_att.len(), n_rows * ATT_NNZ_PER_ROW)?;
-        expect("values_instr", values_instr.len(), n_obs * INSTR_NNZ_PER_ROW)?;
+        expect(
+            "values_instr",
+            values_instr.len(),
+            n_obs * INSTR_NNZ_PER_ROW,
+        )?;
         expect(
             "values_glob",
             values_glob.len(),
@@ -163,7 +171,11 @@ impl SparseSystem {
         let max_att_off = layout.n_deg_freedom_att - ATT_PARAMS_PER_AXIS as u64;
         for (row, &off) in matrix_index_att.iter().enumerate() {
             if off > max_att_off {
-                return Err(SystemError::AttIndex { row, off, max: max_att_off });
+                return Err(SystemError::AttIndex {
+                    row,
+                    off,
+                    max: max_att_off,
+                });
             }
         }
         for row in 0..n_obs {
@@ -432,7 +444,10 @@ impl std::fmt::Display for SystemError {
                 write!(f, "matrixIndexAtt[{row}] = {off} exceeds {max}")
             }
             SystemError::InstrColumnOrder { row } => {
-                write!(f, "instrCol entries of row {row} are not strictly increasing")
+                write!(
+                    f,
+                    "instrCol entries of row {row} are not strictly increasing"
+                )
             }
             SystemError::InstrColumnRange { row } => {
                 write!(f, "instrCol entry of row {row} out of range")
@@ -517,10 +532,7 @@ mod tests {
         let s = sys();
         let x: Vec<f64> = (0..s.n_cols()).map(|i| (i as f64 * 0.37).sin()).collect();
         for row in 0..s.n_rows() {
-            let manual: f64 = s
-                .row_entries(row)
-                .map(|(c, v)| v * x[c as usize])
-                .sum();
+            let manual: f64 = s.row_entries(row).map(|(c, v)| v * x[c as usize]).sum();
             assert_eq!(s.row_dot(row, &x), manual);
         }
     }
@@ -541,7 +553,13 @@ mod tests {
             s.known_terms().to_vec(),
         )
         .unwrap_err();
-        assert!(matches!(err, SystemError::ArrayLength { name: "values_astro", .. }));
+        assert!(matches!(
+            err,
+            SystemError::ArrayLength {
+                name: "values_astro",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,0 +1,542 @@
+//! # gaia-telemetry
+//!
+//! Lightweight observability for the AVU-GSR solver: scoped monotonic
+//! timers and atomic counters keyed by *phase* (`aprod1`/`aprod2`) and
+//! *block* (astrometric/attitude/instrumental/global), mirroring the
+//! per-kernel timing the paper's profiling runs collect with `rocprof`/
+//! `nsys` on the GPU ports (§V-B).
+//!
+//! The whole crate is gated on the `enabled` cargo feature:
+//!
+//! * **disabled (default)** — every probe ([`kernel_scope`],
+//!   [`call_scope`], [`collective_scope`]) is a zero-sized no-op and the
+//!   byte/RMW accounting arguments fold away, so instrumented kernels are
+//!   bit-identical in cost to un-instrumented ones. No clock is read, no
+//!   allocation happens.
+//! * **enabled** — scopes read `Instant` on entry and commit elapsed
+//!   nanoseconds plus analytic byte/atomic counts to a global registry of
+//!   relaxed `AtomicU64`s on drop. The hot path still never allocates;
+//!   counts are O(1) per *call*, never per element.
+//!
+//! [`snapshot`] freezes the registry into the serializable
+//! [`TelemetrySnapshot`]; [`report::RunReport`] pairs a snapshot with
+//! solver convergence history and [`report::write_report`] writes the JSON
+//! artifact under `results/telemetry/`. [`kernel_table`] renders the
+//! ASCII per-kernel breakdown the bench binaries print.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+pub mod report;
+
+/// Which sparse product a sample belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// `out += A x` (row-major product).
+    Aprod1,
+    /// `out += Aᵀ y` (column/scatter product).
+    Aprod2,
+}
+
+impl Phase {
+    /// Both phases, in registry order.
+    pub const ALL: [Phase; 2] = [Phase::Aprod1, Phase::Aprod2];
+
+    /// Stable lowercase name used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Aprod1 => "aprod1",
+            Phase::Aprod2 => "aprod2",
+        }
+    }
+
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    fn index(self) -> usize {
+        match self {
+            Phase::Aprod1 => 0,
+            Phase::Aprod2 => 1,
+        }
+    }
+}
+
+/// Which parameter block of the Gaia system a kernel touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Block {
+    /// Astrometric (5 parameters per star, block-diagonal).
+    Astro,
+    /// Attitude (shared across rows).
+    Att,
+    /// Instrumental (shared across rows).
+    Instr,
+    /// Global (single shared slot).
+    Glob,
+}
+
+impl Block {
+    /// All blocks, in registry order.
+    pub const ALL: [Block; 4] = [Block::Astro, Block::Att, Block::Instr, Block::Glob];
+
+    /// Stable lowercase name used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Block::Astro => "astro",
+            Block::Att => "att",
+            Block::Instr => "instr",
+            Block::Glob => "glob",
+        }
+    }
+
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    fn index(self) -> usize {
+        match self {
+            Block::Astro => 0,
+            Block::Att => 1,
+            Block::Instr => 2,
+            Block::Glob => 3,
+        }
+    }
+}
+
+/// One accumulated cell of the snapshot: totals for a (phase, block)
+/// kernel, a whole-call phase, or the collective channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelCell {
+    /// Phase name (`aprod1`/`aprod2`), or a channel label.
+    pub phase: String,
+    /// Block name (`astro`/`att`/`instr`/`glob`), or `"*"` for whole-call
+    /// and collective cells.
+    pub block: String,
+    /// Number of recorded scopes.
+    pub calls: u64,
+    /// Total wall time inside the scopes.
+    pub seconds: f64,
+    /// Analytic estimate of bytes touched (coefficients + operands +
+    /// outputs, each counted once per traversal).
+    pub bytes: u64,
+    /// Atomic read-modify-write (or CAS-retry-loop entry) count.
+    pub atomic_rmws: u64,
+}
+
+/// Frozen registry state: everything recorded since the last [`reset`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Whether the `enabled` feature was compiled in; when `false` all
+    /// cells are empty and absent.
+    pub enabled: bool,
+    /// Per-(phase, block) kernel cells, zero-call cells omitted.
+    pub kernels: Vec<KernelCell>,
+    /// Whole-call per-phase cells (recorded by `InstrumentedBackend`).
+    pub calls: Vec<KernelCell>,
+    /// Collective (allreduce) channel, recorded by the distributed solver.
+    pub collective: KernelCell,
+}
+
+impl TelemetrySnapshot {
+    /// An empty snapshot (what [`snapshot`] returns when disabled).
+    pub fn empty(enabled: bool) -> Self {
+        TelemetrySnapshot {
+            enabled,
+            kernels: Vec::new(),
+            calls: Vec::new(),
+            collective: KernelCell {
+                phase: "collective".into(),
+                block: "*".into(),
+                calls: 0,
+                seconds: 0.0,
+                bytes: 0,
+                atomic_rmws: 0,
+            },
+        }
+    }
+
+    /// Total seconds across the per-kernel cells of one phase.
+    pub fn phase_seconds(&self, phase: Phase) -> f64 {
+        self.kernels
+            .iter()
+            .filter(|c| c.phase == phase.as_str())
+            .map(|c| c.seconds)
+            .sum()
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{Block, Phase};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Instant;
+
+    pub struct Stats {
+        pub calls: AtomicU64,
+        pub nanos: AtomicU64,
+        pub bytes: AtomicU64,
+        pub atomic_rmws: AtomicU64,
+    }
+
+    impl Stats {
+        const fn new() -> Self {
+            Stats {
+                calls: AtomicU64::new(0),
+                nanos: AtomicU64::new(0),
+                bytes: AtomicU64::new(0),
+                atomic_rmws: AtomicU64::new(0),
+            }
+        }
+
+        fn reset(&self) {
+            self.calls.store(0, Ordering::Relaxed);
+            self.nanos.store(0, Ordering::Relaxed);
+            self.bytes.store(0, Ordering::Relaxed);
+            self.atomic_rmws.store(0, Ordering::Relaxed);
+        }
+
+        fn record(&self, nanos: u64, bytes: u64, rmws: u64) {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            self.nanos.fetch_add(nanos, Ordering::Relaxed);
+            self.bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.atomic_rmws.fetch_add(rmws, Ordering::Relaxed);
+        }
+
+        pub fn cell(&self, phase: &str, block: &str) -> super::KernelCell {
+            super::KernelCell {
+                phase: phase.into(),
+                block: block.into(),
+                calls: self.calls.load(Ordering::Relaxed),
+                seconds: self.nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+                bytes: self.bytes.load(Ordering::Relaxed),
+                atomic_rmws: self.atomic_rmws.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    // `const` is deliberate: these are array-repeat initializers for the
+    // static registry below, never read as values themselves.
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: Stats = Stats::new();
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ROW: [Stats; 4] = [ZERO; 4];
+
+    pub struct Registry {
+        pub kernels: [[Stats; 4]; 2],
+        pub calls: [Stats; 2],
+        pub collective: Stats,
+    }
+
+    pub static REGISTRY: Registry = Registry {
+        kernels: [ROW; 2],
+        calls: [ZERO; 2],
+        collective: ZERO,
+    };
+
+    pub fn reset() {
+        for phase in &REGISTRY.kernels {
+            for cell in phase {
+                cell.reset();
+            }
+        }
+        for cell in &REGISTRY.calls {
+            cell.reset();
+        }
+        REGISTRY.collective.reset();
+    }
+
+    /// RAII probe: times from construction to drop and commits the total
+    /// into one registry cell.
+    pub struct Scope {
+        start: Instant,
+        stats: &'static Stats,
+        bytes: u64,
+        rmws: u64,
+    }
+
+    impl Scope {
+        fn over(stats: &'static Stats) -> Scope {
+            Scope {
+                start: Instant::now(),
+                stats,
+                bytes: 0,
+                rmws: 0,
+            }
+        }
+
+        /// Attribute `bytes` of estimated memory traffic to this scope.
+        pub fn add_bytes(&mut self, bytes: u64) {
+            self.bytes += bytes;
+        }
+
+        /// Attribute `rmws` atomic read-modify-writes to this scope.
+        pub fn add_rmws(&mut self, rmws: u64) {
+            self.rmws += rmws;
+        }
+    }
+
+    impl Drop for Scope {
+        fn drop(&mut self) {
+            self.stats.record(
+                self.start.elapsed().as_nanos() as u64,
+                self.bytes,
+                self.rmws,
+            );
+        }
+    }
+
+    pub fn kernel_scope(phase: Phase, block: Block) -> Scope {
+        Scope::over(&REGISTRY.kernels[phase.index()][block.index()])
+    }
+
+    pub fn call_scope(phase: Phase) -> Scope {
+        Scope::over(&REGISTRY.calls[phase.index()])
+    }
+
+    pub fn collective_scope() -> Scope {
+        Scope::over(&REGISTRY.collective)
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use super::{Block, Phase};
+
+    /// No-op probe: zero-sized, no clock read, nothing recorded.
+    pub struct Scope;
+
+    impl Scope {
+        /// Attribute bytes of estimated memory traffic (no-op).
+        #[inline(always)]
+        pub fn add_bytes(&mut self, _bytes: u64) {}
+
+        /// Attribute atomic read-modify-writes (no-op).
+        #[inline(always)]
+        pub fn add_rmws(&mut self, _rmws: u64) {}
+    }
+
+    #[inline(always)]
+    pub fn kernel_scope(_phase: Phase, _block: Block) -> Scope {
+        Scope
+    }
+
+    #[inline(always)]
+    pub fn call_scope(_phase: Phase) -> Scope {
+        Scope
+    }
+
+    #[inline(always)]
+    pub fn collective_scope() -> Scope {
+        Scope
+    }
+
+    pub fn reset() {}
+}
+
+/// RAII timing probe returned by [`kernel_scope`], [`call_scope`], and
+/// [`collective_scope`]. With the `enabled` feature off this is a
+/// zero-sized type whose methods compile to nothing.
+pub use imp::Scope;
+
+/// Whether recording is compiled in (`enabled` cargo feature).
+pub fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// Open a timing scope over one (phase, block) kernel invocation. Commit
+/// happens when the returned [`Scope`] drops.
+#[inline]
+pub fn kernel_scope(phase: Phase, block: Block) -> Scope {
+    imp::kernel_scope(phase, block)
+}
+
+/// Open a timing scope over one whole `aprod1`/`aprod2` backend call
+/// (used by `InstrumentedBackend`).
+#[inline]
+pub fn call_scope(phase: Phase) -> Scope {
+    imp::call_scope(phase)
+}
+
+/// Open a timing scope over one collective (allreduce) operation.
+#[inline]
+pub fn collective_scope() -> Scope {
+    imp::collective_scope()
+}
+
+/// Zero every counter (start of a measured run).
+pub fn reset() {
+    imp::reset()
+}
+
+/// Freeze the registry into a serializable snapshot. Disabled builds
+/// return [`TelemetrySnapshot::empty`] with `enabled: false`.
+pub fn snapshot() -> TelemetrySnapshot {
+    #[cfg(feature = "enabled")]
+    {
+        let mut snap = TelemetrySnapshot::empty(true);
+        for phase in Phase::ALL {
+            for block in Block::ALL {
+                let cell = imp::REGISTRY.kernels[phase.index()][block.index()]
+                    .cell(phase.as_str(), block.as_str());
+                if cell.calls > 0 {
+                    snap.kernels.push(cell);
+                }
+            }
+            let call = imp::REGISTRY.calls[phase.index()].cell(phase.as_str(), "*");
+            if call.calls > 0 {
+                snap.calls.push(call);
+            }
+        }
+        snap.collective = imp::REGISTRY.collective.cell("collective", "*");
+        snap
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        TelemetrySnapshot::empty(false)
+    }
+}
+
+/// Render the ASCII per-kernel breakdown table for a snapshot.
+///
+/// One row per non-empty kernel cell, then the whole-call and collective
+/// totals. Times in seconds and mean microseconds, traffic in MiB,
+/// atomics in millions.
+pub fn kernel_table(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>8} {:>12} {:>10} {:>10} {:>10}\n",
+        "kernel", "calls", "total s", "mean µs", "MiB", "Matomic"
+    ));
+    let mut row = |label: &str, c: &KernelCell| {
+        let mean_us = if c.calls > 0 {
+            c.seconds * 1e6 / c.calls as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>12.6} {:>10.2} {:>10.2} {:>10.3}\n",
+            label,
+            c.calls,
+            c.seconds,
+            mean_us,
+            c.bytes as f64 / (1024.0 * 1024.0),
+            c.atomic_rmws as f64 / 1e6,
+        ));
+    };
+    for c in &snap.kernels {
+        row(&format!("{}/{}", c.phase, c.block), c);
+    }
+    for c in &snap.calls {
+        row(&format!("{} (call)", c.phase), c);
+    }
+    if snap.collective.calls > 0 {
+        let collective = snap.collective.clone();
+        row("collective", &collective);
+    }
+    if snap.kernels.is_empty() && snap.calls.is_empty() && snap.collective.calls == 0 {
+        out.push_str(if snap.enabled {
+            "(nothing recorded)\n"
+        } else {
+            "(telemetry disabled; rebuild with the `telemetry` feature)\n"
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_and_block_names_are_stable() {
+        assert_eq!(Phase::Aprod1.as_str(), "aprod1");
+        assert_eq!(Phase::Aprod2.as_str(), "aprod2");
+        let names: Vec<&str> = Block::ALL.iter().map(|b| b.as_str()).collect();
+        assert_eq!(names, ["astro", "att", "instr", "glob"]);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn scopes_accumulate_into_the_registry() {
+        reset();
+        {
+            let mut s = kernel_scope(Phase::Aprod2, Block::Att);
+            s.add_bytes(1024);
+            s.add_rmws(12);
+        }
+        {
+            let mut s = kernel_scope(Phase::Aprod2, Block::Att);
+            s.add_bytes(1024);
+            s.add_rmws(12);
+        }
+        let _ = call_scope(Phase::Aprod2);
+        let _ = collective_scope();
+        let snap = snapshot();
+        assert!(snap.enabled);
+        let att = snap
+            .kernels
+            .iter()
+            .find(|c| c.phase == "aprod2" && c.block == "att")
+            .expect("att cell recorded");
+        assert_eq!(att.calls, 2);
+        assert_eq!(att.bytes, 2048);
+        assert_eq!(att.atomic_rmws, 24);
+        assert!(att.seconds >= 0.0);
+        assert_eq!(snap.calls.len(), 1);
+        assert_eq!(snap.collective.calls, 1);
+        assert!(snap.phase_seconds(Phase::Aprod2) >= att.seconds);
+        reset();
+        assert!(snapshot().kernels.is_empty());
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_probes_record_nothing() {
+        let mut s = kernel_scope(Phase::Aprod1, Block::Astro);
+        s.add_bytes(u64::MAX);
+        s.add_rmws(u64::MAX);
+        drop(s);
+        assert_eq!(std::mem::size_of::<Scope>(), 0);
+        let snap = snapshot();
+        assert!(!snap.enabled);
+        assert!(snap.kernels.is_empty());
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn table_renders_every_cell() {
+        let mut snap = TelemetrySnapshot::empty(true);
+        snap.kernels.push(KernelCell {
+            phase: "aprod1".into(),
+            block: "astro".into(),
+            calls: 4,
+            seconds: 0.25,
+            bytes: 1024 * 1024,
+            atomic_rmws: 0,
+        });
+        snap.collective = KernelCell {
+            phase: "collective".into(),
+            block: "*".into(),
+            calls: 3,
+            seconds: 0.001,
+            bytes: 0,
+            atomic_rmws: 0,
+        };
+        let table = kernel_table(&snap);
+        assert!(table.contains("aprod1/astro"));
+        assert!(table.contains("collective"));
+        let empty = kernel_table(&TelemetrySnapshot::empty(false));
+        assert!(empty.contains("telemetry disabled"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut snap = TelemetrySnapshot::empty(true);
+        snap.kernels.push(KernelCell {
+            phase: "aprod2".into(),
+            block: "instr".into(),
+            calls: 7,
+            seconds: 1.5,
+            bytes: 42,
+            atomic_rmws: 99,
+        });
+        let json = serde_json::to_string_pretty(&snap).expect("serialize");
+        let back: TelemetrySnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, snap);
+    }
+}

@@ -30,9 +30,17 @@ fn main() {
     println!("observation sharding over {n_ranks} ranks:");
     for rank in 0..n_ranks {
         let r = partition.range(rank);
-        println!("  rank {rank}: rows [{:>6}, {:>6})  ({} rows)", r.start, r.end, r.len());
+        println!(
+            "  rank {rank}: rows [{:>6}, {:>6})  ({} rows)",
+            r.start,
+            r.end,
+            r.len()
+        );
     }
-    println!("load imbalance = {:.4} (1.0 = perfect)\n", partition.imbalance());
+    println!(
+        "load imbalance = {:.4} (1.0 = perfect)\n",
+        partition.imbalance()
+    );
 
     let cfg = LsqrConfig::new();
     let serial = solve(&sys, &SeqBackend, &cfg);
@@ -64,8 +72,7 @@ fn main() {
     // Hybrid MPI+X: each rank drives its shard with a multi-threaded
     // backend — the structure of the production MPI+CUDA solver.
     let hybrid = solve_hybrid(&sys, n_ranks, &cfg, |rank| {
-        backend_by_name(if rank % 2 == 0 { "atomic" } else { "streamed" }, 2)
-            .expect("registry")
+        backend_by_name(if rank % 2 == 0 { "atomic" } else { "streamed" }, 2).expect("registry")
     });
     let hybrid_diff = serial
         .x

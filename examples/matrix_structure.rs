@@ -52,19 +52,36 @@ fn main() {
                 'g'
             };
         }
-        let kind = if row < sys.n_obs_rows() { "obs " } else { "con " };
+        let kind = if row < sys.n_obs_rows() {
+            "obs "
+        } else {
+            "con "
+        };
         println!("{kind}{row:>2} {}", line.into_iter().collect::<String>());
     }
 
     println!("\ncolumn blocks:");
-    println!("  astrometric  [{:>3}, {:>3})  5 contiguous nnz/row, star-diagonal", c.astro, c.att);
-    println!("  attitude     [{:>3}, {:>3})  3 axes x 4 nnz, stride = DOF per axis", c.att, c.instr);
-    println!("  instrumental [{:>3}, {:>3})  6 irregular nnz/row", c.instr, c.glob);
-    println!("  global       [{:>3}, {:>3})  <=1 nnz/row (PPN-gamma)", c.glob, c.end);
+    println!(
+        "  astrometric  [{:>3}, {:>3})  5 contiguous nnz/row, star-diagonal",
+        c.astro, c.att
+    );
+    println!(
+        "  attitude     [{:>3}, {:>3})  3 axes x 4 nnz, stride = DOF per axis",
+        c.att, c.instr
+    );
+    println!(
+        "  instrumental [{:>3}, {:>3})  6 irregular nnz/row",
+        c.instr, c.glob
+    );
+    println!(
+        "  global       [{:>3}, {:>3})  <=1 nnz/row (PPN-gamma)",
+        c.glob, c.end
+    );
     println!(
         "\nstored nnz: {} of {} dense entries ({:.1}% sparse)",
         sys.layout().nnz_total(),
         sys.n_rows() as u64 * cols as u64,
-        100.0 * (1.0 - sys.layout().nnz_total() as f64 / (sys.n_rows() as u64 * cols as u64) as f64)
+        100.0
+            * (1.0 - sys.layout().nnz_total() as f64 / (sys.n_rows() as u64 * cols as u64) as f64)
     );
 }

@@ -29,8 +29,14 @@ fn main() {
     );
 
     for (name, sol) in [
-        ("LSQR (preconditioned)", solve(&sys, &backend, &LsqrConfig::new())),
-        ("LSMR (preconditioned)", solve_lsmr(&sys, &backend, &LsqrConfig::new())),
+        (
+            "LSQR (preconditioned)",
+            solve(&sys, &backend, &LsqrConfig::new()),
+        ),
+        (
+            "LSMR (preconditioned)",
+            solve_lsmr(&sys, &backend, &LsqrConfig::new()),
+        ),
         (
             "LSQR (no preconditioner)",
             solve(

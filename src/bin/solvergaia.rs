@@ -8,15 +8,20 @@
 //! solvergaia [--preset tiny|small|medium] [--seed N] [--iterations N]
 //!            [--converge] [--backend NAME] [--threads N] [--ranks N]
 //!            [--dataset FILE (load instead of generating)]
-//!            [--save-dataset FILE] [--checkpoint FILE] [--list-backends]
+//!            [--save-dataset FILE] [--checkpoint FILE] [--telemetry]
+//!            [--list-backends]
 //! ```
+//!
+//! `--telemetry` prints the per-kernel breakdown and writes a JSON run
+//! report under `results/telemetry/`; build with `--features telemetry`
+//! for real counts (the probes compile to no-ops otherwise).
 
 use std::path::PathBuf;
 use std::process::exit;
 
-use gaia_avugsr::backends::{backend_by_name, backend_names};
-use gaia_avugsr::lsqr::checkpoint::Checkpoint;
+use gaia_avugsr::backends::{backend_by_name, backend_names, instrumented_by_name};
 use gaia_avugsr::lsqr::analysis::{convergence_profile, profile_text};
+use gaia_avugsr::lsqr::checkpoint::Checkpoint;
 use gaia_avugsr::lsqr::distributed::solve_distributed;
 use gaia_avugsr::lsqr::{solve_lsmr, Lsqr, LsqrConfig};
 use gaia_avugsr::sparse::{io, Generator, GeneratorConfig, Rhs, SystemLayout};
@@ -25,6 +30,7 @@ struct Args {
     preset: String,
     lsmr: bool,
     profile: bool,
+    telemetry: bool,
     seed: u64,
     iterations: usize,
     converge: bool,
@@ -41,7 +47,8 @@ fn usage() -> ! {
         "usage: solvergaia [--preset tiny|small|medium] [--seed N] \
          [--iterations N] [--converge] [--backend NAME] [--threads N] \
          [--ranks N] [--dataset FILE] [--save-dataset FILE] \
-         [--checkpoint FILE] [--lsmr] [--profile] [--list-backends]"
+         [--checkpoint FILE] [--lsmr] [--profile] [--telemetry] \
+         [--list-backends]"
     );
     exit(2)
 }
@@ -51,11 +58,14 @@ fn parse_args() -> Args {
         preset: "small".into(),
         lsmr: false,
         profile: false,
+        telemetry: false,
         seed: 0,
         iterations: 100,
         converge: false,
         backend: "atomic".into(),
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
         ranks: 1,
         dataset: None,
         save_dataset: None,
@@ -63,10 +73,12 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut val = |name: &str| it.next().unwrap_or_else(|| {
-            eprintln!("{name} requires a value");
-            usage()
-        });
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                usage()
+            })
+        };
         match flag.as_str() {
             "--preset" => args.preset = val("--preset"),
             "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
@@ -76,6 +88,7 @@ fn parse_args() -> Args {
             "--converge" => args.converge = true,
             "--lsmr" => args.lsmr = true,
             "--profile" => args.profile = true,
+            "--telemetry" => args.telemetry = true,
             "--backend" => args.backend = val("--backend"),
             "--threads" => args.threads = val("--threads").parse().unwrap_or_else(|_| usage()),
             "--ranks" => args.ranks = val("--ranks").parse().unwrap_or_else(|_| usage()),
@@ -156,22 +169,47 @@ fn main() {
         LsqrConfig::fixed_iterations(args.iterations)
     };
 
+    if args.telemetry {
+        if !gaia_avugsr::telemetry::is_enabled() {
+            eprintln!(
+                "note: telemetry probes are compiled out; rebuild with \
+                 `cargo run --features telemetry --bin solvergaia` for real counts"
+            );
+        }
+        gaia_avugsr::telemetry::reset();
+    }
+
     let solution = if args.ranks > 1 {
         println!("distributed solve on {} ranks", args.ranks);
         solve_distributed(&sys, args.ranks, &cfg)
     } else if args.lsmr {
-        let Some(backend) = backend_by_name(&args.backend, args.threads) else {
+        // Under --telemetry, wrap the backend so whole-call aprod1/aprod2
+        // cells are recorded alongside the per-block kernel cells.
+        let lookup = if args.telemetry {
+            instrumented_by_name
+        } else {
+            backend_by_name
+        };
+        let Some(backend) = lookup(&args.backend, args.threads) else {
             eprintln!("unknown backend {} (try --list-backends)", args.backend);
             exit(1)
         };
-        println!("solver: LSMR, backend: {} ({} threads)", backend.name(), args.threads);
+        println!(
+            "solver: LSMR, backend: {} ({} threads)",
+            backend.name(),
+            args.threads
+        );
         solve_lsmr(&sys, &backend, &cfg)
     } else {
-        let Some(backend) = backend_by_name(&args.backend, args.threads) else {
-            eprintln!(
-                "unknown backend {} (try --list-backends)",
-                args.backend
-            );
+        // Under --telemetry, wrap the backend so whole-call aprod1/aprod2
+        // cells are recorded alongside the per-block kernel cells.
+        let lookup = if args.telemetry {
+            instrumented_by_name
+        } else {
+            backend_by_name
+        };
+        let Some(backend) = lookup(&args.backend, args.threads) else {
+            eprintln!("unknown backend {} (try --list-backends)", args.backend);
             exit(1)
         };
         println!("backend: {} ({} threads)", backend.name(), args.threads);
@@ -180,22 +218,18 @@ fn main() {
         // Resume from a checkpoint when one exists, else start fresh;
         // always write the final state back when a path was given.
         let state = match &args.checkpoint {
-            Some(path) if path.exists() => match Checkpoint::load(path)
-                .and_then(|c| c.restore(&sys, &cfg))
-            {
-                Ok(state) => {
-                    println!(
-                        "resumed from {} at iteration {}",
-                        path.display(),
-                        state.itn
-                    );
-                    state
+            Some(path) if path.exists() => {
+                match Checkpoint::load(path).and_then(|c| c.restore(&sys, &cfg)) {
+                    Ok(state) => {
+                        println!("resumed from {} at iteration {}", path.display(), state.itn);
+                        state
+                    }
+                    Err(e) => {
+                        eprintln!("cannot resume checkpoint: {e}");
+                        exit(1)
+                    }
                 }
-                Err(e) => {
-                    eprintln!("cannot resume checkpoint: {e}");
-                    exit(1)
-                }
-            },
+            }
             _ => solver.init_state(),
         };
         let mut state = state;
@@ -229,6 +263,31 @@ fn main() {
     if let Some(se) = solution.standard_errors() {
         let mean_se = se.iter().sum::<f64>() / se.len() as f64;
         println!("mean standard error: {mean_se:.3e}");
+    }
+    if args.telemetry {
+        let solver_label = if args.ranks > 1 {
+            "lsqr-distributed"
+        } else if args.lsmr {
+            "lsmr"
+        } else {
+            "lsqr"
+        };
+        let report = gaia_avugsr::lsqr::run_report(
+            "solvergaia",
+            &args.backend,
+            solver_label,
+            &sys,
+            &solution,
+        );
+        println!("per-kernel telemetry:");
+        print!(
+            "{}",
+            gaia_avugsr::telemetry::kernel_table(&report.telemetry)
+        );
+        match gaia_avugsr::telemetry::report::write_report(&report) {
+            Ok(path) => println!("run report written to {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write run report: {e}"),
+        }
     }
     if args.profile {
         println!("convergence profile:");

@@ -10,7 +10,9 @@
 //! * [`mpi`] — in-process MPI-like collectives;
 //! * [`gpu`] — the GPU platform/framework performance simulator;
 //! * [`p3`] — application efficiency and Pennycook's performance-portability
-//!   metric.
+//!   metric;
+//! * [`telemetry`] — feature-gated per-kernel timing, counters, and JSON
+//!   run reports.
 
 #![warn(missing_docs)]
 
@@ -20,3 +22,4 @@ pub use gaia_lsqr as lsqr;
 pub use gaia_mpi_sim as mpi;
 pub use gaia_p3 as p3;
 pub use gaia_sparse as sparse;
+pub use gaia_telemetry as telemetry;

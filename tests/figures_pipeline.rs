@@ -31,7 +31,14 @@ fn fig3_pipeline_produces_the_paper_rankings() {
     assert!(pp("HIP") > 0.9);
     assert!(pp("SYCL+ACPP") > 0.85 && pp("SYCL+ACPP") <= pp("HIP"));
     assert_eq!(pp("CUDA"), 0.0);
-    for fw in ["HIP", "OMP+V", "PSTL+ACPP", "PSTL+V", "SYCL+ACPP", "SYCL+DPCPP"] {
+    for fw in [
+        "HIP",
+        "OMP+V",
+        "PSTL+ACPP",
+        "PSTL+V",
+        "SYCL+ACPP",
+        "SYCL+DPCPP",
+    ] {
         assert!(pp(fw) > pp("OMP+LLVM"), "{fw} vs OMP+LLVM");
     }
 
@@ -89,7 +96,10 @@ fn fig5_efficiencies_are_within_unit_interval() {
 #[test]
 fn sixty_gb_only_runs_on_h100_and_mi250x() {
     let set = measurements(60.0);
-    assert_eq!(set.platforms(), vec!["H100".to_string(), "MI250X".to_string()]);
+    assert_eq!(
+        set.platforms(),
+        vec!["H100".to_string(), "MI250X".to_string()]
+    );
     // CUDA survives only on the H100 there (the paper notes P over that
     // set is not meaningful for CUDA).
     assert!(set.time("CUDA", "H100").is_some());

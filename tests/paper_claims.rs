@@ -77,7 +77,10 @@ fn abstract_claim_pstl_vendor_scores_mid_060s() {
     // "The tuning-oblivious C++ PSTL achieves 0.62 when coupled with
     // vendor-specific compilers."
     let p = average_pp("PSTL+V");
-    assert!((0.5..0.78).contains(&p), "PSTL+V average P = {p} (paper 0.62)");
+    assert!(
+        (0.5..0.78).contains(&p),
+        "PSTL+V average P = {p} (paper 0.62)"
+    );
 }
 
 #[test]
@@ -166,5 +169,8 @@ fn production_speedup_claim_holds_on_an_a100_class_checkpoint() {
     let t_opt = iteration_time(&layout, &opt, &h100, &SimConfig::default()).unwrap();
     let t_prod = iteration_time(&layout, &prod, &h100, &SimConfig::default()).unwrap();
     let speedup = t_prod.seconds / t_opt.seconds;
-    assert!((1.5..2.5).contains(&speedup), "speedup {speedup} (paper 2.0)");
+    assert!(
+        (1.5..2.5).contains(&speedup),
+        "speedup {speedup} (paper 2.0)"
+    );
 }

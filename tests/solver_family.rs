@@ -22,7 +22,12 @@ fn lsmr_agrees_with_lsqr_on_every_backend() {
     let reference = solve(&sys, &SeqBackend, &cfg);
     for backend in all_backends(3) {
         let lsmr = solve_lsmr(&sys, &backend, &cfg);
-        assert!(lsmr.stop.converged(), "{} LSMR: {:?}", backend.name(), lsmr.stop);
+        assert!(
+            lsmr.stop.converged(),
+            "{} LSMR: {:?}",
+            backend.name(),
+            lsmr.stop
+        );
         let max_diff = reference
             .x
             .iter()

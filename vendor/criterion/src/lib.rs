@@ -1,0 +1,274 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the harness API this workspace's benches use —
+//! [`Criterion::benchmark_group`], `bench_function`, `bench_with_input`,
+//! [`Throughput`], [`BenchmarkId`], `sample_size`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — over a plain timing
+//! loop: per sample, the routine runs in a batch sized so one batch takes
+//! roughly [`TARGET_BATCH`], and the reported figure is the median
+//! per-iteration time across samples. No statistical regression analysis,
+//! no HTML reports, no gnuplot.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Time one batch should take, so short routines get amortized timing.
+const TARGET_BATCH: Duration = Duration::from_millis(25);
+
+/// Work performed per iteration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in one batch?
+        let probe = Instant::now();
+        std::hint::black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (TARGET_BATCH.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            per_iter.push(start.elapsed() / per_batch as u32);
+        }
+        per_iter.sort();
+        self.result = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+fn report(group: &str, label: &str, median: Duration, throughput: Option<Throughput>) {
+    let name = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!("  {:.3} Melem/s", per_sec / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!("  {:.3} MiB/s", per_sec / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{name:<40} median {}{}", format_duration(median), rate);
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work, enabling rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = throughput.into();
+        self
+    }
+
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        if let Some(median) = bencher.result {
+            report(&self.name, &id.label, median, self.throughput);
+        }
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher, input);
+        if let Some(median) = bencher.result {
+            report(&self.name, &id.label, median, self.throughput);
+        }
+        self
+    }
+
+    /// Finish the group (reporting happens per-benchmark already).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: 20,
+            result: None,
+        };
+        f(&mut bencher);
+        if let Some(median) = bencher.result {
+            report("", name, median, None);
+        }
+        self
+    }
+}
+
+/// Re-export for `b.iter(|| black_box(...))`-style benches that import it
+/// from criterion rather than `std::hint`.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_and_report() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(3);
+        let data: Vec<u64> = (0..100).collect();
+        g.bench_with_input(BenchmarkId::from_parameter("sum"), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>());
+        });
+        g.bench_function(BenchmarkId::new("noop", 1), |b| b.iter(|| 2 + 2));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).label, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

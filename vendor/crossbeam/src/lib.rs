@@ -1,0 +1,95 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! This workspace builds in hermetic environments with no access to
+//! crates.io, so the handful of external crates it uses are vendored as
+//! minimal, std-only reimplementations of exactly the API surface the
+//! workspace consumes (see `vendor/README.md`). Here that surface is
+//! `crossbeam::thread::scope` / `Scope::spawn`, reimplemented on top of
+//! `std::thread::scope` (stable since Rust 1.63).
+
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention:
+    //! `scope` returns a `Result` and the spawn closure receives the
+    //! scope, allowing nested spawns.
+
+    /// Result of a scope: `Err` carries a worker panic payload.
+    ///
+    /// `std::thread::scope` resumes unwinding on worker panic instead of
+    /// returning it, so in this shim the `Err` arm is never produced; the
+    /// type exists so `scope(...).expect(...)` call sites compile
+    /// unchanged and panics still propagate (through the unwind).
+    pub type ScopeResult<R> = Result<R, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle that can spawn workers borrowing from the caller.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker; the closure receives the scope (crossbeam
+        /// convention — every call site in this workspace ignores it).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Create a scope, run `f` inside it, and join all workers.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_workers_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        thread::scope(|s| {
+            let mut rest = out.as_mut_slice();
+            for (i, chunk) in data.chunks(2).enumerate() {
+                let (mine, tail) = rest.split_at_mut(2);
+                rest = tail;
+                s.spawn(move |_| {
+                    for (o, v) in mine.iter_mut().zip(chunk) {
+                        *o = v * (i as u64 + 1);
+                    }
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(out, vec![1, 2, 6, 8]);
+    }
+
+    #[test]
+    fn join_handles_return_values() {
+        let total: u64 = thread::scope(|s| {
+            let hs: Vec<_> = (0..4u64).map(|i| s.spawn(move |_| i * i)).collect();
+            hs.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 0 + 1 + 4 + 9);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let n = thread::scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 21u64).join().expect("inner") * 2);
+            h.join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

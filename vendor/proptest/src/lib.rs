@@ -1,0 +1,506 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the property-testing subset this workspace uses: the
+//! [`proptest!`] macro over named strategies, numeric range strategies,
+//! tuple composition, [`collection::vec`], [`bool::ANY`], `prop_map`,
+//! `prop_filter`, and the `prop_assert!`/`prop_assert_eq!`/`prop_assume!`
+//! assertion forms.
+//!
+//! Differences from real proptest, deliberate for an offline vendored
+//! stub: no shrinking (a failure reports the exact generated inputs
+//! instead of a minimized case), and the RNG is seeded deterministically
+//! per test so CI failures always reproduce.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Why a test case could not complete.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case does not apply (filtered input or failed `prop_assume!`);
+    /// the runner draws a fresh input without counting the case.
+    Reject(String),
+    /// An assertion failed; the runner aborts the test.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Build a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Source of randomness handed to strategies.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic per-test RNG: same seed, same stream, every run.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the test name: distinct tests get distinct streams.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+
+    /// Access the underlying generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.0
+    }
+}
+
+/// A recipe for generating values of `Value`.
+pub trait Strategy {
+    /// Generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Draw one value (or reject, e.g. from a filter).
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError>;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: std::fmt::Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discard generated values failing `pred` (drawing replacements).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: std::fmt::Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Result<U, TestCaseError> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, TestCaseError> {
+        let value = self.inner.generate(rng)?;
+        if (self.pred)(&value) {
+            Ok(value)
+        } else {
+            Err(TestCaseError::reject(self.reason))
+        }
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, TestCaseError> {
+        Ok(self.0.clone())
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                Ok(rng.rng().gen_range(self.clone()))
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                Ok(rng.rng().gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+                Ok(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{Strategy, TestCaseError, TestRng};
+    use rand::Rng;
+
+    /// Strategy yielding fair booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// A fair coin flip.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> Result<bool, TestCaseError> {
+            Ok(rng.rng().gen())
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestCaseError, TestRng};
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+            let len = rng.rng().gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case-driving loop behind [`crate::proptest!`].
+
+    use super::{ProptestConfig, TestCaseError, TestRng};
+
+    /// Rejections tolerated before giving up, as a multiple of `cases`.
+    const MAX_REJECTS_PER_CASE: u32 = 16;
+
+    /// Run `body` until `config.cases` cases pass. Panics on the first
+    /// failure (no shrinking: the generated inputs are reported as-is by
+    /// the failure message the body produced).
+    pub fn run(
+        config: ProptestConfig,
+        test_name: &str,
+        body: impl Fn(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        let mut rng = TestRng::deterministic(test_name);
+        let max_rejects = config.cases.saturating_mul(MAX_REJECTS_PER_CASE).max(1024);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            match body(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(reason)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "proptest `{test_name}`: too many rejected cases \
+                         ({rejected} rejects for {passed} passes; last: {reason})"
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "proptest `{test_name}` failed after {passed} passing cases:\n{message}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), left, right
+            )));
+        }
+    }};
+}
+
+/// Fail the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+        let _ = right;
+    }};
+}
+
+/// Reject the current case (drawing a replacement) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Define property tests: each `fn name(pattern in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let strategy = ($($strategy,)+);
+            $crate::test_runner::run($config, stringify!($name), |__proptest_rng| {
+                let ($($pat,)+) =
+                    $crate::Strategy::generate(&strategy, __proptest_rng)?;
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(
+            a in 1usize..50,
+            (lo, hi) in (0u64..10, 10u64..20),
+            f in -1.0f64..1.0,
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!(a >= 1 && a < 50);
+            prop_assert!(lo < hi);
+            prop_assert!((-1.0..1.0).contains(&f));
+            let _ = flag;
+        }
+
+        #[test]
+        fn map_and_filter_compose(v in evens().prop_filter("nonzero", |&v| v != 0)) {
+            prop_assert!(v % 2 == 0, "odd value {v}");
+            prop_assert_ne!(v, 1);
+        }
+
+        #[test]
+        fn vec_sizes_fixed_and_ranged(
+            fixed in crate::collection::vec(0.0f64..1.0, 8),
+            ranged in crate::collection::vec(0u32..5, 1..4),
+        ) {
+            prop_assert_eq!(fixed.len(), 8);
+            prop_assert!((1..4).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 3 == 0);
+            prop_assert_eq!(x % 3, 0, "x = {}", x);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::TestRng::deterministic("t");
+        let mut b = crate::TestRng::deterministic("t");
+        let sa = (0u64..1_000_000).generate(&mut a).unwrap();
+        let sb = (0u64..1_000_000).generate(&mut b).unwrap();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failures_panic_with_message() {
+        crate::test_runner::run(ProptestConfig::with_cases(5), "always_fails", |_| {
+            Err(TestCaseError::fail("expected failure"))
+        });
+    }
+}

@@ -1,0 +1,378 @@
+//! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! Implements the parallel-iterator subset this workspace uses with real
+//! OS-thread parallelism: items are materialized from a standard
+//! iterator, split into contiguous per-worker batches, and executed on
+//! `std::thread::scope` workers (one batch per available core). This is
+//! not a work-stealing pool — there is no global runtime to tune, which
+//! coincidentally matches the role rayon plays in this repository: the
+//! "tuning-oblivious runtime" analogue of C++ PSTL.
+//!
+//! Supported surface: `par_chunks`, `par_chunks_mut`, `par_iter`,
+//! `par_iter_mut`, `into_par_iter` on ranges, and the adaptors
+//! `enumerate`, `step_by`, `zip`, `map`, `for_each`, `reduce`, `sum`,
+//! `collect`, plus [`current_num_threads`].
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Number of worker threads a parallel call will use at most.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over every item on scoped worker threads (contiguous batches).
+fn parallel_for_each<T, F>(items: Vec<T>, f: &F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let workers = current_num_threads().min(items.len().max(1));
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let batch = items.len().div_ceil(workers);
+    let mut iter = items.into_iter();
+    std::thread::scope(|scope| loop {
+        let chunk: Vec<T> = iter.by_ref().take(batch).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        scope.spawn(move || {
+            for item in chunk {
+                f(item);
+            }
+        });
+    });
+}
+
+/// Map every item on scoped worker threads, preserving order.
+fn parallel_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let workers = current_num_threads().min(items.len().max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let batch = items.len().div_ceil(workers);
+    let mut iter = items.into_iter();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        loop {
+            let chunk: Vec<T> = iter.by_ref().take(batch).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            handles.push(scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    })
+}
+
+/// A parallel iterator backed by a standard (sequential) item source;
+/// parallelism happens at the consuming call (`for_each`, `map`, ...).
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I> ParIter<I>
+where
+    I: Iterator,
+    I::Item: Send,
+{
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    /// Keep every `step`-th item.
+    pub fn step_by(self, step: usize) -> ParIter<std::iter::StepBy<I>> {
+        ParIter {
+            inner: self.inner.step_by(step),
+        }
+    }
+
+    /// Pair items positionally with another parallel iterator.
+    pub fn zip<J>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>>
+    where
+        J: Iterator,
+        J::Item: Send,
+    {
+        ParIter {
+            inner: self.inner.zip(other.inner),
+        }
+    }
+
+    /// Transform items; the mapping runs on the worker threads.
+    pub fn map<U, F>(self, f: F) -> ParMap<I, F>
+    where
+        U: Send,
+        F: Fn(I::Item) -> U + Sync,
+    {
+        ParMap {
+            inner: self.inner,
+            f,
+        }
+    }
+
+    /// Consume every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I::Item) + Sync,
+    {
+        parallel_for_each(self.inner.collect(), &f);
+    }
+
+    /// Collect items (sequential; sources are already ordered).
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// Number of items.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(self) -> usize
+    where
+        I: ExactSizeIterator,
+    {
+        self.inner.len()
+    }
+}
+
+/// A mapped parallel iterator (the map closure runs on workers).
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, U, F> ParMap<I, F>
+where
+    I: Iterator,
+    I::Item: Send,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    /// Map in parallel and collect in order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        parallel_map(self.inner.collect(), &self.f)
+            .into_iter()
+            .collect()
+    }
+
+    /// Map in parallel, then fold the ordered results with `op`,
+    /// starting from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        ID: Fn() -> U + Sync,
+        OP: Fn(U, U) -> U + Sync,
+    {
+        parallel_map(self.inner.collect(), &self.f)
+            .into_iter()
+            .fold(identity(), op)
+    }
+
+    /// Map in parallel and sum the results.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<U>,
+    {
+        parallel_map(self.inner.collect(), &self.f)
+            .into_iter()
+            .sum()
+    }
+
+    /// Consume every mapped item in parallel.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync,
+    {
+        let f = &self.f;
+        parallel_for_each(self.inner.collect(), &move |item| g(f(item)));
+    }
+}
+
+/// `par_chunks` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter {
+            inner: self.chunks(size),
+        }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `size`-element mutable chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter {
+            inner: self.chunks_mut(size),
+        }
+    }
+}
+
+/// `par_iter` on shared collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by the parallel iterator.
+    type Iter: Iterator;
+    /// Parallel iterator over shared references.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// `par_iter_mut` on exclusive collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type yielded by the parallel iterator.
+    type Iter: Iterator;
+    /// Parallel iterator over exclusive references.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+}
+
+/// `into_par_iter` on owned sources.
+pub trait IntoParallelIterator {
+    /// Underlying sequential source.
+    type Iter: Iterator;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = Range<usize>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Iter = Range<u64>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_enumerate_for_each() {
+        let mut v = vec![0usize; 1000];
+        v.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = i * 64 + j;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn range_step_map_reduce_matches_sequential() {
+        let n = 10_000usize;
+        let chunk = 37;
+        let got = (0..n)
+            .into_par_iter()
+            .step_by(chunk)
+            .map(|start| ((start..(start + chunk).min(n)).sum::<usize>()) as u64)
+            .reduce(|| 0u64, |a, b| a + b);
+        let want = (0..n as u64).sum::<u64>();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zip_and_iter_mut() {
+        let x: Vec<f64> = (0..5000).map(|i| i as f64).collect();
+        let mut y = vec![1.0f64; 5000];
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, &xi)| {
+            *yi += 2.0 * xi;
+        });
+        for (i, v) in y.iter().enumerate() {
+            assert_eq!(*v, 1.0 + 2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn par_chunks_map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1_000).collect();
+        let sums: Vec<u64> = v.par_chunks(100).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 10);
+        assert_eq!(sums[0], (0..100).sum::<u64>());
+        assert_eq!(sums[9], (900..1000).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        let v: Vec<u64> = vec![];
+        let total: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 0);
+        (0..0usize).into_par_iter().for_each(|_| panic!("no items"));
+    }
+}

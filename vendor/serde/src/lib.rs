@@ -1,0 +1,403 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Real serde is a zero-copy visitor framework; this stand-in trades all
+//! of that for a tiny self-describing tree, [`Content`]: serializers
+//! lower values into the tree, deserializers lift them back out. The
+//! derive macros (vendored `serde_derive`) generate the same structural
+//! mappings real serde would: structs become string-keyed maps, unit enum
+//! variants become their name as a string. Formats (the vendored
+//! `serde_json`) convert `Content` to and from text.
+//!
+//! Integer fidelity matters here: `u64` values round-trip through
+//! [`Content::U64`] without ever touching a float, which is what lets the
+//! solver checkpoints store `f64` bit patterns exactly.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing value tree — the data model connecting `Serialize`
+/// impls to formats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer (exact).
+    U64(u64),
+    /// Negative integer (exact).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence (arrays, tuples, maps with non-string keys).
+    Seq(Vec<Content>),
+    /// String-keyed map in insertion order (structs, JSON objects).
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization failure: a human-readable description of the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error for an unexpected shape.
+    pub fn unexpected(expected: &str, got: &Content) -> Self {
+        let kind = match got {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        };
+        DeError(format!("expected {expected}, got {kind}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Produce the content tree for `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can lift themselves out of a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct a value from `content`.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let wide = match content {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    other => return Err(DeError::unexpected(stringify!($t), other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let wide = match content {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError(format!("{v} out of range for i64")))?,
+                    other => return Err(DeError::unexpected(stringify!($t), other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            // serde_json writes non-finite floats as null.
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::unexpected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::unexpected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::unexpected("sequence", other)),
+        }
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                const ARITY: usize = [$($idx),+].len();
+                match content {
+                    Content::Seq(items) if items.len() == ARITY => {
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::unexpected("tuple sequence", other)),
+                }
+            }
+        }
+    )*};
+}
+serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// Maps serialize as a sequence of [key, value] pairs so non-string keys
+// (e.g. `BTreeMap<(String, String), f64>`) round-trip losslessly.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Seq(
+            self.iter()
+                .map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(<(K, V)>::from_content).collect(),
+            other => Err(DeError::unexpected("map entry sequence", other)),
+        }
+    }
+}
+
+/// Fetch and deserialize a struct field from a derived map; used by the
+/// code `serde_derive` generates.
+pub fn field<T: Deserialize>(entries: &[(String, Content)], name: &str) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_content(v).map_err(|DeError(m)| DeError(format!("field `{name}`: {m}")))
+        }
+        None => Err(DeError(format!("missing field `{name}`"))),
+    }
+}
+
+impl Content {
+    /// View as a struct map, or error mentioning the target type.
+    pub fn as_map_for(&self, ty: &str) -> Result<&[(String, Content)], DeError> {
+        match self {
+            Content::Map(entries) => Ok(entries),
+            other => Err(DeError(format!(
+                "expected map for {ty}, got {:?}-shaped content",
+                DeError::unexpected("map", other).0
+            ))),
+        }
+    }
+
+    /// View as a unit-variant name, or error mentioning the target type.
+    pub fn as_variant_for(&self, ty: &str) -> Result<&str, DeError> {
+        match self {
+            Content::Str(s) => Ok(s),
+            other => Err(DeError::unexpected(
+                // The formatted string lives long enough via the error.
+                &format!("variant string for {ty}"),
+                other,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_round_trip_exactly() {
+        for v in [0u64, 1, u64::MAX, (1 << 53) + 1] {
+            let c = v.to_content();
+            assert_eq!(u64::from_content(&c).unwrap(), v);
+        }
+        for v in [-1i64, i64::MIN, 7] {
+            let c = v.to_content();
+            assert_eq!(i64::from_content(&c).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn tuples_and_nested_vecs() {
+        let v: Vec<(usize, Vec<u64>)> = vec![(3, vec![1, 2]), (9, vec![])];
+        let c = v.to_content();
+        let back: Vec<(usize, Vec<u64>)> = Deserialize::from_content(&c).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn map_with_tuple_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(("a".to_string(), "x".to_string()), 1.5f64);
+        m.insert(("b".to_string(), "y".to_string()), 2.5f64);
+        let back: BTreeMap<(String, String), f64> =
+            Deserialize::from_content(&m.to_content()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        let some = Some(42u32);
+        let none: Option<u32> = None;
+        assert_eq!(
+            Option::<u32>::from_content(&some.to_content()).unwrap(),
+            some
+        );
+        assert_eq!(
+            Option::<u32>::from_content(&none.to_content()).unwrap(),
+            none
+        );
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let entries = vec![("a".to_string(), Content::U64(1))];
+        assert!(field::<u64>(&entries, "a").is_ok());
+        let err = field::<u64>(&entries, "b").unwrap_err();
+        assert!(err.0.contains("missing field"), "{err}");
+    }
+}

@@ -1,0 +1,286 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Supports the shapes this workspace derives on: structs with named
+//! fields, and enums whose variants are unit or struct-like — no tuple
+//! variants, no generics. Anything else is a compile-time panic with a
+//! pointed message rather than silently wrong code. The expansion targets
+//! the vendored `serde`'s `Content` model with real serde's wire shapes
+//! for this subset: structs map to `Content::Map` keyed by field name,
+//! unit variants to `Content::Str` of the variant name, and struct
+//! variants to the externally-tagged `{"Variant": {fields...}}` map.
+//!
+//! Implemented with direct `proc_macro::TokenTree` inspection because the
+//! usual helpers (`syn`, `quote`) are unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_decorations(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde_derive: malformed attribute near {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_decorations(&mut iter);
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive: generic type `{name}` is not supported by the vendored derive")
+        }
+        other => panic!(
+            "serde_derive: expected braced body for `{name}` \
+             (tuple structs are not supported), found {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_decorations(&mut iter);
+        let field = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after `{field}`, found {other:?}"),
+        }
+        // Skip the type: a top-level `,` ends the field; commas inside
+        // `<...>` (tracked by angle depth) or delimited groups do not.
+        let mut angle_depth = 0usize;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_decorations(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                iter.next();
+                Some(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => panic!(
+                "serde_derive: tuple variant `{name}` is not supported by the vendored derive"
+            ),
+            _ => None,
+        };
+        variants.push(Variant { name, fields });
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!("serde_derive: expected `,` after variant, found {other:?}"),
+        }
+    }
+    variants
+}
+
+fn struct_variant_to_content(enum_name: &str, v: &Variant, fields: &[String]) -> String {
+    let bindings = fields.join(", ");
+    let entries = fields
+        .iter()
+        .map(|f| format!("(String::from(\"{f}\"), ::serde::Serialize::to_content({f})),"))
+        .collect::<String>();
+    format!(
+        "{enum_name}::{name} {{ {bindings} }} => ::serde::Content::Map(vec![(\n\
+             String::from(\"{name}\"), ::serde::Content::Map(vec![{entries}]),\n\
+         )]),",
+        name = v.name
+    )
+}
+
+/// Derive `serde::Serialize` (vendored subset).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f})),")
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Content::Str(String::from(\"{v}\")),",
+                        v = v.name
+                    ),
+                    Some(fields) => struct_variant_to_content(&name, v, fields),
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (vendored subset).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(entries, \"{f}\")?,"))
+                .collect::<String>();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> Result<Self, ::serde::DeError> {{\n\
+                         let entries = content.as_map_for(\"{name}\")?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),", v = v.name))
+                .collect::<String>();
+            let tagged_arms = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (v, fields)))
+                .map(|(v, fields)| {
+                    let inits = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(entries, \"{f}\")?,"))
+                        .collect::<String>();
+                    format!(
+                        "\"{v}\" => {{\n\
+                             let entries = inner.as_map_for(\"{name}::{v}\")?;\n\
+                             Ok({name}::{v} {{ {inits} }})\n\
+                         }}",
+                        v = v.name
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> Result<Self, ::serde::DeError> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Str(tag) => match tag.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::DeError(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Content::Map(outer) if outer.len() == 1 => {{\n\
+                                 let (tag, inner) = &outer[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => Err(::serde::DeError(format!(\n\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::DeError::unexpected(\n\
+                                 \"{name} variant\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}

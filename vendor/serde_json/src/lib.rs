@@ -1,0 +1,766 @@
+//! Offline stand-in for the `serde_json` crate (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace uses: [`Value`], the [`json!`]
+//! macro, [`to_value`], [`to_string`], [`to_string_pretty`],
+//! [`to_writer`], [`from_str`], and [`from_reader`], bridged to the
+//! vendored `serde`'s `Content` model.
+//!
+//! Integers are parsed and printed **exactly** (no round-trip through
+//! `f64`): solver checkpoints store `f64` bit patterns as `u64` and must
+//! survive JSON unscathed. Floats print with Rust's shortest round-trip
+//! formatting and parse with the standard library's correctly-rounded
+//! parser, so finite `f64` values also round-trip bit-exactly; non-finite
+//! floats serialize as `null`, as real serde_json does.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use serde::{Content, Deserialize, Serialize};
+
+/// A JSON number: exact integers or a float.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// Non-negative integer, exact.
+    PosInt(u64),
+    /// Negative integer, exact.
+    NegInt(i64),
+    /// Floating-point value (finite).
+    Float(f64),
+}
+
+impl Number {
+    /// Value as `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// Value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(v) => u64::try_from(v).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// Value as `i64` if it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// String-keyed object preserving insertion order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Empty object.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Insert (or replace) a key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(&mut slot.1, value));
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether a key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Number (exact integers preserved).
+    Number(Number),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// `&str` view of a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64` (integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64` (integers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object-key lookup (`None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_string_inner(self, None))
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.0)
+    }
+}
+
+fn content_to_value(c: Content) -> Value {
+    match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::U64(v) => Value::Number(Number::PosInt(v)),
+        Content::I64(v) => Value::Number(Number::NegInt(v)),
+        Content::F64(v) if v.is_finite() => Value::Number(Number::Float(v)),
+        Content::F64(_) => Value::Null, // serde_json writes NaN/inf as null
+        Content::Str(s) => Value::String(s),
+        Content::Seq(items) => Value::Array(items.into_iter().map(content_to_value).collect()),
+        Content::Map(entries) => {
+            let mut map = Map::new();
+            for (k, v) in entries {
+                map.insert(k, content_to_value(v));
+            }
+            Value::Object(map)
+        }
+    }
+}
+
+fn value_to_content(v: &Value) -> Content {
+    match v {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(*b),
+        Value::Number(Number::PosInt(n)) => Content::U64(*n),
+        Value::Number(Number::NegInt(n)) => Content::I64(*n),
+        Value::Number(Number::Float(n)) => Content::F64(*n),
+        Value::String(s) => Content::Str(s.clone()),
+        Value::Array(items) => Content::Seq(items.iter().map(value_to_content).collect()),
+        Value::Object(map) => Content::Map(
+            map.iter()
+                .map(|(k, v)| (k.clone(), value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        value_to_content(self)
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(content: &Content) -> Result<Self, serde::DeError> {
+        Ok(content_to_value(content.clone()))
+    }
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(content_to_value(value.to_content()))
+}
+
+/// Reconstruct a deserializable type from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_content(&value_to_content(value))?)
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_number(out: &mut String, n: &Number) {
+    match n {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(v) if v.is_finite() => {
+            // `{:?}` is the shortest representation that parses back to
+            // the same bits.
+            out.push_str(&format!("{v:?}"));
+        }
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, pretty: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => push_number(out, n),
+        Value::String(s) => push_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(depth) = pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth + 1));
+                }
+                write_value(out, item, pretty.map(|d| d + 1));
+            }
+            if let Some(depth) = pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(depth) = pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth + 1));
+                }
+                push_escaped(out, k);
+                out.push(':');
+                if pretty.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, pretty.map(|d| d + 1));
+            }
+            if let Some(depth) = pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn to_string_inner(v: &Value, pretty: Option<usize>) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, pretty);
+    out
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize>(value: T) -> Result<String, Error> {
+    Ok(to_string_inner(&to_value(value)?, None))
+}
+
+/// Serialize to an indented JSON string (2 spaces).
+pub fn to_string_pretty<T: Serialize>(value: T) -> Result<String, Error> {
+    Ok(to_string_inner(&to_value(value)?, Some(0)))
+}
+
+/// Serialize compactly into a writer.
+pub fn to_writer<W: Write, T: Serialize>(mut writer: W, value: T) -> Result<(), Error> {
+    let text = to_string(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::new(format!("write failed: {e}")))
+}
+
+/// Parse a value out of a string.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    from_value(&value)
+}
+
+/// Parse a value out of a reader.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| Error::new(format!("read failed: {e}")))?;
+    from_str(&text)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(Error::new("unexpected end of input")),
+            Some(b'n') => self.eat_keyword("null", Value::Null),
+            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(Error::new(format!(
+                "unexpected `{}` at offset {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `]` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `}}` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.parse_hex4()?;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed.
+                    let start = self.pos - 1;
+                    let rest = &self.bytes[start..];
+                    let ch = std::str::from_utf8(&rest[..rest.len().min(4)])
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                        .or_else(|| {
+                            (1..=rest.len().min(4)).find_map(|n| {
+                                std::str::from_utf8(&rest[..n])
+                                    .ok()
+                                    .and_then(|s| s.chars().next())
+                            })
+                        })
+                        .ok_or_else(|| Error::new("invalid UTF-8 in string"))?;
+                    self.pos = start + ch.len_utf8();
+                    out.push(ch);
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::new("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| Error::new("bad \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("bad number"))?;
+        let number = if is_float {
+            Number::Float(
+                text.parse::<f64>()
+                    .map_err(|_| Error::new(format!("bad number `{text}`")))?,
+            )
+        } else if let Some(digits) = text.strip_prefix('-') {
+            let _ = digits;
+            Number::NegInt(
+                text.parse::<i64>()
+                    .map_err(|_| Error::new(format!("integer out of range `{text}`")))?,
+            )
+        } else {
+            Number::PosInt(
+                text.parse::<u64>()
+                    .map_err(|_| Error::new(format!("integer out of range `{text}`")))?,
+            )
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+/// Build a [`Value`] with JSON-like syntax. Object values and array
+/// elements are arbitrary serializable Rust expressions (including nested
+/// `json!` calls); object keys are string literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem).expect("json! element") ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(String::from($key), $crate::to_value(&$val).expect("json! value")); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other).expect("json! value") };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_integers_round_trip_exactly() {
+        for v in [0u64, 1, (1 << 53) + 1, u64::MAX] {
+            let text = to_string(&v).unwrap();
+            let back: u64 = from_str(&text).unwrap();
+            assert_eq!(back, v, "via {text}");
+        }
+    }
+
+    #[test]
+    fn finite_floats_round_trip_bit_exactly() {
+        for v in [0.1f64, -1.5e-300, 3.141592653589793, -0.0, 1e300] {
+            let text = to_string(&v).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "via {text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        let back: f64 = from_str("null").unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn json_macro_objects_arrays_and_exprs() {
+        let xs = vec![1u64, 2, 3];
+        let v = json!({
+            "name": "aprod1",
+            "count": xs.len(),
+            "items": xs,
+            "nested": json!({"inner": true}),
+        });
+        assert_eq!(v["name"].as_str(), Some("aprod1"));
+        assert_eq!(v["count"].as_u64(), Some(3));
+        assert_eq!(v["items"].as_array().unwrap().len(), 3);
+        assert_eq!(v["nested"]["inner"].as_bool(), Some(true));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"a": [1, 2], "b": json!({"c": "x\"y\n"})});
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "tab\tnewline\nquote\"backslash\\unicode\u{1F600}control\u{1}";
+        let text = to_string(&s.to_string()).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn parse_errors_are_errors() {
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+
+    #[test]
+    fn unicode_escape_with_surrogate_pair() {
+        let back: String = from_str("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(back, "\u{1F600}");
+    }
+}
