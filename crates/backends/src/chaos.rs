@@ -1,0 +1,205 @@
+//! A fault-injecting backend decorator for resilience testing.
+//!
+//! [`ChaosBackend`] wraps any [`Backend`] and corrupts (or kills) one
+//! chosen `aprod` evaluation, simulating the silent data corruption and
+//! in-kernel crashes GPUs exhibit at scale — an ECC miss in an
+//! accumulator, an `atomicAdd` on a dying device, a kernel abort. The
+//! solver's health guards ([`gaia_lsqr::health`] in the core crate) are
+//! expected to catch the corruption within one iteration; the resilience
+//! tests drive exactly that path.
+//!
+//! Injection is by *call index*, counted separately per product, so a
+//! test can deterministically hit e.g. "the 4th `aprod2` of the run"
+//! regardless of timing. Calls other than the chosen one pass through
+//! untouched, and the wrapped backend remains responsible for the BLAS-1
+//! pieces.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gaia_sparse::SparseSystem;
+
+use crate::traits::Backend;
+
+/// Which product of the wrapped backend to corrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosTarget {
+    /// Corrupt an `aprod1` (`out += A x`) evaluation.
+    Aprod1,
+    /// Corrupt an `aprod2` (`out += Aᵀ y`) evaluation.
+    Aprod2,
+}
+
+/// What to do to the chosen evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosMode {
+    /// Write a NaN into one output element after the real kernel ran
+    /// (silent corruption: the call "succeeds" but poisons the state).
+    Nan,
+    /// Overwrite one output element with the given value (e.g. a huge
+    /// finite number, modelling a bit-flip in an exponent).
+    Overwrite(f64),
+    /// Panic inside the kernel (a crashed device / aborted kernel). In a
+    /// distributed world this kills the rank and trips the supervisor's
+    /// world-failure path rather than the health guards.
+    Panic,
+}
+
+/// Decorator injecting one fault into the `index`-th call of `target`.
+pub struct ChaosBackend<B> {
+    inner: B,
+    target: ChaosTarget,
+    mode: ChaosMode,
+    index: usize,
+    word: usize,
+    aprod1_calls: AtomicUsize,
+    aprod2_calls: AtomicUsize,
+}
+
+impl<B: Backend> ChaosBackend<B> {
+    /// Corrupt the `index`-th (0-based) call of `target` according to
+    /// `mode`; every other call is forwarded untouched.
+    pub fn new(inner: B, target: ChaosTarget, mode: ChaosMode, index: usize) -> Self {
+        ChaosBackend {
+            inner,
+            target,
+            mode,
+            index,
+            word: 0,
+            aprod1_calls: AtomicUsize::new(0),
+            aprod2_calls: AtomicUsize::new(0),
+        }
+    }
+
+    /// Corrupt output element `word` instead of element 0.
+    pub fn at_word(mut self, word: usize) -> Self {
+        self.word = word;
+        self
+    }
+
+    /// How many times each product has been evaluated so far.
+    pub fn calls(&self) -> (usize, usize) {
+        (
+            self.aprod1_calls.load(Ordering::Relaxed),
+            self.aprod2_calls.load(Ordering::Relaxed),
+        )
+    }
+
+    fn strike(&self, out: &mut [f64]) {
+        let w = self.word.min(out.len().saturating_sub(1));
+        match self.mode {
+            ChaosMode::Nan => out[w] = f64::NAN,
+            ChaosMode::Overwrite(v) => out[w] = v,
+            ChaosMode::Panic => panic!(
+                "chaos: injected kernel crash in {} call {}",
+                match self.target {
+                    ChaosTarget::Aprod1 => "aprod1",
+                    ChaosTarget::Aprod2 => "aprod2",
+                },
+                self.index
+            ),
+        }
+    }
+}
+
+impl<B: Backend> Backend for ChaosBackend<B> {
+    fn name(&self) -> String {
+        format!("chaos({})", self.inner.name())
+    }
+
+    fn description(&self) -> &'static str {
+        "fault-injecting decorator: corrupts one chosen aprod evaluation"
+    }
+
+    fn aprod1(&self, sys: &SparseSystem, x: &[f64], out: &mut [f64]) {
+        let call = self.aprod1_calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.aprod1(sys, x, out);
+        if self.target == ChaosTarget::Aprod1 && call == self.index {
+            self.strike(out);
+        }
+    }
+
+    fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
+        let call = self.aprod2_calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.aprod2(sys, y, out);
+        if self.target == ChaosTarget::Aprod2 && call == self.index {
+            self.strike(out);
+        }
+    }
+
+    fn nrm2(&self, v: &[f64]) -> f64 {
+        self.inner.nrm2(v)
+    }
+
+    fn scal(&self, v: &mut [f64], s: f64) {
+        self.inner.scal(v, s)
+    }
+
+    fn axpy(&self, y: &mut [f64], a: f64, x: &[f64]) {
+        self.inner.axpy(y, a, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeqBackend;
+    use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
+
+    fn system() -> SparseSystem {
+        Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(42)).generate()
+    }
+
+    #[test]
+    fn only_the_chosen_call_is_corrupted() {
+        let sys = system();
+        let chaos = ChaosBackend::new(SeqBackend, ChaosTarget::Aprod2, ChaosMode::Nan, 1);
+        let y = vec![1.0; sys.n_rows()];
+        let mut clean = vec![0.0; sys.n_cols()];
+        SeqBackend.aprod2(&sys, &y, &mut clean);
+
+        let mut out0 = vec![0.0; sys.n_cols()];
+        chaos.aprod2(&sys, &y, &mut out0);
+        assert_eq!(out0, clean, "call 0 untouched");
+
+        let mut out1 = vec![0.0; sys.n_cols()];
+        chaos.aprod2(&sys, &y, &mut out1);
+        assert!(out1[0].is_nan(), "call 1 poisoned");
+        assert_eq!(&out1[1..], &clean[1..], "only one word corrupted");
+
+        let mut out2 = vec![0.0; sys.n_cols()];
+        chaos.aprod2(&sys, &y, &mut out2);
+        assert_eq!(out2, clean, "call 2 untouched again");
+        assert_eq!(chaos.calls(), (0, 3));
+    }
+
+    #[test]
+    fn aprod1_target_leaves_aprod2_alone() {
+        let sys = system();
+        let chaos = ChaosBackend::new(
+            SeqBackend,
+            ChaosTarget::Aprod1,
+            ChaosMode::Overwrite(1e300),
+            0,
+        )
+        .at_word(3);
+        let y = vec![1.0; sys.n_rows()];
+        let mut cols = vec![0.0; sys.n_cols()];
+        chaos.aprod2(&sys, &y, &mut cols);
+        assert!(cols.iter().all(|v| v.is_finite()));
+
+        let x = vec![1.0; sys.n_cols()];
+        let mut rows = vec![0.0; sys.n_rows()];
+        chaos.aprod1(&sys, &x, &mut rows);
+        assert_eq!(rows[3], 1e300);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected kernel crash")]
+    fn panic_mode_kills_the_call() {
+        let sys = system();
+        let chaos = ChaosBackend::new(SeqBackend, ChaosTarget::Aprod2, ChaosMode::Panic, 0);
+        let y = vec![1.0; sys.n_rows()];
+        let mut out = vec![0.0; sys.n_cols()];
+        chaos.aprod2(&sys, &y, &mut out);
+    }
+}

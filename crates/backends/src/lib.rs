@@ -32,6 +32,7 @@
 
 pub mod atomicf64;
 pub mod blas;
+pub mod chaos;
 pub mod instrumented;
 pub mod kernels;
 pub mod registry;
@@ -57,6 +58,7 @@ pub use backend_replicated::ReplicatedBackend;
 pub use backend_seq::SeqBackend;
 pub use backend_streamed::StreamedBackend;
 pub use backend_striped::StripedBackend;
+pub use chaos::{ChaosBackend, ChaosMode, ChaosTarget};
 pub use instrumented::InstrumentedBackend;
 pub use registry::{all_backends, backend_by_name, backend_names, instrumented_by_name};
 pub use traits::Backend;

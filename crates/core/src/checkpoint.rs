@@ -271,11 +271,33 @@ impl Checkpoint {
     /// Write to a file path (atomic: temp file + rename, the pattern the
     /// production restart files use so a job killed mid-write never
     /// corrupts the previous checkpoint).
+    ///
+    /// The temp name *appends* `.tmp` to the full filename rather than
+    /// replacing the extension, so `run.json` and `run.ckpt` saved in one
+    /// directory get distinct temp files (`run.json.tmp` / `run.ckpt.tmp`)
+    /// instead of colliding on `run.tmp`. A failed serialization removes
+    /// its temp file instead of leaving it behind.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let tmp = path.with_extension("tmp");
+        let mut tmp_name = path
+            .file_name()
+            .ok_or_else(|| {
+                CheckpointError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("checkpoint path {} has no filename", path.display()),
+                ))
+            })?
+            .to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
         let file = std::fs::File::create(&tmp)?;
-        self.write_to(std::io::BufWriter::new(file))?;
-        std::fs::rename(&tmp, path)?;
+        if let Err(e) = self.write_to(std::io::BufWriter::new(file)) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e);
+        }
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
         Ok(())
     }
 
@@ -283,6 +305,104 @@ impl Checkpoint {
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
         let file = std::fs::File::open(path)?;
         Self::read_from(std::io::BufReader::new(file))
+    }
+}
+
+/// Retain-last-K rotation of periodic checkpoints, mirroring the restart
+/// chains the production pipeline keeps across CINECA batch allocations:
+/// each snapshot lands at `stem.<iteration>.ckpt` next to `stem`, older
+/// snapshots beyond `retain` are pruned, and [`CheckpointRotation::latest`]
+/// walks the chain newest-first, skipping files that fail to load — a
+/// checkpoint corrupted by a crash mid-write costs one save interval, not
+/// the run.
+pub struct CheckpointRotation {
+    stem: std::path::PathBuf,
+    retain: usize,
+}
+
+impl CheckpointRotation {
+    /// Rotation keyed on `stem` (any path; `.<iteration>.ckpt` is appended
+    /// to its filename), keeping the newest `retain` snapshots.
+    pub fn new(stem: impl Into<std::path::PathBuf>, retain: usize) -> Self {
+        CheckpointRotation {
+            stem: stem.into(),
+            retain: retain.max(1),
+        }
+    }
+
+    fn slot(&self, iteration: usize) -> std::path::PathBuf {
+        let mut name = self
+            .stem
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "checkpoint".into());
+        name.push(format!(".{iteration:08}.ckpt"));
+        self.stem.with_file_name(name)
+    }
+
+    /// Every existing snapshot in the chain, oldest first.
+    pub fn slots(&self) -> Vec<(usize, std::path::PathBuf)> {
+        let Some(dir) = self.stem.parent().filter(|d| !d.as_os_str().is_empty()) else {
+            return self.scan(Path::new("."));
+        };
+        self.scan(dir)
+    }
+
+    fn scan(&self, dir: &Path) -> Vec<(usize, std::path::PathBuf)> {
+        let Some(stem_name) = self.stem.file_name().and_then(|n| n.to_str()) else {
+            return Vec::new();
+        };
+        let prefix = format!("{stem_name}.");
+        let mut found = Vec::new();
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix(&prefix) else {
+                continue;
+            };
+            let Some(digits) = rest.strip_suffix(".ckpt") else {
+                continue;
+            };
+            if let Ok(iteration) = digits.parse::<usize>() {
+                found.push((iteration, entry.path()));
+            }
+        }
+        found.sort();
+        found
+    }
+
+    /// Save `ckpt` as the snapshot for `iteration` and prune snapshots
+    /// beyond the newest `retain`.
+    pub fn save(&self, iteration: usize, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        ckpt.save(&self.slot(iteration))?;
+        let slots = self.slots();
+        if slots.len() > self.retain {
+            for (_, path) in &slots[..slots.len() - self.retain] {
+                std::fs::remove_file(path).ok();
+            }
+        }
+        Ok(())
+    }
+
+    /// Load the newest snapshot that parses, together with its iteration
+    /// number; corrupt or unreadable files are skipped.
+    pub fn latest(&self) -> Option<(usize, Checkpoint)> {
+        for (iteration, path) in self.slots().into_iter().rev() {
+            if let Ok(ckpt) = Checkpoint::load(&path) {
+                return Some((iteration, ckpt));
+            }
+        }
+        None
+    }
+
+    /// Remove every snapshot in the chain.
+    pub fn clear(&self) {
+        for (_, path) in self.slots() {
+            std::fs::remove_file(path).ok();
+        }
     }
 }
 
@@ -361,11 +481,76 @@ mod tests {
         let path = dir.join("state.json");
         ckpt.save(&path).unwrap();
         assert!(
-            !path.with_extension("tmp").exists(),
+            !dir.join("state.json.tmp").exists(),
             "temp file renamed away"
         );
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(loaded.restore(&sys, &cfg).unwrap(), state);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn temp_names_do_not_collide_across_extensions() {
+        // Regression: `path.with_extension("tmp")` mapped both `run.json`
+        // and `run.ckpt` to `run.tmp`, so concurrent saves in one
+        // directory raced on the same temp file.
+        let sys = system(409);
+        let cfg = LsqrConfig::new();
+        let solver = Lsqr::new(&sys, &SeqBackend, cfg);
+        let mut state = solver.init_state();
+        solver.step(&mut state);
+        let ckpt = Checkpoint::capture(&sys, &cfg, &state);
+
+        let dir = std::env::temp_dir().join(format!("gaia-ckpt-collide-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A leftover temp from a crashed writer with the *old* colliding
+        // name must survive saves of differently-extensioned siblings.
+        std::fs::write(dir.join("run.tmp"), b"leftover").unwrap();
+        ckpt.save(&dir.join("run.json")).unwrap();
+        ckpt.save(&dir.join("run.ckpt")).unwrap();
+        assert_eq!(std::fs::read(dir.join("run.tmp")).unwrap(), b"leftover");
+        assert!(Checkpoint::load(&dir.join("run.json")).is_ok());
+        assert!(Checkpoint::load(&dir.join("run.ckpt")).is_ok());
+        assert!(!dir.join("run.json.tmp").exists());
+        assert!(!dir.join("run.ckpt.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_retains_last_k_and_skips_corrupt() {
+        let sys = system(410);
+        let cfg = LsqrConfig::new();
+        let solver = Lsqr::new(&sys, &SeqBackend, cfg);
+        let mut state = solver.init_state();
+
+        let dir = std::env::temp_dir().join(format!("gaia-ckpt-rot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rot = CheckpointRotation::new(dir.join("solve"), 2);
+
+        for k in 1..=4 {
+            solver.step(&mut state);
+            rot.save(k, &Checkpoint::capture(&sys, &cfg, &state))
+                .unwrap();
+        }
+        let slots = rot.slots();
+        assert_eq!(
+            slots.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![3, 4],
+            "only the newest 2 retained"
+        );
+
+        // Newest wins...
+        let (k, ckpt) = rot.latest().unwrap();
+        assert_eq!(k, 4);
+        assert_eq!(ckpt.restore(&sys, &cfg).unwrap().itn, 4);
+        // ...unless corrupt, in which case the chain falls back.
+        std::fs::write(&slots[1].1, b"garbage").unwrap();
+        let (k, ckpt) = rot.latest().unwrap();
+        assert_eq!(k, 3);
+        assert_eq!(ckpt.restore(&sys, &cfg).unwrap().itn, 3);
+
+        rot.clear();
+        assert!(rot.latest().is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,5 +1,7 @@
 //! Solver configuration.
 
+use crate::health::HealthConfig;
+
 /// LSQR stopping rules and options.
 ///
 /// The tolerances follow the classical `LSQR(atol, btol, conlim, itnlim)`
@@ -27,6 +29,10 @@ pub struct LsqrConfig {
     /// Apply the Jacobi column-scaling preconditioner (the "customized and
     /// preconditioned version of the LSQR algorithm" of §III-B).
     pub precondition: bool,
+    /// Per-iteration numerical health guards (NaN/Inf scans, breakdown and
+    /// divergence detection). On by default; the guards never alter a
+    /// healthy trajectory, they only stop an already-poisoned one.
+    pub health: HealthConfig,
 }
 
 impl LsqrConfig {
@@ -41,6 +47,7 @@ impl LsqrConfig {
             damp: 0.0,
             compute_var: true,
             precondition: true,
+            health: HealthConfig::default(),
         }
     }
 
@@ -55,6 +62,7 @@ impl LsqrConfig {
             damp: 0.0,
             compute_var: false,
             precondition: true,
+            health: HealthConfig::default(),
         }
     }
 
@@ -80,6 +88,13 @@ impl LsqrConfig {
     /// Enable or disable variance accumulation.
     pub fn compute_var(mut self, on: bool) -> Self {
         self.compute_var = on;
+        self
+    }
+
+    /// Override the health-guard configuration ([`HealthConfig::off`]
+    /// disables the guards entirely).
+    pub fn health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
         self
     }
 

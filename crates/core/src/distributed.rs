@@ -24,11 +24,13 @@
 
 use gaia_backends::blas::{self, d2norm};
 use gaia_backends::{Backend, SeqBackend};
-use gaia_mpi_sim::{run, Communicator, ReduceOp};
+use gaia_mpi_sim::{try_run, Communicator, FaultError, ReduceOp, WorldOptions};
 use gaia_sparse::system::{ASTRO_NNZ_PER_ROW, ATT_NNZ_PER_ROW, INSTR_NNZ_PER_ROW};
 use gaia_sparse::{RowPartition, SparseSystem, SystemLayout};
 
 use crate::config::LsqrConfig;
+use crate::health;
+use crate::lsqr::LsqrState;
 use crate::precond::ColumnScaling;
 use crate::solution::{IterationStats, Solution, StopReason};
 
@@ -140,6 +142,27 @@ impl Shard {
     }
 }
 
+/// Checkpoint sink invoked on rank 0 with the assembled global state.
+pub type CheckpointSink<'a> = &'a (dyn Fn(&LsqrState) + Sync);
+
+/// Options of a fault-aware / resumable distributed solve.
+#[derive(Default)]
+pub struct DistOptions<'a> {
+    /// Fault-injection plan and collective timeout for the simulated
+    /// world; defaults to a fault-free world.
+    pub world: WorldOptions,
+    /// Resume from a (checkpoint-restored) global state instead of
+    /// starting fresh. The state must belong to the same system/config
+    /// (use [`crate::checkpoint::Checkpoint::restore`] to enforce that).
+    pub resume: Option<&'a LsqrState>,
+    /// Assemble the replicated state (plus an allgather of the sharded
+    /// `u`) every this many iterations and hand it to `checkpoint_sink`
+    /// on rank 0. `0` disables periodic checkpointing.
+    pub checkpoint_every: usize,
+    /// Receiver of the periodic snapshots (rank 0 only).
+    pub checkpoint_sink: Option<CheckpointSink<'a>>,
+}
+
 /// Solve `sys` on `n_ranks` simulated MPI ranks, each running the
 /// sequential reference backend on its shard; returns rank 0's solution
 /// (all ranks produce identical results by construction).
@@ -160,14 +183,33 @@ pub fn solve_hybrid<F>(
 where
     F: Fn(usize) -> Box<dyn Backend> + Sync,
 {
+    try_solve_hybrid(sys, n_ranks, config, backend_for, &DistOptions::default())
+        .expect("rank panicked")
+}
+
+/// Fault-aware hybrid solve: run under `opts` (fault plan, collective
+/// timeout, resume state, periodic checkpoint sink). Rank failures and
+/// collective timeouts — injected or real — surface as `Err(FaultError)`
+/// instead of hanging or crashing the caller; the resilient supervisor
+/// ([`crate::resilient`]) builds its retry loop on this.
+pub fn try_solve_hybrid<F>(
+    sys: &SparseSystem,
+    n_ranks: usize,
+    config: &LsqrConfig,
+    backend_for: F,
+    opts: &DistOptions<'_>,
+) -> Result<Solution, FaultError>
+where
+    F: Fn(usize) -> Box<dyn Backend> + Sync,
+{
     config.validate().expect("invalid LSQR configuration");
     let partition = RowPartition::new(sys.layout(), n_ranks);
-    let mut results = run(n_ranks, |comm| {
+    let mut results = try_run(n_ranks, opts.world.clone(), |comm| {
         let backend = backend_for(comm.rank());
         let shard = make_shard(sys, &partition, comm.rank());
-        rank_solve(sys, shard, backend.as_ref(), config, comm)
-    });
-    results.swap_remove(0)
+        rank_solve(sys, shard, backend.as_ref(), config, opts, comm)
+    })?;
+    Ok(results.swap_remove(0))
 }
 
 /// Local squared norm, reduced to the global Euclidean norm.
@@ -186,6 +228,7 @@ fn rank_solve(
     shard: Shard,
     backend: &dyn Backend,
     cfg: &LsqrConfig,
+    opts: &DistOptions<'_>,
     comm: Communicator,
 ) -> Solution {
     let full_layout = *full.layout();
@@ -233,56 +276,164 @@ fn rank_solve(
             comm.allreduce(ReduceOp::Sum, partial);
         };
 
-    let bnorm = distributed_nrm2(&comm, &u);
-    let mut history = Vec::new();
-
-    let mut beta = bnorm;
-    let mut alfa = 0.0;
-    if beta > 0.0 {
-        blas::scal(&mut u, 1.0 / beta);
-        aprod2_global(&u, &mut partial, &mut local_cols, &comm);
-        for i in 0..n {
-            v[i] = partial[i] * d[i];
-        }
-        alfa = blas::nrm2(&v);
-    }
-    if alfa > 0.0 {
-        blas::scal(&mut v, 1.0 / alfa);
-        w.copy_from_slice(&v);
-    }
-
-    let mut arnorm = alfa * beta;
-    if arnorm == 0.0 {
-        return Solution {
-            x,
-            var,
-            stop: StopReason::TrivialSolution,
-            iterations: 0,
-            rnorm: bnorm,
-            arnorm: 0.0,
-            anorm: 0.0,
-            acond: 0.0,
-            xnorm: 0.0,
-            bnorm,
-            n_rows: m,
-            history,
-        };
-    }
-
-    let mut rhobar = alfa;
-    let mut phibar = beta;
-    let mut rnorm = beta;
-    let mut anorm = 0.0f64;
-    let mut acond = 0.0f64;
-    let mut ddnorm = 0.0f64;
-    let mut res2 = 0.0f64;
+    let bnorm;
+    let mut history;
+    let mut beta;
+    let mut alfa;
+    let mut arnorm;
+    let mut rhobar;
+    let mut phibar;
+    let mut rnorm;
+    let mut anorm;
+    let mut acond;
+    let mut ddnorm;
+    let mut res2;
     let mut xnorm;
-    let mut xxnorm = 0.0f64;
-    let mut z = 0.0f64;
-    let mut cs2 = -1.0f64;
-    let mut sn2 = 0.0f64;
+    let mut xxnorm;
+    let mut z;
+    let mut cs2;
+    let mut sn2;
+    let mut itn;
+
+    if let Some(st) = opts.resume {
+        // Resume a checkpoint-restored global state: slice the sharded u,
+        // copy the replicated sections, and continue the recurrence from
+        // st.itn. Because the reductions are rank-ordered deterministic,
+        // the resumed trajectory is bit-identical to the uninterrupted one
+        // at the same rank count.
+        debug_assert_eq!(st.u.len(), m, "resume state must carry the full u");
+        u.copy_from_slice(&st.u[shard.rows.clone()]);
+        x.copy_from_slice(&st.x);
+        v.copy_from_slice(&st.v);
+        w.copy_from_slice(&st.w);
+        if cfg.compute_var {
+            var.copy_from_slice(&st.var);
+        }
+        bnorm = st.bnorm;
+        history = st.history.clone();
+        alfa = st.alfa;
+        arnorm = st.arnorm;
+        rhobar = st.rhobar;
+        phibar = st.phibar;
+        rnorm = st.rnorm;
+        anorm = st.anorm;
+        acond = st.acond;
+        ddnorm = st.ddnorm;
+        res2 = st.res2;
+        xxnorm = st.xxnorm;
+        z = st.z;
+        cs2 = st.cs2;
+        sn2 = st.sn2;
+        itn = st.itn;
+        if let Some(reason) = st.stopped {
+            scaling.unscale_solution(&mut x);
+            if cfg.compute_var {
+                scaling.unscale_variance(&mut var);
+            }
+            return Solution {
+                xnorm: blas::nrm2(&x),
+                x,
+                var,
+                stop: reason,
+                iterations: itn,
+                rnorm,
+                arnorm,
+                anorm,
+                acond,
+                bnorm,
+                n_rows: m,
+                history,
+            };
+        }
+    } else {
+        bnorm = distributed_nrm2(&comm, &u);
+        history = Vec::new();
+
+        beta = bnorm;
+        alfa = 0.0;
+        if beta > 0.0 {
+            blas::scal(&mut u, 1.0 / beta);
+            aprod2_global(&u, &mut partial, &mut local_cols, &comm);
+            for i in 0..n {
+                v[i] = partial[i] * d[i];
+            }
+            alfa = blas::nrm2(&v);
+        }
+        if alfa > 0.0 {
+            blas::scal(&mut v, 1.0 / alfa);
+            w.copy_from_slice(&v);
+        }
+
+        arnorm = alfa * beta;
+        if arnorm == 0.0 {
+            return Solution {
+                x,
+                var,
+                stop: StopReason::TrivialSolution,
+                iterations: 0,
+                rnorm: bnorm,
+                arnorm: 0.0,
+                anorm: 0.0,
+                acond: 0.0,
+                xnorm: 0.0,
+                bnorm,
+                n_rows: m,
+                history,
+            };
+        }
+
+        rhobar = alfa;
+        phibar = beta;
+        rnorm = beta;
+        anorm = 0.0f64;
+        acond = 0.0f64;
+        ddnorm = 0.0f64;
+        res2 = 0.0f64;
+        xxnorm = 0.0f64;
+        z = 0.0f64;
+        cs2 = -1.0f64;
+        sn2 = 0.0f64;
+        itn = 0usize;
+    }
     let mut istop = StopReason::IterationLimit;
-    let mut itn = 0usize;
+
+    // Assemble the replicated state plus the allgathered u into a global
+    // snapshot (every rank computes it; rank 0 hands it to the sink).
+    let snapshot = |itn: usize,
+                    u_full: Vec<f64>,
+                    x: &[f64],
+                    v: &[f64],
+                    w: &[f64],
+                    var: &[f64],
+                    history: &[IterationStats],
+                    scalars: &[f64; 16]| {
+        LsqrState {
+            itn,
+            x: x.to_vec(),
+            v: v.to_vec(),
+            w: w.to_vec(),
+            u: u_full,
+            var: var.to_vec(),
+            alfa: scalars[0],
+            beta: scalars[1],
+            rhobar: scalars[2],
+            phibar: scalars[3],
+            anorm: scalars[4],
+            acond: scalars[5],
+            ddnorm: scalars[6],
+            res2: scalars[7],
+            rnorm: scalars[8],
+            arnorm: scalars[9],
+            xnorm: scalars[10],
+            xxnorm: scalars[11],
+            z: scalars[12],
+            cs2: scalars[13],
+            sn2: scalars[14],
+            bnorm: scalars[15],
+            stopped: None,
+            history: history.to_vec(),
+        }
+    };
 
     while itn < cfg.max_iters {
         itn += 1;
@@ -370,12 +521,10 @@ fn rank_solve(
         let rtol = cfg.btol + cfg.atol * anorm * xnorm / bnorm;
 
         // The paper measures "the iteration time maximized among all MPI
-        // processes"; reproduce that in the recorded history.
-        let local_secs = t_iter.elapsed().as_secs_f64();
-        let max_secs = {
-            let _t = gaia_telemetry::collective_scope();
-            comm.allreduce_scalar(ReduceOp::Max, local_secs)
-        };
+        // processes"; reproduce that in the recorded history. With the
+        // health guards on, the per-rank breakdown flag rides in the same
+        // Max-allreduce, so every rank takes the same stop decision with
+        // no extra collective.
         history.push(IterationStats {
             iteration: itn,
             rnorm,
@@ -383,8 +532,35 @@ fn rank_solve(
             anorm,
             acond,
             xnorm,
-            seconds: max_secs,
+            seconds: 0.0, // patched with the reduced max below
         });
+        let local_secs = t_iter.elapsed().as_secs_f64();
+        let broken = if cfg.health.enabled {
+            let issue = health::check_components(
+                &cfg.health,
+                &[alfa, beta, rnorm, arnorm, xnorm],
+                &[('x', &x), ('v', &v), ('u', &u)],
+                &history,
+            );
+            let mut payload = [local_secs, if issue.is_some() { 1.0 } else { 0.0 }];
+            {
+                let _t = gaia_telemetry::collective_scope();
+                comm.allreduce(ReduceOp::Max, &mut payload);
+            }
+            history.last_mut().expect("just pushed").seconds = payload[0];
+            payload[1] > 0.0
+        } else {
+            let max_secs = {
+                let _t = gaia_telemetry::collective_scope();
+                comm.allreduce_scalar(ReduceOp::Max, local_secs)
+            };
+            history.last_mut().expect("just pushed").seconds = max_secs;
+            false
+        };
+        if broken {
+            istop = StopReason::NumericalBreakdown;
+            break;
+        }
 
         let mut stop = None;
         if itn >= cfg.max_iters {
@@ -411,6 +587,37 @@ fn rank_solve(
         if let Some(reason) = stop {
             istop = reason;
             break;
+        }
+
+        // Periodic checkpoint: allgather the sharded u into the global
+        // vector and hand the assembled state to the sink on rank 0. The
+        // allgather is a collective, so every rank participates whether or
+        // not it consumes the snapshot.
+        if opts.checkpoint_every > 0 && itn % opts.checkpoint_every == 0 {
+            let gathered = {
+                let mut t = gaia_telemetry::collective_scope();
+                t.add_bytes(u.len() as u64 * 8);
+                comm.allgather(&u)
+            };
+            if comm.rank() == 0 {
+                if let Some(sink) = opts.checkpoint_sink {
+                    let u_full: Vec<f64> = gathered.concat();
+                    debug_assert_eq!(u_full.len(), m);
+                    sink(&snapshot(
+                        itn,
+                        u_full,
+                        &x,
+                        &v,
+                        &w,
+                        &var,
+                        &history,
+                        &[
+                            alfa, beta, rhobar, phibar, anorm, acond, ddnorm, res2, rnorm, arnorm,
+                            xnorm, xxnorm, z, cs2, sn2, bnorm,
+                        ],
+                    ));
+                }
+            }
         }
     }
 

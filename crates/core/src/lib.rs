@@ -29,19 +29,27 @@ pub mod analysis;
 pub mod checkpoint;
 pub mod config;
 pub mod distributed;
+pub mod health;
 pub mod lsmr;
 pub mod lsqr;
 pub mod perf;
 pub mod precond;
+pub mod resilient;
 pub mod solution;
 pub mod validate;
 
 pub use analysis::{convergence_profile, ConvergenceProfile};
-pub use checkpoint::{Checkpoint, CheckpointError};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointRotation};
 pub use config::LsqrConfig;
+pub use distributed::{solve_distributed, solve_hybrid, try_solve_hybrid, DistOptions};
+pub use health::{HealthConfig, HealthIssue};
 pub use lsmr::solve_lsmr;
 pub use lsqr::{solve, Lsqr};
 pub use perf::run_report;
 pub use precond::ColumnScaling;
+pub use resilient::{
+    solve_resilient, OnUnrecoverable, RecoveryPolicy, RecoveryReport, ResilienceOptions,
+    Unrecoverable,
+};
 pub use solution::{IterationStats, Solution, StopReason};
 pub use validate::{compare_solutions, Agreement, MICRO_ARCSEC_RAD};

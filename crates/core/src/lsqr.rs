@@ -323,6 +323,14 @@ impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
             seconds: t_iter.elapsed().as_secs_f64(),
         });
 
+        // Health guards run before the convergence tests: a poisoned state
+        // must stop as NumericalBreakdown within the iteration that broke
+        // it, not fall through tests whose NaN comparisons are all false.
+        if crate::health::check_state(&cfg.health, s).is_some() {
+            s.stopped = Some(StopReason::NumericalBreakdown);
+            return s.stopped;
+        }
+
         // Stopping tests, machine-precision first (as in lsqr.f).
         let mut stop = None;
         if s.itn >= cfg.max_iters {

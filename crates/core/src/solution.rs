@@ -23,6 +23,10 @@ pub enum StopReason {
     /// Iteration limit reached (the paper's fixed-100-iteration runs always
     /// end here by design).
     IterationLimit,
+    /// A health guard tripped: non-finite values in the iterates, a
+    /// non-finite Golub–Kahan coefficient, or a diverging residual. The
+    /// solution carries the last state before garbage propagated further.
+    NumericalBreakdown,
 }
 
 impl StopReason {
@@ -34,6 +38,7 @@ impl StopReason {
             StopReason::IterationLimit
                 | StopReason::ConditionLimit
                 | StopReason::ConditionMachinePrecision
+                | StopReason::NumericalBreakdown
         )
     }
 }
@@ -196,6 +201,7 @@ mod tests {
         assert!(StopReason::TrivialSolution.converged());
         assert!(!StopReason::IterationLimit.converged());
         assert!(!StopReason::ConditionLimit.converged());
+        assert!(!StopReason::NumericalBreakdown.converged());
     }
 
     #[test]

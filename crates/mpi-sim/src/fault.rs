@@ -1,0 +1,419 @@
+//! Deterministic, seeded fault injection for the simulated MPI world.
+//!
+//! Production AVU-GSR runs span weeks and hundreds of ranks; node crashes,
+//! stragglers, and corrupted network payloads are routine at that scale.
+//! This module gives the in-process world the same failure modes — rank
+//! panics, bounded collective delays, and payload bit-flips in `allreduce`
+//! — injected at *deterministic* points so that every chaos run is exactly
+//! reproducible: the decision whether rank `r` fails at its `s`-th
+//! collective is a pure function of `(seed, attempt, rank, seq)`, never of
+//! thread scheduling or world size.
+//!
+//! Two injection sources compose:
+//!
+//! * **scripted events** ([`FaultPlan::with_event`]) fire exactly at the
+//!   requested `(attempt, rank, seq)` — what the acceptance tests use;
+//! * **probabilistic events** ([`FaultSpec`]) are drawn per
+//!   `(attempt, rank, seq)` from a counter-mode hash of the seed, with
+//!   per-rank budgets so a schedule cannot drown a run in faults.
+//!
+//! The *attempt* counter exists for recovery loops: a supervisor that
+//! restarts a failed solve bumps it ([`FaultPlan::set_attempt`]), which
+//! re-keys the probabilistic schedule — otherwise the retry would hit the
+//! identical fault at the identical point forever. Everything injected is
+//! recorded in an event log ([`FaultPlan::events`]) that recovery layers
+//! and telemetry can read back.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One injectable failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The rank panics at the collective call site (a crashed node). The
+    /// world is aborted so sibling ranks fail fast instead of deadlocking.
+    RankPanic,
+    /// The rank sleeps for a bounded delay before joining the collective
+    /// (a straggler; with a collective timeout configured on the world, a
+    /// delay beyond the timeout becomes a detected collective timeout).
+    Straggle {
+        /// Delay in milliseconds (bounded by [`FaultSpec::max_straggle_millis`]).
+        millis: u64,
+    },
+    /// One bit of one element of the rank's `allreduce` contribution is
+    /// flipped before the reduction (a corrupted payload). Only applies to
+    /// collectives that carry a payload; at payload-free call sites the
+    /// draw is discarded.
+    BitFlip {
+        /// Which bit of the chosen `f64` word is flipped (high bits, so
+        /// the corruption is large enough to be observable downstream).
+        bit: u8,
+    },
+}
+
+/// One realized injection, as recorded in the plan's event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Supervisor attempt during which the fault fired.
+    pub attempt: u64,
+    /// Rank the fault was injected into.
+    pub rank: usize,
+    /// Per-rank collective sequence number at the injection point.
+    pub seq: u64,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// Probabilistic fault rates (parts per million per collective call) and
+/// per-rank budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Probability of a rank panic per collective call, in ppm.
+    pub panic_ppm: u32,
+    /// Probability of a payload bit-flip per `allreduce` call, in ppm.
+    pub flip_ppm: u32,
+    /// Probability of a straggler delay per collective call, in ppm.
+    pub straggle_ppm: u32,
+    /// Upper bound on the straggler delay.
+    pub max_straggle_millis: u64,
+    /// At most this many panics per rank over the plan's lifetime.
+    pub max_panics_per_rank: u64,
+    /// At most this many bit-flips per rank over the plan's lifetime.
+    pub max_flips_per_rank: u64,
+}
+
+impl FaultSpec {
+    /// No probabilistic faults (scripted events still fire).
+    pub fn none() -> Self {
+        FaultSpec {
+            panic_ppm: 0,
+            flip_ppm: 0,
+            straggle_ppm: 0,
+            max_straggle_millis: 0,
+            max_panics_per_rank: 0,
+            max_flips_per_rank: 0,
+        }
+    }
+
+    /// A light chaos level: occasional stragglers, rare flips and panics,
+    /// bounded so a retrying supervisor always makes progress.
+    pub fn light() -> Self {
+        FaultSpec {
+            panic_ppm: 2_000,
+            flip_ppm: 4_000,
+            straggle_ppm: 20_000,
+            max_straggle_millis: 2,
+            max_panics_per_rank: 1,
+            max_flips_per_rank: 1,
+        }
+    }
+
+    /// A heavy chaos level for stress sweeps.
+    pub fn heavy() -> Self {
+        FaultSpec {
+            panic_ppm: 10_000,
+            flip_ppm: 20_000,
+            straggle_ppm: 50_000,
+            max_straggle_millis: 5,
+            max_panics_per_rank: 2,
+            max_flips_per_rank: 2,
+        }
+    }
+}
+
+/// A reproducible fault schedule shared by every rank of a world (and by
+/// every retry attempt of a supervisor).
+pub struct FaultPlan {
+    seed: u64,
+    spec: FaultSpec,
+    attempt: AtomicU64,
+    scripted: Vec<FaultEvent>,
+    log: Mutex<Vec<FaultEvent>>,
+}
+
+/// SplitMix64 finalizer: a well-mixed pure hash of the injection point.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan drawing probabilistic faults from `spec`, keyed by `seed`.
+    pub fn new(seed: u64, spec: FaultSpec) -> Self {
+        FaultPlan {
+            seed,
+            spec,
+            attempt: AtomicU64::new(0),
+            scripted: Vec::new(),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A plan that injects nothing probabilistically; add faults with
+    /// [`FaultPlan::with_event`].
+    pub fn scripted(seed: u64) -> Self {
+        FaultPlan::new(seed, FaultSpec::none())
+    }
+
+    /// Script one fault at exactly `(attempt, rank, seq)`. Scripted events
+    /// ignore budgets and fire unconditionally (a `BitFlip` still needs a
+    /// payload-carrying call site to apply).
+    pub fn with_event(mut self, attempt: u64, rank: usize, seq: u64, kind: FaultKind) -> Self {
+        self.scripted.push(FaultEvent {
+            attempt,
+            rank,
+            seq,
+            kind,
+        });
+        self
+    }
+
+    /// Re-key the probabilistic schedule for a new supervisor attempt.
+    pub fn set_attempt(&self, attempt: u64) {
+        self.attempt.store(attempt, Ordering::Relaxed);
+    }
+
+    /// The current attempt counter.
+    pub fn attempt(&self) -> u64 {
+        self.attempt.load(Ordering::Relaxed)
+    }
+
+    /// Everything injected so far, sorted by `(attempt, rank, seq)` so the
+    /// order is independent of thread scheduling.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut events = self.log.lock().expect("fault log poisoned").clone();
+        events.sort_by_key(|e| (e.attempt, e.rank, e.seq));
+        events
+    }
+
+    /// Number of events injected so far.
+    pub fn injected(&self) -> usize {
+        self.log.lock().expect("fault log poisoned").len()
+    }
+
+    /// Pure decision function: what (if anything) fires at
+    /// `(attempt, rank, seq)`. Independent of world size, thread schedule,
+    /// and of which other faults have fired — except for per-rank budgets,
+    /// which are applied by [`FaultPlan::poll`] in per-rank `seq` order
+    /// (itself deterministic).
+    pub fn preview(&self, attempt: u64, rank: usize, seq: u64) -> Option<FaultKind> {
+        if let Some(e) = self
+            .scripted
+            .iter()
+            .find(|e| e.attempt == attempt && e.rank == rank && e.seq == seq)
+        {
+            return Some(e.kind);
+        }
+        let key = |salt: u64| {
+            mix(self
+                .seed
+                .wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .wrapping_add((rank as u64).wrapping_mul(0xd134_2543_de82_ef95))
+                .wrapping_add(seq.wrapping_mul(0x2545_f491_4f6c_dd1d))
+                .wrapping_add(salt))
+        };
+        let ppm = |h: u64| (h % 1_000_000) as u32;
+        if self.spec.panic_ppm > 0 && ppm(key(1)) < self.spec.panic_ppm {
+            return Some(FaultKind::RankPanic);
+        }
+        if self.spec.flip_ppm > 0 && ppm(key(2)) < self.spec.flip_ppm {
+            let bit = 48 + (key(3) % 16) as u8; // high mantissa / exponent / sign
+            return Some(FaultKind::BitFlip { bit });
+        }
+        if self.spec.straggle_ppm > 0 && ppm(key(4)) < self.spec.straggle_ppm {
+            let span = self.spec.max_straggle_millis.max(1);
+            return Some(FaultKind::Straggle {
+                millis: key(5) % (span + 1),
+            });
+        }
+        None
+    }
+
+    /// Decide-and-apply at one collective call site. `payload` is the
+    /// rank's `allreduce` contribution when the call carries one; a
+    /// decided `BitFlip` corrupts it in place (and picks the word from the
+    /// same hash stream). Returns the action the *caller* must take
+    /// (panic or sleep); applied flips are logged but return `None`-like
+    /// flow is not needed since the buffer is already corrupted.
+    pub fn poll(&self, rank: usize, seq: u64, payload: Option<&mut [f64]>) -> Option<FaultKind> {
+        let attempt = self.attempt();
+        let kind = self.preview(attempt, rank, seq)?;
+        let scripted = self
+            .scripted
+            .iter()
+            .any(|e| e.attempt == attempt && e.rank == rank && e.seq == seq);
+        fn spent(log: &[FaultEvent], rank: usize, k: fn(&FaultKind) -> bool) -> u64 {
+            log.iter().filter(|e| e.rank == rank && k(&e.kind)).count() as u64
+        }
+        let mut log = self.log.lock().expect("fault log poisoned");
+        match kind {
+            FaultKind::RankPanic => {
+                if !scripted
+                    && spent(&log, rank, |k| matches!(k, FaultKind::RankPanic))
+                        >= self.spec.max_panics_per_rank
+                {
+                    return None;
+                }
+            }
+            FaultKind::BitFlip { bit } => {
+                let Some(buf) = payload.filter(|b| !b.is_empty()) else {
+                    return None; // payload-free call site: draw discarded
+                };
+                if !scripted
+                    && spent(&log, rank, |k| matches!(k, FaultKind::BitFlip { .. }))
+                        >= self.spec.max_flips_per_rank
+                {
+                    return None;
+                }
+                let word = (mix(self
+                    .seed
+                    .wrapping_add(attempt)
+                    .wrapping_add(seq)
+                    .wrapping_add(6)) as usize)
+                    % buf.len();
+                buf[word] = f64::from_bits(buf[word].to_bits() ^ (1u64 << bit));
+            }
+            FaultKind::Straggle { .. } => {}
+        }
+        log.push(FaultEvent {
+            attempt,
+            rank,
+            seq,
+            kind,
+        });
+        Some(kind)
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.seed)
+            .field("spec", &self.spec)
+            .field("attempt", &self.attempt())
+            .field("scripted", &self.scripted.len())
+            .field("injected", &self.injected())
+            .finish()
+    }
+}
+
+/// Install a process-wide panic hook that silences the default "thread
+/// panicked" banner for *injected* faults and world aborts, keeping chaos
+/// runs readable. Real (non-injected) panics still print. Idempotent
+/// enough for tests: wraps whatever hook is current at first call.
+pub fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if payload
+                .downcast_ref::<crate::comm::InjectedPanic>()
+                .is_some()
+                || payload
+                    .downcast_ref::<crate::comm::WorldAborted>()
+                    .is_some()
+            {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(7, FaultSpec::heavy());
+        let b = FaultPlan::new(7, FaultSpec::heavy());
+        let c = FaultPlan::new(8, FaultSpec::heavy());
+        let seq_of = |p: &FaultPlan| -> Vec<Option<FaultKind>> {
+            (0..4)
+                .flat_map(|rank| (0..500).map(move |seq| (rank, seq)))
+                .map(|(rank, seq)| p.preview(0, rank, seq))
+                .collect()
+        };
+        assert_eq!(seq_of(&a), seq_of(&b));
+        assert_ne!(seq_of(&a), seq_of(&c), "different seeds must differ");
+        assert!(
+            seq_of(&a).iter().any(|k| k.is_some()),
+            "heavy spec injects something in 2000 draws"
+        );
+    }
+
+    #[test]
+    fn attempt_rekeys_the_schedule() {
+        let p = FaultPlan::new(11, FaultSpec::heavy());
+        let at = |attempt| -> Vec<Option<FaultKind>> {
+            (0..2000).map(|seq| p.preview(attempt, 0, seq)).collect()
+        };
+        assert_ne!(at(0), at(1));
+    }
+
+    #[test]
+    fn scripted_events_fire_exactly_once_at_their_point() {
+        let p = FaultPlan::scripted(0).with_event(2, 1, 5, FaultKind::RankPanic);
+        assert_eq!(p.preview(2, 1, 5), Some(FaultKind::RankPanic));
+        assert_eq!(p.preview(2, 1, 6), None);
+        assert_eq!(p.preview(2, 0, 5), None);
+        assert_eq!(p.preview(1, 1, 5), None);
+    }
+
+    #[test]
+    fn bitflip_corrupts_exactly_one_bit_of_the_payload() {
+        let p = FaultPlan::scripted(3).with_event(0, 0, 0, FaultKind::BitFlip { bit: 52 });
+        let mut buf = vec![1.0f64, 2.0, 3.0];
+        let before = buf.clone();
+        let kind = p.poll(0, 0, Some(&mut buf));
+        assert_eq!(kind, Some(FaultKind::BitFlip { bit: 52 }));
+        let flipped: Vec<usize> = buf
+            .iter()
+            .zip(&before)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(flipped.len(), 1, "exactly one word corrupted");
+        let i = flipped[0];
+        assert_eq!(buf[i].to_bits() ^ before[i].to_bits(), 1u64 << 52);
+        assert_eq!(p.events().len(), 1);
+    }
+
+    #[test]
+    fn bitflip_without_payload_is_discarded_and_not_logged() {
+        let p = FaultPlan::scripted(3).with_event(0, 0, 0, FaultKind::BitFlip { bit: 52 });
+        assert_eq!(p.poll(0, 0, None), None);
+        assert!(p.events().is_empty());
+    }
+
+    #[test]
+    fn per_rank_budgets_cap_probabilistic_panics() {
+        let mut spec = FaultSpec::heavy();
+        spec.panic_ppm = 1_000_000; // every call wants to panic
+        spec.max_panics_per_rank = 2;
+        let p = FaultPlan::new(9, spec);
+        let fired: Vec<_> = (0..10).filter_map(|seq| p.poll(0, seq, None)).collect();
+        assert_eq!(fired.len(), 2, "budget caps injections: {fired:?}");
+    }
+
+    #[test]
+    fn event_log_is_sorted_and_attempt_tagged() {
+        let p = FaultPlan::scripted(0)
+            .with_event(1, 0, 3, FaultKind::RankPanic)
+            .with_event(0, 1, 1, FaultKind::Straggle { millis: 0 });
+        p.set_attempt(1);
+        p.poll(0, 3, None);
+        p.set_attempt(0);
+        p.poll(1, 1, None);
+        let ev = p.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!((ev[0].attempt, ev[0].rank, ev[0].seq), (0, 1, 1));
+        assert_eq!((ev[1].attempt, ev[1].rank, ev[1].seq), (1, 0, 3));
+    }
+}

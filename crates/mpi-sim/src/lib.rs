@@ -26,8 +26,13 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod fault;
 pub mod p2p;
 
 pub use collectives::ReduceOp;
-pub use comm::{run, Communicator, World};
+pub use comm::{
+    run, try_run, AbortCause, Communicator, FaultError, InjectedPanic, World, WorldAborted,
+    WorldOptions,
+};
+pub use fault::{install_quiet_panic_hook, FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use p2p::{ring_allreduce, Mesh};

@@ -1,0 +1,115 @@
+//! Property tests for the deterministic fault schedule: the same
+//! `FaultPlan` seed must yield the same injected-event sequence for a
+//! given rank regardless of how many ranks share the world (1–4), and
+//! regardless of thread scheduling.
+
+use std::sync::Arc;
+
+use gaia_mpi_sim::{
+    install_quiet_panic_hook, try_run, FaultEvent, FaultKind, FaultPlan, FaultSpec, ReduceOp,
+    WorldOptions,
+};
+use proptest::prelude::*;
+
+/// Run `n_collectives` allreduces on `size` ranks under a flip/straggle
+/// only plan (no panics, so every world completes) and return the injected
+/// events, sorted by (attempt, rank, seq).
+fn injected_events(seed: u64, size: usize, n_collectives: usize) -> Vec<FaultEvent> {
+    let spec = FaultSpec {
+        panic_ppm: 0,
+        // Keep delays negligible so the sweep stays fast.
+        max_straggle_millis: 1,
+        ..FaultSpec::heavy()
+    };
+    let plan = Arc::new(FaultPlan::new(seed, spec));
+    let opts = WorldOptions {
+        faults: Some(Arc::clone(&plan)),
+        collective_timeout: None,
+    };
+    try_run(size, opts, |c| {
+        let mut acc = 0.0;
+        for i in 0..n_collectives {
+            acc += c.allreduce_scalar(ReduceOp::Sum, i as f64 + c.rank() as f64);
+        }
+        acc
+    })
+    .expect("no panics configured");
+    plan.events()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The schedule is a pure function of (seed, attempt, rank, seq):
+    /// rank r's event subsequence is identical whether the world has
+    /// r+1 ranks or 4.
+    #[test]
+    fn same_seed_same_events_across_rank_counts(seed in 0u64..1000) {
+        install_quiet_panic_hook();
+        let n_collectives = 40;
+        let per_size: Vec<Vec<FaultEvent>> =
+            (1..=4).map(|size| injected_events(seed, size, n_collectives)).collect();
+        for (i, events) in per_size.iter().enumerate() {
+            let size = i + 1;
+            for rank in 0..size {
+                let mine: Vec<&FaultEvent> =
+                    events.iter().filter(|e| e.rank == rank).collect();
+                let reference: Vec<&FaultEvent> =
+                    per_size[3].iter().filter(|e| e.rank == rank).collect();
+                prop_assert_eq!(
+                    &mine, &reference,
+                    "rank {} schedule differs between world size {} and 4", rank, size
+                );
+            }
+        }
+    }
+
+    /// Two runs with the same seed and world size inject identical events
+    /// (thread scheduling cannot perturb the schedule); a different seed
+    /// almost always changes it.
+    #[test]
+    fn schedule_is_reproducible_and_seed_sensitive(seed in 0u64..1000, size in 1usize..=4) {
+        install_quiet_panic_hook();
+        let a = injected_events(seed, size, 40);
+        let b = injected_events(seed, size, 40);
+        prop_assert_eq!(&a, &b);
+        // Seed sensitivity: over many collectives the heavy spec fires
+        // often, so a different seed virtually always differs; tolerate
+        // the rare collision by only checking when either run is nonempty.
+        let c = injected_events(seed.wrapping_add(1_000_003), size, 40);
+        if !a.is_empty() || !c.is_empty() {
+            // Not a hard inequality (collisions possible in principle),
+            // but events carry (rank, seq, kind) so equality of nonempty
+            // schedules across seeds is effectively impossible.
+            prop_assert_ne!(&a, &c);
+        }
+    }
+}
+
+/// Scripted plans fire exactly as written, independent of world size
+/// (as long as the target rank exists and reaches the target seq).
+#[test]
+fn scripted_events_fire_identically_across_sizes() {
+    install_quiet_panic_hook();
+    for size in 2..=4 {
+        let plan = Arc::new(
+            FaultPlan::scripted(5)
+                .with_event(0, 1, 3, FaultKind::BitFlip { bit: 17 })
+                .with_event(0, 0, 7, FaultKind::Straggle { millis: 1 }),
+        );
+        let opts = WorldOptions {
+            faults: Some(Arc::clone(&plan)),
+            collective_timeout: None,
+        };
+        try_run(size, opts, |c| {
+            for i in 0..10 {
+                c.allreduce_scalar(ReduceOp::Sum, i as f64);
+            }
+        })
+        .expect("no panics scripted");
+        let events = plan.events();
+        assert_eq!(events.len(), 2, "size {size}: {events:?}");
+        assert_eq!((events[0].rank, events[0].seq), (0, 7));
+        assert_eq!((events[1].rank, events[1].seq), (1, 3));
+    }
+}

@@ -118,6 +118,44 @@ pub struct KernelCell {
     pub atomic_rmws: u64,
 }
 
+/// Fault, breakdown, and recovery accounting of a resilient solve — the
+/// robustness analogue of the per-kernel cells. Written by the resilient
+/// supervisor in `gaia-lsqr::resilient` and the chaos bench.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ResilienceCell {
+    /// Injected (or real) rank panics observed.
+    pub rank_panics: u64,
+    /// Corrupted allreduce payloads (bit-flips) observed.
+    pub bit_flips: u64,
+    /// Bounded collective delays (stragglers) observed.
+    pub straggles: u64,
+    /// Collective timeouts detected.
+    pub timeouts: u64,
+    /// Solves stopped by the numerical health guards.
+    pub breakdowns: u64,
+    /// Retry attempts launched by the supervisor.
+    pub retries: u64,
+    /// Retries that resumed from a periodic checkpoint (vs fresh).
+    pub checkpoint_restores: u64,
+    /// Rank-count degradations (re-shard over fewer ranks).
+    pub degradations: u64,
+    /// Wall-clock spent in failed attempts + backoff — the recovery
+    /// overhead a chaos run pays on top of the clean solve time.
+    pub recovery_seconds: f64,
+}
+
+impl ResilienceCell {
+    /// True when nothing fault- or recovery-related was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == ResilienceCell::default()
+    }
+
+    /// Total injected faults observed.
+    pub fn faults(&self) -> u64 {
+        self.rank_panics + self.bit_flips + self.straggles + self.timeouts
+    }
+}
+
 /// Frozen registry state: everything recorded since the last [`reset`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TelemetrySnapshot {
@@ -130,6 +168,10 @@ pub struct TelemetrySnapshot {
     pub calls: Vec<KernelCell>,
     /// Collective (allreduce) channel, recorded by the distributed solver.
     pub collective: KernelCell,
+    /// Fault/recovery accounting (absent in pre-resilience artifacts,
+    /// hence the serde default).
+    #[serde(default)]
+    pub resilience: ResilienceCell,
 }
 
 impl TelemetrySnapshot {
@@ -147,6 +189,7 @@ impl TelemetrySnapshot {
                 bytes: 0,
                 atomic_rmws: 0,
             },
+            resilience: ResilienceCell::default(),
         }
     }
 
@@ -216,16 +259,90 @@ mod imp {
     #[allow(clippy::declare_interior_mutable_const)]
     const ROW: [Stats; 4] = [ZERO; 4];
 
+    /// Atomic mirror of [`super::ResilienceCell`]; seconds kept as nanos.
+    pub struct Resilience {
+        pub rank_panics: AtomicU64,
+        pub bit_flips: AtomicU64,
+        pub straggles: AtomicU64,
+        pub timeouts: AtomicU64,
+        pub breakdowns: AtomicU64,
+        pub retries: AtomicU64,
+        pub checkpoint_restores: AtomicU64,
+        pub degradations: AtomicU64,
+        pub recovery_nanos: AtomicU64,
+    }
+
+    impl Resilience {
+        const fn new() -> Self {
+            Resilience {
+                rank_panics: AtomicU64::new(0),
+                bit_flips: AtomicU64::new(0),
+                straggles: AtomicU64::new(0),
+                timeouts: AtomicU64::new(0),
+                breakdowns: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+                checkpoint_restores: AtomicU64::new(0),
+                degradations: AtomicU64::new(0),
+                recovery_nanos: AtomicU64::new(0),
+            }
+        }
+
+        fn reset(&self) {
+            self.rank_panics.store(0, Ordering::Relaxed);
+            self.bit_flips.store(0, Ordering::Relaxed);
+            self.straggles.store(0, Ordering::Relaxed);
+            self.timeouts.store(0, Ordering::Relaxed);
+            self.breakdowns.store(0, Ordering::Relaxed);
+            self.retries.store(0, Ordering::Relaxed);
+            self.checkpoint_restores.store(0, Ordering::Relaxed);
+            self.degradations.store(0, Ordering::Relaxed);
+            self.recovery_nanos.store(0, Ordering::Relaxed);
+        }
+
+        pub fn merge(&self, delta: &super::ResilienceCell) {
+            self.rank_panics
+                .fetch_add(delta.rank_panics, Ordering::Relaxed);
+            self.bit_flips.fetch_add(delta.bit_flips, Ordering::Relaxed);
+            self.straggles.fetch_add(delta.straggles, Ordering::Relaxed);
+            self.timeouts.fetch_add(delta.timeouts, Ordering::Relaxed);
+            self.breakdowns
+                .fetch_add(delta.breakdowns, Ordering::Relaxed);
+            self.retries.fetch_add(delta.retries, Ordering::Relaxed);
+            self.checkpoint_restores
+                .fetch_add(delta.checkpoint_restores, Ordering::Relaxed);
+            self.degradations
+                .fetch_add(delta.degradations, Ordering::Relaxed);
+            self.recovery_nanos
+                .fetch_add((delta.recovery_seconds * 1e9) as u64, Ordering::Relaxed);
+        }
+
+        pub fn cell(&self) -> super::ResilienceCell {
+            super::ResilienceCell {
+                rank_panics: self.rank_panics.load(Ordering::Relaxed),
+                bit_flips: self.bit_flips.load(Ordering::Relaxed),
+                straggles: self.straggles.load(Ordering::Relaxed),
+                timeouts: self.timeouts.load(Ordering::Relaxed),
+                breakdowns: self.breakdowns.load(Ordering::Relaxed),
+                retries: self.retries.load(Ordering::Relaxed),
+                checkpoint_restores: self.checkpoint_restores.load(Ordering::Relaxed),
+                degradations: self.degradations.load(Ordering::Relaxed),
+                recovery_seconds: self.recovery_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            }
+        }
+    }
+
     pub struct Registry {
         pub kernels: [[Stats; 4]; 2],
         pub calls: [Stats; 2],
         pub collective: Stats,
+        pub resilience: Resilience,
     }
 
     pub static REGISTRY: Registry = Registry {
         kernels: [ROW; 2],
         calls: [ZERO; 2],
         collective: ZERO,
+        resilience: Resilience::new(),
     };
 
     pub fn reset() {
@@ -238,6 +355,11 @@ mod imp {
             cell.reset();
         }
         REGISTRY.collective.reset();
+        REGISTRY.resilience.reset();
+    }
+
+    pub fn record_resilience(delta: &super::ResilienceCell) {
+        REGISTRY.resilience.merge(delta);
     }
 
     /// RAII probe: times from construction to drop and commits the total
@@ -326,6 +448,9 @@ mod imp {
     }
 
     pub fn reset() {}
+
+    #[inline(always)]
+    pub fn record_resilience(_delta: &super::ResilienceCell) {}
 }
 
 /// RAII timing probe returned by [`kernel_scope`], [`call_scope`], and
@@ -363,6 +488,14 @@ pub fn reset() {
     imp::reset()
 }
 
+/// Merge fault/recovery counts into the registry's resilience cell (no-op
+/// when telemetry is compiled out). The supervisor calls this once per
+/// recovery event with the delta it just observed.
+#[inline]
+pub fn record_resilience(delta: &ResilienceCell) {
+    imp::record_resilience(delta)
+}
+
 /// Freeze the registry into a serializable snapshot. Disabled builds
 /// return [`TelemetrySnapshot::empty`] with `enabled: false`.
 pub fn snapshot() -> TelemetrySnapshot {
@@ -383,6 +516,7 @@ pub fn snapshot() -> TelemetrySnapshot {
             }
         }
         snap.collective = imp::REGISTRY.collective.cell("collective", "*");
+        snap.resilience = imp::REGISTRY.resilience.cell();
         snap
     }
     #[cfg(not(feature = "enabled"))]
@@ -434,6 +568,25 @@ pub fn kernel_table(snap: &TelemetrySnapshot) -> String {
         } else {
             "(telemetry disabled; rebuild with the `telemetry` feature)\n"
         });
+    }
+    if !snap.resilience.is_empty() {
+        let r = &snap.resilience;
+        out.push_str(&format!(
+            "resilience: {} fault(s) (panics {}, flips {}, straggles {}, \
+             timeouts {}), {} breakdown(s), {} retr{}, {} restore(s), \
+             {} degradation(s), {:.3} s recovering\n",
+            r.faults(),
+            r.rank_panics,
+            r.bit_flips,
+            r.straggles,
+            r.timeouts,
+            r.breakdowns,
+            r.retries,
+            if r.retries == 1 { "y" } else { "ies" },
+            r.checkpoint_restores,
+            r.degradations,
+            r.recovery_seconds,
+        ));
     }
     out
 }
@@ -522,6 +675,54 @@ mod tests {
         assert!(table.contains("collective"));
         let empty = kernel_table(&TelemetrySnapshot::empty(false));
         assert!(empty.contains("telemetry disabled"));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn resilience_deltas_accumulate_and_reset() {
+        reset();
+        record_resilience(&ResilienceCell {
+            rank_panics: 1,
+            bit_flips: 2,
+            recovery_seconds: 0.5,
+            ..Default::default()
+        });
+        record_resilience(&ResilienceCell {
+            retries: 3,
+            checkpoint_restores: 2,
+            degradations: 1,
+            recovery_seconds: 1.0,
+            ..Default::default()
+        });
+        let snap = snapshot();
+        assert_eq!(snap.resilience.rank_panics, 1);
+        assert_eq!(snap.resilience.bit_flips, 2);
+        assert_eq!(snap.resilience.retries, 3);
+        assert_eq!(snap.resilience.checkpoint_restores, 2);
+        assert_eq!(snap.resilience.faults(), 3);
+        assert!((snap.resilience.recovery_seconds - 1.5).abs() < 1e-6);
+        let table = kernel_table(&snap);
+        assert!(table.contains("resilience:"), "{table}");
+        reset();
+        assert!(snapshot().resilience.is_empty());
+    }
+
+    #[test]
+    fn pre_resilience_snapshots_still_deserialize() {
+        // Artifacts written before the resilience cell existed lack the
+        // field; serde's default must fill it in.
+        let old = r#"{
+            "enabled": true,
+            "kernels": [],
+            "calls": [],
+            "collective": {
+                "phase": "collective", "block": "*",
+                "calls": 0, "seconds": 0.0, "bytes": 0, "atomic_rmws": 0
+            }
+        }"#;
+        let back: TelemetrySnapshot = serde_json::from_str(old).unwrap();
+        assert!(back.resilience.is_empty());
+        assert!(back.enabled);
     }
 
     #[test]

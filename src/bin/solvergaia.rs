@@ -8,22 +8,35 @@
 //! solvergaia [--preset tiny|small|medium] [--seed N] [--iterations N]
 //!            [--converge] [--backend NAME] [--threads N] [--ranks N]
 //!            [--dataset FILE (load instead of generating)]
-//!            [--save-dataset FILE] [--checkpoint FILE] [--telemetry]
-//!            [--list-backends]
+//!            [--save-dataset FILE] [--checkpoint FILE] [--force-fresh]
+//!            [--checkpoint-every N] [--chaos-seed S] [--max-retries K]
+//!            [--telemetry] [--list-backends]
 //! ```
 //!
 //! `--telemetry` prints the per-kernel breakdown and writes a JSON run
 //! report under `results/telemetry/`; build with `--features telemetry`
 //! for real counts (the probes compile to no-ops otherwise).
+//!
+//! Fault tolerance: `--chaos-seed S` injects a deterministic fault
+//! schedule into the simulated MPI world, `--checkpoint-every N` takes a
+//! recovery snapshot every N iterations (kept in a retain-last-3 rotation
+//! next to `--checkpoint`'s path when given), and `--max-retries K`
+//! bounds the supervisor's relaunches per rank-count tier. A corrupt or
+//! mismatched checkpoint is a hard error; pass `--force-fresh` to
+//! discard it and start over.
 
 use std::path::PathBuf;
 use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
 
 use gaia_avugsr::backends::{backend_by_name, backend_names, instrumented_by_name};
 use gaia_avugsr::lsqr::analysis::{convergence_profile, profile_text};
-use gaia_avugsr::lsqr::checkpoint::Checkpoint;
+use gaia_avugsr::lsqr::checkpoint::{Checkpoint, CheckpointRotation};
 use gaia_avugsr::lsqr::distributed::solve_distributed;
-use gaia_avugsr::lsqr::{solve_lsmr, Lsqr, LsqrConfig};
+use gaia_avugsr::lsqr::resilient::{OnUnrecoverable, RecoveryPolicy, ResilienceOptions};
+use gaia_avugsr::lsqr::{solve_lsmr, solve_resilient, Lsqr, LsqrConfig};
+use gaia_avugsr::mpi::{install_quiet_panic_hook, FaultPlan, FaultSpec};
 use gaia_avugsr::sparse::{io, Generator, GeneratorConfig, Rhs, SystemLayout};
 
 struct Args {
@@ -40,6 +53,10 @@ struct Args {
     dataset: Option<PathBuf>,
     save_dataset: Option<PathBuf>,
     checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    chaos_seed: Option<u64>,
+    max_retries: Option<usize>,
+    force_fresh: bool,
 }
 
 fn usage() -> ! {
@@ -47,8 +64,9 @@ fn usage() -> ! {
         "usage: solvergaia [--preset tiny|small|medium] [--seed N] \
          [--iterations N] [--converge] [--backend NAME] [--threads N] \
          [--ranks N] [--dataset FILE] [--save-dataset FILE] \
-         [--checkpoint FILE] [--lsmr] [--profile] [--telemetry] \
-         [--list-backends]"
+         [--checkpoint FILE] [--force-fresh] [--checkpoint-every N] \
+         [--chaos-seed S] [--max-retries K] [--lsmr] [--profile] \
+         [--telemetry] [--list-backends]"
     );
     exit(2)
 }
@@ -70,6 +88,10 @@ fn parse_args() -> Args {
         dataset: None,
         save_dataset: None,
         checkpoint: None,
+        checkpoint_every: 0,
+        chaos_seed: None,
+        max_retries: None,
+        force_fresh: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -95,6 +117,18 @@ fn parse_args() -> Args {
             "--dataset" => args.dataset = Some(PathBuf::from(val("--dataset"))),
             "--save-dataset" => args.save_dataset = Some(PathBuf::from(val("--save-dataset"))),
             "--checkpoint" => args.checkpoint = Some(PathBuf::from(val("--checkpoint"))),
+            "--checkpoint-every" => {
+                args.checkpoint_every = val("--checkpoint-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--chaos-seed" => {
+                args.chaos_seed = Some(val("--chaos-seed").parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-retries" => {
+                args.max_retries = Some(val("--max-retries").parse().unwrap_or_else(|_| usage()))
+            }
+            "--force-fresh" => args.force_fresh = true,
             "--list-backends" => {
                 for name in backend_names() {
                     println!("{name}");
@@ -109,6 +143,107 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Drive the resilient supervisor: restore the newest rotation snapshot
+/// (hard error on corruption unless `--force-fresh`), inject the chaos
+/// schedule when asked, and report the recovery story next to the
+/// solution.
+fn run_resilient(
+    sys: &gaia_avugsr::sparse::SparseSystem,
+    cfg: &LsqrConfig,
+    args: &Args,
+) -> gaia_avugsr::lsqr::Solution {
+    install_quiet_panic_hook();
+    let backend_name = args.backend.clone();
+    let threads = args.threads;
+    if backend_by_name(&backend_name, threads).is_none() {
+        eprintln!("unknown backend {backend_name} (try --list-backends)");
+        exit(1)
+    }
+    let rotation = args
+        .checkpoint
+        .as_ref()
+        .map(|p| CheckpointRotation::new(p.clone(), 3));
+    let resume = match (&rotation, args.force_fresh) {
+        (Some(rot), false) => match rot.latest() {
+            Some((itn, ckpt)) => match ckpt.restore(sys, cfg) {
+                Ok(state) => {
+                    println!("resumed from checkpoint rotation at iteration {itn}");
+                    Some(state)
+                }
+                Err(e) => {
+                    eprintln!("cannot resume checkpoint: {e} (pass --force-fresh to discard)");
+                    exit(1)
+                }
+            },
+            None => None,
+        },
+        (Some(_), true) => {
+            println!("--force-fresh: ignoring any existing checkpoint rotation");
+            None
+        }
+        _ => None,
+    };
+    let plan = args
+        .chaos_seed
+        .map(|s| Arc::new(FaultPlan::new(s, FaultSpec::light())));
+    if let Some(seed) = args.chaos_seed {
+        println!("chaos: light fault schedule, seed {seed}");
+    }
+    let policy = RecoveryPolicy {
+        max_retries: args.max_retries.unwrap_or(3),
+        backoff: Duration::from_millis(10),
+        // A checkpoint path without an explicit cadence still deserves
+        // periodic snapshots — recovery is the point of the path.
+        checkpoint_every: match (args.checkpoint_every, &args.checkpoint) {
+            (0, Some(_)) => 10,
+            (n, _) => n,
+        },
+        on_unrecoverable: OnUnrecoverable::Degrade,
+    };
+    println!(
+        "resilient solve on {} rank(s), backend {} ({} threads), \
+         checkpoint every {} iteration(s), up to {} retries per tier",
+        args.ranks.max(1),
+        backend_name,
+        threads,
+        policy.checkpoint_every,
+        policy.max_retries
+    );
+    let opts = ResilienceOptions {
+        policy,
+        faults: plan,
+        collective_timeout: Some(Duration::from_secs(30)),
+        resume,
+        persist: rotation.as_ref(),
+    };
+    match solve_resilient(
+        sys,
+        args.ranks.max(1),
+        cfg,
+        |_| backend_by_name(&backend_name, threads).expect("validated above"),
+        &opts,
+    ) {
+        Ok(report) => {
+            if report.attempts.len() > 1 || !report.fault_events.is_empty() {
+                println!(
+                    "recovery: {} attempt(s), {} fault(s) injected, {} restore(s), \
+                     {} degradation(s), finished on {} rank(s)",
+                    report.attempts.len(),
+                    report.fault_events.len(),
+                    report.telemetry.checkpoint_restores,
+                    report.telemetry.degradations,
+                    report.final_ranks
+                );
+            }
+            report.solution
+        }
+        Err(e) => {
+            eprintln!("resilient solve failed: {e}");
+            exit(1)
+        }
+    }
 }
 
 fn main() {
@@ -179,7 +314,16 @@ fn main() {
         gaia_avugsr::telemetry::reset();
     }
 
-    let solution = if args.ranks > 1 {
+    // The resilient supervisor takes over whenever fault tolerance is
+    // asked for: chaos injection, a retry budget, or distributed
+    // checkpointing. Plain runs keep the original paths.
+    let resilient = args.chaos_seed.is_some()
+        || args.max_retries.is_some()
+        || (args.ranks > 1 && (args.checkpoint_every > 0 || args.checkpoint.is_some()));
+
+    let solution = if resilient {
+        run_resilient(&sys, &cfg, &args)
+    } else if args.ranks > 1 {
         println!("distributed solve on {} ranks", args.ranks);
         solve_distributed(&sys, args.ranks, &cfg)
     } else if args.lsmr {
@@ -216,8 +360,18 @@ fn main() {
         let solver = Lsqr::new(&sys, &backend, cfg);
 
         // Resume from a checkpoint when one exists, else start fresh;
-        // always write the final state back when a path was given.
+        // always write the final state back when a path was given. A
+        // corrupt or mismatched checkpoint is a hard error — silently
+        // restarting would discard wall-clock the user paid for — unless
+        // --force-fresh explicitly discards it.
         let state = match &args.checkpoint {
+            Some(path) if path.exists() && args.force_fresh => {
+                println!(
+                    "--force-fresh: ignoring existing checkpoint {}",
+                    path.display()
+                );
+                solver.init_state()
+            }
             Some(path) if path.exists() => {
                 match Checkpoint::load(path).and_then(|c| c.restore(&sys, &cfg)) {
                     Ok(state) => {
@@ -225,16 +379,30 @@ fn main() {
                         state
                     }
                     Err(e) => {
-                        eprintln!("cannot resume checkpoint: {e}");
+                        eprintln!("cannot resume checkpoint: {e} (pass --force-fresh to discard)");
                         exit(1)
                     }
                 }
             }
             _ => solver.init_state(),
         };
+        // Periodic snapshots into a retain-last-3 rotation next to the
+        // final checkpoint, so a killed job costs one interval at most.
+        let rotation = args
+            .checkpoint
+            .as_ref()
+            .filter(|_| args.checkpoint_every > 0)
+            .map(|p| CheckpointRotation::new(p.clone(), 3));
         let mut state = state;
         while !state.is_done() {
             solver.step(&mut state);
+            if let Some(rot) = &rotation {
+                if !state.is_done() && state.itn % args.checkpoint_every == 0 {
+                    if let Err(e) = rot.save(state.itn, &Checkpoint::capture(&sys, &cfg, &state)) {
+                        eprintln!("warning: cannot write periodic checkpoint: {e}");
+                    }
+                }
+            }
         }
         if let Some(path) = &args.checkpoint {
             if let Err(e) = Checkpoint::capture(&sys, &cfg, &state).save(path) {
@@ -265,7 +433,9 @@ fn main() {
         println!("mean standard error: {mean_se:.3e}");
     }
     if args.telemetry {
-        let solver_label = if args.ranks > 1 {
+        let solver_label = if resilient {
+            "lsqr-resilient"
+        } else if args.ranks > 1 {
             "lsqr-distributed"
         } else if args.lsmr {
             "lsmr"

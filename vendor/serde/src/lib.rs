@@ -320,6 +320,20 @@ pub fn field<T: Deserialize>(entries: &[(String, Content)], name: &str) -> Resul
     }
 }
 
+/// Like [`field`], but a missing entry yields `T::default()` — the
+/// expansion of `#[serde(default)]` on a named field.
+pub fn field_or_default<T: Deserialize + Default>(
+    entries: &[(String, Content)],
+    name: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_content(v).map_err(|DeError(m)| DeError(format!("field `{name}`: {m}")))
+        }
+        None => Ok(T::default()),
+    }
+}
+
 impl Content {
     /// View as a struct map, or error mentioning the target type.
     pub fn as_map_for(&self, ty: &str) -> Result<&[(String, Content)], DeError> {

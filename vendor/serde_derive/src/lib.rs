@@ -14,16 +14,23 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing entry deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
+}
+
 struct Variant {
     name: String,
     /// `None` for unit variants, field names for struct variants.
-    fields: Option<Vec<String>>,
+    fields: Option<Vec<Field>>,
 }
 
 enum Item {
     Struct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     Enum {
         name: String,
@@ -33,14 +40,18 @@ enum Item {
 
 type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
 
-/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
-fn skip_decorations(iter: &mut TokenIter) {
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`),
+/// reporting whether a `#[serde(default)]` was among them.
+fn skip_decorations(iter: &mut TokenIter) -> bool {
+    let mut serde_default = false;
     loop {
         match iter.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 iter.next();
                 match iter.next() {
-                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        serde_default |= is_serde_default(g.stream());
+                    }
                     other => panic!("serde_derive: malformed attribute near {other:?}"),
                 }
             }
@@ -52,8 +63,33 @@ fn skip_decorations(iter: &mut TokenIter) {
                     }
                 }
             }
-            _ => return,
+            _ => return serde_default,
         }
+    }
+}
+
+/// Recognize the `serde(default)` attribute body. Any other `serde(...)`
+/// option is a hard error — silently ignoring it would produce wrong wire
+/// shapes.
+fn is_serde_default(attr: TokenStream) -> bool {
+    let mut iter = attr.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let opts: Vec<String> = g.stream().into_iter().map(|t| t.to_string()).collect();
+            if opts == ["default"] {
+                true
+            } else {
+                panic!(
+                    "serde_derive: unsupported serde attribute option(s) {opts:?} \
+                     (the vendored derive only knows `default`)"
+                )
+            }
+        }
+        _ => false,
     }
 }
 
@@ -93,11 +129,11 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut iter = body.into_iter().peekable();
     loop {
-        skip_decorations(&mut iter);
+        let default = skip_decorations(&mut iter);
         let field = match iter.next() {
             None => break,
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -120,7 +156,10 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
                 }
             }
         }
-        fields.push(field);
+        fields.push(Field {
+            name: field,
+            default,
+        });
     }
     fields
 }
@@ -156,11 +195,20 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
     variants
 }
 
-fn struct_variant_to_content(enum_name: &str, v: &Variant, fields: &[String]) -> String {
-    let bindings = fields.join(", ");
+fn struct_variant_to_content(enum_name: &str, v: &Variant, fields: &[Field]) -> String {
+    let bindings = fields
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect::<Vec<_>>()
+        .join(", ");
     let entries = fields
         .iter()
-        .map(|f| format!("(String::from(\"{f}\"), ::serde::Serialize::to_content({f})),"))
+        .map(|f| {
+            format!(
+                "(String::from(\"{f}\"), ::serde::Serialize::to_content({f})),",
+                f = f.name
+            )
+        })
         .collect::<String>();
     format!(
         "{enum_name}::{name} {{ {bindings} }} => ::serde::Content::Map(vec![(\n\
@@ -171,14 +219,17 @@ fn struct_variant_to_content(enum_name: &str, v: &Variant, fields: &[String]) ->
 }
 
 /// Derive `serde::Serialize` (vendored subset).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let code = match parse_item(input) {
         Item::Struct { name, fields } => {
             let entries = fields
                 .iter()
                 .map(|f| {
-                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f})),")
+                    format!(
+                        "(String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f})),",
+                        f = f.name
+                    )
                 })
                 .collect::<String>();
             format!(
@@ -213,15 +264,25 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive: generated Serialize impl must parse")
 }
 
+fn field_init(f: &Field) -> String {
+    let helper = if f.default {
+        "field_or_default"
+    } else {
+        "field"
+    };
+    format!(
+        "{f}: ::serde::{helper}(entries, \"{f}\")?,",
+        f = f.name,
+        helper = helper
+    )
+}
+
 /// Derive `serde::Deserialize` (vendored subset).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let code = match parse_item(input) {
         Item::Struct { name, fields } => {
-            let inits = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::field(entries, \"{f}\")?,"))
-                .collect::<String>();
+            let inits = fields.iter().map(field_init).collect::<String>();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_content(content: &::serde::Content) \
@@ -242,10 +303,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 .iter()
                 .filter_map(|v| v.fields.as_ref().map(|fields| (v, fields)))
                 .map(|(v, fields)| {
-                    let inits = fields
-                        .iter()
-                        .map(|f| format!("{f}: ::serde::field(entries, \"{f}\")?,"))
-                        .collect::<String>();
+                    let inits = fields.iter().map(field_init).collect::<String>();
                     format!(
                         "\"{v}\" => {{\n\
                              let entries = inner.as_map_for(\"{name}::{v}\")?;\n\
