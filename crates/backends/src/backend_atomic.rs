@@ -1,286 +1,111 @@
 //! Atomic-update backends (CUDA/HIP `atomicAdd` analogue and the CAS-loop
 //! fallback the paper observes on MI250X with some compilers).
 
-use std::ops::Range;
-use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 
-use crossbeam::thread;
-use gaia_sparse::system::{ATT_NNZ_PER_ROW, INSTR_NNZ_PER_ROW};
-use gaia_sparse::{SparseSystem, ATT_AXES, ATT_PARAMS_PER_AXIS};
-use gaia_telemetry::{Block, Phase};
+use gaia_sparse::SparseSystem;
 
-use crate::atomicf64::{self, as_atomic};
-use crate::kernels::{self, split_ranges};
+use crate::exec::ExecutorPool;
+use crate::launch::{Aprod2Spec, Aprod2Strategy, LaunchPlan};
+use crate::registry::tuned_name;
 use crate::traits::Backend;
 use crate::tuning::Tuning;
 
-/// Which atomic accumulation the backend emits — the paper's RMW vs
-/// CAS-loop code-generation axis (§V-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AtomicFlavor {
-    /// Relaxed weak-CAS loop (the fast, `atomicAdd`-like path).
-    Rmw,
-    /// SeqCst strong-CAS loop with spin hints (the slow fallback emitted by
-    /// compilers lacking `-munsafe-fp-atomics`-style RMW support).
-    CasLoop,
-}
-
-/// Row-parallel backend using atomic `f64` accumulation for the colliding
+/// Row-parallel policy using atomic `f64` accumulation for the colliding
 /// `aprod2` blocks, like the production CUDA/HIP kernels.
 ///
-/// * `aprod1` — row chunks on scoped threads (no conflicts).
+/// * `aprod1` — row chunks on the pool (no conflicts).
 /// * `aprod2` astrometric — star-aligned chunks (structure-collision-free).
-/// * `aprod2` attitude / instrumental / global — row chunks with atomic
-///   adds into the shared output sections.
-#[derive(Debug, Clone, Copy)]
+/// * `aprod2` attitude / instrumental / global — row chunks with relaxed
+///   atomic RMW adds into the shared output sections.
+#[derive(Debug, Clone)]
 pub struct AtomicBackend {
-    tuning: Tuning,
-    flavor: AtomicFlavor,
+    plan: LaunchPlan,
+    pool: Arc<ExecutorPool>,
 }
 
 impl AtomicBackend {
-    /// Create with explicit tuning and the fast RMW flavor.
+    /// Create with explicit tuning.
     pub fn new(tuning: Tuning) -> Self {
         AtomicBackend {
-            tuning,
-            flavor: AtomicFlavor::Rmw,
+            plan: LaunchPlan::new(tuning, Aprod2Spec::uniform(Aprod2Strategy::Atomic)),
+            pool: ExecutorPool::shared(tuning.threads),
         }
     }
 
-    /// Create with `threads` workers (RMW flavor).
+    /// Create with `threads` workers.
     pub fn with_threads(threads: usize) -> Self {
         AtomicBackend::new(Tuning::with_threads(threads))
     }
-
-    /// Switch the atomic flavor.
-    pub fn flavor(mut self, flavor: AtomicFlavor) -> Self {
-        self.flavor = flavor;
-        self
-    }
-}
-
-/// [`AtomicBackend`] pinned to the slow CAS-loop flavor; registered as its
-/// own backend so the RMW-vs-CAS comparison shows up in benchmark reports
-/// the way the compiler comparison does in the paper.
-#[derive(Debug, Clone, Copy)]
-pub struct CasLoopBackend(pub AtomicBackend);
-
-impl CasLoopBackend {
-    /// Create with `threads` workers.
-    pub fn with_threads(threads: usize) -> Self {
-        CasLoopBackend(AtomicBackend::with_threads(threads).flavor(AtomicFlavor::CasLoop))
-    }
-}
-
-#[inline]
-fn atomic_add(flavor: AtomicFlavor, slot: &AtomicU64, v: f64) {
-    match flavor {
-        AtomicFlavor::Rmw => atomicf64::add_relaxed(slot, v),
-        AtomicFlavor::CasLoop => atomicf64::add_seqcst_spin(slot, v),
-    }
-}
-
-/// Attitude `aprod2` over a row range with atomic updates into the shared
-/// block-local attitude section.
-fn aprod2_att_atomic(
-    sys: &SparseSystem,
-    y: &[f64],
-    rows: Range<usize>,
-    out: &[AtomicU64],
-    flavor: AtomicFlavor,
-) {
-    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Att);
-    t.add_bytes(rows.len() as u64 * (3 * ATT_NNZ_PER_ROW as u64 + 1) * 8);
-    t.add_rmws(rows.len() as u64 * ATT_NNZ_PER_ROW as u64);
-    let dof = sys.layout().n_deg_freedom_att as usize;
-    for row in rows {
-        let yr = y[row];
-        if yr == 0.0 {
-            continue;
-        }
-        let (vals, off) = sys.att_row(row);
-        for axis in 0..ATT_AXES as usize {
-            let base = axis * dof + off as usize;
-            for k in 0..ATT_PARAMS_PER_AXIS as usize {
-                atomic_add(flavor, &out[base + k], vals[axis * 4 + k] * yr);
-            }
-        }
-    }
-    debug_assert_eq!(ATT_NNZ_PER_ROW, 12);
-}
-
-/// Instrumental `aprod2` over a row range with atomic updates.
-fn aprod2_instr_atomic(
-    sys: &SparseSystem,
-    y: &[f64],
-    rows: Range<usize>,
-    out: &[AtomicU64],
-    flavor: AtomicFlavor,
-) {
-    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Instr);
-    t.add_bytes(rows.len() as u64 * (3 * INSTR_NNZ_PER_ROW as u64 + 1) * 8);
-    t.add_rmws(rows.len() as u64 * INSTR_NNZ_PER_ROW as u64);
-    for row in rows {
-        let yr = y[row];
-        if yr == 0.0 {
-            continue;
-        }
-        let (vals, cols) = sys.instr_row(row);
-        for k in 0..INSTR_NNZ_PER_ROW {
-            atomic_add(flavor, &out[cols[k] as usize], vals[k] * yr);
-        }
-    }
-}
-
-/// Global `aprod2` over a row range: local reduction, single atomic add.
-fn aprod2_glob_atomic(
-    sys: &SparseSystem,
-    y: &[f64],
-    rows: Range<usize>,
-    out: &[AtomicU64],
-    flavor: AtomicFlavor,
-) {
-    if sys.layout().n_glob_params == 0 {
-        return;
-    }
-    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Glob);
-    t.add_bytes(rows.len() as u64 * 16 + 16);
-    t.add_rmws(1);
-    let glob = sys.values_glob();
-    let mut acc = 0.0;
-    for row in rows {
-        acc += glob[row] * y[row];
-    }
-    atomic_add(flavor, &out[0], acc);
 }
 
 impl Backend for AtomicBackend {
     fn name(&self) -> String {
-        match self.flavor {
-            AtomicFlavor::Rmw => format!("atomic-t{}", self.tuning.threads),
-            AtomicFlavor::CasLoop => format!("casloop-t{}", self.tuning.threads),
-        }
+        tuned_name("atomic", self.plan.tuning)
     }
 
     fn description(&self) -> &'static str {
-        match self.flavor {
-            AtomicFlavor::Rmw => "row-parallel, atomic f64 RMW updates (CUDA/HIP analogue)",
-            AtomicFlavor::CasLoop => {
-                "row-parallel, SeqCst CAS-loop updates (non-RMW compiler fallback)"
-            }
-        }
+        "row-parallel, atomic f64 RMW updates (CUDA/HIP analogue)"
     }
 
     fn aprod1(&self, sys: &SparseSystem, x: &[f64], out: &mut [f64]) {
         self.check_aprod1(sys, x, out);
-        let ranges = split_ranges(sys.n_rows(), self.tuning.chunk_count(sys.n_rows()));
-        thread::scope(|scope| {
-            let mut rest = out;
-            for range in ranges {
-                let (mine, tail) = rest.split_at_mut(range.len());
-                rest = tail;
-                scope.spawn(move |_| kernels::aprod1_range(sys, x, range, mine));
-            }
-        })
-        .expect("aprod1 worker panicked");
+        self.plan.aprod1(&self.pool, sys, x, out);
     }
 
     fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
         self.check_aprod2(sys, y, out);
-        let c = sys.columns();
-        let flavor = self.flavor;
-        let (astro, rest) = out.split_at_mut(c.att as usize);
-        let (shared, _pad) = rest.split_at_mut((c.end - c.att) as usize);
+        self.plan.aprod2(&self.pool, sys, y, out);
+    }
+}
 
-        let n_stars = sys.layout().n_stars as usize;
-        let star_ranges = split_ranges(n_stars, self.tuning.chunk_count(n_stars));
-        let row_ranges = split_ranges(sys.n_rows(), self.tuning.chunk_count(sys.n_rows()));
-        let n_att = (c.instr - c.att) as usize;
-        let n_instr = (c.glob - c.instr) as usize;
+/// [`AtomicBackend`]'s slow sibling, pinned to the SeqCst CAS-loop flavor;
+/// registered as its own backend so the RMW-vs-CAS comparison shows up in
+/// benchmark reports the way the compiler comparison does in the paper.
+#[derive(Debug, Clone)]
+pub struct CasLoopBackend {
+    plan: LaunchPlan,
+    pool: Arc<ExecutorPool>,
+}
 
-        // Shared sections (attitude + instrumental + global) get an atomic
-        // view; the astro section keeps plain disjoint slices.
-        let shared_atomic = as_atomic(shared);
-        let (att_a, rest_a) = shared_atomic.split_at(n_att);
-        let (instr_a, glob_a) = rest_a.split_at(n_instr);
+impl CasLoopBackend {
+    /// Create with explicit tuning.
+    pub fn new(tuning: Tuning) -> Self {
+        CasLoopBackend {
+            plan: LaunchPlan::new(tuning, Aprod2Spec::uniform(Aprod2Strategy::CasLoop)),
+            pool: ExecutorPool::shared(tuning.threads),
+        }
+    }
 
-        thread::scope(|scope| {
-            let mut astro_rest = astro;
-            for stars in star_ranges {
-                let (mine, tail) = astro_rest.split_at_mut(stars.len() * 5);
-                astro_rest = tail;
-                scope.spawn(move |_| kernels::aprod2_astro(sys, y, stars, mine));
-            }
-            for rows in row_ranges {
-                let obs_rows = rows.start..rows.end.min(sys.n_obs_rows());
-                scope.spawn(move |_| {
-                    aprod2_att_atomic(sys, y, rows, att_a, flavor);
-                    if !obs_rows.is_empty() {
-                        aprod2_instr_atomic(sys, y, obs_rows.clone(), instr_a, flavor);
-                        aprod2_glob_atomic(sys, y, obs_rows, glob_a, flavor);
-                    }
-                });
-            }
-        })
-        .expect("aprod2 worker panicked");
+    /// Create with `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        CasLoopBackend::new(Tuning::with_threads(threads))
     }
 }
 
 impl Backend for CasLoopBackend {
     fn name(&self) -> String {
-        self.0.name()
+        tuned_name("casloop", self.plan.tuning)
     }
+
     fn description(&self) -> &'static str {
-        self.0.description()
+        "row-parallel, SeqCst CAS-loop updates (non-RMW compiler fallback)"
     }
+
     fn aprod1(&self, sys: &SparseSystem, x: &[f64], out: &mut [f64]) {
-        self.0.aprod1(sys, x, out)
+        self.check_aprod1(sys, x, out);
+        self.plan.aprod1(&self.pool, sys, x, out);
     }
+
     fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
-        self.0.aprod2(sys, y, out)
+        self.check_aprod2(sys, y, out);
+        self.plan.aprod2(&self.pool, sys, y, out);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend_seq::SeqBackend;
-    use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
-
-    fn check_against_seq(b: &dyn Backend, tol: f64) {
-        let sys = Generator::new(GeneratorConfig::new(SystemLayout::small()).seed(41)).generate();
-        let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.19).sin()).collect();
-        let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.23).cos()).collect();
-        let seq = SeqBackend;
-        let mut want1 = vec![0.0; sys.n_rows()];
-        seq.aprod1(&sys, &x, &mut want1);
-        let mut want2 = vec![0.0; sys.n_cols()];
-        seq.aprod2(&sys, &y, &mut want2);
-        let mut got1 = vec![0.0; sys.n_rows()];
-        b.aprod1(&sys, &x, &mut got1);
-        let mut got2 = vec![0.0; sys.n_cols()];
-        b.aprod2(&sys, &y, &mut got2);
-        for (g, w) in got1.iter().zip(&want1) {
-            assert!((g - w).abs() < tol, "aprod1 {} vs {}", g, w);
-        }
-        for (g, w) in got2.iter().zip(&want2) {
-            assert!((g - w).abs() < tol, "aprod2 {} vs {}", g, w);
-        }
-    }
-
-    #[test]
-    fn atomic_rmw_matches_seq() {
-        for threads in [1, 2, 4, 8] {
-            check_against_seq(&AtomicBackend::with_threads(threads), 1e-10);
-        }
-    }
-
-    #[test]
-    fn cas_loop_matches_seq() {
-        for threads in [1, 4] {
-            check_against_seq(&CasLoopBackend::with_threads(threads), 1e-10);
-        }
-    }
 
     #[test]
     fn names_encode_flavor() {

@@ -1,32 +1,34 @@
 //! Chunked owner-computes backend (OpenMP-teams analogue).
 
-use crossbeam::thread;
+use std::sync::Arc;
+
 use gaia_sparse::SparseSystem;
 
-use crate::kernels::{self, split_ranges};
+use crate::exec::ExecutorPool;
+use crate::launch::{Aprod2Spec, Aprod2Strategy, LaunchPlan};
+use crate::registry::tuned_name;
 use crate::traits::Backend;
 use crate::tuning::Tuning;
 
-/// Scoped-thread backend with *owner-computes* conflict handling.
+/// Owner-computes policy over the shared executor pool.
 ///
-/// * `aprod1` splits the rows into contiguous chunks; output rows are
-///   disjoint, so chunks run without synchronization.
-/// * `aprod2` assigns each thread ownership of a contiguous column range of
-///   each block. Astrometric columns follow the star split (collision-free
-///   by structure). For attitude and instrumental columns every thread scans
-///   the full row range but only applies updates falling inside its owned
-///   columns — no atomics, no locks, at the price of redundant scanning.
-///   This mirrors OpenMP `distribute` strategies that trade recomputation
-///   for synchronization-freedom.
-#[derive(Debug, Clone, Copy)]
+/// `aprod1` splits rows into chunks (disjoint outputs, no synchronization);
+/// `aprod2` gives each job ownership of a contiguous column range per block
+/// and rescans the rows — no atomics, no locks, at the price of redundant
+/// scanning, mirroring OpenMP `distribute` strategies.
+#[derive(Debug, Clone)]
 pub struct ChunkedBackend {
-    tuning: Tuning,
+    plan: LaunchPlan,
+    pool: Arc<ExecutorPool>,
 }
 
 impl ChunkedBackend {
     /// Create with explicit tuning.
     pub fn new(tuning: Tuning) -> Self {
-        ChunkedBackend { tuning }
+        ChunkedBackend {
+            plan: LaunchPlan::new(tuning, Aprod2Spec::uniform(Aprod2Strategy::OwnerComputes)),
+            pool: ExecutorPool::shared(tuning.threads),
+        }
     }
 
     /// Create with `threads` workers.
@@ -37,104 +39,28 @@ impl ChunkedBackend {
 
 impl Backend for ChunkedBackend {
     fn name(&self) -> String {
-        format!("chunked-t{}", self.tuning.threads)
+        tuned_name("chunked", self.plan.tuning)
     }
 
     fn description(&self) -> &'static str {
-        "scoped threads, owner-computes columns (OpenMP-teams analogue)"
+        "pooled workers, owner-computes columns (OpenMP-teams analogue)"
     }
 
     fn aprod1(&self, sys: &SparseSystem, x: &[f64], out: &mut [f64]) {
         self.check_aprod1(sys, x, out);
-        let n_chunks = self.tuning.chunk_count(sys.n_rows());
-        let ranges = split_ranges(sys.n_rows(), n_chunks);
-        thread::scope(|scope| {
-            let mut rest = out;
-            for range in ranges {
-                let (mine, tail) = rest.split_at_mut(range.len());
-                rest = tail;
-                scope.spawn(move |_| kernels::aprod1_range(sys, x, range, mine));
-            }
-        })
-        .expect("aprod1 worker panicked");
+        self.plan.aprod1(&self.pool, sys, x, out);
     }
 
     fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
         self.check_aprod2(sys, y, out);
-        let c = sys.columns();
-        let (astro, rest) = out.split_at_mut(c.att as usize);
-        let (att, rest2) = rest.split_at_mut((c.instr - c.att) as usize);
-        let (instr, glob) = rest2.split_at_mut((c.glob - c.instr) as usize);
-
-        let n_stars = sys.layout().n_stars as usize;
-        let threads = self.tuning.threads;
-        let star_ranges = split_ranges(n_stars, self.tuning.chunk_count(n_stars));
-        let att_ranges = split_ranges(att.len(), threads.min(att.len().max(1)));
-        let instr_ranges = split_ranges(instr.len(), threads.min(instr.len().max(1)));
-
-        thread::scope(|scope| {
-            // Astrometric: star-aligned split — each chunk of stars owns an
-            // exactly matching contiguous slice of the astro section.
-            let mut astro_rest = astro;
-            for stars in star_ranges {
-                let (mine, tail) = astro_rest.split_at_mut(stars.len() * 5);
-                astro_rest = tail;
-                scope.spawn(move |_| kernels::aprod2_astro(sys, y, stars, mine));
-            }
-            // Attitude: owner-computes over column sub-ranges.
-            let mut att_rest = att;
-            for own in att_ranges {
-                let (mine, tail) = att_rest.split_at_mut(own.len());
-                att_rest = tail;
-                scope.spawn(move |_| kernels::aprod2_att_owned(sys, y, 0..sys.n_rows(), own, mine));
-            }
-            // Instrumental: owner-computes over column sub-ranges.
-            let mut instr_rest = instr;
-            for own in instr_ranges {
-                let (mine, tail) = instr_rest.split_at_mut(own.len());
-                instr_rest = tail;
-                scope.spawn(move |_| {
-                    kernels::aprod2_instr_owned(sys, y, 0..sys.n_obs_rows(), own, mine)
-                });
-            }
-            // Global: single reduction on the spawning thread.
-            kernels::aprod2_glob(sys, y, 0..sys.n_obs_rows(), glob);
-        })
-        .expect("aprod2 worker panicked");
+        self.plan.aprod2(&self.pool, sys, y, out);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend_seq::SeqBackend;
     use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
-
-    #[test]
-    fn chunked_matches_seq_for_various_thread_counts() {
-        let sys = Generator::new(GeneratorConfig::new(SystemLayout::small()).seed(31)).generate();
-        let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.11).sin()).collect();
-        let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.07).cos()).collect();
-        let seq = SeqBackend;
-        let mut want1 = vec![0.0; sys.n_rows()];
-        seq.aprod1(&sys, &x, &mut want1);
-        let mut want2 = vec![0.0; sys.n_cols()];
-        seq.aprod2(&sys, &y, &mut want2);
-
-        for threads in [1, 2, 3, 8] {
-            let b = ChunkedBackend::with_threads(threads);
-            let mut got1 = vec![0.0; sys.n_rows()];
-            b.aprod1(&sys, &x, &mut got1);
-            for (g, w) in got1.iter().zip(&want1) {
-                assert!((g - w).abs() < 1e-11, "threads={threads}");
-            }
-            let mut got2 = vec![0.0; sys.n_cols()];
-            b.aprod2(&sys, &y, &mut got2);
-            for (g, w) in got2.iter().zip(&want2) {
-                assert!((g - w).abs() < 1e-11, "threads={threads}");
-            }
-        }
-    }
 
     #[test]
     fn more_threads_than_work_is_fine() {
@@ -144,5 +70,15 @@ mod tests {
         let mut out = vec![0.0; sys.n_rows()];
         b.aprod1(&sys, &x, &mut out);
         assert!(out.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn name_encodes_the_full_tuning() {
+        assert_eq!(ChunkedBackend::with_threads(8).name(), "chunked-t8");
+        let b = ChunkedBackend::new(Tuning {
+            threads: 2,
+            chunks_per_thread: 4,
+        });
+        assert_eq!(b.name(), "chunked-t2-c4");
     }
 }

@@ -10,11 +10,14 @@
 //! scheme buys: less index metadata per non-zero and block-specialized
 //! inner loops.
 
-use crossbeam::thread;
+use std::sync::Arc;
+
 use gaia_sparse::csr::CsrMatrix;
 use gaia_sparse::SparseSystem;
 
-use crate::kernels::split_ranges;
+use crate::exec::{ExecutorPool, Job};
+use crate::launch::split_ranges;
+use crate::registry::tuned_name;
 use crate::traits::Backend;
 use crate::tuning::Tuning;
 
@@ -22,10 +25,13 @@ use crate::tuning::Tuning;
 ///
 /// Unlike the other backends it is bound to one system at construction
 /// ([`CsrBackend::for_system`]); calling it with a different system
-/// panics. `aprod2` uses per-thread privatization (the conflict pattern
+/// panics. `aprod2` uses per-chunk privatization (the conflict pattern
 /// of CSRᵀ is unstructured, so that is the only safe generic strategy).
+/// CSR has no block structure for [`crate::LaunchPlan`] to partition, so
+/// this backend submits its row-chunk jobs to the pool directly.
 pub struct CsrBackend {
     tuning: Tuning,
+    pool: Arc<ExecutorPool>,
     csr: CsrMatrix,
     n_rows: usize,
     n_cols: usize,
@@ -34,8 +40,10 @@ pub struct CsrBackend {
 impl CsrBackend {
     /// Convert `sys` and bind the backend to it.
     pub fn for_system(sys: &SparseSystem, threads: usize) -> Self {
+        let tuning = Tuning::with_threads(threads);
         CsrBackend {
-            tuning: Tuning::with_threads(threads),
+            tuning,
+            pool: ExecutorPool::shared(tuning.threads),
             csr: CsrMatrix::from_system(sys),
             n_rows: sys.n_rows(),
             n_cols: sys.n_cols(),
@@ -58,7 +66,7 @@ impl CsrBackend {
 
 impl Backend for CsrBackend {
     fn name(&self) -> String {
-        format!("csr-t{}", self.tuning.threads)
+        tuned_name("csr", self.tuning)
     }
 
     fn description(&self) -> &'static str {
@@ -70,15 +78,14 @@ impl Backend for CsrBackend {
         self.check_binding(sys);
         let csr = &self.csr;
         let ranges = split_ranges(self.n_rows, self.tuning.chunk_count(self.n_rows));
-        thread::scope(|scope| {
-            let mut rest = out;
-            for range in ranges {
-                let (mine, tail) = rest.split_at_mut(range.len());
-                rest = tail;
-                scope.spawn(move |_| csr.spmv_range(x, range, mine));
-            }
-        })
-        .expect("csr aprod1 worker panicked");
+        let mut jobs: Vec<Job<'_>> = Vec::with_capacity(ranges.len());
+        let mut rest = out;
+        for range in ranges {
+            let (mine, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            jobs.push(Box::new(move || csr.spmv_range(x, range, mine)));
+        }
+        self.pool.run(jobs);
     }
 
     fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
@@ -86,29 +93,31 @@ impl Backend for CsrBackend {
         self.check_binding(sys);
         let csr = &self.csr;
         let n_cols = self.n_cols;
-        let ranges = split_ranges(self.n_rows, self.tuning.threads.max(1));
-        let privates: Vec<Vec<f64>> = thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|rows| {
-                    scope.spawn(move |_| {
-                        let mut private = vec![0.0f64; n_cols];
-                        csr.spmv_t_range(y, rows, &mut private);
-                        private
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("csr aprod2 worker panicked"))
-                .collect()
-        })
-        .expect("csr aprod2 scope panicked");
-        for private in privates {
-            for (slot, v) in out.iter_mut().zip(private) {
-                *slot += v;
+        let ranges = split_ranges(self.n_rows, self.tuning.chunk_count(self.n_rows));
+        let mut privates: Vec<Vec<f64>> = vec![vec![0.0; n_cols]; ranges.len()];
+        {
+            let mut jobs: Vec<Job<'_>> = Vec::with_capacity(ranges.len());
+            for (private, rows) in privates.iter_mut().zip(ranges) {
+                jobs.push(Box::new(move || csr.spmv_t_range(y, rows, private)));
             }
+            self.pool.run(jobs);
         }
+        // Column-parallel reduction of the private buffers.
+        let privates = &privates;
+        let mut red_jobs: Vec<Job<'_>> = Vec::new();
+        let mut rest = out;
+        for own in split_ranges(n_cols, self.tuning.chunk_count(n_cols)) {
+            let (mine, tail) = rest.split_at_mut(own.len());
+            rest = tail;
+            red_jobs.push(Box::new(move || {
+                for private in privates {
+                    for (slot, &v) in mine.iter_mut().zip(&private[own.start..own.end]) {
+                        *slot += v;
+                    }
+                }
+            }));
+        }
+        self.pool.run(red_jobs);
     }
 }
 

@@ -1,33 +1,40 @@
 //! Privatization + reduction backend.
 
-use crossbeam::thread;
+use std::sync::Arc;
+
 use gaia_sparse::SparseSystem;
 
-use crate::kernels::{self, split_ranges};
+use crate::exec::ExecutorPool;
+use crate::launch::{Aprod2Spec, Aprod2Strategy, LaunchPlan};
+use crate::registry::tuned_name;
 use crate::traits::Backend;
 use crate::tuning::Tuning;
 
 /// Backend that avoids all `aprod2` conflicts by *privatizing* the shared
-/// output sections: each thread accumulates the attitude/instrumental/global
-/// contributions of its row chunk into a thread-local buffer, and the
-/// buffers are summed in a final reduction pass.
+/// output sections: each job accumulates the attitude/instrumental/global
+/// contributions of its row chunk into a private buffer, and the buffers
+/// are summed in a column-parallel reduction wave.
 ///
 /// This is the classical alternative to atomics the paper alludes to when
 /// discussing why "the number of blocks and GPU threads per block" is
 /// reduced "in the regions where atomic operations are performed": trading
 /// memory (one private copy of the ~10 % non-astrometric sections per
-/// thread) for synchronization-freedom. On GPUs full privatization is
+/// chunk) for synchronization-freedom. On GPUs full privatization is
 /// rarely affordable; on CPUs it usually wins — our criterion benchmarks
 /// make that trade-off measurable.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ReplicatedBackend {
-    tuning: Tuning,
+    plan: LaunchPlan,
+    pool: Arc<ExecutorPool>,
 }
 
 impl ReplicatedBackend {
     /// Create with explicit tuning.
     pub fn new(tuning: Tuning) -> Self {
-        ReplicatedBackend { tuning }
+        ReplicatedBackend {
+            plan: LaunchPlan::new(tuning, Aprod2Spec::uniform(Aprod2Strategy::Replicated)),
+            pool: ExecutorPool::shared(tuning.threads),
+        }
     }
 
     /// Create with `threads` workers.
@@ -38,123 +45,28 @@ impl ReplicatedBackend {
 
 impl Backend for ReplicatedBackend {
     fn name(&self) -> String {
-        format!("replicated-t{}", self.tuning.threads)
+        tuned_name("replicated", self.plan.tuning)
     }
 
     fn description(&self) -> &'static str {
-        "row-parallel, per-thread private buffers + reduction"
+        "row-parallel, per-chunk private buffers + reduction"
     }
 
     fn aprod1(&self, sys: &SparseSystem, x: &[f64], out: &mut [f64]) {
         self.check_aprod1(sys, x, out);
-        let ranges = split_ranges(sys.n_rows(), self.tuning.chunk_count(sys.n_rows()));
-        thread::scope(|scope| {
-            let mut rest = out;
-            for range in ranges {
-                let (mine, tail) = rest.split_at_mut(range.len());
-                rest = tail;
-                scope.spawn(move |_| kernels::aprod1_range(sys, x, range, mine));
-            }
-        })
-        .expect("aprod1 worker panicked");
+        self.plan.aprod1(&self.pool, sys, x, out);
     }
 
     fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
         self.check_aprod2(sys, y, out);
-        let c = sys.columns();
-        let (astro, shared) = out.split_at_mut(c.att as usize);
-        let shared_len = shared.len();
-
-        let n_stars = sys.layout().n_stars as usize;
-        let star_ranges = split_ranges(n_stars, self.tuning.chunk_count(n_stars));
-        let row_ranges = split_ranges(sys.n_rows(), self.tuning.threads.max(1));
-        let n_att = (c.instr - c.att) as usize;
-        let n_instr = (c.glob - c.instr) as usize;
-
-        // Private buffers are collected from the workers, then reduced.
-        let privates: Vec<Vec<f64>> = thread::scope(|scope| {
-            let mut astro_rest = astro;
-            for stars in star_ranges {
-                let (mine, tail) = astro_rest.split_at_mut(stars.len() * 5);
-                astro_rest = tail;
-                scope.spawn(move |_| kernels::aprod2_astro(sys, y, stars, mine));
-            }
-            let handles: Vec<_> = row_ranges
-                .into_iter()
-                .map(|rows| {
-                    scope.spawn(move |_| {
-                        let mut private = vec![0.0f64; shared_len];
-                        let (att, rest) = private.split_at_mut(n_att);
-                        let (instr, glob) = rest.split_at_mut(n_instr);
-                        let obs_rows = rows.start..rows.end.min(sys.n_obs_rows());
-                        kernels::aprod2_att(sys, y, rows, att);
-                        if !obs_rows.is_empty() {
-                            kernels::aprod2_instr(sys, y, obs_rows.clone(), instr);
-                            kernels::aprod2_glob(sys, y, obs_rows, glob);
-                        }
-                        private
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("aprod2 worker panicked"))
-                .collect()
-        })
-        .expect("aprod2 scope panicked");
-
-        // Column-parallel tree-free reduction: each thread owns a column
-        // range of the shared section and sums all private buffers into it.
-        let red_ranges = split_ranges(shared_len, self.tuning.threads.max(1));
-        thread::scope(|scope| {
-            let privates = &privates;
-            let mut rest = shared;
-            for own in red_ranges {
-                let (mine, tail) = rest.split_at_mut(own.len());
-                rest = tail;
-                scope.spawn(move |_| {
-                    for private in privates {
-                        for (slot, &v) in mine.iter_mut().zip(&private[own.start..own.end]) {
-                            *slot += v;
-                        }
-                    }
-                });
-            }
-        })
-        .expect("reduction worker panicked");
+        self.plan.aprod2(&self.pool, sys, y, out);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend_seq::SeqBackend;
     use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
-
-    #[test]
-    fn replicated_matches_seq() {
-        let sys = Generator::new(GeneratorConfig::new(SystemLayout::small()).seed(51)).generate();
-        let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.29).sin()).collect();
-        let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.37).cos()).collect();
-        let seq = SeqBackend;
-        let mut want1 = vec![0.0; sys.n_rows()];
-        seq.aprod1(&sys, &x, &mut want1);
-        let mut want2 = vec![0.0; sys.n_cols()];
-        seq.aprod2(&sys, &y, &mut want2);
-        for threads in [1, 2, 5, 16] {
-            let b = ReplicatedBackend::with_threads(threads);
-            let mut got1 = vec![0.0; sys.n_rows()];
-            b.aprod1(&sys, &x, &mut got1);
-            let mut got2 = vec![0.0; sys.n_cols()];
-            b.aprod2(&sys, &y, &mut got2);
-            for (g, w) in got1.iter().zip(&want1) {
-                assert!((g - w).abs() < 1e-10, "threads={threads}");
-            }
-            for (g, w) in got2.iter().zip(&want2) {
-                assert!((g - w).abs() < 1e-10, "threads={threads}");
-            }
-        }
-    }
 
     #[test]
     fn accumulation_preserves_prior_contents() {

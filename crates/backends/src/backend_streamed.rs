@@ -1,9 +1,12 @@
 //! Stream-overlapped backend (CUDA-streams analogue).
 
-use crossbeam::thread;
+use std::sync::Arc;
+
 use gaia_sparse::SparseSystem;
 
-use crate::kernels::{self, split_ranges};
+use crate::exec::ExecutorPool;
+use crate::launch::{Aprod2Spec, Aprod2Strategy, LaunchPlan};
+use crate::registry::tuned_name;
 use crate::traits::Backend;
 use crate::tuning::Tuning;
 
@@ -13,20 +16,23 @@ use crate::tuning::Tuning;
 /// subsections of x̃, the asynchronous execution of the kernels does not
 /// increase the execution cost of the atomic operations" (§IV).
 ///
-/// The four `aprod2` block kernels write disjoint sections of `x̃`
-/// (astrometric / attitude / instrumental / global), so they run
-/// concurrently on four "streams" (threads), each section split further
-/// across the stream's worker budget. `aprod1` uses the plain row split —
-/// the paper overlaps only `aprod2`.
-#[derive(Debug, Clone, Copy)]
+/// The four `aprod2` block kernels write disjoint sections of `x̃`, so all
+/// their jobs launch together on the pool and overlap, with per-stream
+/// worker shares from [`crate::launch::stream_worker_budget`]. `aprod1`
+/// uses the plain row split — the paper overlaps only `aprod2`.
+#[derive(Debug, Clone)]
 pub struct StreamedBackend {
-    tuning: Tuning,
+    plan: LaunchPlan,
+    pool: Arc<ExecutorPool>,
 }
 
 impl StreamedBackend {
     /// Create with explicit tuning.
     pub fn new(tuning: Tuning) -> Self {
-        StreamedBackend { tuning }
+        StreamedBackend {
+            plan: LaunchPlan::new(tuning, Aprod2Spec::streamed(Aprod2Strategy::OwnerComputes)),
+            pool: ExecutorPool::shared(tuning.threads),
+        }
     }
 
     /// Create with `threads` workers.
@@ -35,32 +41,9 @@ impl StreamedBackend {
     }
 }
 
-/// Worker budget per `aprod2` stream for a thread count, as
-/// `(astro, att, instr)`.
-///
-/// The astrometric stream carries ~5/24 of the coefficients but all the
-/// star traversal, so it gets half the budget; attitude a quarter; the
-/// instrumental stream the remainder (the global stream runs on the
-/// calling thread). The effective budget is `threads.max(4)` — one slot
-/// per stream minimum — which is what keeps the `max(1)` floors from
-/// oversubscribing: with a raw budget of 1–3 threads the three floors
-/// would sum past the budget, but raising the floor to 4 makes
-/// `astro + att + instr == total` hold exactly.
-pub(crate) fn stream_worker_budget(threads: usize) -> (usize, usize, usize) {
-    let total = threads.max(4);
-    let astro = (total / 2).max(1);
-    let att = (total / 4).max(1);
-    let instr = (total - astro - att).max(1);
-    debug_assert!(
-        astro + att + instr <= total,
-        "stream budget oversubscribed: {astro}+{att}+{instr} > {total} (threads = {threads})"
-    );
-    (astro, att, instr)
-}
-
 impl Backend for StreamedBackend {
     fn name(&self) -> String {
-        format!("streamed-t{}", self.tuning.threads)
+        tuned_name("streamed", self.plan.tuning)
     }
 
     fn description(&self) -> &'static str {
@@ -69,67 +52,12 @@ impl Backend for StreamedBackend {
 
     fn aprod1(&self, sys: &SparseSystem, x: &[f64], out: &mut [f64]) {
         self.check_aprod1(sys, x, out);
-        let ranges = split_ranges(sys.n_rows(), self.tuning.chunk_count(sys.n_rows()));
-        thread::scope(|scope| {
-            let mut rest = out;
-            for range in ranges {
-                let (mine, tail) = rest.split_at_mut(range.len());
-                rest = tail;
-                scope.spawn(move |_| kernels::aprod1_range(sys, x, range, mine));
-            }
-        })
-        .expect("aprod1 worker panicked");
+        self.plan.aprod1(&self.pool, sys, x, out);
     }
 
     fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
         self.check_aprod2(sys, y, out);
-        let c = sys.columns();
-        let (astro, rest) = out.split_at_mut(c.att as usize);
-        let (att, rest2) = rest.split_at_mut((c.instr - c.att) as usize);
-        let (instr, glob) = rest2.split_at_mut((c.glob - c.instr) as usize);
-
-        // Budget the workers across streams roughly by work share,
-        // mirroring the production choice of fewer blocks/threads "in the
-        // regions where atomic operations are performed". The split is
-        // audited against the total in `stream_worker_budget`.
-        let (astro_workers, att_workers, instr_workers) = stream_worker_budget(self.tuning.threads);
-        assert!(
-            astro_workers + att_workers + instr_workers <= self.tuning.threads.max(4),
-            "aprod2 stream budget exceeds the thread budget"
-        );
-
-        let n_stars = sys.layout().n_stars as usize;
-
-        thread::scope(|scope| {
-            // Stream 1: astrometric (star split, collision-free).
-            let mut astro_rest = astro;
-            for stars in split_ranges(n_stars, astro_workers.min(n_stars.max(1))) {
-                let (mine, tail) = astro_rest.split_at_mut(stars.len() * 5);
-                astro_rest = tail;
-                scope.spawn(move |_| kernels::aprod2_astro(sys, y, stars, mine));
-            }
-            // Stream 2: attitude (owner-computes split inside the stream).
-            let mut att_rest: &mut [f64] = att;
-            let att_len = att_rest.len();
-            for own in split_ranges(att_len, att_workers.min(att_len.max(1))) {
-                let (mine, tail) = att_rest.split_at_mut(own.len());
-                att_rest = tail;
-                scope.spawn(move |_| kernels::aprod2_att_owned(sys, y, 0..sys.n_rows(), own, mine));
-            }
-            // Stream 3: instrumental (owner-computes split).
-            let mut instr_rest: &mut [f64] = instr;
-            let instr_len = instr_rest.len();
-            for own in split_ranges(instr_len, instr_workers.min(instr_len.max(1))) {
-                let (mine, tail) = instr_rest.split_at_mut(own.len());
-                instr_rest = tail;
-                scope.spawn(move |_| {
-                    kernels::aprod2_instr_owned(sys, y, 0..sys.n_obs_rows(), own, mine)
-                });
-            }
-            // Stream 4: global (cheap reduction, runs on this thread).
-            kernels::aprod2_glob(sys, y, 0..sys.n_obs_rows(), glob);
-        })
-        .expect("aprod2 worker panicked");
+        self.plan.aprod2(&self.pool, sys, y, out);
     }
 }
 
@@ -138,55 +66,6 @@ mod tests {
     use super::*;
     use crate::backend_seq::SeqBackend;
     use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
-
-    #[test]
-    fn streamed_matches_seq() {
-        let sys = Generator::new(GeneratorConfig::new(SystemLayout::small()).seed(81)).generate();
-        let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.61).sin()).collect();
-        let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.67).cos()).collect();
-        let seq = SeqBackend;
-        let mut want1 = vec![0.0; sys.n_rows()];
-        seq.aprod1(&sys, &x, &mut want1);
-        let mut want2 = vec![0.0; sys.n_cols()];
-        seq.aprod2(&sys, &y, &mut want2);
-        for threads in [1, 4, 9] {
-            let b = StreamedBackend::with_threads(threads);
-            let mut got1 = vec![0.0; sys.n_rows()];
-            b.aprod1(&sys, &x, &mut got1);
-            let mut got2 = vec![0.0; sys.n_cols()];
-            b.aprod2(&sys, &y, &mut got2);
-            for (g, w) in got1.iter().zip(&want1) {
-                assert!((g - w).abs() < 1e-10, "threads={threads}");
-            }
-            for (g, w) in got2.iter().zip(&want2) {
-                assert!((g - w).abs() < 1e-10, "threads={threads}");
-            }
-        }
-    }
-
-    /// The `max(1)` floors could oversubscribe a raw 1–3 thread budget
-    /// (e.g. threads = 1 would yield 1+1+1 = 3 workers); the `max(4)`
-    /// effective budget is what keeps the sum within bounds. Audit the
-    /// small budgets explicitly, plus representative larger ones.
-    #[test]
-    fn worker_budget_never_oversubscribes() {
-        for threads in [1usize, 2, 3] {
-            let (astro, att, instr) = stream_worker_budget(threads);
-            let effective = threads.max(4);
-            assert!(astro >= 1 && att >= 1 && instr >= 1, "threads = {threads}");
-            assert!(
-                astro + att + instr <= effective,
-                "threads = {threads}: {astro}+{att}+{instr} > {effective}"
-            );
-        }
-        for threads in [4usize, 5, 8, 17, 64] {
-            let (astro, att, instr) = stream_worker_budget(threads);
-            assert!(
-                astro + att + instr <= threads,
-                "threads = {threads}: {astro}+{att}+{instr} > {threads}"
-            );
-        }
-    }
 
     #[test]
     fn tiny_thread_budgets_still_match_seq() {

@@ -1,35 +1,41 @@
 //! Lock-striped backend.
 
-use crossbeam::thread;
-use gaia_sparse::system::{ATT_NNZ_PER_ROW, INSTR_NNZ_PER_ROW};
-use gaia_sparse::{SparseSystem, ATT_AXES, ATT_PARAMS_PER_AXIS};
-use parking_lot::Mutex;
+use std::sync::Arc;
 
-use crate::kernels::{self, split_ranges};
+use gaia_sparse::SparseSystem;
+
+use crate::exec::ExecutorPool;
+use crate::launch::{Aprod2Spec, Aprod2Strategy, LaunchPlan};
+use crate::registry::tuned_name;
 use crate::traits::Backend;
 use crate::tuning::Tuning;
 
 /// Backend that serializes conflicting `aprod2` updates with striped
 /// mutexes over the shared column sections.
 ///
-/// Each worker first accumulates its row chunk's updates into a small local
-/// staging buffer *per stripe*, then takes the stripe lock once and applies
-/// the whole batch — the lock-based analogue of software-managed atomics.
-/// It exists to make the cost of mutual exclusion (vs. hardware RMW in
-/// [`crate::AtomicBackend`] and vs. privatization in
-/// [`crate::ReplicatedBackend`]) measurable in the benchmark harness.
-#[derive(Debug)]
+/// Each job first accumulates its row chunk's updates into a local buffer,
+/// then takes each stripe lock once and applies the whole batch — the
+/// lock-based analogue of software-managed atomics. It exists to make the
+/// cost of mutual exclusion (vs. hardware RMW in [`crate::AtomicBackend`]
+/// and vs. privatization in [`crate::ReplicatedBackend`]) measurable in
+/// the benchmark harness.
+#[derive(Debug, Clone)]
 pub struct StripedBackend {
-    tuning: Tuning,
-    stripes: usize,
+    plan: LaunchPlan,
+    pool: Arc<ExecutorPool>,
 }
 
 impl StripedBackend {
     /// Create with explicit tuning and stripe count.
     pub fn new(tuning: Tuning, stripes: usize) -> Self {
         StripedBackend {
-            tuning,
-            stripes: stripes.max(1),
+            plan: LaunchPlan::new(
+                tuning,
+                Aprod2Spec::uniform(Aprod2Strategy::LockStriped {
+                    stripes: stripes.max(1),
+                }),
+            ),
+            pool: ExecutorPool::shared(tuning.threads),
         }
     }
 
@@ -41,7 +47,7 @@ impl StripedBackend {
 
 impl Backend for StripedBackend {
     fn name(&self) -> String {
-        format!("striped-t{}", self.tuning.threads)
+        tuned_name("striped", self.plan.tuning)
     }
 
     fn description(&self) -> &'static str {
@@ -50,114 +56,12 @@ impl Backend for StripedBackend {
 
     fn aprod1(&self, sys: &SparseSystem, x: &[f64], out: &mut [f64]) {
         self.check_aprod1(sys, x, out);
-        let ranges = split_ranges(sys.n_rows(), self.tuning.chunk_count(sys.n_rows()));
-        thread::scope(|scope| {
-            let mut rest = out;
-            for range in ranges {
-                let (mine, tail) = rest.split_at_mut(range.len());
-                rest = tail;
-                scope.spawn(move |_| kernels::aprod1_range(sys, x, range, mine));
-            }
-        })
-        .expect("aprod1 worker panicked");
+        self.plan.aprod1(&self.pool, sys, x, out);
     }
 
     fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
         self.check_aprod2(sys, y, out);
-        let c = sys.columns();
-        let (astro, shared) = out.split_at_mut(c.att as usize);
-        let shared_len = shared.len();
-        let n_att = (c.instr - c.att) as usize;
-        let dof = sys.layout().n_deg_freedom_att as usize;
-
-        // Stripe geometry over the shared (att + instr + glob) section.
-        let n_stripes = self.stripes.min(shared_len.max(1));
-        let stripe_ranges = split_ranges(shared_len, n_stripes);
-        let stripe_of = |col: usize| -> usize {
-            // Near-equal stripes: locate by division, correct by scan.
-            let guess = col * n_stripes / shared_len.max(1);
-            let mut s = guess.min(n_stripes - 1);
-            while col < stripe_ranges[s].start {
-                s -= 1;
-            }
-            while col >= stripe_ranges[s].end {
-                s += 1;
-            }
-            s
-        };
-
-        // The shared section is handed out stripe-by-stripe behind mutexes.
-        let stripes: Vec<Mutex<&mut [f64]>> = {
-            let mut v = Vec::with_capacity(n_stripes);
-            let mut rest = shared;
-            for r in &stripe_ranges {
-                let (mine, tail) = rest.split_at_mut(r.len());
-                rest = tail;
-                v.push(Mutex::new(mine));
-            }
-            v
-        };
-
-        let n_stars = sys.layout().n_stars as usize;
-        let star_ranges = split_ranges(n_stars, self.tuning.chunk_count(n_stars));
-        let row_ranges = split_ranges(sys.n_rows(), self.tuning.threads.max(1));
-
-        thread::scope(|scope| {
-            let stripes = &stripes;
-            let stripe_ranges = &stripe_ranges;
-            let stripe_of = &stripe_of;
-            let mut astro_rest = astro;
-            for stars in star_ranges {
-                let (mine, tail) = astro_rest.split_at_mut(stars.len() * 5);
-                astro_rest = tail;
-                scope.spawn(move |_| kernels::aprod2_astro(sys, y, stars, mine));
-            }
-            for rows in row_ranges {
-                scope.spawn(move |_| {
-                    // Stage updates per stripe: (stripe-local col, value).
-                    let mut staged: Vec<Vec<(u32, f64)>> = vec![Vec::new(); stripes.len()];
-                    let mut stage = |col: usize, v: f64| {
-                        if v != 0.0 {
-                            let s = stripe_of(col);
-                            staged[s].push(((col - stripe_ranges[s].start) as u32, v));
-                        }
-                    };
-                    for row in rows.clone() {
-                        let yr = y[row];
-                        if yr == 0.0 {
-                            continue;
-                        }
-                        let (vals, off) = sys.att_row(row);
-                        for axis in 0..ATT_AXES as usize {
-                            let base = axis * dof + off as usize;
-                            for k in 0..ATT_PARAMS_PER_AXIS as usize {
-                                stage(base + k, vals[axis * 4 + k] * yr);
-                            }
-                        }
-                        if row < sys.n_obs_rows() {
-                            let (ivals, icols) = sys.instr_row(row);
-                            for k in 0..INSTR_NNZ_PER_ROW {
-                                stage(n_att + icols[k] as usize, ivals[k] * yr);
-                            }
-                            if let Some((gv, _)) = sys.glob_row(row) {
-                                stage(shared_len - 1, gv * yr);
-                            }
-                        }
-                    }
-                    debug_assert_eq!(ATT_NNZ_PER_ROW, 12);
-                    for (s, batch) in staged.into_iter().enumerate() {
-                        if batch.is_empty() {
-                            continue;
-                        }
-                        let mut guard = stripes[s].lock();
-                        for (col, v) in batch {
-                            guard[col as usize] += v;
-                        }
-                    }
-                });
-            }
-        })
-        .expect("aprod2 worker panicked");
+        self.plan.aprod2(&self.pool, sys, y, out);
     }
 }
 
@@ -168,35 +72,25 @@ mod tests {
     use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
 
     #[test]
-    fn striped_matches_seq() {
-        let sys = Generator::new(GeneratorConfig::new(SystemLayout::small()).seed(61)).generate();
-        let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.41).sin()).collect();
-        let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.43).cos()).collect();
-        let seq = SeqBackend;
-        let mut want1 = vec![0.0; sys.n_rows()];
-        seq.aprod1(&sys, &x, &mut want1);
-        let mut want2 = vec![0.0; sys.n_cols()];
-        seq.aprod2(&sys, &y, &mut want2);
-        for threads in [1, 3, 8] {
-            let b = StripedBackend::with_threads(threads);
-            let mut got1 = vec![0.0; sys.n_rows()];
-            b.aprod1(&sys, &x, &mut got1);
-            let mut got2 = vec![0.0; sys.n_cols()];
-            b.aprod2(&sys, &y, &mut got2);
-            for (g, w) in got1.iter().zip(&want1) {
-                assert!((g - w).abs() < 1e-10, "threads={threads}");
-            }
-            for (g, w) in got2.iter().zip(&want2) {
-                assert!((g - w).abs() < 1e-10, "threads={threads}");
-            }
-        }
-    }
-
-    #[test]
     fn single_stripe_still_correct() {
         let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(62)).generate();
         let b = StripedBackend::new(Tuning::with_threads(4), 1);
         let y: Vec<f64> = (0..sys.n_rows()).map(|i| i as f64 * 0.01).collect();
+        let seq = SeqBackend;
+        let mut want = vec![0.0; sys.n_cols()];
+        seq.aprod2(&sys, &y, &mut want);
+        let mut got = vec![0.0; sys.n_cols()];
+        b.aprod2(&sys, &y, &mut got);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn oversized_stripe_count_still_correct() {
+        let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(63)).generate();
+        let b = StripedBackend::new(Tuning::with_threads(3), 10_000);
+        let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.02).cos()).collect();
         let seq = SeqBackend;
         let mut want = vec![0.0; sys.n_cols()];
         seq.aprod2(&sys, &y, &mut want);

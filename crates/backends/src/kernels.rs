@@ -261,21 +261,9 @@ pub fn aprod2_glob(sys: &SparseSystem, y: &[f64], rows: Range<usize>, out: &mut 
     out[0] += acc;
 }
 
-/// Split `0..n` into `parts` near-equal contiguous ranges.
-pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
-    let parts = parts.max(1);
-    let base = n / parts;
-    let extra = n % parts;
-    let mut out = Vec::with_capacity(parts);
-    let mut cursor = 0;
-    for p in 0..parts {
-        let len = base + usize::from(p < extra);
-        out.push(cursor..cursor + len);
-        cursor += len;
-    }
-    debug_assert_eq!(cursor, n);
-    out
-}
+// Block-splitting scaffolding lives in the launch layer; re-exported here
+// for the kernel-level tests and any direct kernel callers.
+pub use crate::launch::split_ranges;
 
 #[cfg(test)]
 mod tests {
@@ -425,24 +413,6 @@ mod tests {
         }
         for (a, b) in whole_i.iter().zip(&pieces_i) {
             assert!((a - b).abs() < 1e-12);
-        }
-    }
-
-    #[test]
-    fn split_ranges_partitions_exactly() {
-        for n in [0usize, 1, 7, 100] {
-            for parts in [1usize, 2, 3, 8, 150] {
-                let rs = split_ranges(n, parts);
-                assert_eq!(rs.len(), parts);
-                let total: usize = rs.iter().map(|r| r.len()).sum();
-                assert_eq!(total, n);
-                let mut cursor = 0;
-                for r in rs {
-                    assert_eq!(r.start, cursor);
-                    cursor = r.end;
-                    // Near-equal: lengths differ by at most 1.
-                }
-            }
         }
     }
 

@@ -1,0 +1,745 @@
+//! Launch layer: block-range computation, output partitioning, and
+//! conflict-strategy selection for the `aprod` kernels — in one place.
+//!
+//! The paper's portability layers (CUDA/HIP/SYCL/OpenMP) share one kernel
+//! body per block and differ only in *launch configuration*: grid geometry,
+//! stream assignment, and how colliding updates are resolved (§IV–V).
+//! [`LaunchPlan`] is the Rust mirror of that split. It owns, for every
+//! backend, the row/star/column chunking (derived uniformly from
+//! [`Tuning`], including `chunks_per_thread`) and the partitioning of the
+//! output vector into the four column blocks (astrometric / attitude /
+//! instrumental / global), parameterized by an [`Aprod2Strategy`] per
+//! colliding block. Backends shrink to policy structs that pick a strategy
+//! mix and hand jobs to the shared [`ExecutorPool`].
+//!
+//! Strategy ↔ paper-framework map:
+//!
+//! | [`Aprod2Strategy`] | Paper analogue |
+//! |---|---|
+//! | `OwnerComputes` | OpenMP target-teams `distribute` (column ownership) |
+//! | `Atomic` | CUDA/HIP `atomicAdd` RMW |
+//! | `CasLoop` | CAS-retry codegen (MI250X without `-munsafe-fp-atomics`) |
+//! | `Replicated` | privatization + reduction |
+//! | `LockStriped` | software mutual exclusion (lock-based fallback) |
+
+use std::ops::Range;
+use std::sync::atomic::AtomicU64;
+
+use gaia_sparse::system::{ATT_NNZ_PER_ROW, INSTR_NNZ_PER_ROW};
+use gaia_sparse::{SparseSystem, ATT_AXES, ATT_PARAMS_PER_AXIS};
+use gaia_telemetry::{Block, Phase};
+use parking_lot::Mutex;
+
+use crate::atomicf64::{self, as_atomic};
+use crate::exec::{ExecutorPool, Job};
+use crate::kernels;
+use crate::tuning::Tuning;
+
+/// Split `0..n` into `parts` near-equal contiguous ranges.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut cursor = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(cursor..cursor + len);
+        cursor += len;
+    }
+    debug_assert_eq!(cursor, n);
+    out
+}
+
+/// Split an arbitrary span into `parts` near-equal contiguous subranges.
+pub fn split_span(span: Range<usize>, parts: usize) -> Vec<Range<usize>> {
+    split_ranges(span.len(), parts)
+        .into_iter()
+        .map(|r| span.start + r.start..span.start + r.end)
+        .collect()
+}
+
+/// Worker budget per `aprod2` stream for a thread count, as
+/// `(astro, att, instr)`.
+///
+/// The astrometric stream carries ~5/24 of the coefficients but all the
+/// star traversal, so it gets half the budget; attitude a quarter; the
+/// instrumental stream the remainder (the global stream runs as a single
+/// job). The effective budget is `threads.max(4)` — one slot per stream
+/// minimum — which is what keeps the `max(1)` floors from oversubscribing:
+/// with a raw budget of 1–3 threads the three floors would sum past the
+/// budget, but raising the floor to 4 makes `astro + att + instr == total`
+/// hold exactly.
+pub fn stream_worker_budget(threads: usize) -> (usize, usize, usize) {
+    let total = threads.max(4);
+    let astro = (total / 2).max(1);
+    let att = (total / 4).max(1);
+    let instr = (total - astro - att).max(1);
+    debug_assert!(
+        astro + att + instr <= total,
+        "stream budget oversubscribed: {astro}+{att}+{instr} > {total} (threads = {threads})"
+    );
+    (astro, att, instr)
+}
+
+/// Which atomic accumulation a strategy emits — the paper's RMW vs
+/// CAS-loop code-generation axis (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicFlavor {
+    /// Relaxed weak-CAS loop (the fast, `atomicAdd`-like path).
+    Rmw,
+    /// SeqCst strong-CAS loop with spin hints (the slow fallback emitted by
+    /// compilers lacking `-munsafe-fp-atomics`-style RMW support).
+    CasLoop,
+}
+
+/// Conflict-resolution strategy for the colliding `aprod2` blocks
+/// (attitude / instrumental / global) — the paper's framework column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aprod2Strategy {
+    /// Each job owns a contiguous column range and rescans all rows
+    /// (OpenMP-teams analogue: redundant reads, zero synchronization).
+    OwnerComputes,
+    /// Row-parallel jobs with relaxed atomic f64 RMW updates
+    /// (CUDA/HIP `atomicAdd` analogue).
+    Atomic,
+    /// Row-parallel jobs with SeqCst CAS-retry updates (the slow compiler
+    /// fallback the paper observes on MI250X).
+    CasLoop,
+    /// Row-parallel jobs into per-job private buffers, then a parallel
+    /// reduction (privatization).
+    Replicated,
+    /// Row-parallel jobs that batch updates behind striped mutexes
+    /// (lock-based software fallback).
+    LockStriped {
+        /// Number of mutex stripes over the block section.
+        stripes: usize,
+    },
+}
+
+/// How the thread budget is divided across the four `aprod2` streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerBudget {
+    /// Every section gets the full `Tuning::chunk_count` worth of chunks —
+    /// the sections run back-to-back over the whole pool.
+    Uniform,
+    /// The four sections are treated as concurrent CUDA-like streams with
+    /// per-stream worker shares from [`stream_worker_budget`]; all stream
+    /// jobs launch together and overlap on the pool.
+    Streamed,
+}
+
+/// The four `aprod2` streams (one per column block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stream {
+    /// Astrometric block (star-parallel, collision-free by structure).
+    Astro,
+    /// Attitude block.
+    Att,
+    /// Instrumental block.
+    Instr,
+    /// Global block (a single parameter).
+    Glob,
+}
+
+/// Per-block strategy mix plus the stream budget — what distinguishes one
+/// backend policy from another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aprod2Spec {
+    /// Strategy for the attitude block.
+    pub att: Aprod2Strategy,
+    /// Strategy for the instrumental block.
+    pub instr: Aprod2Strategy,
+    /// Strategy for the global block.
+    pub glob: Aprod2Strategy,
+    /// Stream budgeting.
+    pub budget: WorkerBudget,
+}
+
+impl Aprod2Spec {
+    /// The same strategy for every colliding block, uniform budget.
+    pub fn uniform(strategy: Aprod2Strategy) -> Self {
+        Aprod2Spec {
+            att: strategy,
+            instr: strategy,
+            glob: strategy,
+            budget: WorkerBudget::Uniform,
+        }
+    }
+
+    /// The same strategy for every colliding block, streamed budget.
+    pub fn streamed(strategy: Aprod2Strategy) -> Self {
+        Aprod2Spec {
+            budget: WorkerBudget::Streamed,
+            ..Aprod2Spec::uniform(strategy)
+        }
+    }
+}
+
+/// A backend's launch configuration: tuning + strategy spec. Owns all
+/// range computation and output partitioning for both products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchPlan {
+    /// Thread count and chunk granularity.
+    pub tuning: Tuning,
+    /// Conflict strategies and stream budget for `aprod2`.
+    pub spec: Aprod2Spec,
+}
+
+/// Full-section accumulation over a row range (exclusive access).
+type FullKernel = fn(&SparseSystem, &[f64], Range<usize>, &mut [f64]);
+/// Owner-computes over an owned block-local column range.
+type OwnedKernel = fn(&SparseSystem, &[f64], Range<usize>, Range<usize>, &mut [f64]);
+/// Atomic accumulation into a shared section view.
+type AtomicKernel = fn(&SparseSystem, &[f64], Range<usize>, &[AtomicU64], AtomicFlavor);
+
+/// The three per-section kernel forms a strategy can dispatch to.
+#[derive(Clone, Copy)]
+struct SectionKernels {
+    full: FullKernel,
+    owned: OwnedKernel,
+    atomic: AtomicKernel,
+}
+
+const ATT_KERNELS: SectionKernels = SectionKernels {
+    full: kernels::aprod2_att,
+    owned: kernels::aprod2_att_owned,
+    atomic: aprod2_att_atomic,
+};
+
+const INSTR_KERNELS: SectionKernels = SectionKernels {
+    full: kernels::aprod2_instr,
+    owned: kernels::aprod2_instr_owned,
+    atomic: aprod2_instr_atomic,
+};
+
+impl LaunchPlan {
+    /// Build a plan from tuning and a strategy spec.
+    pub fn new(tuning: Tuning, spec: Aprod2Spec) -> Self {
+        LaunchPlan { tuning, spec }
+    }
+
+    /// Number of row chunks `aprod1` launches for `n_rows` rows.
+    pub fn aprod1_chunks(&self, n_rows: usize) -> usize {
+        self.tuning.chunk_count(n_rows)
+    }
+
+    /// Number of chunks a given `aprod2` stream launches for `work` items
+    /// (rows, stars, or owned columns, depending on the strategy).
+    pub fn section_chunks(&self, stream: Stream, work: usize) -> usize {
+        match self.spec.budget {
+            WorkerBudget::Uniform => self.tuning.chunk_count(work),
+            WorkerBudget::Streamed => {
+                let (astro_w, att_w, instr_w) = stream_worker_budget(self.tuning.threads);
+                let workers = match stream {
+                    Stream::Astro => astro_w,
+                    Stream::Att => att_w,
+                    Stream::Instr => instr_w,
+                    Stream::Glob => return 1,
+                };
+                (workers * self.tuning.chunks_per_thread).clamp(1, work.max(1))
+            }
+        }
+    }
+
+    /// `out += A x` via row chunks on the pool (rows are disjoint, so no
+    /// conflict strategy is needed).
+    pub fn aprod1(&self, pool: &ExecutorPool, sys: &SparseSystem, x: &[f64], out: &mut [f64]) {
+        let n = sys.n_rows();
+        let ranges = split_ranges(n, self.aprod1_chunks(n));
+        let mut jobs: Vec<Job<'_>> = Vec::with_capacity(ranges.len());
+        let mut rest = out;
+        for range in ranges {
+            let (mine, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            jobs.push(Box::new(move || kernels::aprod1_range(sys, x, range, mine)));
+        }
+        pool.run(jobs);
+    }
+
+    /// `out += Aᵀ y`: partition `out` into the four column blocks, launch
+    /// the astrometric star chunks plus each colliding block under its
+    /// strategy in one wave, then run any deferred reductions in a second.
+    pub fn aprod2(&self, pool: &ExecutorPool, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
+        let c = sys.columns();
+        let n_att = (c.instr - c.att) as usize;
+        let n_instr = (c.glob - c.instr) as usize;
+        let (astro, rest) = out.split_at_mut(c.att as usize);
+        let (att, rest2) = rest.split_at_mut(n_att);
+        let (instr, glob) = rest2.split_at_mut(n_instr);
+
+        let n_stars = sys.layout().n_stars as usize;
+        let n_rows = sys.n_rows();
+        let n_obs = sys.n_obs_rows();
+
+        // Storage that wave-1 jobs borrow and wave 2 reduces from.
+        let mut att_privates: Vec<Vec<f64>> = Vec::new();
+        let mut instr_privates: Vec<Vec<f64>> = Vec::new();
+        let mut att_stripes: Vec<Mutex<Vec<f64>>> = Vec::new();
+        let mut instr_stripes: Vec<Mutex<Vec<f64>>> = Vec::new();
+        let mut glob_partials: Vec<f64> = Vec::new();
+
+        let mut jobs: Vec<Job<'_>> = Vec::new();
+
+        // Astrometric stream: star-aligned split, collision-free — each
+        // star chunk owns an exactly matching slice of the astro section.
+        let mut astro_rest = astro;
+        for stars in split_ranges(n_stars, self.section_chunks(Stream::Astro, n_stars)) {
+            let (mine, tail) = astro_rest.split_at_mut(stars.len() * 5);
+            astro_rest = tail;
+            jobs.push(Box::new(move || kernels::aprod2_astro(sys, y, stars, mine)));
+        }
+
+        let att_deferred = self.section_jobs(
+            Stream::Att,
+            sys,
+            y,
+            0..n_rows,
+            att,
+            self.spec.att,
+            ATT_KERNELS,
+            &mut att_privates,
+            &mut att_stripes,
+            &mut jobs,
+        );
+        let instr_deferred = self.section_jobs(
+            Stream::Instr,
+            sys,
+            y,
+            0..n_obs,
+            instr,
+            self.spec.instr,
+            INSTR_KERNELS,
+            &mut instr_privates,
+            &mut instr_stripes,
+            &mut jobs,
+        );
+        let glob_deferred = self.glob_jobs(sys, y, 0..n_obs, glob, &mut glob_partials, &mut jobs);
+
+        pool.run(jobs);
+
+        // Wave 2: reductions for privatized / striped sections.
+        let mut red_jobs: Vec<Job<'_>> = Vec::new();
+        self.reduction_jobs(att_deferred, &att_privates, &att_stripes, &mut red_jobs);
+        self.reduction_jobs(
+            instr_deferred,
+            &instr_privates,
+            &instr_stripes,
+            &mut red_jobs,
+        );
+        pool.run(red_jobs);
+
+        if let Some(glob_out) = glob_deferred {
+            glob_out[0] += glob_partials.iter().sum::<f64>();
+        }
+    }
+
+    /// Queue the wave-1 jobs for one colliding section under `strategy`.
+    /// Returns the section back to the caller when a wave-2 reduction is
+    /// needed (replicated / lock-striped), `None` when wave 1 writes the
+    /// section directly.
+    #[allow(clippy::too_many_arguments)]
+    fn section_jobs<'s, 'a>(
+        &self,
+        stream: Stream,
+        sys: &'a SparseSystem,
+        y: &'a [f64],
+        rows: Range<usize>,
+        section: &'s mut [f64],
+        strategy: Aprod2Strategy,
+        kerns: SectionKernels,
+        privates: &'a mut Vec<Vec<f64>>,
+        stripes: &'a mut Vec<Mutex<Vec<f64>>>,
+        jobs: &mut Vec<Job<'a>>,
+    ) -> Option<&'s mut [f64]>
+    where
+        's: 'a,
+    {
+        if section.is_empty() {
+            return None;
+        }
+        let section_len = section.len();
+        match strategy {
+            Aprod2Strategy::OwnerComputes => {
+                let chunks = self.section_chunks(stream, section_len);
+                let mut rest: &'a mut [f64] = section;
+                for own in split_ranges(section_len, chunks) {
+                    let (mine, tail) = rest.split_at_mut(own.len());
+                    rest = tail;
+                    let rows = rows.clone();
+                    jobs.push(Box::new(move || (kerns.owned)(sys, y, rows, own, mine)));
+                }
+                None
+            }
+            Aprod2Strategy::Atomic | Aprod2Strategy::CasLoop => {
+                let flavor = if strategy == Aprod2Strategy::Atomic {
+                    AtomicFlavor::Rmw
+                } else {
+                    AtomicFlavor::CasLoop
+                };
+                let view: &'a [AtomicU64] = as_atomic(section);
+                let chunks = self.section_chunks(stream, rows.len());
+                for chunk in split_span(rows, chunks) {
+                    jobs.push(Box::new(move || {
+                        (kerns.atomic)(sys, y, chunk, view, flavor)
+                    }));
+                }
+                None
+            }
+            Aprod2Strategy::Replicated => {
+                let chunks = self.section_chunks(stream, rows.len());
+                let spans = split_span(rows, chunks);
+                *privates = vec![vec![0.0; section_len]; spans.len()];
+                let privates: &'a mut Vec<Vec<f64>> = privates;
+                for (private, chunk) in privates.iter_mut().zip(spans) {
+                    jobs.push(Box::new(move || (kerns.full)(sys, y, chunk, private)));
+                }
+                Some(section)
+            }
+            Aprod2Strategy::LockStriped { stripes: n } => {
+                let n_stripes = n.max(1).min(section_len);
+                *stripes = split_ranges(section_len, n_stripes)
+                    .into_iter()
+                    .map(|r| Mutex::new(vec![0.0; r.len()]))
+                    .collect();
+                let stripes: &'a Vec<Mutex<Vec<f64>>> = stripes;
+                let chunks = self.section_chunks(stream, rows.len());
+                for chunk in split_span(rows, chunks) {
+                    jobs.push(Box::new(move || {
+                        // Accumulate the chunk's full-section contribution
+                        // locally, then apply it stripe by stripe under the
+                        // stripe locks (batched mutual exclusion).
+                        let mut local = vec![0.0; section_len];
+                        (kerns.full)(sys, y, chunk, &mut local);
+                        let mut offset = 0;
+                        for stripe in stripes.iter() {
+                            let mut guard = stripe.lock();
+                            let len = guard.len();
+                            for (slot, &v) in guard.iter_mut().zip(&local[offset..offset + len]) {
+                                *slot += v;
+                            }
+                            offset += len;
+                        }
+                    }));
+                }
+                Some(section)
+            }
+        }
+    }
+
+    /// Queue the wave-1 jobs for the global block. Returns the section when
+    /// a caller-side combine of `partials` is needed (replicated).
+    fn glob_jobs<'s, 'a>(
+        &self,
+        sys: &'a SparseSystem,
+        y: &'a [f64],
+        obs: Range<usize>,
+        glob: &'s mut [f64],
+        partials: &'a mut Vec<f64>,
+        jobs: &mut Vec<Job<'a>>,
+    ) -> Option<&'s mut [f64]>
+    where
+        's: 'a,
+    {
+        if glob.is_empty() || sys.layout().n_glob_params == 0 {
+            return None;
+        }
+        match self.spec.glob {
+            // A single global slot: ownership and striping both degenerate
+            // to one exclusive reduction job.
+            Aprod2Strategy::OwnerComputes | Aprod2Strategy::LockStriped { .. } => {
+                let glob: &'a mut [f64] = glob;
+                jobs.push(Box::new(move || kernels::aprod2_glob(sys, y, obs, glob)));
+                None
+            }
+            Aprod2Strategy::Atomic | Aprod2Strategy::CasLoop => {
+                let flavor = if self.spec.glob == Aprod2Strategy::Atomic {
+                    AtomicFlavor::Rmw
+                } else {
+                    AtomicFlavor::CasLoop
+                };
+                let glob: &'a mut [f64] = glob;
+                let view: &'a [AtomicU64] = as_atomic(glob);
+                let chunks = self.section_chunks(Stream::Glob, obs.len());
+                for chunk in split_span(obs, chunks) {
+                    jobs.push(Box::new(move || {
+                        aprod2_glob_atomic(sys, y, chunk, view, flavor)
+                    }));
+                }
+                None
+            }
+            Aprod2Strategy::Replicated => {
+                let chunks = self.section_chunks(Stream::Glob, obs.len());
+                let spans = split_span(obs, chunks);
+                *partials = vec![0.0; spans.len()];
+                let partials: &'a mut Vec<f64> = partials;
+                for (slot, chunk) in partials.iter_mut().zip(spans) {
+                    jobs.push(Box::new(move || {
+                        let mut local = [0.0f64];
+                        kernels::aprod2_glob(sys, y, chunk, &mut local);
+                        *slot = local[0];
+                    }));
+                }
+                Some(glob)
+            }
+        }
+    }
+
+    /// Queue the wave-2 reduction jobs for a deferred section: sum the
+    /// private buffers (replicated) or copy the stripe accumulators back
+    /// (lock-striped) into the real output, column-parallel.
+    fn reduction_jobs<'a>(
+        &self,
+        section: Option<&'a mut [f64]>,
+        privates: &'a [Vec<f64>],
+        stripes: &'a [Mutex<Vec<f64>>],
+        jobs: &mut Vec<Job<'a>>,
+    ) {
+        let Some(section) = section else { return };
+        if !privates.is_empty() {
+            let len = section.len();
+            let mut rest = section;
+            for own in split_ranges(len, self.tuning.chunk_count(len)) {
+                let (mine, tail) = rest.split_at_mut(own.len());
+                rest = tail;
+                jobs.push(Box::new(move || {
+                    for private in privates {
+                        for (slot, &v) in mine.iter_mut().zip(&private[own.start..own.end]) {
+                            *slot += v;
+                        }
+                    }
+                }));
+            }
+        } else {
+            // Stripe buffers are disjoint by construction: one job each.
+            let mut rest = section;
+            for stripe in stripes {
+                let len = stripe.lock().len();
+                let (mine, tail) = rest.split_at_mut(len);
+                rest = tail;
+                jobs.push(Box::new(move || {
+                    let buf = stripe.lock();
+                    for (slot, &v) in mine.iter_mut().zip(buf.iter()) {
+                        *slot += v;
+                    }
+                }));
+            }
+        }
+    }
+}
+
+/// Attitude `aprod2` over a row range with atomic updates into the shared
+/// block-local attitude section.
+fn aprod2_att_atomic(
+    sys: &SparseSystem,
+    y: &[f64],
+    rows: Range<usize>,
+    out: &[AtomicU64],
+    flavor: AtomicFlavor,
+) {
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Att);
+    t.add_bytes(rows.len() as u64 * (3 * ATT_NNZ_PER_ROW as u64 + 1) * 8);
+    t.add_rmws(rows.len() as u64 * ATT_NNZ_PER_ROW as u64);
+    let dof = sys.layout().n_deg_freedom_att as usize;
+    for row in rows {
+        let yr = y[row];
+        if yr == 0.0 {
+            continue;
+        }
+        let (vals, off) = sys.att_row(row);
+        for axis in 0..ATT_AXES as usize {
+            let base = axis * dof + off as usize;
+            for k in 0..ATT_PARAMS_PER_AXIS as usize {
+                atomic_add(flavor, &out[base + k], vals[axis * 4 + k] * yr);
+            }
+        }
+    }
+    debug_assert_eq!(ATT_NNZ_PER_ROW, 12);
+}
+
+/// Instrumental `aprod2` over a row range with atomic updates.
+fn aprod2_instr_atomic(
+    sys: &SparseSystem,
+    y: &[f64],
+    rows: Range<usize>,
+    out: &[AtomicU64],
+    flavor: AtomicFlavor,
+) {
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Instr);
+    t.add_bytes(rows.len() as u64 * (3 * INSTR_NNZ_PER_ROW as u64 + 1) * 8);
+    t.add_rmws(rows.len() as u64 * INSTR_NNZ_PER_ROW as u64);
+    for row in rows {
+        let yr = y[row];
+        if yr == 0.0 {
+            continue;
+        }
+        let (vals, cols) = sys.instr_row(row);
+        for k in 0..INSTR_NNZ_PER_ROW {
+            atomic_add(flavor, &out[cols[k] as usize], vals[k] * yr);
+        }
+    }
+}
+
+/// Global `aprod2` over a row range: local reduction, single atomic add.
+fn aprod2_glob_atomic(
+    sys: &SparseSystem,
+    y: &[f64],
+    rows: Range<usize>,
+    out: &[AtomicU64],
+    flavor: AtomicFlavor,
+) {
+    if sys.layout().n_glob_params == 0 {
+        return;
+    }
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Glob);
+    t.add_bytes(rows.len() as u64 * 16 + 16);
+    t.add_rmws(1);
+    let glob = sys.values_glob();
+    let mut acc = 0.0;
+    for row in rows {
+        acc += glob[row] * y[row];
+    }
+    atomic_add(flavor, &out[0], acc);
+}
+
+#[inline]
+fn atomic_add(flavor: AtomicFlavor, slot: &AtomicU64, v: f64) {
+    match flavor {
+        AtomicFlavor::Rmw => atomicf64::add_relaxed(slot, v),
+        AtomicFlavor::CasLoop => atomicf64::add_seqcst_spin(slot, v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuning_2x4() -> Tuning {
+        Tuning {
+            threads: 2,
+            chunks_per_thread: 4,
+        }
+    }
+
+    /// The `chunks_per_thread` bugfix: a 2-thread, 4-chunks-per-thread
+    /// tuning must produce 8 chunks in every uniform-budget section, not 2.
+    #[test]
+    fn uniform_budget_honors_chunks_per_thread() {
+        let plan = LaunchPlan::new(
+            tuning_2x4(),
+            Aprod2Spec::uniform(Aprod2Strategy::OwnerComputes),
+        );
+        assert_eq!(plan.aprod1_chunks(1000), 8);
+        for stream in [Stream::Astro, Stream::Att, Stream::Instr, Stream::Glob] {
+            assert_eq!(plan.section_chunks(stream, 1000), 8, "{stream:?}");
+        }
+        // Clamped by available work.
+        assert_eq!(plan.section_chunks(Stream::Att, 3), 3);
+        assert_eq!(plan.section_chunks(Stream::Att, 0), 1);
+    }
+
+    #[test]
+    fn streamed_budget_scales_per_stream_shares() {
+        let plan = LaunchPlan::new(
+            tuning_2x4(),
+            Aprod2Spec::streamed(Aprod2Strategy::OwnerComputes),
+        );
+        // threads = 2 → effective stream budget 4 → astro 2, att 1, instr 1
+        // workers, each × 4 chunks per thread.
+        assert_eq!(plan.section_chunks(Stream::Astro, 1000), 8);
+        assert_eq!(plan.section_chunks(Stream::Att, 1000), 4);
+        assert_eq!(plan.section_chunks(Stream::Instr, 1000), 4);
+        assert_eq!(plan.section_chunks(Stream::Glob, 1000), 1);
+    }
+
+    /// The `max(1)` floors could oversubscribe a raw 1–3 thread budget
+    /// (e.g. threads = 1 would yield 1+1+1 = 3 workers); the `max(4)`
+    /// effective budget is what keeps the sum within bounds.
+    #[test]
+    fn worker_budget_never_oversubscribes() {
+        for threads in [1usize, 2, 3] {
+            let (astro, att, instr) = stream_worker_budget(threads);
+            let effective = threads.max(4);
+            assert!(astro >= 1 && att >= 1 && instr >= 1, "threads = {threads}");
+            assert!(
+                astro + att + instr <= effective,
+                "threads = {threads}: {astro}+{att}+{instr} > {effective}"
+            );
+        }
+        for threads in [4usize, 5, 8, 17, 64] {
+            let (astro, att, instr) = stream_worker_budget(threads);
+            assert!(
+                astro + att + instr <= threads,
+                "threads = {threads}: {astro}+{att}+{instr} > {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_ranges_partitions_exactly() {
+        for n in [0usize, 1, 7, 100] {
+            for parts in [1usize, 2, 3, 8, 150] {
+                let rs = split_ranges(n, parts);
+                assert_eq!(rs.len(), parts);
+                let total: usize = rs.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n);
+                let mut cursor = 0;
+                for r in rs {
+                    assert_eq!(r.start, cursor);
+                    cursor = r.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_span_offsets_the_partition() {
+        let spans = split_span(10..22, 4);
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].start, 10);
+        assert_eq!(spans[3].end, 22);
+        let total: usize = spans.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 12);
+    }
+
+    /// Every strategy must produce the same aprod2 result on the same plan
+    /// chassis — the single-source property the layer exists for.
+    #[test]
+    fn every_strategy_matches_the_serial_kernels() {
+        use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
+        let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(7)).generate();
+        let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.31).sin()).collect();
+        let mut want = vec![0.0; sys.n_cols()];
+        {
+            let c = sys.columns();
+            let (astro, rest) = want.split_at_mut(c.att as usize);
+            let (att, rest2) = rest.split_at_mut((c.instr - c.att) as usize);
+            let (instr, glob) = rest2.split_at_mut((c.glob - c.instr) as usize);
+            kernels::aprod2_astro(&sys, &y, 0..sys.layout().n_stars as usize, astro);
+            kernels::aprod2_att(&sys, &y, 0..sys.n_rows(), att);
+            kernels::aprod2_instr(&sys, &y, 0..sys.n_obs_rows(), instr);
+            kernels::aprod2_glob(&sys, &y, 0..sys.n_obs_rows(), glob);
+        }
+        let pool = ExecutorPool::new(3);
+        let strategies = [
+            Aprod2Strategy::OwnerComputes,
+            Aprod2Strategy::Atomic,
+            Aprod2Strategy::CasLoop,
+            Aprod2Strategy::Replicated,
+            Aprod2Strategy::LockStriped { stripes: 5 },
+        ];
+        for strategy in strategies {
+            for spec in [
+                Aprod2Spec::uniform(strategy),
+                Aprod2Spec::streamed(strategy),
+            ] {
+                let plan = LaunchPlan::new(tuning_2x4(), spec);
+                let mut got = vec![0.0; sys.n_cols()];
+                plan.aprod2(&pool, &sys, &y, &mut got);
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-10, "{strategy:?} {spec:?}: {g} vs {w}");
+                }
+            }
+        }
+    }
+}

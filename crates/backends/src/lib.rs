@@ -33,8 +33,10 @@
 pub mod atomicf64;
 pub mod blas;
 pub mod chaos;
+pub mod exec;
 pub mod instrumented;
 pub mod kernels;
+pub mod launch;
 pub mod registry;
 pub mod traits;
 pub mod tuning;
@@ -59,7 +61,11 @@ pub use backend_seq::SeqBackend;
 pub use backend_streamed::StreamedBackend;
 pub use backend_striped::StripedBackend;
 pub use chaos::{ChaosBackend, ChaosMode, ChaosTarget};
+pub use exec::ExecutorPool;
 pub use instrumented::InstrumentedBackend;
-pub use registry::{all_backends, backend_by_name, backend_names, instrumented_by_name};
+pub use launch::{Aprod2Spec, Aprod2Strategy, AtomicFlavor, LaunchPlan, WorkerBudget};
+pub use registry::{
+    all_backends, backend_by_name, backend_names, grid_backends, instrumented_by_name,
+};
 pub use traits::Backend;
 pub use tuning::Tuning;

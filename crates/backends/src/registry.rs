@@ -1,8 +1,14 @@
 //! Backend registry: construct every strategy by name, the way the paper's
 //! harness selects a framework per run.
+//!
+//! Names follow the grammar `<policy>[-t<threads>[-c<chunks>]]`, e.g.
+//! `chunked`, `atomic-t8`, `striped-t4-c2`. Tuned names — exactly what
+//! [`crate::traits::Backend::name`] emits into telemetry reports — parse
+//! back to an equivalent backend, so every reported name round-trips.
 
 use crate::instrumented::InstrumentedBackend;
 use crate::traits::Backend;
+use crate::tuning::Tuning;
 use crate::{
     AtomicBackend, CasLoopBackend, ChunkedBackend, RayonBackend, ReplicatedBackend, SeqBackend,
     StreamedBackend, StripedBackend,
@@ -23,6 +29,39 @@ pub fn backend_names() -> &'static [&'static str] {
     ]
 }
 
+/// The canonical tuned name for a policy: `<policy>-t<threads>` with a
+/// `-c<chunks>` suffix only when `chunks_per_thread > 1`.
+pub fn tuned_name(policy: &str, tuning: Tuning) -> String {
+    if tuning.chunks_per_thread > 1 {
+        format!("{policy}-t{}-c{}", tuning.threads, tuning.chunks_per_thread)
+    } else {
+        format!("{policy}-t{}", tuning.threads)
+    }
+}
+
+/// Parse `<policy>[-t<threads>[-c<chunks>]]` into its components.
+/// Returns `None` on malformed suffixes (wrong marker, empty or
+/// non-numeric digits, trailing segments).
+fn parse_name(name: &str) -> Option<(&str, Option<usize>, Option<usize>)> {
+    let mut parts = name.split('-');
+    let policy = parts.next()?;
+    if policy.is_empty() {
+        return None;
+    }
+    let mut threads = None;
+    let mut chunks = None;
+    if let Some(seg) = parts.next() {
+        threads = Some(seg.strip_prefix('t')?.parse().ok()?);
+        if let Some(seg) = parts.next() {
+            chunks = Some(seg.strip_prefix('c')?.parse().ok()?);
+            if parts.next().is_some() {
+                return None;
+            }
+        }
+    }
+    Some((policy, threads, chunks))
+}
+
 /// Instantiate every backend with the given thread budget.
 pub fn all_backends(threads: usize) -> Vec<Box<dyn Backend>> {
     backend_names()
@@ -31,18 +70,48 @@ pub fn all_backends(threads: usize) -> Vec<Box<dyn Backend>> {
         .collect()
 }
 
-/// Instantiate a backend by strategy name.
+/// The full policy × tuning grid: every tuned (non-oblivious) policy at
+/// every `(threads, chunks_per_thread)` combination.
+pub fn grid_backends(threads: &[usize], chunks_per_thread: &[usize]) -> Vec<Box<dyn Backend>> {
+    let mut grid = Vec::new();
+    for &t in threads {
+        for &c in chunks_per_thread {
+            for name in backend_names() {
+                if matches!(*name, "seq" | "rayon") {
+                    continue; // tuning-oblivious: one instance is enough
+                }
+                let tuned = tuned_name(
+                    name,
+                    Tuning {
+                        threads: t,
+                        chunks_per_thread: c,
+                    },
+                );
+                grid.push(backend_by_name(&tuned, t).expect("grid name parses"));
+            }
+        }
+    }
+    grid
+}
+
+/// Instantiate a backend by name. `threads` is the default thread budget,
+/// used when the name carries no `-t<threads>` suffix.
 pub fn backend_by_name(name: &str, threads: usize) -> Option<Box<dyn Backend>> {
-    Some(match name {
+    let (policy, t, c) = parse_name(name)?;
+    let tuning = Tuning {
+        threads: t.unwrap_or(threads).max(1),
+        chunks_per_thread: c.unwrap_or(1).max(1),
+    };
+    Some(match policy {
         "seq" => Box::new(SeqBackend),
-        "chunked" => Box::new(ChunkedBackend::with_threads(threads)),
-        "atomic" => Box::new(AtomicBackend::with_threads(threads)),
-        "casloop" => Box::new(CasLoopBackend::with_threads(threads)),
-        "replicated" => Box::new(ReplicatedBackend::with_threads(threads)),
-        "striped" => Box::new(StripedBackend::with_threads(threads)),
+        "chunked" => Box::new(ChunkedBackend::new(tuning)),
+        "atomic" => Box::new(AtomicBackend::new(tuning)),
+        "casloop" => Box::new(CasLoopBackend::new(tuning)),
+        "replicated" => Box::new(ReplicatedBackend::new(tuning)),
+        "striped" => Box::new(StripedBackend::new(tuning, tuning.threads * 4)),
         "rayon" => Box::new(RayonBackend),
-        "streamed" => Box::new(StreamedBackend::with_threads(threads)),
-        "hybrid" => Box::new(crate::HybridBackend::with_threads(threads)),
+        "streamed" => Box::new(StreamedBackend::new(tuning)),
+        "hybrid" => Box::new(crate::HybridBackend::new(tuning)),
         _ => return None,
     })
 }
@@ -72,6 +141,66 @@ mod tests {
     fn unknown_name_is_none() {
         assert!(backend_by_name("cuda", 2).is_none());
         assert!(instrumented_by_name("cuda", 2).is_none());
+    }
+
+    #[test]
+    fn malformed_suffixes_are_none() {
+        for name in [
+            "chunked-x4",
+            "chunked-t",
+            "chunked-tfour",
+            "chunked-t4-k2",
+            "chunked-t4-c",
+            "chunked-t4-c2-extra",
+            "-t4",
+        ] {
+            assert!(backend_by_name(name, 2).is_none(), "{name}");
+        }
+    }
+
+    /// The round-trip bugfix: every name a backend emits (into telemetry
+    /// JSON, bench reports, ...) must re-instantiate an identically named
+    /// backend.
+    #[test]
+    fn every_emitted_name_round_trips() {
+        for threads in [1usize, 3, 8] {
+            for b in all_backends(threads) {
+                let name = b.name();
+                let again = backend_by_name(&name, 1)
+                    .unwrap_or_else(|| panic!("{name} does not round-trip"));
+                assert_eq!(again.name(), name);
+            }
+        }
+        // Chunked suffixes round-trip too.
+        for b in grid_backends(&[2, 5], &[1, 4]) {
+            let name = b.name();
+            let again =
+                backend_by_name(&name, 1).unwrap_or_else(|| panic!("{name} does not round-trip"));
+            assert_eq!(again.name(), name);
+        }
+    }
+
+    #[test]
+    fn explicit_suffix_overrides_the_thread_argument() {
+        let b = backend_by_name("chunked-t6", 2).unwrap();
+        assert_eq!(b.name(), "chunked-t6");
+        let b = backend_by_name("atomic-t3-c5", 64).unwrap();
+        assert_eq!(b.name(), "atomic-t3-c5");
+        // Bare names keep using the argument.
+        let b = backend_by_name("chunked", 7).unwrap();
+        assert_eq!(b.name(), "chunked-t7");
+    }
+
+    #[test]
+    fn grid_covers_every_tuned_policy() {
+        let threads = [1usize, 3];
+        let chunks = [1usize, 4];
+        let grid = grid_backends(&threads, &chunks);
+        let tuned_policies = backend_names()
+            .iter()
+            .filter(|n| !matches!(**n, "seq" | "rayon"))
+            .count();
+        assert_eq!(grid.len(), tuned_policies * threads.len() * chunks.len());
     }
 
     #[test]

@@ -19,14 +19,35 @@ fn layouts() -> impl Strategy<Value = SystemLayout> {
         .prop_filter("overdetermined", |l| l.validate().is_ok())
 }
 
+/// The tuned policies and the (threads, chunks_per_thread) grid the sweep
+/// covers — the table-driven replacement for the per-backend copies of
+/// the matches-seq test that used to live in every `backend_*.rs`.
+const POLICIES: &[&str] = &[
+    "chunked",
+    "atomic",
+    "casloop",
+    "replicated",
+    "striped",
+    "streamed",
+    "hybrid",
+];
+const THREAD_GRID: &[usize] = &[1, 3, 8];
+const CHUNK_GRID: &[usize] = &[1, 4];
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    /// Policy-grid equivalence: every tuned policy, instantiated through
+    /// the registry's round-trippable `<policy>-t<threads>-c<chunks>`
+    /// names, must match the sequential oracle on arbitrary systems and
+    /// prior output contents (the accumulate contract).
     #[test]
-    fn every_backend_matches_seq_on_random_systems(
+    fn policy_grid_matches_seq_on_random_systems(
         layout in layouts(),
         seed in 0u64..300,
-        threads in 1usize..6,
+        policy_idx in 0usize..POLICIES.len(),
+        threads_idx in 0usize..THREAD_GRID.len(),
+        chunks_idx in 0usize..CHUNK_GRID.len(),
         bias in -2.0f64..2.0,
     ) {
         let sys = Generator::new(GeneratorConfig::new(layout).seed(seed)).generate();
@@ -38,17 +59,26 @@ proptest! {
         let mut want2 = vec![bias; sys.n_cols()];
         seq.aprod2(&sys, &y, &mut want2);
 
-        for backend in all_backends(threads) {
-            let mut got1 = vec![bias; sys.n_rows()];
-            backend.aprod1(&sys, &x, &mut got1);
-            for (g, w) in got1.iter().zip(&want1) {
-                prop_assert!((g - w).abs() < 1e-10, "{} aprod1", backend.name());
-            }
-            let mut got2 = vec![bias; sys.n_cols()];
-            backend.aprod2(&sys, &y, &mut got2);
-            for (g, w) in got2.iter().zip(&want2) {
-                prop_assert!((g - w).abs() < 1e-10, "{} aprod2", backend.name());
-            }
+        let policy = POLICIES[policy_idx];
+        let threads = THREAD_GRID[threads_idx];
+        let chunks = CHUNK_GRID[chunks_idx];
+        let name = format!("{policy}-t{threads}-c{chunks}");
+        let backend = backend_by_name(&name, 1)
+            .unwrap_or_else(|| panic!("{name} must resolve"));
+        prop_assert_eq!(
+            backend.name(),
+            if chunks > 1 { name.clone() } else { format!("{policy}-t{threads}") }
+        );
+
+        let mut got1 = vec![bias; sys.n_rows()];
+        backend.aprod1(&sys, &x, &mut got1);
+        for (g, w) in got1.iter().zip(&want1) {
+            prop_assert!((g - w).abs() < 1e-10, "{} aprod1: {} vs {}", name, g, w);
+        }
+        let mut got2 = vec![bias; sys.n_cols()];
+        backend.aprod2(&sys, &y, &mut got2);
+        for (g, w) in got2.iter().zip(&want2) {
+            prop_assert!((g - w).abs() < 1e-10, "{} aprod2: {} vs {}", name, g, w);
         }
     }
 

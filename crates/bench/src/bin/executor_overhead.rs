@@ -1,0 +1,192 @@
+//! Executor-pool overhead study: per-iteration wall time of the pooled
+//! launch path vs the legacy spawn-per-call pattern the backends used
+//! before the [`gaia_backends::ExecutorPool`] refactor.
+//!
+//! The legacy baseline lives *here*, not in `gaia-backends`: it re-creates
+//! the old chunked owner-computes backend with `std::thread::scope`
+//! spawning fresh OS threads on every `aprod1`/`aprod2` call, which is
+//! exactly the overhead the persistent pool eliminates. Keeping it in the
+//! bench bin means no spawn-per-call code remains in any backend hot path.
+//!
+//! Artifacts: `results/bench/executor_overhead.json` plus a repo-root
+//! `BENCH_executor.json` summary. Pass `--quick` (CI smoke) for a tiny
+//! layout and few iterations.
+
+use std::time::Instant;
+
+use gaia_backends::kernels;
+use gaia_backends::launch::split_ranges;
+use gaia_backends::{Backend, ChunkedBackend, Tuning};
+use gaia_sparse::{Generator, GeneratorConfig, SparseSystem, SystemLayout};
+
+/// Legacy `out += A x`: fresh scoped threads per call, one per row chunk.
+fn legacy_aprod1(sys: &SparseSystem, x: &[f64], out: &mut [f64], threads: usize) {
+    let ranges = split_ranges(sys.n_rows(), threads.max(1));
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        for rows in ranges {
+            let (mine, tail) = rest.split_at_mut(rows.len());
+            rest = tail;
+            scope.spawn(move || kernels::aprod1_range(sys, x, rows, mine));
+        }
+    });
+}
+
+/// Legacy `out += Aᵀ y`: fresh scoped threads per call — star chunks for
+/// the astrometric block, owner-computes column splits for attitude and
+/// instrumental, one thread for the global sum.
+fn legacy_aprod2(sys: &SparseSystem, y: &[f64], out: &mut [f64], threads: usize) {
+    let c = sys.columns();
+    let n_att = (c.instr - c.att) as usize;
+    let n_instr = (c.glob - c.instr) as usize;
+    let (astro, rest) = out.split_at_mut(c.att as usize);
+    let (att, rest2) = rest.split_at_mut(n_att);
+    let (instr, glob) = rest2.split_at_mut(n_instr);
+    let n_stars = sys.layout().n_stars as usize;
+    let n_rows = sys.n_rows();
+    let n_obs = sys.n_obs_rows();
+    let threads = threads.max(1);
+
+    std::thread::scope(|scope| {
+        let mut astro_rest = astro;
+        for stars in split_ranges(n_stars, threads) {
+            let (mine, tail) = astro_rest.split_at_mut(stars.len() * 5);
+            astro_rest = tail;
+            scope.spawn(move || kernels::aprod2_astro(sys, y, stars, mine));
+        }
+        let mut att_rest = att;
+        for own in split_ranges(n_att, threads) {
+            let (mine, tail) = att_rest.split_at_mut(own.len());
+            att_rest = tail;
+            scope.spawn(move || kernels::aprod2_att_owned(sys, y, 0..n_rows, own, mine));
+        }
+        let mut instr_rest = instr;
+        for own in split_ranges(n_instr, threads) {
+            let (mine, tail) = instr_rest.split_at_mut(own.len());
+            instr_rest = tail;
+            scope.spawn(move || kernels::aprod2_instr_owned(sys, y, 0..n_obs, own, mine));
+        }
+        if !glob.is_empty() {
+            scope.spawn(move || kernels::aprod2_glob(sys, y, 0..n_obs, glob));
+        }
+    });
+}
+
+/// Mean seconds per iteration of `iters` combined `aprod1`+`aprod2` calls.
+fn time_iterations<F>(sys: &SparseSystem, warmup: usize, iters: usize, mut step: F) -> f64
+where
+    F: FnMut(&SparseSystem, &[f64], &[f64], &mut [f64], &mut [f64]),
+{
+    let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.13).sin()).collect();
+    let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.17).cos()).collect();
+    let mut out1 = vec![0.0; sys.n_rows()];
+    let mut out2 = vec![0.0; sys.n_cols()];
+    for _ in 0..warmup {
+        step(sys, &x, &y, &mut out1, &mut out2);
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        step(sys, &x, &y, &mut out1, &mut out2);
+    }
+    let elapsed = t0.elapsed().as_secs_f64() / iters as f64;
+    // Keep the outputs observable so the work cannot be optimized away.
+    assert!(out1.iter().chain(out2.iter()).all(|v| v.is_finite()));
+    elapsed
+}
+
+struct Case {
+    label: &'static str,
+    layout: SystemLayout,
+    warmup: usize,
+    iters: usize,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let threads = 4usize;
+    let cases: Vec<Case> = if quick {
+        vec![Case {
+            label: "tiny",
+            layout: SystemLayout::tiny(),
+            warmup: 2,
+            iters: 10,
+        }]
+    } else {
+        vec![
+            Case {
+                label: "small",
+                layout: SystemLayout::small(),
+                warmup: 5,
+                iters: 60,
+            },
+            Case {
+                label: "medium",
+                layout: SystemLayout::medium(),
+                warmup: 3,
+                iters: 25,
+            },
+        ]
+    };
+
+    let mut rows = Vec::new();
+    for case in &cases {
+        let sys = Generator::new(GeneratorConfig::new(case.layout).seed(7)).generate();
+        let legacy = time_iterations(&sys, case.warmup, case.iters, |s, x, y, o1, o2| {
+            legacy_aprod1(s, x, o1, threads);
+            legacy_aprod2(s, y, o2, threads);
+        });
+        let pooled_backend = ChunkedBackend::new(Tuning::with_threads(threads));
+        let pooled = time_iterations(&sys, case.warmup, case.iters, |s, x, y, o1, o2| {
+            pooled_backend.aprod1(s, x, o1);
+            pooled_backend.aprod2(s, y, o2);
+        });
+        let speedup = legacy / pooled;
+        println!(
+            "{:<8} rows={:<8} legacy {:>10.3} µs/iter   pooled {:>10.3} µs/iter   speedup {:.2}x",
+            case.label,
+            sys.n_rows(),
+            1e6 * legacy,
+            1e6 * pooled,
+            speedup,
+        );
+        rows.push(serde_json::json!({
+            "layout": case.label,
+            "n_rows": sys.n_rows(),
+            "n_cols": sys.n_cols(),
+            "iterations": case.iters,
+            "legacy_spawn_seconds_per_iter": legacy,
+            "pooled_seconds_per_iter": pooled,
+            "speedup_pooled_over_legacy": speedup,
+        }));
+    }
+
+    let report = serde_json::json!({
+        "bench": "executor_overhead",
+        "threads": threads,
+        "quick": quick,
+        "backend": "chunked (owner-computes policy on the shared pool)",
+        "baseline": "identical kernels, std::thread::scope spawn per call",
+        "cases": rows,
+    });
+    write_json("results/bench/executor_overhead.json", &report);
+    write_json("BENCH_executor.json", &report);
+}
+
+fn write_json(path: &str, json: &serde_json::Value) {
+    let path = std::path::Path::new(path);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+                return;
+            }
+        }
+    }
+    match std::fs::write(
+        path,
+        serde_json::to_string_pretty(json).expect("serializable"),
+    ) {
+        Ok(()) => println!("[artifact] {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

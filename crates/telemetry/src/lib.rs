@@ -156,6 +156,37 @@ impl ResilienceCell {
     }
 }
 
+/// Executor-pool launch accounting — recorded at the single choke point
+/// every parallel backend now launches through (`gaia-backends`'s
+/// `ExecutorPool`), instead of per-backend scaffolding. The spawn-vs-reuse
+/// split is the CPU mirror of the paper's kernel-launch overhead axis: a
+/// legacy spawn-per-call backend pays `jobs` thread spawns per solve, a
+/// pooled one pays `workers_spawned` once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PoolCell {
+    /// `run()` calls that dispatched jobs to pool workers.
+    pub launches: u64,
+    /// `run()` calls served inline on the caller (serial pool or a
+    /// single-job launch) without touching the queue.
+    pub inline_launches: u64,
+    /// Total jobs executed (worker-run and caller-run).
+    pub jobs: u64,
+    /// OS worker threads spawned (pool constructions × pool size).
+    pub workers_spawned: u64,
+    /// Launches that reused already-parked workers (every launch after a
+    /// pool's first).
+    pub reused_launches: u64,
+    /// Total time workers spent parked waiting for work.
+    pub wait_seconds: f64,
+}
+
+impl PoolCell {
+    /// True when no pool activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == PoolCell::default()
+    }
+}
+
 /// Frozen registry state: everything recorded since the last [`reset`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TelemetrySnapshot {
@@ -172,6 +203,10 @@ pub struct TelemetrySnapshot {
     /// hence the serde default).
     #[serde(default)]
     pub resilience: ResilienceCell,
+    /// Executor-pool launch accounting (absent in pre-executor artifacts,
+    /// hence the serde default).
+    #[serde(default)]
+    pub pool: PoolCell,
 }
 
 impl TelemetrySnapshot {
@@ -190,6 +225,7 @@ impl TelemetrySnapshot {
                 atomic_rmws: 0,
             },
             resilience: ResilienceCell::default(),
+            pool: PoolCell::default(),
         }
     }
 
@@ -331,11 +367,55 @@ mod imp {
         }
     }
 
+    /// Atomic mirror of [`super::PoolCell`]; seconds kept as nanos.
+    pub struct Pool {
+        pub launches: AtomicU64,
+        pub inline_launches: AtomicU64,
+        pub jobs: AtomicU64,
+        pub workers_spawned: AtomicU64,
+        pub reused_launches: AtomicU64,
+        pub wait_nanos: AtomicU64,
+    }
+
+    impl Pool {
+        const fn new() -> Self {
+            Pool {
+                launches: AtomicU64::new(0),
+                inline_launches: AtomicU64::new(0),
+                jobs: AtomicU64::new(0),
+                workers_spawned: AtomicU64::new(0),
+                reused_launches: AtomicU64::new(0),
+                wait_nanos: AtomicU64::new(0),
+            }
+        }
+
+        fn reset(&self) {
+            self.launches.store(0, Ordering::Relaxed);
+            self.inline_launches.store(0, Ordering::Relaxed);
+            self.jobs.store(0, Ordering::Relaxed);
+            self.workers_spawned.store(0, Ordering::Relaxed);
+            self.reused_launches.store(0, Ordering::Relaxed);
+            self.wait_nanos.store(0, Ordering::Relaxed);
+        }
+
+        pub fn cell(&self) -> super::PoolCell {
+            super::PoolCell {
+                launches: self.launches.load(Ordering::Relaxed),
+                inline_launches: self.inline_launches.load(Ordering::Relaxed),
+                jobs: self.jobs.load(Ordering::Relaxed),
+                workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
+                reused_launches: self.reused_launches.load(Ordering::Relaxed),
+                wait_seconds: self.wait_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            }
+        }
+    }
+
     pub struct Registry {
         pub kernels: [[Stats; 4]; 2],
         pub calls: [Stats; 2],
         pub collective: Stats,
         pub resilience: Resilience,
+        pub pool: Pool,
     }
 
     pub static REGISTRY: Registry = Registry {
@@ -343,6 +423,7 @@ mod imp {
         calls: [ZERO; 2],
         collective: ZERO,
         resilience: Resilience::new(),
+        pool: Pool::new(),
     };
 
     pub fn reset() {
@@ -356,6 +437,31 @@ mod imp {
         }
         REGISTRY.collective.reset();
         REGISTRY.resilience.reset();
+        REGISTRY.pool.reset();
+    }
+
+    pub fn record_pool_spawn(workers: u64) {
+        REGISTRY
+            .pool
+            .workers_spawned
+            .fetch_add(workers, Ordering::Relaxed);
+    }
+
+    pub fn record_pool_launch(jobs: u64, reused: bool, inline: bool) {
+        let p = &REGISTRY.pool;
+        if inline {
+            p.inline_launches.fetch_add(1, Ordering::Relaxed);
+        } else {
+            p.launches.fetch_add(1, Ordering::Relaxed);
+        }
+        p.jobs.fetch_add(jobs, Ordering::Relaxed);
+        if reused {
+            p.reused_launches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn record_pool_wait_nanos(nanos: u64) {
+        REGISTRY.pool.wait_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
     pub fn record_resilience(delta: &super::ResilienceCell) {
@@ -451,6 +557,15 @@ mod imp {
 
     #[inline(always)]
     pub fn record_resilience(_delta: &super::ResilienceCell) {}
+
+    #[inline(always)]
+    pub fn record_pool_spawn(_workers: u64) {}
+
+    #[inline(always)]
+    pub fn record_pool_launch(_jobs: u64, _reused: bool, _inline: bool) {}
+
+    #[inline(always)]
+    pub fn record_pool_wait_nanos(_nanos: u64) {}
 }
 
 /// RAII timing probe returned by [`kernel_scope`], [`call_scope`], and
@@ -496,6 +611,28 @@ pub fn record_resilience(delta: &ResilienceCell) {
     imp::record_resilience(delta)
 }
 
+/// Record OS worker threads spawned by an executor pool (no-op when
+/// telemetry is compiled out).
+#[inline]
+pub fn record_pool_spawn(workers: u64) {
+    imp::record_pool_spawn(workers)
+}
+
+/// Record one executor-pool launch of `jobs` jobs. `reused` marks a launch
+/// on already-spawned workers; `inline` marks the serial fast path that
+/// never touched the queue. No-op when telemetry is compiled out.
+#[inline]
+pub fn record_pool_launch(jobs: u64, reused: bool, inline: bool) {
+    imp::record_pool_launch(jobs, reused, inline)
+}
+
+/// Record time a pool worker spent parked waiting for work (no-op when
+/// telemetry is compiled out).
+#[inline]
+pub fn record_pool_wait_nanos(nanos: u64) {
+    imp::record_pool_wait_nanos(nanos)
+}
+
 /// Freeze the registry into a serializable snapshot. Disabled builds
 /// return [`TelemetrySnapshot::empty`] with `enabled: false`.
 pub fn snapshot() -> TelemetrySnapshot {
@@ -517,6 +654,7 @@ pub fn snapshot() -> TelemetrySnapshot {
         }
         snap.collective = imp::REGISTRY.collective.cell("collective", "*");
         snap.resilience = imp::REGISTRY.resilience.cell();
+        snap.pool = imp::REGISTRY.pool.cell();
         snap
     }
     #[cfg(not(feature = "enabled"))]
@@ -568,6 +706,19 @@ pub fn kernel_table(snap: &TelemetrySnapshot) -> String {
         } else {
             "(telemetry disabled; rebuild with the `telemetry` feature)\n"
         });
+    }
+    if !snap.pool.is_empty() {
+        let p = &snap.pool;
+        out.push_str(&format!(
+            "pool: {} launch(es) ({} inline, {} reused workers), {} job(s), \
+             {} worker(s) spawned, {:.6} s worker wait\n",
+            p.launches + p.inline_launches,
+            p.inline_launches,
+            p.reused_launches,
+            p.jobs,
+            p.workers_spawned,
+            p.wait_seconds,
+        ));
     }
     if !snap.resilience.is_empty() {
         let r = &snap.resilience;
