@@ -30,6 +30,264 @@ use std::time::Instant;
 /// stack; [`ExecutorPool::run`] guarantees they complete before it returns.
 pub type Job<'scope> = Box<dyn FnOnce() + Send + 'scope>;
 
+/// Schedule-exploration hooks (`sched-test` feature).
+///
+/// The policy-grid proptest only ever observes the interleavings the OS
+/// happens to schedule, so a racy `Aprod2Strategy` could pass forever. This
+/// module lets a test harness *own* worker progress at the pool's single
+/// launch choke point: a [`sched::ScheduleController`] installed on an
+/// [`ExecutorPool`] via [`ExecutorPool::set_schedule`] applies a seeded
+/// random permutation to job pickup order, injects forced preemption at
+/// [`sched::preempt_point`] probe points, skews job start times
+/// (barrier-skew), and busy-blocks a seeded subset of executing workers
+/// (worker starvation). With the feature off, the pool carries no
+/// controller state and `preempt_point` is an empty `#[inline(always)]`
+/// function — zero cost.
+#[cfg(feature = "sched-test")]
+pub mod sched {
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use super::Job;
+
+    /// SplitMix64 finalizer: the hash behind every seeded decision.
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Busy-wait for `ns` nanoseconds. Spinning (instead of sleeping)
+    /// keeps the perturbation granularity well below the OS timer slack,
+    /// so schedules stay in the microsecond regime the races live in.
+    fn spin(ns: u64) {
+        let start = Instant::now();
+        while (start.elapsed().as_nanos() as u64) < ns {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Adverse-schedule generator for one exploration run.
+    ///
+    /// All decisions derive from the seed: the job-pickup permutation is an
+    /// exact function of `(seed, launch)`, while preemption decisions also
+    /// fold in a global decision counter (true cross-thread determinism is
+    /// not achievable on OS threads; the counter keeps every probe call
+    /// making a *different* seeded decision instead of all-or-nothing).
+    #[derive(Debug)]
+    pub struct ScheduleController {
+        seed: u64,
+        /// Permute the order jobs are pushed to the queue (seeded
+        /// Fisher-Yates), so workers pick them up in adversarial order.
+        pub shuffle: bool,
+        /// Probability (per mille) that a [`preempt_point`] probe yields
+        /// and spins, widening any load→store race window around it.
+        pub preempt_permille: u32,
+        /// Maximum spin per forced preemption, nanoseconds.
+        pub preempt_max_ns: u64,
+        /// Maximum seeded start delay per job (barrier skew): some jobs of
+        /// a wave start late, so others race far ahead.
+        pub skew_max_ns: u64,
+        /// Starve one of `lane_count` job lanes: every job whose index
+        /// falls in the victim lane busy-blocks its executing worker for
+        /// [`ScheduleController::starve_ns`], forcing the remaining lanes
+        /// to drain the queue.
+        pub starve_lane: Option<u64>,
+        /// Modulus for [`ScheduleController::starve_lane`].
+        pub lane_count: u64,
+        /// Busy-block per starved job, nanoseconds.
+        pub starve_ns: u64,
+        launches: AtomicU64,
+        decisions: AtomicU64,
+    }
+
+    impl ScheduleController {
+        /// A controller with every perturbation off (identity schedule).
+        pub fn quiet(seed: u64) -> Self {
+            ScheduleController {
+                seed,
+                shuffle: false,
+                preempt_permille: 0,
+                preempt_max_ns: 0,
+                skew_max_ns: 0,
+                starve_lane: None,
+                lane_count: 4,
+                starve_ns: 0,
+                launches: AtomicU64::new(0),
+                decisions: AtomicU64::new(0),
+            }
+        }
+
+        /// The seeded mixed scenario the exploration driver replays: the
+        /// seed picks an emphasis (preempt-heavy, barrier-skew, starvation,
+        /// or all three) plus its magnitudes. Shuffling is always on.
+        pub fn from_seed(seed: u64) -> Self {
+            let r = mix(seed);
+            let mut c = ScheduleController::quiet(seed);
+            c.shuffle = true;
+            match r % 4 {
+                0 => {
+                    c.preempt_permille = 400 + (mix(r) % 600) as u32;
+                    c.preempt_max_ns = 2_000 + mix(r ^ 1) % 20_000;
+                }
+                1 => {
+                    c.skew_max_ns = 10_000 + mix(r ^ 2) % 90_000;
+                }
+                2 => {
+                    c.starve_lane = Some(mix(r ^ 3) % 4);
+                    c.starve_ns = 50_000 + mix(r ^ 4) % 150_000;
+                }
+                _ => {
+                    c.preempt_permille = 250;
+                    c.preempt_max_ns = 2_000 + mix(r ^ 5) % 10_000;
+                    c.skew_max_ns = 5_000 + mix(r ^ 6) % 40_000;
+                    c.starve_lane = Some(mix(r ^ 7) % 4);
+                    c.starve_ns = 30_000 + mix(r ^ 8) % 70_000;
+                }
+            }
+            c
+        }
+
+        /// A race-hostile controller: every probe preempts with a wide
+        /// spin. Used by the `BrokenStrategy` canary to prove the harness
+        /// detects write-write races.
+        pub fn race_window(seed: u64) -> Self {
+            let mut c = ScheduleController::from_seed(seed);
+            c.shuffle = true;
+            c.preempt_permille = 1000;
+            c.preempt_max_ns = 30_000;
+            c
+        }
+
+        fn next_launch(&self) -> u64 {
+            self.launches.fetch_add(1, Ordering::Relaxed)
+        }
+
+        /// Seeded Fisher-Yates permutation of the enqueue order.
+        fn permute<T>(&self, launch: u64, items: &mut [T]) {
+            if !self.shuffle {
+                return;
+            }
+            let mut state = mix(self.seed ^ mix(launch ^ 0x5ced_u64));
+            for i in (1..items.len()).rev() {
+                state = mix(state);
+                items.swap(i, (state % (i as u64 + 1)) as usize);
+            }
+        }
+
+        /// Start-of-job perturbation: barrier skew + lane starvation.
+        fn on_job_start(&self, launch: u64, job: usize) {
+            if let Some(victim) = self.starve_lane {
+                if job as u64 % self.lane_count == victim {
+                    spin(self.starve_ns);
+                }
+            }
+            if self.skew_max_ns > 0 {
+                let h = mix(self.seed ^ mix(launch) ^ (job as u64) << 17);
+                spin(h % self.skew_max_ns);
+            }
+        }
+
+        /// One probe decision: yield/spin with the configured probability.
+        fn maybe_preempt(&self, launch: u64, job: usize, tag: u32) {
+            if self.preempt_permille == 0 {
+                return;
+            }
+            let n = self.decisions.fetch_add(1, Ordering::Relaxed);
+            let h = mix(self.seed ^ mix(launch ^ (job as u64) << 21 ^ u64::from(tag) << 42) ^ n);
+            if (h % 1000) < u64::from(self.preempt_permille) {
+                std::thread::yield_now();
+                if self.preempt_max_ns > 0 {
+                    spin(mix(h) % self.preempt_max_ns);
+                }
+            }
+        }
+    }
+
+    thread_local! {
+        /// The controller governing the job this thread is currently
+        /// executing (a stack: empty outside pool jobs).
+        static ACTIVE: RefCell<Vec<(Arc<ScheduleController>, u64, usize)>> =
+            const { RefCell::new(Vec::new()) };
+    }
+
+    /// Probe point for kernels under test: when the executing thread is
+    /// running a pool job governed by a controller, this may yield and
+    /// spin (a forced preemption), deterministically seeded. `tag`
+    /// distinguishes call sites. No-op (and `#[inline(always)]` empty)
+    /// when the `sched-test` feature is off or no controller is installed.
+    pub fn preempt_point(tag: u32) {
+        ACTIVE.with(|a| {
+            if let Some((ctrl, launch, job)) = a.borrow().last() {
+                ctrl.maybe_preempt(*launch, *job, tag);
+            }
+        });
+    }
+
+    /// Wrap a launch's jobs under `ctrl`: permute the enqueue order and
+    /// interpose the per-job start perturbation + probe-point context.
+    pub(super) fn apply<'scope>(
+        ctrl: &Arc<ScheduleController>,
+        mut jobs: Vec<Job<'scope>>,
+    ) -> Vec<Job<'scope>> {
+        let launch = ctrl.next_launch();
+        ctrl.permute(launch, &mut jobs);
+        jobs.into_iter()
+            .enumerate()
+            .map(|(idx, job)| {
+                let ctrl = Arc::clone(ctrl);
+                Box::new(move || {
+                    ACTIVE.with(|a| a.borrow_mut().push((Arc::clone(&ctrl), launch, idx)));
+                    ctrl.on_job_start(launch, idx);
+                    job();
+                    ACTIVE.with(|a| {
+                        a.borrow_mut().pop();
+                    });
+                }) as Job<'scope>
+            })
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn permutation_is_a_seeded_bijection() {
+            let ctrl = ScheduleController::from_seed(7);
+            let mut a: Vec<usize> = (0..16).collect();
+            let mut b: Vec<usize> = (0..16).collect();
+            ctrl.permute(3, &mut a);
+            ctrl.permute(3, &mut b);
+            assert_eq!(a, b, "same (seed, launch) => same permutation");
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+            let mut c: Vec<usize> = (0..16).collect();
+            ctrl.permute(4, &mut c);
+            assert_ne!(a, c, "different launches permute differently");
+        }
+
+        #[test]
+        fn preempt_point_outside_a_job_is_a_noop() {
+            // Must not panic or deadlock when no controller is active.
+            preempt_point(0);
+        }
+    }
+}
+
+/// No-op twin of the schedule-exploration hooks: with the `sched-test`
+/// feature off, the probe compiles to nothing.
+#[cfg(not(feature = "sched-test"))]
+pub mod sched {
+    /// Probe point for kernels under test; empty without `sched-test`.
+    #[inline(always)]
+    pub fn preempt_point(_tag: u32) {}
+}
+
 /// Completion latch for one `run` call: counts outstanding jobs and wakes
 /// the submitting thread when the last one finishes.
 struct Latch {
@@ -112,6 +370,10 @@ pub struct ExecutorPool {
     threads: usize,
     launches: AtomicU64,
     jobs_run: AtomicU64,
+    /// Installed schedule-exploration controller (`sched-test` only):
+    /// every launch consults it to permute and perturb its jobs.
+    #[cfg(feature = "sched-test")]
+    schedule: Mutex<Option<Arc<sched::ScheduleController>>>,
 }
 
 impl std::fmt::Debug for ExecutorPool {
@@ -151,7 +413,17 @@ impl ExecutorPool {
             threads,
             launches: AtomicU64::new(0),
             jobs_run: AtomicU64::new(0),
+            #[cfg(feature = "sched-test")]
+            schedule: Mutex::new(None),
         }
+    }
+
+    /// Install (or clear, with `None`) a schedule-exploration controller:
+    /// subsequent launches on this pool run under its seeded permutation
+    /// and perturbation. Only compiled with the `sched-test` feature.
+    #[cfg(feature = "sched-test")]
+    pub fn set_schedule(&self, ctrl: Option<sched::ScheduleController>) {
+        *self.schedule.lock().unwrap_or_else(PoisonError::into_inner) = ctrl.map(Arc::new);
     }
 
     /// A process-wide shared pool for the given thread budget. Backends
@@ -191,6 +463,18 @@ impl ExecutorPool {
         if jobs.is_empty() {
             return;
         }
+        #[cfg(feature = "sched-test")]
+        let jobs = {
+            let ctrl = self
+                .schedule
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone();
+            match ctrl {
+                Some(ctrl) => sched::apply(&ctrl, jobs),
+                None => jobs,
+            }
+        };
         let n_jobs = jobs.len() as u64;
         let first = self.launches.fetch_add(1, Ordering::Relaxed) == 0;
         self.jobs_run.fetch_add(n_jobs, Ordering::Relaxed);
@@ -383,6 +667,41 @@ mod tests {
             counter.fetch_add(r.len(), Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+
+    /// The shutdown/panic edge from the verification issue: a job panicking
+    /// mid-batch must leave the process-wide **shared** pool reusable — the
+    /// next `run` (from this or any other handle to the same pool) succeeds
+    /// and the latch protocol is not poisoned. Uses a thread budget no
+    /// other test shares so the cached pool's state is entirely ours.
+    #[test]
+    fn shared_pool_survives_a_panicking_batch() {
+        let pool = ExecutorPool::shared(9);
+        let before = pool.launch_count();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Job<'_>> = (0..12)
+                .map(|i| {
+                    Box::new(move || {
+                        if i % 5 == 2 {
+                            panic!("chunk failure");
+                        }
+                    }) as Job<'_>
+                })
+                .collect();
+            pool.run(jobs);
+        }));
+        assert!(result.is_err(), "panic must propagate to the submitter");
+
+        // The same cached pool instance must serve later launches: workers
+        // alive, queue drained, latch per-run (nothing poisoned).
+        let again = ExecutorPool::shared(9);
+        assert!(Arc::ptr_eq(&pool, &again));
+        let counter = AtomicUsize::new(0);
+        again.parallel_for(crate::launch::split_ranges(96, 12), |_, r| {
+            counter.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 96);
+        assert_eq!(again.launch_count(), before + 2);
     }
 
     #[test]

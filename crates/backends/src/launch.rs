@@ -31,9 +31,21 @@ use gaia_telemetry::{Block, Phase};
 use parking_lot::Mutex;
 
 use crate::atomicf64::{self, as_atomic};
-use crate::exec::{ExecutorPool, Job};
+use crate::exec::{sched, ExecutorPool, Job};
 use crate::kernels;
 use crate::tuning::Tuning;
+
+/// Probe tags for [`sched::preempt_point`], one per call site inside the
+/// colliding `aprod2` paths. With the `sched-test` feature off the probe
+/// is an empty `#[inline(always)]` function, so production kernels keep
+/// their exact shape.
+const PROBE_ATT_ATOMIC: u32 = 1;
+/// Instrumental atomic-update row loop.
+const PROBE_INSTR_ATOMIC: u32 = 2;
+/// Lock-striped batched apply, between local accumulation and each lock.
+const PROBE_STRIPED_APPLY: u32 = 3;
+/// Wave-2 reduction of privatized buffers.
+const PROBE_REDUCE: u32 = 4;
 
 /// Split `0..n` into `parts` near-equal contiguous ranges.
 pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
@@ -413,6 +425,7 @@ impl LaunchPlan {
                         (kerns.full)(sys, y, chunk, &mut local);
                         let mut offset = 0;
                         for stripe in stripes.iter() {
+                            sched::preempt_point(PROBE_STRIPED_APPLY);
                             let mut guard = stripe.lock();
                             let len = guard.len();
                             for (slot, &v) in guard.iter_mut().zip(&local[offset..offset + len]) {
@@ -504,6 +517,7 @@ impl LaunchPlan {
                 rest = tail;
                 jobs.push(Box::new(move || {
                     for private in privates {
+                        sched::preempt_point(PROBE_REDUCE);
                         for (slot, &v) in mine.iter_mut().zip(&private[own.start..own.end]) {
                             *slot += v;
                         }
@@ -542,6 +556,7 @@ fn aprod2_att_atomic(
     t.add_rmws(rows.len() as u64 * ATT_NNZ_PER_ROW as u64);
     let dof = sys.layout().n_deg_freedom_att as usize;
     for row in rows {
+        sched::preempt_point(PROBE_ATT_ATOMIC);
         let yr = y[row];
         if yr == 0.0 {
             continue;
@@ -569,6 +584,7 @@ fn aprod2_instr_atomic(
     t.add_bytes(rows.len() as u64 * (3 * INSTR_NNZ_PER_ROW as u64 + 1) * 8);
     t.add_rmws(rows.len() as u64 * INSTR_NNZ_PER_ROW as u64);
     for row in rows {
+        sched::preempt_point(PROBE_INSTR_ATOMIC);
         let yr = y[row];
         if yr == 0.0 {
             continue;
@@ -700,6 +716,130 @@ mod tests {
         assert_eq!(spans[3].end, 22);
         let total: usize = spans.iter().map(|r| r.len()).sum();
         assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn split_span_of_an_empty_span_yields_empty_aligned_ranges() {
+        for parts in [1usize, 4, 9] {
+            let spans = split_span(5..5, parts);
+            assert_eq!(spans.len(), parts);
+            for r in &spans {
+                assert!(r.is_empty(), "{r:?}");
+                assert_eq!(r.start, 5, "empty parts stay anchored at the span");
+            }
+        }
+        // parts = 0 is floored to 1, like split_ranges.
+        assert_eq!(split_span(3..7, 0), vec![3..7]);
+    }
+
+    #[test]
+    fn split_ranges_with_fewer_items_than_parts_pads_with_empties() {
+        let rs = split_ranges(3, 8);
+        assert_eq!(rs.len(), 8);
+        let nonempty: Vec<_> = rs.iter().filter(|r| !r.is_empty()).collect();
+        assert_eq!(nonempty.len(), 3, "3 items fill exactly 3 singleton parts");
+        // Contiguous, disjoint, and covering 0..3 in order.
+        let mut cursor = 0;
+        for r in &rs {
+            assert_eq!(r.start, cursor);
+            cursor = r.end;
+        }
+        assert_eq!(cursor, 3);
+        assert_eq!(split_ranges(0, 5).len(), 5);
+        assert!(split_ranges(0, 5).iter().all(|r| r.is_empty()));
+    }
+
+    /// Chunk budgets far beyond the available work (`chunks_per_thread ×
+    /// threads ≫ rows`) hand most workers empty ranges; every policy must
+    /// still write each output cell exactly once. Cross-checked against the
+    /// serial kernels for both products.
+    #[test]
+    fn oversized_chunk_budgets_cover_without_overlap() {
+        use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
+        let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(11)).generate();
+        let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.23).sin()).collect();
+        let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.31).cos()).collect();
+        let mut want1 = vec![0.0; sys.n_rows()];
+        kernels::aprod1_range(&sys, &x, 0..sys.n_rows(), &mut want1);
+        let mut want2 = vec![0.0; sys.n_cols()];
+        {
+            let c = sys.columns();
+            let (astro, rest) = want2.split_at_mut(c.att as usize);
+            let (att, rest2) = rest.split_at_mut((c.instr - c.att) as usize);
+            let (instr, glob) = rest2.split_at_mut((c.glob - c.instr) as usize);
+            kernels::aprod2_astro(&sys, &y, 0..sys.layout().n_stars as usize, astro);
+            kernels::aprod2_att(&sys, &y, 0..sys.n_rows(), att);
+            kernels::aprod2_instr(&sys, &y, 0..sys.n_obs_rows(), instr);
+            kernels::aprod2_glob(&sys, &y, 0..sys.n_obs_rows(), glob);
+        }
+        let strategies = [
+            Aprod2Strategy::OwnerComputes,
+            Aprod2Strategy::Atomic,
+            Aprod2Strategy::CasLoop,
+            Aprod2Strategy::Replicated,
+            Aprod2Strategy::LockStriped { stripes: 500 },
+        ];
+        for tuning in [
+            Tuning {
+                threads: 4,
+                chunks_per_thread: 64, // 256 chunks over 96 obs rows
+            },
+            Tuning {
+                threads: 9,
+                chunks_per_thread: 200, // 1800 chunks: more than any section
+            },
+        ] {
+            let pool = ExecutorPool::new(tuning.threads);
+            for strategy in strategies {
+                for spec in [
+                    Aprod2Spec::uniform(strategy),
+                    Aprod2Spec::streamed(strategy),
+                ] {
+                    let plan = LaunchPlan::new(tuning, spec);
+                    let mut got1 = vec![0.0; sys.n_rows()];
+                    plan.aprod1(&pool, &sys, &x, &mut got1);
+                    for (g, w) in got1.iter().zip(&want1) {
+                        assert!((g - w).abs() < 1e-10, "aprod1 {tuning:?} {spec:?}");
+                    }
+                    let mut got2 = vec![0.0; sys.n_cols()];
+                    plan.aprod2(&pool, &sys, &y, &mut got2);
+                    for (g, w) in got2.iter().zip(&want2) {
+                        assert!(
+                            (g - w).abs() < 1e-10,
+                            "aprod2 {tuning:?} {strategy:?} {spec:?}: {g} vs {w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Section chunk counts clamp to the available work in both budget
+    /// modes — no strategy may receive more chunks than items.
+    #[test]
+    fn section_chunks_clamp_to_available_work() {
+        for spec in [
+            Aprod2Spec::uniform(Aprod2Strategy::Atomic),
+            Aprod2Spec::streamed(Aprod2Strategy::Atomic),
+        ] {
+            let plan = LaunchPlan::new(
+                Tuning {
+                    threads: 8,
+                    chunks_per_thread: 16,
+                },
+                spec,
+            );
+            for stream in [Stream::Astro, Stream::Att, Stream::Instr] {
+                for work in [0usize, 1, 2, 7] {
+                    let chunks = plan.section_chunks(stream, work);
+                    assert!(chunks >= 1, "{stream:?} work={work}");
+                    assert!(
+                        chunks <= work.max(1),
+                        "{stream:?} work={work} got {chunks} chunks"
+                    );
+                }
+            }
+        }
     }
 
     /// Every strategy must produce the same aprod2 result on the same plan

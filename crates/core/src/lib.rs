@@ -44,7 +44,7 @@ pub use config::LsqrConfig;
 pub use distributed::{solve_distributed, solve_hybrid, try_solve_hybrid, DistOptions};
 pub use health::{HealthConfig, HealthIssue};
 pub use lsmr::solve_lsmr;
-pub use lsqr::{solve, Lsqr};
+pub use lsqr::{solve, Lsqr, TrajectorySample};
 pub use perf::run_report;
 pub use precond::ColumnScaling;
 pub use resilient::{

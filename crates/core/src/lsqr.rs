@@ -109,6 +109,45 @@ impl LsqrState {
     pub fn is_done(&self) -> bool {
         self.stopped.is_some()
     }
+
+    /// Freeze the bidiagonalization coefficients of the current iteration
+    /// into a [`TrajectorySample`] (for cross-backend trajectory
+    /// comparison; see [`Lsqr::trajectory`]).
+    pub fn sample(&self) -> TrajectorySample {
+        TrajectorySample {
+            itn: self.itn,
+            alfa: self.alfa,
+            beta: self.beta,
+            rhobar: self.rhobar,
+            phibar: self.phibar,
+            rnorm: self.rnorm,
+            arnorm: self.arnorm,
+        }
+    }
+}
+
+/// The per-iteration Golub–Kahan coefficients of one LSQR step — the
+/// quantities two backends must agree on (within a ULP budget) for their
+/// trajectories to be considered equivalent. Every term below is a scalar
+/// produced by the iteration's two sparse products and two norms, so any
+/// reduction-order divergence between backends shows up here first, long
+/// before it is visible in the final solution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectorySample {
+    /// Iteration the sample was taken after (0 = initialization).
+    pub itn: usize,
+    /// Bidiagonalization α (norm of the right vector).
+    pub alfa: f64,
+    /// Bidiagonalization β (norm of the left vector).
+    pub beta: f64,
+    /// Plane-rotation state ρ̄.
+    pub rhobar: f64,
+    /// Residual-recursion state φ̄.
+    pub phibar: f64,
+    /// Residual-norm estimate.
+    pub rnorm: f64,
+    /// ‖Aᵀr‖ estimate.
+    pub arnorm: f64,
 }
 
 impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
@@ -384,6 +423,24 @@ impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
         }
     }
 
+    /// Capture the iterate trajectory: initialize, then step at most
+    /// `max_iters` times, sampling (α, β, ρ̄, φ̄, residual estimates) after
+    /// initialization and after every completed iteration. The trajectory
+    /// is what cross-backend verification compares per-iteration — two
+    /// backends whose final solutions agree may still have divergent
+    /// reduction orders, and that divergence is visible (and bounded)
+    /// here, iterations before it compounds into the solution.
+    pub fn trajectory(&self, max_iters: usize) -> Vec<TrajectorySample> {
+        let mut state = self.init_state();
+        let mut samples = Vec::with_capacity(max_iters + 1);
+        samples.push(state.sample());
+        while state.itn < max_iters && !state.is_done() {
+            self.step(&mut state);
+            samples.push(state.sample());
+        }
+        samples
+    }
+
     /// Continue a (possibly restored) state to completion.
     pub fn run_from(&self, mut state: LsqrState) -> Solution {
         while !state.is_done() {
@@ -592,6 +649,24 @@ mod tests {
         assert_eq!(stepped.x, direct.x);
         assert_eq!(stepped.iterations, direct.iterations);
         assert_eq!(stepped.stop, direct.stop);
+    }
+
+    #[test]
+    fn trajectory_matches_the_stepping_api() {
+        let (sys, _) = consistent_system(114);
+        let solver = Lsqr::new(&sys, &SeqBackend, LsqrConfig::new());
+        let traj = solver.trajectory(10);
+        assert_eq!(traj[0].itn, 0);
+        assert!(traj.len() <= 11);
+        let mut state = solver.init_state();
+        for sample in &traj[1..] {
+            solver.step(&mut state);
+            assert_eq!(state.itn, sample.itn);
+            assert_eq!(state.alfa.to_bits(), sample.alfa.to_bits());
+            assert_eq!(state.beta.to_bits(), sample.beta.to_bits());
+            assert_eq!(state.rhobar.to_bits(), sample.rhobar.to_bits());
+            assert_eq!(state.rnorm.to_bits(), sample.rnorm.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Coverage for verification gaps called out by the gaia-verify issue:
+//! checkpoint-rotation pruning under long save chains, and the numerical
+//! health guards firing end-to-end on an injected non-finite right-hand
+//! side (the b̃ a failing node would feed the solver).
+
+use gaia_backends::SeqBackend;
+use gaia_lsqr::checkpoint::{Checkpoint, CheckpointRotation};
+use gaia_lsqr::lsqr::Lsqr;
+use gaia_lsqr::{solve, HealthConfig, LsqrConfig, StopReason};
+use gaia_sparse::{Generator, GeneratorConfig, Rhs, SparseSystem, SystemLayout};
+
+fn system(seed: u64) -> SparseSystem {
+    Generator::new(
+        GeneratorConfig::new(SystemLayout::tiny())
+            .seed(seed)
+            .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-8 }),
+    )
+    .generate()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gaia-verify-gaps-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Retain-last-K pruning over a save chain much longer than K, for several
+/// K, including the degenerate `retain = 0` (floored to 1). After every
+/// save the chain must hold exactly the newest `min(saves, K)` snapshots.
+#[test]
+fn rotation_prunes_long_chains_for_every_retain() {
+    let sys = system(501);
+    let cfg = LsqrConfig::new();
+    let solver = Lsqr::new(&sys, &SeqBackend, cfg);
+
+    for retain in [0usize, 1, 3] {
+        let dir = temp_dir(&format!("rot{retain}"));
+        let rot = CheckpointRotation::new(dir.join("solve"), retain);
+        let effective = retain.max(1);
+
+        let mut state = solver.init_state();
+        for k in 1..=10usize {
+            solver.step(&mut state);
+            rot.save(k, &Checkpoint::capture(&sys, &cfg, &state))
+                .unwrap();
+            let kept: Vec<usize> = rot.slots().iter().map(|(i, _)| *i).collect();
+            let want: Vec<usize> = (k.saturating_sub(effective) + 1..=k).collect();
+            assert_eq!(kept, want, "retain={retain} after save {k}");
+        }
+        // The survivor set restores to the iterations it claims.
+        let (k, ckpt) = rot.latest().unwrap();
+        assert_eq!(k, 10);
+        assert_eq!(ckpt.restore(&sys, &cfg).unwrap().itn, 10);
+
+        rot.clear();
+        assert!(rot.slots().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Every file in the chain corrupt: `latest` must give up cleanly rather
+/// than panic or return garbage.
+#[test]
+fn rotation_with_only_corrupt_slots_returns_none() {
+    let sys = system(502);
+    let cfg = LsqrConfig::new();
+    let solver = Lsqr::new(&sys, &SeqBackend, cfg);
+    let mut state = solver.init_state();
+    solver.step(&mut state);
+
+    let dir = temp_dir("corrupt");
+    let rot = CheckpointRotation::new(dir.join("solve"), 2);
+    rot.save(1, &Checkpoint::capture(&sys, &cfg, &state))
+        .unwrap();
+    rot.save(2, &Checkpoint::capture(&sys, &cfg, &state))
+        .unwrap();
+    for (_, path) in rot.slots() {
+        std::fs::write(path, b"not a checkpoint").unwrap();
+    }
+    assert!(rot.latest().is_none());
+    rot.clear();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A NaN (or Inf) planted in the known terms poisons β = ‖b̃‖ in the very
+/// first bidiagonalization; with the guards on the solve must stop with
+/// `NumericalBreakdown` immediately instead of iterating on garbage.
+#[test]
+fn health_guards_stop_on_non_finite_known_terms() {
+    for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut sys = system(503);
+        let mut b = sys.known_terms().to_vec();
+        let mid = b.len() / 2;
+        b[mid] = poison;
+        sys.set_known_terms(b);
+
+        let cfg = LsqrConfig::new()
+            .max_iters(50)
+            .health(HealthConfig::default_on());
+        let sol = solve(&sys, &SeqBackend, &cfg);
+        assert_eq!(sol.stop, StopReason::NumericalBreakdown, "poison {poison}");
+        assert!(
+            sol.iterations <= 1,
+            "stopped at iteration {}",
+            sol.iterations
+        );
+    }
+}
+
+/// The same poisoned system with the guards off (the seed's behavior):
+/// the solve must NOT report breakdown — it runs blind on garbage. This
+/// pins down exactly what the guards add.
+#[test]
+fn disabled_guards_iterate_blindly_on_poisoned_input() {
+    let mut sys = system(504);
+    let mut b = sys.known_terms().to_vec();
+    b[0] = f64::NAN;
+    sys.set_known_terms(b);
+
+    let cfg = LsqrConfig::new().max_iters(5).health(HealthConfig::off());
+    let sol = solve(&sys, &SeqBackend, &cfg);
+    assert_ne!(sol.stop, StopReason::NumericalBreakdown);
+    assert!(
+        sol.x.iter().any(|v| !v.is_finite()),
+        "without guards the garbage must have propagated into x"
+    );
+}
+
+/// Guards never alter a healthy solve: bit-identical solution with the
+/// guards on and off.
+#[test]
+fn guards_are_invisible_on_healthy_systems() {
+    let sys = system(505);
+    let on = solve(
+        &sys,
+        &SeqBackend,
+        &LsqrConfig::new().health(HealthConfig::default_on()),
+    );
+    let off = solve(
+        &sys,
+        &SeqBackend,
+        &LsqrConfig::new().health(HealthConfig::off()),
+    );
+    assert_eq!(on.stop, off.stop);
+    assert_eq!(on.iterations, off.iterations);
+    assert_eq!(on.x, off.x, "guards must not perturb a healthy trajectory");
+}

@@ -585,7 +585,7 @@ mod tests {
                 |c| c.allreduce_scalar(ReduceOp::Sum, 1.0),
             )
             .expect_err("world must fail");
-            assert!(err.panicked.len() >= 1);
+            assert!(!err.panicked.is_empty());
             assert!(err.cause.is_some());
         }
 

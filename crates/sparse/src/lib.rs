@@ -49,6 +49,7 @@ pub mod constraints;
 pub mod csr;
 pub mod dense;
 pub mod footprint;
+pub mod fuzz;
 pub mod generator;
 pub mod io;
 pub mod layout;

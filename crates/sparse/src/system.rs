@@ -383,6 +383,111 @@ impl SparseSystem {
     pub fn instr_col(&self) -> &[u32] {
         &self.instr_col
     }
+
+    /// Scale every stored coefficient in absolute column `col` by `factor`,
+    /// returning how many stored entries were touched.
+    ///
+    /// Scaling column `j` by `s` maps a solution `x` of `A x = b` to a
+    /// solution with `x_j / s` — the column-scaling equivariance exploited
+    /// by the metamorphic suite in `gaia-verify`. When `s` is a power of
+    /// two the products are exact in IEEE-754, so the property can be
+    /// asserted bitwise for deterministic backends.
+    pub fn scale_column(&mut self, col: u64, factor: f64) -> usize {
+        assert!(col < self.cols.end, "column {col} out of range");
+        let mut touched = 0usize;
+        if col < self.cols.att {
+            for row in 0..self.n_obs_rows() {
+                let start = self.cols.astro + self.matrix_index_astro[row];
+                if (start..start + ASTRO_NNZ_PER_ROW as u64).contains(&col) {
+                    self.values_astro[row * ASTRO_NNZ_PER_ROW + (col - start) as usize] *= factor;
+                    touched += 1;
+                }
+            }
+        } else if col < self.cols.instr {
+            let dof = self.layout.n_deg_freedom_att;
+            for row in 0..self.n_rows() {
+                let off = self.matrix_index_att[row];
+                for axis in 0..ATT_AXES as usize {
+                    let seg = self.cols.att + axis as u64 * dof + off;
+                    if (seg..seg + ATT_PARAMS_PER_AXIS as u64).contains(&col) {
+                        let k = axis * ATT_PARAMS_PER_AXIS as usize + (col - seg) as usize;
+                        self.values_att[row * ATT_NNZ_PER_ROW + k] *= factor;
+                        touched += 1;
+                    }
+                }
+            }
+        } else if col < self.cols.glob {
+            let local = (col - self.cols.instr) as u32;
+            for row in 0..self.n_obs_rows() {
+                let r = row * INSTR_NNZ_PER_ROW..(row + 1) * INSTR_NNZ_PER_ROW;
+                if let Some(k) = self.instr_col[r.clone()].iter().position(|&c| c == local) {
+                    self.values_instr[r.start + k] *= factor;
+                    touched += 1;
+                }
+            }
+        } else {
+            for v in &mut self.values_glob {
+                *v *= factor;
+                touched += 1;
+            }
+        }
+        touched
+    }
+
+    /// Apply a row permutation: after the call, row `i` holds what used to
+    /// be row `perm[i]` (coefficients, indices, and known term together).
+    ///
+    /// `perm` must be a bijection on `0..n_rows()` that maps every
+    /// observation row to an observation row *of the same star* and every
+    /// constraint row to a constraint row — the only reorderings that
+    /// preserve the structural invariants enforced by
+    /// [`SparseSystem::from_parts`] (the astrometric index of a row is
+    /// pinned to its star). Such permutations leave the least-squares
+    /// solution unchanged, which is the row-permutation invariance checked
+    /// by the metamorphic suite in `gaia-verify`.
+    pub fn permute_rows(&mut self, perm: &[usize]) -> Result<(), SystemError> {
+        let n_rows = self.n_rows();
+        let n_obs = self.n_obs_rows();
+        if perm.len() != n_rows {
+            return Err(SystemError::ArrayLength {
+                name: "perm",
+                got: perm.len(),
+                want: n_rows,
+            });
+        }
+        let mut seen = vec![false; n_rows];
+        for (new, &old) in perm.iter().enumerate() {
+            if old >= n_rows || seen[old] {
+                return Err(SystemError::Permutation { row: new });
+            }
+            seen[old] = true;
+            let same_side = (new < n_obs) == (old < n_obs);
+            let same_star = new >= n_obs
+                || self.layout.star_of_row(new as u64) == self.layout.star_of_row(old as u64);
+            if !same_side || !same_star {
+                return Err(SystemError::Permutation { row: new });
+            }
+        }
+        fn gather<T: Copy>(src: &[T], perm: &[usize], rows: usize, stride: usize) -> Vec<T> {
+            let mut out = Vec::with_capacity(rows * stride);
+            for &old in &perm[..rows] {
+                out.extend_from_slice(&src[old * stride..(old + 1) * stride]);
+            }
+            out
+        }
+        self.values_astro = gather(&self.values_astro, perm, n_obs, ASTRO_NNZ_PER_ROW);
+        self.values_att = gather(&self.values_att, perm, n_rows, ATT_NNZ_PER_ROW);
+        self.values_instr = gather(&self.values_instr, perm, n_obs, INSTR_NNZ_PER_ROW);
+        if self.layout.n_glob_params > 0 {
+            let g = self.layout.n_glob_params as usize;
+            self.values_glob = gather(&self.values_glob, perm, n_obs, g);
+        }
+        self.matrix_index_astro = gather(&self.matrix_index_astro, perm, n_obs, 1);
+        self.matrix_index_att = gather(&self.matrix_index_att, perm, n_rows, 1);
+        self.instr_col = gather(&self.instr_col, perm, n_obs, INSTR_NNZ_PER_ROW);
+        self.known_terms = gather(&self.known_terms, perm, n_rows, 1);
+        Ok(())
+    }
 }
 
 /// Assembly / validation failures for [`SparseSystem`].
@@ -427,6 +532,12 @@ pub enum SystemError {
         /// Offending row.
         row: usize,
     },
+    /// A row permutation is not a star-preserving bijection
+    /// (see [`SparseSystem::permute_rows`]).
+    Permutation {
+        /// First destination row at which the permutation is invalid.
+        row: usize,
+    },
 }
 
 impl std::fmt::Display for SystemError {
@@ -451,6 +562,12 @@ impl std::fmt::Display for SystemError {
             }
             SystemError::InstrColumnRange { row } => {
                 write!(f, "instrCol entry of row {row} out of range")
+            }
+            SystemError::Permutation { row } => {
+                write!(
+                    f,
+                    "row permutation is not a star-preserving bijection at row {row}"
+                )
             }
         }
     }
@@ -581,6 +698,85 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SystemError::InstrColumnOrder { row: 0 }));
+    }
+
+    #[test]
+    fn scale_column_scales_exactly_one_column_norm() {
+        let base = sys();
+        let before = base.column_norms();
+        for col in [
+            0u64,
+            base.columns().att + 1,
+            base.columns().instr,
+            base.columns().glob,
+        ] {
+            let mut s = base.clone();
+            let touched = s.scale_column(col, 2.0);
+            assert!(touched > 0, "column {col} has stored entries");
+            let after = s.column_norms();
+            for (j, (&a, &b)) in after.iter().zip(before.iter()).enumerate() {
+                if j as u64 == col {
+                    // ×2 is exact in IEEE-754, and so is sqrt(4y) = 2√y.
+                    assert_eq!(a, 2.0 * b, "column {j}");
+                } else {
+                    assert_eq!(a, b, "column {j} must be untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scale_column_glob_touches_every_observation_row() {
+        let mut s = sys();
+        let touched = s.scale_column(s.columns().glob, 3.0);
+        assert_eq!(touched, s.n_obs_rows());
+    }
+
+    #[test]
+    fn permute_rows_reorders_row_views_consistently() {
+        let base = sys();
+        let l = *base.layout();
+        let n_obs = base.n_obs_rows();
+        let n_rows = base.n_rows();
+        // Reverse each star's observations and the constraint block.
+        let mut perm: Vec<usize> = Vec::with_capacity(n_rows);
+        for star in 0..l.n_stars {
+            perm.extend(l.rows_of_star(star).rev().map(|r| r as usize));
+        }
+        perm.extend((n_obs..n_rows).rev());
+        let mut s = base.clone();
+        s.permute_rows(&perm).unwrap();
+        let x: Vec<f64> = (0..s.n_cols()).map(|i| (i as f64 * 0.61).cos()).collect();
+        for (new, &old) in perm.iter().enumerate().take(n_rows) {
+            assert_eq!(s.row_dot(new, &x), base.row_dot(old, &x), "row {new}");
+            assert_eq!(s.known_terms()[new], base.known_terms()[old]);
+        }
+    }
+
+    #[test]
+    fn permute_rows_rejects_cross_star_and_non_bijective_maps() {
+        let mut s = sys();
+        let n_rows = s.n_rows();
+        let obs = s.layout().obs_per_star as usize;
+        // Swap a row of star 0 with a row of star 1: star-preservation fails.
+        let mut cross: Vec<usize> = (0..n_rows).collect();
+        cross.swap(0, obs);
+        assert!(matches!(
+            s.permute_rows(&cross),
+            Err(SystemError::Permutation { .. })
+        ));
+        // Duplicate entry: not a bijection.
+        let mut dup: Vec<usize> = (0..n_rows).collect();
+        dup[1] = 0;
+        assert!(matches!(
+            s.permute_rows(&dup),
+            Err(SystemError::Permutation { row: 1 })
+        ));
+        // Wrong length.
+        assert!(matches!(
+            s.permute_rows(&[0usize]),
+            Err(SystemError::ArrayLength { name: "perm", .. })
+        ));
     }
 
     #[test]

@@ -187,6 +187,33 @@ impl PoolCell {
     }
 }
 
+/// Verification accounting — schedule-exploration and metamorphic-suite
+/// counters plus the worst cross-backend trajectory divergence observed,
+/// in ULPs. Written by `gaia-verify`; the divergence cell is what the
+/// `results/verify/*.json` artifacts summarize.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct VerifyCell {
+    /// Seeded adverse schedules replayed by the exploration driver.
+    pub schedules: u64,
+    /// Schedules whose result deviated beyond the subject's contract
+    /// (bitwise stability or the tolerance bound).
+    pub schedule_failures: u64,
+    /// Metamorphic property checks executed.
+    pub properties: u64,
+    /// Metamorphic property checks that failed.
+    pub property_failures: u64,
+    /// Largest per-iteration ULP distance between any backend's LSQR
+    /// trajectory coefficients (α/β/ρ̄) and the sequential reference.
+    pub max_trajectory_ulp: u64,
+}
+
+impl VerifyCell {
+    /// True when no verification activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == VerifyCell::default()
+    }
+}
+
 /// Frozen registry state: everything recorded since the last [`reset`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TelemetrySnapshot {
@@ -207,6 +234,10 @@ pub struct TelemetrySnapshot {
     /// hence the serde default).
     #[serde(default)]
     pub pool: PoolCell,
+    /// Verification accounting (absent in pre-verify artifacts, hence the
+    /// serde default).
+    #[serde(default)]
+    pub verify: VerifyCell,
 }
 
 impl TelemetrySnapshot {
@@ -226,6 +257,7 @@ impl TelemetrySnapshot {
             },
             resilience: ResilienceCell::default(),
             pool: PoolCell::default(),
+            verify: VerifyCell::default(),
         }
     }
 
@@ -410,12 +442,52 @@ mod imp {
         }
     }
 
+    /// Atomic mirror of [`super::VerifyCell`].
+    pub struct Verify {
+        pub schedules: AtomicU64,
+        pub schedule_failures: AtomicU64,
+        pub properties: AtomicU64,
+        pub property_failures: AtomicU64,
+        pub max_trajectory_ulp: AtomicU64,
+    }
+
+    impl Verify {
+        const fn new() -> Self {
+            Verify {
+                schedules: AtomicU64::new(0),
+                schedule_failures: AtomicU64::new(0),
+                properties: AtomicU64::new(0),
+                property_failures: AtomicU64::new(0),
+                max_trajectory_ulp: AtomicU64::new(0),
+            }
+        }
+
+        fn reset(&self) {
+            self.schedules.store(0, Ordering::Relaxed);
+            self.schedule_failures.store(0, Ordering::Relaxed);
+            self.properties.store(0, Ordering::Relaxed);
+            self.property_failures.store(0, Ordering::Relaxed);
+            self.max_trajectory_ulp.store(0, Ordering::Relaxed);
+        }
+
+        pub fn cell(&self) -> super::VerifyCell {
+            super::VerifyCell {
+                schedules: self.schedules.load(Ordering::Relaxed),
+                schedule_failures: self.schedule_failures.load(Ordering::Relaxed),
+                properties: self.properties.load(Ordering::Relaxed),
+                property_failures: self.property_failures.load(Ordering::Relaxed),
+                max_trajectory_ulp: self.max_trajectory_ulp.load(Ordering::Relaxed),
+            }
+        }
+    }
+
     pub struct Registry {
         pub kernels: [[Stats; 4]; 2],
         pub calls: [Stats; 2],
         pub collective: Stats,
         pub resilience: Resilience,
         pub pool: Pool,
+        pub verify: Verify,
     }
 
     pub static REGISTRY: Registry = Registry {
@@ -424,6 +496,7 @@ mod imp {
         collective: ZERO,
         resilience: Resilience::new(),
         pool: Pool::new(),
+        verify: Verify::new(),
     };
 
     pub fn reset() {
@@ -438,6 +511,30 @@ mod imp {
         REGISTRY.collective.reset();
         REGISTRY.resilience.reset();
         REGISTRY.pool.reset();
+        REGISTRY.verify.reset();
+    }
+
+    pub fn record_verify_schedule(failed: bool) {
+        let v = &REGISTRY.verify;
+        v.schedules.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            v.schedule_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn record_verify_property(failed: bool) {
+        let v = &REGISTRY.verify;
+        v.properties.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            v.property_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn record_verify_ulp(ulp: u64) {
+        REGISTRY
+            .verify
+            .max_trajectory_ulp
+            .fetch_max(ulp, Ordering::Relaxed);
     }
 
     pub fn record_pool_spawn(workers: u64) {
@@ -566,6 +663,15 @@ mod imp {
 
     #[inline(always)]
     pub fn record_pool_wait_nanos(_nanos: u64) {}
+
+    #[inline(always)]
+    pub fn record_verify_schedule(_failed: bool) {}
+
+    #[inline(always)]
+    pub fn record_verify_property(_failed: bool) {}
+
+    #[inline(always)]
+    pub fn record_verify_ulp(_ulp: u64) {}
 }
 
 /// RAII timing probe returned by [`kernel_scope`], [`call_scope`], and
@@ -633,6 +739,27 @@ pub fn record_pool_wait_nanos(nanos: u64) {
     imp::record_pool_wait_nanos(nanos)
 }
 
+/// Record one replayed adverse schedule (no-op when telemetry is compiled
+/// out). `failed` marks a result outside the subject's contract.
+#[inline]
+pub fn record_verify_schedule(failed: bool) {
+    imp::record_verify_schedule(failed)
+}
+
+/// Record one metamorphic property check (no-op when telemetry is
+/// compiled out).
+#[inline]
+pub fn record_verify_property(failed: bool) {
+    imp::record_verify_property(failed)
+}
+
+/// Fold a cross-backend trajectory divergence (in ULPs) into the running
+/// maximum (no-op when telemetry is compiled out).
+#[inline]
+pub fn record_verify_ulp(ulp: u64) {
+    imp::record_verify_ulp(ulp)
+}
+
 /// Freeze the registry into a serializable snapshot. Disabled builds
 /// return [`TelemetrySnapshot::empty`] with `enabled: false`.
 pub fn snapshot() -> TelemetrySnapshot {
@@ -655,6 +782,7 @@ pub fn snapshot() -> TelemetrySnapshot {
         snap.collective = imp::REGISTRY.collective.cell("collective", "*");
         snap.resilience = imp::REGISTRY.resilience.cell();
         snap.pool = imp::REGISTRY.pool.cell();
+        snap.verify = imp::REGISTRY.verify.cell();
         snap
     }
     #[cfg(not(feature = "enabled"))]
@@ -739,6 +867,19 @@ pub fn kernel_table(snap: &TelemetrySnapshot) -> String {
             r.recovery_seconds,
         ));
     }
+    if !snap.verify.is_empty() {
+        let v = &snap.verify;
+        out.push_str(&format!(
+            "verify: {} schedule(s) ({} failed), {} propert{} ({} failed), \
+             max trajectory divergence {} ulp\n",
+            v.schedules,
+            v.schedule_failures,
+            v.properties,
+            if v.properties == 1 { "y" } else { "ies" },
+            v.property_failures,
+            v.max_trajectory_ulp,
+        ));
+    }
     out
 }
 
@@ -791,10 +932,11 @@ mod tests {
     #[cfg(not(feature = "enabled"))]
     #[test]
     fn disabled_probes_record_nothing() {
-        let mut s = kernel_scope(Phase::Aprod1, Block::Astro);
-        s.add_bytes(u64::MAX);
-        s.add_rmws(u64::MAX);
-        drop(s);
+        {
+            let mut s = kernel_scope(Phase::Aprod1, Block::Astro);
+            s.add_bytes(u64::MAX);
+            s.add_rmws(u64::MAX);
+        }
         assert_eq!(std::mem::size_of::<Scope>(), 0);
         let snap = snapshot();
         assert!(!snap.enabled);
@@ -856,6 +998,30 @@ mod tests {
         assert!(table.contains("resilience:"), "{table}");
         reset();
         assert!(snapshot().resilience.is_empty());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn verify_counters_accumulate_and_reset() {
+        reset();
+        record_verify_schedule(false);
+        record_verify_schedule(true);
+        record_verify_schedule(false);
+        record_verify_property(false);
+        record_verify_property(true);
+        record_verify_ulp(3);
+        record_verify_ulp(17);
+        record_verify_ulp(5);
+        let snap = snapshot();
+        assert_eq!(snap.verify.schedules, 3);
+        assert_eq!(snap.verify.schedule_failures, 1);
+        assert_eq!(snap.verify.properties, 2);
+        assert_eq!(snap.verify.property_failures, 1);
+        assert_eq!(snap.verify.max_trajectory_ulp, 17);
+        let table = kernel_table(&snap);
+        assert!(table.contains("verify:"), "{table}");
+        reset();
+        assert!(snapshot().verify.is_empty());
     }
 
     #[test]

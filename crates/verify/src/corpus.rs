@@ -1,0 +1,56 @@
+//! The committed seed corpus driving the metamorphic and trajectory suites.
+//!
+//! Seeds live in `corpus/sparse_seeds.txt`, compiled into the binary with
+//! `include_str!` so a checkout is all that is needed to reproduce a CI
+//! failure (the vendored property-testing stand-in has no shrinking or
+//! persistence, so the corpus *is* the regression file). Replay one seed
+//! with `scripts/replay_verify_seed.sh <seed>`.
+
+/// Raw contents of `corpus/sparse_seeds.txt`.
+const CORPUS: &str = include_str!("../corpus/sparse_seeds.txt");
+
+/// The committed seeds, in file order. Panics if the corpus file is
+/// malformed — that is a repo bug, not a runtime condition.
+pub fn corpus_seeds() -> Vec<u64> {
+    CORPUS
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            l.parse::<u64>()
+                .unwrap_or_else(|e| panic!("corpus/sparse_seeds.txt: bad seed {l:?}: {e}"))
+        })
+        .collect()
+}
+
+/// The fixed schedule-seed set `0..n` used by the schedule-exploration
+/// layer (schedules are cheap, so they are dense rather than curated).
+pub fn schedule_seeds(n: usize) -> Vec<u64> {
+    (0..n as u64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_nonempty_and_duplicate_free() {
+        let seeds = corpus_seeds();
+        assert!(seeds.len() >= 16, "corpus too small: {}", seeds.len());
+        let distinct: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(distinct.len(), seeds.len(), "duplicate corpus seeds");
+    }
+
+    #[test]
+    fn corpus_spans_small_and_large_seed_magnitudes() {
+        let seeds = corpus_seeds();
+        assert!(seeds.iter().any(|&s| s < 100));
+        assert!(seeds.iter().any(|&s| s > u64::MAX / 2));
+    }
+
+    #[test]
+    fn schedule_seeds_are_dense_from_zero() {
+        assert_eq!(schedule_seeds(4), vec![0, 1, 2, 3]);
+        assert!(schedule_seeds(0).is_empty());
+    }
+}

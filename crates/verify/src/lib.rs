@@ -1,0 +1,40 @@
+//! # gaia-verify
+//!
+//! Verification harness for the AVU-GSR solver, attacking the two ways a
+//! performance-portable solver can silently go wrong:
+//!
+//! 1. **Concurrency** — [`schedule`] replays every `aprod2` conflict
+//!    strategy under seeded adversarial thread schedules (permuted job
+//!    pickup, forced preemption inside the kernels' race windows, barrier
+//!    skew, worker starvation) via the `sched-test` hooks in
+//!    `gaia_backends::exec`, and checks the results stay bitwise-stable
+//!    (owner-computes, replicated) or tolerance-bounded (atomic, CAS,
+//!    lock-striped) against the sequential oracle. A deliberately racy
+//!    lost-update fixture ([`schedule::explore_broken`]) proves the
+//!    harness actually catches write-write races.
+//! 2. **Numerics** — [`metamorphic`] checks solver invariants that need no
+//!    external oracle (RHS scaling, column-scaling equivariance under the
+//!    Jacobi preconditioner, star-preserving row permutation, known-solution
+//!    residual convergence, checkpoint/resume identity), and [`trajectory`]
+//!    compares per-iteration LSQR scalars (α, β, ρ̄, φ̄, ‖r‖, ‖Aᵀr‖) of every
+//!    parallel backend against the sequential reference within a calibrated
+//!    ULP budget.
+//!
+//! Systems under test come from `gaia_sparse::fuzz` — pure functions of a
+//! `u64` seed — driven by the committed corpus in `corpus/sparse_seeds.txt`
+//! (see [`corpus`]). The `verify` binary runs all layers and writes a JSON
+//! artifact under `results/verify/` (see [`report`]).
+//!
+//! This crate is deliberately **not** part of the tier-1 test set: it pulls
+//! the `sched-test` feature into `gaia-backends` and runs adversarial
+//! schedules that spin-delay workers. Run it explicitly with
+//! `cargo test -p gaia-verify` or `cargo run -p gaia-verify --bin verify`.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod metamorphic;
+pub mod report;
+pub mod schedule;
+pub mod trajectory;
+pub mod ulp;

@@ -1,0 +1,109 @@
+//! JSON verification artifacts under `results/verify/`.
+//!
+//! One verification run — the `verify` binary or CI's `verify` job —
+//! serializes everything it measured into a single pretty-printed JSON
+//! file, mirroring the perf artifacts `gaia-telemetry` writes under
+//! `results/`: machine-readable, diffable across commits, and uploadable
+//! as a CI artifact.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+use crate::metamorphic::PropertyOutcome;
+use crate::schedule::ScheduleReport;
+use crate::trajectory::TrajectoryDivergence;
+
+/// Default artifact directory, relative to the repo root.
+pub const DEFAULT_DIR: &str = "results/verify";
+
+/// Everything one verification run measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct VerifyReport {
+    /// Schema tag for downstream tooling.
+    pub schema: String,
+    /// Corpus seeds driving the metamorphic and trajectory layers.
+    pub seeds: Vec<u64>,
+    /// Adversarial schedules replayed per strategy.
+    pub schedules_per_strategy: usize,
+    /// Schedule-exploration results, one per (strategy, worker budget).
+    pub schedule: Vec<ScheduleReport>,
+    /// Metamorphic property outcomes.
+    pub properties: Vec<PropertyOutcome>,
+    /// Per-backend trajectory divergence from the sequential reference.
+    pub trajectories: Vec<TrajectoryDivergence>,
+}
+
+impl VerifyReport {
+    /// An empty report with the current schema tag.
+    pub fn new() -> Self {
+        VerifyReport {
+            schema: "gaia-verify/v1".into(),
+            seeds: Vec::new(),
+            schedules_per_strategy: 0,
+            schedule: Vec::new(),
+            properties: Vec::new(),
+            trajectories: Vec::new(),
+        }
+    }
+
+    /// True iff every layer met its acceptance criterion.
+    pub fn passed(&self) -> bool {
+        self.schedule.iter().all(|r| r.passed())
+            && self.properties.iter().all(|p| p.passed)
+            && self.trajectories.iter().all(|t| t.within_budget())
+    }
+
+    /// Write the report as `<dir>/<name>.json` (name sanitized to
+    /// `[A-Za-z0-9_-]`), creating the directory if needed.
+    pub fn write_json(&self, dir: &Path, name: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", sanitize(name)));
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+impl Default for VerifyReport {
+    fn default() -> Self {
+        VerifyReport::new()
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("gaia-verify-report-{}", std::process::id()));
+        let mut report = VerifyReport::new();
+        report.seeds = vec![1, 2, 3];
+        let path = report.write_json(&dir, "unit test/../report").unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("unit_test"));
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"gaia-verify/v1\""));
+        assert!(report.passed(), "an empty report has nothing failing");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,268 @@
+//! Deterministic schedule exploration over the `aprod2` conflict strategies.
+//!
+//! Thread-interleaving bugs hide from ordinary tests because the scheduler
+//! rarely visits the bad orderings. This module drives the executor pool
+//! through **seeded adversarial schedules** (`gaia_backends::exec::sched`,
+//! compiled in via the `sched-test` feature): job pickup order is permuted,
+//! workers are forcibly preempted at the probe points inside the atomic,
+//! CAS, lock-striped, and reduction kernels, section barriers are skewed,
+//! and individual worker lanes are starved. Each strategy is replayed under
+//! many seeds and compared against the sequential oracle:
+//!
+//! * `OwnerComputes` and `Replicated` reduce in a fixed order, so their
+//!   results must be **bitwise identical** across every schedule;
+//! * `Atomic`, `CasLoop`, and `LockStriped` commute updates, so their
+//!   results may differ in summation order but must stay within
+//!   [`SCHEDULE_TOLERANCE`] of the oracle under *every* schedule.
+//!
+//! [`explore_broken`] is the harness's own canary: a deliberately racy
+//! lost-update kernel that a correct harness **must** flag. CI fails if the
+//! canary passes.
+
+use std::sync::atomic::Ordering;
+
+use gaia_backends::exec::sched::{self, ScheduleController};
+use gaia_backends::exec::{ExecutorPool, Job};
+use gaia_backends::{atomicf64, kernels};
+use gaia_backends::{Aprod2Spec, Aprod2Strategy, Backend, LaunchPlan, SeqBackend, Tuning};
+use gaia_sparse::{AttitudePattern, Generator, GeneratorConfig, Rhs, SparseSystem, SystemLayout};
+use serde::Serialize;
+
+/// Worst-case |got − oracle| accepted from a reduction-order-nondeterministic
+/// strategy on the tiny exploration system. Calibrated far above rounding
+/// noise (observed ≲ 1e-13) and far below the smallest lost-update error
+/// (one dropped `a·y` term is O(0.01..1)).
+pub const SCHEDULE_TOLERANCE: f64 = 1e-10;
+
+/// Preemption-probe tag of the deliberately racy [`explore_broken`] fixture.
+pub const BROKEN_PROBE: u32 = 0xBAD;
+
+/// Threads in the exploration pool (jobs outnumber workers so pickup-order
+/// permutation actually changes the interleaving).
+pub const THREADS: usize = 4;
+
+/// Every real conflict strategy, with the stable name used in reports.
+pub fn strategies() -> Vec<(&'static str, Aprod2Strategy)> {
+    vec![
+        ("owner-computes", Aprod2Strategy::OwnerComputes),
+        ("atomic", Aprod2Strategy::Atomic),
+        ("casloop", Aprod2Strategy::CasLoop),
+        ("replicated", Aprod2Strategy::Replicated),
+        ("lock-striped", Aprod2Strategy::LockStriped { stripes: 8 }),
+    ]
+}
+
+/// Whether `strategy` must be bitwise identical across schedules (fixed
+/// reduction order) rather than merely tolerance-bounded.
+pub fn expect_bitwise(strategy: Aprod2Strategy) -> bool {
+    matches!(
+        strategy,
+        Aprod2Strategy::OwnerComputes | Aprod2Strategy::Replicated
+    )
+}
+
+/// Outcome of replaying one subject under a batch of seeded schedules.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScheduleReport {
+    /// Strategy name, plus `+streamed` when run under the streamed budget.
+    pub subject: String,
+    /// Number of adversarial schedules replayed.
+    pub schedules: usize,
+    /// Schedules whose result left [`SCHEDULE_TOLERANCE`] of the oracle.
+    pub failures: usize,
+    /// Worst |got − oracle| over all schedules.
+    pub max_abs_error: f64,
+    /// Whether this subject is required to be bitwise schedule-stable.
+    pub expect_bitwise: bool,
+    /// Whether every schedule reproduced the unperturbed run bit-for-bit.
+    pub bitwise_stable: bool,
+}
+
+impl ScheduleReport {
+    /// True iff the subject met its determinism class: no tolerance
+    /// failures, and bitwise stability where required.
+    pub fn passed(&self) -> bool {
+        self.failures == 0 && (!self.expect_bitwise || self.bitwise_stable)
+    }
+}
+
+/// The fixed exploration system: the tiny layout with a scan-law attitude,
+/// so the attitude section (the contended one) is densely revisited.
+fn test_system() -> SparseSystem {
+    Generator::new(
+        GeneratorConfig::new(SystemLayout::tiny())
+            .seed(7)
+            .attitude(AttitudePattern::ScanLaw { revolutions: 8 })
+            .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-8 }),
+    )
+    .generate()
+}
+
+/// A deterministic, sign-varying, nowhere-zero probe vector.
+fn probe_vector(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * std::f64::consts::FRAC_PI_4).sin() + 0.25)
+        .collect()
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn bits_differ(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())
+}
+
+/// Replay `strategy` (under the uniform or streamed worker budget) against
+/// `seeds` adversarial schedules and compare every run to the sequential
+/// oracle and to the unperturbed run.
+pub fn explore_strategy(
+    name: &str,
+    strategy: Aprod2Strategy,
+    streamed: bool,
+    seeds: &[u64],
+) -> ScheduleReport {
+    let sys = test_system();
+    let y = probe_vector(sys.n_rows());
+
+    let mut want = vec![0.0f64; sys.n_cols()];
+    SeqBackend.aprod2(&sys, &y, &mut want);
+
+    let spec = if streamed {
+        Aprod2Spec::streamed(strategy)
+    } else {
+        Aprod2Spec::uniform(strategy)
+    };
+    let plan = LaunchPlan::new(
+        Tuning {
+            threads: THREADS,
+            chunks_per_thread: 2,
+        },
+        spec,
+    );
+    // A private pool: schedule controllers must never leak into the shared
+    // pools other tests use.
+    let pool = ExecutorPool::new(THREADS);
+
+    let mut baseline = vec![0.0f64; sys.n_cols()];
+    plan.aprod2(&pool, &sys, &y, &mut baseline);
+
+    let mut failures = 0usize;
+    let mut max_abs_error = 0.0f64;
+    let mut bitwise_stable = true;
+    for &seed in seeds {
+        pool.set_schedule(Some(ScheduleController::from_seed(seed)));
+        let mut got = vec![0.0f64; sys.n_cols()];
+        plan.aprod2(&pool, &sys, &y, &mut got);
+        pool.set_schedule(None);
+
+        let err = max_abs_diff(&got, &want);
+        max_abs_error = max_abs_error.max(err);
+        let failed = !err.is_finite() || err > SCHEDULE_TOLERANCE;
+        if failed {
+            failures += 1;
+        }
+        if bits_differ(&got, &baseline) {
+            bitwise_stable = false;
+        }
+        gaia_telemetry::record_verify_schedule(failed);
+    }
+
+    ScheduleReport {
+        subject: format!("{name}{}", if streamed { "+streamed" } else { "" }),
+        schedules: seeds.len(),
+        failures,
+        max_abs_error,
+        expect_bitwise: expect_bitwise(strategy),
+        bitwise_stable,
+    }
+}
+
+/// The canary: a deliberately racy attitude accumulation with a textbook
+/// lost-update window (non-atomic read → preemption probe → blind store on
+/// a shared slot). Run under [`ScheduleController::race_window`] — which
+/// preempts at *every* probe, parking the stale read for tens of
+/// microseconds while sibling lanes write the same slots — the race is
+/// exposed with near certainty on every seed. A healthy harness must
+/// report `failures > 0`; CI fails if this fixture ever passes.
+pub fn explore_broken(seeds: &[u64]) -> ScheduleReport {
+    let sys = test_system();
+    let n_rows = sys.n_rows();
+    let y = probe_vector(n_rows);
+    let dof = sys.layout().n_deg_freedom_att as usize;
+    let n_att = sys.layout().n_att_cols() as usize;
+
+    let mut want = vec![0.0f64; n_att];
+    kernels::aprod2_att(&sys, &y, 0..n_rows, &mut want);
+
+    let pool = ExecutorPool::new(THREADS);
+    // Interleaved row ownership (job j takes rows j, j+L, j+2L, …): every
+    // concurrently-running lane sweeps the whole attitude block, maximizing
+    // write-write collisions on its ~24 shared columns.
+    const LANES: usize = 8;
+
+    let mut failures = 0usize;
+    let mut max_abs_error = 0.0f64;
+    let mut bitwise_stable = true;
+    let mut baseline: Option<Vec<f64>> = None;
+    for &seed in seeds {
+        pool.set_schedule(Some(ScheduleController::race_window(seed)));
+        let mut out = vec![0.0f64; n_att];
+        {
+            let view = atomicf64::as_atomic(&mut out);
+            let sys = &sys;
+            let y = &y;
+            let mut jobs: Vec<Job<'_>> = Vec::with_capacity(LANES);
+            for lane in 0..LANES {
+                jobs.push(Box::new(move || {
+                    let mut row = lane;
+                    while row < n_rows {
+                        let (vals, off) = sys.att_row(row);
+                        let yr = y[row];
+                        for (i, &v) in vals.iter().enumerate() {
+                            let (axis, k) = (i / 4, i % 4);
+                            let slot = &view[axis * dof + off as usize + k];
+                            // Lost-update race: the read is stale by the
+                            // time the store lands if anyone else updated
+                            // the slot during the preemption window.
+                            let cur = f64::from_bits(slot.load(Ordering::Relaxed));
+                            sched::preempt_point(BROKEN_PROBE);
+                            slot.store((cur + v * yr).to_bits(), Ordering::Relaxed);
+                        }
+                        row += LANES;
+                    }
+                }));
+            }
+            pool.run(jobs);
+        }
+        pool.set_schedule(None);
+
+        let err = max_abs_diff(&out, &want);
+        max_abs_error = max_abs_error.max(err);
+        let failed = !err.is_finite() || err > SCHEDULE_TOLERANCE;
+        if failed {
+            failures += 1;
+        }
+        match &baseline {
+            None => baseline = Some(out),
+            Some(b) => {
+                if bits_differ(&out, b) {
+                    bitwise_stable = false;
+                }
+            }
+        }
+        gaia_telemetry::record_verify_schedule(failed);
+    }
+
+    ScheduleReport {
+        subject: "broken-lost-update".into(),
+        schedules: seeds.len(),
+        failures,
+        max_abs_error,
+        expect_bitwise: false,
+        bitwise_stable,
+    }
+}

@@ -1,0 +1,85 @@
+//! ULP (units in the last place) distance between `f64` values.
+//!
+//! Floating-point agreement between backends is a statement about *rounding*,
+//! not magnitudes, so tolerances here are expressed as the number of
+//! representable doubles between two values. The mapping is the standard
+//! lexicographic trick: reinterpret the IEEE-754 bit pattern as a signed
+//! integer, flipping the negative half so the integer order matches the
+//! numeric order; the ULP distance is then an integer subtraction.
+
+/// Map `x` to an integer whose ordering matches the numeric ordering of
+/// finite doubles (negative values are reflected around the sign boundary).
+#[inline]
+pub fn lexic(x: f64) -> i64 {
+    let b = x.to_bits() as i64;
+    if b < 0 {
+        (0x8000_0000_0000_0000u64 as i64).wrapping_sub(b)
+    } else {
+        b
+    }
+}
+
+/// Number of representable doubles between `a` and `b`.
+///
+/// `0` iff the values compare equal (including `+0 == -0`); `u64::MAX` if
+/// either is NaN. Distances across the zero crossing count every denormal
+/// in between, so near-zero quantities should be compared with an absolute
+/// floor first (see `trajectory::ABS_FLOOR`).
+#[inline]
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    lexic(a).abs_diff(lexic(b))
+}
+
+/// Maximum [`ulp_distance`] over two equal-length slices.
+pub fn max_ulp(a: &[f64], b: &[f64]) -> u64 {
+    assert_eq!(a.len(), b.len(), "ulp::max_ulp: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ulp_distance(x, y))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_doubles_are_one_ulp_apart() {
+        let x = 1.0f64;
+        let next = f64::from_bits(x.to_bits() + 1);
+        assert_eq!(ulp_distance(x, next), 1);
+        assert_eq!(ulp_distance(-x, -next), 1);
+    }
+
+    #[test]
+    fn signed_zeros_are_zero_apart_and_nan_is_infinitely_far() {
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_distance(1.0, f64::NAN), u64::MAX);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_monotone_across_signs() {
+        let pairs = [(1.0, 1.5), (-2.0, 2.0), (1e-300, -1e-300)];
+        for (a, b) in pairs {
+            assert_eq!(ulp_distance(a, b), ulp_distance(b, a));
+            assert!(ulp_distance(a, b) > 0);
+        }
+        // Crossing zero is farther than staying on one side.
+        assert!(ulp_distance(-f64::MIN_POSITIVE, f64::MIN_POSITIVE) > ulp_distance(1.0, 1.0000001));
+    }
+
+    #[test]
+    fn max_ulp_reports_the_worst_component() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, f64::from_bits(2.0f64.to_bits() + 5), 3.0];
+        assert_eq!(max_ulp(&a, &b), 5);
+    }
+}

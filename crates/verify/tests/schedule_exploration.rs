@@ -1,0 +1,73 @@
+//! Schedule-exploration acceptance tests: every real conflict strategy
+//! survives 200+ seeded adversarial schedules, the fixed-reduction-order
+//! strategies are bitwise schedule-stable, and the deliberately racy
+//! canary is caught (proving the harness can actually see races).
+
+use gaia_verify::corpus;
+use gaia_verify::schedule::{self, ScheduleReport};
+
+fn assert_clean(rep: &ScheduleReport) {
+    assert!(
+        rep.passed(),
+        "{}: {}/{} schedules failed (max error {:.3e}, expect_bitwise={}, bitwise_stable={})",
+        rep.subject,
+        rep.failures,
+        rep.schedules,
+        rep.max_abs_error,
+        rep.expect_bitwise,
+        rep.bitwise_stable,
+    );
+}
+
+#[test]
+fn every_strategy_survives_200_seeded_schedules() {
+    let seeds = corpus::schedule_seeds(200);
+    for (name, strategy) in schedule::strategies() {
+        let rep = schedule::explore_strategy(name, strategy, false, &seeds);
+        assert_eq!(rep.schedules, 200);
+        assert_clean(&rep);
+    }
+}
+
+#[test]
+fn streamed_budget_survives_seeded_schedules() {
+    // The streamed worker budget changes chunk shapes and barrier timing;
+    // a lighter pass per strategy keeps the suite fast.
+    let seeds = corpus::schedule_seeds(40);
+    for (name, strategy) in schedule::strategies() {
+        let rep = schedule::explore_strategy(name, strategy, true, &seeds);
+        assert_clean(&rep);
+    }
+}
+
+#[test]
+fn fixed_order_strategies_are_bitwise_stable_across_schedules() {
+    let seeds = corpus::schedule_seeds(64);
+    for (name, strategy) in schedule::strategies() {
+        if !schedule::expect_bitwise(strategy) {
+            continue;
+        }
+        let rep = schedule::explore_strategy(name, strategy, false, &seeds);
+        assert!(
+            rep.bitwise_stable,
+            "{}: result bits changed under some schedule",
+            rep.subject
+        );
+    }
+}
+
+/// The must-fail canary: a correct harness flags the lost-update fixture.
+/// If this test fails, the harness has gone blind to write-write races and
+/// every other schedule-exploration result is meaningless.
+#[test]
+fn broken_strategy_canary_is_caught() {
+    let seeds = corpus::schedule_seeds(8);
+    let rep = schedule::explore_broken(&seeds);
+    assert!(
+        rep.failures > 0,
+        "harness failed to detect the deliberate lost-update race over {} schedules \
+         (max error {:.3e})",
+        rep.schedules,
+        rep.max_abs_error,
+    );
+}

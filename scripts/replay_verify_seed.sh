@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Replay one gaia-verify corpus seed: every metamorphic property on every
+# backend, plus the trajectory comparison against the sequential reference.
+# Writes results/verify/verify-seed-<seed>.json and exits non-zero on any
+# violated invariant.
+#
+# The seed fully determines the system under test (shape, patterns, values)
+# via gaia_sparse::fuzz, so a CI failure reproduces from the seed alone.
+# The committed corpus lives in crates/verify/corpus/sparse_seeds.txt.
+#
+# Usage: scripts/replay_verify_seed.sh <seed> [extra verify flags...]
+set -euo pipefail
+if [ $# -lt 1 ]; then
+    echo "usage: $0 <seed> [--schedules N] [--out DIR]" >&2
+    exit 2
+fi
+seed=$1
+shift
+exec cargo run --release -p gaia-verify --bin verify -- --seed "$seed" "$@"
