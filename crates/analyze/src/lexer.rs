@@ -1,0 +1,334 @@
+//! A minimal Rust surface lexer: enough of the grammar to tell *code*
+//! from *comments* from *string contents*, line by line, without rustc or
+//! syn (the workspace builds offline; so does its analyzer).
+//!
+//! The rules in [`crate::rules`] match plain substrings, so the lexer's
+//! whole job is making those matches sound: `"unsafe"` inside a string
+//! literal must not look like the `unsafe` keyword, `SAFETY:` inside a
+//! comment must not look like code, and a `'static` lifetime must not
+//! open a character literal that swallows the rest of the file. Handled:
+//! line comments (`//`, `///`, `//!`), nested block comments, string /
+//! raw-string / byte-string literals, character literals, and the
+//! char-vs-lifetime ambiguity of `'`.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone, Default)]
+pub struct LineView {
+    /// The line with comments and string/char *contents* blanked out
+    /// (replaced by spaces; quotes and comment markers removed too).
+    /// Substring matches against this are matches against real code.
+    pub code: String,
+    /// Concatenated text of every comment overlapping this line.
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` item's braces.
+    pub in_test: bool,
+}
+
+/// A lexed source file.
+#[derive(Debug, Clone)]
+pub struct FileView {
+    /// The raw source lines (for diagnostics excerpts).
+    pub raw: Vec<String>,
+    /// Per-line code/comment split.
+    pub lines: Vec<LineView>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Does `'` at position `i` open a character literal (vs a lifetime)?
+/// A char literal is `'` + (escape | single char) + `'`; a lifetime label
+/// is `'` + identifier with no closing quote.
+fn opens_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        None => false,
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+    }
+}
+
+/// Lex one file into per-line code/comment views and mark `#[cfg(test)]`
+/// regions.
+pub fn lex(source: &str) -> FileView {
+    let raw: Vec<String> = source.lines().map(str::to_owned).collect();
+    let mut lines: Vec<LineView> = Vec::with_capacity(raw.len());
+    let mut state = State::Code;
+
+    for line in &raw {
+        let chars: Vec<char> = line.chars().collect();
+        let mut code = String::with_capacity(chars.len());
+        let mut comment = String::new();
+        let mut i = 0;
+
+        // A line comment never survives a newline.
+        if state == State::LineComment {
+            state = State::Code;
+        }
+
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Code => {
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        state = State::LineComment;
+                        code.push(' ');
+                        i += 1; // the loop advance eats the second '/'
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::BlockComment(1);
+                        code.push(' ');
+                        i += 1;
+                    } else if c == '"' {
+                        // Possibly the end of a raw-string opener `r#"`;
+                        // plain openers land here too.
+                        code.push('"');
+                        state = State::Str;
+                    } else if c == 'r' || c == 'b' {
+                        // Raw (byte) string opener: r", r#", br#", ...
+                        let mut j = i + 1;
+                        if c == 'b' && chars.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        let prev_ident = i > 0 && is_ident(chars[i - 1]);
+                        if !prev_ident && chars.get(j) == Some(&'"') && (c == 'r' || j > i + 1) {
+                            code.push('"');
+                            state = State::RawStr(hashes);
+                            i = j;
+                        } else {
+                            code.push(c);
+                        }
+                    } else if c == '\'' && !(i > 0 && is_ident(chars[i - 1])) {
+                        // An `'` directly after an identifier closes a char
+                        // literal pattern we already consumed elsewhere;
+                        // fresh quotes are either chars or lifetimes.
+                        if opens_char_literal(&chars, i) {
+                            code.push('\'');
+                            state = State::CharLit;
+                        } else {
+                            code.push(' '); // lifetime marker: not a string
+                        }
+                    } else {
+                        code.push(c);
+                    }
+                }
+                State::LineComment => {
+                    comment.push(c);
+                }
+                State::BlockComment(depth) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        if depth == 1 {
+                            state = State::Code;
+                        } else {
+                            state = State::BlockComment(depth - 1);
+                        }
+                        i += 1;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::BlockComment(depth + 1);
+                        i += 1;
+                    } else {
+                        comment.push(c);
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        code.push(' ');
+                        if chars.get(i + 1).is_some() {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Code;
+                    } else {
+                        code.push(' ');
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes as usize {
+                            if chars.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            code.push('"');
+                            i += hashes as usize;
+                            state = State::Code;
+                        } else {
+                            code.push(' ');
+                        }
+                    } else {
+                        code.push(' ');
+                    }
+                }
+                State::CharLit => {
+                    if c == '\\' {
+                        code.push(' ');
+                        if chars.get(i + 1).is_some() {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        code.push('\'');
+                        state = State::Code;
+                    } else {
+                        code.push(' ');
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        // Unterminated single-line states fall back to code at EOL; only
+        // block comments and raw strings legally span lines.
+        if matches!(state, State::Str | State::CharLit) {
+            state = State::Code;
+        }
+
+        lines.push(LineView {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+
+    mark_test_regions(&mut lines);
+    FileView { raw, lines }
+}
+
+/// Mark every line inside a `#[cfg(test)]` item's braces as test code.
+/// Attribute → (more attributes / blank lines) → item line with `{`; the
+/// region closes when the brace depth returns to its opening level. An
+/// attribute followed by a braceless item (`#[cfg(test)] use ...;`) marks
+/// just that item line.
+fn mark_test_regions(lines: &mut [LineView]) {
+    let n = lines.len();
+    let mut i = 0;
+    while i < n {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Find the item line: skip attribute-only and blank lines.
+        let mut j = i;
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        while j < n {
+            for c in lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            lines[j].in_test = true;
+            if opened && depth <= 0 {
+                break;
+            }
+            if !opened && j > i && lines[j].code.contains(';') {
+                break; // braceless item: done after its terminating `;`
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+/// True when this workspace-relative path is test-only by location: an
+/// integration-test tree (`tests/`) or an example. Benches and `src/`
+/// binaries are production code for rule purposes.
+pub fn path_is_test(path: &str) -> bool {
+    path.split('/')
+        .any(|seg| seg == "tests" || seg == "examples")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_split_from_code() {
+        let v = lex("let x = 1; // SAFETY: trailing\n/* block */ let y = 2;");
+        assert!(v.lines[0].code.contains("let x = 1;"));
+        assert!(!v.lines[0].code.contains("SAFETY"));
+        assert!(v.lines[0].comment.contains("SAFETY: trailing"));
+        assert!(v.lines[1].code.contains("let y = 2;"));
+        assert!(v.lines[1].comment.contains("block"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let v = lex(r#"let s = "unsafe Instant::now"; call();"#);
+        assert!(!v.lines[0].code.contains("unsafe"));
+        assert!(!v.lines[0].code.contains("Instant"));
+        assert!(v.lines[0].code.contains("call();"));
+    }
+
+    #[test]
+    fn raw_strings_span_lines() {
+        let v = lex("let s = r#\"line one unsafe\nline two SeqCst\"#;\nnext();");
+        assert!(!v.lines[0].code.contains("unsafe"));
+        assert!(!v.lines[1].code.contains("SeqCst"));
+        assert!(v.lines[2].code.contains("next();"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let v = lex("fn f<'a>(x: &'a str) -> &'static str { x } let c = 'u'; unsafe {}");
+        assert!(v.lines[0].code.contains("unsafe {}"), "{:?}", v.lines[0]);
+        assert!(!v.lines[0].code.contains("'u'"), "char contents blanked");
+    }
+
+    #[test]
+    fn escaped_char_literals_close() {
+        let v = lex(r"let q = '\''; let nl = '\n'; done();");
+        assert!(v.lines[0].code.contains("done();"));
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth() {
+        let v = lex("/* outer /* inner */ still comment */ code();");
+        assert!(v.lines[0].code.contains("code();"));
+        assert!(v.lines[0].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn cfg_test_mod_region_is_marked() {
+        let src =
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let v = lex(src);
+        assert!(!v.lines[0].in_test);
+        assert!(v.lines[1].in_test);
+        assert!(v.lines[3].in_test);
+        assert!(v.lines[4].in_test);
+        assert!(!v.lines[5].in_test);
+    }
+
+    #[test]
+    fn doc_comment_mentions_do_not_leak_into_code() {
+        let v = lex("/// call unsafe code via Instant::now\nfn documented() {}");
+        assert!(!v.lines[0].code.contains("unsafe"));
+        assert!(v.lines[0].comment.contains("unsafe"));
+        assert!(v.lines[1].code.contains("fn documented"));
+    }
+}

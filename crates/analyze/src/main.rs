@@ -1,0 +1,139 @@
+//! `gaia-analyze` — lint the workspace against the project rule set.
+//!
+//! ```text
+//! gaia-analyze [--root DIR] [--deny] [--json PATH] [--quiet]
+//! ```
+//!
+//! * `--root DIR`   workspace root (default: walk up to `[workspace]`)
+//! * `--deny`       exit 1 if any unsuppressed diagnostic remains (CI mode)
+//! * `--json PATH`  write the JSON report here instead of
+//!   `results/analyze/report.json`
+//! * `--quiet`      suppress the per-diagnostic listing
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gaia_analyze::report::DEFAULT_REPORT_PATH;
+use gaia_analyze::{analyze_workspace, find_workspace_root};
+
+const USAGE: &str = "usage: gaia-analyze [--root DIR] [--deny] [--json PATH] [--quiet]";
+
+struct Args {
+    root: Option<PathBuf>,
+    deny: bool,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        deny: false,
+        json: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--root" => args.root = Some(PathBuf::from(value("--root")?)),
+            "--deny" => args.deny = true,
+            "--json" => args.json = Some(PathBuf::from(value("--json")?)),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("{e}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot determine working directory: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = match args.root.or_else(|| find_workspace_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "no workspace root found above {} (pass --root)",
+                cwd.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !args.quiet {
+        for d in &report.diagnostics {
+            println!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.message);
+            if !d.excerpt.is_empty() {
+                println!("    {}", d.excerpt);
+            }
+        }
+    }
+    println!(
+        "gaia-analyze: {} file(s) scanned, {} diagnostic(s), {} suppression(s)",
+        report.files_scanned,
+        report.diagnostics.len(),
+        report.suppressions.len()
+    );
+
+    let write_result = match &args.json {
+        Some(path) => {
+            let out = if path.is_absolute() {
+                path.clone()
+            } else {
+                root.join(path)
+            };
+            std::fs::create_dir_all(out.parent().unwrap_or(&root))
+                .and_then(|()| serde_json::to_string_pretty(&report).map_err(std::io::Error::other))
+                .and_then(|json| std::fs::write(&out, json + "\n"))
+                .map(|()| out)
+        }
+        None => report.write_json(&root),
+    };
+    match write_result {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => {
+            eprintln!(
+                "failed to write report ({}): {e}",
+                args.json
+                    .as_deref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|| DEFAULT_REPORT_PATH.to_owned())
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if args.deny && !report.clean() {
+        eprintln!(
+            "gaia-analyze: --deny: {} unsuppressed diagnostic(s)",
+            report.diagnostics.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,124 @@
+//! Machine-readable lint report (`results/analyze/report.json`), the
+//! artifact CI uploads so a failing `--deny` run can be inspected without
+//! re-running the analyzer.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::rules::{Diagnostic, Suppression, RULE_IDS};
+
+/// Report schema identifier; bump on incompatible change.
+pub const SCHEMA: &str = "gaia-analyze/v1";
+
+/// Default location of the JSON artifact, relative to the workspace root.
+pub const DEFAULT_REPORT_PATH: &str = "results/analyze/report.json";
+
+/// Per-rule tally.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct RuleCount {
+    /// Rule identifier.
+    pub rule: String,
+    /// Unsuppressed diagnostics for this rule.
+    pub diagnostics: usize,
+    /// Honored suppressions for this rule.
+    pub suppressions: usize,
+}
+
+/// The full workspace lint report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// Files lexed and checked.
+    pub files_scanned: usize,
+    /// Every unsuppressed diagnostic, in path/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every honored suppression, in path/line order.
+    pub suppressions: Vec<Suppression>,
+    /// Per-rule tallies over the two lists above.
+    pub rules: Vec<RuleCount>,
+}
+
+impl Report {
+    /// Assemble a report from the raw findings.
+    pub fn new(
+        files_scanned: usize,
+        mut diagnostics: Vec<Diagnostic>,
+        mut suppressions: Vec<Suppression>,
+    ) -> Self {
+        diagnostics.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        suppressions.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        let rules = RULE_IDS
+            .iter()
+            .map(|id| RuleCount {
+                rule: (*id).to_owned(),
+                diagnostics: diagnostics.iter().filter(|d| d.rule == *id).count(),
+                suppressions: suppressions.iter().filter(|s| s.rule == *id).count(),
+            })
+            .collect();
+        Report {
+            schema: SCHEMA.to_owned(),
+            files_scanned,
+            diagnostics,
+            suppressions,
+            rules,
+        }
+    }
+
+    /// True when no unsuppressed diagnostic remains (`--deny` exit 0).
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Write the report under `root` at [`DEFAULT_REPORT_PATH`], creating
+    /// directories as needed. Returns the path written.
+    pub fn write_json(&self, root: &Path) -> io::Result<PathBuf> {
+        let path = root.join(DEFAULT_REPORT_PATH);
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        fs::write(&path, json + "\n")?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_sorts_and_tallies() {
+        let d = |path: &str, line: usize, rule: &str| Diagnostic {
+            path: path.into(),
+            line,
+            rule: rule.into(),
+            message: String::new(),
+            excerpt: String::new(),
+        };
+        let r = Report::new(
+            3,
+            vec![d("b.rs", 1, "timing"), d("a.rs", 9, "timing")],
+            vec![],
+        );
+        assert_eq!(r.schema, SCHEMA);
+        assert_eq!(r.diagnostics[0].path, "a.rs");
+        assert!(!r.clean());
+        let timing = r.rules.iter().find(|c| c.rule == "timing").unwrap();
+        assert_eq!(timing.diagnostics, 2);
+        assert_eq!(timing.suppressions, 0);
+        assert!(Report::new(3, vec![], vec![]).clean());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = Report::new(1, vec![], vec![]);
+        let s = serde_json::to_string(&r).unwrap();
+        let back: Report = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.files_scanned, 1);
+        assert_eq!(back.schema, SCHEMA);
+    }
+}

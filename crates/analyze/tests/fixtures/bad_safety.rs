@@ -1,0 +1,6 @@
+// Fixture: `unsafe` with no SAFETY comment anywhere in the window.
+
+pub fn read_first(v: &[f64]) -> f64 {
+    let p = v.as_ptr();
+    unsafe { *p }
+}

@@ -1,0 +1,14 @@
+// Fixture: SeqCst site without an ORDERING: annotation in its window.
+// ORDERING: the counter below is documented at file level, but the SeqCst
+// site itself carries no rationale, which the rule demands.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    let pad = 0;
+    let _ = pad;
+    let a = 1;
+    let b = 2;
+    let _ = a + b;
+    c.fetch_add(1, Ordering::SeqCst)
+}

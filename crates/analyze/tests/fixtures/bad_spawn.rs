@@ -1,0 +1,5 @@
+// Fixture: raw thread creation outside the executor pool.
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| println!("rogue"));
+}

@@ -1,0 +1,9 @@
+// Fixture: a suppression with no justification does not suppress, and is
+// itself flagged.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    // gaia-analyze: allow(timing)
+    Instant::now()
+}

@@ -1,0 +1,9 @@
+// Fixture: ad-hoc clock read outside the telemetry crate.
+
+use std::time::Instant;
+
+pub fn how_long<F: FnOnce()>(f: F) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}

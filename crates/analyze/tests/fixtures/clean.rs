@@ -1,0 +1,32 @@
+// Fixture: obeys every rule — annotated unsafe, documented orderings, a
+// justified suppression, and rule-triggering spellings quarantined inside
+// strings and comments where they are harmless.
+//
+// ORDERING: the counter is an independent tally read only for reporting;
+// Relaxed is the weakest correct ordering.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read_first(v: &[f64]) -> f64 {
+    let p = v.as_ptr();
+    // SAFETY: `v` is non-empty at every call site in this fixture and the
+    // pointer is derived from a live borrow.
+    unsafe { *p }
+}
+
+pub fn stamp() -> Instant {
+    // gaia-analyze: allow(timing): fixture demonstrating a justified
+    // suppression; nothing is measured.
+    Instant::now()
+}
+
+pub fn decoys() -> &'static str {
+    // The words unsafe, Instant::now and Ordering::SeqCst in this comment
+    // are commentary, not code; the string below is data, not code.
+    "unsafe Instant::now() thread::spawn Ordering::SeqCst .unwrap()"
+}

@@ -1,0 +1,106 @@
+//! Fixture corpus acceptance: every deliberately-bad fixture is flagged
+//! with exactly the expected rule, and the clean fixture passes untouched.
+//! The fixtures live under `tests/fixtures/` (a directory the workspace
+//! walker skips) and are linted here under *virtual* production paths, so
+//! the test-location exemptions do not mask them.
+
+use gaia_analyze::analyze_source;
+
+/// Lint fixture `text` as if it lived at `path`; return the rule ids.
+fn rules_at(path: &str, text: &str) -> Vec<String> {
+    analyze_source(path, text)
+        .diagnostics
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+#[test]
+fn bad_safety_is_flagged() {
+    let rules = rules_at(
+        "crates/x/src/bad_safety.rs",
+        include_str!("fixtures/bad_safety.rs"),
+    );
+    assert_eq!(rules, vec!["safety-comment"]);
+}
+
+#[test]
+fn bad_seqcst_is_flagged() {
+    let rules = rules_at(
+        "crates/x/src/bad_seqcst.rs",
+        include_str!("fixtures/bad_seqcst.rs"),
+    );
+    assert_eq!(rules, vec!["ordering-seqcst"]);
+}
+
+#[test]
+fn bad_ordering_doc_is_flagged() {
+    let rules = rules_at(
+        "crates/x/src/bad_ordering_doc.rs",
+        include_str!("fixtures/bad_ordering_doc.rs"),
+    );
+    assert_eq!(rules, vec!["ordering-doc"]);
+}
+
+#[test]
+fn bad_spawn_is_flagged() {
+    let rules = rules_at(
+        "crates/x/src/bad_spawn.rs",
+        include_str!("fixtures/bad_spawn.rs"),
+    );
+    assert_eq!(rules, vec!["thread-spawn"]);
+}
+
+#[test]
+fn bad_timing_is_flagged() {
+    let rules = rules_at(
+        "crates/x/src/bad_timing.rs",
+        include_str!("fixtures/bad_timing.rs"),
+    );
+    assert_eq!(rules, vec!["timing"]);
+}
+
+#[test]
+fn bad_unwrap_is_flagged_in_hot_path_only() {
+    let text = include_str!("fixtures/bad_unwrap.rs");
+    // Under a backend_* file name the hot-path rule fires…
+    let rules = rules_at("crates/backends/src/backend_fixture.rs", text);
+    assert_eq!(rules, vec!["hot-unwrap"]);
+    // …but the same code in a cold path is legal.
+    assert!(rules_at("crates/backends/src/registry_fixture.rs", text).is_empty());
+}
+
+#[test]
+fn bad_suppression_is_flagged_and_does_not_suppress() {
+    let rules = rules_at(
+        "crates/x/src/bad_suppression.rs",
+        include_str!("fixtures/bad_suppression.rs"),
+    );
+    assert_eq!(rules, vec!["suppression", "timing"]);
+}
+
+#[test]
+fn clean_fixture_passes_with_one_honored_suppression() {
+    let f = analyze_source("crates/x/src/clean.rs", include_str!("fixtures/clean.rs"));
+    assert!(
+        f.diagnostics.is_empty(),
+        "clean fixture flagged: {:?}",
+        f.diagnostics
+    );
+    assert_eq!(f.suppressions.len(), 1);
+    assert_eq!(f.suppressions[0].rule, "timing");
+    assert!(!f.suppressions[0].justification.is_empty());
+}
+
+#[test]
+fn diagnostics_carry_location_and_excerpt() {
+    let f = analyze_source(
+        "crates/x/src/bad_timing.rs",
+        include_str!("fixtures/bad_timing.rs"),
+    );
+    let d = &f.diagnostics[0];
+    assert_eq!(d.path, "crates/x/src/bad_timing.rs");
+    assert_eq!(d.line, 6);
+    assert!(d.excerpt.contains("Instant::now"));
+    assert!(d.message.contains("telemetry"));
+}

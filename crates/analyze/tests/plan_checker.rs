@@ -1,0 +1,87 @@
+//! Cross-crate acceptance for the two static layers together: the
+//! `LaunchPlan` checker in gaia-backends must reject the canonical bad
+//! plans (overlapping partitions, unsynchronized shared writes) while the
+//! lint engine in this crate must find the *workspace itself* clean.
+
+use std::path::Path;
+
+use gaia_analyze::{analyze_workspace, find_workspace_root};
+use gaia_backends::{
+    check_sections, PlanDims, PlanViolation, SectionId, SectionModel, WriteAccess,
+};
+
+fn owned(writes: Vec<std::ops::Range<usize>>) -> SectionModel {
+    SectionModel {
+        id: SectionId::Att,
+        access: WriteAccess::Owned,
+        section_len: 100,
+        writes,
+    }
+}
+
+#[test]
+fn overlapping_owner_computes_partition_is_rejected() {
+    let err = check_sections(&[owned(vec![0..60, 40..100])]).unwrap_err();
+    assert!(err
+        .violations
+        .iter()
+        .any(|v| matches!(v, PlanViolation::Overlap { .. })));
+}
+
+#[test]
+fn gapped_owner_computes_partition_is_rejected() {
+    let err = check_sections(&[owned(vec![0..40, 60..100])]).unwrap_err();
+    assert!(err
+        .violations
+        .iter()
+        .any(|v| matches!(v, PlanViolation::Gap { .. })));
+}
+
+#[test]
+fn colliding_plain_shared_writes_are_an_illegal_pairing() {
+    let racy = SectionModel {
+        id: SectionId::Att,
+        access: WriteAccess::PlainShared,
+        section_len: 100,
+        writes: vec![0..100; 4],
+    };
+    let err = check_sections(&[racy]).unwrap_err();
+    assert!(
+        err.to_string().contains("illegal strategy/block pairing"),
+        "{err}"
+    );
+}
+
+#[test]
+fn every_registry_strategy_is_statically_sound() {
+    for name in gaia_backends::backend_names() {
+        let Some(backend) = gaia_backends::backend_by_name(name, 4) else {
+            panic!("{name} not constructible");
+        };
+        if let Some(plan) = backend.launch_plan() {
+            for dims in PlanDims::canonical() {
+                plan.analyze(&dims)
+                    .unwrap_or_else(|e| panic!("{name} rejected: {e}"));
+            }
+        }
+    }
+}
+
+/// The workspace lints clean: zero unsuppressed diagnostics, making the
+/// `--deny` CI gate a tier-1 property rather than a CI-only one.
+#[test]
+fn workspace_is_deny_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let report = analyze_workspace(&root).expect("workspace scan");
+    assert!(report.files_scanned > 100, "walker found too few files");
+    assert!(
+        report.clean(),
+        "unsuppressed diagnostics:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| format!("  {}:{}: [{}] {}", d.path, d.line, d.rule, d.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

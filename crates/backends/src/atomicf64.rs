@@ -14,6 +14,12 @@
 //! * [`add_seqcst_spin`] — a deliberately conservative loop using
 //!   sequentially-consistent ordering and a full `compare_exchange`,
 //!   modelling the slower codegen.
+//!
+//! ORDERING: both variants are pure read-modify-write accumulations into
+//! independent slots with no cross-location protocol — the CAS itself
+//! guarantees each update lands exactly once, so `Relaxed` is correct for
+//! the fast path; the `SeqCst` variant is *deliberately* over-ordered to
+//! model conservative compiler fallbacks (see above).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -63,8 +69,13 @@ pub fn add_seqcst_spin(slot: &AtomicU64, v: f64) {
         return;
     }
     loop {
+        // ORDERING: SeqCst is the point of this variant — it reproduces the
+        // fully-fenced CAS loop conservative compilers emit for f64
+        // atomicAdd fallbacks; correctness only needs Relaxed (see
+        // add_relaxed above).
         let cur = slot.load(Ordering::SeqCst);
         let new = f64::from_bits(cur) + v;
+        // ORDERING: deliberately fully fenced, see the loop comment above.
         if slot
             .compare_exchange(cur, new.to_bits(), Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()

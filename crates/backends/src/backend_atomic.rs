@@ -57,6 +57,10 @@ impl Backend for AtomicBackend {
         self.check_aprod2(sys, y, out);
         self.plan.aprod2(&self.pool, sys, y, out);
     }
+
+    fn launch_plan(&self) -> Option<LaunchPlan> {
+        Some(self.plan)
+    }
 }
 
 /// [`AtomicBackend`]'s slow sibling, pinned to the SeqCst CAS-loop flavor;
@@ -100,6 +104,10 @@ impl Backend for CasLoopBackend {
     fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
         self.check_aprod2(sys, y, out);
         self.plan.aprod2(&self.pool, sys, y, out);
+    }
+
+    fn launch_plan(&self) -> Option<LaunchPlan> {
+        Some(self.plan)
     }
 }
 

@@ -61,6 +61,10 @@ impl Backend for ReplicatedBackend {
         self.check_aprod2(sys, y, out);
         self.plan.aprod2(&self.pool, sys, y, out);
     }
+
+    fn launch_plan(&self) -> Option<LaunchPlan> {
+        Some(self.plan)
+    }
 }
 
 #[cfg(test)]

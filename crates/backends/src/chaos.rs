@@ -77,6 +77,10 @@ impl<B: Backend> ChaosBackend<B> {
     }
 
     /// How many times each product has been evaluated so far.
+    ///
+    /// ORDERING: the call counters are independent tallies read only after
+    /// the solve completes (or for trigger arithmetic on the incrementing
+    /// thread itself) — `Relaxed` is the weakest correct ordering.
     pub fn calls(&self) -> (usize, usize) {
         (
             self.aprod1_calls.load(Ordering::Relaxed),
@@ -124,6 +128,10 @@ impl<B: Backend> Backend for ChaosBackend<B> {
         if self.target == ChaosTarget::Aprod2 && call == self.index {
             self.strike(out);
         }
+    }
+
+    fn launch_plan(&self) -> Option<crate::launch::LaunchPlan> {
+        self.inner.launch_plan()
     }
 
     fn nrm2(&self, v: &[f64]) -> f64 {

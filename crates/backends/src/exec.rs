@@ -16,6 +16,16 @@
 //! Telemetry (launch count, inline-vs-pooled, spawn-vs-reuse, worker wait
 //! time) is recorded here — at the single choke point — instead of being
 //! re-implemented per backend.
+//!
+//! ORDERING: the pool uses three atomic protocols. (1) Latch completion:
+//! each worker decrements `remaining` with `AcqRel` and the launcher
+//! spin-loads it with `Acquire`, so every job's writes happen-before the
+//! launcher observes zero; the `panicked` flag is written `Relaxed` but
+//! *before* the decrement, so it rides the same release sequence. (2)
+//! Shutdown: the `Release` store in `drop` pairs with the workers'
+//! `Acquire` loads. (3) Statistics and schedule-controller counters
+//! (`launches`, `jobs_run`, `decisions`) are independent event counts read
+//! only for reporting — `Relaxed` is the weakest correct ordering.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -64,6 +74,9 @@ pub mod sched {
     /// keeps the perturbation granularity well below the OS timer slack,
     /// so schedules stay in the microsecond regime the races live in.
     fn spin(ns: u64) {
+        // gaia-analyze: allow(timing): the schedule perturbator needs a raw
+        // monotonic clock to busy-wait for nanoseconds; this is not a
+        // measurement and never reaches a report.
         let start = Instant::now();
         while (start.elapsed().as_nanos() as u64) < ns {
             std::hint::spin_loop();
@@ -567,6 +580,9 @@ fn worker_loop(shared: &Shared) {
                     break None;
                 }
                 if gaia_telemetry::is_enabled() {
+                    // gaia-analyze: allow(timing): this clock read *is* the
+                    // telemetry measurement — it feeds
+                    // record_pool_wait_nanos at the pool choke point.
                     let parked = Instant::now();
                     q = shared
                         .work_ready

@@ -83,6 +83,10 @@ impl<B: Backend> Backend for InstrumentedBackend<B> {
         self.inner.aprod2(sys, y, out);
     }
 
+    fn launch_plan(&self) -> Option<crate::launch::LaunchPlan> {
+        self.inner.launch_plan()
+    }
+
     fn nrm2(&self, v: &[f64]) -> f64 {
         self.inner.nrm2(v)
     }

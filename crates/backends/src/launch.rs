@@ -33,6 +33,7 @@ use parking_lot::Mutex;
 use crate::atomicf64::{self, as_atomic};
 use crate::exec::{sched, ExecutorPool, Job};
 use crate::kernels;
+use crate::plan_check;
 use crate::tuning::Tuning;
 
 /// Probe tags for [`sched::preempt_point`], one per call site inside the
@@ -229,6 +230,35 @@ impl LaunchPlan {
     /// Build a plan from tuning and a strategy spec.
     pub fn new(tuning: Tuning, spec: Aprod2Spec) -> Self {
         LaunchPlan { tuning, spec }
+    }
+
+    /// Lower this plan against `dims` to the symbolic write model
+    /// [`aprod2`](Self::aprod2) / [`aprod1`](Self::aprod1) would execute —
+    /// see [`crate::plan_check`].
+    pub fn write_model(&self, dims: &plan_check::PlanDims) -> Vec<plan_check::SectionModel> {
+        plan_check::write_model(self, dims)
+    }
+
+    /// Statically verify this plan against one problem shape: every
+    /// owner-computes/replicated write-set pairwise disjoint and exactly
+    /// covering its section, no unsynchronized colliding writes, and the
+    /// streamed worker budget conserved. Rejects unsound plans before
+    /// launch with a diagnostic naming the offending ranges.
+    pub fn analyze(
+        &self,
+        dims: &plan_check::PlanDims,
+    ) -> Result<plan_check::PlanProof, plan_check::PlanError> {
+        plan_check::analyze_plan(self, dims)
+    }
+
+    /// [`analyze`](Self::analyze) against the canonical shape battery
+    /// ([`plan_check::PlanDims::canonical`]) — what registry construction
+    /// runs on every plan-carrying backend.
+    pub fn analyze_canonical(&self) -> Result<(), plan_check::PlanError> {
+        for dims in plan_check::PlanDims::canonical() {
+            self.analyze(&dims)?;
+        }
+        Ok(())
     }
 
     /// Number of row chunks `aprod1` launches for `n_rows` rows.

@@ -29,6 +29,7 @@
 //! instrumental, and global parts need a conflict strategy.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod atomicf64;
 pub mod blas;
@@ -37,6 +38,7 @@ pub mod exec;
 pub mod instrumented;
 pub mod kernels;
 pub mod launch;
+pub mod plan_check;
 pub mod registry;
 pub mod traits;
 pub mod tuning;
@@ -64,6 +66,10 @@ pub use chaos::{ChaosBackend, ChaosMode, ChaosTarget};
 pub use exec::ExecutorPool;
 pub use instrumented::InstrumentedBackend;
 pub use launch::{Aprod2Spec, Aprod2Strategy, AtomicFlavor, LaunchPlan, WorkerBudget};
+pub use plan_check::{
+    check_sections, PlanDims, PlanError, PlanProof, PlanViolation, SectionId, SectionModel,
+    WriteAccess,
+};
 pub use registry::{
     all_backends, backend_by_name, backend_names, grid_backends, instrumented_by_name,
 };

@@ -1,0 +1,835 @@
+//! Static soundness checking for [`LaunchPlan`] — the analysis layer that
+//! proves a plan's write-sets are race-free *before* anything runs.
+//!
+//! The paper's portability hazard is that each framework port silently
+//! changes how colliding `aprod2` updates are resolved (atomics vs
+//! owner-computes vs privatization, §IV–V). The dynamic harness
+//! (`gaia-verify`) can only catch a bad resolution *after* executing it
+//! under a sampled schedule; this module closes the gap statically. A plan
+//! is lowered to a symbolic **write model** — for every output section, the
+//! list of ranges each job writes and the synchronization discipline those
+//! writes run under — and [`check_sections`] proves the model sound:
+//!
+//! * [`WriteAccess::Owned`] write-sets must be pairwise disjoint **and**
+//!   exactly cover the section (a gap is as wrong as an overlap: the
+//!   uncovered columns silently keep stale values);
+//! * [`WriteAccess::PlainShared`] write-sets must be pairwise disjoint,
+//!   because nothing orders two plain stores to the same slot — an overlap
+//!   is precisely the lost-update race the `gaia-verify` canary exhibits;
+//! * [`WriteAccess::Atomic`], [`WriteAccess::Locked`], and
+//!   [`WriteAccess::Private`] write-sets may overlap by design and are
+//!   checked for bounds only.
+//!
+//! [`LaunchPlan::analyze`] additionally proves the streamed worker budget
+//! conserves the thread budget. Registry construction routes every
+//! plan-carrying backend through [`LaunchPlan::analyze_canonical`], so an
+//! unsound plan is rejected at lookup time with a diagnostic naming the
+//! offending ranges, not discovered as a wrong solve.
+
+use std::fmt;
+use std::ops::Range;
+
+use gaia_sparse::SparseSystem;
+
+use crate::launch::{
+    split_ranges, stream_worker_budget, Aprod2Strategy, LaunchPlan, Stream, WorkerBudget,
+};
+
+/// The problem-shape parameters a plan's lowering depends on. Decouples the
+/// checker from a live [`SparseSystem`] so hand-built shapes (degenerate,
+/// empty-block, oversized) can be verified without generating data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanDims {
+    /// Total rows (observation + constraint) seen by `aprod1` and the
+    /// attitude stream.
+    pub n_rows: usize,
+    /// Observation rows only — the instrumental and global streams stop
+    /// here.
+    pub n_obs_rows: usize,
+    /// Stars; the astrometric section holds `5 × n_stars` columns.
+    pub n_stars: usize,
+    /// Attitude section length in columns.
+    pub n_att: usize,
+    /// Instrumental section length in columns.
+    pub n_instr: usize,
+    /// Global section length in columns (0 or 1 in the AVU-GSR system).
+    pub n_glob: usize,
+}
+
+impl PlanDims {
+    /// Extract the dimensions of a concrete system.
+    pub fn for_system(sys: &SparseSystem) -> PlanDims {
+        let c = sys.columns();
+        PlanDims {
+            n_rows: sys.n_rows(),
+            n_obs_rows: sys.n_obs_rows(),
+            n_stars: sys.layout().n_stars as usize,
+            n_att: (c.instr - c.att) as usize,
+            n_instr: (c.glob - c.instr) as usize,
+            n_glob: sys.layout().n_glob_params as usize,
+        }
+    }
+
+    /// The canonical shape battery [`LaunchPlan::analyze_canonical`] proves
+    /// a plan against: a representative small system, a no-global variant,
+    /// a degenerate shape with fewer items than chunks, an empty
+    /// attitude/instrumental variant, and a large production-like shape.
+    pub fn canonical() -> Vec<PlanDims> {
+        vec![
+            PlanDims {
+                n_rows: 230,
+                n_obs_rows: 200,
+                n_stars: 40,
+                n_att: 90,
+                n_instr: 24,
+                n_glob: 1,
+            },
+            PlanDims {
+                n_rows: 230,
+                n_obs_rows: 200,
+                n_stars: 40,
+                n_att: 90,
+                n_instr: 24,
+                n_glob: 0,
+            },
+            PlanDims {
+                n_rows: 5,
+                n_obs_rows: 3,
+                n_stars: 2,
+                n_att: 3,
+                n_instr: 2,
+                n_glob: 1,
+            },
+            PlanDims {
+                n_rows: 64,
+                n_obs_rows: 64,
+                n_stars: 12,
+                n_att: 0,
+                n_instr: 0,
+                n_glob: 1,
+            },
+            PlanDims {
+                n_rows: 10_000,
+                n_obs_rows: 9_000,
+                n_stars: 1_500,
+                n_att: 700,
+                n_instr: 120,
+                n_glob: 1,
+            },
+        ]
+    }
+}
+
+/// The synchronization discipline a section's wave-1 (or wave-2) jobs
+/// write under — what the checker is allowed to assume about two writes
+/// landing on the same slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteAccess {
+    /// Exclusive `&mut` ownership of the range (split_at_mut siblings):
+    /// ranges must be disjoint and exactly cover the section.
+    Owned,
+    /// Atomic read-modify-write (RMW or CAS-retry): overlap is safe.
+    Atomic,
+    /// Writes land in a per-job private buffer; a later Owned reduction
+    /// folds them in. Overlap between *models* of the privates is safe.
+    Private,
+    /// Writes are batched behind mutexes: overlap is safe.
+    Locked,
+    /// Plain unsynchronized loads/stores into shared memory: any overlap
+    /// is a data race (the canary's lost-update shape).
+    PlainShared,
+}
+
+impl fmt::Display for WriteAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WriteAccess::Owned => "owned",
+            WriteAccess::Atomic => "atomic",
+            WriteAccess::Private => "private",
+            WriteAccess::Locked => "locked",
+            WriteAccess::PlainShared => "plain-shared",
+        })
+    }
+}
+
+/// Which output section (or deferred reduction pass) a model describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionId {
+    /// The `aprod1` output rows.
+    Aprod1,
+    /// Astrometric columns (star-aligned, structurally collision-free).
+    Astro,
+    /// Attitude columns, wave 1.
+    Att,
+    /// Instrumental columns, wave 1.
+    Instr,
+    /// Global columns, wave 1.
+    Glob,
+    /// Attitude wave-2 reduction (replicated / lock-striped copy-back).
+    AttReduction,
+    /// Instrumental wave-2 reduction.
+    InstrReduction,
+    /// Global caller-side combine of replicated partials.
+    GlobCombine,
+}
+
+impl SectionId {
+    fn as_str(self) -> &'static str {
+        match self {
+            SectionId::Aprod1 => "aprod1",
+            SectionId::Astro => "astro",
+            SectionId::Att => "att",
+            SectionId::Instr => "instr",
+            SectionId::Glob => "glob",
+            SectionId::AttReduction => "att-reduction",
+            SectionId::InstrReduction => "instr-reduction",
+            SectionId::GlobCombine => "glob-combine",
+        }
+    }
+}
+
+impl fmt::Display for SectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The symbolic write-set of one section under one plan: which ranges the
+/// section's jobs write, and under which discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionModel {
+    /// Section this model describes.
+    pub id: SectionId,
+    /// Synchronization discipline of the writes.
+    pub access: WriteAccess,
+    /// Length of the section the ranges index into.
+    pub section_len: usize,
+    /// One range per job (section-local coordinates).
+    pub writes: Vec<Range<usize>>,
+}
+
+/// One way a plan's write model fails soundness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanViolation {
+    /// A job writes past the end of its section.
+    OutOfBounds {
+        /// Offending section.
+        section: SectionId,
+        /// The out-of-range write.
+        range: Range<usize>,
+        /// The section's actual length.
+        section_len: usize,
+    },
+    /// Two exclusive-ownership ranges overlap.
+    Overlap {
+        /// Offending section.
+        section: SectionId,
+        /// First overlapping range.
+        a: Range<usize>,
+        /// Second overlapping range.
+        b: Range<usize>,
+    },
+    /// Exclusive-ownership ranges leave part of the section unwritten.
+    Gap {
+        /// Offending section.
+        section: SectionId,
+        /// The uncovered span.
+        missing: Range<usize>,
+    },
+    /// Unsynchronized shared writes collide — an illegal strategy for the
+    /// block's collision structure.
+    IllegalSharedWrites {
+        /// Offending section.
+        section: SectionId,
+        /// First colliding range.
+        a: Range<usize>,
+        /// Second colliding range.
+        b: Range<usize>,
+    },
+    /// The streamed per-stream shares exceed the effective thread budget.
+    BudgetOversubscribed {
+        /// Raw thread budget from tuning.
+        threads: usize,
+        /// Effective budget (`threads.max(4)`).
+        effective: usize,
+        /// Astrometric / attitude / instrumental shares.
+        shares: (usize, usize, usize),
+    },
+    /// A stream was allotted zero workers and would never run.
+    StarvedStream {
+        /// The starved stream.
+        stream: &'static str,
+    },
+}
+
+impl fmt::Display for PlanViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanViolation::OutOfBounds {
+                section,
+                range,
+                section_len,
+            } => write!(
+                f,
+                "[{section}] write {range:?} exceeds section length {section_len}"
+            ),
+            PlanViolation::Overlap { section, a, b } => write!(
+                f,
+                "[{section}] exclusive write-sets overlap: {a:?} and {b:?} \
+                 claim the same columns"
+            ),
+            PlanViolation::Gap { section, missing } => write!(
+                f,
+                "[{section}] exclusive write-sets leave {missing:?} uncovered \
+                 (stale output columns)"
+            ),
+            PlanViolation::IllegalSharedWrites { section, a, b } => write!(
+                f,
+                "[{section}] illegal strategy/block pairing: unsynchronized \
+                 shared writes {a:?} and {b:?} collide (lost-update race)"
+            ),
+            PlanViolation::BudgetOversubscribed {
+                threads,
+                effective,
+                shares: (astro, att, instr),
+            } => write!(
+                f,
+                "streamed budget oversubscribed: {astro}+{att}+{instr} workers \
+                 > effective budget {effective} (threads = {threads})"
+            ),
+            PlanViolation::StarvedStream { stream } => {
+                write!(f, "stream `{stream}` allotted zero workers")
+            }
+        }
+    }
+}
+
+/// Successful verification summary: what the checker examined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanProof {
+    /// Section models checked.
+    pub sections: usize,
+    /// Total job write-ranges examined across the sections.
+    pub jobs: usize,
+}
+
+/// Verification failure: every violation found, rendered one per line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// All violations, in section order.
+    pub violations: Vec<PlanViolation>,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unsound launch plan ({} violation{})",
+            self.violations.len(),
+            if self.violations.len() == 1 { "" } else { "s" }
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Prove a set of section write-models sound. See the module docs for the
+/// per-discipline obligations.
+pub fn check_sections(sections: &[SectionModel]) -> Result<PlanProof, PlanError> {
+    let mut violations = Vec::new();
+    let mut jobs = 0usize;
+    for s in sections {
+        jobs += s.writes.len();
+        for r in &s.writes {
+            if r.end > s.section_len {
+                violations.push(PlanViolation::OutOfBounds {
+                    section: s.id,
+                    range: r.clone(),
+                    section_len: s.section_len,
+                });
+            }
+        }
+        match s.access {
+            WriteAccess::Owned => check_exclusive(s, true, &mut violations),
+            WriteAccess::PlainShared => check_exclusive(s, false, &mut violations),
+            WriteAccess::Atomic | WriteAccess::Locked | WriteAccess::Private => {}
+        }
+    }
+    if violations.is_empty() {
+        Ok(PlanProof {
+            sections: sections.len(),
+            jobs,
+        })
+    } else {
+        Err(PlanError { violations })
+    }
+}
+
+/// Disjointness (and, for `Owned`, exact-coverage) check over one section's
+/// write ranges.
+fn check_exclusive(s: &SectionModel, require_cover: bool, violations: &mut Vec<PlanViolation>) {
+    let mut ranges: Vec<Range<usize>> =
+        s.writes.iter().filter(|r| !r.is_empty()).cloned().collect();
+    ranges.sort_by_key(|r| (r.start, r.end));
+    let mut cursor = 0usize;
+    for r in &ranges {
+        if r.start < cursor {
+            // Report against the previous range that reached `cursor`.
+            let prev = ranges
+                .iter()
+                .find(|p| p.end == cursor && p.start < r.start)
+                .cloned()
+                .unwrap_or(0..cursor);
+            let violation = if s.access == WriteAccess::PlainShared {
+                PlanViolation::IllegalSharedWrites {
+                    section: s.id,
+                    a: prev,
+                    b: r.clone(),
+                }
+            } else {
+                PlanViolation::Overlap {
+                    section: s.id,
+                    a: prev,
+                    b: r.clone(),
+                }
+            };
+            violations.push(violation);
+        } else if require_cover && r.start > cursor {
+            violations.push(PlanViolation::Gap {
+                section: s.id,
+                missing: cursor..r.start,
+            });
+        }
+        cursor = cursor.max(r.end);
+    }
+    if require_cover && cursor < s.section_len {
+        violations.push(PlanViolation::Gap {
+            section: s.id,
+            missing: cursor..s.section_len,
+        });
+    }
+}
+
+/// Lower one colliding-section strategy to its wave-1 model (and wave-2
+/// reduction model, when the strategy defers one). Mirrors
+/// `LaunchPlan::section_jobs` exactly.
+// The parameter list mirrors `section_jobs`' signature one-for-one; folding
+// them into a struct would obscure that correspondence.
+#[allow(clippy::too_many_arguments)]
+fn lower_section(
+    plan: &LaunchPlan,
+    stream: Stream,
+    wave1: SectionId,
+    wave2: SectionId,
+    rows: usize,
+    section_len: usize,
+    strategy: Aprod2Strategy,
+    out: &mut Vec<SectionModel>,
+) {
+    if section_len == 0 {
+        return;
+    }
+    match strategy {
+        Aprod2Strategy::OwnerComputes => {
+            out.push(SectionModel {
+                id: wave1,
+                access: WriteAccess::Owned,
+                section_len,
+                writes: split_ranges(section_len, plan.section_chunks(stream, section_len)),
+            });
+        }
+        Aprod2Strategy::Atomic | Aprod2Strategy::CasLoop => {
+            let chunks = plan.section_chunks(stream, rows);
+            out.push(SectionModel {
+                id: wave1,
+                access: WriteAccess::Atomic,
+                section_len,
+                writes: vec![0..section_len; chunks],
+            });
+        }
+        Aprod2Strategy::Replicated => {
+            let chunks = plan.section_chunks(stream, rows);
+            out.push(SectionModel {
+                id: wave1,
+                access: WriteAccess::Private,
+                section_len,
+                writes: vec![0..section_len; chunks],
+            });
+            out.push(SectionModel {
+                id: wave2,
+                access: WriteAccess::Owned,
+                section_len,
+                writes: split_ranges(section_len, plan.tuning.chunk_count(section_len)),
+            });
+        }
+        Aprod2Strategy::LockStriped { stripes } => {
+            let chunks = plan.section_chunks(stream, rows);
+            out.push(SectionModel {
+                id: wave1,
+                access: WriteAccess::Locked,
+                section_len,
+                writes: vec![0..section_len; chunks],
+            });
+            // Wave 2 copies each stripe accumulator back into its owned
+            // slice of the section.
+            let n_stripes = stripes.max(1).min(section_len);
+            out.push(SectionModel {
+                id: wave2,
+                access: WriteAccess::Owned,
+                section_len,
+                writes: split_ranges(section_len, n_stripes),
+            });
+        }
+    }
+}
+
+/// Lower `plan` against `dims` to the symbolic write model `aprod1` +
+/// `aprod2` would execute — one [`SectionModel`] per output section and
+/// deferred reduction, in launch order.
+pub fn write_model(plan: &LaunchPlan, dims: &PlanDims) -> Vec<SectionModel> {
+    let mut out = Vec::new();
+
+    // aprod1: row-range ownership over the output rows.
+    out.push(SectionModel {
+        id: SectionId::Aprod1,
+        access: WriteAccess::Owned,
+        section_len: dims.n_rows,
+        writes: split_ranges(dims.n_rows, plan.aprod1_chunks(dims.n_rows)),
+    });
+
+    // Astrometric stream: star chunks own matching ×5 column slices.
+    let n_astro = dims.n_stars * 5;
+    out.push(SectionModel {
+        id: SectionId::Astro,
+        access: WriteAccess::Owned,
+        section_len: n_astro,
+        writes: split_ranges(
+            dims.n_stars,
+            plan.section_chunks(Stream::Astro, dims.n_stars),
+        )
+        .into_iter()
+        .map(|stars| stars.start * 5..stars.end * 5)
+        .collect(),
+    });
+
+    lower_section(
+        plan,
+        Stream::Att,
+        SectionId::Att,
+        SectionId::AttReduction,
+        dims.n_rows,
+        dims.n_att,
+        plan.spec.att,
+        &mut out,
+    );
+    lower_section(
+        plan,
+        Stream::Instr,
+        SectionId::Instr,
+        SectionId::InstrReduction,
+        dims.n_obs_rows,
+        dims.n_instr,
+        plan.spec.instr,
+        &mut out,
+    );
+
+    if dims.n_glob > 0 {
+        match plan.spec.glob {
+            // A single global slot: ownership and striping degenerate to
+            // one exclusive reduction job (mirrors `glob_jobs`).
+            Aprod2Strategy::OwnerComputes | Aprod2Strategy::LockStriped { .. } => {
+                out.push(SectionModel {
+                    id: SectionId::Glob,
+                    access: WriteAccess::Owned,
+                    section_len: dims.n_glob,
+                    writes: vec![0..dims.n_glob; 1],
+                });
+            }
+            Aprod2Strategy::Atomic | Aprod2Strategy::CasLoop => {
+                let chunks = plan.section_chunks(Stream::Glob, dims.n_obs_rows);
+                out.push(SectionModel {
+                    id: SectionId::Glob,
+                    access: WriteAccess::Atomic,
+                    section_len: dims.n_glob,
+                    writes: vec![0..dims.n_glob; chunks],
+                });
+            }
+            Aprod2Strategy::Replicated => {
+                let chunks = plan.section_chunks(Stream::Glob, dims.n_obs_rows);
+                out.push(SectionModel {
+                    id: SectionId::Glob,
+                    access: WriteAccess::Private,
+                    section_len: dims.n_glob,
+                    writes: vec![0..dims.n_glob; chunks],
+                });
+                // The caller combines the partials serially.
+                out.push(SectionModel {
+                    id: SectionId::GlobCombine,
+                    access: WriteAccess::Owned,
+                    section_len: dims.n_glob,
+                    writes: vec![0..dims.n_glob; 1],
+                });
+            }
+        }
+    }
+
+    out
+}
+
+/// Verify `plan` against `dims`: lower to the write model, prove every
+/// section sound, and prove the streamed budget conserves the thread
+/// budget. Records an `analyze` telemetry cell entry either way.
+pub fn analyze_plan(plan: &LaunchPlan, dims: &PlanDims) -> Result<PlanProof, PlanError> {
+    let model = write_model(plan, dims);
+    let mut result = check_sections(&model);
+
+    if plan.spec.budget == WorkerBudget::Streamed {
+        let threads = plan.tuning.threads;
+        let (astro, att, instr) = stream_worker_budget(threads);
+        let effective = threads.max(4);
+        let mut extra = Vec::new();
+        if astro + att + instr > effective {
+            extra.push(PlanViolation::BudgetOversubscribed {
+                threads,
+                effective,
+                shares: (astro, att, instr),
+            });
+        }
+        for (stream, share) in [("astro", astro), ("att", att), ("instr", instr)] {
+            if share == 0 {
+                extra.push(PlanViolation::StarvedStream { stream });
+            }
+        }
+        if !extra.is_empty() {
+            let mut violations = match result {
+                Ok(_) => Vec::new(),
+                Err(e) => e.violations,
+            };
+            violations.extend(extra);
+            result = Err(PlanError { violations });
+        }
+    }
+
+    let violation_count = match &result {
+        Ok(_) => 0,
+        Err(e) => e.violations.len(),
+    } as u64;
+    gaia_telemetry::record_analyze_plan(model.len() as u64, violation_count);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::Aprod2Spec;
+    use crate::tuning::Tuning;
+
+    fn plan(strategy: Aprod2Strategy, streamed: bool) -> LaunchPlan {
+        let spec = if streamed {
+            Aprod2Spec::streamed(strategy)
+        } else {
+            Aprod2Spec::uniform(strategy)
+        };
+        LaunchPlan::new(
+            Tuning {
+                threads: 4,
+                chunks_per_thread: 2,
+            },
+            spec,
+        )
+    }
+
+    #[test]
+    fn every_strategy_and_budget_is_sound_on_canonical_dims() {
+        let strategies = [
+            Aprod2Strategy::OwnerComputes,
+            Aprod2Strategy::Atomic,
+            Aprod2Strategy::CasLoop,
+            Aprod2Strategy::Replicated,
+            Aprod2Strategy::LockStriped { stripes: 8 },
+        ];
+        for strategy in strategies {
+            for streamed in [false, true] {
+                let p = plan(strategy, streamed);
+                p.analyze_canonical().unwrap_or_else(|e| {
+                    panic!("{strategy:?} streamed={streamed} judged unsound:\n{e}")
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_owned_partition_is_rejected_as_overlap() {
+        let s = SectionModel {
+            id: SectionId::Att,
+            access: WriteAccess::Owned,
+            section_len: 100,
+            writes: vec![0..60, 40..100],
+        };
+        let err = check_sections(&[s]).unwrap_err();
+        assert!(
+            err.violations.iter().any(|v| matches!(
+                v,
+                PlanViolation::Overlap {
+                    section: SectionId::Att,
+                    ..
+                }
+            )),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn gapped_owned_partition_is_rejected_as_gap() {
+        let s = SectionModel {
+            id: SectionId::Instr,
+            access: WriteAccess::Owned,
+            section_len: 100,
+            writes: vec![0..40, 60..100],
+        };
+        let err = check_sections(&[s]).unwrap_err();
+        assert!(
+            err.violations.iter().any(|v| matches!(
+                v,
+                PlanViolation::Gap {
+                    section: SectionId::Instr,
+                    missing,
+                } if *missing == (40..60)
+            )),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn short_owned_cover_is_rejected_as_trailing_gap() {
+        let s = SectionModel {
+            id: SectionId::Aprod1,
+            access: WriteAccess::Owned,
+            section_len: 10,
+            writes: vec![0..7; 1],
+        };
+        let err = check_sections(&[s]).unwrap_err();
+        assert!(
+            err.violations.iter().any(|v| matches!(
+                v,
+                PlanViolation::Gap { missing, .. } if *missing == (7..10)
+            )),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn colliding_plain_shared_writes_are_an_illegal_pairing() {
+        // The canary's shape: several lanes plain-storing over the whole
+        // attitude section.
+        let s = SectionModel {
+            id: SectionId::Att,
+            access: WriteAccess::PlainShared,
+            section_len: 90,
+            writes: vec![0..90; 8],
+        };
+        let err = check_sections(&[s]).unwrap_err();
+        assert!(
+            err.violations
+                .iter()
+                .any(|v| matches!(v, PlanViolation::IllegalSharedWrites { .. })),
+            "{err}"
+        );
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains("illegal strategy/block pairing"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn disjoint_plain_shared_writes_pass_without_cover() {
+        // Disjoint plain stores are fine, and PlainShared carries no
+        // coverage obligation (a partial scatter is legal).
+        let s = SectionModel {
+            id: SectionId::Att,
+            access: WriteAccess::PlainShared,
+            section_len: 90,
+            writes: vec![0..30, 50..90],
+        };
+        check_sections(&[s]).expect("disjoint plain writes are sound");
+    }
+
+    #[test]
+    fn out_of_bounds_write_is_rejected() {
+        let s = SectionModel {
+            id: SectionId::Glob,
+            access: WriteAccess::Atomic,
+            section_len: 1,
+            writes: vec![0..2; 1],
+        };
+        let err = check_sections(&[s]).unwrap_err();
+        assert!(
+            err.violations
+                .iter()
+                .any(|v| matches!(v, PlanViolation::OutOfBounds { .. })),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn atomic_overlap_is_legal() {
+        let s = SectionModel {
+            id: SectionId::Att,
+            access: WriteAccess::Atomic,
+            section_len: 90,
+            writes: vec![0..90; 16],
+        };
+        check_sections(&[s]).expect("atomic overlap is the strategy's point");
+    }
+
+    #[test]
+    fn write_model_covers_every_section_on_a_real_shape() {
+        let p = plan(Aprod2Strategy::Replicated, false);
+        let dims = PlanDims {
+            n_rows: 230,
+            n_obs_rows: 200,
+            n_stars: 40,
+            n_att: 90,
+            n_instr: 24,
+            n_glob: 1,
+        };
+        let model = write_model(&p, &dims);
+        let ids: Vec<SectionId> = model.iter().map(|s| s.id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                SectionId::Aprod1,
+                SectionId::Astro,
+                SectionId::Att,
+                SectionId::AttReduction,
+                SectionId::Instr,
+                SectionId::InstrReduction,
+                SectionId::Glob,
+                SectionId::GlobCombine,
+            ]
+        );
+        check_sections(&model).expect("replicated model is sound");
+    }
+
+    #[test]
+    fn empty_sections_are_skipped_like_the_launcher_skips_them() {
+        let p = plan(Aprod2Strategy::Atomic, true);
+        let dims = PlanDims {
+            n_rows: 64,
+            n_obs_rows: 64,
+            n_stars: 12,
+            n_att: 0,
+            n_instr: 0,
+            n_glob: 0,
+        };
+        let model = write_model(&p, &dims);
+        let ids: Vec<SectionId> = model.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![SectionId::Aprod1, SectionId::Astro]);
+        p.analyze(&dims).expect("empty-block plan is sound");
+    }
+}

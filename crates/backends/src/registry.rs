@@ -96,13 +96,19 @@ pub fn grid_backends(threads: &[usize], chunks_per_thread: &[usize]) -> Vec<Box<
 
 /// Instantiate a backend by name. `threads` is the default thread budget,
 /// used when the name carries no `-t<threads>` suffix.
+///
+/// Every plan-driven backend's [`crate::LaunchPlan`] is statically
+/// verified against the canonical shape battery before it is handed out
+/// (see [`crate::plan_check`]); an unsound plan is a registry bug and
+/// panics with the checker's diagnostic rather than returning a backend
+/// that would race or drop output columns at solve time.
 pub fn backend_by_name(name: &str, threads: usize) -> Option<Box<dyn Backend>> {
     let (policy, t, c) = parse_name(name)?;
     let tuning = Tuning {
         threads: t.unwrap_or(threads).max(1),
         chunks_per_thread: c.unwrap_or(1).max(1),
     };
-    Some(match policy {
+    let backend: Box<dyn Backend> = match policy {
         "seq" => Box::new(SeqBackend),
         "chunked" => Box::new(ChunkedBackend::new(tuning)),
         "atomic" => Box::new(AtomicBackend::new(tuning)),
@@ -113,7 +119,13 @@ pub fn backend_by_name(name: &str, threads: usize) -> Option<Box<dyn Backend>> {
         "streamed" => Box::new(StreamedBackend::new(tuning)),
         "hybrid" => Box::new(crate::HybridBackend::new(tuning)),
         _ => return None,
-    })
+    };
+    if let Some(plan) = backend.launch_plan() {
+        if let Err(e) = plan.analyze_canonical() {
+            panic!("registry produced an unsound launch plan for `{name}`: {e}");
+        }
+    }
+    Some(backend)
 }
 
 /// Instantiate a backend by name, wrapped in an [`InstrumentedBackend`] so
@@ -201,6 +213,27 @@ mod tests {
             .filter(|n| !matches!(**n, "seq" | "rayon"))
             .count();
         assert_eq!(grid.len(), tuned_policies * threads.len() * chunks.len());
+    }
+
+    /// Every plan-driven backend the registry hands out must carry a plan
+    /// the static checker accepts — and exactly the seven policy structs
+    /// (everything but seq / rayon) are plan-driven.
+    #[test]
+    fn registry_plans_pass_static_analysis() {
+        for threads in [1usize, 4, 64] {
+            let mut with_plan = 0;
+            for b in all_backends(threads) {
+                if let Some(plan) = b.launch_plan() {
+                    with_plan += 1;
+                    plan.analyze_canonical()
+                        .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+                }
+            }
+            assert_eq!(with_plan, backend_names().len() - 2, "threads={threads}");
+        }
+        // Wrappers forward the inner plan.
+        let wrapped = instrumented_by_name("hybrid", 3).unwrap();
+        assert!(wrapped.launch_plan().is_some());
     }
 
     #[test]

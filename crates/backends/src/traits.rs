@@ -3,6 +3,7 @@
 use gaia_sparse::SparseSystem;
 
 use crate::blas;
+use crate::launch::LaunchPlan;
 
 /// A compute backend able to evaluate the two AVU-GSR sparse products and
 /// the handful of BLAS-1 operations LSQR needs between them.
@@ -28,6 +29,14 @@ pub trait Backend: Send + Sync {
 
     /// `out += Aᵀ y`. `y.len() == sys.n_rows()`, `out.len() == sys.n_cols()`.
     fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]);
+
+    /// The launch plan this backend executes, when it is plan-driven.
+    /// Registry construction statically verifies the returned plan via
+    /// [`LaunchPlan::analyze_canonical`]; ad-hoc backends (sequential,
+    /// rayon, CSR) return `None` and skip the check.
+    fn launch_plan(&self) -> Option<LaunchPlan> {
+        None
+    }
 
     /// Euclidean norm. Overridable with a parallel implementation.
     fn nrm2(&self, v: &[f64]) -> f64 {
@@ -69,6 +78,9 @@ impl<B: Backend + ?Sized> Backend for Box<B> {
     }
     fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
         (**self).aprod2(sys, y, out)
+    }
+    fn launch_plan(&self) -> Option<LaunchPlan> {
+        (**self).launch_plan()
     }
     fn nrm2(&self, v: &[f64]) -> f64 {
         (**self).nrm2(v)

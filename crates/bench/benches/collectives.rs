@@ -55,6 +55,9 @@ fn bench_ring(c: &mut Criterion) {
         g.bench_function(BenchmarkId::from_parameter(ranks), |b| {
             b.iter(|| {
                 let mesh = Mesh::new(ranks);
+                // gaia-analyze: allow(thread-spawn): the bench stands up one
+                // OS thread per simulated MPI rank — ranks are peers, not
+                // pool jobs.
                 std::thread::scope(|scope| {
                     for rank in 0..ranks {
                         let mesh = &mesh;

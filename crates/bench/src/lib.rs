@@ -17,6 +17,8 @@
 //! | `cpu_portability` | measured `P` of the real Rust backends (this repo's own hardware study) |
 //! | `executor_overhead` | pooled launches vs legacy spawn-per-call (the `ExecutorPool` win) |
 //! | `calibrate` | raw model grids (development tool) |
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use gaia_gpu_sim::{all_frameworks, all_platforms, iteration_time, SimConfig};
 use gaia_p3::MeasurementSet;

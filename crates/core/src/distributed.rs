@@ -437,6 +437,8 @@ fn rank_solve(
 
     while itn < cfg.max_iters {
         itn += 1;
+        // gaia-analyze: allow(timing): per-iteration wall time is solver
+        // output (convergence traces), recorded via telemetry when enabled.
         let t_iter = std::time::Instant::now();
 
         // u ← (A D) v − α u, local rows via the backend.

@@ -117,6 +117,8 @@ pub fn solve_lsmr<B: Backend + ?Sized>(
 
     while itn < cfg.max_iters {
         itn += 1;
+        // gaia-analyze: allow(timing): per-iteration wall time is solver
+        // output (convergence traces), recorded via telemetry when enabled.
         let t_iter = std::time::Instant::now();
 
         // Bidiagonalization (same products as LSQR).

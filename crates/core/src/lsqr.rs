@@ -255,6 +255,8 @@ impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
         let mut tmp_n = vec![0.0f64; n];
 
         s.itn += 1;
+        // gaia-analyze: allow(timing): per-iteration wall time is solver
+        // output (convergence traces), recorded via telemetry when enabled.
         let t_iter = Instant::now();
 
         // Bidiagonalization: u ← (A D) v − α u.

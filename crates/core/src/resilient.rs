@@ -234,6 +234,8 @@ where
             checkpoint_every: policy.checkpoint_every,
             checkpoint_sink: Some(&sink),
         };
+        // gaia-analyze: allow(timing): attempt wall time feeds the
+        // supervisor's retry report, not a perf counter.
         let t_launch = Instant::now();
         let result = try_solve_hybrid(sys, ranks, config, &backend_for, &dist);
         let seconds = t_launch.elapsed().as_secs_f64();
@@ -330,6 +332,8 @@ where
                 if resume.is_some() {
                     cell.checkpoint_restores += 1;
                 }
+                // gaia-analyze: allow(timing): attempt wall time feeds the
+                // supervisor's retry report, not a perf counter.
                 let t_launch = Instant::now();
                 let solver = Lsqr::new(sys, &SeqBackend, *config);
                 let sol = match resume {

@@ -186,6 +186,8 @@ impl World {
             self.cv.notify_all();
             return Arc::clone(round.result.as_ref().expect("result just set"));
         }
+        // gaia-analyze: allow(timing): collective timeouts need a real
+        // deadline clock — this detects hung ranks, it measures nothing.
         let deadline = self.opts.collective_timeout.map(|t| Instant::now() + t);
         loop {
             round = match deadline {
@@ -194,6 +196,8 @@ impl World {
                     Err(poisoned) => poisoned.into_inner(),
                 },
                 Some(deadline) => {
+                    // gaia-analyze: allow(timing): deadline check for the
+                    // hung-rank timeout above, not a measurement.
                     let now = Instant::now();
                     if now >= deadline {
                         // This rank's wait expired: fail the whole world
@@ -346,6 +350,9 @@ where
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
     let world = World::with_options(size, opts);
+    // gaia-analyze: allow(thread-spawn): each simulated MPI rank is a peer
+    // OS thread with its own blocking collectives — pool jobs must not
+    // block on each other, so the executor pool is the wrong tool here.
     let outcomes: Vec<Result<R, Box<dyn std::any::Any + Send>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..size)
             .map(|rank| {

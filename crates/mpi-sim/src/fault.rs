@@ -171,6 +171,11 @@ impl FaultPlan {
     }
 
     /// Re-key the probabilistic schedule for a new supervisor attempt.
+    ///
+    /// ORDERING: the attempt counter is written by the supervisor *between*
+    /// attempts, while no ranks are running; the rank threads that read it
+    /// are created afterwards (thread creation synchronizes), so `Relaxed`
+    /// is the weakest correct ordering.
     pub fn set_attempt(&self, attempt: u64) {
         self.attempt.store(attempt, Ordering::Relaxed);
     }

@@ -25,6 +25,7 @@
 //! ASCII per-kernel breakdown the bench binaries print.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use serde::{Deserialize, Serialize};
 
@@ -187,6 +188,36 @@ impl PoolCell {
     }
 }
 
+/// Static-analysis accounting — how many launch plans the symbolic
+/// checker (`gaia-backends`'s `LaunchPlan::analyze`) proved sound, how
+/// many sections and violations it saw, and what the source lint engine
+/// (`gaia-analyze`) scanned. The static mirror of [`VerifyCell`]: that
+/// cell counts what the *dynamic* harness replayed, this one counts what
+/// was proven before anything ran.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AnalyzeCell {
+    /// Launch plans run through the symbolic soundness checker.
+    pub plans_checked: u64,
+    /// Output sections whose write-sets were verified (disjointness,
+    /// cover, synchronization legality).
+    pub sections_checked: u64,
+    /// Plan violations detected (unsound plans rejected before launch).
+    pub plan_violations: u64,
+    /// Source files scanned by the lint engine.
+    pub lint_files: u64,
+    /// Unsuppressed lint diagnostics emitted.
+    pub lint_diagnostics: u64,
+    /// Justified `gaia-analyze: allow(...)` suppressions honored.
+    pub lint_suppressions: u64,
+}
+
+impl AnalyzeCell {
+    /// True when no static-analysis activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == AnalyzeCell::default()
+    }
+}
+
 /// Verification accounting — schedule-exploration and metamorphic-suite
 /// counters plus the worst cross-backend trajectory divergence observed,
 /// in ULPs. Written by `gaia-verify`; the divergence cell is what the
@@ -238,6 +269,10 @@ pub struct TelemetrySnapshot {
     /// serde default).
     #[serde(default)]
     pub verify: VerifyCell,
+    /// Static-analysis accounting (absent in pre-analyze artifacts, hence
+    /// the serde default).
+    #[serde(default)]
+    pub analyze: AnalyzeCell,
 }
 
 impl TelemetrySnapshot {
@@ -258,6 +293,7 @@ impl TelemetrySnapshot {
             resilience: ResilienceCell::default(),
             pool: PoolCell::default(),
             verify: VerifyCell::default(),
+            analyze: AnalyzeCell::default(),
         }
     }
 
@@ -276,6 +312,12 @@ mod imp {
     use super::{Block, Phase};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::time::Instant;
+
+    // ORDERING: every counter in this registry is an independent,
+    // monotonically increasing accumulator. No reader infers cross-counter
+    // invariants from a snapshot (cells are advisory telemetry, not a
+    // synchronization protocol), so Relaxed is the weakest correct ordering
+    // for every load, store, fetch_add, and fetch_max below.
 
     pub struct Stats {
         pub calls: AtomicU64,
@@ -481,6 +523,49 @@ mod imp {
         }
     }
 
+    /// Atomic mirror of [`super::AnalyzeCell`].
+    pub struct Analyze {
+        pub plans_checked: AtomicU64,
+        pub sections_checked: AtomicU64,
+        pub plan_violations: AtomicU64,
+        pub lint_files: AtomicU64,
+        pub lint_diagnostics: AtomicU64,
+        pub lint_suppressions: AtomicU64,
+    }
+
+    impl Analyze {
+        const fn new() -> Self {
+            Analyze {
+                plans_checked: AtomicU64::new(0),
+                sections_checked: AtomicU64::new(0),
+                plan_violations: AtomicU64::new(0),
+                lint_files: AtomicU64::new(0),
+                lint_diagnostics: AtomicU64::new(0),
+                lint_suppressions: AtomicU64::new(0),
+            }
+        }
+
+        fn reset(&self) {
+            self.plans_checked.store(0, Ordering::Relaxed);
+            self.sections_checked.store(0, Ordering::Relaxed);
+            self.plan_violations.store(0, Ordering::Relaxed);
+            self.lint_files.store(0, Ordering::Relaxed);
+            self.lint_diagnostics.store(0, Ordering::Relaxed);
+            self.lint_suppressions.store(0, Ordering::Relaxed);
+        }
+
+        pub fn cell(&self) -> super::AnalyzeCell {
+            super::AnalyzeCell {
+                plans_checked: self.plans_checked.load(Ordering::Relaxed),
+                sections_checked: self.sections_checked.load(Ordering::Relaxed),
+                plan_violations: self.plan_violations.load(Ordering::Relaxed),
+                lint_files: self.lint_files.load(Ordering::Relaxed),
+                lint_diagnostics: self.lint_diagnostics.load(Ordering::Relaxed),
+                lint_suppressions: self.lint_suppressions.load(Ordering::Relaxed),
+            }
+        }
+    }
+
     pub struct Registry {
         pub kernels: [[Stats; 4]; 2],
         pub calls: [Stats; 2],
@@ -488,6 +573,7 @@ mod imp {
         pub resilience: Resilience,
         pub pool: Pool,
         pub verify: Verify,
+        pub analyze: Analyze,
     }
 
     pub static REGISTRY: Registry = Registry {
@@ -497,6 +583,7 @@ mod imp {
         resilience: Resilience::new(),
         pool: Pool::new(),
         verify: Verify::new(),
+        analyze: Analyze::new(),
     };
 
     pub fn reset() {
@@ -512,6 +599,22 @@ mod imp {
         REGISTRY.resilience.reset();
         REGISTRY.pool.reset();
         REGISTRY.verify.reset();
+        REGISTRY.analyze.reset();
+    }
+
+    pub fn record_analyze_plan(sections: u64, violations: u64) {
+        let a = &REGISTRY.analyze;
+        a.plans_checked.fetch_add(1, Ordering::Relaxed);
+        a.sections_checked.fetch_add(sections, Ordering::Relaxed);
+        a.plan_violations.fetch_add(violations, Ordering::Relaxed);
+    }
+
+    pub fn record_analyze_lint(files: u64, diagnostics: u64, suppressions: u64) {
+        let a = &REGISTRY.analyze;
+        a.lint_files.fetch_add(files, Ordering::Relaxed);
+        a.lint_diagnostics.fetch_add(diagnostics, Ordering::Relaxed);
+        a.lint_suppressions
+            .fetch_add(suppressions, Ordering::Relaxed);
     }
 
     pub fn record_verify_schedule(failed: bool) {
@@ -672,6 +775,12 @@ mod imp {
 
     #[inline(always)]
     pub fn record_verify_ulp(_ulp: u64) {}
+
+    #[inline(always)]
+    pub fn record_analyze_plan(_sections: u64, _violations: u64) {}
+
+    #[inline(always)]
+    pub fn record_analyze_lint(_files: u64, _diagnostics: u64, _suppressions: u64) {}
 }
 
 /// RAII timing probe returned by [`kernel_scope`], [`call_scope`], and
@@ -760,6 +869,21 @@ pub fn record_verify_ulp(ulp: u64) {
     imp::record_verify_ulp(ulp)
 }
 
+/// Record one static launch-plan soundness check: `sections` write-set
+/// models examined, `violations` found (no-op when telemetry is compiled
+/// out).
+#[inline]
+pub fn record_analyze_plan(sections: u64, violations: u64) {
+    imp::record_analyze_plan(sections, violations)
+}
+
+/// Record one source-lint pass: `files` scanned, `diagnostics` emitted,
+/// `suppressions` honored (no-op when telemetry is compiled out).
+#[inline]
+pub fn record_analyze_lint(files: u64, diagnostics: u64, suppressions: u64) {
+    imp::record_analyze_lint(files, diagnostics, suppressions)
+}
+
 /// Freeze the registry into a serializable snapshot. Disabled builds
 /// return [`TelemetrySnapshot::empty`] with `enabled: false`.
 pub fn snapshot() -> TelemetrySnapshot {
@@ -783,6 +907,7 @@ pub fn snapshot() -> TelemetrySnapshot {
         snap.resilience = imp::REGISTRY.resilience.cell();
         snap.pool = imp::REGISTRY.pool.cell();
         snap.verify = imp::REGISTRY.verify.cell();
+        snap.analyze = imp::REGISTRY.analyze.cell();
         snap
     }
     #[cfg(not(feature = "enabled"))]
@@ -878,6 +1003,19 @@ pub fn kernel_table(snap: &TelemetrySnapshot) -> String {
             if v.properties == 1 { "y" } else { "ies" },
             v.property_failures,
             v.max_trajectory_ulp,
+        ));
+    }
+    if !snap.analyze.is_empty() {
+        let a = &snap.analyze;
+        out.push_str(&format!(
+            "analyze: {} plan(s) checked ({} section(s), {} violation(s)), \
+             {} file(s) linted ({} diagnostic(s), {} suppression(s))\n",
+            a.plans_checked,
+            a.sections_checked,
+            a.plan_violations,
+            a.lint_files,
+            a.lint_diagnostics,
+            a.lint_suppressions,
         ));
     }
     out
@@ -1022,6 +1160,26 @@ mod tests {
         assert!(table.contains("verify:"), "{table}");
         reset();
         assert!(snapshot().verify.is_empty());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn analyze_counters_accumulate_and_reset() {
+        reset();
+        record_analyze_plan(6, 0);
+        record_analyze_plan(4, 2);
+        record_analyze_lint(31, 3, 5);
+        let snap = snapshot();
+        assert_eq!(snap.analyze.plans_checked, 2);
+        assert_eq!(snap.analyze.sections_checked, 10);
+        assert_eq!(snap.analyze.plan_violations, 2);
+        assert_eq!(snap.analyze.lint_files, 31);
+        assert_eq!(snap.analyze.lint_diagnostics, 3);
+        assert_eq!(snap.analyze.lint_suppressions, 5);
+        let table = kernel_table(&snap);
+        assert!(table.contains("analyze:"), "{table}");
+        reset();
+        assert!(snapshot().analyze.is_empty());
     }
 
     #[test]

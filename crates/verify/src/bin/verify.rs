@@ -74,9 +74,17 @@ fn main() -> ExitCode {
     if args.canary {
         let seeds = corpus::schedule_seeds(args.schedules.clamp(4, 16));
         let rep = schedule::explore_broken(&seeds);
+        if !rep.statically_flagged {
+            eprintln!(
+                "CANARY FAILURE: the static plan checker did not flag the racy \
+                 write model as an illegal strategy/block pairing"
+            );
+            return ExitCode::FAILURE;
+        }
         if rep.failures > 0 {
             println!(
-                "canary caught: {}/{} schedules exposed the lost-update race (max error {:.3e})",
+                "canary caught: statically flagged, and {}/{} schedules exposed \
+                 the lost-update race (max error {:.3e})",
                 rep.failures, rep.schedules, rep.max_abs_error
             );
             return ExitCode::SUCCESS;

@@ -31,6 +31,7 @@
 //! `cargo test -p gaia-verify` or `cargo run -p gaia-verify --bin verify`.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod corpus;
 pub mod metamorphic;

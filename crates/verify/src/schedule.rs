@@ -24,7 +24,10 @@ use std::sync::atomic::Ordering;
 use gaia_backends::exec::sched::{self, ScheduleController};
 use gaia_backends::exec::{ExecutorPool, Job};
 use gaia_backends::{atomicf64, kernels};
-use gaia_backends::{Aprod2Spec, Aprod2Strategy, Backend, LaunchPlan, SeqBackend, Tuning};
+use gaia_backends::{
+    check_sections, Aprod2Spec, Aprod2Strategy, Backend, LaunchPlan, PlanDims, SectionId,
+    SectionModel, SeqBackend, Tuning, WriteAccess,
+};
 use gaia_sparse::{AttitudePattern, Generator, GeneratorConfig, Rhs, SparseSystem, SystemLayout};
 use serde::Serialize;
 
@@ -76,6 +79,12 @@ pub struct ScheduleReport {
     pub expect_bitwise: bool,
     /// Whether every schedule reproduced the unperturbed run bit-for-bit.
     pub bitwise_stable: bool,
+    /// Whether the *static* plan checker (`gaia_backends::plan_check`)
+    /// already rejected this subject's write model before any schedule
+    /// ran. Real strategies must report `false`; the racy canary must
+    /// report `true` — the static and dynamic layers cross-check each
+    /// other.
+    pub statically_flagged: bool,
 }
 
 impl ScheduleReport {
@@ -116,6 +125,20 @@ fn bits_differ(a: &[f64], b: &[f64]) -> bool {
     a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())
 }
 
+/// The symbolic write model of the [`explore_broken`] kernel: `lanes`
+/// row-interleaved jobs plain-storing over the whole attitude section.
+/// This is exactly the shape the static checker must reject as an illegal
+/// strategy/block pairing ([`WriteAccess::PlainShared`] with colliding
+/// write-sets) — the canary is flagged before it ever runs.
+pub fn broken_write_model(n_att: usize, lanes: usize) -> SectionModel {
+    SectionModel {
+        id: SectionId::Att,
+        access: WriteAccess::PlainShared,
+        section_len: n_att,
+        writes: vec![0..n_att; lanes],
+    }
+}
+
 /// Replay `strategy` (under the uniform or streamed worker budget) against
 /// `seeds` adversarial schedules and compare every run to the sequential
 /// oracle and to the unperturbed run.
@@ -143,6 +166,10 @@ pub fn explore_strategy(
         },
         spec,
     );
+    // Cross-check with the static layer: every real strategy's plan must
+    // pass the checker on this very system's shape.
+    let statically_flagged = plan.analyze(&PlanDims::for_system(&sys)).is_err();
+
     // A private pool: schedule controllers must never leak into the shared
     // pools other tests use.
     let pool = ExecutorPool::new(THREADS);
@@ -178,6 +205,7 @@ pub fn explore_strategy(
         max_abs_error,
         expect_bitwise: expect_bitwise(strategy),
         bitwise_stable,
+        statically_flagged,
     }
 }
 
@@ -204,6 +232,10 @@ pub fn explore_broken(seeds: &[u64]) -> ScheduleReport {
     // write-write collisions on its ~24 shared columns.
     const LANES: usize = 8;
 
+    // The static layer must catch this shape without running anything:
+    // unsynchronized full-section writes from every lane.
+    let statically_flagged = check_sections(&[broken_write_model(n_att, LANES)]).is_err();
+
     let mut failures = 0usize;
     let mut max_abs_error = 0.0f64;
     let mut bitwise_stable = true;
@@ -228,6 +260,10 @@ pub fn explore_broken(seeds: &[u64]) -> ScheduleReport {
                             // Lost-update race: the read is stale by the
                             // time the store lands if anyone else updated
                             // the slot during the preemption window.
+                            // ORDERING: Relaxed is deliberate — the canary
+                            // models a port with *no* synchronization at
+                            // all; stronger orderings would not fix the
+                            // non-atomic read-modify-write anyway.
                             let cur = f64::from_bits(slot.load(Ordering::Relaxed));
                             sched::preempt_point(BROKEN_PROBE);
                             slot.store((cur + v * yr).to_bits(), Ordering::Relaxed);
@@ -264,5 +300,6 @@ pub fn explore_broken(seeds: &[u64]) -> ScheduleReport {
         max_abs_error,
         expect_bitwise: false,
         bitwise_stable,
+        statically_flagged,
     }
 }

@@ -17,6 +17,12 @@ fn assert_clean(rep: &ScheduleReport) {
         rep.expect_bitwise,
         rep.bitwise_stable,
     );
+    assert!(
+        !rep.statically_flagged,
+        "{}: the static plan checker rejected a strategy the dynamic \
+         harness accepts",
+        rep.subject,
+    );
 }
 
 #[test]
@@ -69,5 +75,22 @@ fn broken_strategy_canary_is_caught() {
          (max error {:.3e})",
         rep.schedules,
         rep.max_abs_error,
+    );
+    assert!(
+        rep.statically_flagged,
+        "the static plan checker failed to flag the canary's colliding \
+         plain-shared write model as an illegal strategy/block pairing"
+    );
+}
+
+/// The static layer alone: the canary's write model is rejected without
+/// running a single schedule.
+#[test]
+fn broken_write_model_is_statically_illegal() {
+    let model = schedule::broken_write_model(90, 8);
+    let err = gaia_backends::check_sections(&[model]).unwrap_err();
+    assert!(
+        err.to_string().contains("illegal strategy/block pairing"),
+        "{err}"
     );
 }

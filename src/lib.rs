@@ -15,6 +15,7 @@
 //!   run reports.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub use gaia_backends as backends;
 pub use gaia_gpu_sim as gpu;
