@@ -191,15 +191,7 @@ fn main() {
         "reference_iterations": reference.iterations,
         "cells": cells,
     });
-    let dir = std::path::Path::new("results/chaos");
-    std::fs::create_dir_all(dir).expect("create results/chaos");
-    let path = dir.join("sweep.json");
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&artifact).expect("serializable"),
-    )
-    .expect("write sweep artifact");
-    println!("[artifact] {}", path.display());
+    gaia_bench::must_write_artifact("chaos/sweep.json", &artifact);
 
     if failures > 0 {
         eprintln!("{failures} chaos cell(s) failed to converge");

@@ -89,7 +89,7 @@ fn main() {
         print!("{}", report::cascade_table(&cascade));
     }
 
-    gaia_bench::write_artifact(
+    gaia_bench::must_write_artifact(
         "cpu_portability.json",
         &serde_json::json!({
             "iterations": ITERATIONS,

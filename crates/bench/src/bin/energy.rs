@@ -53,7 +53,7 @@ fn main() {
         }
         println!();
     }
-    gaia_bench::write_artifact("energy.json", &serde_json::json!(rows));
+    gaia_bench::must_write_artifact("energy.json", &serde_json::json!(rows));
 
     // Platform ranking by the two metrics for the best framework per
     // platform.

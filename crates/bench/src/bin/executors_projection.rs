@@ -50,7 +50,7 @@ fn main() {
         }
         println!();
     }
-    gaia_bench::write_artifact("executors_projection.json", &serde_json::json!(artifacts));
+    gaia_bench::must_write_artifact("executors_projection.json", &serde_json::json!(artifacts));
     println!(
         "Executors recover the T4/V100/MI250X tuning losses (the dominant PSTL\n\
          gap), but not the stdpar runtime overheads — P rises substantially yet\n\

@@ -5,7 +5,7 @@
 //! framework (platforms ordered best-first, with the cumulative `P`), and
 //! the final `P` ranking — the Rust rendition of the p3-analysis plots.
 
-use gaia_bench::{platform_set, simulate_measurements, write_artifact, PROBLEM_SIZES_GB};
+use gaia_bench::{must_write_artifact, platform_set, simulate_measurements, PROBLEM_SIZES_GB};
 use gaia_p3::{report, Cascade, Normalization};
 
 fn main() {
@@ -94,7 +94,7 @@ fn main() {
                  NVIDIA platform at 60 GB) carries little information.\n"
             );
         }
-        write_artifact(
+        must_write_artifact(
             &format!("fig3_{}gb.json", gb as u64),
             &serde_json::json!({ "gb": gb, "platforms": platforms, "cascades": artifacts }),
         );
@@ -125,7 +125,7 @@ fn main() {
             &ranks,
             &series,
         );
-        gaia_bench::write_text_artifact(&format!("fig3_{}gb.svg", gb as u64), &svg);
+        gaia_bench::must_write_text_artifact(&format!("fig3_{}gb.svg", gb as u64), &svg);
     }
     println!(
         "Paper reference points: HIP P=0.98 (10 GB) / 0.88 (30 GB);\n\

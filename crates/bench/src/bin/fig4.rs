@@ -1,7 +1,7 @@
 //! Fig. 4 a/b/c: average LSQR iteration time across architectures and
 //! programming models for the 10, 30, and 60 GB problems.
 
-use gaia_bench::{platform_set, simulate_measurements, write_artifact, PROBLEM_SIZES_GB};
+use gaia_bench::{must_write_artifact, platform_set, simulate_measurements, PROBLEM_SIZES_GB};
 use gaia_p3::{plot, report};
 
 fn main() {
@@ -46,7 +46,7 @@ fn main() {
             &platforms,
             &series,
         );
-        gaia_bench::write_text_artifact(&format!("fig4_{}gb.svg", gb as u64), &svg);
+        gaia_bench::must_write_text_artifact(&format!("fig4_{}gb.svg", gb as u64), &svg);
 
         let json = serde_json::json!({
             "gb": gb,
@@ -58,7 +58,7 @@ fn main() {
                     .collect::<Vec<_>>(),
             })).collect::<Vec<_>>(),
         });
-        write_artifact(&format!("fig4_{}gb.json", gb as u64), &json);
+        must_write_artifact(&format!("fig4_{}gb.json", gb as u64), &json);
     }
     println!(
         "Paper shape: newer platforms deliver lower iteration times across all\n\

@@ -1,7 +1,7 @@
 //! Fig. 5 a/b/c: application efficiency across platforms and programming
 //! frameworks for the 10, 30, and 60 GB problems.
 
-use gaia_bench::{platform_set, simulate_measurements, write_artifact, PROBLEM_SIZES_GB};
+use gaia_bench::{must_write_artifact, platform_set, simulate_measurements, PROBLEM_SIZES_GB};
 use gaia_p3::{plot, report, Normalization};
 
 fn main() {
@@ -49,9 +49,9 @@ fn main() {
             &platforms,
             &series,
         );
-        gaia_bench::write_text_artifact(&format!("fig5_{}gb.svg", gb as u64), &svg);
+        gaia_bench::must_write_text_artifact(&format!("fig5_{}gb.svg", gb as u64), &svg);
 
-        write_artifact(
+        must_write_artifact(
             &format!("fig5_{}gb.json", gb as u64),
             &serde_json::json!({
                 "gb": gb,

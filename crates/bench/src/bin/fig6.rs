@@ -124,7 +124,7 @@ mod gaia_avugsr_fig6 {
             assert!(agr.passes(0.99), "{label} failed the 1σ validation");
             assert!(below_10uas, "{label} exceeded the 10 µas threshold");
         }
-        gaia_bench::write_artifact("fig6_validation.json", &serde_json::json!(artifacts));
+        gaia_bench::must_write_artifact("fig6_validation.json", &serde_json::json!(artifacts));
 
         // SVG scatter panels (the paper's 1:1 plots).
         for (idx, art) in artifacts.iter().enumerate() {
@@ -148,7 +148,7 @@ mod gaia_avugsr_fig6 {
                 &points,
                 if idx == 0 { "#d62728" } else { "#1f77b4" },
             );
-            gaia_bench::write_text_artifact(&format!("fig6_scatter_{}.svg", idx + 1), &svg);
+            gaia_bench::must_write_text_artifact(&format!("fig6_scatter_{}.svg", idx + 1), &svg);
         }
         println!("\nAll ports validate, as in §V-C (\"in agreement within 1σ\" and");
         println!("\"always stay below the 10 micro-arcseconds threshold\").");

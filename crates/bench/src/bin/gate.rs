@@ -1,0 +1,259 @@
+//! The perf regression gate: measure the pinned backend × layout grid
+//! (median-of-K, per-kernel) and compare it against the committed
+//! `BENCH_executor.json` baseline with noise-aware relative bands.
+//!
+//! ```text
+//! cargo run --release -p gaia-bench --bin gate            # compare, exit 1 on regression
+//! cargo run --release -p gaia-bench --bin gate -- --refresh   # re-pin baselines + REPORT.md
+//! ```
+//!
+//! Flags:
+//!   --refresh          rewrite the baseline (and regenerate results/REPORT.md
+//!                      with the gate grid + P-metric cascade appended)
+//!   --quick            CI smoke: drop the `medium` layout, halve iterations
+//!   --threads N        thread budget (capped by available_parallelism; default: all)
+//!   --repeats K        timing repeats per cell (default 7, quick 5; --refresh needs ≥ 5)
+//!   --band F           override every cell's threshold fraction (e.g. 2.0 in CI)
+//!   --widen F          noise-widening multiplier on relative IQR (default 1.0)
+//!   --baseline PATH    baseline file (default: <workspace root>/BENCH_executor.json)
+//!   --backends a,b,c   subset of the pinned backend set
+//!   --layouts a,b      subset of tiny,small,medium
+//!
+//! Exit codes: 0 pass, 1 regression, 2 baseline unusable (missing / wrong
+//! schema / unreadable — the message says how to refresh).
+
+use std::path::PathBuf;
+
+use gaia_bench::gate::measure::{measure_grid, GridSpec};
+use gaia_bench::gate::{
+    compare_grid, delta_table, pp_json, report_section, Baseline, CellRecord, BASELINE_FILE,
+    GATE_BACKENDS, GATE_LAYOUTS, SCHEMA,
+};
+use gaia_bench::{fatal, must_write_artifact, must_write_text_artifact, report_gen};
+
+/// Default per-cell threshold stamped into refreshed baselines: 35 %
+/// (doubled for `tiny` by the measurer) — wide enough for shared-runner
+/// noise at these microsecond scales, tight enough to catch the 2–10×
+/// cliffs a broken launch path causes.
+const DEFAULT_THRESHOLD: f64 = 0.35;
+
+struct Cli {
+    refresh: bool,
+    quick: bool,
+    threads: usize,
+    available: usize,
+    repeats: usize,
+    band: Option<f64>,
+    widen: f64,
+    baseline: PathBuf,
+    backends: Vec<String>,
+    layouts: Vec<String>,
+}
+
+fn parse_cli() -> Cli {
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut cli = Cli {
+        refresh: false,
+        quick: false,
+        threads: available,
+        available,
+        repeats: 0, // resolved after --quick is known
+        band: None,
+        widen: 1.0,
+        baseline: gaia_bench::workspace_root().join(BASELINE_FILE),
+        backends: GATE_BACKENDS.iter().map(|s| (*s).to_owned()).collect(),
+        layouts: GATE_LAYOUTS.iter().map(|s| (*s).to_owned()).collect(),
+    };
+    let mut args = std::env::args().skip(1);
+    let mut repeats: Option<usize> = None;
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fatal(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--refresh" => cli.refresh = true,
+            "--quick" => cli.quick = true,
+            "--threads" => {
+                let n: usize = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| fatal("--threads needs a positive integer"));
+                cli.threads = n.max(1);
+            }
+            "--repeats" => {
+                repeats = Some(
+                    value("--repeats")
+                        .parse()
+                        .unwrap_or_else(|_| fatal("--repeats needs a positive integer")),
+                );
+            }
+            "--band" => {
+                cli.band = Some(
+                    value("--band")
+                        .parse()
+                        .unwrap_or_else(|_| fatal("--band needs a fraction, e.g. 0.35")),
+                );
+            }
+            "--widen" => {
+                cli.widen = value("--widen")
+                    .parse()
+                    .unwrap_or_else(|_| fatal("--widen needs a number, e.g. 1.0"));
+            }
+            "--baseline" => cli.baseline = PathBuf::from(value("--baseline")),
+            "--backends" => {
+                cli.backends = value("--backends")
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--layouts" => {
+                cli.layouts = value("--layouts")
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            other => fatal(&format!(
+                "unknown flag `{other}` (see --bin gate source header)"
+            )),
+        }
+    }
+    // The effective budget is capped by the host — a baseline recorded
+    // with more threads than exist would pin launch overhead that this
+    // machine can never reproduce.
+    cli.threads = cli.threads.min(cli.available);
+    if cli.quick {
+        cli.layouts.retain(|l| l != "medium");
+    }
+    cli.repeats = repeats.unwrap_or(if cli.quick { 5 } else { 7 });
+    if cli.repeats == 0 {
+        fatal("--repeats needs a positive integer");
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    if cli.refresh && cli.repeats < 5 {
+        fatal(&format!(
+            "--refresh with --repeats {} refused: committed baselines need \
+             median-of-K with K >= 5 for a usable IQR",
+            cli.repeats
+        ));
+    }
+
+    let spec = GridSpec {
+        backends: cli.backends.clone(),
+        layouts: cli.layouts.clone(),
+        threads: cli.threads,
+        repeats: cli.repeats,
+        default_threshold_frac: DEFAULT_THRESHOLD,
+        quick: cli.quick,
+    };
+    println!(
+        "gate: measuring {} backend(s) x {} layout(s), {} thread(s) \
+         (host parallelism {}), median-of-{}{}",
+        spec.backends.len(),
+        spec.layouts.len(),
+        spec.threads,
+        cli.available,
+        spec.repeats,
+        if cli.quick { ", quick" } else { "" },
+    );
+    let cells = measure_grid(&spec).unwrap_or_else(|e| fatal(&e));
+
+    if cli.refresh {
+        refresh(&cli, cells);
+    } else {
+        compare(&cli, cells);
+    }
+}
+
+/// `--refresh`: rewrite the baseline, the P-metric artifact, and
+/// `results/REPORT.md` (with the gate section appended).
+fn refresh(cli: &Cli, cells: Vec<CellRecord>) {
+    let baseline = Baseline {
+        schema: SCHEMA.to_owned(),
+        note: format!(
+            "Perf-gate baseline ({SCHEMA}): median-of-{} per-kernel wall times \
+             of the pinned backend x layout grid. Regenerate on this machine with \
+             `cargo run --release -p gaia-bench --bin gate -- --refresh`; compare \
+             with `--bin gate` (exit 1 = regression).",
+            cli.repeats
+        ),
+        threads: cli.threads as u64,
+        available_parallelism: cli.available as u64,
+        repeats: cli.repeats as u64,
+        default_threshold_frac: DEFAULT_THRESHOLD,
+        cells,
+    };
+    baseline
+        .save(&cli.baseline)
+        .unwrap_or_else(|e| fatal(&format!("cannot write {}: {e}", cli.baseline.display())));
+    println!("[artifact] {}", cli.baseline.display());
+
+    must_write_artifact("bench/gate_pp.json", &pp_json(&baseline.cells));
+    let section = report_section(&baseline.cells, baseline.threads, baseline.repeats);
+    let md = report_gen::reproduction_report(Some(&section));
+    must_write_text_artifact("REPORT.md", &md);
+    println!(
+        "gate: baseline refreshed ({} cells); REPORT.md regenerated",
+        baseline.cells.len()
+    );
+}
+
+/// Compare mode: verdict table to stdout + `results/bench/gate_delta.txt`
+/// and `gate_report.json`; exit 1 on regression, 2 on unusable baseline.
+fn compare(cli: &Cli, cells: Vec<CellRecord>) {
+    let baseline = match Baseline::load(&cli.baseline) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let outcome = compare_grid(&baseline, &cells, cli.threads as u64, cli.band, cli.widen);
+    gaia_telemetry::record_gate(&gaia_telemetry::GateCell {
+        cells_compared: outcome.deltas.len() as u64 / 3,
+        regressions: outcome.regressions as u64,
+        improvements: outcome.improvements as u64,
+        new_cells: outcome.new_cells.len() as u64,
+        ..Default::default()
+    });
+
+    let table = delta_table(&outcome, &baseline);
+    print!("{table}");
+    must_write_text_artifact("bench/gate_delta.txt", &table);
+    let report = serde_json::json!({
+        "schema": "gaia-bench-gate-report/v1",
+        "baseline_file": cli.baseline.display().to_string(),
+        "threads": cli.threads,
+        "available_parallelism": cli.available,
+        "repeats": cli.repeats,
+        "band_override": cli.band,
+        "noise_widen": cli.widen,
+        "quick": cli.quick,
+        "passed": outcome.passed(),
+        "regressions": outcome.regressions,
+        "improvements": outcome.improvements,
+        "new_cells": outcome.new_cells.len(),
+        "deltas": outcome.deltas.iter().map(|d| serde_json::json!({
+            "backend": d.backend,
+            "layout": d.layout,
+            "metric": d.metric,
+            "baseline_median_s": d.baseline.median_s,
+            "current_median_s": d.current.median_s,
+            "ratio": d.cmp.ratio,
+            "allowed_frac": d.cmp.allowed_frac,
+            "regression": d.cmp.regression,
+            "improvement": d.cmp.improvement,
+        })).collect::<Vec<_>>(),
+        "telemetry": serde_json::to_value(gaia_telemetry::snapshot())
+            .unwrap_or(serde_json::Value::Null),
+    });
+    must_write_artifact("bench/gate_report.json", &report);
+    if !outcome.passed() {
+        std::process::exit(1);
+    }
+}

@@ -59,7 +59,7 @@ fn main() {
          kernels mitigate by reducing blocks/threads in those regions."
     );
 
-    gaia_bench::write_artifact(
+    gaia_bench::must_write_artifact(
         &format!("matrix_stats_{preset}.json"),
         &serde_json::to_value(&stats).expect("serializable"),
     );

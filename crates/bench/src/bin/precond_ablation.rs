@@ -81,7 +81,7 @@ fn main() {
             "converged_plain": without.stop.converged(),
         }));
     }
-    gaia_bench::write_artifact("precond_ablation.json", &serde_json::json!(rows_json));
+    gaia_bench::must_write_artifact("precond_ablation.json", &serde_json::json!(rows_json));
     println!(
         "\nThe column-scaled solver sees a near-unit condition number and\n\
          converges in a fraction of the iterations — the \"customized and\n\

@@ -3,157 +3,15 @@
 //! writes `results/REPORT.md` — the human-readable summary a reviewer
 //! reads first. Real-solve sections use small presets so the whole report
 //! builds in seconds.
+//!
+//! The document body lives in [`gaia_bench::report_gen`] so the perf
+//! gate's `--refresh` regenerates the identical report (plus the measured
+//! gate grid) whenever baselines change.
 
-use std::fmt::Write as _;
-
-use gaia_backends::{AtomicBackend, SeqBackend, StreamedBackend};
-use gaia_bench::{platform_set, simulate_measurements, write_text_artifact, PROBLEM_SIZES_GB};
-use gaia_gpu_sim::{framework_by_name, iteration_time, platform_by_name, SimConfig};
-use gaia_lsqr::{compare_solutions, solve, LsqrConfig, MICRO_ARCSEC_RAD};
-use gaia_p3::{report, subsets, Normalization};
-use gaia_sparse::{Generator, GeneratorConfig, Rhs, SystemLayout};
+use gaia_bench::{must_write_text_artifact, report_gen};
 
 fn main() {
-    let mut md = String::new();
-    let _ = writeln!(md, "# Reproduction report\n");
-    let _ = writeln!(
-        md,
-        "Generated by `cargo run -p gaia-bench --bin report_all`. Simulated\n\
-         numbers come from the calibrated platform/framework model; the\n\
-         validation section is real solves on this machine.\n"
-    );
-
-    // ---- P study ----------------------------------------------------
-    let _ = writeln!(md, "## Performance portability (Fig. 3)\n");
-    for gb in PROBLEM_SIZES_GB {
-        let (_, set) = simulate_measurements(gb);
-        let platforms = platform_set(gb);
-        let matrix = set.efficiencies(Normalization::PlatformBest);
-        let _ = writeln!(md, "### {gb} GB — platforms {platforms:?}\n");
-        let _ = writeln!(md, "```\n{}```\n", report::pp_table(&matrix, &platforms));
-        if platforms.len() > 2 {
-            let nvidia: Vec<String> = platforms
-                .iter()
-                .filter(|p| p.as_str() != "MI250X")
-                .cloned()
-                .collect();
-            if let Some((winner, p)) = subsets::subset_winner(&matrix, &nvidia) {
-                let _ = writeln!(md, "NVIDIA-only winner: **{winner}** (P = {p:.3}).\n");
-            }
-        }
-    }
-
-    // ---- iteration times (Fig. 4) ------------------------------------
-    let _ = writeln!(md, "## Iteration times (Fig. 4, modeled, 10 GB)\n");
-    let (_, set) = simulate_measurements(10.0);
-    let platforms = platform_set(10.0);
-    let _ = writeln!(md, "```\n{}```\n", report::times_table(&set, &platforms));
-
-    // ---- headline in-text claims -------------------------------------
-    let _ = writeln!(md, "## In-text claims\n");
-    let layout42 = SystemLayout::from_gb(42.0);
-    let h100 = platform_by_name("H100").unwrap();
-    let cuda = framework_by_name("CUDA").unwrap();
-    let prod = framework_by_name("CUDA-production").unwrap();
-    let speedup = iteration_time(&layout42, &prod, &h100, &SimConfig::default())
-        .unwrap()
-        .seconds
-        / iteration_time(&layout42, &cuda, &h100, &SimConfig::default())
-            .unwrap()
-            .seconds;
-    let _ = writeln!(
-        md,
-        "* optimized vs production CUDA at 42 GB: **{speedup:.2}x** (paper: 2.0x)"
-    );
-    let tune = gaia_gpu_sim::tuner::tune(
-        &SystemLayout::from_gb(10.0),
-        &cuda,
-        &platform_by_name("T4").unwrap(),
-        1024,
-    )
-    .unwrap();
-    let _ = writeln!(
-        md,
-        "* kernel tuning on T4: **{:.0}%** iteration-time reduction (paper: up to 40%)",
-        100.0 * tune.reduction()
-    );
-
-    // ---- validation (Fig. 6, real solves) ----------------------------
-    let _ = writeln!(md, "\n## Validation (Fig. 6, real solves)\n");
-    let (mut sys, _) = Generator::new(
-        GeneratorConfig::new(SystemLayout::small())
-            .seed(42)
-            .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-5 }),
-    )
-    .generate_with_truth();
-    let b: Vec<f64> = sys.known_terms().iter().map(|v| v * 1e-7).collect();
-    sys.set_known_terms(b);
-    let cfg = LsqrConfig::new();
-    let reference = solve(&sys, &SeqBackend, &cfg);
-    for (label, backend) in [
-        (
-            "atomic (HIP role)",
-            Box::new(AtomicBackend::with_threads(4)) as Box<dyn gaia_backends::Backend>,
-        ),
-        (
-            "streamed (MI250X role)",
-            Box::new(StreamedBackend::with_threads(4)),
-        ),
-    ] {
-        let sol = solve(&sys, &backend, &cfg);
-        let agr = compare_solutions(&reference, &sol);
-        let _ = writeln!(
-            md,
-            "* {label}: within-1σ = {:.1}%, max |Δx| = {:.2e} rad, 10 µas check: **{}**",
-            100.0 * agr.within_one_sigma.unwrap_or(0.0),
-            agr.max_abs_diff,
-            if agr.stderr_within(10.0 * MICRO_ARCSEC_RAD) {
-                "PASS"
-            } else {
-                "FAIL"
-            }
-        );
-    }
-
-    // ---- measured per-kernel telemetry -------------------------------
-    let _ = writeln!(md, "\n## Per-kernel telemetry (real solves)\n");
-    if gaia_telemetry::is_enabled() {
-        let telemetry_sys = Generator::new(
-            GeneratorConfig::new(SystemLayout::small())
-                .seed(42)
-                .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-6 }),
-        )
-        .generate();
-        for name in ["seq", "atomic", "streamed"] {
-            let report =
-                gaia_bench::measured_run(&format!("report_{name}"), name, 4, &telemetry_sys, 20);
-            let _ = writeln!(
-                md,
-                "### {} — {:.3} ms/iter\n\n```\n{}```\n",
-                report.backend,
-                1e3 * report.mean_iteration_seconds(),
-                gaia_telemetry::kernel_table(&report.telemetry)
-            );
-        }
-        let _ = writeln!(
-            md,
-            "JSON artifacts: `results/telemetry/report_*.json` (per-iteration\n\
-             times and residual norms, per-kernel wall time, analytic bytes,\n\
-             atomic-RMW counts)."
-        );
-    } else {
-        let _ = writeln!(
-            md,
-            "Telemetry disabled at build time; rerun with the `telemetry`\n\
-             feature (on by default for gaia-bench) for the breakdown."
-        );
-    }
-
-    let _ = writeln!(
-        md,
-        "\nFull paper-vs-repro record: `EXPERIMENTS.md`. Figure data and SVGs:\n\
-         run `fig3`/`fig4`/`fig5`/`fig6` (artifacts land in `results/`)."
-    );
-    write_text_artifact("REPORT.md", &md);
+    let md = report_gen::reproduction_report(None);
+    must_write_text_artifact("REPORT.md", &md);
     println!("\n{md}");
 }

@@ -45,7 +45,7 @@ fn main() {
         );
         rows.push(serde_json::to_value(&pt).expect("serializable"));
     }
-    gaia_bench::write_artifact("roofline.json", &serde_json::json!(rows));
+    gaia_bench::must_write_artifact("roofline.json", &serde_json::json!(rows));
     println!(
         "\nEvery kernel sits 1-2 orders of magnitude below every ridge point:\n\
          the solver can never use more than a few percent of any GPU's FP64\n\

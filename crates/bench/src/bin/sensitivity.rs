@@ -32,7 +32,7 @@ fn main() {
             rows.push(serde_json::to_value(&r).expect("serializable"));
         }
     }
-    gaia_bench::write_artifact("sensitivity.json", &serde_json::json!(rows));
+    gaia_bench::must_write_artifact("sensitivity.json", &serde_json::json!(rows));
     if failures == 0 {
         println!("\nAll headline conclusions survive every perturbation tested:");
         println!("the calibration is not knife-edge (±5 % stability is asserted in CI).");

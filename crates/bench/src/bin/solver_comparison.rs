@@ -74,7 +74,7 @@ fn main() {
             "lsmr_arnorm_bumps": bumps(&b.history),
         }));
     }
-    gaia_bench::write_artifact("solver_comparison.json", &serde_json::json!(rows_json));
+    gaia_bench::must_write_artifact("solver_comparison.json", &serde_json::json!(rows_json));
     println!(
         "\nBoth solvers cost one aprod1 + one aprod2 per iteration, so every\n\
          framework/platform conclusion of the paper applies to either; LSMR\n\

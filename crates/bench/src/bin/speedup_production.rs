@@ -43,7 +43,7 @@ fn main() {
             }));
         }
     }
-    gaia_bench::write_artifact("speedup_production.json", &serde_json::json!(rows));
+    gaia_bench::must_write_artifact("speedup_production.json", &serde_json::json!(rows));
 
     // Attribution on the paper's reference point (42 GB, H100-class node).
     let layout = SystemLayout::from_gb(42.0);

@@ -50,7 +50,7 @@ fn main() {
             "effective_bw_gbs": bw / 1e9,
         }));
     }
-    gaia_bench::write_artifact("spmv_labnotes.json", &serde_json::json!(rows));
+    gaia_bench::must_write_artifact("spmv_labnotes.json", &serde_json::json!(rows));
 
     let a100 = platform_by_name("A100").expect("registry");
     let mi = platform_by_name("MI250X").expect("registry");

@@ -41,7 +41,7 @@ fn main() {
             }));
         }
     }
-    gaia_bench::write_artifact("tuning_ablation.json", &serde_json::json!(rows));
+    gaia_bench::must_write_artifact("tuning_ablation.json", &serde_json::json!(rows));
 
     println!("\nPSTL's fixed 256 tpb: occupancy efficiency per platform");
     println!(

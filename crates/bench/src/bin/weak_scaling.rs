@@ -51,7 +51,7 @@ fn main() {
             })).collect::<Vec<_>>(),
         }));
     }
-    gaia_bench::write_artifact("weak_scaling.json", &serde_json::json!(artifacts));
+    gaia_bench::must_write_artifact("weak_scaling.json", &serde_json::json!(artifacts));
 
     println!("\nstrong scaling of the paper's 60 GB problem (does not fit one A100):");
     let cuda = framework_by_name("CUDA").expect("registry");

@@ -1,0 +1,151 @@
+//! Clock-touching half of the gate: run the pinned grid and produce
+//! [`CellRecord`]s. Per repeat, every iteration times `aprod1` and
+//! `aprod2` individually (the paper's per-kernel axis) and the cell
+//! summarizes K repeats as median + IQR — the dispersion the comparison
+//! bands widen by.
+
+use std::time::Instant;
+
+use gaia_backends::{backend_by_name, backend_names, Backend};
+use gaia_sparse::{Generator, GeneratorConfig, SparseSystem, SystemLayout};
+
+use super::CellRecord;
+use crate::stats::Summary;
+
+/// Fixed generator seed: the grid must measure the same system every run.
+const GRID_SEED: u64 = 7;
+
+/// Resolve a layout preset by name.
+pub fn layout_by_name(name: &str) -> Option<SystemLayout> {
+    match name {
+        "tiny" => Some(SystemLayout::tiny()),
+        "small" => Some(SystemLayout::small()),
+        "medium" => Some(SystemLayout::medium()),
+        _ => None,
+    }
+}
+
+/// Warmup and per-repeat iteration counts for a layout. Quick mode (CI)
+/// trims iterations, never repeats — K is what the dispersion estimate
+/// lives on.
+pub fn iterations_for(layout: &str, quick: bool) -> (usize, usize) {
+    let (warmup, iters) = match layout {
+        "tiny" => (3, 40),
+        "small" => (2, 16),
+        _ => (1, 6),
+    };
+    if quick {
+        (warmup.min(2), (iters / 2).max(4))
+    } else {
+        (warmup, iters)
+    }
+}
+
+/// What to measure and how hard.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Backend registry names.
+    pub backends: Vec<String>,
+    /// Layout preset names.
+    pub layouts: Vec<String>,
+    /// Effective thread budget for every backend.
+    pub threads: usize,
+    /// Timing repeats per cell (the K of median-of-K).
+    pub repeats: usize,
+    /// Threshold stamped into each cell (doubled for `tiny`, whose
+    /// microsecond-scale kernels are proportionally noisier).
+    pub default_threshold_frac: f64,
+    /// Trim per-repeat iteration counts (CI smoke).
+    pub quick: bool,
+}
+
+/// Per-repeat mean seconds of one combined `aprod1`+`aprod2` iteration,
+/// split per kernel. Outputs accumulate across iterations (the kernels
+/// are `out += ...`); finiteness is asserted so the work cannot be
+/// optimized away.
+fn time_repeat(sys: &SparseSystem, backend: &dyn Backend, iters: usize) -> (f64, f64) {
+    let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.13).sin()).collect();
+    let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.17).cos()).collect();
+    let mut out1 = vec![0.0; sys.n_rows()];
+    let mut out2 = vec![0.0; sys.n_cols()];
+    let (mut a1, mut a2) = (0.0f64, 0.0f64);
+    for _ in 0..iters {
+        // gaia-analyze: allow(timing): per-kernel wall clock *is* the
+        // gate's deliverable; telemetry scopes attribute time inside
+        // kernels, the gate times the backend calls themselves.
+        let t = Instant::now();
+        backend.aprod1(sys, &x, &mut out1);
+        a1 += t.elapsed().as_secs_f64();
+        // gaia-analyze: allow(timing): second half of the same per-kernel
+        // measurement (aprod2 timed separately from aprod1).
+        let t = Instant::now();
+        backend.aprod2(sys, &y, &mut out2);
+        a2 += t.elapsed().as_secs_f64();
+    }
+    assert!(out1.iter().chain(out2.iter()).all(|v| v.is_finite()));
+    (a1 / iters as f64, a2 / iters as f64)
+}
+
+/// Measure every cell of the grid. Validates names up front so a typo
+/// yields one clean error instead of a panic mid-grid; records the run's
+/// totals into the telemetry [`gaia_telemetry::GateCell`].
+pub fn measure_grid(spec: &GridSpec) -> Result<Vec<CellRecord>, String> {
+    for name in &spec.backends {
+        if backend_by_name(name, spec.threads).is_none() {
+            return Err(format!(
+                "unknown backend `{name}` (registry names: {})",
+                backend_names().join(", ")
+            ));
+        }
+    }
+    for name in &spec.layouts {
+        if layout_by_name(name).is_none() {
+            return Err(format!(
+                "unknown layout `{name}` (gate layouts: tiny, small, medium)"
+            ));
+        }
+    }
+
+    let mut cells = Vec::new();
+    let mut telemetry = gaia_telemetry::GateCell::default();
+    for layout_name in &spec.layouts {
+        let layout = layout_by_name(layout_name).expect("validated above");
+        let sys = Generator::new(GeneratorConfig::new(layout).seed(GRID_SEED)).generate();
+        let (warmup, iters) = iterations_for(layout_name, spec.quick);
+        for backend_name in &spec.backends {
+            let backend = backend_by_name(backend_name, spec.threads).expect("validated above");
+            let mut s1 = Vec::with_capacity(spec.repeats);
+            let mut s2 = Vec::with_capacity(spec.repeats);
+            let mut si = Vec::with_capacity(spec.repeats);
+            let _ = time_repeat(&sys, backend.as_ref(), warmup.max(1));
+            for _ in 0..spec.repeats {
+                let (a1, a2) = time_repeat(&sys, backend.as_ref(), iters);
+                s1.push(a1);
+                s2.push(a2);
+                si.push(a1 + a2);
+                telemetry.measure_seconds += (a1 + a2) * iters as f64;
+            }
+            telemetry.cells_measured += 1;
+            telemetry.repeats += spec.repeats as u64;
+            let threshold_frac = if layout_name == "tiny" {
+                spec.default_threshold_frac * 2.0
+            } else {
+                spec.default_threshold_frac
+            };
+            cells.push(CellRecord {
+                backend: backend_name.clone(),
+                layout: layout_name.clone(),
+                threads: spec.threads as u64,
+                n_rows: sys.n_rows() as u64,
+                n_cols: sys.n_cols() as u64,
+                iterations: iters as u64,
+                threshold_frac,
+                aprod1: Summary::from_samples(&s1),
+                aprod2: Summary::from_samples(&s2),
+                iteration: Summary::from_samples(&si),
+            });
+        }
+    }
+    gaia_telemetry::record_gate(&telemetry);
+    Ok(cells)
+}

@@ -1,0 +1,437 @@
+//! The perf regression gate: a pinned backend × layout grid, measured
+//! with median-of-K repeats, compared against committed baselines with
+//! noise-aware relative bands.
+//!
+//! This module is the contract layer: the versioned [`SCHEMA`] the
+//! committed `BENCH_executor.json` baseline is stored in, the
+//! [`compare_grid`] verdict logic, and the human-readable delta table the
+//! gate prints (and CI uploads) when something regressed. The actual
+//! clock-touching measurement lives in [`measure`]; the band arithmetic
+//! lives in [`crate::stats`] so it stays unit-testable.
+//!
+//! It is the Rust analogue of the PP-Gaia reproducibility artifact's
+//! per-kernel average logs (SNIPPETS.md snippet 1): per-kernel
+//! (`aprod1`/`aprod2`) and per-iteration wall time per (backend, layout)
+//! cell, except here the numbers *fail the build* when they drift.
+
+pub mod measure;
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{compare, Band, Comparison, Summary};
+
+/// Version tag of the baseline artifact. Bump on any incompatible change
+/// and teach [`Baseline::load`] to explain the migration.
+pub const SCHEMA: &str = "gaia-bench-gate/v1";
+
+/// The committed baseline file, anchored at the workspace root.
+pub const BASELINE_FILE: &str = "BENCH_executor.json";
+
+/// The pinned backend set: one representative per `Aprod2Strategy`
+/// family that the speed roadmap items will touch (owner-computes,
+/// atomic RMW, lock-striped, stream-overlapped) plus the sequential
+/// floor every speedup is quoted against.
+pub const GATE_BACKENDS: [&str; 5] = ["seq", "chunked", "atomic", "striped", "streamed"];
+
+/// The pinned layout set, smallest first. `--quick` (CI) drops `medium`.
+pub const GATE_LAYOUTS: [&str; 3] = ["tiny", "small", "medium"];
+
+/// Metric names stored per cell, in presentation order.
+pub const METRICS: [&str; 3] = ["aprod1", "aprod2", "iteration"];
+
+/// One measured grid cell: a (backend, layout) pair with its per-kernel
+/// and per-iteration timing summaries and the relative band it is held
+/// to. `threads` is the *effective* thread budget the cell ran with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Backend registry name (`seq`, `atomic`, ...).
+    pub backend: String,
+    /// Layout preset name (`tiny`/`small`/`medium`).
+    pub layout: String,
+    /// Effective thread budget the measurement ran with.
+    pub threads: u64,
+    /// Generated system rows.
+    pub n_rows: u64,
+    /// Generated system columns.
+    pub n_cols: u64,
+    /// `aprod1`+`aprod2` iterations per timing repeat.
+    pub iterations: u64,
+    /// Per-cell floor on the allowed relative slowdown (the band's
+    /// threshold; the noise widening comes on top at compare time).
+    pub threshold_frac: f64,
+    /// Median-of-K summary of per-iteration `aprod1` seconds.
+    pub aprod1: Summary,
+    /// Median-of-K summary of per-iteration `aprod2` seconds.
+    pub aprod2: Summary,
+    /// Median-of-K summary of combined per-iteration seconds.
+    pub iteration: Summary,
+}
+
+impl CellRecord {
+    /// `backend/layout`, the display key.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.backend, self.layout)
+    }
+
+    /// Look up a metric summary by name (one of [`METRICS`]).
+    pub fn metric(&self, name: &str) -> Option<&Summary> {
+        match name {
+            "aprod1" => Some(&self.aprod1),
+            "aprod2" => Some(&self.aprod2),
+            "iteration" => Some(&self.iteration),
+            _ => None,
+        }
+    }
+}
+
+/// The committed baseline artifact (`BENCH_executor.json`): the pinned
+/// grid's summaries plus enough provenance (thread budget, repeat count,
+/// host parallelism) to judge whether a comparison is apples-to-apples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Must equal [`SCHEMA`].
+    pub schema: String,
+    /// Human-readable header: what this file is and how to regenerate it.
+    pub note: String,
+    /// Effective thread budget the baseline grid ran with.
+    pub threads: u64,
+    /// `available_parallelism()` on the recording host.
+    pub available_parallelism: u64,
+    /// Timing repeats per cell (the K of median-of-K; ≥ 5 for committed
+    /// baselines).
+    pub repeats: u64,
+    /// Default per-cell threshold the refresh stamped into the cells.
+    pub default_threshold_frac: f64,
+    /// The measured grid.
+    pub cells: Vec<CellRecord>,
+}
+
+/// Why a baseline could not be loaded — each case gets its own
+/// actionable message (and the gate binary maps them to exit code 2,
+/// distinct from exit 1 = regression).
+#[derive(Debug)]
+pub enum BaselineError {
+    /// No file at the path: nothing has pinned this machine yet.
+    Missing(PathBuf),
+    /// The file exists but could not be read.
+    Unreadable(PathBuf, io::Error),
+    /// The file is not valid JSON or not the expected shape.
+    Parse(PathBuf, String),
+    /// The file parses but carries a different schema tag (e.g. the
+    /// pre-gate `executor_overhead` format).
+    Schema(PathBuf, String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Missing(p) => write!(
+                f,
+                "no baseline at {} — run `gaia-bench --bin gate -- --refresh` to pin this machine",
+                p.display()
+            ),
+            BaselineError::Unreadable(p, e) => {
+                write!(f, "cannot read baseline {}: {e}", p.display())
+            }
+            BaselineError::Parse(p, e) => write!(
+                f,
+                "baseline {} is not a {SCHEMA} artifact ({e}) — refresh with \
+                 `gaia-bench --bin gate -- --refresh`",
+                p.display()
+            ),
+            BaselineError::Schema(p, found) => write!(
+                f,
+                "baseline {} has schema `{found}`, expected `{SCHEMA}` — refresh with \
+                 `gaia-bench --bin gate -- --refresh` to migrate",
+                p.display()
+            ),
+        }
+    }
+}
+
+impl Baseline {
+    /// Load and validate a baseline file.
+    pub fn load(path: &Path) -> Result<Baseline, BaselineError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(BaselineError::Missing(path.to_path_buf()))
+            }
+            Err(e) => return Err(BaselineError::Unreadable(path.to_path_buf(), e)),
+        };
+        let value: serde_json::Value = serde_json::from_str(&text)
+            .map_err(|e| BaselineError::Parse(path.to_path_buf(), format!("{e:?}")))?;
+        let found = value
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .unwrap_or("<none>")
+            .to_owned();
+        if found != SCHEMA {
+            return Err(BaselineError::Schema(path.to_path_buf(), found));
+        }
+        serde_json::from_value(&value)
+            .map_err(|e| BaselineError::Parse(path.to_path_buf(), format!("{e:?}")))
+    }
+
+    /// Serialize to `path`, creating parent directories. A failure here
+    /// must abort the caller — a gate that cannot write its baseline has
+    /// pinned nothing.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_value(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        crate::write_json_file(path, &json)
+    }
+
+    /// Find the baseline cell for a (backend, layout) pair.
+    pub fn cell(&self, backend: &str, layout: &str) -> Option<&CellRecord> {
+        self.cells
+            .iter()
+            .find(|c| c.backend == backend && c.layout == layout)
+    }
+}
+
+/// One compared metric: the pair of summaries and the verdict.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Backend registry name.
+    pub backend: String,
+    /// Layout preset name.
+    pub layout: String,
+    /// Metric name (one of [`METRICS`]).
+    pub metric: &'static str,
+    /// Baseline summary.
+    pub baseline: Summary,
+    /// Freshly measured summary.
+    pub current: Summary,
+    /// Ratio, applied band, and verdict.
+    pub cmp: Comparison,
+}
+
+/// The full result of one gate comparison run.
+#[derive(Debug, Default)]
+pub struct GateOutcome {
+    /// Every compared metric, grid order.
+    pub deltas: Vec<Delta>,
+    /// Measured cells with no baseline counterpart (`(backend, layout)`):
+    /// reported, never failing — refresh to pin them.
+    pub new_cells: Vec<(String, String)>,
+    /// Metrics whose ratio exceeded the band.
+    pub regressions: usize,
+    /// Metrics faster than the band's lower edge.
+    pub improvements: usize,
+    /// Set when the baseline and current thread budgets differ
+    /// (`(baseline, current)`): the numbers are still compared, but the
+    /// table flags them as cross-budget.
+    pub threads_mismatch: Option<(u64, u64)>,
+}
+
+impl GateOutcome {
+    /// True when no metric regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions == 0
+    }
+}
+
+/// Compare freshly measured cells against a baseline. `band_override`
+/// replaces every cell's stored threshold (CI uses this for wider,
+/// cross-machine-tolerant bands); `noise_widen` scales the IQR-based
+/// widening term.
+pub fn compare_grid(
+    baseline: &Baseline,
+    current: &[CellRecord],
+    current_threads: u64,
+    band_override: Option<f64>,
+    noise_widen: f64,
+) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    if baseline.threads != current_threads {
+        out.threads_mismatch = Some((baseline.threads, current_threads));
+    }
+    for cell in current {
+        let Some(base) = baseline.cell(&cell.backend, &cell.layout) else {
+            out.new_cells
+                .push((cell.backend.clone(), cell.layout.clone()));
+            continue;
+        };
+        let band = Band {
+            threshold_frac: band_override.unwrap_or(base.threshold_frac),
+            noise_widen,
+        };
+        for metric in METRICS {
+            let (b, c) = (
+                base.metric(metric).expect("known metric"),
+                cell.metric(metric).expect("known metric"),
+            );
+            let cmp = compare(b, c, &band);
+            if cmp.regression {
+                out.regressions += 1;
+            }
+            if cmp.improvement {
+                out.improvements += 1;
+            }
+            out.deltas.push(Delta {
+                backend: cell.backend.clone(),
+                layout: cell.layout.clone(),
+                metric,
+                baseline: *b,
+                current: *c,
+                cmp,
+            });
+        }
+    }
+    out
+}
+
+fn fmt_us(s: &Summary) -> String {
+    format!("{:9.2} ±{:.2}", s.median_s * 1e6, s.iqr_s * 1e6)
+}
+
+/// Render the human-readable delta table for a comparison: one row per
+/// compared metric, the applied band, and a PASS/FAIL trailer. This is
+/// the artifact CI uploads and the text a developer reads when the gate
+/// fires.
+pub fn delta_table(outcome: &GateOutcome, baseline: &Baseline) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "perf gate vs {} (baseline: {} repeats, {} threads, host parallelism {})\n",
+        BASELINE_FILE, baseline.repeats, baseline.threads, baseline.available_parallelism
+    ));
+    if let Some((b, c)) = outcome.threads_mismatch {
+        out.push_str(&format!(
+            "warning: thread budgets differ (baseline {b}, current {c}) — \
+             deltas mix launch-overhead regimes; prefer --refresh on this host\n"
+        ));
+    }
+    out.push_str(&format!(
+        "{:<18} {:<10} {:>16} {:>16} {:>8} {:>9}  verdict\n",
+        "cell", "metric", "baseline µs", "current µs", "ratio", "allowed"
+    ));
+    for d in &outcome.deltas {
+        let verdict = if d.cmp.regression {
+            "REGRESSION"
+        } else if d.cmp.improvement {
+            "improved"
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "{:<18} {:<10} {:>16} {:>16} {:>8.3} {:>8.1}%  {}\n",
+            format!("{}/{}", d.backend, d.layout),
+            d.metric,
+            fmt_us(&d.baseline),
+            fmt_us(&d.current),
+            d.cmp.ratio,
+            d.cmp.allowed_frac * 100.0,
+            verdict,
+        ));
+    }
+    for (backend, layout) in &outcome.new_cells {
+        out.push_str(&format!(
+            "{:<18} (new cell — no baseline entry; passes, --refresh to pin)\n",
+            format!("{backend}/{layout}")
+        ));
+    }
+    let cells: std::collections::BTreeSet<_> = outcome
+        .deltas
+        .iter()
+        .map(|d| (&d.backend, &d.layout))
+        .collect();
+    out.push_str(&format!(
+        "gate: {} metric(s) across {} cell(s) compared — {} regression(s), \
+         {} improvement(s), {} new cell(s): {}\n",
+        outcome.deltas.len(),
+        cells.len(),
+        outcome.regressions,
+        outcome.improvements,
+        outcome.new_cells.len(),
+        if outcome.passed() { "PASS" } else { "FAIL" },
+    ));
+    out
+}
+
+/// The measured grid as a markdown section for `results/REPORT.md`:
+/// per-cell medians plus the P-metric cascade with backends in the
+/// application role and layouts in the platform role — the repo's own
+/// measured mirror of the paper's Fig. 3 analysis, regenerated from the
+/// same grid the gate pins.
+pub fn report_section(cells: &[CellRecord], threads: u64, repeats: u64) -> String {
+    use std::fmt::Write as _;
+
+    let mut md = String::new();
+    let _ = writeln!(md, "## Perf regression gate (measured grid)\n");
+    let _ = writeln!(
+        md,
+        "Median-of-{repeats} per-iteration wall time at {threads} thread(s); \
+         dispersion is the interquartile range across repeats. The same\n\
+         grid is the committed `{BASELINE_FILE}` baseline the gate\n\
+         (`cargo run -p gaia-bench --bin gate`) compares against.\n"
+    );
+    let _ = writeln!(
+        md,
+        "| cell | aprod1 µs | aprod2 µs | iteration µs (±IQR) |\n|---|---|---|---|"
+    );
+    for c in cells {
+        let _ = writeln!(
+            md,
+            "| {} | {:.2} | {:.2} | {:.2} ±{:.2} |",
+            c.key(),
+            c.aprod1.median_s * 1e6,
+            c.aprod2.median_s * 1e6,
+            c.iteration.median_s * 1e6,
+            c.iteration.iqr_s * 1e6,
+        );
+    }
+    let (matrix, layouts) = pp_matrix(cells);
+    if layouts.len() > 1 {
+        let _ = writeln!(
+            md,
+            "\nP-metric cascade over the gate grid (backends as applications,\n\
+             layouts as platforms, `PlatformBest` normalization):\n"
+        );
+        let _ = writeln!(
+            md,
+            "```\n{}```",
+            gaia_p3::report::pp_table(&matrix, &layouts)
+        );
+        for app in matrix.apps() {
+            let cascade = gaia_p3::Cascade::build(&matrix, app, &layouts);
+            let _ = writeln!(md, "```\n{}```", gaia_p3::report::cascade_table(&cascade));
+        }
+    }
+    md
+}
+
+/// Build the efficiency matrix of the grid: iteration medians, backends
+/// as apps, layouts as platforms (in [`GATE_LAYOUTS`] order).
+pub fn pp_matrix(cells: &[CellRecord]) -> (gaia_p3::EfficiencyMatrix, Vec<String>) {
+    let mut set = gaia_p3::MeasurementSet::new();
+    for c in cells {
+        set.record(&c.backend, &c.layout, c.iteration.median_s);
+    }
+    let layouts: Vec<String> = GATE_LAYOUTS
+        .iter()
+        .filter(|l| cells.iter().any(|c| &c.layout == *l))
+        .map(|l| (*l).to_owned())
+        .collect();
+    (
+        set.efficiencies(gaia_p3::Normalization::PlatformBest),
+        layouts,
+    )
+}
+
+/// The P-metric JSON artifact regenerated on `--refresh`
+/// (`results/bench/gate_pp.json`).
+pub fn pp_json(cells: &[CellRecord]) -> serde_json::Value {
+    let (matrix, layouts) = pp_matrix(cells);
+    serde_json::json!({
+        "schema": "gaia-bench-gate-pp/v1",
+        "platforms": layouts,
+        "pp": matrix.apps().iter().map(|a| {
+            serde_json::json!({ "backend": a, "pp": matrix.pp(a, &layouts) })
+        }).collect::<Vec<_>>(),
+    })
+}

@@ -20,6 +20,13 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod gate;
+pub mod report_gen;
+pub mod stats;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
 use gaia_gpu_sim::{all_frameworks, all_platforms, iteration_time, SimConfig};
 use gaia_p3::MeasurementSet;
 use gaia_sparse::{SparseSystem, SystemLayout};
@@ -56,22 +63,68 @@ pub fn platform_set(gb: f64) -> Vec<String> {
         .collect()
 }
 
-/// Write a JSON artifact under `results/` (created on demand) so the
-/// figures can be re-plotted externally; prints the path.
-pub fn write_artifact(name: &str, json: &serde_json::Value) {
-    let dir = std::path::Path::new("results");
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return;
+/// Print a one-line error and exit nonzero — the clean failure mode for
+/// bench binaries fed bad CLI input or hitting unwritable artifact paths
+/// (no panic, no backtrace, no "success" after a swallowed warning).
+pub fn fatal(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}
+
+/// The workspace root every artifact is anchored at (nearest ancestor
+/// `Cargo.toml` declaring `[workspace]`; falls back to the CWD when run
+/// outside the repo).
+pub fn workspace_root() -> PathBuf {
+    gaia_telemetry::report::workspace_root()
+        .unwrap_or_else(|| std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")))
+}
+
+/// The `results/` directory artifacts land in: `GAIA_RESULTS_DIR` when
+/// set, else `<workspace root>/results` — never CWD-relative, so bench
+/// bins run from a crate subdirectory do not scatter artifact copies.
+pub fn results_dir() -> PathBuf {
+    gaia_telemetry::report::results_root()
+}
+
+/// The one fallible writer every artifact goes through: create parent
+/// directories, serialize, write. Callers must consume the `Result` —
+/// an artifact that was not written is a failed run, not a warning.
+pub fn write_json_file(path: &Path, json: &serde_json::Value) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
     }
-    let path = dir.join(name);
-    match std::fs::write(
-        &path,
-        serde_json::to_string_pretty(json).expect("serializable"),
-    ) {
-        Ok(()) => println!("[artifact] {}", path.display()),
-        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    let text = serde_json::to_string_pretty(json)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    std::fs::write(path, text)
+}
+
+/// Text twin of [`write_json_file`].
+pub fn write_text_file(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
     }
+    std::fs::write(path, contents)
+}
+
+/// Write a JSON artifact under [`results_dir`] (`name` may carry
+/// subdirectories, e.g. `bench/gate_report.json`); prints and returns
+/// the path written.
+pub fn write_artifact(name: &str, json: &serde_json::Value) -> io::Result<PathBuf> {
+    let path = results_dir().join(name);
+    write_json_file(&path, json)?;
+    println!("[artifact] {}", path.display());
+    Ok(path)
+}
+
+/// [`write_artifact`] for binaries: any I/O failure is fatal (exit 1)
+/// instead of a swallowed warning that lets a run "pass" while writing
+/// nothing.
+pub fn must_write_artifact(name: &str, json: &serde_json::Value) -> PathBuf {
+    write_artifact(name, json).unwrap_or_else(|e| fatal(&format!("cannot write {name}: {e}")))
 }
 
 /// Run one measured LSQR solve (fixed iterations) on an instrumented
@@ -81,6 +134,10 @@ pub fn write_artifact(name: &str, json: &serde_json::Value) {
 /// Built with `--no-default-features` the probes are no-ops: the JSON is
 /// still written (iteration history always exists) but the snapshot comes
 /// back empty with `"enabled": false`.
+/// A backend name that does not parse is user input, not a bug: fail
+/// with one clean line (registry names listed) and exit 1 instead of a
+/// panic + backtrace. An unwritable telemetry report is equally fatal —
+/// the report *is* the run's output.
 pub fn measured_run(
     run: &str,
     backend_name: &str,
@@ -88,31 +145,37 @@ pub fn measured_run(
     sys: &SparseSystem,
     iterations: usize,
 ) -> RunReport {
-    let backend =
-        gaia_backends::instrumented_by_name(backend_name, threads).expect("registry name");
+    let Some(backend) = gaia_backends::instrumented_by_name(backend_name, threads) else {
+        fatal(&format!(
+            "unknown backend `{backend_name}` (registry names: {}; tuned suffixes \
+             `-t<threads>[-c<chunks>]` accepted)",
+            gaia_backends::backend_names().join(", ")
+        ))
+    };
     gaia_telemetry::reset();
     let cfg = gaia_lsqr::LsqrConfig::fixed_iterations(iterations);
     let sol = gaia_lsqr::solve(sys, &backend, &cfg);
     let report = gaia_lsqr::run_report(run, &backend.name(), "lsqr", sys, &sol);
     match gaia_telemetry::report::write_report(&report) {
         Ok(path) => println!("[artifact] {}", path.display()),
-        Err(e) => eprintln!("warning: cannot write telemetry report: {e}"),
+        Err(e) => fatal(&format!("cannot write telemetry report for `{run}`: {e}")),
     }
     report
 }
 
-/// Write a text artifact (SVG, CSV, ...) under `results/`.
-pub fn write_text_artifact(name: &str, contents: &str) {
-    let dir = std::path::Path::new("results");
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return;
-    }
-    let path = dir.join(name);
-    match std::fs::write(&path, contents) {
-        Ok(()) => println!("[artifact] {}", path.display()),
-        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-    }
+/// Write a text artifact (SVG, CSV, markdown ...) under [`results_dir`];
+/// prints and returns the path written.
+pub fn write_text_artifact(name: &str, contents: &str) -> io::Result<PathBuf> {
+    let path = results_dir().join(name);
+    write_text_file(&path, contents)?;
+    println!("[artifact] {}", path.display());
+    Ok(path)
+}
+
+/// [`write_text_artifact`] for binaries: I/O failure is fatal (exit 1).
+pub fn must_write_text_artifact(name: &str, contents: &str) -> PathBuf {
+    write_text_artifact(name, contents)
+        .unwrap_or_else(|e| fatal(&format!("cannot write {name}: {e}")))
 }
 
 #[cfg(test)]

@@ -1,0 +1,208 @@
+//! Gate verdict logic, end to end minus the clocks: comparison math on
+//! synthetic cells, baseline round-trips, and every load-failure path
+//! the binary maps to exit code 2.
+
+use std::path::PathBuf;
+
+use gaia_bench::gate::{compare_grid, delta_table, Baseline, BaselineError, CellRecord, SCHEMA};
+use gaia_bench::stats::Summary;
+
+fn summary(median_s: f64, iqr_s: f64) -> Summary {
+    Summary {
+        repeats: 5,
+        median_s,
+        iqr_s,
+        min_s: median_s - iqr_s / 2.0,
+        max_s: median_s + iqr_s / 2.0,
+    }
+}
+
+fn cell(backend: &str, layout: &str, median_s: f64) -> CellRecord {
+    CellRecord {
+        backend: backend.to_owned(),
+        layout: layout.to_owned(),
+        threads: 1,
+        n_rows: 1000,
+        n_cols: 100,
+        iterations: 10,
+        threshold_frac: 0.2,
+        aprod1: summary(median_s * 0.6, 0.0),
+        aprod2: summary(median_s * 0.4, 0.0),
+        iteration: summary(median_s, 0.0),
+    }
+}
+
+fn baseline_with(cells: Vec<CellRecord>) -> Baseline {
+    Baseline {
+        schema: SCHEMA.to_owned(),
+        note: "test fixture".to_owned(),
+        threads: 1,
+        available_parallelism: 1,
+        repeats: 5,
+        default_threshold_frac: 0.2,
+        cells,
+    }
+}
+
+/// Scale every metric of a cell — the synthetic-regression knob.
+fn scaled(c: &CellRecord, factor: f64) -> CellRecord {
+    let scale = |s: &Summary| Summary {
+        repeats: s.repeats,
+        median_s: s.median_s * factor,
+        iqr_s: s.iqr_s * factor,
+        min_s: s.min_s * factor,
+        max_s: s.max_s * factor,
+    };
+    CellRecord {
+        aprod1: scale(&c.aprod1),
+        aprod2: scale(&c.aprod2),
+        iteration: scale(&c.iteration),
+        ..c.clone()
+    }
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gaia_gate_math_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn identical_measurements_pass() {
+    let base = baseline_with(vec![
+        cell("seq", "small", 1e-3),
+        cell("atomic", "small", 2e-3),
+    ]);
+    let current = base.cells.clone();
+    let out = compare_grid(&base, &current, 1, None, 1.0);
+    assert!(out.passed());
+    assert_eq!(out.deltas.len(), 6, "3 metrics x 2 cells");
+    assert_eq!(out.regressions, 0);
+    assert_eq!(out.improvements, 0);
+    assert!(out.new_cells.is_empty());
+    assert!(out.threads_mismatch.is_none());
+    let table = delta_table(&out, &base);
+    assert!(table.contains("PASS"), "{table}");
+    assert!(!table.contains("REGRESSION"), "{table}");
+}
+
+#[test]
+fn synthetic_regression_fails_with_a_readable_table() {
+    let base = baseline_with(vec![
+        cell("seq", "small", 1e-3),
+        cell("atomic", "small", 2e-3),
+    ]);
+    // Inflate one cell well past its 20 % band: the gate must fail.
+    let current = vec![scaled(&base.cells[0], 2.0), base.cells[1].clone()];
+    let out = compare_grid(&base, &current, 1, None, 1.0);
+    assert!(!out.passed());
+    assert_eq!(out.regressions, 3, "all three metrics of the inflated cell");
+    let table = delta_table(&out, &base);
+    assert!(table.contains("REGRESSION"), "{table}");
+    assert!(table.contains("FAIL"), "{table}");
+    assert!(table.contains("seq/small"), "{table}");
+}
+
+#[test]
+fn band_edge_is_inclusive_at_gate_level() {
+    let base = baseline_with(vec![cell("seq", "small", 1e-3)]);
+    // threshold_frac = 0.2, zero IQR: exactly +20 % passes...
+    let at_edge = compare_grid(&base, &[scaled(&base.cells[0], 1.2)], 1, None, 1.0);
+    assert!(at_edge.passed(), "{:?}", at_edge.deltas);
+    // ...and epsilon beyond it fails.
+    let over = compare_grid(&base, &[scaled(&base.cells[0], 1.2 + 1e-9)], 1, None, 1.0);
+    assert!(!over.passed());
+}
+
+#[test]
+fn band_override_replaces_the_stored_threshold() {
+    let base = baseline_with(vec![cell("seq", "small", 1e-3)]);
+    let current = vec![scaled(&base.cells[0], 1.5)];
+    // +50 % fails the stored 20 % band but passes a CI-wide 100 % one.
+    assert!(!compare_grid(&base, &current, 1, None, 1.0).passed());
+    assert!(compare_grid(&base, &current, 1, Some(1.0), 1.0).passed());
+}
+
+#[test]
+fn improvements_are_reported_not_failed() {
+    let base = baseline_with(vec![cell("seq", "small", 1e-3)]);
+    let out = compare_grid(&base, &[scaled(&base.cells[0], 0.5)], 1, None, 1.0);
+    assert!(out.passed());
+    assert_eq!(out.improvements, 3);
+    assert!(delta_table(&out, &base).contains("improved"));
+}
+
+#[test]
+fn missing_baseline_cell_is_a_new_cell_not_a_failure() {
+    let base = baseline_with(vec![cell("seq", "small", 1e-3)]);
+    let current = vec![base.cells[0].clone(), cell("striped", "small", 1.5e-3)];
+    let out = compare_grid(&base, &current, 1, None, 1.0);
+    assert!(out.passed());
+    assert_eq!(
+        out.new_cells,
+        vec![("striped".to_owned(), "small".to_owned())]
+    );
+    // Only the matched cell contributes compared metrics.
+    assert_eq!(out.deltas.len(), 3);
+    let table = delta_table(&out, &base);
+    assert!(table.contains("new cell"), "{table}");
+}
+
+#[test]
+fn thread_budget_mismatch_is_flagged_but_not_fatal() {
+    let base = baseline_with(vec![cell("seq", "small", 1e-3)]);
+    let out = compare_grid(&base, &base.cells.clone(), 8, None, 1.0);
+    assert!(out.passed());
+    assert_eq!(out.threads_mismatch, Some((1, 8)));
+    assert!(delta_table(&out, &base).contains("thread budgets differ"));
+}
+
+#[test]
+fn baseline_round_trips_through_the_schema() {
+    let base = baseline_with(vec![
+        cell("seq", "tiny", 5e-5),
+        cell("chunked", "medium", 4e-3),
+    ]);
+    let path = temp_path("roundtrip.json");
+    base.save(&path).expect("save baseline");
+    let loaded = Baseline::load(&path).expect("load baseline");
+    assert_eq!(loaded, base);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_baseline_file_is_a_distinct_actionable_error() {
+    let path = temp_path("does_not_exist.json");
+    match Baseline::load(&path) {
+        Err(e @ BaselineError::Missing(_)) => {
+            assert!(e.to_string().contains("--refresh"), "{e}");
+        }
+        other => panic!("expected Missing, got {other:?}"),
+    }
+}
+
+#[test]
+fn pre_gate_schema_is_rejected_with_a_migration_hint() {
+    // The old executor_overhead format: valid JSON, no schema tag.
+    let path = temp_path("legacy.json");
+    std::fs::write(&path, r#"{"bench": "executor_overhead", "threads": 4}"#).unwrap();
+    match Baseline::load(&path) {
+        Err(e @ BaselineError::Schema(_, _)) => {
+            let msg = e.to_string();
+            assert!(msg.contains(SCHEMA) && msg.contains("--refresh"), "{msg}");
+        }
+        other => panic!("expected Schema, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn garbage_baseline_is_a_parse_error() {
+    let path = temp_path("garbage.json");
+    std::fs::write(&path, "not json at all {").unwrap();
+    assert!(matches!(
+        Baseline::load(&path),
+        Err(BaselineError::Parse(_, _))
+    ));
+    std::fs::remove_file(&path).ok();
+}

@@ -218,6 +218,37 @@ impl AnalyzeCell {
     }
 }
 
+/// Perf-gate accounting — what the noise-aware regression gate
+/// (`gaia-bench --bin gate`) measured and decided. One gate run records
+/// how many grid cells it timed (and with how many repeats), how many it
+/// could compare against the committed baseline, and the comparison
+/// verdicts; `measure_seconds` is the wall-clock spent inside the timed
+/// kernel sections, so run reports show what the gate itself cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct GateCell {
+    /// Grid cells (backend × layout) timed by the gate run.
+    pub cells_measured: u64,
+    /// Total timing repeats executed across all cells (median-of-K).
+    pub repeats: u64,
+    /// Cells that had a baseline counterpart and were compared.
+    pub cells_compared: u64,
+    /// Metrics whose ratio exceeded the noise-aware band (gate failures).
+    pub regressions: u64,
+    /// Metrics faster than the band's lower edge (reported, not failing).
+    pub improvements: u64,
+    /// Measured cells with no baseline counterpart (new grid entries).
+    pub new_cells: u64,
+    /// Wall-clock spent inside the gate's timed kernel sections.
+    pub measure_seconds: f64,
+}
+
+impl GateCell {
+    /// True when no gate activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == GateCell::default()
+    }
+}
+
 /// Verification accounting — schedule-exploration and metamorphic-suite
 /// counters plus the worst cross-backend trajectory divergence observed,
 /// in ULPs. Written by `gaia-verify`; the divergence cell is what the
@@ -273,6 +304,10 @@ pub struct TelemetrySnapshot {
     /// the serde default).
     #[serde(default)]
     pub analyze: AnalyzeCell,
+    /// Perf-gate accounting (absent in pre-gate artifacts, hence the
+    /// serde default).
+    #[serde(default)]
+    pub gate: GateCell,
 }
 
 impl TelemetrySnapshot {
@@ -294,6 +329,7 @@ impl TelemetrySnapshot {
             pool: PoolCell::default(),
             verify: VerifyCell::default(),
             analyze: AnalyzeCell::default(),
+            gate: GateCell::default(),
         }
     }
 
@@ -566,6 +602,68 @@ mod imp {
         }
     }
 
+    /// Atomic mirror of [`super::GateCell`]; seconds kept as nanos.
+    pub struct Gate {
+        pub cells_measured: AtomicU64,
+        pub repeats: AtomicU64,
+        pub cells_compared: AtomicU64,
+        pub regressions: AtomicU64,
+        pub improvements: AtomicU64,
+        pub new_cells: AtomicU64,
+        pub measure_nanos: AtomicU64,
+    }
+
+    impl Gate {
+        const fn new() -> Self {
+            Gate {
+                cells_measured: AtomicU64::new(0),
+                repeats: AtomicU64::new(0),
+                cells_compared: AtomicU64::new(0),
+                regressions: AtomicU64::new(0),
+                improvements: AtomicU64::new(0),
+                new_cells: AtomicU64::new(0),
+                measure_nanos: AtomicU64::new(0),
+            }
+        }
+
+        fn reset(&self) {
+            self.cells_measured.store(0, Ordering::Relaxed);
+            self.repeats.store(0, Ordering::Relaxed);
+            self.cells_compared.store(0, Ordering::Relaxed);
+            self.regressions.store(0, Ordering::Relaxed);
+            self.improvements.store(0, Ordering::Relaxed);
+            self.new_cells.store(0, Ordering::Relaxed);
+            self.measure_nanos.store(0, Ordering::Relaxed);
+        }
+
+        pub fn merge(&self, delta: &super::GateCell) {
+            self.cells_measured
+                .fetch_add(delta.cells_measured, Ordering::Relaxed);
+            self.repeats.fetch_add(delta.repeats, Ordering::Relaxed);
+            self.cells_compared
+                .fetch_add(delta.cells_compared, Ordering::Relaxed);
+            self.regressions
+                .fetch_add(delta.regressions, Ordering::Relaxed);
+            self.improvements
+                .fetch_add(delta.improvements, Ordering::Relaxed);
+            self.new_cells.fetch_add(delta.new_cells, Ordering::Relaxed);
+            self.measure_nanos
+                .fetch_add((delta.measure_seconds * 1e9) as u64, Ordering::Relaxed);
+        }
+
+        pub fn cell(&self) -> super::GateCell {
+            super::GateCell {
+                cells_measured: self.cells_measured.load(Ordering::Relaxed),
+                repeats: self.repeats.load(Ordering::Relaxed),
+                cells_compared: self.cells_compared.load(Ordering::Relaxed),
+                regressions: self.regressions.load(Ordering::Relaxed),
+                improvements: self.improvements.load(Ordering::Relaxed),
+                new_cells: self.new_cells.load(Ordering::Relaxed),
+                measure_seconds: self.measure_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            }
+        }
+    }
+
     pub struct Registry {
         pub kernels: [[Stats; 4]; 2],
         pub calls: [Stats; 2],
@@ -574,6 +672,7 @@ mod imp {
         pub pool: Pool,
         pub verify: Verify,
         pub analyze: Analyze,
+        pub gate: Gate,
     }
 
     pub static REGISTRY: Registry = Registry {
@@ -584,6 +683,7 @@ mod imp {
         pool: Pool::new(),
         verify: Verify::new(),
         analyze: Analyze::new(),
+        gate: Gate::new(),
     };
 
     pub fn reset() {
@@ -600,6 +700,11 @@ mod imp {
         REGISTRY.pool.reset();
         REGISTRY.verify.reset();
         REGISTRY.analyze.reset();
+        REGISTRY.gate.reset();
+    }
+
+    pub fn record_gate(delta: &super::GateCell) {
+        REGISTRY.gate.merge(delta);
     }
 
     pub fn record_analyze_plan(sections: u64, violations: u64) {
@@ -781,6 +886,9 @@ mod imp {
 
     #[inline(always)]
     pub fn record_analyze_lint(_files: u64, _diagnostics: u64, _suppressions: u64) {}
+
+    #[inline(always)]
+    pub fn record_gate(_delta: &super::GateCell) {}
 }
 
 /// RAII timing probe returned by [`kernel_scope`], [`call_scope`], and
@@ -884,6 +992,14 @@ pub fn record_analyze_lint(files: u64, diagnostics: u64, suppressions: u64) {
     imp::record_analyze_lint(files, diagnostics, suppressions)
 }
 
+/// Merge perf-gate counts into the registry's gate cell (no-op when
+/// telemetry is compiled out). The gate calls this once per run with the
+/// totals it just measured and compared.
+#[inline]
+pub fn record_gate(delta: &GateCell) {
+    imp::record_gate(delta)
+}
+
 /// Freeze the registry into a serializable snapshot. Disabled builds
 /// return [`TelemetrySnapshot::empty`] with `enabled: false`.
 pub fn snapshot() -> TelemetrySnapshot {
@@ -908,6 +1024,7 @@ pub fn snapshot() -> TelemetrySnapshot {
         snap.pool = imp::REGISTRY.pool.cell();
         snap.verify = imp::REGISTRY.verify.cell();
         snap.analyze = imp::REGISTRY.analyze.cell();
+        snap.gate = imp::REGISTRY.gate.cell();
         snap
     }
     #[cfg(not(feature = "enabled"))]
@@ -1016,6 +1133,20 @@ pub fn kernel_table(snap: &TelemetrySnapshot) -> String {
             a.lint_files,
             a.lint_diagnostics,
             a.lint_suppressions,
+        ));
+    }
+    if !snap.gate.is_empty() {
+        let g = &snap.gate;
+        out.push_str(&format!(
+            "gate: {} cell(s) measured ({} repeat(s), {:.3} s timing), \
+             {} compared, {} regression(s), {} improvement(s), {} new\n",
+            g.cells_measured,
+            g.repeats,
+            g.measure_seconds,
+            g.cells_compared,
+            g.regressions,
+            g.improvements,
+            g.new_cells,
         ));
     }
     out
@@ -1180,6 +1311,37 @@ mod tests {
         assert!(table.contains("analyze:"), "{table}");
         reset();
         assert!(snapshot().analyze.is_empty());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn gate_counters_accumulate_and_reset() {
+        reset();
+        record_gate(&GateCell {
+            cells_measured: 15,
+            repeats: 105,
+            measure_seconds: 1.25,
+            ..Default::default()
+        });
+        record_gate(&GateCell {
+            cells_compared: 15,
+            regressions: 2,
+            improvements: 1,
+            new_cells: 3,
+            ..Default::default()
+        });
+        let snap = snapshot();
+        assert_eq!(snap.gate.cells_measured, 15);
+        assert_eq!(snap.gate.repeats, 105);
+        assert_eq!(snap.gate.cells_compared, 15);
+        assert_eq!(snap.gate.regressions, 2);
+        assert_eq!(snap.gate.improvements, 1);
+        assert_eq!(snap.gate.new_cells, 3);
+        assert!((snap.gate.measure_seconds - 1.25).abs() < 1e-6);
+        let table = kernel_table(&snap);
+        assert!(table.contains("gate:"), "{table}");
+        reset();
+        assert!(snapshot().gate.is_empty());
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Machine-readable run reports: one JSON artifact per measured solve,
 //! pairing the solver's convergence history with the per-kernel telemetry
-//! snapshot. Artifacts land under `results/telemetry/` so external
-//! plotting can consume them the same way it consumes the `results/*.json`
-//! figures.
+//! snapshot. Artifacts land under `results/telemetry/` — anchored at the
+//! workspace root (see [`results_root`]) rather than the CWD, so running
+//! a bin from a crate subdirectory cannot scatter artifacts — and
+//! external plotting can consume them the same way it consumes the
+//! `results/*.json` figures.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -64,9 +66,53 @@ impl RunReport {
     }
 }
 
-/// Directory the JSON artifacts are written to, relative to the working
-/// directory of the run.
-pub const TELEMETRY_DIR: &str = "results/telemetry";
+/// Subdirectory of the results root the JSON artifacts are written to.
+pub const TELEMETRY_DIR: &str = "telemetry";
+
+/// The workspace root: the nearest ancestor of `start` whose `Cargo.toml`
+/// declares `[workspace]`. Artifact paths are anchored here so running a
+/// bin from a crate subdirectory does not scatter `results/` copies
+/// around the tree.
+pub fn workspace_root_from(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if let Ok(manifest) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+            if manifest.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// [`workspace_root_from`] starting at the process working directory.
+pub fn workspace_root() -> Option<PathBuf> {
+    workspace_root_from(&std::env::current_dir().ok()?)
+}
+
+/// Resolve the artifact root: an explicit override wins, otherwise
+/// `<workspace root>/results`, otherwise plain `results` under `start`
+/// (no workspace found — e.g. an installed binary run elsewhere).
+pub fn resolve_results_root(override_dir: Option<PathBuf>, start: &Path) -> PathBuf {
+    if let Some(dir) = override_dir {
+        return dir;
+    }
+    match workspace_root_from(start) {
+        Some(root) => root.join("results"),
+        None => start.join("results"),
+    }
+}
+
+/// The directory every `results/` artifact is anchored at: the
+/// `GAIA_RESULTS_DIR` environment variable when set, else
+/// `<workspace root>/results` regardless of the current directory.
+pub fn results_root() -> PathBuf {
+    let override_dir = std::env::var_os("GAIA_RESULTS_DIR").map(PathBuf::from);
+    let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    resolve_results_root(override_dir, &start)
+}
 
 /// The path `write_report` would use for a run name.
 pub fn report_path(run: &str) -> PathBuf {
@@ -80,7 +126,9 @@ pub fn report_path(run: &str) -> PathBuf {
             }
         })
         .collect();
-    Path::new(TELEMETRY_DIR).join(format!("{stem}.json"))
+    results_root()
+        .join(TELEMETRY_DIR)
+        .join(format!("{stem}.json"))
 }
 
 /// Serialize `report` to `results/telemetry/{run}.json` (directory created
@@ -154,6 +202,47 @@ mod tests {
     #[test]
     fn report_path_sanitizes_names() {
         let p = report_path("profile atomic-t4/x");
-        assert_eq!(p, Path::new(TELEMETRY_DIR).join("profile_atomic-t4_x.json"));
+        assert_eq!(
+            p.file_name().and_then(|n| n.to_str()),
+            Some("profile_atomic-t4_x.json")
+        );
+        assert!(
+            p.parent().is_some_and(|d| d.ends_with("results/telemetry")),
+            "{}",
+            p.display()
+        );
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_a_crate_subdir() {
+        // Unit tests run with CWD at the crate dir; the anchor must still
+        // be the workspace root two levels up.
+        let root = workspace_root().expect("inside the workspace");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates").join("telemetry").exists());
+        let here = std::env::current_dir().unwrap();
+        assert_eq!(workspace_root_from(&here), Some(root));
+    }
+
+    #[test]
+    fn results_root_resolution_prefers_override_then_workspace() {
+        let tmp = std::env::temp_dir().join("gaia-telemetry-results-root-test");
+        let nested = tmp.join("ws").join("crates").join("x");
+        std::fs::create_dir_all(&nested).unwrap();
+        std::fs::write(tmp.join("ws").join("Cargo.toml"), "[workspace]\n").unwrap();
+
+        // Explicit override wins unconditionally.
+        let forced = resolve_results_root(Some(PathBuf::from("/tmp/forced")), &nested);
+        assert_eq!(forced, PathBuf::from("/tmp/forced"));
+
+        // Otherwise the nearest `[workspace]` manifest anchors the root.
+        let anchored = resolve_results_root(None, &nested);
+        assert_eq!(anchored, tmp.join("ws").join("results"));
+
+        // With no workspace above, fall back to `start/results`.
+        let orphan = std::env::temp_dir();
+        assert_eq!(resolve_results_root(None, &orphan), orphan.join("results"));
+
+        let _ = std::fs::remove_dir_all(&tmp);
     }
 }
