@@ -28,9 +28,13 @@ pub const ANNOTATION_WINDOW: usize = 6;
 /// counts, but a directive stranded above unrelated code does not).
 pub const SUPPRESS_WINDOW: usize = 6;
 
-/// The file allowed to spawn OS threads: everything else must go through
-/// `ExecutorPool`.
-pub const SPAWN_ALLOWED_FILE: &str = "crates/backends/src/exec.rs";
+/// The files allowed to spawn OS threads: everything else must go
+/// through `ExecutorPool`. Two deliberate entries — the pool's own
+/// worker spawn, and the solve service's long-lived worker threads
+/// (which exist precisely to multiplex tenants *onto* the shared pool;
+/// per-request spawning anywhere in serve is still a violation).
+pub const SPAWN_ALLOWED_FILES: &[&str] =
+    &["crates/backends/src/exec.rs", "crates/serve/src/service.rs"];
 
 /// The crate allowed to read clocks: all timing flows through telemetry.
 pub const TIMING_ALLOWED_PREFIX: &str = "crates/telemetry/";
@@ -307,9 +311,9 @@ fn rule_ordering(ctx: &mut Ctx<'_>) {
 }
 
 /// `thread-spawn`: OS threads are the executor pool's business; nothing
-/// outside [`SPAWN_ALLOWED_FILE`] may create them (tests excepted).
+/// outside [`SPAWN_ALLOWED_FILES`] may create them (tests excepted).
 fn rule_thread_spawn(ctx: &mut Ctx<'_>) {
-    if ctx.path == SPAWN_ALLOWED_FILE {
+    if SPAWN_ALLOWED_FILES.contains(&ctx.path) {
         return;
     }
     for line in 1..=ctx.view.lines.len() {
@@ -325,8 +329,9 @@ fn rule_thread_spawn(ctx: &mut Ctx<'_>) {
             line,
             "thread-spawn",
             format!(
-                "`{pattern}` outside `{SPAWN_ALLOWED_FILE}` — route work \
-                 through `ExecutorPool` so threads are pooled and observable"
+                "`{pattern}` outside the spawn allowlist ({}) — route work \
+                 through `ExecutorPool` so threads are pooled and observable",
+                SPAWN_ALLOWED_FILES.join(", ")
             ),
         );
     }
@@ -359,8 +364,13 @@ fn rule_timing(ctx: &mut Ctx<'_>) {
 }
 
 /// Is this file a kernel hot path (launch layer, kernels, or a backend
-/// policy struct)?
+/// policy struct) or the serve request path? Serve source counts: a
+/// panic in a service worker silently kills the lane draining every
+/// tenant's queue, so panicking shortcuts are held to kernel standards.
 fn is_hot_path(path: &str) -> bool {
+    if path.starts_with("crates/serve/src/") {
+        return true;
+    }
     let file = path.rsplit('/').next().unwrap_or(path);
     file == "launch.rs" || file == "kernels.rs" || file.starts_with("backend_")
 }
@@ -478,10 +488,17 @@ mod tests {
     }
 
     #[test]
-    fn spawn_is_exec_only_and_test_exempt() {
+    fn spawn_is_allowlisted_and_test_exempt() {
         let bad = "std::thread::spawn(|| {});";
         assert_eq!(rules_of("crates/x/src/a.rs", bad), vec!["thread-spawn"]);
         assert!(rules_of("crates/backends/src/exec.rs", bad).is_empty());
+        // The serve worker spawn site is the one deliberate extension;
+        // the rest of the serve crate is still spawn-free.
+        assert!(rules_of("crates/serve/src/service.rs", bad).is_empty());
+        assert_eq!(
+            rules_of("crates/serve/src/queue.rs", bad),
+            vec!["thread-spawn"]
+        );
         assert!(rules_of("crates/x/tests/a.rs", bad).is_empty());
         let in_test_mod =
             "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::scope(|_| {}); }\n}";
@@ -507,6 +524,13 @@ mod tests {
             rules_of("crates/backends/src/backend_atomic.rs", bad),
             vec!["hot-unwrap"]
         );
+        // The serve request path is held to kernel standards: a panic in
+        // a worker kills the lane draining every tenant's queue.
+        assert_eq!(
+            rules_of("crates/serve/src/service.rs", bad),
+            vec!["hot-unwrap"]
+        );
+        assert!(rules_of("crates/serve/tests/service.rs", bad).is_empty());
         assert!(rules_of("crates/backends/src/registry.rs", bad).is_empty());
     }
 

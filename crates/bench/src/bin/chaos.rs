@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use gaia_backends::{Backend, SeqBackend};
+use gaia_bench::sweep::{summary_block, SummaryRow};
 use gaia_lsqr::resilient::{OnUnrecoverable, RecoveryPolicy, ResilienceOptions};
 use gaia_lsqr::{solve_distributed, solve_resilient, LsqrConfig};
 use gaia_mpi_sim::{install_quiet_panic_hook, FaultPlan, FaultSpec};
@@ -77,6 +78,7 @@ fn main() {
                 backoff: Duration::ZERO,
                 checkpoint_every: 2,
                 on_unrecoverable: OnUnrecoverable::Degrade,
+                ..RecoveryPolicy::default()
             },
         ),
         (
@@ -86,6 +88,7 @@ fn main() {
                 backoff: Duration::ZERO,
                 checkpoint_every: 10,
                 on_unrecoverable: OnUnrecoverable::Degrade,
+                ..RecoveryPolicy::default()
             },
         ),
         (
@@ -95,6 +98,7 @@ fn main() {
                 backoff: Duration::ZERO,
                 checkpoint_every: 0,
                 on_unrecoverable: OnUnrecoverable::Degrade,
+                ..RecoveryPolicy::default()
             },
         ),
     ];
@@ -110,8 +114,19 @@ fn main() {
 
     let mut cells = Vec::new();
     let mut failures = 0usize;
+    // One aggregate row per recovery policy, totalled across fault
+    // levels — the shared `gaia-sweep-summary/v1` shape the overload
+    // sweep also emits, so resilience diffs across PRs compare like
+    // with like.
+    let mut rows: Vec<SummaryRow> = policies
+        .iter()
+        .map(|(name, _)| SummaryRow {
+            group: format!("policy={name}"),
+            ..SummaryRow::default()
+        })
+        .collect();
     for (level_name, spec) in &fault_levels {
-        for (policy_name, policy) in &policies {
+        for (policy_idx, (policy_name, policy)) in policies.iter().enumerate() {
             let plan = Arc::new(FaultPlan::new(seed, *spec));
             let result = solve_resilient(
                 &sys,
@@ -125,12 +140,20 @@ fn main() {
                     ..Default::default()
                 },
             );
+            let row = &mut rows[policy_idx];
+            row.runs += 1;
             let cell = match result {
                 Ok(report) => {
                     let converged = report.solution.stop.converged();
                     if !converged {
                         failures += 1;
+                        row.failures += 1;
+                    } else if report.final_ranks < ranks || report.telemetry.degradations > 0 {
+                        row.degraded += 1;
+                    } else {
+                        row.converged += 1;
                     }
+                    row.recoveries += report.telemetry.retries;
                     let max_dx = report
                         .solution
                         .x
@@ -171,6 +194,7 @@ fn main() {
                 }
                 Err(err) => {
                     failures += 1;
+                    row.failures += 1;
                     println!("  {:<8} {:<22} {:>5}  {err}", level_name, policy_name, "NO");
                     serde_json::json!({
                         "faults": level_name,
@@ -190,6 +214,7 @@ fn main() {
         "ranks": ranks,
         "reference_iterations": reference.iterations,
         "cells": cells,
+        "summary": summary_block(&rows),
     });
     gaia_bench::must_write_artifact("chaos/sweep.json", &artifact);
 

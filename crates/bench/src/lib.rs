@@ -23,6 +23,7 @@
 pub mod gate;
 pub mod report_gen;
 pub mod stats;
+pub mod sweep;
 
 use std::io;
 use std::path::{Path, PathBuf};

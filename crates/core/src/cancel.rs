@@ -1,0 +1,146 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`CancellationToken`] is a cloneable handle shared between the party
+//! running a solve and the party that may need to stop it (a serving
+//! layer enforcing per-request deadlines, an operator, a supervisor).
+//! Cancellation is *cooperative*: the solver checks the token once per
+//! iteration at the same hook point as the numerical health guards, so a
+//! cancelled solve always stops on a complete iteration — the state at
+//! the stop is a valid checkpoint, never a half-updated iterate.
+//!
+//! Two triggers latch the token:
+//!
+//! * an explicit [`CancellationToken::cancel`] call, and
+//! * an optional **deadline** fixed at construction
+//!   ([`CancellationToken::with_timeout`]); the first observation past
+//!   the deadline latches the flag, so later checks are a cheap atomic
+//!   load.
+//!
+//! In the distributed solve the token is observed per rank but the stop
+//! decision is collective (the flag rides the per-iteration
+//! Max-allreduce, see [`crate::distributed`]), so every rank cancels at
+//! the same iteration and the replicated state stays bit-identical.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ORDERING: the cancelled flag is a monotonic latch (false -> true, never
+// back). Relaxed is sufficient: observers only need to eventually see the
+// latch, and the solver re-checks every iteration; no other memory is
+// published through the flag.
+
+/// A cloneable, latching cancellation handle with an optional deadline.
+///
+/// `Default` constructs a token that never fires on its own (no
+/// deadline), matching "no cancellation requested".
+#[derive(Clone, Debug, Default)]
+pub struct CancellationToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancellationToken {
+    /// A token with no deadline; fires only on [`cancel`](Self::cancel).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that auto-cancels once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancellationToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// A token that auto-cancels `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        // gaia-analyze: allow(timing): deadline arithmetic needs the real
+        // clock; this is control flow, not a perf measurement.
+        let now = Instant::now();
+        Self::with_deadline(now + timeout)
+    }
+
+    /// Latch the token: every subsequent [`is_cancelled`](Self::is_cancelled)
+    /// returns `true`.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the token been cancelled (explicitly or by deadline expiry)?
+    /// Deadline expiry latches the flag, so the deadline clock is read at
+    /// most until the first expired observation.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            // gaia-analyze: allow(timing): deadline arithmetic needs the
+            // real clock; this is control flow, not a perf measurement.
+            if Instant::now() >= deadline {
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The deadline, when one was set at construction.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time left until the deadline (`None` without a deadline; zero once
+    /// expired or explicitly cancelled).
+    pub fn remaining(&self) -> Option<Duration> {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return self.inner.deadline.map(|_| Duration::ZERO);
+        }
+        // gaia-analyze: allow(timing): deadline arithmetic needs the real
+        // clock; this is control flow, not a perf measurement.
+        let now = Instant::now();
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_latches_and_is_shared_across_clones() {
+        let token = CancellationToken::new();
+        let peer = token.clone();
+        assert!(!token.is_cancelled());
+        peer.cancel();
+        assert!(token.is_cancelled());
+        assert!(peer.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expiry_cancels_without_an_explicit_call() {
+        let token = CancellationToken::with_timeout(Duration::ZERO);
+        assert!(token.is_cancelled());
+        let generous = CancellationToken::with_timeout(Duration::from_secs(3600));
+        assert!(!generous.is_cancelled());
+        assert!(generous.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn default_token_never_fires_on_its_own() {
+        let token = CancellationToken::default();
+        assert!(!token.is_cancelled());
+        assert!(token.deadline().is_none());
+        assert!(token.remaining().is_none());
+    }
+}

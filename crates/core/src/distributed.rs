@@ -28,6 +28,7 @@ use gaia_mpi_sim::{try_run, Communicator, FaultError, ReduceOp, WorldOptions};
 use gaia_sparse::system::{ASTRO_NNZ_PER_ROW, ATT_NNZ_PER_ROW, INSTR_NNZ_PER_ROW};
 use gaia_sparse::{RowPartition, SparseSystem, SystemLayout};
 
+use crate::cancel::CancellationToken;
 use crate::config::LsqrConfig;
 use crate::health;
 use crate::lsqr::LsqrState;
@@ -161,6 +162,13 @@ pub struct DistOptions<'a> {
     pub checkpoint_every: usize,
     /// Receiver of the periodic snapshots (rank 0 only).
     pub checkpoint_sink: Option<CheckpointSink<'a>>,
+    /// Cooperative cancellation (deadline or explicit). Each rank reads
+    /// the token locally, but the stop decision is collective: the
+    /// cancel flag rides the per-iteration Max-allreduce, so every rank
+    /// stops at the same iteration with identical replicated state. When
+    /// periodic checkpointing is on, a final checkpoint is taken at the
+    /// cancellation iteration before returning.
+    pub cancel: Option<CancellationToken>,
 }
 
 /// Solve `sys` on `n_ranks` simulated MPI ranks, each running the
@@ -537,29 +545,81 @@ fn rank_solve(
             seconds: 0.0, // patched with the reduced max below
         });
         let local_secs = t_iter.elapsed().as_secs_f64();
-        let broken = if cfg.health.enabled {
+        // The stop flag rides the seconds Max-allreduce: 2.0 = cancelled
+        // (a deadline observed by *any* rank cancels all of them at this
+        // iteration), 1.0 = health breakdown, 0.0 = keep going. Encoding
+        // both in one payload keeps the collective schedule identical on
+        // every rank even when ranks observe the token at different times.
+        let cancel_flag: f64 = if opts.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            2.0
+        } else {
+            0.0
+        };
+        let stop_flag = if cfg.health.enabled {
             let issue = health::check_components(
                 &cfg.health,
                 &[alfa, beta, rnorm, arnorm, xnorm],
                 &[('x', &x), ('v', &v), ('u', &u)],
                 &history,
             );
-            let mut payload = [local_secs, if issue.is_some() { 1.0 } else { 0.0 }];
+            let health_flag = if issue.is_some() { 1.0 } else { 0.0 };
+            let mut payload = [local_secs, cancel_flag.max(health_flag)];
             {
                 let _t = gaia_telemetry::collective_scope();
                 comm.allreduce(ReduceOp::Max, &mut payload);
             }
             history.last_mut().expect("just pushed").seconds = payload[0];
-            payload[1] > 0.0
+            payload[1]
+        } else if opts.cancel.is_some() {
+            let mut payload = [local_secs, cancel_flag];
+            {
+                let _t = gaia_telemetry::collective_scope();
+                comm.allreduce(ReduceOp::Max, &mut payload);
+            }
+            history.last_mut().expect("just pushed").seconds = payload[0];
+            payload[1]
         } else {
             let max_secs = {
                 let _t = gaia_telemetry::collective_scope();
                 comm.allreduce_scalar(ReduceOp::Max, local_secs)
             };
             history.last_mut().expect("just pushed").seconds = max_secs;
-            false
+            0.0
         };
-        if broken {
+        if stop_flag >= 2.0 {
+            istop = StopReason::Cancelled;
+            // Final checkpoint at the cancellation iteration so recovery
+            // resumes exactly where the deadline struck. Every rank got
+            // the same reduced flag, so all of them reach this allgather.
+            if opts.checkpoint_every > 0 {
+                let gathered = {
+                    let mut t = gaia_telemetry::collective_scope();
+                    t.add_bytes(u.len() as u64 * 8);
+                    comm.allgather(&u)
+                };
+                if comm.rank() == 0 {
+                    if let Some(sink) = opts.checkpoint_sink {
+                        let u_full: Vec<f64> = gathered.concat();
+                        debug_assert_eq!(u_full.len(), m);
+                        sink(&snapshot(
+                            itn,
+                            u_full,
+                            &x,
+                            &v,
+                            &w,
+                            &var,
+                            &history,
+                            &[
+                                alfa, beta, rhobar, phibar, anorm, acond, ddnorm, res2, rnorm,
+                                arnorm, xnorm, xxnorm, z, cs2, sn2, bnorm,
+                            ],
+                        ));
+                    }
+                }
+            }
+            break;
+        }
+        if stop_flag >= 1.0 {
             istop = StopReason::NumericalBreakdown;
             break;
         }
@@ -766,6 +826,53 @@ mod tests {
             hybrid.iterations,
             reference.iterations
         );
+    }
+
+    #[test]
+    fn cancelled_distributed_solve_stops_consistently_and_checkpoints() {
+        use crate::cancel::CancellationToken;
+        use std::sync::Mutex;
+        let sys = system(305);
+        let token = CancellationToken::new();
+        token.cancel();
+        let taken: Mutex<Option<LsqrState>> = Mutex::new(None);
+        let sink = |st: &LsqrState| {
+            *taken.lock().unwrap() = Some(st.clone());
+        };
+        let sol = try_solve_hybrid(
+            &sys,
+            3,
+            &LsqrConfig::new(),
+            |_| Box::new(SeqBackend),
+            &DistOptions {
+                checkpoint_every: 2,
+                checkpoint_sink: Some(&sink),
+                cancel: Some(token),
+                ..Default::default()
+            },
+        )
+        .expect("cancellation is a clean stop, not a fault");
+        // A token cancelled before launch stops every rank at the first
+        // iteration boundary — one complete iteration, then Cancelled.
+        assert_eq!(sol.stop, StopReason::Cancelled);
+        assert_eq!(sol.iterations, 1);
+        // The cancellation checkpoint exists and resumes to convergence.
+        let st = taken.lock().unwrap().clone().expect("cancel checkpoint");
+        assert_eq!(st.itn, 1);
+        let resumed = try_solve_hybrid(
+            &sys,
+            3,
+            &LsqrConfig::new(),
+            |_| Box::new(SeqBackend),
+            &DistOptions {
+                resume: Some(&st),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reference = solve_distributed(&sys, 3, &LsqrConfig::new());
+        assert!(resumed.stop.converged(), "{:?}", resumed.stop);
+        assert_eq!(resumed.x, reference.x, "resume must be bit-identical");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod cancel;
 pub mod checkpoint;
 pub mod config;
 pub mod distributed;
@@ -39,6 +40,7 @@ pub mod solution;
 pub mod validate;
 
 pub use analysis::{convergence_profile, ConvergenceProfile};
+pub use cancel::CancellationToken;
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointRotation};
 pub use config::LsqrConfig;
 pub use distributed::{solve_distributed, solve_hybrid, try_solve_hybrid, DistOptions};
@@ -48,8 +50,8 @@ pub use lsqr::{solve, Lsqr, TrajectorySample};
 pub use perf::run_report;
 pub use precond::ColumnScaling;
 pub use resilient::{
-    solve_resilient, OnUnrecoverable, RecoveryPolicy, RecoveryReport, ResilienceOptions,
-    Unrecoverable,
+    jittered_backoff, solve_resilient, OnUnrecoverable, RecoveryPolicy, RecoveryReport,
+    ResilienceOptions, Unrecoverable,
 };
 pub use solution::{IterationStats, Solution, StopReason};
 pub use validate::{compare_solutions, Agreement, MICRO_ARCSEC_RAD};

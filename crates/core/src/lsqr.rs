@@ -25,6 +25,7 @@ use gaia_backends::{blas::d2norm, Backend};
 use gaia_sparse::SparseSystem;
 use serde::{Deserialize, Serialize};
 
+use crate::cancel::CancellationToken;
 use crate::config::LsqrConfig;
 use crate::precond::ColumnScaling;
 use crate::solution::{IterationStats, Solution, StopReason};
@@ -35,6 +36,7 @@ pub struct Lsqr<'a, B: Backend + ?Sized> {
     backend: &'a B,
     config: LsqrConfig,
     scaling: ColumnScaling,
+    cancel: Option<CancellationToken>,
 }
 
 /// Convenience wrapper: build an [`Lsqr`] and run it.
@@ -164,7 +166,17 @@ impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
             backend,
             config,
             scaling,
+            cancel: None,
         }
+    }
+
+    /// Attach a cancellation token: [`Lsqr::step`] checks it once per
+    /// iteration at the health-guard hook point and stops with
+    /// [`StopReason::Cancelled`] when it fires, always on a completed
+    /// iteration (the state remains a valid checkpoint).
+    pub fn with_cancel(mut self, token: CancellationToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// The configuration in use.
@@ -369,6 +381,14 @@ impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
         // it, not fall through tests whose NaN comparisons are all false.
         if crate::health::check_state(&cfg.health, s).is_some() {
             s.stopped = Some(StopReason::NumericalBreakdown);
+            return s.stopped;
+        }
+
+        // Cancellation shares the health-guard hook point: checked once
+        // per iteration, after the iterate is fully updated, so a
+        // cancelled state is always a checkpoint of a complete iteration.
+        if self.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            s.stopped = Some(StopReason::Cancelled);
             return s.stopped;
         }
 
@@ -681,6 +701,26 @@ mod tests {
         assert_eq!(solver.step(&mut state), Some(StopReason::IterationLimit));
         assert_eq!(state.x, x_before);
         assert_eq!(state.itn, 3);
+    }
+
+    #[test]
+    fn cancelled_token_stops_on_the_next_iteration_boundary() {
+        use crate::cancel::CancellationToken;
+        let (sys, _) = consistent_system(115);
+        let token = CancellationToken::new();
+        let solver = Lsqr::new(&sys, &SeqBackend, LsqrConfig::new()).with_cancel(token.clone());
+        let mut state = solver.init_state();
+        solver.step(&mut state);
+        assert!(state.stopped.is_none(), "un-cancelled token must not stop");
+        token.cancel();
+        assert_eq!(solver.step(&mut state), Some(StopReason::Cancelled));
+        // The stop landed on a completed iteration: the state is intact
+        // and finalizable, but the solution is explicitly non-converged.
+        assert_eq!(state.itn, 2);
+        assert_eq!(state.history.len(), 2);
+        let sol = solver.finish(state);
+        assert_eq!(sol.stop, StopReason::Cancelled);
+        assert!(!sol.stop.converged());
     }
 
     #[test]

@@ -38,6 +38,7 @@ use gaia_mpi_sim::{AbortCause, FaultEvent, FaultKind, FaultPlan, WorldOptions};
 use gaia_sparse::SparseSystem;
 use gaia_telemetry::ResilienceCell;
 
+use crate::cancel::CancellationToken;
 use crate::checkpoint::{Checkpoint, CheckpointRotation};
 use crate::config::LsqrConfig;
 use crate::distributed::{try_solve_hybrid, DistOptions};
@@ -60,9 +61,18 @@ pub enum OnUnrecoverable {
 pub struct RecoveryPolicy {
     /// Relaunches allowed per rank-count tier after the initial attempt.
     pub max_retries: usize,
-    /// Base delay before a relaunch; doubles per consecutive retry
-    /// (capped at 64× and at 5 s). `Duration::ZERO` disables waiting.
+    /// Base backoff before a relaunch. The actual pause is a **capped
+    /// full-jitter** draw: uniform in `[0, min(backoff_cap, backoff ·
+    /// 2^min(retry, 6))]` (see [`jittered_backoff`]), so concurrent
+    /// supervisors never retry in lockstep. `Duration::ZERO` disables
+    /// waiting entirely.
     pub backoff: Duration,
+    /// Hard ceiling of the exponential growth; no single pause exceeds it.
+    pub backoff_cap: Duration,
+    /// Seed of the deterministic jitter draw. Give concurrent tenants
+    /// distinct seeds to decorrelate their retries (anti-thundering-herd);
+    /// a fixed seed keeps chaos sweeps reproducible.
+    pub jitter_seed: u64,
     /// Assemble and store a recovery checkpoint every this many
     /// iterations; `0` disables periodic checkpointing (recovery then
     /// restarts from the beginning, or from [`ResilienceOptions::resume`]).
@@ -76,6 +86,8 @@ impl Default for RecoveryPolicy {
         RecoveryPolicy {
             max_retries: 3,
             backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(5),
+            jitter_seed: 0,
             checkpoint_every: 8,
             on_unrecoverable: OnUnrecoverable::Degrade,
         }
@@ -100,6 +112,12 @@ pub struct ResilienceOptions<'a> {
     /// Also persist every periodic checkpoint to this on-disk rotation,
     /// so recovery survives process death, not just rank death.
     pub persist: Option<&'a CheckpointRotation>,
+    /// Cooperative cancellation (deadline or explicit), threaded into
+    /// every launch — distributed attempts and the single-rank floor
+    /// alike. A cancelled solve returns `Ok` with
+    /// [`StopReason::Cancelled`] (the last checkpoint is preserved);
+    /// the supervisor never retries past a fired token.
+    pub cancel: Option<CancellationToken>,
 }
 
 /// How one launch of the distributed solve ended.
@@ -172,9 +190,34 @@ impl std::fmt::Display for Unrecoverable {
 
 impl std::error::Error for Unrecoverable {}
 
-fn backoff_delay(base: Duration, retry_index: u32) -> Duration {
-    base.saturating_mul(1 << retry_index.min(6))
-        .min(Duration::from_secs(5))
+/// SplitMix64 finalizer: a cheap, well-mixed deterministic hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Capped **full-jitter** exponential backoff, deterministic in
+/// `(seed, retry_index)`: the pause before retry `retry_index` is drawn
+/// uniformly from `[0, min(cap, base · 2^min(retry_index, 6))]`. Full
+/// jitter (AWS architecture-blog style) spreads concurrent retriers
+/// across the whole window instead of synchronizing them at the
+/// exponential ceiling — the thundering-herd fix a multi-tenant serving
+/// layer needs — while the seed keeps every sweep reproducible.
+pub fn jittered_backoff(base: Duration, cap: Duration, retry_index: u32, seed: u64) -> Duration {
+    if base.is_zero() {
+        return Duration::ZERO;
+    }
+    let ceiling = base.saturating_mul(1 << retry_index.min(6)).min(cap);
+    if ceiling.is_zero() {
+        return Duration::ZERO;
+    }
+    let draw = splitmix64(seed ^ ((retry_index as u64) << 32 | 0x5EED));
+    // `ceiling` ≤ `cap` which is user-bounded; nanosecond counts fit u64
+    // for anything under ~584 years.
+    let span_nanos = ceiling.as_nanos().min(u64::MAX as u128) as u64;
+    Duration::from_nanos(draw % (span_nanos + 1))
 }
 
 fn lock_state(slot: &Mutex<Option<LsqrState>>) -> std::sync::MutexGuard<'_, Option<LsqrState>> {
@@ -220,6 +263,25 @@ where
     let mut retries_left = policy.max_retries;
 
     loop {
+        // A fired token between launches means the deadline struck during
+        // a failure or backoff: finalize the last good checkpoint as a
+        // Cancelled partial solve instead of burning another attempt.
+        if opts.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            let solver = Lsqr::new(sys, &SeqBackend, *config);
+            let mut st = lock_state(&last_good)
+                .clone()
+                .unwrap_or_else(|| solver.init_state());
+            st.stopped = Some(StopReason::Cancelled);
+            let sol = solver.finish(st);
+            return Ok(finalize(
+                sol,
+                ranks,
+                attempts,
+                cell,
+                recovery_seconds,
+                opts.faults.as_deref(),
+            ));
+        }
         if let Some(plan) = &opts.faults {
             plan.set_attempt(attempt_no);
         }
@@ -233,6 +295,7 @@ where
             resume: resume.as_ref(),
             checkpoint_every: policy.checkpoint_every,
             checkpoint_sink: Some(&sink),
+            cancel: opts.cancel.clone(),
         };
         // gaia-analyze: allow(timing): attempt wall time feeds the
         // supervisor's retry report, not a perf counter.
@@ -297,7 +360,12 @@ where
             if lock_state(&last_good).is_some() {
                 cell.checkpoint_restores += 1;
             }
-            let pause = backoff_delay(policy.backoff, retry_index);
+            let pause = jittered_backoff(
+                policy.backoff,
+                policy.backoff_cap,
+                retry_index,
+                policy.jitter_seed,
+            );
             if !pause.is_zero() {
                 std::thread::sleep(pause);
                 recovery_seconds += pause.as_secs_f64();
@@ -335,7 +403,10 @@ where
                 // gaia-analyze: allow(timing): attempt wall time feeds the
                 // supervisor's retry report, not a perf counter.
                 let t_launch = Instant::now();
-                let solver = Lsqr::new(sys, &SeqBackend, *config);
+                let mut solver = Lsqr::new(sys, &SeqBackend, *config);
+                if let Some(token) = &opts.cancel {
+                    solver = solver.with_cancel(token.clone());
+                }
                 let sol = match resume {
                     Some(st) => solver.run_from(st),
                     None => solver.run(),
@@ -422,6 +493,79 @@ mod tests {
             backoff: Duration::ZERO,
             ..policy
         }
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_the_exponential_ceiling_and_cap() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(200);
+        for seed in [0u64, 1, 7, 42, u64::MAX] {
+            for retry in 0..16u32 {
+                let d = jittered_backoff(base, cap, retry, seed);
+                let ceiling = base.saturating_mul(1 << retry.min(6)).min(cap);
+                assert!(
+                    d <= ceiling,
+                    "retry {retry} seed {seed}: {d:?} exceeds {ceiling:?}"
+                );
+                assert!(d <= cap, "cap must bound every pause");
+            }
+        }
+        // Zero base disables waiting entirely, whatever the retry index.
+        assert_eq!(jittered_backoff(Duration::ZERO, cap, 5, 9), Duration::ZERO);
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_but_decorrelated_across_seeds() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(5);
+        let draws = |seed: u64| -> Vec<Duration> {
+            (0..8)
+                .map(|i| jittered_backoff(base, cap, i, seed))
+                .collect()
+        };
+        assert_eq!(draws(7), draws(7), "same seed must reproduce exactly");
+        assert_ne!(
+            draws(7),
+            draws(8),
+            "distinct seeds must not retry in lockstep"
+        );
+        // Full jitter actually spreads: the draws are not all pinned to
+        // the ceiling (which is what plain exponential backoff would do).
+        let ds = draws(7);
+        assert!(
+            (0..8u32).any(|i| {
+                let ceiling = base.saturating_mul(1 << i.min(6)).min(cap);
+                ds[i as usize] < ceiling
+            }),
+            "jitter never moved off the ceiling: {ds:?}"
+        );
+    }
+
+    #[test]
+    fn cancelled_supervisor_returns_cancelled_without_retrying() {
+        let sys = system(504);
+        let cfg = LsqrConfig::new();
+        let token = CancellationToken::new();
+        token.cancel();
+        let report = solve_resilient(
+            &sys,
+            2,
+            &cfg,
+            seq_backends(),
+            &ResilienceOptions {
+                policy: zero_backoff(RecoveryPolicy::default()),
+                cancel: Some(token),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.solution.stop, StopReason::Cancelled);
+        assert!(
+            report.attempts.is_empty(),
+            "a pre-fired token must not launch: {:?}",
+            report.attempts
+        );
+        assert!(!report.solution.stop.converged());
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub enum StopReason {
     /// non-finite Golub–Kahan coefficient, or a diverging residual. The
     /// solution carries the last state before garbage propagated further.
     NumericalBreakdown,
+    /// The solve was cancelled cooperatively — a deadline expired or a
+    /// [`crate::cancel::CancellationToken`] was triggered — at an
+    /// iteration boundary. The state up to that iteration is intact (and
+    /// checkpointable) but the solution is partial, never converged.
+    Cancelled,
 }
 
 impl StopReason {
@@ -39,6 +44,7 @@ impl StopReason {
                 | StopReason::ConditionLimit
                 | StopReason::ConditionMachinePrecision
                 | StopReason::NumericalBreakdown
+                | StopReason::Cancelled
         )
     }
 }
@@ -202,6 +208,7 @@ mod tests {
         assert!(!StopReason::IterationLimit.converged());
         assert!(!StopReason::ConditionLimit.converged());
         assert!(!StopReason::NumericalBreakdown.converged());
+        assert!(!StopReason::Cancelled.converged());
     }
 
     #[test]

@@ -278,3 +278,90 @@ fn kernel_panic_degrades_to_a_clean_backend() {
     assert!(report.solution.stop.converged());
     assert_eq!(report.solution.x, reference.x);
 }
+
+/// Deadline semantics, checkpoint half: a solve cancelled mid-iteration
+/// leaves a *loadable* on-disk checkpoint behind, across three distinct
+/// backends. (The outcome half — DeadlineExceeded never carries a
+/// partial solution — is asserted at the service layer in `gaia-serve`.)
+#[test]
+fn cancelled_solve_persists_a_loadable_checkpoint_across_backends() {
+    use gaia_lsqr::{CancellationToken, CheckpointRotation};
+
+    for backend in ["seq", "chunked-t2", "atomic-t2"] {
+        // A few-thousand-row system with zero tolerances: iterations are
+        // milliseconds each and convergence is dozens of iterations away,
+        // so the watcher thread below always cancels mid-solve.
+        let sys = Generator::new(
+            GeneratorConfig::new(SystemLayout::small())
+                .seed(707)
+                .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-8 }),
+        )
+        .generate();
+        let mut endless = LsqrConfig::new();
+        endless.atol = 0.0;
+        endless.btol = 0.0;
+        endless.conlim = 1e300;
+        endless.max_iters = 2_000_000;
+
+        let stem = std::env::temp_dir().join(format!("gaia-cancel-ckpt-{backend}"));
+        let rotation = CheckpointRotation::new(&stem, 2);
+        rotation.clear();
+
+        let token = CancellationToken::new();
+        // Cancel as soon as the first periodic checkpoint hits disk, so
+        // cancellation is guaranteed to strike between iterations.
+        let watcher = {
+            let token = token.clone();
+            let rotation = CheckpointRotation::new(&stem, 2);
+            std::thread::spawn(move || {
+                while rotation.latest().is_none() {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                token.cancel();
+            })
+        };
+
+        let report = solve_resilient(
+            &sys,
+            2,
+            &endless,
+            |_| gaia_backends::registry::backend_by_name(backend, 2).unwrap(),
+            &ResilienceOptions {
+                policy: no_backoff(RecoveryPolicy {
+                    checkpoint_every: 2,
+                    ..RecoveryPolicy::default()
+                }),
+                persist: Some(&rotation),
+                cancel: Some(token),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        watcher.join().unwrap();
+
+        assert_eq!(
+            report.solution.stop,
+            StopReason::Cancelled,
+            "{backend}: cancellation must interrupt the endless config"
+        );
+        assert!(!report.solution.stop.converged());
+
+        // The last checkpoint is loadable and resumes to convergence
+        // under normal tolerances.
+        let (itn, ckpt) = rotation
+            .latest()
+            .unwrap_or_else(|| panic!("{backend}: cancelled solve left no checkpoint"));
+        assert!(itn >= 1 && itn <= report.solution.iterations);
+        let cfg = LsqrConfig::new();
+        let state = ckpt
+            .restore(&sys, &endless)
+            .unwrap_or_else(|e| panic!("{backend}: checkpoint not loadable: {e}"));
+        let solver = Lsqr::new(&sys, &SeqBackend, cfg);
+        let resumed = solver.run_from(state);
+        assert!(
+            resumed.stop.converged(),
+            "{backend}: resume from the cancel checkpoint must converge"
+        );
+        rotation.clear();
+    }
+}

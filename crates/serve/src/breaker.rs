@@ -1,0 +1,188 @@
+//! Per-tenant circuit breaker.
+//!
+//! A tenant whose requests keep faulting (bad backend choice, a fault
+//! schedule that exhausts every retry, a poisoned system) gets its
+//! circuit *opened*: further submissions fast-fail with
+//! [`crate::ShedReason::CircuitOpen`] instead of burning worker time,
+//! until a cooldown elapses and a single *probe* request is let through
+//! (half-open). A successful probe closes the circuit; a failed one
+//! re-opens it for another cooldown.
+//!
+//! State is per tenant — one tenant melting down never trips another's
+//! breaker. That is the service-level mirror of the supervisor's
+//! per-solve isolation.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive terminal failures that open the circuit.
+    pub failure_threshold: u32,
+    /// How long an open circuit fast-fails before allowing a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    /// Healthy; counts consecutive failures toward the threshold.
+    Closed { failures: u32 },
+    /// Fast-failing until the cooldown deadline.
+    Open { until: Instant },
+    /// One probe in flight; its outcome decides open vs closed.
+    HalfOpen,
+}
+
+/// Per-tenant circuit breakers keyed by tenant name.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    tenants: Mutex<HashMap<String, State>>,
+}
+
+impl CircuitBreaker {
+    /// A breaker bank with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, State>> {
+        // Poison only means a panic mid-update of advisory breaker
+        // state; the map is always structurally valid.
+        self.tenants.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Whether `tenant` may submit right now. An open circuit past its
+    /// cooldown transitions to half-open and admits exactly one probe.
+    pub fn admit(&self, tenant: &str) -> bool {
+        // gaia-analyze: allow(timing): cooldown expiry needs the real
+        // clock; this is admission control flow, not a measurement.
+        self.admit_at(tenant, Instant::now())
+    }
+
+    fn admit_at(&self, tenant: &str, now: Instant) -> bool {
+        let mut map = self.lock();
+        let state = map
+            .entry(tenant.to_string())
+            .or_insert(State::Closed { failures: 0 });
+        match *state {
+            State::Closed { .. } => true,
+            State::Open { until } if now >= until => {
+                *state = State::HalfOpen;
+                true
+            }
+            State::Open { .. } => false,
+            State::HalfOpen => false,
+        }
+    }
+
+    /// Record a successful terminal outcome: closes the circuit and
+    /// zeroes the failure streak.
+    pub fn record_success(&self, tenant: &str) {
+        self.lock()
+            .insert(tenant.to_string(), State::Closed { failures: 0 });
+    }
+
+    /// Record a terminal failure: extends the streak, opening the
+    /// circuit at the threshold; a failed half-open probe re-opens it.
+    pub fn record_failure(&self, tenant: &str) {
+        // gaia-analyze: allow(timing): cooldown arming needs the real
+        // clock; this is admission control flow, not a measurement.
+        self.record_failure_at(tenant, Instant::now());
+    }
+
+    fn record_failure_at(&self, tenant: &str, now: Instant) {
+        let mut map = self.lock();
+        let state = map
+            .entry(tenant.to_string())
+            .or_insert(State::Closed { failures: 0 });
+        *state = match *state {
+            State::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.cfg.failure_threshold {
+                    State::Open {
+                        until: now + self.cfg.cooldown,
+                    }
+                } else {
+                    State::Closed { failures }
+                }
+            }
+            State::HalfOpen | State::Open { .. } => State::Open {
+                until: now + self.cfg.cooldown,
+            },
+        };
+    }
+
+    /// Whether `tenant`'s circuit is currently open (fast-failing).
+    pub fn is_open(&self, tenant: &str) -> bool {
+        matches!(self.lock().get(tenant), Some(State::Open { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(10),
+        })
+    }
+
+    #[test]
+    fn opens_at_the_failure_threshold_and_fast_fails() {
+        let b = breaker();
+        let t0 = Instant::now();
+        assert!(b.admit_at("a", t0));
+        b.record_failure_at("a", t0);
+        assert!(b.admit_at("a", t0), "one failure is below the threshold");
+        b.record_failure_at("a", t0);
+        assert!(!b.admit_at("a", t0), "threshold reached: open");
+        assert!(b.is_open("a"));
+        // Isolation: tenant b is untouched.
+        assert!(b.admit_at("b", t0));
+    }
+
+    #[test]
+    fn cooldown_admits_one_probe_then_success_closes() {
+        let b = breaker();
+        let t0 = Instant::now();
+        b.record_failure_at("a", t0);
+        b.record_failure_at("a", t0);
+        let later = t0 + Duration::from_secs(11);
+        assert!(b.admit_at("a", later), "cooldown elapsed: probe admitted");
+        assert!(!b.admit_at("a", later), "only one probe at a time");
+        b.record_success("a");
+        assert!(
+            b.admit_at("a", later),
+            "successful probe closed the circuit"
+        );
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let b = breaker();
+        let t0 = Instant::now();
+        b.record_failure_at("a", t0);
+        b.record_failure_at("a", t0);
+        let probe_time = t0 + Duration::from_secs(11);
+        assert!(b.admit_at("a", probe_time));
+        b.record_failure_at("a", probe_time);
+        assert!(!b.admit_at("a", probe_time + Duration::from_secs(5)));
+        assert!(b.admit_at("a", probe_time + Duration::from_secs(11)));
+    }
+}

@@ -1,0 +1,54 @@
+//! # gaia-serve
+//!
+//! A long-running, in-process solve service: concurrent tenants submit
+//! solve requests (distinct systems, sizes, backends) against the shared
+//! executor pool, and each request runs under the resilient supervisor —
+//! so one tenant's fault schedule, panic, or numerical breakdown never
+//! takes down the service or another tenant's solves.
+//!
+//! The production AVU-GSR pipeline runs as recurring campaigns across
+//! CINECA allocations, where many reductions with different sizes and
+//! deadlines share one machine budget. This crate reproduces that
+//! operational layer in miniature:
+//!
+//! * **Bounded admission** ([`queue::AdmissionQueue`]): a global queue
+//!   bound provides backpressure; rejections are typed
+//!   ([`ShedReason`]) so callers know *why* they were shed.
+//! * **Fair-share scheduling**: one lane per tenant, round-robin pops,
+//!   and a per-tenant quota — a saturating tenant cannot starve others.
+//! * **Deadlines** ([`gaia_lsqr::CancellationToken`]): enforced in-queue
+//!   (expired work is never launched) and mid-solve (cooperative
+//!   cancellation at iteration boundaries, sharing the health-guard hook
+//!   point). A cancelled solve yields [`Outcome::DeadlineExceeded`] —
+//!   never a partial solution — while its last checkpoint stays
+//!   loadable.
+//! * **Retries** with capped full-jitter exponential backoff
+//!   ([`gaia_lsqr::jittered_backoff`]), a layer above the supervisor's
+//!   own per-solve recovery.
+//! * **Circuit breaking** ([`breaker::CircuitBreaker`]): a tenant whose
+//!   requests keep faulting fast-fails until a cooldown probe succeeds.
+//! * **Graceful degradation** ([`scheduler::share_for`]): under queue
+//!   pressure, launches first shrink their thread share, then collapse
+//!   to one rank, before admission finally sheds — quality degrades
+//!   before work is dropped.
+//!
+//! The service appends every lifecycle transition to an event log
+//! ([`ServiceEvent`]); `gaia-verify` replays that log to prove the
+//! service-level invariant: **every submitted request resolves to
+//! exactly one typed [`Outcome`]** — admitted XOR shed, finished exactly
+//! once if admitted.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod breaker;
+pub mod queue;
+pub mod request;
+pub mod scheduler;
+pub mod service;
+
+pub use breaker::{BreakerConfig, CircuitBreaker};
+pub use queue::AdmissionQueue;
+pub use request::{Outcome, OutcomeKind, ServiceEvent, ShedReason, SolveRequest, SolveSummary};
+pub use scheduler::{share_for, DegradeConfig, ResourceShare};
+pub use service::{RetryConfig, ServiceConfig, SolveService, Ticket};

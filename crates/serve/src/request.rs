@@ -1,0 +1,236 @@
+//! Request and outcome types of the solve service.
+//!
+//! Every request submitted to [`crate::SolveService`] resolves to exactly
+//! one [`Outcome`] — the service-level contract the `gaia-verify`
+//! invariant checker enforces over the event log. Outcomes are *typed*,
+//! not stringly: load shedding, deadline expiry, circuit breaking, and
+//! fault exhaustion are distinct variants a caller can match on, the way
+//! the production pipeline distinguishes "resubmit later" from "shrink
+//! the job" from "page an operator".
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gaia_lsqr::{LsqrConfig, Solution};
+use gaia_mpi_sim::FaultPlan;
+use gaia_sparse::SparseSystem;
+use serde::{Deserialize, Serialize};
+
+/// One solve request: a tenant asking the service to run one system on
+/// one backend under a deadline.
+#[derive(Clone)]
+pub struct SolveRequest {
+    /// Tenant identity — the unit of fair-share scheduling, quotas, and
+    /// circuit breaking (a CINECA allocation in production terms).
+    pub tenant: String,
+    /// The system to solve. `Arc` so many queued requests can share one
+    /// generated system without copying the matrix.
+    pub system: Arc<SparseSystem>,
+    /// Solver configuration.
+    pub config: LsqrConfig,
+    /// Backend registry name (`seq`, `chunked-t4`, ...). Thread-suffix-
+    /// free names inherit the service's (possibly degraded) share.
+    pub backend: String,
+    /// Requested rank count for the distributed launch.
+    pub ranks: usize,
+    /// Relative deadline, armed at admission; `None` means no deadline.
+    /// Enforced both in-queue (expired requests are never launched) and
+    /// mid-solve (cooperative cancellation at iteration boundaries).
+    pub deadline: Option<Duration>,
+    /// Scripted fault schedule for chaos runs; `None` runs fault-free.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl SolveRequest {
+    /// A fault-free request with no deadline on the `seq` backend.
+    pub fn new(tenant: impl Into<String>, system: Arc<SparseSystem>) -> Self {
+        SolveRequest {
+            tenant: tenant.into(),
+            system,
+            config: LsqrConfig::new(),
+            backend: "seq".into(),
+            ranks: 1,
+            deadline: None,
+            faults: None,
+        }
+    }
+}
+
+/// Why a request was refused at admission instead of queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The bounded admission queue is full — global backpressure.
+    QueueFull,
+    /// The tenant already holds its full quota of queued work.
+    TenantQuotaExceeded,
+    /// The tenant's circuit breaker is open (recent repeated failures);
+    /// fast-fail until the cooldown probe succeeds.
+    CircuitOpen,
+    /// The service is shutting down and no longer admits work.
+    Shutdown,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ShedReason::QueueFull => "queue full",
+            ShedReason::TenantQuotaExceeded => "tenant quota exceeded",
+            ShedReason::CircuitOpen => "circuit open",
+            ShedReason::Shutdown => "shutting down",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a completed solve delivered.
+#[derive(Debug, Clone)]
+pub struct SolveSummary {
+    /// The solution itself (converged, or converged-under-degradation).
+    pub solution: Solution,
+    /// Rank count of the successful launch.
+    pub ranks: usize,
+    /// Thread share the launch actually received.
+    pub threads: usize,
+    /// Supervisor attempts consumed (1 = clean first launch).
+    pub attempts: usize,
+    /// Service-level retries consumed (0 = first execution succeeded).
+    pub retries: u32,
+}
+
+/// The single terminal outcome of one submitted request.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Converged at full quality with the requested resources.
+    Converged(SolveSummary),
+    /// Converged, but under degraded resources — fewer ranks or a
+    /// shrunken thread share (overload response), or a supervisor
+    /// rank-count degradation (fault response).
+    Degraded(SolveSummary),
+    /// The deadline expired — in-queue, or mid-solve via cooperative
+    /// cancellation at an iteration boundary. Deliberately carries **no**
+    /// partial [`Solution`]: a half-converged `x` is indistinguishable
+    /// from a converged one at the type level and has caused real
+    /// pipelines to publish garbage. The iteration count records how far
+    /// the solve got (0 = never launched); the last periodic checkpoint,
+    /// if any, remains loadable for resubmission.
+    DeadlineExceeded {
+        /// Iterations completed before cancellation (0 = shed in queue).
+        iterations: usize,
+    },
+    /// Refused at admission; never entered the queue.
+    Shed(ShedReason),
+    /// All retries exhausted without a recoverable state.
+    Faulted(String),
+}
+
+impl Outcome {
+    /// The variant tag, for event logs and aggregation.
+    pub fn kind(&self) -> OutcomeKind {
+        match self {
+            Outcome::Converged(_) => OutcomeKind::Converged,
+            Outcome::Degraded(_) => OutcomeKind::Degraded,
+            Outcome::DeadlineExceeded { .. } => OutcomeKind::DeadlineExceeded,
+            Outcome::Shed(_) => OutcomeKind::Shed,
+            Outcome::Faulted(_) => OutcomeKind::Faulted,
+        }
+    }
+
+    /// The solve summary, when one exists (converged or degraded).
+    pub fn summary(&self) -> Option<&SolveSummary> {
+        match self {
+            Outcome::Converged(s) | Outcome::Degraded(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serializable tag of an [`Outcome`] variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OutcomeKind {
+    /// Full-quality convergence.
+    Converged,
+    /// Convergence under degraded resources.
+    Degraded,
+    /// Deadline expired (in-queue or mid-solve).
+    DeadlineExceeded,
+    /// Refused at admission.
+    Shed,
+    /// Retries exhausted.
+    Faulted,
+}
+
+impl std::fmt::Display for OutcomeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OutcomeKind::Converged => "converged",
+            OutcomeKind::Degraded => "degraded",
+            OutcomeKind::DeadlineExceeded => "deadline-exceeded",
+            OutcomeKind::Shed => "shed",
+            OutcomeKind::Faulted => "faulted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One entry of the service's append-only event log — the audit trail
+/// the `gaia-verify` service invariants replay. Request ids are unique
+/// per service instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServiceEvent {
+    /// A request arrived at `submit`.
+    Submitted {
+        /// Service-assigned request id.
+        id: u64,
+        /// Tenant that submitted it.
+        tenant: String,
+    },
+    /// The request entered the admission queue.
+    Admitted {
+        /// Request id.
+        id: u64,
+    },
+    /// The request was refused at admission.
+    Shed {
+        /// Request id.
+        id: u64,
+        /// Typed refusal reason.
+        reason: ShedReason,
+    },
+    /// A worker began executing the request.
+    Started {
+        /// Request id.
+        id: u64,
+        /// Thread share granted (after any degradation).
+        threads: usize,
+        /// Rank count granted (after any degradation).
+        ranks: usize,
+    },
+    /// A service-level retry was launched for the request.
+    Retried {
+        /// Request id.
+        id: u64,
+        /// 1-based retry index.
+        attempt: u32,
+    },
+    /// The request reached its terminal outcome.
+    Finished {
+        /// Request id.
+        id: u64,
+        /// Which outcome variant it resolved to.
+        kind: OutcomeKind,
+    },
+}
+
+impl ServiceEvent {
+    /// The request id this event concerns.
+    pub fn id(&self) -> u64 {
+        match self {
+            ServiceEvent::Submitted { id, .. }
+            | ServiceEvent::Admitted { id }
+            | ServiceEvent::Shed { id, .. }
+            | ServiceEvent::Started { id, .. }
+            | ServiceEvent::Retried { id, .. }
+            | ServiceEvent::Finished { id, .. } => *id,
+        }
+    }
+}

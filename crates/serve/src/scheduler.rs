@@ -1,0 +1,153 @@
+//! Pressure-based graceful degradation.
+//!
+//! Under overload the service sheds *quality* before it sheds *work*:
+//! as the admission queue fills, new launches get a shrunken thread
+//! share, then a single rank, before the queue bound finally rejects
+//! submissions outright. That ordering mirrors the production CINECA
+//! workflow, where a campaign squeezed for node-hours runs smaller
+//! per-job allocations rather than dropping solves from the schedule.
+//!
+//! The decision is a pure function of queue pressure (depth / capacity)
+//! so it is trivially unit-testable and the overload bench can assert
+//! the exact thresholds.
+
+/// Degradation tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradeConfig {
+    /// Thread share of an unpressured launch.
+    pub full_threads: usize,
+    /// Thread floor a degraded launch never goes below.
+    pub min_threads: usize,
+    /// Queue pressure (depth / capacity) at which the thread share is
+    /// halved.
+    pub shrink_pressure: f64,
+    /// Queue pressure at which launches also collapse to one rank.
+    pub rank_floor_pressure: f64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            full_threads: 2,
+            min_threads: 1,
+            shrink_pressure: 0.5,
+            rank_floor_pressure: 0.75,
+        }
+    }
+}
+
+/// Resources granted to one launch after the degradation decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceShare {
+    /// Thread budget handed to the backend.
+    pub threads: usize,
+    /// Rank count handed to the distributed solve.
+    pub ranks: usize,
+    /// True when either axis was reduced below the request — a
+    /// convergent solve under this share reports
+    /// [`crate::Outcome::Degraded`], not `Converged`.
+    pub degraded: bool,
+}
+
+/// Decide the resource share for a launch of `requested_ranks` given the
+/// current queue `depth` out of `capacity`.
+pub fn share_for(
+    cfg: &DegradeConfig,
+    requested_ranks: usize,
+    depth: usize,
+    capacity: usize,
+) -> ResourceShare {
+    let requested_ranks = requested_ranks.max(1);
+    let pressure = depth as f64 / capacity.max(1) as f64;
+    if pressure >= cfg.rank_floor_pressure {
+        ResourceShare {
+            threads: cfg.min_threads.max(1),
+            ranks: 1,
+            degraded: cfg.min_threads < cfg.full_threads || requested_ranks > 1,
+        }
+    } else if pressure >= cfg.shrink_pressure {
+        let threads = (cfg.full_threads / 2).max(cfg.min_threads).max(1);
+        ResourceShare {
+            threads,
+            ranks: requested_ranks,
+            degraded: threads < cfg.full_threads,
+        }
+    } else {
+        ResourceShare {
+            threads: cfg.full_threads.max(1),
+            ranks: requested_ranks,
+            degraded: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DegradeConfig {
+        DegradeConfig {
+            full_threads: 4,
+            min_threads: 1,
+            shrink_pressure: 0.5,
+            rank_floor_pressure: 0.75,
+        }
+    }
+
+    #[test]
+    fn unpressured_launches_get_the_full_share() {
+        let s = share_for(&cfg(), 3, 2, 16);
+        assert_eq!(
+            s,
+            ResourceShare {
+                threads: 4,
+                ranks: 3,
+                degraded: false
+            }
+        );
+    }
+
+    #[test]
+    fn moderate_pressure_halves_threads_but_keeps_ranks() {
+        let s = share_for(&cfg(), 3, 8, 16);
+        assert_eq!(
+            s,
+            ResourceShare {
+                threads: 2,
+                ranks: 3,
+                degraded: true
+            }
+        );
+    }
+
+    #[test]
+    fn heavy_pressure_collapses_to_one_rank_at_the_thread_floor() {
+        let s = share_for(&cfg(), 3, 12, 16);
+        assert_eq!(
+            s,
+            ResourceShare {
+                threads: 1,
+                ranks: 1,
+                degraded: true
+            }
+        );
+    }
+
+    #[test]
+    fn degradation_order_is_threads_then_ranks_then_never_below_floors() {
+        // Sweep pressure upward: thread share is monotonically
+        // non-increasing, rank collapse happens only after the shrink.
+        let c = cfg();
+        let mut last_threads = usize::MAX;
+        for depth in 0..=16 {
+            let s = share_for(&c, 2, depth, 16);
+            assert!(s.threads <= last_threads);
+            assert!(s.threads >= c.min_threads);
+            assert!(s.ranks >= 1);
+            if s.ranks < 2 {
+                assert!(s.threads <= c.full_threads / 2, "ranks collapse last");
+            }
+            last_threads = s.threads;
+        }
+    }
+}

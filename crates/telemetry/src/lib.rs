@@ -249,6 +249,88 @@ impl GateCell {
     }
 }
 
+/// Per-tenant usage accounting inside a [`ServeCell`]: how many requests
+/// a tenant ran to completion and how much solver wall-clock it consumed.
+/// The fairness ledger of the serving layer — the overload bench asserts
+/// quota enforcement from these rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TenantUsage {
+    /// Tenant identifier (as passed in the solve request).
+    pub tenant: String,
+    /// Requests that reached a terminal outcome for this tenant.
+    pub requests: u64,
+    /// Solver wall-clock consumed by this tenant's requests.
+    pub seconds: f64,
+}
+
+/// Serving-layer accounting — what the long-running solve service
+/// (`gaia-serve`) admitted, shed, retried, and resolved. The multi-tenant
+/// analogue of [`ResilienceCell`]: that cell counts faults inside one
+/// supervised solve, this one counts request outcomes across concurrent
+/// tenants sharing the executor pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ServeCell {
+    /// Requests submitted to the service (admitted + shed).
+    pub submitted: u64,
+    /// Requests accepted into the admission queue.
+    pub admitted: u64,
+    /// Admitted requests that reached a terminal outcome.
+    pub completed: u64,
+    /// Requests that converged at full quality.
+    pub converged: u64,
+    /// Requests that converged under degraded resources (fewer ranks or
+    /// a shrunken thread share) — the graceful-degradation path.
+    pub degraded: u64,
+    /// Requests shed at admission (queue full, quota, open breaker, or
+    /// shutdown).
+    pub shed: u64,
+    /// Requests that hit their deadline (in-queue or mid-solve).
+    pub timed_out: u64,
+    /// Retry attempts launched by the serving layer on behalf of faulted
+    /// requests.
+    pub retried: u64,
+    /// Requests fast-failed by an open per-tenant circuit breaker.
+    pub broken_circuit: u64,
+    /// Requests that exhausted retries and resolved as faulted.
+    pub faulted: u64,
+    /// High-water mark of the admission queue depth.
+    pub max_queue_depth: u64,
+    /// Per-tenant usage rows, merged by tenant name.
+    pub tenants: Vec<TenantUsage>,
+}
+
+impl ServeCell {
+    /// True when no serving activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == ServeCell::default()
+    }
+
+    /// Fold another cell into this one: counters add, the queue
+    /// high-water mark takes the max, tenant rows merge by name.
+    pub fn merge(&mut self, delta: &ServeCell) {
+        self.submitted += delta.submitted;
+        self.admitted += delta.admitted;
+        self.completed += delta.completed;
+        self.converged += delta.converged;
+        self.degraded += delta.degraded;
+        self.shed += delta.shed;
+        self.timed_out += delta.timed_out;
+        self.retried += delta.retried;
+        self.broken_circuit += delta.broken_circuit;
+        self.faulted += delta.faulted;
+        self.max_queue_depth = self.max_queue_depth.max(delta.max_queue_depth);
+        for row in &delta.tenants {
+            match self.tenants.iter_mut().find(|t| t.tenant == row.tenant) {
+                Some(t) => {
+                    t.requests += row.requests;
+                    t.seconds += row.seconds;
+                }
+                None => self.tenants.push(row.clone()),
+            }
+        }
+    }
+}
+
 /// Verification accounting — schedule-exploration and metamorphic-suite
 /// counters plus the worst cross-backend trajectory divergence observed,
 /// in ULPs. Written by `gaia-verify`; the divergence cell is what the
@@ -308,6 +390,10 @@ pub struct TelemetrySnapshot {
     /// serde default).
     #[serde(default)]
     pub gate: GateCell,
+    /// Serving-layer accounting (absent in pre-serve artifacts, hence the
+    /// serde default).
+    #[serde(default)]
+    pub serve: ServeCell,
 }
 
 impl TelemetrySnapshot {
@@ -330,6 +416,7 @@ impl TelemetrySnapshot {
             verify: VerifyCell::default(),
             analyze: AnalyzeCell::default(),
             gate: GateCell::default(),
+            serve: ServeCell::default(),
         }
     }
 
@@ -347,6 +434,7 @@ impl TelemetrySnapshot {
 mod imp {
     use super::{Block, Phase};
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
     use std::time::Instant;
 
     // ORDERING: every counter in this registry is an independent,
@@ -664,6 +752,44 @@ mod imp {
         }
     }
 
+    /// Mirror of [`super::ServeCell`]. The cell carries a `Vec` of
+    /// per-tenant rows, so unlike the other mirrors it cannot be a bundle
+    /// of atomics; a `Mutex<Option<..>>` keeps the static initializer
+    /// `const` (`Mutex::new(None)`) and the merge path is far off any hot
+    /// loop — the service records once per terminal request outcome.
+    pub struct Serve {
+        inner: Mutex<Option<super::ServeCell>>,
+    }
+
+    impl Serve {
+        const fn new() -> Self {
+            Serve {
+                inner: Mutex::new(None),
+            }
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, Option<super::ServeCell>> {
+            // A poisoned registry mutex only means a panic mid-merge of
+            // advisory counters; keep serving the data rather than
+            // propagating the panic into every later recorder.
+            self.inner.lock().unwrap_or_else(|p| p.into_inner())
+        }
+
+        fn reset(&self) {
+            *self.lock() = None;
+        }
+
+        pub fn merge(&self, delta: &super::ServeCell) {
+            self.lock()
+                .get_or_insert_with(super::ServeCell::default)
+                .merge(delta);
+        }
+
+        pub fn cell(&self) -> super::ServeCell {
+            self.lock().clone().unwrap_or_default()
+        }
+    }
+
     pub struct Registry {
         pub kernels: [[Stats; 4]; 2],
         pub calls: [Stats; 2],
@@ -673,6 +799,7 @@ mod imp {
         pub verify: Verify,
         pub analyze: Analyze,
         pub gate: Gate,
+        pub serve: Serve,
     }
 
     pub static REGISTRY: Registry = Registry {
@@ -684,6 +811,7 @@ mod imp {
         verify: Verify::new(),
         analyze: Analyze::new(),
         gate: Gate::new(),
+        serve: Serve::new(),
     };
 
     pub fn reset() {
@@ -701,10 +829,15 @@ mod imp {
         REGISTRY.verify.reset();
         REGISTRY.analyze.reset();
         REGISTRY.gate.reset();
+        REGISTRY.serve.reset();
     }
 
     pub fn record_gate(delta: &super::GateCell) {
         REGISTRY.gate.merge(delta);
+    }
+
+    pub fn record_serve(delta: &super::ServeCell) {
+        REGISTRY.serve.merge(delta);
     }
 
     pub fn record_analyze_plan(sections: u64, violations: u64) {
@@ -889,6 +1022,9 @@ mod imp {
 
     #[inline(always)]
     pub fn record_gate(_delta: &super::GateCell) {}
+
+    #[inline(always)]
+    pub fn record_serve(_delta: &super::ServeCell) {}
 }
 
 /// RAII timing probe returned by [`kernel_scope`], [`call_scope`], and
@@ -1000,6 +1136,14 @@ pub fn record_gate(delta: &GateCell) {
     imp::record_gate(delta)
 }
 
+/// Merge serving-layer counts into the registry's serve cell (no-op when
+/// telemetry is compiled out). The solve service calls this as requests
+/// reach terminal outcomes — typically once per drained batch.
+#[inline]
+pub fn record_serve(delta: &ServeCell) {
+    imp::record_serve(delta)
+}
+
 /// Freeze the registry into a serializable snapshot. Disabled builds
 /// return [`TelemetrySnapshot::empty`] with `enabled: false`.
 pub fn snapshot() -> TelemetrySnapshot {
@@ -1025,6 +1169,7 @@ pub fn snapshot() -> TelemetrySnapshot {
         snap.verify = imp::REGISTRY.verify.cell();
         snap.analyze = imp::REGISTRY.analyze.cell();
         snap.gate = imp::REGISTRY.gate.cell();
+        snap.serve = imp::REGISTRY.serve.cell();
         snap
     }
     #[cfg(not(feature = "enabled"))]
@@ -1147,6 +1292,27 @@ pub fn kernel_table(snap: &TelemetrySnapshot) -> String {
             g.regressions,
             g.improvements,
             g.new_cells,
+        ));
+    }
+    if !snap.serve.is_empty() {
+        let s = &snap.serve;
+        out.push_str(&format!(
+            "serve: {} request(s) ({} admitted, {} shed), {} completed \
+             ({} converged, {} degraded, {} timed out, {} faulted), \
+             {} retr{}, {} circuit-broken, queue depth ≤ {}, {} tenant(s)\n",
+            s.submitted,
+            s.admitted,
+            s.shed,
+            s.completed,
+            s.converged,
+            s.degraded,
+            s.timed_out,
+            s.faulted,
+            s.retried,
+            if s.retried == 1 { "y" } else { "ies" },
+            s.broken_circuit,
+            s.max_queue_depth,
+            s.tenants.len(),
         ));
     }
     out
@@ -1342,6 +1508,72 @@ mod tests {
         assert!(table.contains("gate:"), "{table}");
         reset();
         assert!(snapshot().gate.is_empty());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn serve_deltas_accumulate_merge_tenants_and_reset() {
+        reset();
+        record_serve(&ServeCell {
+            submitted: 4,
+            admitted: 3,
+            shed: 1,
+            completed: 3,
+            converged: 2,
+            degraded: 1,
+            max_queue_depth: 5,
+            tenants: vec![TenantUsage {
+                tenant: "dr4".into(),
+                requests: 3,
+                seconds: 0.5,
+            }],
+            ..Default::default()
+        });
+        record_serve(&ServeCell {
+            submitted: 2,
+            admitted: 2,
+            completed: 2,
+            timed_out: 1,
+            faulted: 1,
+            retried: 2,
+            broken_circuit: 1,
+            max_queue_depth: 3,
+            tenants: vec![
+                TenantUsage {
+                    tenant: "dr4".into(),
+                    requests: 1,
+                    seconds: 0.25,
+                },
+                TenantUsage {
+                    tenant: "dr5".into(),
+                    requests: 1,
+                    seconds: 0.125,
+                },
+            ],
+            ..Default::default()
+        });
+        let snap = snapshot();
+        assert_eq!(snap.serve.submitted, 6);
+        assert_eq!(snap.serve.admitted, 5);
+        assert_eq!(snap.serve.shed, 1);
+        assert_eq!(snap.serve.completed, 5);
+        assert_eq!(snap.serve.timed_out, 1);
+        assert_eq!(snap.serve.retried, 2);
+        assert_eq!(snap.serve.broken_circuit, 1);
+        assert_eq!(snap.serve.max_queue_depth, 5, "high-water mark is a max");
+        assert_eq!(snap.serve.tenants.len(), 2, "tenant rows merge by name");
+        let dr4 = snap
+            .serve
+            .tenants
+            .iter()
+            .find(|t| t.tenant == "dr4")
+            .expect("dr4 row");
+        assert_eq!(dr4.requests, 4);
+        assert!((dr4.seconds - 0.75).abs() < 1e-9);
+        let table = kernel_table(&snap);
+        assert!(table.contains("serve:"), "{table}");
+        reset();
+        assert!(snapshot().serve.is_empty());
     }
 
     #[test]

@@ -37,5 +37,6 @@ pub mod corpus;
 pub mod metamorphic;
 pub mod report;
 pub mod schedule;
+pub mod service;
 pub mod trajectory;
 pub mod ulp;

@@ -13,6 +13,22 @@
 //!            [--telemetry] [--list-backends]
 //! ```
 //!
+//! The `serve` subcommand instead runs the multi-tenant solve service
+//! for one batch of concurrent tenants (see `crates/serve`):
+//!
+//! ```text
+//! solvergaia serve [--tenants N] [--requests N] [--workers N]
+//!                  [--preset tiny|small|medium] [--seed S]
+//!                  [--backend NAME] [--ranks N] [--deadline-ms D]
+//!                  [--queue N] [--quota N] [--chaos]
+//! ```
+//!
+//! `--chaos` gives the first tenant a scripted rank-panic fault schedule
+//! (recovered by the supervisor without disturbing the other tenants);
+//! `--deadline-ms` arms a per-request deadline enforced in-queue and
+//! mid-solve. Every request's typed outcome is printed; the exit status
+//! is non-zero if any request faulted.
+//!
 //! `--telemetry` prints the per-kernel breakdown and writes a JSON run
 //! report under `results/telemetry/`; build with `--features telemetry`
 //! for real counts (the probes compile to no-ops otherwise).
@@ -201,6 +217,7 @@ fn run_resilient(
             (n, _) => n,
         },
         on_unrecoverable: OnUnrecoverable::Degrade,
+        ..RecoveryPolicy::default()
     };
     println!(
         "resilient solve on {} rank(s), backend {} ({} threads), \
@@ -217,6 +234,7 @@ fn run_resilient(
         collective_timeout: Some(Duration::from_secs(30)),
         resume,
         persist: rotation.as_ref(),
+        cancel: None,
     };
     match solve_resilient(
         sys,
@@ -246,7 +264,182 @@ fn run_resilient(
     }
 }
 
+/// Flags of the `serve` subcommand.
+struct ServeArgs {
+    tenants: usize,
+    requests: usize,
+    workers: usize,
+    preset: String,
+    seed: u64,
+    backend: String,
+    ranks: usize,
+    deadline_ms: Option<u64>,
+    queue: usize,
+    quota: usize,
+    chaos: bool,
+}
+
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: solvergaia serve [--tenants N] [--requests N] [--workers N] \
+         [--preset tiny|small|medium] [--seed S] [--backend NAME] [--ranks N] \
+         [--deadline-ms D] [--queue N] [--quota N] [--chaos]"
+    );
+    exit(2)
+}
+
+fn parse_serve_args() -> ServeArgs {
+    let mut args = ServeArgs {
+        tenants: 4,
+        requests: 2,
+        workers: 2,
+        preset: "tiny".into(),
+        seed: 0,
+        backend: "seq".into(),
+        ranks: 1,
+        deadline_ms: None,
+        queue: 16,
+        quota: 8,
+        chaos: false,
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                serve_usage()
+            })
+        };
+        match flag.as_str() {
+            "--tenants" => {
+                args.tenants = val("--tenants").parse().unwrap_or_else(|_| serve_usage())
+            }
+            "--requests" => {
+                args.requests = val("--requests").parse().unwrap_or_else(|_| serve_usage())
+            }
+            "--workers" => {
+                args.workers = val("--workers").parse().unwrap_or_else(|_| serve_usage())
+            }
+            "--preset" => args.preset = val("--preset"),
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| serve_usage()),
+            "--backend" => args.backend = val("--backend"),
+            "--ranks" => args.ranks = val("--ranks").parse().unwrap_or_else(|_| serve_usage()),
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    val("--deadline-ms")
+                        .parse()
+                        .unwrap_or_else(|_| serve_usage()),
+                )
+            }
+            "--queue" => args.queue = val("--queue").parse().unwrap_or_else(|_| serve_usage()),
+            "--quota" => args.quota = val("--quota").parse().unwrap_or_else(|_| serve_usage()),
+            "--chaos" => args.chaos = true,
+            "--help" | "-h" => serve_usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                serve_usage()
+            }
+        }
+    }
+    args
+}
+
+/// The `serve` subcommand: run one batch of concurrent tenants through
+/// the multi-tenant solve service and report every typed outcome.
+fn run_serve() -> ! {
+    use gaia_avugsr::serve::{ServiceConfig, SolveRequest, SolveService};
+
+    install_quiet_panic_hook();
+    let args = parse_serve_args();
+    let layout = match args.preset.as_str() {
+        "tiny" => SystemLayout::tiny(),
+        "small" => SystemLayout::small(),
+        "medium" => SystemLayout::medium(),
+        other => {
+            eprintln!("unknown preset {other}");
+            serve_usage()
+        }
+    };
+    if backend_by_name(&args.backend, 2).is_none() {
+        eprintln!("unknown backend {} (try --list-backends)", args.backend);
+        exit(1)
+    }
+
+    let service = SolveService::start(ServiceConfig {
+        workers: args.workers.max(1),
+        queue_capacity: args.queue,
+        tenant_quota: args.quota,
+        ..ServiceConfig::default()
+    });
+    println!(
+        "serve: {} tenant(s) x {} request(s) on {} worker(s), backend {}, preset {}",
+        args.tenants.max(1),
+        args.requests.max(1),
+        args.workers.max(1),
+        args.backend,
+        args.preset
+    );
+
+    let mut tickets = Vec::new();
+    for t in 0..args.tenants.max(1) {
+        let tenant = format!("tenant-{t}");
+        for i in 0..args.requests.max(1) {
+            let sys = Arc::new(
+                Generator::new(
+                    GeneratorConfig::new(layout)
+                        .seed(args.seed + (t * args.requests.max(1) + i) as u64)
+                        .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-8 }),
+                )
+                .generate(),
+            );
+            let mut req = SolveRequest::new(tenant.clone(), sys);
+            req.backend = args.backend.clone();
+            req.ranks = args.ranks.max(1);
+            req.deadline = args.deadline_ms.map(Duration::from_millis);
+            if args.chaos && t == 0 && i == 0 {
+                // One scripted rank panic for the first tenant's first
+                // request; the supervisor recovers it in isolation.
+                req.ranks = req.ranks.max(2);
+                req.faults = Some(Arc::new(FaultPlan::scripted(args.seed).with_event(
+                    0,
+                    1,
+                    2,
+                    gaia_avugsr::mpi::FaultKind::RankPanic,
+                )));
+                println!("chaos: {tenant} request 0 carries a scripted rank panic");
+            }
+            let (id, ticket) = service.submit(req);
+            tickets.push((tenant.clone(), id, ticket));
+        }
+    }
+
+    let mut faulted = 0usize;
+    for (tenant, id, ticket) in tickets {
+        let outcome = ticket.wait();
+        match outcome.summary() {
+            Some(s) => println!(
+                "  [{id}] {tenant}: {} ({} iterations, {} rank(s), {} thread(s), {} attempt(s))",
+                outcome.kind(),
+                s.solution.iterations,
+                s.ranks,
+                s.threads,
+                s.attempts
+            ),
+            None => println!("  [{id}] {tenant}: {}", outcome.kind()),
+        }
+        if matches!(outcome.kind(), gaia_avugsr::serve::OutcomeKind::Faulted) {
+            faulted += 1;
+        }
+    }
+    let events = service.shutdown();
+    println!("event log: {} entries", events.len());
+    exit(if faulted > 0 { 1 } else { 0 })
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        run_serve();
+    }
     let args = parse_args();
 
     // Obtain the system: load a dataset or synthesize one, as in the

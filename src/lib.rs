@@ -11,6 +11,8 @@
 //! * [`gpu`] — the GPU platform/framework performance simulator;
 //! * [`p3`] — application efficiency and Pennycook's performance-portability
 //!   metric;
+//! * [`serve`] — the multi-tenant solve service (admission, deadlines,
+//!   retries, circuit breaking, graceful degradation);
 //! * [`telemetry`] — feature-gated per-kernel timing, counters, and JSON
 //!   run reports.
 
@@ -22,5 +24,6 @@ pub use gaia_gpu_sim as gpu;
 pub use gaia_lsqr as lsqr;
 pub use gaia_mpi_sim as mpi;
 pub use gaia_p3 as p3;
+pub use gaia_serve as serve;
 pub use gaia_sparse as sparse;
 pub use gaia_telemetry as telemetry;
