@@ -40,8 +40,13 @@ enum State {
     Closed { failures: u32 },
     /// Fast-failing until the cooldown deadline.
     Open { until: Instant },
-    /// One probe in flight; its outcome decides open vs closed.
-    HalfOpen,
+    /// One probe in flight; its outcome decides open vs closed. The
+    /// arming time bounds how long the slot stays reserved: a probe
+    /// that never reports back (shed in-queue, deadline-expired — paths
+    /// that deliberately record no health signal) would otherwise hold
+    /// the tenant in half-open forever, fast-failing every later
+    /// submission with no probe ever admitted again.
+    HalfOpen { since: Instant },
 }
 
 /// Per-tenant circuit breakers keyed by tenant name.
@@ -81,11 +86,38 @@ impl CircuitBreaker {
         match *state {
             State::Closed { .. } => true,
             State::Open { until } if now >= until => {
-                *state = State::HalfOpen;
+                *state = State::HalfOpen { since: now };
                 true
             }
             State::Open { .. } => false,
-            State::HalfOpen => false,
+            // A probe slot older than one cooldown is presumed lost
+            // (its request resolved via a path with no health signal);
+            // re-arm and admit a fresh probe so the tenant can recover.
+            State::HalfOpen { since } if now >= since + self.cfg.cooldown => {
+                *state = State::HalfOpen { since: now };
+                true
+            }
+            State::HalfOpen { .. } => false,
+        }
+    }
+
+    /// Release a half-open probe slot whose request resolved without a
+    /// health verdict (shed at the admission queue, deadline expired):
+    /// the circuit re-opens for another cooldown so a future probe is
+    /// admitted promptly instead of waiting out the stale-slot timeout.
+    /// No-op unless the tenant is half-open.
+    pub fn probe_aborted(&self, tenant: &str) {
+        // gaia-analyze: allow(timing): cooldown re-arming needs the real
+        // clock; this is admission control flow, not a measurement.
+        self.probe_aborted_at(tenant, Instant::now());
+    }
+
+    fn probe_aborted_at(&self, tenant: &str, now: Instant) {
+        let mut map = self.lock();
+        if let Some(state @ State::HalfOpen { .. }) = map.get_mut(tenant) {
+            *state = State::Open {
+                until: now + self.cfg.cooldown,
+            };
         }
     }
 
@@ -120,7 +152,7 @@ impl CircuitBreaker {
                     State::Closed { failures }
                 }
             }
-            State::HalfOpen | State::Open { .. } => State::Open {
+            State::HalfOpen { .. } | State::Open { .. } => State::Open {
                 until: now + self.cfg.cooldown,
             },
         };
@@ -171,6 +203,52 @@ mod tests {
             b.admit_at("a", later),
             "successful probe closed the circuit"
         );
+    }
+
+    #[test]
+    fn lost_probe_does_not_lock_the_tenant_out_forever() {
+        // A probe that never reports back (shed in-queue, deadline) used
+        // to leave the tenant half-open permanently: every admit refused,
+        // no path back to open or closed.
+        let b = breaker();
+        let t0 = Instant::now();
+        b.record_failure_at("a", t0);
+        b.record_failure_at("a", t0);
+        let probe_time = t0 + Duration::from_secs(11);
+        assert!(b.admit_at("a", probe_time), "probe admitted");
+        // The probe is lost: no record_success/record_failure ever comes.
+        assert!(
+            !b.admit_at("a", probe_time + Duration::from_secs(5)),
+            "slot still reserved within one cooldown"
+        );
+        let stale = probe_time + Duration::from_secs(11);
+        assert!(
+            b.admit_at("a", stale),
+            "stale probe slot re-arms: a fresh probe is admitted"
+        );
+        b.record_success("a");
+        assert!(b.admit_at("a", stale), "fresh probe can close the circuit");
+    }
+
+    #[test]
+    fn aborted_probe_reopens_promptly() {
+        let b = breaker();
+        let t0 = Instant::now();
+        b.record_failure_at("a", t0);
+        b.record_failure_at("a", t0);
+        let probe_time = t0 + Duration::from_secs(11);
+        assert!(b.admit_at("a", probe_time));
+        // The probe resolves with no health verdict (e.g. queue-shed).
+        b.probe_aborted_at("a", probe_time);
+        assert!(b.is_open("a"), "aborted probe re-opens the circuit");
+        assert!(!b.admit_at("a", probe_time + Duration::from_secs(5)));
+        assert!(
+            b.admit_at("a", probe_time + Duration::from_secs(11)),
+            "next cooldown admits another probe"
+        );
+        // Aborting when not half-open is a no-op.
+        b.probe_aborted_at("b", probe_time);
+        assert!(b.admit_at("b", probe_time));
     }
 
     #[test]

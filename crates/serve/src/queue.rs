@@ -1,8 +1,10 @@
 //! Bounded, fair-share admission queue.
 //!
-//! One lane per tenant, round-robin service across non-empty lanes, a
-//! global capacity bound (backpressure), and a per-tenant quota (one
-//! noisy tenant cannot occupy the whole queue). Rejections are *typed*
+//! One lane per tenant — created on first push, dropped when drained,
+//! so lane count tracks tenants *currently queued*, not every tenant
+//! name ever seen — round-robin service across the lanes, a global
+//! capacity bound (backpressure), and a per-tenant quota (one noisy
+//! tenant cannot occupy the whole queue). Rejections are *typed*
 //! ([`ShedReason`]) so callers can distinguish "the service is full"
 //! from "you specifically are over quota".
 //!
@@ -125,7 +127,22 @@ impl<T> AdmissionQueue<T> {
                 for step in 0..n {
                     let i = (st.cursor + step) % n;
                     if let Some(item) = st.lanes[i].items.pop_front() {
-                        st.cursor = (i + 1) % n;
+                        if st.lanes[i].items.is_empty() {
+                            // Drop the drained lane so a long-lived
+                            // service with many distinct tenants doesn't
+                            // grow (and linearly scan) lanes forever.
+                            // The lane after `i` shifts into slot `i`,
+                            // so the cursor stays at `i` to keep the
+                            // round-robin order intact.
+                            st.lanes.remove(i);
+                            st.cursor = if st.lanes.is_empty() {
+                                0
+                            } else {
+                                i % st.lanes.len()
+                            };
+                        } else {
+                            st.cursor = (i + 1) % n;
+                        }
                         st.len -= 1;
                         return Some(item);
                     }
@@ -193,6 +210,27 @@ mod tests {
         q.try_push("b", 4).unwrap();
         let (reason, _) = q.try_push("c", 5).unwrap_err();
         assert_eq!(reason, ShedReason::QueueFull);
+    }
+
+    #[test]
+    fn drained_lanes_are_dropped_and_fairness_survives_removal() {
+        let q: AdmissionQueue<String> = AdmissionQueue::new(4, 4);
+        // Many distinct tenant names over time must not accumulate lanes.
+        for round in 0..100 {
+            let tenant = format!("tenant-{round}");
+            q.try_push(&tenant, format!("{round}")).unwrap();
+            assert_eq!(q.pop().unwrap(), format!("{round}"));
+        }
+        assert_eq!(q.lock().lanes.len(), 0, "drained lanes linger");
+
+        // Round-robin stays fair across a lane removal mid-rotation.
+        q.try_push("a", "a1".into()).unwrap();
+        q.try_push("b", "b1".into()).unwrap();
+        q.try_push("c", "c1".into()).unwrap();
+        q.try_push("c", "c2".into()).unwrap();
+        let order: Vec<String> = (0..4).map(|_| q.pop().unwrap()).collect();
+        assert_eq!(order, ["a1", "b1", "c1", "c2"]);
+        assert_eq!(q.lock().lanes.len(), 0);
     }
 
     #[test]

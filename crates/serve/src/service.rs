@@ -3,9 +3,12 @@
 //! Each worker pops fair-share, decides a resource share from current
 //! queue pressure, and runs the request under the resilient supervisor
 //! with the request's deadline threaded in as a cooperative cancellation
-//! token. A panicking tenant is contained by `catch_unwind` (on top of
-//! the supervisor's own rank isolation), so no request can take down a
-//! worker, let alone the service.
+//! token. Panics are contained by two `catch_unwind` boundaries: one
+//! around the solve itself (a panicking tenant becomes a retryable
+//! failure) and a last-resort one around the whole execute path (a bug
+//! in telemetry or event logging still resolves the ticket `Faulted`
+//! instead of killing the worker), so no request can take down a worker,
+//! let alone the service.
 //!
 //! This file is the service's only thread-spawn site, and is allowlisted
 //! as such in `gaia-analyze` alongside the executor pool: every other
@@ -175,6 +178,49 @@ impl Inner {
             .push(event);
     }
 
+    fn finished_logged(&self, id: u64) -> bool {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .any(|e| matches!(e, ServiceEvent::Finished { id: fid, .. } if *fid == id))
+    }
+
+    /// [`execute`](Self::execute) with a last-resort panic boundary: a
+    /// panic anywhere in the execute path outside `solve_resilient`'s own
+    /// `catch_unwind` (telemetry, event logging, the backend registry)
+    /// must not kill the worker thread — that would silently shrink
+    /// capacity and leave the in-flight ticket unresolved, blocking its
+    /// `wait()` forever. The recovery resolves the ticket `Faulted` and
+    /// logs `Finished` exactly once, preserving the audit invariant.
+    fn execute_contained(&self, work: Work) {
+        let id = work.id;
+        let tenant = work.request.tenant.clone();
+        let ticket = work.ticket.clone();
+        if catch_unwind(AssertUnwindSafe(|| self.execute(work))).is_err() {
+            if ticket.try_outcome().is_some() {
+                // `finish` completed; the panic struck after resolution.
+                return;
+            }
+            // The panic may have landed between `finish`'s Finished log
+            // and the ticket resolution — log only if it didn't.
+            if !self.finished_logged(id) {
+                self.log(ServiceEvent::Finished {
+                    id,
+                    kind: OutcomeKind::Faulted,
+                });
+            }
+            // No breaker record here: `execute` may already have recorded
+            // one before the panic, and a service-side panic is not a
+            // tenant-health signal — but a half-open probe slot must not
+            // stay reserved for a verdict that will never come.
+            self.breaker.probe_aborted(&tenant);
+            ticket.resolve(Outcome::Faulted(
+                "service panicked outside the solve path".to_string(),
+            ));
+        }
+    }
+
     fn finish(&self, id: u64, tenant: &str, outcome: Outcome, ticket: &Ticket, wall: Duration) {
         let kind = outcome.kind();
         self.log(ServiceEvent::Finished { id, kind });
@@ -214,6 +260,7 @@ impl Inner {
         // Deadline enforcement in-queue: a request whose deadline struck
         // while waiting is never launched.
         if token.is_cancelled() {
+            self.breaker.probe_aborted(&request.tenant);
             self.finish(
                 id,
                 &request.tenant,
@@ -244,9 +291,15 @@ impl Inner {
         }
 
         let mut retries_used: u32 = 0;
+        // Iterations the most recent attempt completed, so a deadline
+        // firing *between* retries still reports how far the solve got
+        // (the Outcome::DeadlineExceeded contract: 0 = never launched).
+        let mut last_iterations: usize = 0;
         let outcome = loop {
             if token.is_cancelled() {
-                break Outcome::DeadlineExceeded { iterations: 0 };
+                break Outcome::DeadlineExceeded {
+                    iterations: last_iterations,
+                };
             }
             let attempt = catch_unwind(AssertUnwindSafe(|| {
                 solve_resilient(
@@ -258,7 +311,14 @@ impl Inner {
                             .unwrap_or_else(|| Box::new(SeqBackend) as Box<dyn Backend>)
                     },
                     &ResilienceOptions {
-                        policy: self.cfg.supervisor,
+                        // Fold the request id into the supervisor's
+                        // jitter seed (mirroring the service-level retry
+                        // seeding below) so concurrent tenants' in-solve
+                        // retry pauses decorrelate too.
+                        policy: RecoveryPolicy {
+                            jitter_seed: self.cfg.supervisor.jitter_seed ^ id,
+                            ..self.cfg.supervisor
+                        },
                         faults: request.faults.clone(),
                         collective_timeout: self.cfg.collective_timeout,
                         cancel: Some(token.clone()),
@@ -290,6 +350,7 @@ impl Inner {
                             Outcome::Converged(summary)
                         };
                     }
+                    last_iterations = report.solution.iterations;
                     format!(
                         "solve stopped without converging: {:?}",
                         report.solution.stop
@@ -336,8 +397,12 @@ impl Inner {
                 self.breaker.record_success(&request.tenant)
             }
             OutcomeKind::Faulted => self.breaker.record_failure(&request.tenant),
-            // A deadline says nothing about the tenant's health.
-            OutcomeKind::DeadlineExceeded | OutcomeKind::Shed => {}
+            // A deadline says nothing about the tenant's health — but if
+            // this request was the half-open probe, the slot must be
+            // released (back to open) or the tenant would wait out the
+            // breaker's stale-probe timeout before the next probe.
+            OutcomeKind::DeadlineExceeded => self.breaker.probe_aborted(&request.tenant),
+            OutcomeKind::Shed => {}
         }
         self.finish(id, &request.tenant, outcome, &ticket, start.elapsed());
     }
@@ -371,7 +436,7 @@ impl SolveService {
                     .name(format!("gaia-serve-{i}"))
                     .spawn(move || {
                         while let Some(work) = inner.queue.pop() {
-                            inner.execute(work);
+                            inner.execute_contained(work);
                         }
                     })
                     .unwrap_or_else(|e| panic!("spawn serve worker: {e}"))
@@ -429,6 +494,10 @@ impl SolveService {
                 gaia_telemetry::record_serve(&delta);
             }
             Err((reason, work)) => {
+                // A queue-shed request records no breaker outcome; if it
+                // was the tenant's half-open probe, release the slot so
+                // the breaker doesn't wait on a verdict that never comes.
+                self.inner.breaker.probe_aborted(&tenant);
                 self.inner.log(ServiceEvent::Shed { id, reason });
                 delta.shed = 1;
                 gaia_telemetry::record_serve(&delta);
@@ -457,8 +526,8 @@ impl SolveService {
     pub fn shutdown(mut self) -> Vec<ServiceEvent> {
         self.inner.queue.close();
         for handle in self.workers.drain(..) {
-            // A worker that panicked already resolved or never popped
-            // its work; joining is for resource hygiene, not outcomes.
+            // Workers survive per-request panics (`execute_contained`),
+            // so joining is for resource hygiene, not outcomes.
             let _ = handle.join();
         }
         self.events()

@@ -177,6 +177,50 @@ fn faulting_tenant_trips_its_breaker_without_touching_others() {
 }
 
 #[test]
+fn lost_breaker_probe_does_not_permanently_lock_out_a_tenant() {
+    let service = SolveService::start(ServiceConfig {
+        workers: 1,
+        retry: gaia_serve::RetryConfig {
+            max_retries: 0,
+            ..Default::default()
+        },
+        breaker: gaia_serve::BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(40),
+        },
+        ..ServiceConfig::default()
+    });
+    // Trip the breaker with two terminal faults.
+    for _ in 0..2 {
+        let mut req = SolveRequest::new("flaky", system(80));
+        req.backend = "no-such-backend".into();
+        let (_, t) = service.submit(req);
+        assert_eq!(t.wait().kind(), OutcomeKind::Faulted);
+    }
+    let (_, t) = service.submit(SolveRequest::new("flaky", system(81)));
+    assert!(matches!(t.wait(), Outcome::Shed(ShedReason::CircuitOpen)));
+    // After the cooldown the half-open probe is admitted — but it
+    // carries an already-expired deadline, so it resolves
+    // DeadlineExceeded and no breaker verdict ever arrives for it.
+    std::thread::sleep(Duration::from_millis(60));
+    let mut probe = SolveRequest::new("flaky", system(82));
+    probe.deadline = Some(Duration::ZERO);
+    let (_, t) = service.submit(probe);
+    assert_eq!(t.wait().kind(), OutcomeKind::DeadlineExceeded);
+    // The lost probe must not leave the tenant half-open forever: the
+    // slot reverts to open, and after another cooldown a fresh probe is
+    // admitted and closes the circuit.
+    std::thread::sleep(Duration::from_millis(60));
+    let (_, t) = service.submit(SolveRequest::new("flaky", system(83)));
+    assert_eq!(
+        t.wait().kind(),
+        OutcomeKind::Converged,
+        "tenant must be able to recover after a lost probe"
+    );
+    service.shutdown();
+}
+
+#[test]
 fn scripted_rank_panic_is_contained_and_recovered() {
     let plan = Arc::new(FaultPlan::scripted(31).with_event(0, 1, 2, FaultKind::RankPanic));
     let service = SolveService::start(ServiceConfig {
