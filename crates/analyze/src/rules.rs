@@ -363,16 +363,18 @@ fn rule_timing(ctx: &mut Ctx<'_>) {
     }
 }
 
-/// Is this file a kernel hot path (launch layer, kernels, or a backend
-/// policy struct) or the serve request path? Serve source counts: a
-/// panic in a service worker silently kills the lane draining every
-/// tenant's queue, so panicking shortcuts are held to kernel standards.
+/// Is this file a kernel hot path (launch layer, kernels, ELL layout, or
+/// a backend policy struct), the serve request path, or the auto-tuner
+/// search loop? Serve source counts: a panic in a service worker silently
+/// kills the lane draining every tenant's queue. The tuner counts too:
+/// a panic mid-search discards every measurement already taken, so its
+/// measurement loop is held to kernel standards.
 fn is_hot_path(path: &str) -> bool {
-    if path.starts_with("crates/serve/src/") {
+    if path.starts_with("crates/serve/src/") || path.starts_with("crates/bench/src/tune/") {
         return true;
     }
     let file = path.rsplit('/').next().unwrap_or(path);
-    file == "launch.rs" || file == "kernels.rs" || file.starts_with("backend_")
+    file == "launch.rs" || file == "kernels.rs" || file == "ell.rs" || file.starts_with("backend_")
 }
 
 /// `hot-unwrap`: panicking shortcuts are banned in kernel hot paths —
@@ -532,6 +534,18 @@ mod tests {
         );
         assert!(rules_of("crates/serve/tests/service.rs", bad).is_empty());
         assert!(rules_of("crates/backends/src/registry.rs", bad).is_empty());
+        // The auto-tuner's search loop and the ELL layout are hot paths
+        // too: a panic mid-search discards every measurement taken, and
+        // the ELL kernels run inside pool jobs.
+        assert_eq!(
+            rules_of("crates/bench/src/tune/mod.rs", bad),
+            vec!["hot-unwrap"]
+        );
+        assert_eq!(
+            rules_of("crates/sparse/src/ell.rs", bad),
+            vec!["hot-unwrap"]
+        );
+        assert!(rules_of("crates/bench/src/bin/tune.rs", bad).is_empty());
     }
 
     #[test]

@@ -1,11 +1,12 @@
-//! Chunked owner-computes backend (OpenMP-teams analogue).
+//! Chunked owner-computes backend (OpenMP-teams analogue), plus its
+//! variant-interior / ELL-layout siblings.
 
 use std::sync::Arc;
 
-use gaia_sparse::SparseSystem;
+use gaia_sparse::{MatrixLayout, SparseSystem};
 
 use crate::exec::ExecutorPool;
-use crate::launch::{Aprod2Spec, Aprod2Strategy, LaunchPlan};
+use crate::launch::{Aprod2Spec, Aprod2Strategy, KernelVariant, LaunchPlan};
 use crate::registry::tuned_name;
 use crate::traits::Backend;
 use crate::tuning::Tuning;
@@ -61,6 +62,95 @@ impl Backend for ChunkedBackend {
     }
 }
 
+/// Owner-computes plan with a non-default kernel interior or value layout
+/// — the registry's `unrolled` / `blocked` / `ell` names. Same write-sets
+/// as [`ChunkedBackend`], different loop shape or gather source, so the
+/// variant axis is benchmarkable and verifiable by name.
+#[derive(Debug, Clone)]
+pub struct VariantBackend {
+    policy: &'static str,
+    description: &'static str,
+    plan: LaunchPlan,
+    pool: Arc<ExecutorPool>,
+}
+
+impl VariantBackend {
+    fn build(
+        policy: &'static str,
+        description: &'static str,
+        tuning: Tuning,
+        variant: KernelVariant,
+        layout: MatrixLayout,
+    ) -> Self {
+        let plan = LaunchPlan::new(tuning, Aprod2Spec::uniform(Aprod2Strategy::OwnerComputes))
+            .with_variant(variant)
+            .with_matrix_layout(layout);
+        VariantBackend {
+            policy,
+            description,
+            plan,
+            pool: ExecutorPool::shared(tuning.threads),
+        }
+    }
+
+    /// Explicitly unrolled 5/12/6-wide interiors, row-major values.
+    pub fn unrolled(tuning: Tuning) -> Self {
+        VariantBackend::build(
+            "unrolled",
+            "owner-computes columns, unrolled 5/12/6-wide kernel interiors",
+            tuning,
+            KernelVariant::Unrolled,
+            MatrixLayout::RowMajor,
+        )
+    }
+
+    /// Cache-blocked attitude accumulation, row-major values.
+    pub fn blocked(tuning: Tuning) -> Self {
+        VariantBackend::build(
+            "blocked",
+            "owner-computes columns, cache-blocked attitude accumulation",
+            tuning,
+            KernelVariant::Blocked,
+            MatrixLayout::RowMajor,
+        )
+    }
+
+    /// Scalar interiors reading the slot-major ELL mirror.
+    pub fn ell(tuning: Tuning) -> Self {
+        VariantBackend::build(
+            "ell",
+            "owner-computes columns over the slot-major ELL value layout",
+            tuning,
+            KernelVariant::Scalar,
+            MatrixLayout::Ell,
+        )
+    }
+}
+
+impl Backend for VariantBackend {
+    fn name(&self) -> String {
+        tuned_name(self.policy, self.plan.tuning)
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn aprod1(&self, sys: &SparseSystem, x: &[f64], out: &mut [f64]) {
+        self.check_aprod1(sys, x, out);
+        self.plan.aprod1(&self.pool, sys, x, out);
+    }
+
+    fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
+        self.check_aprod2(sys, y, out);
+        self.plan.aprod2(&self.pool, sys, y, out);
+    }
+
+    fn launch_plan(&self) -> Option<LaunchPlan> {
+        Some(self.plan)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +174,18 @@ mod tests {
             chunks_per_thread: 4,
         });
         assert_eq!(b.name(), "chunked-t2-c4");
+    }
+
+    #[test]
+    fn variant_backends_carry_their_axis_in_the_plan() {
+        let t = Tuning::with_threads(2);
+        let u = VariantBackend::unrolled(t);
+        assert_eq!(u.name(), "unrolled-t2");
+        assert_eq!(u.launch_plan().unwrap().variant, KernelVariant::Unrolled);
+        let b = VariantBackend::blocked(t);
+        assert_eq!(b.launch_plan().unwrap().variant, KernelVariant::Blocked);
+        let e = VariantBackend::ell(t);
+        assert_eq!(e.launch_plan().unwrap().matrix_layout, MatrixLayout::Ell);
+        assert_eq!(e.launch_plan().unwrap().variant, KernelVariant::Scalar);
     }
 }

@@ -1,0 +1,188 @@
+//! Profile-driven backend: runs the persisted tuner winner per layout.
+//!
+//! The paper pins a tuned launch configuration per platform after its §V-B
+//! search; [`TunedBackend`] is that pinning made executable. At
+//! construction it loads every valid `gaia-tune-profile/v1` file from the
+//! tuning directory (see [`crate::profile::tuning_dir`]); at solve time it
+//! matches the live system's shape against the loaded profiles and runs
+//! the pinned [`LaunchPlan`] — or the default chunked plan when no profile
+//! matches, recording the fallback in telemetry so a silent mismatch shows
+//! up in run reports.
+
+use std::sync::Arc;
+
+use gaia_sparse::{SparseSystem, SystemLayout};
+use parking_lot::Mutex;
+
+use crate::exec::ExecutorPool;
+use crate::launch::{Aprod2Spec, Aprod2Strategy, LaunchPlan};
+use crate::profile::{self, LaunchProfile};
+use crate::registry::tuned_name;
+use crate::traits::Backend;
+use crate::tuning::Tuning;
+
+/// Backend that executes persisted tuning profiles, defaulting to the
+/// chunked owner-computes plan for shapes the tuner never saw.
+#[derive(Debug)]
+pub struct TunedBackend {
+    default_plan: LaunchPlan,
+    pool: Arc<ExecutorPool>,
+    profiles: Vec<LaunchProfile>,
+    /// Resolution cache: the last shape seen and the plan picked for it
+    /// (LSQR alternates `aprod1`/`aprod2` on one system, so one entry is
+    /// a perfect cache).
+    resolved: Mutex<Option<(SystemLayout, LaunchPlan)>>,
+}
+
+impl TunedBackend {
+    /// Create with explicit tuning, loading profiles from the default
+    /// tuning directory (`GAIA_TUNING_DIR` or `<results>/tuning`).
+    pub fn new(tuning: Tuning) -> Self {
+        let (profiles, _rejected) = profile::load_profiles();
+        TunedBackend::with_profiles(tuning, profiles)
+    }
+
+    /// Create with an explicit profile set (tests, in-process tuners).
+    pub fn with_profiles(tuning: Tuning, profiles: Vec<LaunchProfile>) -> Self {
+        TunedBackend {
+            default_plan: LaunchPlan::new(
+                tuning,
+                Aprod2Spec::uniform(Aprod2Strategy::OwnerComputes),
+            ),
+            pool: ExecutorPool::shared(tuning.threads),
+            profiles,
+            resolved: Mutex::new(None),
+        }
+    }
+
+    /// How many profiles were loaded and validated.
+    pub fn profile_count(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// The plan this backend would run for a system of shape `shape`:
+    /// the first matching profile's plan (re-tuned to this backend's
+    /// thread budget is *not* applied — the profile's own tuning wins,
+    /// that is what was measured), else the default plan.
+    pub fn plan_for(&self, shape: &SystemLayout) -> LaunchPlan {
+        for p in &self.profiles {
+            if p.shape == *shape {
+                if let Ok(plan) = p.to_plan() {
+                    return plan;
+                }
+            }
+        }
+        gaia_telemetry::record_tune_fallback();
+        self.default_plan
+    }
+
+    fn resolve(&self, sys: &SparseSystem) -> LaunchPlan {
+        let shape = *sys.layout();
+        let mut cached = self.resolved.lock();
+        if let Some((s, plan)) = *cached {
+            if s == shape {
+                return plan;
+            }
+        }
+        let plan = self.plan_for(&shape);
+        *cached = Some((shape, plan));
+        plan
+    }
+}
+
+impl Backend for TunedBackend {
+    fn name(&self) -> String {
+        tuned_name("tuned", self.default_plan.tuning)
+    }
+
+    fn description(&self) -> &'static str {
+        "persisted tuner winner per layout (falls back to owner-computes)"
+    }
+
+    fn aprod1(&self, sys: &SparseSystem, x: &[f64], out: &mut [f64]) {
+        self.check_aprod1(sys, x, out);
+        self.resolve(sys).aprod1(&self.pool, sys, x, out);
+    }
+
+    fn aprod2(&self, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
+        self.check_aprod2(sys, y, out);
+        self.resolve(sys).aprod2(&self.pool, sys, y, out);
+    }
+
+    /// The *default* plan — the one shape-independent answer. Per-shape
+    /// profile plans are each proven sound when loaded
+    /// ([`LaunchProfile::to_plan`] runs the canonical battery), so the
+    /// registry's static check on this plan plus the load-time checks
+    /// cover everything this backend can execute.
+    fn launch_plan(&self) -> Option<LaunchPlan> {
+        Some(self.default_plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::{KernelVariant, WorkerBudget};
+    use crate::SeqBackend;
+    use gaia_sparse::{Generator, GeneratorConfig, MatrixLayout};
+
+    fn tiny_profile() -> LaunchProfile {
+        let plan = LaunchPlan::new(
+            Tuning {
+                threads: 3,
+                chunks_per_thread: 2,
+            },
+            Aprod2Spec {
+                att: Aprod2Strategy::Replicated,
+                instr: Aprod2Strategy::Atomic,
+                glob: Aprod2Strategy::OwnerComputes,
+                budget: WorkerBudget::Uniform,
+            },
+        )
+        .with_variant(KernelVariant::Unrolled)
+        .with_matrix_layout(MatrixLayout::Ell);
+        LaunchProfile::from_plan("tiny", SystemLayout::tiny(), &plan)
+    }
+
+    #[test]
+    fn matching_profile_selects_its_plan() {
+        let b = TunedBackend::with_profiles(Tuning::with_threads(2), vec![tiny_profile()]);
+        let plan = b.plan_for(&SystemLayout::tiny());
+        assert_eq!(plan.variant, KernelVariant::Unrolled);
+        assert_eq!(plan.matrix_layout, MatrixLayout::Ell);
+        assert_eq!(plan.tuning.threads, 3);
+        // An unseen shape falls back to the default plan.
+        let fallback = b.plan_for(&SystemLayout::small());
+        assert_eq!(fallback, b.launch_plan().unwrap());
+    }
+
+    #[test]
+    fn tuned_solve_matches_sequential() {
+        let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(5)).generate();
+        let b = TunedBackend::with_profiles(Tuning::with_threads(3), vec![tiny_profile()]);
+        let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.7).cos()).collect();
+        let seq = SeqBackend;
+        let mut want1 = vec![0.0; sys.n_rows()];
+        seq.aprod1(&sys, &x, &mut want1);
+        let mut got1 = vec![0.0; sys.n_rows()];
+        b.aprod1(&sys, &x, &mut got1);
+        for (g, w) in got1.iter().zip(&want1) {
+            assert!((g - w).abs() < 1e-10);
+        }
+        let mut want2 = vec![0.0; sys.n_cols()];
+        seq.aprod2(&sys, &y, &mut want2);
+        let mut got2 = vec![0.0; sys.n_cols()];
+        b.aprod2(&sys, &y, &mut got2);
+        for (g, w) in got2.iter().zip(&want2) {
+            assert!((g - w).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn name_encodes_the_full_tuning() {
+        let b = TunedBackend::with_profiles(Tuning::with_threads(8), Vec::new());
+        assert_eq!(b.name(), "tuned-t8");
+        assert_eq!(b.profile_count(), 0);
+    }
+}

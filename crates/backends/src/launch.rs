@@ -26,7 +26,7 @@ use std::ops::Range;
 use std::sync::atomic::AtomicU64;
 
 use gaia_sparse::system::{ATT_NNZ_PER_ROW, INSTR_NNZ_PER_ROW};
-use gaia_sparse::{SparseSystem, ATT_AXES, ATT_PARAMS_PER_AXIS};
+use gaia_sparse::{MatrixLayout, SparseSystem, ATT_AXES, ATT_PARAMS_PER_AXIS};
 use gaia_telemetry::{Block, Phase};
 use parking_lot::Mutex;
 
@@ -189,14 +189,76 @@ impl Aprod2Spec {
     }
 }
 
-/// A backend's launch configuration: tuning + strategy spec. Owns all
-/// range computation and output partitioning for both products.
+/// Which kernel interior a plan launches — the paper's per-kernel tuning
+/// axis (§V): same arithmetic, different loop shape.
+///
+/// Composition with [`MatrixLayout`]: the layout decides which value
+/// arrays the *non-atomic* kernels read (`Ell` selects the slot-major
+/// readers for `aprod1`, the astrometric `aprod2`, and the full /
+/// owner-computes section kernels), while the variant picks the interior
+/// shape of the row-major paths. Atomic section kernels always read
+/// row-major (their cost is the RMW traffic, not the gather), so under
+/// `Ell` they fall back to the variant-selected row-major interior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelVariant {
+    /// The reference scalar interiors.
+    #[default]
+    Scalar,
+    /// Explicitly unrolled 5/12/6-wide interiors, bitwise-equal to scalar.
+    Unrolled,
+    /// Cache-blocked attitude `aprod2` accumulation (tile + axis sweep);
+    /// other sections use the unrolled interiors. Deterministic,
+    /// 1e-12-equivalent to scalar (reassociated sums).
+    Blocked,
+}
+
+impl KernelVariant {
+    /// Stable name used in profiles and CLI flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "scalar",
+            KernelVariant::Unrolled => "unrolled",
+            KernelVariant::Blocked => "blocked",
+        }
+    }
+
+    /// Parse a profile / CLI name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "scalar" => Some(KernelVariant::Scalar),
+            "unrolled" => Some(KernelVariant::Unrolled),
+            "blocked" => Some(KernelVariant::Blocked),
+            _ => None,
+        }
+    }
+
+    /// All variants, for tuner sweeps.
+    pub const ALL: [KernelVariant; 3] = [
+        KernelVariant::Scalar,
+        KernelVariant::Unrolled,
+        KernelVariant::Blocked,
+    ];
+}
+
+impl std::fmt::Display for KernelVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A backend's launch configuration: tuning + strategy spec + kernel
+/// interior selection. Owns all range computation and output partitioning
+/// for both products.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaunchPlan {
     /// Thread count and chunk granularity.
     pub tuning: Tuning,
     /// Conflict strategies and stream budget for `aprod2`.
     pub spec: Aprod2Spec,
+    /// Kernel interior shape (scalar / unrolled / blocked).
+    pub variant: KernelVariant,
+    /// Value layout the non-atomic kernels read (row-major / ELL).
+    pub matrix_layout: MatrixLayout,
 }
 
 /// Full-section accumulation over a row range (exclusive access).
@@ -214,22 +276,111 @@ struct SectionKernels {
     atomic: AtomicKernel,
 }
 
-const ATT_KERNELS: SectionKernels = SectionKernels {
-    full: kernels::aprod2_att,
-    owned: kernels::aprod2_att_owned,
-    atomic: aprod2_att_atomic,
-};
+/// Attitude section kernels for a (variant, layout) pair — the dispatch
+/// seam every `aprod2` strategy routes through.
+fn att_kernels(variant: KernelVariant, layout: MatrixLayout) -> SectionKernels {
+    let (full, owned) = match (layout, variant) {
+        (MatrixLayout::Ell, _) => (
+            kernels::aprod2_att_ell as FullKernel,
+            kernels::aprod2_att_owned_ell as OwnedKernel,
+        ),
+        (_, KernelVariant::Scalar) => (
+            kernels::aprod2_att as FullKernel,
+            kernels::aprod2_att_owned as OwnedKernel,
+        ),
+        (_, KernelVariant::Unrolled) => (
+            kernels::aprod2_att_unrolled as FullKernel,
+            kernels::aprod2_att_owned_unrolled as OwnedKernel,
+        ),
+        (_, KernelVariant::Blocked) => (
+            kernels::aprod2_att_blocked as FullKernel,
+            kernels::aprod2_att_owned_blocked as OwnedKernel,
+        ),
+    };
+    let atomic = match variant {
+        KernelVariant::Scalar => aprod2_att_atomic as AtomicKernel,
+        KernelVariant::Unrolled => aprod2_att_atomic_unrolled as AtomicKernel,
+        KernelVariant::Blocked => aprod2_att_atomic_blocked as AtomicKernel,
+    };
+    SectionKernels {
+        full,
+        owned,
+        atomic,
+    }
+}
 
-const INSTR_KERNELS: SectionKernels = SectionKernels {
-    full: kernels::aprod2_instr,
-    owned: kernels::aprod2_instr_owned,
-    atomic: aprod2_instr_atomic,
-};
+/// Instrumental section kernels for a (variant, layout) pair. The blocked
+/// variant has no dedicated instrumental interior (the columns are
+/// irregular, so there is no axis segment to tile) and shares the
+/// unrolled one.
+fn instr_kernels(variant: KernelVariant, layout: MatrixLayout) -> SectionKernels {
+    let (full, owned) = match (layout, variant) {
+        (MatrixLayout::Ell, _) => (
+            kernels::aprod2_instr_ell as FullKernel,
+            kernels::aprod2_instr_owned_ell as OwnedKernel,
+        ),
+        (_, KernelVariant::Scalar) => (
+            kernels::aprod2_instr as FullKernel,
+            kernels::aprod2_instr_owned as OwnedKernel,
+        ),
+        (_, KernelVariant::Unrolled | KernelVariant::Blocked) => (
+            kernels::aprod2_instr_unrolled as FullKernel,
+            kernels::aprod2_instr_owned_unrolled as OwnedKernel,
+        ),
+    };
+    let atomic = match variant {
+        KernelVariant::Scalar => aprod2_instr_atomic as AtomicKernel,
+        KernelVariant::Unrolled | KernelVariant::Blocked => {
+            aprod2_instr_atomic_unrolled as AtomicKernel
+        }
+    };
+    SectionKernels {
+        full,
+        owned,
+        atomic,
+    }
+}
+
+/// Astrometric `aprod2` kernel for a (variant, layout) pair.
+fn astro_kernel(variant: KernelVariant, layout: MatrixLayout) -> FullKernel {
+    match (layout, variant) {
+        (MatrixLayout::Ell, _) => kernels::aprod2_astro_ell,
+        (_, KernelVariant::Scalar) => kernels::aprod2_astro,
+        (_, KernelVariant::Unrolled | KernelVariant::Blocked) => kernels::aprod2_astro_unrolled,
+    }
+}
+
+/// `aprod1` range kernel for a (variant, layout) pair.
+fn aprod1_kernel(variant: KernelVariant, layout: MatrixLayout) -> FullKernel {
+    match (layout, variant) {
+        (MatrixLayout::Ell, _) => kernels::aprod1_range_ell,
+        (_, KernelVariant::Scalar) => kernels::aprod1_range,
+        (_, KernelVariant::Unrolled | KernelVariant::Blocked) => kernels::aprod1_range_unrolled,
+    }
+}
 
 impl LaunchPlan {
-    /// Build a plan from tuning and a strategy spec.
+    /// Build a plan from tuning and a strategy spec, with the default
+    /// scalar interiors over the row-major layout.
     pub fn new(tuning: Tuning, spec: Aprod2Spec) -> Self {
-        LaunchPlan { tuning, spec }
+        LaunchPlan {
+            tuning,
+            spec,
+            variant: KernelVariant::default(),
+            matrix_layout: MatrixLayout::default(),
+        }
+    }
+
+    /// Select a kernel interior variant.
+    pub fn with_variant(mut self, variant: KernelVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Select the value layout the non-atomic kernels read.
+    pub fn with_matrix_layout(mut self, layout: MatrixLayout) -> Self {
+        self.matrix_layout = layout;
+        self
     }
 
     /// Lower this plan against `dims` to the symbolic write model
@@ -279,7 +430,11 @@ impl LaunchPlan {
                     Stream::Instr => instr_w,
                     Stream::Glob => return 1,
                 };
-                (workers * self.tuning.chunks_per_thread).clamp(1, work.max(1))
+                // Saturating: a pathological `chunks_per_thread` must clamp
+                // to the work count, not overflow (see Tuning::effective_chunks).
+                workers
+                    .saturating_mul(self.tuning.chunks_per_thread)
+                    .clamp(1, work.max(1))
             }
         }
     }
@@ -288,13 +443,19 @@ impl LaunchPlan {
     /// conflict strategy is needed).
     pub fn aprod1(&self, pool: &ExecutorPool, sys: &SparseSystem, x: &[f64], out: &mut [f64]) {
         let n = sys.n_rows();
+        if self.matrix_layout == MatrixLayout::Ell {
+            // Build the mirror once here instead of under the first job's
+            // lazy init (OnceLock would serialize the workers against it).
+            let _ = sys.ell();
+        }
+        let kernel = aprod1_kernel(self.variant, self.matrix_layout);
         let ranges = split_ranges(n, self.aprod1_chunks(n));
         let mut jobs: Vec<Job<'_>> = Vec::with_capacity(ranges.len());
         let mut rest = out;
         for range in ranges {
             let (mine, tail) = rest.split_at_mut(range.len());
             rest = tail;
-            jobs.push(Box::new(move || kernels::aprod1_range(sys, x, range, mine)));
+            jobs.push(Box::new(move || kernel(sys, x, range, mine)));
         }
         pool.run(jobs);
     }
@@ -323,13 +484,20 @@ impl LaunchPlan {
 
         let mut jobs: Vec<Job<'_>> = Vec::new();
 
+        // Materialize the ELL mirror up front (single-threaded) rather
+        // than racing the lazy init from the first kernels to touch it.
+        if self.matrix_layout == MatrixLayout::Ell {
+            let _ = sys.ell();
+        }
+
         // Astrometric stream: star-aligned split, collision-free — each
         // star chunk owns an exactly matching slice of the astro section.
+        let astro_k = astro_kernel(self.variant, self.matrix_layout);
         let mut astro_rest = astro;
         for stars in split_ranges(n_stars, self.section_chunks(Stream::Astro, n_stars)) {
             let (mine, tail) = astro_rest.split_at_mut(stars.len() * 5);
             astro_rest = tail;
-            jobs.push(Box::new(move || kernels::aprod2_astro(sys, y, stars, mine)));
+            jobs.push(Box::new(move || astro_k(sys, y, stars, mine)));
         }
 
         let att_deferred = self.section_jobs(
@@ -339,7 +507,7 @@ impl LaunchPlan {
             0..n_rows,
             att,
             self.spec.att,
-            ATT_KERNELS,
+            att_kernels(self.variant, self.matrix_layout),
             &mut att_privates,
             &mut att_stripes,
             &mut jobs,
@@ -351,7 +519,7 @@ impl LaunchPlan {
             0..n_obs,
             instr,
             self.spec.instr,
-            INSTR_KERNELS,
+            instr_kernels(self.variant, self.matrix_layout),
             &mut instr_privates,
             &mut instr_stripes,
             &mut jobs,
@@ -623,6 +791,113 @@ fn aprod2_instr_atomic(
         for k in 0..INSTR_NNZ_PER_ROW {
             atomic_add(flavor, &out[cols[k] as usize], vals[k] * yr);
         }
+    }
+}
+
+/// Unrolled [`aprod2_att_atomic`]: the twelve RMWs spelled out per row.
+fn aprod2_att_atomic_unrolled(
+    sys: &SparseSystem,
+    y: &[f64],
+    rows: Range<usize>,
+    out: &[AtomicU64],
+    flavor: AtomicFlavor,
+) {
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Att);
+    t.add_bytes(rows.len() as u64 * (3 * ATT_NNZ_PER_ROW as u64 + 1) * 8);
+    t.add_rmws(rows.len() as u64 * ATT_NNZ_PER_ROW as u64);
+    let dof = sys.layout().n_deg_freedom_att as usize;
+    for row in rows {
+        sched::preempt_point(PROBE_ATT_ATOMIC);
+        let yr = y[row];
+        if yr == 0.0 {
+            continue;
+        }
+        let (vals, off) = sys.att_row(row);
+        let &[a0, a1, a2, a3, b0, b1, b2, b3, c0, c1, c2, c3] = vals else {
+            continue;
+        };
+        let base0 = off as usize;
+        let base1 = base0 + dof;
+        let base2 = base1 + dof;
+        atomic_add(flavor, &out[base0], a0 * yr);
+        atomic_add(flavor, &out[base0 + 1], a1 * yr);
+        atomic_add(flavor, &out[base0 + 2], a2 * yr);
+        atomic_add(flavor, &out[base0 + 3], a3 * yr);
+        atomic_add(flavor, &out[base1], b0 * yr);
+        atomic_add(flavor, &out[base1 + 1], b1 * yr);
+        atomic_add(flavor, &out[base1 + 2], b2 * yr);
+        atomic_add(flavor, &out[base1 + 3], b3 * yr);
+        atomic_add(flavor, &out[base2], c0 * yr);
+        atomic_add(flavor, &out[base2 + 1], c1 * yr);
+        atomic_add(flavor, &out[base2 + 2], c2 * yr);
+        atomic_add(flavor, &out[base2 + 3], c3 * yr);
+    }
+}
+
+/// Cache-blocked [`aprod2_att_atomic`]: rows in tiles, each tile swept
+/// axis-by-axis, so consecutive RMWs land in one axis segment.
+fn aprod2_att_atomic_blocked(
+    sys: &SparseSystem,
+    y: &[f64],
+    rows: Range<usize>,
+    out: &[AtomicU64],
+    flavor: AtomicFlavor,
+) {
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Att);
+    t.add_bytes(rows.len() as u64 * (3 * ATT_NNZ_PER_ROW as u64 + 1) * 8);
+    t.add_rmws(rows.len() as u64 * ATT_NNZ_PER_ROW as u64);
+    let dof = sys.layout().n_deg_freedom_att as usize;
+    let mut start = rows.start;
+    while start < rows.end {
+        let end = (start + kernels::ATT_BLOCK_TILE).min(rows.end);
+        for axis in 0..ATT_AXES as usize {
+            for (row, &yr) in (start..end).zip(&y[start..end]) {
+                sched::preempt_point(PROBE_ATT_ATOMIC);
+                if yr == 0.0 {
+                    continue;
+                }
+                let (vals, off) = sys.att_row(row);
+                let base = axis * dof + off as usize;
+                for k in 0..ATT_PARAMS_PER_AXIS as usize {
+                    atomic_add(
+                        flavor,
+                        &out[base + k],
+                        vals[axis * ATT_PARAMS_PER_AXIS as usize + k] * yr,
+                    );
+                }
+            }
+        }
+        start = end;
+    }
+}
+
+/// Unrolled [`aprod2_instr_atomic`]: the six RMWs spelled out per row.
+fn aprod2_instr_atomic_unrolled(
+    sys: &SparseSystem,
+    y: &[f64],
+    rows: Range<usize>,
+    out: &[AtomicU64],
+    flavor: AtomicFlavor,
+) {
+    let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Instr);
+    t.add_bytes(rows.len() as u64 * (3 * INSTR_NNZ_PER_ROW as u64 + 1) * 8);
+    t.add_rmws(rows.len() as u64 * INSTR_NNZ_PER_ROW as u64);
+    for row in rows {
+        sched::preempt_point(PROBE_INSTR_ATOMIC);
+        let yr = y[row];
+        if yr == 0.0 {
+            continue;
+        }
+        let (vals, cols) = sys.instr_row(row);
+        let (&[v0, v1, v2, v3, v4, v5], &[c0, c1, c2, c3, c4, c5]) = (vals, cols) else {
+            continue;
+        };
+        atomic_add(flavor, &out[c0 as usize], v0 * yr);
+        atomic_add(flavor, &out[c1 as usize], v1 * yr);
+        atomic_add(flavor, &out[c2 as usize], v2 * yr);
+        atomic_add(flavor, &out[c3 as usize], v3 * yr);
+        atomic_add(flavor, &out[c4 as usize], v4 * yr);
+        atomic_add(flavor, &out[c5 as usize], v5 * yr);
     }
 }
 
@@ -911,5 +1186,79 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Every kernel variant × matrix layout must match the serial scalar
+    /// kernels on every strategy chassis — the dispatch-seam property the
+    /// tuner relies on to search the space safely.
+    #[test]
+    fn every_variant_and_layout_matches_the_serial_kernels() {
+        use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
+        let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(13)).generate();
+        let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.17).sin()).collect();
+        let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.29).cos()).collect();
+        let mut want1 = vec![0.0; sys.n_rows()];
+        kernels::aprod1_range(&sys, &x, 0..sys.n_rows(), &mut want1);
+        let mut want2 = vec![0.0; sys.n_cols()];
+        {
+            let c = sys.columns();
+            let (astro, rest) = want2.split_at_mut(c.att as usize);
+            let (att, rest2) = rest.split_at_mut((c.instr - c.att) as usize);
+            let (instr, glob) = rest2.split_at_mut((c.glob - c.instr) as usize);
+            kernels::aprod2_astro(&sys, &y, 0..sys.layout().n_stars as usize, astro);
+            kernels::aprod2_att(&sys, &y, 0..sys.n_rows(), att);
+            kernels::aprod2_instr(&sys, &y, 0..sys.n_obs_rows(), instr);
+            kernels::aprod2_glob(&sys, &y, 0..sys.n_obs_rows(), glob);
+        }
+        let pool = ExecutorPool::new(3);
+        let strategies = [
+            Aprod2Strategy::OwnerComputes,
+            Aprod2Strategy::Atomic,
+            Aprod2Strategy::Replicated,
+            Aprod2Strategy::LockStriped { stripes: 5 },
+        ];
+        for variant in KernelVariant::ALL {
+            for layout in MatrixLayout::ALL {
+                for strategy in strategies {
+                    for spec in [
+                        Aprod2Spec::uniform(strategy),
+                        Aprod2Spec::streamed(strategy),
+                    ] {
+                        let plan = LaunchPlan::new(tuning_2x4(), spec)
+                            .with_variant(variant)
+                            .with_matrix_layout(layout);
+                        let mut got1 = vec![0.0; sys.n_rows()];
+                        plan.aprod1(&pool, &sys, &x, &mut got1);
+                        for (g, w) in got1.iter().zip(&want1) {
+                            assert!(
+                                (g - w).abs() < 1e-10,
+                                "aprod1 {variant:?} {layout:?}: {g} vs {w}"
+                            );
+                        }
+                        let mut got2 = vec![0.0; sys.n_cols()];
+                        plan.aprod2(&pool, &sys, &y, &mut got2);
+                        for (g, w) in got2.iter().zip(&want2) {
+                            assert!(
+                                (g - w).abs() < 1e-10,
+                                "aprod2 {variant:?} {layout:?} {strategy:?} {spec:?}: {g} vs {w}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variant_and_layout_names_round_trip() {
+        for v in KernelVariant::ALL {
+            assert_eq!(KernelVariant::parse(v.as_str()), Some(v));
+        }
+        assert_eq!(KernelVariant::parse("simd"), None);
+        assert_eq!(KernelVariant::default(), KernelVariant::Scalar);
+        // A plan built by `new` is the scalar/row-major default.
+        let plan = LaunchPlan::new(tuning_2x4(), Aprod2Spec::uniform(Aprod2Strategy::Atomic));
+        assert_eq!(plan.variant, KernelVariant::Scalar);
+        assert_eq!(plan.matrix_layout, MatrixLayout::RowMajor);
     }
 }

@@ -39,6 +39,7 @@ pub mod instrumented;
 pub mod kernels;
 pub mod launch;
 pub mod plan_check;
+pub mod profile;
 pub mod registry;
 pub mod traits;
 pub mod tuning;
@@ -52,6 +53,7 @@ mod backend_replicated;
 mod backend_seq;
 mod backend_streamed;
 mod backend_striped;
+mod backend_tuned;
 
 pub use backend_atomic::{AtomicBackend, CasLoopBackend};
 pub use backend_chunked::ChunkedBackend;
@@ -62,14 +64,18 @@ pub use backend_replicated::ReplicatedBackend;
 pub use backend_seq::SeqBackend;
 pub use backend_streamed::StreamedBackend;
 pub use backend_striped::StripedBackend;
+pub use backend_tuned::TunedBackend;
 pub use chaos::{ChaosBackend, ChaosMode, ChaosTarget};
 pub use exec::ExecutorPool;
 pub use instrumented::InstrumentedBackend;
-pub use launch::{Aprod2Spec, Aprod2Strategy, AtomicFlavor, LaunchPlan, WorkerBudget};
+pub use launch::{
+    Aprod2Spec, Aprod2Strategy, AtomicFlavor, KernelVariant, LaunchPlan, WorkerBudget,
+};
 pub use plan_check::{
     check_sections, PlanDims, PlanError, PlanProof, PlanViolation, SectionId, SectionModel,
     WriteAccess,
 };
+pub use profile::{LaunchProfile, ProfileError, PROFILE_SCHEMA};
 pub use registry::{
     all_backends, backend_by_name, backend_names, grid_backends, instrumented_by_name,
 };

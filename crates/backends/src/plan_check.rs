@@ -662,6 +662,46 @@ mod tests {
         }
     }
 
+    /// Kernel variant and value layout change loop shape and gather
+    /// source, never write-sets: every variant × layout combination must
+    /// lower to the same sound model as the scalar row-major plan.
+    #[test]
+    fn every_variant_and_layout_is_sound_on_canonical_dims() {
+        use crate::launch::KernelVariant;
+        use gaia_sparse::MatrixLayout;
+        let strategies = [
+            Aprod2Strategy::OwnerComputes,
+            Aprod2Strategy::Atomic,
+            Aprod2Strategy::Replicated,
+            Aprod2Strategy::LockStriped { stripes: 8 },
+        ];
+        for strategy in strategies {
+            for streamed in [false, true] {
+                let base = plan(strategy, streamed);
+                let scalar_model: Vec<_> = PlanDims::canonical()
+                    .iter()
+                    .map(|d| write_model(&base, d))
+                    .collect();
+                for variant in KernelVariant::ALL {
+                    for layout in MatrixLayout::ALL {
+                        let p = base.with_variant(variant).with_matrix_layout(layout);
+                        p.analyze_canonical().unwrap_or_else(|e| {
+                            panic!("{variant}/{layout:?} {strategy:?} judged unsound:\n{e}")
+                        });
+                        let model: Vec<_> = PlanDims::canonical()
+                            .iter()
+                            .map(|d| write_model(&p, d))
+                            .collect();
+                        assert_eq!(
+                            model, scalar_model,
+                            "{variant}/{layout:?} changed the write model"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn overlapping_owned_partition_is_rejected_as_overlap() {
         let s = SectionModel {

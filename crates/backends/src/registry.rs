@@ -6,12 +6,13 @@
 //! [`crate::traits::Backend::name`] emits into telemetry reports — parse
 //! back to an equivalent backend, so every reported name round-trips.
 
+use crate::backend_chunked::VariantBackend;
 use crate::instrumented::InstrumentedBackend;
 use crate::traits::Backend;
 use crate::tuning::Tuning;
 use crate::{
     AtomicBackend, CasLoopBackend, ChunkedBackend, RayonBackend, ReplicatedBackend, SeqBackend,
-    StreamedBackend, StripedBackend,
+    StreamedBackend, StripedBackend, TunedBackend,
 };
 
 /// Names of all registered backend strategies.
@@ -26,6 +27,10 @@ pub fn backend_names() -> &'static [&'static str] {
         "rayon",
         "streamed",
         "hybrid",
+        "unrolled",
+        "blocked",
+        "ell",
+        "tuned",
     ]
 }
 
@@ -118,6 +123,10 @@ pub fn backend_by_name(name: &str, threads: usize) -> Option<Box<dyn Backend>> {
         "rayon" => Box::new(RayonBackend),
         "streamed" => Box::new(StreamedBackend::new(tuning)),
         "hybrid" => Box::new(crate::HybridBackend::new(tuning)),
+        "unrolled" => Box::new(VariantBackend::unrolled(tuning)),
+        "blocked" => Box::new(VariantBackend::blocked(tuning)),
+        "ell" => Box::new(VariantBackend::ell(tuning)),
+        "tuned" => Box::new(TunedBackend::new(tuning)),
         _ => return None,
     };
     if let Some(plan) = backend.launch_plan() {
@@ -192,6 +201,25 @@ mod tests {
         }
     }
 
+    /// The tuned-profile names obey the same `-t/-c` suffix grammar as
+    /// every other policy (the PR-8 grammar satellite).
+    #[test]
+    fn variant_and_tuned_names_round_trip_with_suffixes() {
+        for name in [
+            "unrolled-t3",
+            "blocked-t2-c4",
+            "ell-t1",
+            "tuned-t5",
+            "tuned-t3-c2",
+        ] {
+            let b = backend_by_name(name, 9).unwrap_or_else(|| panic!("{name}"));
+            assert_eq!(b.name(), name);
+        }
+        for bad in ["unrolled-c2", "tuned-t0x", "ell-t2-c2-x"] {
+            assert!(backend_by_name(bad, 2).is_none(), "{bad}");
+        }
+    }
+
     #[test]
     fn explicit_suffix_overrides_the_thread_argument() {
         let b = backend_by_name("chunked-t6", 2).unwrap();
@@ -216,8 +244,10 @@ mod tests {
     }
 
     /// Every plan-driven backend the registry hands out must carry a plan
-    /// the static checker accepts — and exactly the seven policy structs
-    /// (everything but seq / rayon) are plan-driven.
+    /// the static checker accepts — and every policy struct except seq /
+    /// rayon is plan-driven (including the variant-interior names and the
+    /// profile-driven `tuned` backend, whose default plan is checked here
+    /// and whose per-shape profile plans are checked at load time).
     #[test]
     fn registry_plans_pass_static_analysis() {
         for threads in [1usize, 4, 64] {
@@ -243,6 +273,41 @@ mod tests {
             let wrapped = instrumented_by_name(name, 2).unwrap();
             assert_eq!(wrapped.name(), plain.name());
             assert_eq!(wrapped.description(), plain.description());
+        }
+    }
+
+    /// Boundary audit for `Tuning::effective_chunks` across every tuned
+    /// policy: a registry `-c` suffix of `usize::MAX` used to overflow the
+    /// raw `threads × chunks_per_thread` multiply (panic in debug, tiny
+    /// wrapped chunk count in release); the saturating clamp must instead
+    /// bound the chunk budget by the work count and keep results exact.
+    #[test]
+    fn extreme_chunk_suffixes_are_clamped_not_overflowed() {
+        use gaia_sparse::{Generator, GeneratorConfig, SystemLayout};
+        let sys = Generator::new(GeneratorConfig::new(SystemLayout::tiny()).seed(11)).generate();
+        let x: Vec<f64> = (0..sys.n_cols()).map(|i| (i as f64 * 0.13).sin()).collect();
+        let y: Vec<f64> = (0..sys.n_rows()).map(|i| (i as f64 * 0.31).cos()).collect();
+        let seq = SeqBackend;
+        let mut want1 = vec![0.0; sys.n_rows()];
+        seq.aprod1(&sys, &x, &mut want1);
+        let mut want2 = vec![0.0; sys.n_cols()];
+        seq.aprod2(&sys, &y, &mut want2);
+        for policy in backend_names()
+            .iter()
+            .filter(|n| !matches!(**n, "seq" | "rayon"))
+        {
+            let name = format!("{policy}-t3-c{}", usize::MAX);
+            let b = backend_by_name(&name, 2).unwrap_or_else(|| panic!("{name} must parse"));
+            let mut got1 = vec![0.0; sys.n_rows()];
+            b.aprod1(&sys, &x, &mut got1);
+            let mut got2 = vec![0.0; sys.n_cols()];
+            b.aprod2(&sys, &y, &mut got2);
+            for (g, w) in got1.iter().zip(&want1) {
+                assert!((g - w).abs() < 1e-10, "{name} aprod1");
+            }
+            for (g, w) in got2.iter().zip(&want2) {
+                assert!((g - w).abs() < 1e-10, "{name} aprod2");
+            }
         }
     }
 

@@ -38,7 +38,20 @@ impl Tuning {
 
     /// Total chunk count for a work size of `n` items (never exceeds `n`).
     pub fn chunk_count(&self, n: usize) -> usize {
-        (self.threads * self.chunks_per_thread).clamp(1, n.max(1))
+        self.effective_chunks(n)
+    }
+
+    /// The clamp behind [`Tuning::chunk_count`], spelled out: the raw
+    /// budget is `threads × chunks_per_thread`, saturating — a registry
+    /// suffix like `-c18446744073709551615` must clamp to the work count,
+    /// not overflow (the old `*` panicked in debug builds and wrapped to
+    /// a tiny chunk count in release) — and the result always lies in
+    /// `1..=n.max(1)` so empty work still yields one (empty) chunk.
+    pub fn effective_chunks(&self, n: usize) -> usize {
+        self.threads
+            .max(1)
+            .saturating_mul(self.chunks_per_thread.max(1))
+            .clamp(1, n.max(1))
     }
 }
 
@@ -66,5 +79,44 @@ mod tests {
     #[test]
     fn with_threads_clamps_to_one() {
         assert_eq!(Tuning::with_threads(0).threads, 1);
+    }
+
+    /// Boundary audit: n = 0, n < threads, and budgets that would
+    /// overflow `threads × chunks_per_thread`.
+    #[test]
+    fn effective_chunks_boundaries() {
+        // n = 0: one empty chunk, never zero.
+        for t in [1usize, 7, 64] {
+            for c in [1usize, 16, usize::MAX] {
+                let tuning = Tuning {
+                    threads: t,
+                    chunks_per_thread: c,
+                };
+                assert_eq!(tuning.effective_chunks(0), 1, "t={t} c={c}");
+            }
+        }
+        // n < threads: clamp to n.
+        let t = Tuning {
+            threads: 16,
+            chunks_per_thread: 1,
+        };
+        assert_eq!(t.effective_chunks(5), 5);
+        assert_eq!(t.effective_chunks(1), 1);
+        // Huge chunks_per_thread: saturate, then clamp to the work count
+        // (the old unchecked multiply overflowed here).
+        let huge = Tuning {
+            threads: 8,
+            chunks_per_thread: usize::MAX,
+        };
+        assert_eq!(huge.effective_chunks(1000), 1000);
+        assert_eq!(huge.effective_chunks(1), 1);
+        // Degenerate zero fields behave like 1.
+        let zeroed = Tuning {
+            threads: 0,
+            chunks_per_thread: 0,
+        };
+        assert_eq!(zeroed.effective_chunks(10), 1);
+        // chunk_count stays an alias of effective_chunks.
+        assert_eq!(huge.chunk_count(42), huge.effective_chunks(42));
     }
 }

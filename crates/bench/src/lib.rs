@@ -24,6 +24,7 @@ pub mod gate;
 pub mod report_gen;
 pub mod stats;
 pub mod sweep;
+pub mod tune;
 
 use std::io;
 use std::path::{Path, PathBuf};

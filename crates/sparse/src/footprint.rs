@@ -113,6 +113,30 @@ pub fn aprod_flops(layout: &SystemLayout, kind: BlockKind) -> u64 {
     2 * layout.nnz(kind)
 }
 
+/// Bytes held by the ELL (slot-major) mirror of a system
+/// ([`crate::ell::EllSystem`]).
+///
+/// The mirror stores exactly the device arrays — every block's values,
+/// both row-index arrays, the instrument columns, and the known terms —
+/// transposed but not compressed, so its size equals
+/// [`device_bytes`]. Kept as its own function so the equality is a
+/// documented invariant, not a coincidence.
+pub fn ell_mirror_bytes(layout: &SystemLayout) -> u64 {
+    device_bytes(layout)
+}
+
+/// Total matrix bytes resident when a backend runs with the given value
+/// layout. The ELL mirror is a *cache alongside* the row-major arrays
+/// (kernels that need row-major views — and the round-trip guarantee —
+/// keep the originals), so selecting [`crate::ell::MatrixLayout::Ell`]
+/// doubles the matrix residency rather than replacing it.
+pub fn resident_matrix_bytes(layout: &SystemLayout, value_layout: crate::ell::MatrixLayout) -> u64 {
+    match value_layout {
+        crate::ell::MatrixLayout::RowMajor => device_bytes(layout),
+        crate::ell::MatrixLayout::Ell => device_bytes(layout) + ell_mirror_bytes(layout),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +177,41 @@ mod tests {
             assert!(aprod2_traffic_bytes(&l, kind) >= aprod1_traffic_bytes(&l, kind));
             assert_eq!(aprod_flops(&l, kind), 2 * l.nnz(kind));
         }
+    }
+
+    #[test]
+    fn ell_mirror_matches_its_materialized_size() {
+        use crate::ell::{EllSystem, MatrixLayout};
+        use crate::generator::{Generator, GeneratorConfig};
+        let l = SystemLayout::tiny();
+        let sys = Generator::new(GeneratorConfig::new(l).seed(7)).generate();
+        let ell = EllSystem::from_system(&sys);
+        // Count what the mirror actually holds, independent of the
+        // accounting formula: 5+12+6(+glob) values, 6 u32 columns, two u64
+        // row-index arrays, and the known terms.
+        let n_obs = sys.n_obs_rows() as u64;
+        let n_rows = sys.n_rows() as u64;
+        let counted = (sys.values_astro().len()
+            + sys.values_att().len()
+            + sys.values_instr().len()
+            + sys.values_glob().len()
+            + sys.known_terms().len()) as u64
+            * VALUE_BYTES
+            + (n_obs + n_rows) * ROW_INDEX_BYTES
+            + sys.instr_col().len() as u64 * INSTR_COL_BYTES;
+        assert_eq!(ell_mirror_bytes(&l), counted);
+        assert_eq!(ell.resident_bytes(), counted);
+        // The transpose is size-preserving: mirror == device arrays.
+        assert_eq!(ell_mirror_bytes(&l), device_bytes(&l));
+        // Selecting the ELL layout keeps the row-major arrays alive.
+        assert_eq!(
+            resident_matrix_bytes(&l, MatrixLayout::Ell),
+            2 * device_bytes(&l)
+        );
+        assert_eq!(
+            resident_matrix_bytes(&l, MatrixLayout::RowMajor),
+            device_bytes(&l)
+        );
     }
 
     #[test]

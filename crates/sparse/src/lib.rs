@@ -48,6 +48,7 @@ pub mod builder;
 pub mod constraints;
 pub mod csr;
 pub mod dense;
+pub mod ell;
 pub mod footprint;
 pub mod fuzz;
 pub mod generator;
@@ -57,6 +58,7 @@ pub mod partition;
 pub mod stats;
 pub mod system;
 
+pub use ell::{EllSystem, MatrixLayout};
 pub use generator::{AttitudePattern, Generator, GeneratorConfig, InstrumentPattern, Rhs};
 pub use layout::{BlockKind, ColumnBlocks, SystemLayout};
 pub use partition::{RowPartition, RowRange};

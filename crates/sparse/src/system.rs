@@ -13,6 +13,9 @@
 //! Constraint rows (appended after the `n_stars × obs_per_star` observation
 //! rows) carry only attitude coefficients; see [`crate::constraints`].
 
+use std::sync::OnceLock;
+
+use crate::ell::EllSystem;
 #[cfg(test)]
 use crate::layout::BlockKind;
 use crate::layout::{ColumnBlocks, SystemLayout};
@@ -54,6 +57,9 @@ pub struct SparseSystem {
     instr_col: Vec<u32>,
     /// Known terms `b`, `n_rows`.
     known_terms: Vec<f64>,
+    /// Lazily built ELL (slot-major) mirror, shared by layout-aware
+    /// kernels. Reset by every mutating method so it can never go stale.
+    ell: OnceLock<EllSystem>,
 }
 
 impl SparseSystem {
@@ -201,7 +207,17 @@ impl SparseSystem {
             matrix_index_att,
             instr_col,
             known_terms,
+            ell: OnceLock::new(),
         })
+    }
+
+    /// The ELL (slot-major) mirror, built on first use and cached.
+    ///
+    /// Layout-aware kernels call this per section; the transpose cost is
+    /// paid once per system (and re-paid only after a mutation, which
+    /// resets the cache).
+    pub fn ell(&self) -> &EllSystem {
+        self.ell.get_or_init(|| EllSystem::from_system(self))
     }
 
     /// The layout this system was built from.
@@ -239,6 +255,7 @@ impl SparseSystem {
     pub fn set_known_terms(&mut self, b: Vec<f64>) {
         assert_eq!(b.len(), self.n_rows(), "known terms length mismatch");
         self.known_terms = b;
+        self.ell = OnceLock::new();
     }
 
     /// Astrometric coefficients of an observation row and the absolute
@@ -394,6 +411,7 @@ impl SparseSystem {
     /// asserted bitwise for deterministic backends.
     pub fn scale_column(&mut self, col: u64, factor: f64) -> usize {
         assert!(col < self.cols.end, "column {col} out of range");
+        self.ell = OnceLock::new();
         let mut touched = 0usize;
         if col < self.cols.att {
             for row in 0..self.n_obs_rows() {
@@ -486,6 +504,7 @@ impl SparseSystem {
         self.matrix_index_att = gather(&self.matrix_index_att, perm, n_rows, 1);
         self.instr_col = gather(&self.instr_col, perm, n_obs, INSTR_NNZ_PER_ROW);
         self.known_terms = gather(&self.known_terms, perm, n_rows, 1);
+        self.ell = OnceLock::new();
         Ok(())
     }
 }
@@ -777,6 +796,23 @@ mod tests {
             s.permute_rows(&[0usize]),
             Err(SystemError::ArrayLength { name: "perm", .. })
         ));
+    }
+
+    #[test]
+    fn ell_cache_resets_on_mutation() {
+        let mut s = sys();
+        let before = s.ell().astro_slot(0)[0];
+        let touched = s.scale_column(0, 2.0);
+        assert!(touched > 0);
+        // The mirror must reflect the scaled values, not the cached ones.
+        assert_eq!(s.ell().astro_slot(0)[0], 2.0 * before);
+        let mut b = s.known_terms().to_vec();
+        b[0] += 1.0;
+        let want = b[0];
+        s.set_known_terms(b);
+        let ell = s.ell();
+        let back = ell.to_system().unwrap();
+        assert_eq!(back.known_terms()[0], want);
     }
 
     #[test]

@@ -249,6 +249,38 @@ impl GateCell {
     }
 }
 
+/// Auto-tuning accounting — what the launch-profile search (`gaia-bench
+/// --bin tune`) explored and what the `tuned` backend loaded back. The
+/// search half records configurations measured and the wall-clock spent
+/// inside timed sections; the load half records how many persisted
+/// profiles were accepted, rejected, or substituted by the default plan at
+/// solve time (`fallbacks`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TuneCell {
+    /// Launch configurations the search measured.
+    pub configs_explored: u64,
+    /// Total timing repeats executed across configurations.
+    pub measurements: u64,
+    /// Wall-clock spent inside the tuner's timed kernel sections.
+    pub measure_seconds: f64,
+    /// Winning profiles persisted to disk.
+    pub profiles_persisted: u64,
+    /// Persisted profiles loaded and validated successfully.
+    pub profiles_loaded: u64,
+    /// Persisted profiles rejected (bad schema, field, or unsound plan).
+    pub profiles_rejected: u64,
+    /// `tuned`-backend resolutions that found no matching profile and ran
+    /// the default plan instead.
+    pub fallbacks: u64,
+}
+
+impl TuneCell {
+    /// True when no tuning activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == TuneCell::default()
+    }
+}
+
 /// Per-tenant usage accounting inside a [`ServeCell`]: how many requests
 /// a tenant ran to completion and how much solver wall-clock it consumed.
 /// The fairness ledger of the serving layer — the overload bench asserts
@@ -394,6 +426,10 @@ pub struct TelemetrySnapshot {
     /// serde default).
     #[serde(default)]
     pub serve: ServeCell,
+    /// Auto-tuning accounting (absent in pre-tune artifacts, hence the
+    /// serde default).
+    #[serde(default)]
+    pub tune: TuneCell,
 }
 
 impl TelemetrySnapshot {
@@ -417,6 +453,7 @@ impl TelemetrySnapshot {
             analyze: AnalyzeCell::default(),
             gate: GateCell::default(),
             serve: ServeCell::default(),
+            tune: TuneCell::default(),
         }
     }
 
@@ -752,6 +789,69 @@ mod imp {
         }
     }
 
+    /// Atomic mirror of [`super::TuneCell`]; seconds kept as nanos.
+    pub struct Tune {
+        pub configs_explored: AtomicU64,
+        pub measurements: AtomicU64,
+        pub measure_nanos: AtomicU64,
+        pub profiles_persisted: AtomicU64,
+        pub profiles_loaded: AtomicU64,
+        pub profiles_rejected: AtomicU64,
+        pub fallbacks: AtomicU64,
+    }
+
+    impl Tune {
+        const fn new() -> Self {
+            Tune {
+                configs_explored: AtomicU64::new(0),
+                measurements: AtomicU64::new(0),
+                measure_nanos: AtomicU64::new(0),
+                profiles_persisted: AtomicU64::new(0),
+                profiles_loaded: AtomicU64::new(0),
+                profiles_rejected: AtomicU64::new(0),
+                fallbacks: AtomicU64::new(0),
+            }
+        }
+
+        fn reset(&self) {
+            self.configs_explored.store(0, Ordering::Relaxed);
+            self.measurements.store(0, Ordering::Relaxed);
+            self.measure_nanos.store(0, Ordering::Relaxed);
+            self.profiles_persisted.store(0, Ordering::Relaxed);
+            self.profiles_loaded.store(0, Ordering::Relaxed);
+            self.profiles_rejected.store(0, Ordering::Relaxed);
+            self.fallbacks.store(0, Ordering::Relaxed);
+        }
+
+        pub fn merge(&self, delta: &super::TuneCell) {
+            self.configs_explored
+                .fetch_add(delta.configs_explored, Ordering::Relaxed);
+            self.measurements
+                .fetch_add(delta.measurements, Ordering::Relaxed);
+            self.measure_nanos
+                .fetch_add((delta.measure_seconds * 1e9) as u64, Ordering::Relaxed);
+            self.profiles_persisted
+                .fetch_add(delta.profiles_persisted, Ordering::Relaxed);
+            self.profiles_loaded
+                .fetch_add(delta.profiles_loaded, Ordering::Relaxed);
+            self.profiles_rejected
+                .fetch_add(delta.profiles_rejected, Ordering::Relaxed);
+            self.fallbacks.fetch_add(delta.fallbacks, Ordering::Relaxed);
+        }
+
+        pub fn cell(&self) -> super::TuneCell {
+            super::TuneCell {
+                configs_explored: self.configs_explored.load(Ordering::Relaxed),
+                measurements: self.measurements.load(Ordering::Relaxed),
+                measure_seconds: self.measure_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+                profiles_persisted: self.profiles_persisted.load(Ordering::Relaxed),
+                profiles_loaded: self.profiles_loaded.load(Ordering::Relaxed),
+                profiles_rejected: self.profiles_rejected.load(Ordering::Relaxed),
+                fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            }
+        }
+    }
+
     /// Mirror of [`super::ServeCell`]. The cell carries a `Vec` of
     /// per-tenant rows, so unlike the other mirrors it cannot be a bundle
     /// of atomics; a `Mutex<Option<..>>` keeps the static initializer
@@ -800,6 +900,7 @@ mod imp {
         pub analyze: Analyze,
         pub gate: Gate,
         pub serve: Serve,
+        pub tune: Tune,
     }
 
     pub static REGISTRY: Registry = Registry {
@@ -812,6 +913,7 @@ mod imp {
         analyze: Analyze::new(),
         gate: Gate::new(),
         serve: Serve::new(),
+        tune: Tune::new(),
     };
 
     pub fn reset() {
@@ -830,6 +932,7 @@ mod imp {
         REGISTRY.analyze.reset();
         REGISTRY.gate.reset();
         REGISTRY.serve.reset();
+        REGISTRY.tune.reset();
     }
 
     pub fn record_gate(delta: &super::GateCell) {
@@ -838,6 +941,20 @@ mod imp {
 
     pub fn record_serve(delta: &super::ServeCell) {
         REGISTRY.serve.merge(delta);
+    }
+
+    pub fn record_tune(delta: &super::TuneCell) {
+        REGISTRY.tune.merge(delta);
+    }
+
+    pub fn record_tune_load(loaded: u64, rejected: u64) {
+        let t = &REGISTRY.tune;
+        t.profiles_loaded.fetch_add(loaded, Ordering::Relaxed);
+        t.profiles_rejected.fetch_add(rejected, Ordering::Relaxed);
+    }
+
+    pub fn record_tune_fallback() {
+        REGISTRY.tune.fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn record_analyze_plan(sections: u64, violations: u64) {
@@ -1025,6 +1142,15 @@ mod imp {
 
     #[inline(always)]
     pub fn record_serve(_delta: &super::ServeCell) {}
+
+    #[inline(always)]
+    pub fn record_tune(_delta: &super::TuneCell) {}
+
+    #[inline(always)]
+    pub fn record_tune_load(_loaded: u64, _rejected: u64) {}
+
+    #[inline(always)]
+    pub fn record_tune_fallback() {}
 }
 
 /// RAII timing probe returned by [`kernel_scope`], [`call_scope`], and
@@ -1144,6 +1270,29 @@ pub fn record_serve(delta: &ServeCell) {
     imp::record_serve(delta)
 }
 
+/// Merge auto-tuning counts into the registry's tune cell (no-op when
+/// telemetry is compiled out). The tuner calls this once per run with the
+/// totals its search just measured and persisted.
+#[inline]
+pub fn record_tune(delta: &TuneCell) {
+    imp::record_tune(delta)
+}
+
+/// Record one profile-directory load: `loaded` profiles accepted,
+/// `rejected` files skipped (no-op when telemetry is compiled out).
+#[inline]
+pub fn record_tune_load(loaded: u64, rejected: u64) {
+    imp::record_tune_load(loaded, rejected)
+}
+
+/// Record one `tuned`-backend resolution that found no matching profile
+/// and fell back to the default plan (no-op when telemetry is compiled
+/// out).
+#[inline]
+pub fn record_tune_fallback() {
+    imp::record_tune_fallback()
+}
+
 /// Freeze the registry into a serializable snapshot. Disabled builds
 /// return [`TelemetrySnapshot::empty`] with `enabled: false`.
 pub fn snapshot() -> TelemetrySnapshot {
@@ -1170,6 +1319,7 @@ pub fn snapshot() -> TelemetrySnapshot {
         snap.analyze = imp::REGISTRY.analyze.cell();
         snap.gate = imp::REGISTRY.gate.cell();
         snap.serve = imp::REGISTRY.serve.cell();
+        snap.tune = imp::REGISTRY.tune.cell();
         snap
     }
     #[cfg(not(feature = "enabled"))]

@@ -118,6 +118,18 @@ fn main() -> ExitCode {
             report.schedule.push(rep);
         }
     }
+    // ... and over every non-scalar kernel variant / matrix layout the
+    // auto-tuner can select, under the contended atomic strategy.
+    for (name, variant, layout) in schedule::variants() {
+        let rep = schedule::explore_variant(name, variant, layout, &sched_seeds);
+        println!(
+            "schedule    {:<26} {:>4} schedules  {}",
+            rep.subject,
+            rep.schedules,
+            if rep.passed() { "ok" } else { "FAILED" }
+        );
+        report.schedule.push(rep);
+    }
 
     // Layer 2: metamorphic properties × backends × seeds.
     for backend in BACKENDS {

@@ -17,7 +17,8 @@ use serde::Serialize;
 
 /// Backends exercised by the suite: the sequential reference plus every
 /// conflict strategy the paper's ports map onto, the stream-overlapped
-/// budget, and the production-style hybrid composition.
+/// budget, the production-style hybrid composition, and the kernel
+/// variant / matrix-layout axes the auto-tuner searches over.
 pub const BACKENDS: &[&str] = &[
     "seq",
     "atomic",
@@ -26,6 +27,9 @@ pub const BACKENDS: &[&str] = &[
     "striped",
     "streamed",
     "hybrid",
+    "unrolled",
+    "blocked",
+    "ell",
 ];
 
 /// Worker threads handed to every parallel backend under test.
@@ -58,7 +62,7 @@ pub const RESUME_RNORM_TOLERANCE: f64 = 1e-3;
 pub fn is_deterministic(backend: &str) -> bool {
     matches!(
         backend,
-        "seq" | "chunked" | "replicated" | "streamed" | "hybrid"
+        "seq" | "chunked" | "replicated" | "streamed" | "hybrid" | "unrolled" | "blocked" | "ell"
     )
 }
 

@@ -25,10 +25,12 @@ use gaia_backends::exec::sched::{self, ScheduleController};
 use gaia_backends::exec::{ExecutorPool, Job};
 use gaia_backends::{atomicf64, kernels};
 use gaia_backends::{
-    check_sections, Aprod2Spec, Aprod2Strategy, Backend, LaunchPlan, PlanDims, SectionId,
-    SectionModel, SeqBackend, Tuning, WriteAccess,
+    check_sections, Aprod2Spec, Aprod2Strategy, Backend, KernelVariant, LaunchPlan, PlanDims,
+    SectionId, SectionModel, SeqBackend, Tuning, WriteAccess,
 };
-use gaia_sparse::{AttitudePattern, Generator, GeneratorConfig, Rhs, SparseSystem, SystemLayout};
+use gaia_sparse::{
+    AttitudePattern, Generator, GeneratorConfig, MatrixLayout, Rhs, SparseSystem, SystemLayout,
+};
 use serde::Serialize;
 
 /// Worst-case |got − oracle| accepted from a reduction-order-nondeterministic
@@ -62,6 +64,81 @@ pub fn expect_bitwise(strategy: Aprod2Strategy) -> bool {
         strategy,
         Aprod2Strategy::OwnerComputes | Aprod2Strategy::Replicated
     )
+}
+
+/// The kernel-variant axis the auto-tuner searches, with the stable name
+/// used in reports: every non-scalar (interior, layout) point, each run
+/// under the contended [`Aprod2Strategy::Atomic`] strategy so the variant
+/// atomic interiors actually execute under adversarial preemption.
+pub fn variants() -> Vec<(&'static str, KernelVariant, MatrixLayout)> {
+    vec![
+        ("unrolled", KernelVariant::Unrolled, MatrixLayout::RowMajor),
+        ("blocked", KernelVariant::Blocked, MatrixLayout::RowMajor),
+        ("ell", KernelVariant::Scalar, MatrixLayout::Ell),
+    ]
+}
+
+/// Replay a kernel-variant plan under `seeds` adversarial schedules:
+/// the atomic strategy with a non-default interior must stay within
+/// [`SCHEDULE_TOLERANCE`] of the sequential oracle on every schedule,
+/// exactly like the scalar interiors.
+pub fn explore_variant(
+    name: &str,
+    variant: KernelVariant,
+    layout: MatrixLayout,
+    seeds: &[u64],
+) -> ScheduleReport {
+    let sys = test_system();
+    let y = probe_vector(sys.n_rows());
+
+    let mut want = vec![0.0f64; sys.n_cols()];
+    SeqBackend.aprod2(&sys, &y, &mut want);
+
+    let plan = LaunchPlan::new(
+        Tuning {
+            threads: THREADS,
+            chunks_per_thread: 2,
+        },
+        Aprod2Spec::uniform(Aprod2Strategy::Atomic),
+    )
+    .with_variant(variant)
+    .with_matrix_layout(layout);
+    let statically_flagged = plan.analyze(&PlanDims::for_system(&sys)).is_err();
+
+    let pool = ExecutorPool::new(THREADS);
+    let mut baseline = vec![0.0f64; sys.n_cols()];
+    plan.aprod2(&pool, &sys, &y, &mut baseline);
+
+    let mut failures = 0usize;
+    let mut max_abs_error = 0.0f64;
+    let mut bitwise_stable = true;
+    for &seed in seeds {
+        pool.set_schedule(Some(ScheduleController::from_seed(seed)));
+        let mut got = vec![0.0f64; sys.n_cols()];
+        plan.aprod2(&pool, &sys, &y, &mut got);
+        pool.set_schedule(None);
+
+        let err = max_abs_diff(&got, &want);
+        max_abs_error = max_abs_error.max(err);
+        let failed = !err.is_finite() || err > SCHEDULE_TOLERANCE;
+        if failed {
+            failures += 1;
+        }
+        if bits_differ(&got, &baseline) {
+            bitwise_stable = false;
+        }
+        gaia_telemetry::record_verify_schedule(failed);
+    }
+
+    ScheduleReport {
+        subject: format!("atomic+{name}"),
+        schedules: seeds.len(),
+        failures,
+        max_abs_error,
+        expect_bitwise: false,
+        bitwise_stable,
+        statically_flagged,
+    }
 }
 
 /// Outcome of replaying one subject under a batch of seeded schedules.

@@ -1,0 +1,155 @@
+//! Kernel-variant equivalence over the committed seed corpus: every
+//! interior the auto-tuner can select (`KernelVariant` × `MatrixLayout`)
+//! must agree with the scalar row-major reference under every conflict
+//! strategy the tuner pairs it with.
+//!
+//! Determinism classes (see the kernel-variant table in
+//! `gaia_backends::launch`):
+//!
+//! * `Unrolled` and the ELL interiors keep the scalar accumulation order
+//!   exactly, so under a fixed-reduction-order configuration the match is
+//!   **bitwise** — any reassociation sneaking into an "equivalent"
+//!   unrolling is caught at the ULP level;
+//! * `Blocked` tiles the attitude accumulation (deliberate
+//!   reassociation) and nondeterministic strategies reduce in
+//!   schedule-dependent order, so those matches are bounded by
+//!   [`TOLERANCE`] instead.
+//!
+//! `aprod1` never races (each row is owned by exactly one worker and
+//! every interior preserves the scalar per-row order), so it must be
+//! bitwise for every variant, layout, and strategy.
+
+use gaia_backends::exec::ExecutorPool;
+use gaia_backends::{Aprod2Spec, Aprod2Strategy, KernelVariant, LaunchPlan, Tuning};
+use gaia_sparse::{fuzz, MatrixLayout};
+use gaia_verify::corpus;
+use proptest::prelude::*;
+
+/// |variant − scalar| bound where bitwise identity is not required:
+/// far above reduction-order rounding noise on the corpus systems,
+/// far below any real kernel defect (a dropped or doubled `a·y` term).
+const TOLERANCE: f64 = 1e-12;
+
+/// The strategy configurations the tuner pairs variants with: the
+/// sequential reference shape plus the two contended multi-thread
+/// strategies (by their registry names).
+fn configs() -> Vec<(&'static str, Tuning, Aprod2Strategy)> {
+    vec![
+        (
+            "seq",
+            Tuning {
+                threads: 1,
+                chunks_per_thread: 1,
+            },
+            Aprod2Strategy::OwnerComputes,
+        ),
+        (
+            "atomic-t3",
+            Tuning {
+                threads: 3,
+                chunks_per_thread: 1,
+            },
+            Aprod2Strategy::Atomic,
+        ),
+        (
+            "striped-t3",
+            Tuning {
+                threads: 3,
+                chunks_per_thread: 1,
+            },
+            Aprod2Strategy::LockStriped { stripes: 8 },
+        ),
+    ]
+}
+
+/// The non-scalar (variant, layout) points of the tuner's kernel axis.
+fn variant_axis() -> Vec<(KernelVariant, MatrixLayout)> {
+    vec![
+        (KernelVariant::Unrolled, MatrixLayout::RowMajor),
+        (KernelVariant::Blocked, MatrixLayout::RowMajor),
+        (KernelVariant::Scalar, MatrixLayout::Ell),
+        (KernelVariant::Unrolled, MatrixLayout::Ell),
+    ]
+}
+
+/// Whether (config, variant, layout) must match the scalar row-major
+/// reference bit-for-bit in `aprod2`: a fixed reduction order on both
+/// sides, and an order-preserving interior.
+fn expect_bitwise(config: &str, variant: KernelVariant) -> bool {
+    config == "seq" && variant != KernelVariant::Blocked
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Sweep the full corpus × configuration × variant grid with
+    /// randomized probe vectors and prior output contents (the
+    /// accumulate contract).
+    #[test]
+    fn variants_match_scalar_reference_over_the_corpus(
+        bias in -2.0f64..2.0,
+        xk in 0.07f64..0.9,
+        yk in 0.07f64..0.9,
+    ) {
+        let pool = ExecutorPool::new(3);
+        for seed in corpus::corpus_seeds() {
+            let sys = fuzz::system_from_seed(seed);
+            let x: Vec<f64> =
+                (0..sys.n_cols()).map(|i| ((i + 1) as f64 * xk).sin()).collect();
+            let y: Vec<f64> =
+                (0..sys.n_rows()).map(|i| ((i + 2) as f64 * yk).cos()).collect();
+
+            for (cfg_name, tuning, strategy) in configs() {
+                let scalar = LaunchPlan::new(tuning, Aprod2Spec::uniform(strategy));
+                let mut want1 = vec![bias; sys.n_rows()];
+                scalar.aprod1(&pool, &sys, &x, &mut want1);
+                let mut want2 = vec![bias; sys.n_cols()];
+                scalar.aprod2(&pool, &sys, &y, &mut want2);
+
+                for (variant, layout) in variant_axis() {
+                    let plan = LaunchPlan::new(tuning, Aprod2Spec::uniform(strategy))
+                        .with_variant(variant)
+                        .with_matrix_layout(layout);
+                    let tag = format!(
+                        "seed {seed} / {cfg_name} / {variant:?} / {layout:?}"
+                    );
+
+                    let mut got1 = vec![bias; sys.n_rows()];
+                    plan.aprod1(&pool, &sys, &x, &mut got1);
+                    prop_assert!(
+                        bits_equal(&got1, &want1),
+                        "{tag}: aprod1 not bitwise (max |Δ| {:.3e})",
+                        max_abs_diff(&got1, &want1),
+                    );
+
+                    let mut got2 = vec![bias; sys.n_cols()];
+                    plan.aprod2(&pool, &sys, &y, &mut got2);
+                    if expect_bitwise(cfg_name, variant) {
+                        prop_assert!(
+                            bits_equal(&got2, &want2),
+                            "{tag}: aprod2 not bitwise (max |Δ| {:.3e})",
+                            max_abs_diff(&got2, &want2),
+                        );
+                    } else {
+                        let err = max_abs_diff(&got2, &want2);
+                        prop_assert!(
+                            err.is_finite() && err <= TOLERANCE,
+                            "{tag}: aprod2 off by {err:.3e} (> {TOLERANCE:.0e})",
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

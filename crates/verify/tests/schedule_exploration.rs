@@ -62,6 +62,18 @@ fn fixed_order_strategies_are_bitwise_stable_across_schedules() {
     }
 }
 
+/// The tuner's kernel-variant axis under adversarial schedules: every
+/// non-scalar interior / layout, driven through the contended atomic
+/// strategy, stays within tolerance of the sequential oracle.
+#[test]
+fn kernel_variants_survive_seeded_schedules() {
+    let seeds = corpus::schedule_seeds(40);
+    for (name, variant, layout) in schedule::variants() {
+        let rep = schedule::explore_variant(name, variant, layout, &seeds);
+        assert_clean(&rep);
+    }
+}
+
 /// The must-fail canary: a correct harness flags the lost-update fixture.
 /// If this test fails, the harness has gone blind to write-write races and
 /// every other schedule-exploration result is meaningless.
