@@ -368,13 +368,21 @@ fn rule_timing(ctx: &mut Ctx<'_>) {
 /// search loop? Serve source counts: a panic in a service worker silently
 /// kills the lane draining every tenant's queue. The tuner counts too:
 /// a panic mid-search discards every measurement already taken, so its
-/// measurement loop is held to kernel standards.
+/// measurement loop is held to kernel standards. The out-of-core tile
+/// modules count for the same reason: a panic mid-solve between tile
+/// loads discards hours of streamed iterations that the typed
+/// `TileError`/`OperatorError` paths exist to checkpoint around.
 fn is_hot_path(path: &str) -> bool {
     if path.starts_with("crates/serve/src/") || path.starts_with("crates/bench/src/tune/") {
         return true;
     }
     let file = path.rsplit('/').next().unwrap_or(path);
-    file == "launch.rs" || file == "kernels.rs" || file == "ell.rs" || file.starts_with("backend_")
+    file == "launch.rs"
+        || file == "kernels.rs"
+        || file == "ell.rs"
+        || file == "tiled.rs"
+        || file == "ooc.rs"
+        || file.starts_with("backend_")
 }
 
 /// `hot-unwrap`: panicking shortcuts are banned in kernel hot paths —

@@ -66,6 +66,13 @@ fn bad_unwrap_is_flagged_in_hot_path_only() {
     // Under a backend_* file name the hot-path rule fires…
     let rules = rules_at("crates/backends/src/backend_fixture.rs", text);
     assert_eq!(rules, vec!["hot-unwrap"]);
+    // …as it does in the out-of-core tile modules, where a panic between
+    // tile loads discards a long streamed solve…
+    assert_eq!(
+        rules_at("crates/sparse/src/tiled.rs", text),
+        vec!["hot-unwrap"]
+    );
+    assert_eq!(rules_at("crates/core/src/ooc.rs", text), vec!["hot-unwrap"]);
     // …but the same code in a cold path is legal.
     assert!(rules_at("crates/backends/src/registry_fixture.rs", text).is_empty());
 }

@@ -245,6 +245,13 @@ pub fn aprod2_instr_owned(
 
 /// Global `aprod2` over a row range: a plain reduction into the single
 /// global slot.
+///
+/// The fold continues from the *incoming* `out[0]` in ascending row
+/// order (rather than reducing into a fresh local and adding once), so
+/// splitting a row range into consecutive sub-ranges — as the out-of-core
+/// tiled operator does — produces the exact same accumulation chain and
+/// therefore a bitwise-identical result. For a zeroed `out` the two
+/// formulations coincide, so resident solves are unchanged.
 pub fn aprod2_glob(sys: &SparseSystem, y: &[f64], rows: Range<usize>, out: &mut [f64]) {
     debug_assert!(rows.end <= sys.n_obs_rows());
     if sys.layout().n_glob_params == 0 {
@@ -254,11 +261,11 @@ pub fn aprod2_glob(sys: &SparseSystem, y: &[f64], rows: Range<usize>, out: &mut 
     let mut t = gaia_telemetry::kernel_scope(Phase::Aprod2, Block::Glob);
     t.add_bytes(rows.len() as u64 * 2 * F64 + 2 * F64);
     let glob = sys.values_glob();
-    let mut acc = 0.0;
+    let mut acc = out[0];
     for row in rows {
         acc += glob[row] * y[row];
     }
-    out[0] += acc;
+    out[0] = acc;
 }
 
 // ---------------------------------------------------------------------------

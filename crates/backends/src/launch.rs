@@ -442,14 +442,29 @@ impl LaunchPlan {
     /// `out += A x` via row chunks on the pool (rows are disjoint, so no
     /// conflict strategy is needed).
     pub fn aprod1(&self, pool: &ExecutorPool, sys: &SparseSystem, x: &[f64], out: &mut [f64]) {
-        let n = sys.n_rows();
+        self.aprod1_rows(pool, sys, x, 0..sys.n_rows(), out);
+    }
+
+    /// `out[i] += (A x)[rows.start + i]` — [`aprod1`](Self::aprod1)
+    /// restricted to a global row range, the row-tile entry point of the
+    /// out-of-core path. `out.len() == rows.len()`; rows outside `rows`
+    /// are neither read nor written.
+    pub fn aprod1_rows(
+        &self,
+        pool: &ExecutorPool,
+        sys: &SparseSystem,
+        x: &[f64],
+        rows: Range<usize>,
+        out: &mut [f64],
+    ) {
+        assert_eq!(out.len(), rows.len(), "aprod1_rows: out length mismatch");
         if self.matrix_layout == MatrixLayout::Ell {
             // Build the mirror once here instead of under the first job's
             // lazy init (OnceLock would serialize the workers against it).
             let _ = sys.ell();
         }
         let kernel = aprod1_kernel(self.variant, self.matrix_layout);
-        let ranges = split_ranges(n, self.aprod1_chunks(n));
+        let ranges = split_span(rows.clone(), self.aprod1_chunks(rows.len()));
         let mut jobs: Vec<Job<'_>> = Vec::with_capacity(ranges.len());
         let mut rest = out;
         for range in ranges {
@@ -464,6 +479,23 @@ impl LaunchPlan {
     /// the astrometric star chunks plus each colliding block under its
     /// strategy in one wave, then run any deferred reductions in a second.
     pub fn aprod2(&self, pool: &ExecutorPool, sys: &SparseSystem, y: &[f64], out: &mut [f64]) {
+        self.aprod2_rows(pool, sys, y, 0..sys.n_rows(), out);
+    }
+
+    /// `out += Aᵀ[rows, :] y[rows]` — [`aprod2`](Self::aprod2) restricted
+    /// to a global row range, the row-tile entry point of the out-of-core
+    /// path. `y` and `out` keep their full-system lengths; only `y[rows]`
+    /// is read. The observation part of `rows` must be star-aligned (tile
+    /// boundaries fall between stars), because the astrometric kernels
+    /// walk whole stars; the constraint tail may start or end anywhere.
+    pub fn aprod2_rows(
+        &self,
+        pool: &ExecutorPool,
+        sys: &SparseSystem,
+        y: &[f64],
+        rows: Range<usize>,
+        out: &mut [f64],
+    ) {
         let c = sys.columns();
         let n_att = (c.instr - c.att) as usize;
         let n_instr = (c.glob - c.instr) as usize;
@@ -471,9 +503,33 @@ impl LaunchPlan {
         let (att, rest2) = rest.split_at_mut(n_att);
         let (instr, glob) = rest2.split_at_mut(n_instr);
 
-        let n_stars = sys.layout().n_stars as usize;
         let n_rows = sys.n_rows();
         let n_obs = sys.n_obs_rows();
+        let obs_per_star = sys.layout().obs_per_star.max(1) as usize;
+
+        // Clamp the range per stream: attitude columns see every row
+        // (observations and constraints); the instrumental and global
+        // blocks only ever touch observation rows.
+        let att_rows = rows.start.min(n_rows)..rows.end.min(n_rows);
+        let obs_rows = rows.start.min(n_obs)..rows.end.min(n_obs);
+
+        // Star span covered by the observation part of the range.
+        let stars = if obs_rows.is_empty() {
+            0..0
+        } else {
+            assert_eq!(
+                obs_rows.start % obs_per_star,
+                0,
+                "aprod2_rows: range start {} is not star-aligned (obs_per_star = {obs_per_star})",
+                obs_rows.start
+            );
+            assert!(
+                obs_rows.end % obs_per_star == 0 || obs_rows.end == n_obs,
+                "aprod2_rows: range end {} is not star-aligned (obs_per_star = {obs_per_star})",
+                obs_rows.end
+            );
+            obs_rows.start / obs_per_star..obs_rows.end.div_ceil(obs_per_star)
+        };
 
         // Storage that wave-1 jobs borrow and wave 2 reduces from.
         let mut att_privates: Vec<Vec<f64>> = Vec::new();
@@ -493,18 +549,21 @@ impl LaunchPlan {
         // Astrometric stream: star-aligned split, collision-free — each
         // star chunk owns an exactly matching slice of the astro section.
         let astro_k = astro_kernel(self.variant, self.matrix_layout);
-        let mut astro_rest = astro;
-        for stars in split_ranges(n_stars, self.section_chunks(Stream::Astro, n_stars)) {
-            let (mine, tail) = astro_rest.split_at_mut(stars.len() * 5);
+        let mut astro_rest = &mut astro[stars.start * 5..stars.end * 5];
+        for chunk in split_span(
+            stars.clone(),
+            self.section_chunks(Stream::Astro, stars.len()),
+        ) {
+            let (mine, tail) = astro_rest.split_at_mut(chunk.len() * 5);
             astro_rest = tail;
-            jobs.push(Box::new(move || astro_k(sys, y, stars, mine)));
+            jobs.push(Box::new(move || astro_k(sys, y, chunk, mine)));
         }
 
         let att_deferred = self.section_jobs(
             Stream::Att,
             sys,
             y,
-            0..n_rows,
+            att_rows,
             att,
             self.spec.att,
             att_kernels(self.variant, self.matrix_layout),
@@ -516,7 +575,7 @@ impl LaunchPlan {
             Stream::Instr,
             sys,
             y,
-            0..n_obs,
+            obs_rows.clone(),
             instr,
             self.spec.instr,
             instr_kernels(self.variant, self.matrix_layout),
@@ -524,7 +583,7 @@ impl LaunchPlan {
             &mut instr_stripes,
             &mut jobs,
         );
-        let glob_deferred = self.glob_jobs(sys, y, 0..n_obs, glob, &mut glob_partials, &mut jobs);
+        let glob_deferred = self.glob_jobs(sys, y, obs_rows, glob, &mut glob_partials, &mut jobs);
 
         pool.run(jobs);
 

@@ -53,6 +53,7 @@ mod backend_replicated;
 mod backend_seq;
 mod backend_streamed;
 mod backend_striped;
+mod backend_tiled;
 mod backend_tuned;
 
 pub use backend_atomic::{AtomicBackend, CasLoopBackend};
@@ -64,6 +65,7 @@ pub use backend_replicated::ReplicatedBackend;
 pub use backend_seq::SeqBackend;
 pub use backend_streamed::StreamedBackend;
 pub use backend_striped::StripedBackend;
+pub use backend_tiled::TiledBackend;
 pub use backend_tuned::TunedBackend;
 pub use chaos::{ChaosBackend, ChaosMode, ChaosTarget};
 pub use exec::ExecutorPool;

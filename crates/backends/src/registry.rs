@@ -12,7 +12,7 @@ use crate::traits::Backend;
 use crate::tuning::Tuning;
 use crate::{
     AtomicBackend, CasLoopBackend, ChunkedBackend, RayonBackend, ReplicatedBackend, SeqBackend,
-    StreamedBackend, StripedBackend, TunedBackend,
+    StreamedBackend, StripedBackend, TiledBackend, TunedBackend,
 };
 
 /// Names of all registered backend strategies.
@@ -30,6 +30,7 @@ pub fn backend_names() -> &'static [&'static str] {
         "unrolled",
         "blocked",
         "ell",
+        "tiled",
         "tuned",
     ]
 }
@@ -126,6 +127,7 @@ pub fn backend_by_name(name: &str, threads: usize) -> Option<Box<dyn Backend>> {
         "unrolled" => Box::new(VariantBackend::unrolled(tuning)),
         "blocked" => Box::new(VariantBackend::blocked(tuning)),
         "ell" => Box::new(VariantBackend::ell(tuning)),
+        "tiled" => Box::new(TiledBackend::new(tuning)),
         "tuned" => Box::new(TunedBackend::new(tuning)),
         _ => return None,
     };

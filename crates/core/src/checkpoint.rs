@@ -15,9 +15,9 @@
 //! assert bit-exactness end-to-end.
 
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use gaia_sparse::SparseSystem;
+use gaia_sparse::{SparseSystem, TiledSystem};
 use serde::{Deserialize, Serialize};
 
 use crate::config::LsqrConfig;
@@ -142,6 +142,29 @@ impl StateBits {
     }
 }
 
+/// Provenance of the on-disk tile set an out-of-core solve streamed from,
+/// recorded into checkpoints so a resume verifies it reads the *same
+/// matrix* (the spill directory may have been moved — the path is a hint,
+/// overridable via `GAIA_TILES_DIR`; the fingerprint is the authority).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileProvenance {
+    /// Spill directory the run streamed tiles from, stored as UTF-8 (the
+    /// vendored serde has no `PathBuf` impls; resolve through
+    /// [`gaia_sparse::resolve_tiles_dir`] before reopening).
+    pub dir: String,
+    /// `matrix_fingerprint` of the tile manifest (FNV over every tile
+    /// checksum plus the known-terms checksum).
+    pub matrix_fingerprint: String,
+}
+
+impl TileProvenance {
+    /// The recorded spill directory as a path, after applying the
+    /// `GAIA_TILES_DIR` override.
+    pub fn resolved_dir(&self) -> PathBuf {
+        gaia_sparse::resolve_tiles_dir(Path::new(&self.dir))
+    }
+}
+
 /// A serializable snapshot of an in-flight solve.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Checkpoint {
@@ -159,6 +182,10 @@ pub struct Checkpoint {
     pub preconditioned: bool,
     /// The solver state, bit-exact.
     pub state: StateBits,
+    /// Tile-set provenance for out-of-core solves (`None` for resident
+    /// runs; absent in pre-tiling checkpoints, hence the serde default).
+    #[serde(default)]
+    pub tiles: Option<TileProvenance>,
 }
 
 /// Errors raised when restoring a checkpoint.
@@ -199,8 +226,14 @@ impl From<serde_json::Error> for CheckpointError {
 /// FNV-1a over the bit patterns of the known terms — cheap, stable, and
 /// order-sensitive, which is what the integrity check needs.
 pub fn rhs_fingerprint(sys: &SparseSystem) -> u64 {
+    rhs_fingerprint_of(sys.known_terms())
+}
+
+/// [`rhs_fingerprint`] over a raw right-hand-side slice (the tiled path
+/// has no resident [`SparseSystem`] to fingerprint).
+pub fn rhs_fingerprint_of(known: &[f64]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &v in sys.known_terms() {
+    for &v in known {
         for byte in v.to_bits().to_le_bytes() {
             hash ^= u64::from(byte);
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
@@ -219,31 +252,48 @@ impl Checkpoint {
             rhs_fingerprint: rhs_fingerprint(sys),
             preconditioned: config.precondition,
             state: StateBits::from(state),
+            tiles: None,
         }
     }
 
-    /// Validate against a system/config and hand back the state.
-    pub fn restore(
-        self,
-        sys: &SparseSystem,
+    /// Capture a snapshot of an out-of-core solve over `tiles`, recording
+    /// the spill directory and matrix fingerprint as provenance.
+    pub fn capture_tiled(tiles: &TiledSystem, config: &LsqrConfig, state: &LsqrState) -> Self {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            n_rows: tiles.n_rows(),
+            n_cols: tiles.n_cols(),
+            rhs_fingerprint: rhs_fingerprint_of(tiles.known_terms()),
+            preconditioned: config.precondition,
+            state: StateBits::from(state),
+            tiles: Some(TileProvenance {
+                dir: tiles.dir().display().to_string(),
+                matrix_fingerprint: tiles.manifest().matrix_fingerprint.clone(),
+            }),
+        }
+    }
+
+    /// Shared integrity gate for both restore paths.
+    fn validate_common(
+        &self,
+        n_rows: usize,
+        n_cols: usize,
+        rhs: u64,
         config: &LsqrConfig,
-    ) -> Result<LsqrState, CheckpointError> {
+    ) -> Result<(), CheckpointError> {
         if self.version != CHECKPOINT_VERSION {
             return Err(CheckpointError::Mismatch(format!(
                 "version {} (expected {CHECKPOINT_VERSION})",
                 self.version
             )));
         }
-        if self.n_rows != sys.n_rows() || self.n_cols != sys.n_cols() {
+        if self.n_rows != n_rows || self.n_cols != n_cols {
             return Err(CheckpointError::Mismatch(format!(
                 "shape {}x{} vs system {}x{}",
-                self.n_rows,
-                self.n_cols,
-                sys.n_rows(),
-                sys.n_cols()
+                self.n_rows, self.n_cols, n_rows, n_cols
             )));
         }
-        if self.rhs_fingerprint != rhs_fingerprint(sys) {
+        if self.rhs_fingerprint != rhs {
             return Err(CheckpointError::Mismatch(
                 "known-terms fingerprint differs — wrong dataset".into(),
             ));
@@ -252,6 +302,45 @@ impl Checkpoint {
             return Err(CheckpointError::Mismatch(
                 "preconditioning setting differs — state space mismatch".into(),
             ));
+        }
+        Ok(())
+    }
+
+    /// Validate against a system/config and hand back the state.
+    pub fn restore(
+        self,
+        sys: &SparseSystem,
+        config: &LsqrConfig,
+    ) -> Result<LsqrState, CheckpointError> {
+        self.validate_common(sys.n_rows(), sys.n_cols(), rhs_fingerprint(sys), config)?;
+        self.state.into_state()
+    }
+
+    /// Validate against an out-of-core tile set and hand back the state.
+    /// Beyond the shape/RHS/preconditioning gates of [`Checkpoint::restore`],
+    /// the manifest's matrix fingerprint must match the recorded provenance
+    /// — a checkpoint taken against one tile set must not resume against a
+    /// regenerated or mutated one, even at the same path.
+    pub fn restore_tiled(
+        self,
+        tiles: &TiledSystem,
+        config: &LsqrConfig,
+    ) -> Result<LsqrState, CheckpointError> {
+        self.validate_common(
+            tiles.n_rows(),
+            tiles.n_cols(),
+            rhs_fingerprint_of(tiles.known_terms()),
+            config,
+        )?;
+        if let Some(prov) = &self.tiles {
+            if prov.matrix_fingerprint != tiles.manifest().matrix_fingerprint {
+                return Err(CheckpointError::Mismatch(format!(
+                    "tile matrix fingerprint {} differs from manifest {} — \
+                     the spill directory holds a different matrix",
+                    prov.matrix_fingerprint,
+                    tiles.manifest().matrix_fingerprint
+                )));
+            }
         }
         self.state.into_state()
     }

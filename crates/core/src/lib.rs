@@ -33,6 +33,8 @@ pub mod distributed;
 pub mod health;
 pub mod lsmr;
 pub mod lsqr;
+pub mod ooc;
+pub mod operator;
 pub mod perf;
 pub mod precond;
 pub mod resilient;
@@ -41,12 +43,14 @@ pub mod validate;
 
 pub use analysis::{convergence_profile, ConvergenceProfile};
 pub use cancel::CancellationToken;
-pub use checkpoint::{Checkpoint, CheckpointError, CheckpointRotation};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointRotation, TileProvenance};
 pub use config::LsqrConfig;
 pub use distributed::{solve_distributed, solve_hybrid, try_solve_hybrid, DistOptions};
 pub use health::{HealthConfig, HealthIssue};
 pub use lsmr::solve_lsmr;
-pub use lsqr::{solve, Lsqr, TrajectorySample};
+pub use lsqr::{solve, solve_operator, Lsqr, OperatorLsqr, TrajectorySample};
+pub use ooc::{solve_tiled, TiledOperator};
+pub use operator::{Operator, OperatorError, SystemOperator};
 pub use perf::run_report;
 pub use precond::ColumnScaling;
 pub use resilient::{

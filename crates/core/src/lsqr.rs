@@ -27,16 +27,24 @@ use serde::{Deserialize, Serialize};
 
 use crate::cancel::CancellationToken;
 use crate::config::LsqrConfig;
+use crate::operator::{Operator, OperatorError, SystemOperator};
 use crate::precond::ColumnScaling;
 use crate::solution::{IterationStats, Solution, StopReason};
 
-/// LSQR solver bound to a system, a backend, and a configuration.
-pub struct Lsqr<'a, B: Backend + ?Sized> {
-    sys: &'a SparseSystem,
-    backend: &'a B,
+/// LSQR solver bound to a generic [`Operator`] — the numerics core every
+/// entry point (resident [`Lsqr`], out-of-core [`crate::ooc`]) runs on.
+/// Products are fallible, so every driver method returns `Result`; the
+/// resident wrapper unwraps them (its operator cannot fail).
+pub struct OperatorLsqr<O: Operator> {
+    op: O,
     config: LsqrConfig,
     scaling: ColumnScaling,
     cancel: Option<CancellationToken>,
+}
+
+/// LSQR solver bound to a resident system, a backend, and a configuration.
+pub struct Lsqr<'a, B: Backend + ?Sized> {
+    inner: OperatorLsqr<SystemOperator<'a, B>>,
 }
 
 /// Convenience wrapper: build an [`Lsqr`] and run it.
@@ -46,6 +54,12 @@ pub fn solve<B: Backend + ?Sized>(
     config: &LsqrConfig,
 ) -> Solution {
     Lsqr::new(sys, backend, *config).run()
+}
+
+/// Convenience wrapper: build an [`OperatorLsqr`] over any operator and
+/// run it, propagating operator failures (I/O, checksum, budget).
+pub fn solve_operator<O: Operator>(op: O, config: &LsqrConfig) -> Result<Solution, OperatorError> {
+    OperatorLsqr::new(op, *config)?.try_run()
 }
 
 /// The complete mutable state of a solve between iterations.
@@ -152,28 +166,25 @@ pub struct TrajectorySample {
     pub arnorm: f64,
 }
 
-impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
-    /// Create a solver instance. Panics on invalid configuration.
-    pub fn new(sys: &'a SparseSystem, backend: &'a B, config: LsqrConfig) -> Self {
+impl<O: Operator> OperatorLsqr<O> {
+    /// Create a solver instance. Panics on invalid configuration; fails
+    /// when the operator cannot produce its column norms.
+    pub fn new(op: O, config: LsqrConfig) -> Result<Self, OperatorError> {
         config.validate().expect("invalid LSQR configuration");
         let scaling = if config.precondition {
-            ColumnScaling::from_system(sys)
+            ColumnScaling::from_norms(op.column_norms()?)
         } else {
-            ColumnScaling::identity(sys.n_cols())
+            ColumnScaling::identity(op.n_cols())
         };
-        Lsqr {
-            sys,
-            backend,
+        Ok(OperatorLsqr {
+            op,
             config,
             scaling,
             cancel: None,
-        }
+        })
     }
 
-    /// Attach a cancellation token: [`Lsqr::step`] checks it once per
-    /// iteration at the health-guard hook point and stops with
-    /// [`StopReason::Cancelled`] when it fires, always on a completed
-    /// iteration (the state remains a valid checkpoint).
+    /// Attach a cancellation token (see [`Lsqr::with_cancel`]).
     pub fn with_cancel(mut self, token: CancellationToken) -> Self {
         self.cancel = Some(token);
         self
@@ -184,39 +195,43 @@ impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
         &self.config
     }
 
+    /// The operator the solver runs against.
+    pub fn operator(&self) -> &O {
+        &self.op
+    }
+
     /// Initialize the Golub–Kahan state (`β u = b`, `α v = (A D)ᵀ u`).
-    pub fn init_state(&self) -> LsqrState {
-        let sys = self.sys;
-        let backend = self.backend;
+    pub fn try_init_state(&self) -> Result<LsqrState, OperatorError> {
+        let op = &self.op;
         let cfg = &self.config;
-        let n = sys.n_cols();
+        let n = op.n_cols();
         let d = self.scaling.inv_norms();
 
-        let mut u: Vec<f64> = sys.known_terms().to_vec();
+        let mut u: Vec<f64> = op.known_terms().to_vec();
         let mut v = vec![0.0f64; n];
         let mut w = vec![0.0f64; n];
         let var = vec![0.0f64; if cfg.compute_var { n } else { 0 }];
         let mut tmp_n = vec![0.0f64; n];
 
-        let bnorm = backend.nrm2(&u);
+        let bnorm = op.nrm2(&u);
         let beta = bnorm;
         let mut alfa = 0.0;
         if beta > 0.0 {
-            backend.scal(&mut u, 1.0 / beta);
-            backend.aprod2(sys, &u, &mut tmp_n);
+            op.scal(&mut u, 1.0 / beta);
+            op.aprod2(&u, &mut tmp_n)?;
             for i in 0..n {
                 v[i] = tmp_n[i] * d[i];
             }
-            alfa = backend.nrm2(&v);
+            alfa = op.nrm2(&v);
         }
         if alfa > 0.0 {
-            backend.scal(&mut v, 1.0 / alfa);
+            op.scal(&mut v, 1.0 / alfa);
             w.copy_from_slice(&v);
         }
         let arnorm = alfa * beta;
         let stopped = (arnorm == 0.0).then_some(StopReason::TrivialSolution);
 
-        LsqrState {
+        Ok(LsqrState {
             itn: 0,
             x: vec![0.0f64; n],
             v,
@@ -241,20 +256,19 @@ impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
             bnorm,
             stopped,
             history: Vec::new(),
-        }
+        })
     }
 
     /// Advance one LSQR iteration. Returns the stop reason once a rule
-    /// fires; `None` means "keep iterating". Calling `step` on a finished
-    /// state is a no-op returning the existing reason.
-    pub fn step(&self, s: &mut LsqrState) -> Option<StopReason> {
+    /// fires; `None` means "keep iterating". Calling `try_step` on a
+    /// finished state is a no-op returning the existing reason.
+    pub fn try_step(&self, s: &mut LsqrState) -> Result<Option<StopReason>, OperatorError> {
         if let Some(reason) = s.stopped {
-            return Some(reason);
+            return Ok(Some(reason));
         }
-        let sys = self.sys;
-        let backend = self.backend;
+        let op = &self.op;
         let cfg = &self.config;
-        let n = sys.n_cols();
+        let n = op.n_cols();
         let d = self.scaling.inv_norms();
         let eps = f64::EPSILON;
         let ctol = if cfg.conlim.is_finite() && cfg.conlim > 0.0 {
@@ -272,26 +286,26 @@ impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
         let t_iter = Instant::now();
 
         // Bidiagonalization: u ← (A D) v − α u.
-        backend.scal(&mut s.u, -s.alfa);
+        op.scal(&mut s.u, -s.alfa);
         for i in 0..n {
             tmp_n[i] = s.v[i] * d[i];
         }
-        backend.aprod1(sys, &tmp_n, &mut s.u);
-        s.beta = backend.nrm2(&s.u);
+        op.aprod1(&tmp_n, &mut s.u)?;
+        s.beta = op.nrm2(&s.u);
 
         if s.beta > 0.0 {
-            backend.scal(&mut s.u, 1.0 / s.beta);
+            op.scal(&mut s.u, 1.0 / s.beta);
             s.anorm = (s.anorm * s.anorm + s.alfa * s.alfa + s.beta * s.beta + dampsq).sqrt();
             // v ← D Aᵀ u − β v.
-            backend.scal(&mut s.v, -s.beta);
+            op.scal(&mut s.v, -s.beta);
             tmp_n.iter_mut().for_each(|t| *t = 0.0);
-            backend.aprod2(sys, &s.u, &mut tmp_n);
+            op.aprod2(&s.u, &mut tmp_n)?;
             for i in 0..n {
                 s.v[i] += tmp_n[i] * d[i];
             }
-            s.alfa = backend.nrm2(&s.v);
+            s.alfa = op.nrm2(&s.v);
             if s.alfa > 0.0 {
-                backend.scal(&mut s.v, 1.0 / s.alfa);
+                op.scal(&mut s.v, 1.0 / s.alfa);
             }
         }
 
@@ -381,7 +395,7 @@ impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
         // it, not fall through tests whose NaN comparisons are all false.
         if crate::health::check_state(&cfg.health, s).is_some() {
             s.stopped = Some(StopReason::NumericalBreakdown);
-            return s.stopped;
+            return Ok(s.stopped);
         }
 
         // Cancellation shares the health-guard hook point: checked once
@@ -389,7 +403,7 @@ impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
         // cancelled state is always a checkpoint of a complete iteration.
         if self.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
             s.stopped = Some(StopReason::Cancelled);
-            return s.stopped;
+            return Ok(s.stopped);
         }
 
         // Stopping tests, machine-precision first (as in lsqr.f).
@@ -416,7 +430,7 @@ impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
             stop = Some(StopReason::ResidualSmall);
         }
         s.stopped = stop;
-        stop
+        Ok(stop)
     }
 
     /// Finalize a state into a [`Solution`] (unscales the preconditioned
@@ -440,9 +454,85 @@ impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
             acond: state.acond,
             xnorm,
             bnorm: state.bnorm,
-            n_rows: self.sys.n_rows(),
+            n_rows: self.op.n_rows(),
             history: state.history,
         }
+    }
+
+    /// Capture the iterate trajectory (see [`Lsqr::trajectory`]).
+    pub fn try_trajectory(&self, max_iters: usize) -> Result<Vec<TrajectorySample>, OperatorError> {
+        let mut state = self.try_init_state()?;
+        let mut samples = Vec::with_capacity(max_iters + 1);
+        samples.push(state.sample());
+        while state.itn < max_iters && !state.is_done() {
+            self.try_step(&mut state)?;
+            samples.push(state.sample());
+        }
+        Ok(samples)
+    }
+
+    /// Continue a (possibly restored) state to completion.
+    pub fn try_run_from(&self, mut state: LsqrState) -> Result<Solution, OperatorError> {
+        while !state.is_done() {
+            self.try_step(&mut state)?;
+        }
+        Ok(self.finish(state))
+    }
+
+    /// Run the solve from scratch.
+    pub fn try_run(&self) -> Result<Solution, OperatorError> {
+        // The trivial b = 0 case matches the reference implementation:
+        // rnorm reports ‖b‖ and x = 0.
+        let state = self.try_init_state()?;
+        if state.stopped == Some(StopReason::TrivialSolution) {
+            return Ok(self.finish(state));
+        }
+        self.try_run_from(state)
+    }
+}
+
+impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
+    /// Create a solver instance. Panics on invalid configuration.
+    pub fn new(sys: &'a SparseSystem, backend: &'a B, config: LsqrConfig) -> Self {
+        let inner = OperatorLsqr::new(SystemOperator::new(sys, backend), config)
+            .expect("resident operator cannot fail");
+        Lsqr { inner }
+    }
+
+    /// Attach a cancellation token: [`Lsqr::step`] checks it once per
+    /// iteration at the health-guard hook point and stops with
+    /// [`StopReason::Cancelled`] when it fires, always on a completed
+    /// iteration (the state remains a valid checkpoint).
+    pub fn with_cancel(mut self, token: CancellationToken) -> Self {
+        self.inner = self.inner.with_cancel(token);
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LsqrConfig {
+        self.inner.config()
+    }
+
+    /// Initialize the Golub–Kahan state (`β u = b`, `α v = (A D)ᵀ u`).
+    pub fn init_state(&self) -> LsqrState {
+        self.inner
+            .try_init_state()
+            .expect("resident operator cannot fail")
+    }
+
+    /// Advance one LSQR iteration. Returns the stop reason once a rule
+    /// fires; `None` means "keep iterating". Calling `step` on a finished
+    /// state is a no-op returning the existing reason.
+    pub fn step(&self, s: &mut LsqrState) -> Option<StopReason> {
+        self.inner
+            .try_step(s)
+            .expect("resident operator cannot fail")
+    }
+
+    /// Finalize a state into a [`Solution`] (unscales the preconditioned
+    /// variables; the state may be finished or mid-flight).
+    pub fn finish(&self, state: LsqrState) -> Solution {
+        self.inner.finish(state)
     }
 
     /// Capture the iterate trajectory: initialize, then step at most
@@ -453,33 +543,21 @@ impl<'a, B: Backend + ?Sized> Lsqr<'a, B> {
     /// reduction orders, and that divergence is visible (and bounded)
     /// here, iterations before it compounds into the solution.
     pub fn trajectory(&self, max_iters: usize) -> Vec<TrajectorySample> {
-        let mut state = self.init_state();
-        let mut samples = Vec::with_capacity(max_iters + 1);
-        samples.push(state.sample());
-        while state.itn < max_iters && !state.is_done() {
-            self.step(&mut state);
-            samples.push(state.sample());
-        }
-        samples
+        self.inner
+            .try_trajectory(max_iters)
+            .expect("resident operator cannot fail")
     }
 
     /// Continue a (possibly restored) state to completion.
-    pub fn run_from(&self, mut state: LsqrState) -> Solution {
-        while !state.is_done() {
-            self.step(&mut state);
-        }
-        self.finish(state)
+    pub fn run_from(&self, state: LsqrState) -> Solution {
+        self.inner
+            .try_run_from(state)
+            .expect("resident operator cannot fail")
     }
 
     /// Run the solve from scratch.
     pub fn run(&self) -> Solution {
-        // The trivial b = 0 case matches the reference implementation:
-        // rnorm reports ‖b‖ and x = 0.
-        let state = self.init_state();
-        if state.stopped == Some(StopReason::TrivialSolution) {
-            return self.finish(state);
-        }
-        self.run_from(state)
+        self.inner.try_run().expect("resident operator cannot fail")
     }
 }
 

@@ -1,0 +1,139 @@
+//! Out-of-core solves: LSQR over an on-disk [`TiledSystem`].
+//!
+//! Paper-scale AVU-GSR observation matrices (10/30/60 GB in §V-B, up to
+//! `O(10^{11})` coefficients in production) exceed the memory of any
+//! single node the paper benchmarks. [`TiledOperator`] implements
+//! [`Operator`] by streaming star-aligned row tiles from a `gaia-tiles/v1`
+//! spill directory through an ordinary [`Backend`], holding at most
+//! `budget / tile_bytes` tiles resident via the LRU cache inside
+//! [`TiledSystem`].
+//!
+//! **Bit-identity**: tiles are processed sequentially in global row
+//! order, and every per-tile product copies current output values in
+//! (`gather_cols`) and back out (`scatter_cols`). Sequential and
+//! owner-computes backends accumulate each output slot in ascending row
+//! order, so the tiled solve is *bitwise identical* to the resident solve
+//! with the same backend — at any capacity budget. Reduction-reordering
+//! strategies (striped, replicated, atomic) stay within their usual
+//! cross-backend tolerance class.
+//!
+//! Every tile access is recorded into the telemetry [`TileCell`]
+//! (loads, hits, evictions, bytes moved, peak resident bytes), which is
+//! what the `capacity` bench audits against its budget.
+
+use gaia_backends::Backend;
+use gaia_sparse::{TileAccess, TiledSystem};
+use gaia_telemetry::TileCell;
+
+use crate::checkpoint::TileProvenance;
+use crate::config::LsqrConfig;
+use crate::lsqr::OperatorLsqr;
+use crate::operator::{Operator, OperatorError};
+use crate::solution::Solution;
+
+/// [`Operator`] adapter streaming a [`TiledSystem`] tile-by-tile through
+/// a [`Backend`]. See the module docs for the bit-identity argument.
+#[derive(Debug)]
+pub struct TiledOperator<'a, B: Backend + ?Sized> {
+    tiles: &'a TiledSystem,
+    backend: &'a B,
+}
+
+impl<'a, B: Backend + ?Sized> TiledOperator<'a, B> {
+    /// Bind a tile set to the backend that runs each tile's products.
+    pub fn new(tiles: &'a TiledSystem, backend: &'a B) -> Self {
+        TiledOperator { tiles, backend }
+    }
+
+    /// The underlying tile set.
+    pub fn tiles(&self) -> &'a TiledSystem {
+        self.tiles
+    }
+
+    /// Record one tile access into the telemetry registry.
+    fn record(&self, access: &TileAccess) {
+        let mut cell = TileCell::default();
+        if access.hit {
+            cell.hits = 1;
+        } else {
+            cell.loads = 1;
+            cell.loaded_bytes = access.loaded_bytes;
+        }
+        cell.evictions = access.evictions;
+        cell.evicted_bytes = access.evicted_bytes;
+        cell.peak_resident_bytes = self.tiles.stats().peak_resident_bytes;
+        gaia_telemetry::record_tile(&cell);
+    }
+}
+
+impl<B: Backend + ?Sized> Operator for TiledOperator<'_, B> {
+    fn n_rows(&self) -> usize {
+        self.tiles.n_rows()
+    }
+
+    fn n_cols(&self) -> usize {
+        self.tiles.n_cols()
+    }
+
+    fn known_terms(&self) -> &[f64] {
+        self.tiles.known_terms()
+    }
+
+    fn column_norms(&self) -> Result<Vec<f64>, OperatorError> {
+        Ok(self.tiles.column_norms()?)
+    }
+
+    fn aprod1(&self, x: &[f64], out: &mut [f64]) -> Result<(), OperatorError> {
+        for t in 0..self.tiles.n_tiles() {
+            let (shard, access) = self.tiles.tile(t)?;
+            self.record(&access);
+            let rows = shard.global_rows();
+            let rows = rows.start as usize..rows.end as usize;
+            let x_local = shard.gather_cols(x);
+            // Rows are tile-disjoint: accumulate straight into the slice.
+            self.backend.aprod1(&shard.system, &x_local, &mut out[rows]);
+        }
+        Ok(())
+    }
+
+    fn aprod2(&self, y: &[f64], out: &mut [f64]) -> Result<(), OperatorError> {
+        for t in 0..self.tiles.n_tiles() {
+            let (shard, access) = self.tiles.tile(t)?;
+            self.record(&access);
+            let rows = shard.global_rows();
+            let rows = rows.start as usize..rows.end as usize;
+            // Columns are shared across tiles: copy the running values in,
+            // let the backend accumulate this tile's rows, copy back out.
+            let mut out_local = shard.gather_cols(out);
+            self.backend.aprod2(&shard.system, &y[rows], &mut out_local);
+            shard.scatter_cols(&out_local, out);
+        }
+        Ok(())
+    }
+
+    fn nrm2(&self, v: &[f64]) -> f64 {
+        self.backend.nrm2(v)
+    }
+
+    fn scal(&self, v: &mut [f64], s: f64) {
+        self.backend.scal(v, s);
+    }
+
+    fn provenance(&self) -> Option<TileProvenance> {
+        Some(TileProvenance {
+            dir: self.tiles.dir().display().to_string(),
+            matrix_fingerprint: self.tiles.manifest().matrix_fingerprint.clone(),
+        })
+    }
+}
+
+/// Solve an out-of-core system end to end: build a [`TiledOperator`],
+/// run [`OperatorLsqr`], and propagate any tile I/O / checksum / budget
+/// failure as a typed error (naming the offending tile path).
+pub fn solve_tiled<B: Backend + ?Sized>(
+    tiles: &TiledSystem,
+    backend: &B,
+    config: &LsqrConfig,
+) -> Result<Solution, OperatorError> {
+    OperatorLsqr::new(TiledOperator::new(tiles, backend), *config)?.try_run()
+}

@@ -20,8 +20,14 @@ pub struct ColumnScaling {
 impl ColumnScaling {
     /// Build from the column norms of `sys`.
     pub fn from_system(sys: &SparseSystem) -> Self {
-        let inv_norms = sys
-            .column_norms()
+        ColumnScaling::from_norms(sys.column_norms())
+    }
+
+    /// Build from precomputed column norms (what an out-of-core operator
+    /// supplies; zero-norm columns keep identity scaling). Bitwise
+    /// identical to [`ColumnScaling::from_system`] given the same norms.
+    pub fn from_norms(norms: Vec<f64>) -> Self {
+        let inv_norms = norms
             .into_iter()
             .map(|n| if n > 0.0 { 1.0 / n } else { 1.0 })
             .collect();

@@ -21,6 +21,8 @@
 //! uniformly at random ([`Rhs::Random`]) when only iteration timing matters
 //! (paper §V-B runs 100 iterations without requiring convergence).
 
+use std::path::Path;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -152,33 +154,21 @@ impl Generator {
         let n_obs = layout.n_obs_rows() as usize;
         let n_rows = layout.n_rows() as usize;
 
-        // Coefficient values: uniform in [-1, 1), excluding near-zero values
-        // so that no stored non-zero degenerates (mirrors the artifact,
-        // which draws from the same kind of bounded distribution).
-        let draw = |rng: &mut SmallRng| -> f64 {
-            loop {
-                let v: f64 = rng.gen_range(-1.0..1.0);
-                if v.abs() > 1e-3 {
-                    return v;
-                }
-            }
-        };
-
         let mut values_astro = vec![0.0f64; n_obs * ASTRO_NNZ_PER_ROW];
         for v in &mut values_astro {
-            *v = draw(&mut rng);
+            *v = draw_coeff(&mut rng);
         }
         let mut values_att = vec![0.0f64; n_rows * ATT_NNZ_PER_ROW];
         for v in values_att[..n_obs * ATT_NNZ_PER_ROW].iter_mut() {
-            *v = draw(&mut rng);
+            *v = draw_coeff(&mut rng);
         }
         let mut values_instr = vec![0.0f64; n_obs * INSTR_NNZ_PER_ROW];
         for v in &mut values_instr {
-            *v = draw(&mut rng);
+            *v = draw_coeff(&mut rng);
         }
         let mut values_glob = vec![0.0f64; n_obs * layout.n_glob_params as usize];
         for v in &mut values_glob {
-            *v = draw(&mut rng);
+            *v = draw_coeff(&mut rng);
         }
 
         // matrixIndexAstro: star-diagonal by construction.
@@ -277,12 +267,40 @@ impl Generator {
         };
         (system, truth)
     }
+
+    /// Streamed (chunk-at-a-time) generation straight to a `gaia-tiles/v1`
+    /// spill directory with `tile_stars` stars per tile: the full system is
+    /// never materialized in memory, yet the tiles are bit-identical to
+    /// tiling the in-memory [`Generator::generate`] output (same seed ⇒
+    /// same bytes). The capacity budget applies when the directory is
+    /// *opened* for solving ([`crate::tiled::TiledSystem::open_with_budget`]),
+    /// not at generation time — generation is inherently streaming.
+    pub fn generate_tiled(
+        &self,
+        dir: &Path,
+        tile_stars: u64,
+    ) -> Result<crate::tiled::TileManifest, crate::tiled::TileError> {
+        crate::tiled::generate_tiled_impl(&self.config, dir, tile_stars)
+    }
+}
+
+/// Coefficient values: uniform in [-1, 1), excluding near-zero values
+/// so that no stored non-zero degenerates (mirrors the artifact, which
+/// draws from the same kind of bounded distribution). Shared with the
+/// streamed tiled generator, which must replay the identical RNG stream.
+pub(crate) fn draw_coeff<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        if v.abs() > 1e-3 {
+            return v;
+        }
+    }
 }
 
 /// Draw `out.len()` distinct values from `0..n`, sorted ascending.
 /// `n` may be small (tests use 8), so rejection sampling with a retry loop
 /// is both simple and adequate.
-fn sample_distinct_sorted<R: Rng>(rng: &mut R, n: u64, out: &mut [u32]) {
+pub(crate) fn sample_distinct_sorted<R: Rng>(rng: &mut R, n: u64, out: &mut [u32]) {
     debug_assert!(n as usize >= out.len());
     let k = out.len();
     let mut chosen: Vec<u32> = Vec::with_capacity(k);
@@ -297,7 +315,7 @@ fn sample_distinct_sorted<R: Rng>(rng: &mut R, n: u64, out: &mut [u32]) {
 }
 
 /// Standard normal variate via Box–Muller (avoids pulling in `rand_distr`).
-fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+pub(crate) fn gaussian<R: Rng>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()

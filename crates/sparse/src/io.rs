@@ -51,27 +51,27 @@ impl From<io::Error> for IoError {
     }
 }
 
-fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+pub(crate) fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(u64::from_le_bytes(buf))
 }
 
-fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+pub(crate) fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+pub(crate) fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
     Ok(u32::from_le_bytes(buf))
 }
 
-fn write_f64_array<W: Write>(w: &mut W, v: &[f64]) -> io::Result<()> {
+pub(crate) fn write_f64_array<W: Write>(w: &mut W, v: &[f64]) -> io::Result<()> {
     write_u64(w, v.len() as u64)?;
     for &x in v {
         w.write_all(&x.to_bits().to_le_bytes())?;
@@ -79,7 +79,7 @@ fn write_f64_array<W: Write>(w: &mut W, v: &[f64]) -> io::Result<()> {
     Ok(())
 }
 
-fn read_f64_array<R: Read>(r: &mut R) -> Result<Vec<f64>, IoError> {
+pub(crate) fn read_f64_array<R: Read>(r: &mut R) -> Result<Vec<f64>, IoError> {
     let len = read_u64(r)? as usize;
     if len > (1 << 33) {
         return Err(IoError::Format(format!("implausible array length {len}")));
@@ -93,7 +93,7 @@ fn read_f64_array<R: Read>(r: &mut R) -> Result<Vec<f64>, IoError> {
     Ok(out)
 }
 
-fn write_u64_array<W: Write>(w: &mut W, v: &[u64]) -> io::Result<()> {
+pub(crate) fn write_u64_array<W: Write>(w: &mut W, v: &[u64]) -> io::Result<()> {
     write_u64(w, v.len() as u64)?;
     for &x in v {
         write_u64(w, x)?;
@@ -101,7 +101,7 @@ fn write_u64_array<W: Write>(w: &mut W, v: &[u64]) -> io::Result<()> {
     Ok(())
 }
 
-fn read_u64_array<R: Read>(r: &mut R) -> Result<Vec<u64>, IoError> {
+pub(crate) fn read_u64_array<R: Read>(r: &mut R) -> Result<Vec<u64>, IoError> {
     let len = read_u64(r)? as usize;
     if len > (1 << 33) {
         return Err(IoError::Format(format!("implausible array length {len}")));
@@ -113,7 +113,7 @@ fn read_u64_array<R: Read>(r: &mut R) -> Result<Vec<u64>, IoError> {
     Ok(out)
 }
 
-fn write_u32_array<W: Write>(w: &mut W, v: &[u32]) -> io::Result<()> {
+pub(crate) fn write_u32_array<W: Write>(w: &mut W, v: &[u32]) -> io::Result<()> {
     write_u64(w, v.len() as u64)?;
     for &x in v {
         write_u32(w, x)?;
@@ -121,7 +121,7 @@ fn write_u32_array<W: Write>(w: &mut W, v: &[u32]) -> io::Result<()> {
     Ok(())
 }
 
-fn read_u32_array<R: Read>(r: &mut R) -> Result<Vec<u32>, IoError> {
+pub(crate) fn read_u32_array<R: Read>(r: &mut R) -> Result<Vec<u32>, IoError> {
     let len = read_u64(r)? as usize;
     if len > (1 << 34) {
         return Err(IoError::Format(format!("implausible array length {len}")));

@@ -57,12 +57,17 @@ pub mod layout;
 pub mod partition;
 pub mod stats;
 pub mod system;
+pub mod tiled;
 
 pub use ell::{EllSystem, MatrixLayout};
 pub use generator::{AttitudePattern, Generator, GeneratorConfig, InstrumentPattern, Rhs};
 pub use layout::{BlockKind, ColumnBlocks, SystemLayout};
 pub use partition::{RowPartition, RowRange};
 pub use system::SparseSystem;
+pub use tiled::{
+    resolve_tiles_dir, source_fingerprint, write_tiles, CapacityBudget, TileAccess, TileCache,
+    TileCacheStats, TileError, TileManifest, TileMeta, TileShard, TiledSystem, TILES_DIR_ENV,
+};
 
 /// Number of astrometric parameters solved per star (right ascension,
 /// declination, parallax, and the two proper motions).

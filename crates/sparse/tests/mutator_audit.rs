@@ -1,0 +1,131 @@
+//! Mutator audit: every `SparseSystem` mutator must invalidate *both*
+//! derived views of the matrix — the lazily-built ELL mirror and any
+//! tile manifest spilled from the pre-mutation arrays. A mutator that
+//! misses either leaves a consumer (auto-tuned ELL kernels, an
+//! out-of-core resume) silently computing on stale data.
+
+use std::path::PathBuf;
+
+use gaia_sparse::{
+    fuzz, write_tiles, Generator, GeneratorConfig, Rhs, SparseSystem, SystemLayout, TileError,
+};
+
+fn system(seed: u64) -> SparseSystem {
+    Generator::new(
+        GeneratorConfig::new(SystemLayout::tiny())
+            .seed(seed)
+            .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-8 }),
+    )
+    .generate()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gaia-mutator-audit-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Apply each mutator to a warmed system and assert the rebuilt ELL
+/// mirror reflects the mutation (a stale cache would round-trip the
+/// *old* arrays).
+#[test]
+fn every_mutator_invalidates_the_ell_mirror() {
+    // set_known_terms: the mirror carries the known terms.
+    let mut s = system(501);
+    let _ = s.ell(); // warm the cache
+    let mut b = s.known_terms().to_vec();
+    b[0] += 1.0;
+    s.set_known_terms(b.clone());
+    let round = s.ell().to_system().expect("ell round-trip");
+    assert_eq!(
+        round.known_terms()[0].to_bits(),
+        b[0].to_bits(),
+        "set_known_terms left a stale ELL mirror"
+    );
+
+    // scale_column: slot-major astro values must re-derive.
+    let mut s = system(502);
+    let before = s.ell().astro_slot(0)[0];
+    let touched = s.scale_column(0, 2.0);
+    assert!(touched > 0, "astro column 0 must have coefficients");
+    assert_eq!(
+        s.ell().astro_slot(0)[0].to_bits(),
+        (2.0 * before).to_bits(),
+        "scale_column left a stale ELL mirror"
+    );
+
+    // permute_rows: row-major and slot-major must agree post-permutation.
+    let mut s = system(503);
+    let _ = s.ell();
+    let perm = fuzz::permutation_within_stars(7, s.layout());
+    s.permute_rows(&perm).expect("star-preserving permutation");
+    let round = s.ell().to_system().expect("ell round-trip");
+    assert_eq!(
+        round.values_att(),
+        s.values_att(),
+        "permute_rows left a stale ELL mirror"
+    );
+}
+
+/// Spill the system to tiles, then mutate the resident copy each way:
+/// the manifest must flag every mutation as stale rather than letting a
+/// resume stream pre-mutation coefficients.
+#[test]
+fn every_mutator_is_detected_by_the_tile_manifest() {
+    let mutators: Vec<(&str, Box<dyn Fn(&mut SparseSystem)>)> = vec![
+        (
+            "set_known_terms",
+            Box::new(|s: &mut SparseSystem| {
+                let mut b = s.known_terms().to_vec();
+                b[0] += 1.0;
+                s.set_known_terms(b);
+            }),
+        ),
+        (
+            "scale_column",
+            Box::new(|s: &mut SparseSystem| {
+                s.scale_column(0, 3.0);
+            }),
+        ),
+        (
+            "permute_rows",
+            Box::new(|s: &mut SparseSystem| {
+                let perm = fuzz::permutation_within_stars(11, s.layout());
+                s.permute_rows(&perm).expect("valid permutation");
+            }),
+        ),
+    ];
+    for (name, mutate) in mutators {
+        let mut sys = system(504);
+        let dir = scratch(name);
+        let manifest = write_tiles(&sys, &dir, 2).expect("spill");
+        manifest
+            .verify_matches(&sys)
+            .expect("unmutated system must match its manifest");
+        mutate(&mut sys);
+        let err = manifest
+            .verify_matches(&sys)
+            .expect_err(&format!("{name}: mutation after tile write undetected"));
+        assert!(
+            matches!(err, TileError::StaleManifest { .. }),
+            "{name}: expected StaleManifest, got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The identity permutation is the one mutation-shaped call that changes
+/// nothing: the manifest must still match (the staleness check keys on
+/// content, not on "a mutator ran").
+#[test]
+fn identity_permutation_keeps_the_manifest_fresh() {
+    let mut sys = system(505);
+    let dir = scratch("identity");
+    let manifest = write_tiles(&sys, &dir, 2).expect("spill");
+    let identity: Vec<usize> = (0..sys.n_rows()).collect();
+    sys.permute_rows(&identity).expect("identity permutation");
+    manifest
+        .verify_matches(&sys)
+        .expect("identity permutation must not stale the manifest");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,133 @@
+//! Property tests over the capacity accountant and the LRU tile cache:
+//! under adversarial charge/release and access interleavings the budget
+//! is never exceeded, errors never corrupt the ledger, and eviction
+//! happens exactly when (and only when) an access would go over budget.
+
+use gaia_sparse::{fuzz, CapacityBudget, Generator, TileError, TiledSystem};
+use proptest::prelude::*;
+
+/// One accountant operation: `Charge(bytes)` or `Release` (of the most
+/// recent outstanding charge — releasing only what was charged, as the
+/// cache does).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Charge(u64),
+    Release,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u64..4, 0u64..600).prop_map(|(kind, bytes)| {
+            if kind == 3 {
+                Op::Release
+            } else {
+                Op::Charge(bytes)
+            }
+        }),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The accountant never reports more than the limit as used, its peak
+    /// never exceeds the limit, failed charges leave the ledger untouched,
+    /// and `used` always equals the sum of outstanding charges.
+    #[test]
+    fn budget_never_exceeds_limit_under_adversarial_interleavings(
+        limit in 1u64..2000,
+        ops in ops(),
+    ) {
+        let mut budget = CapacityBudget::limited(limit);
+        let mut outstanding: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Charge(bytes) => {
+                    let before = (budget.used(), budget.peak());
+                    match budget.charge(bytes) {
+                        Ok(()) => outstanding.push(bytes),
+                        Err(TileError::BudgetTooSmall { .. }) => {
+                            prop_assert!(bytes > limit, "BudgetTooSmall for a fitting charge");
+                            prop_assert_eq!((budget.used(), budget.peak()), before);
+                        }
+                        Err(TileError::BudgetExceeded { .. }) => {
+                            prop_assert!(
+                                before.0 + bytes > limit,
+                                "BudgetExceeded though {} + {bytes} fits {limit}",
+                                before.0
+                            );
+                            prop_assert_eq!((budget.used(), budget.peak()), before);
+                        }
+                        Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+                    }
+                }
+                Op::Release => {
+                    if let Some(bytes) = outstanding.pop() {
+                        budget.release(bytes);
+                    }
+                }
+            }
+            prop_assert!(budget.used() <= limit, "used {} > limit {limit}", budget.used());
+            prop_assert!(budget.peak() <= limit, "peak {} > limit {limit}", budget.peak());
+            prop_assert_eq!(budget.used(), outstanding.iter().sum::<u64>());
+            prop_assert!(budget.fits(limit - budget.used()));
+        }
+    }
+
+    /// Against a real spilled system: any access sequence keeps resident
+    /// and peak bytes within the budget, hits never load or evict, and a
+    /// miss evicts **iff** the incoming tile would not have fit — the LRU
+    /// evicts exactly when over budget, never preemptively. The most
+    /// recently touched tile is always still resident afterwards.
+    #[test]
+    fn lru_evicts_exactly_when_an_access_would_exceed_the_budget(
+        seed in 0u64..64,
+        slack_pct in 0u64..100,
+        accesses in proptest::collection::vec(0usize..32usize, 1..40),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "gaia-tile-props-{}-{seed}-{slack_pct}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Generator::new(fuzz::config_from_seed(seed))
+            .generate_tiled(&dir, 1)
+            .expect("streamed generation");
+        let probe = TiledSystem::open(&dir).expect("probe");
+        let (min, matrix) = (probe.min_budget(), probe.matrix_bytes());
+        drop(probe);
+        // From "barely holds the largest tile" up to "holds everything".
+        let limit = min + (matrix - min.min(matrix)) * slack_pct / 100;
+        let tiles =
+            TiledSystem::open_with_budget(&dir, CapacityBudget::limited(limit)).expect("open");
+
+        for idx in accesses {
+            let t = idx % tiles.n_tiles();
+            let pre = tiles.stats();
+            let (_, access) = tiles.tile(t).expect("access within budget");
+            let post = tiles.stats();
+
+            prop_assert!(post.resident_bytes <= limit);
+            prop_assert!(post.peak_resident_bytes <= limit);
+            let loaded = post.loaded_bytes - pre.loaded_bytes;
+            let evicted = post.evictions - pre.evictions;
+            if access.hit {
+                prop_assert_eq!(loaded, 0, "hit loaded bytes");
+                prop_assert_eq!(evicted, 0, "hit evicted");
+            } else {
+                prop_assert!(loaded > 0, "miss loaded nothing");
+                prop_assert_eq!(
+                    evicted > 0,
+                    pre.resident_bytes + loaded > limit,
+                    "evicted {evicted} with resident {} + load {loaded} vs limit {limit}",
+                    pre.resident_bytes
+                );
+            }
+            // Recency: the tile just touched must still be resident.
+            let (_, again) = tiles.tile(t).expect("re-access");
+            prop_assert!(again.hit, "most recently used tile {t} was evicted");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

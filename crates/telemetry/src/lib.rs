@@ -363,6 +363,49 @@ impl ServeCell {
     }
 }
 
+/// Out-of-core tile accounting — what the tiled solve path
+/// (`gaia-sparse`'s `TiledSystem` driven by `gaia-lsqr`'s `TiledOperator`)
+/// loaded, hit, and evicted while streaming the matrix through its
+/// capacity-budgeted LRU cache. The memory-capacity analogue of the
+/// per-kernel cells: those count FLOP-side traffic, this one counts the
+/// spill traffic paid to stay under a resident-bytes budget (the paper's
+/// T4-vs-H100 capacity gating, §V-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TileCell {
+    /// Tile loads (cache misses that read a tile file).
+    pub loads: u64,
+    /// Accesses served from already-resident tiles.
+    pub hits: u64,
+    /// Tiles evicted to stay under the capacity budget.
+    pub evictions: u64,
+    /// Total bytes loaded from the spill directory.
+    pub loaded_bytes: u64,
+    /// Total resident bytes released by evictions.
+    pub evicted_bytes: u64,
+    /// Bytes written to the spill directory (tile generation/spill).
+    pub spilled_bytes: u64,
+    /// High-water mark of resident tile bytes (compared against the
+    /// configured budget by the capacity harness).
+    pub peak_resident_bytes: u64,
+}
+
+impl TileCell {
+    /// True when no tile activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == TileCell::default()
+    }
+
+    /// Fraction of accesses served without touching disk.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.loads + self.hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Verification accounting — schedule-exploration and metamorphic-suite
 /// counters plus the worst cross-backend trajectory divergence observed,
 /// in ULPs. Written by `gaia-verify`; the divergence cell is what the
@@ -430,6 +473,10 @@ pub struct TelemetrySnapshot {
     /// serde default).
     #[serde(default)]
     pub tune: TuneCell,
+    /// Out-of-core tile accounting (absent in pre-tiling artifacts, hence
+    /// the serde default).
+    #[serde(default)]
+    pub tile: TileCell,
 }
 
 impl TelemetrySnapshot {
@@ -454,6 +501,7 @@ impl TelemetrySnapshot {
             gate: GateCell::default(),
             serve: ServeCell::default(),
             tune: TuneCell::default(),
+            tile: TileCell::default(),
         }
     }
 
@@ -852,6 +900,68 @@ mod imp {
         }
     }
 
+    /// Atomic mirror of [`super::TileCell`]. `peak_resident_bytes` merges
+    /// by `fetch_max` (it is a high-water mark, not an accumulator).
+    pub struct Tile {
+        pub loads: AtomicU64,
+        pub hits: AtomicU64,
+        pub evictions: AtomicU64,
+        pub loaded_bytes: AtomicU64,
+        pub evicted_bytes: AtomicU64,
+        pub spilled_bytes: AtomicU64,
+        pub peak_resident_bytes: AtomicU64,
+    }
+
+    impl Tile {
+        const fn new() -> Self {
+            Tile {
+                loads: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+                loaded_bytes: AtomicU64::new(0),
+                evicted_bytes: AtomicU64::new(0),
+                spilled_bytes: AtomicU64::new(0),
+                peak_resident_bytes: AtomicU64::new(0),
+            }
+        }
+
+        fn reset(&self) {
+            self.loads.store(0, Ordering::Relaxed);
+            self.hits.store(0, Ordering::Relaxed);
+            self.evictions.store(0, Ordering::Relaxed);
+            self.loaded_bytes.store(0, Ordering::Relaxed);
+            self.evicted_bytes.store(0, Ordering::Relaxed);
+            self.spilled_bytes.store(0, Ordering::Relaxed);
+            self.peak_resident_bytes.store(0, Ordering::Relaxed);
+        }
+
+        pub fn merge(&self, delta: &super::TileCell) {
+            self.loads.fetch_add(delta.loads, Ordering::Relaxed);
+            self.hits.fetch_add(delta.hits, Ordering::Relaxed);
+            self.evictions.fetch_add(delta.evictions, Ordering::Relaxed);
+            self.loaded_bytes
+                .fetch_add(delta.loaded_bytes, Ordering::Relaxed);
+            self.evicted_bytes
+                .fetch_add(delta.evicted_bytes, Ordering::Relaxed);
+            self.spilled_bytes
+                .fetch_add(delta.spilled_bytes, Ordering::Relaxed);
+            self.peak_resident_bytes
+                .fetch_max(delta.peak_resident_bytes, Ordering::Relaxed);
+        }
+
+        pub fn cell(&self) -> super::TileCell {
+            super::TileCell {
+                loads: self.loads.load(Ordering::Relaxed),
+                hits: self.hits.load(Ordering::Relaxed),
+                evictions: self.evictions.load(Ordering::Relaxed),
+                loaded_bytes: self.loaded_bytes.load(Ordering::Relaxed),
+                evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
+                spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+                peak_resident_bytes: self.peak_resident_bytes.load(Ordering::Relaxed),
+            }
+        }
+    }
+
     /// Mirror of [`super::ServeCell`]. The cell carries a `Vec` of
     /// per-tenant rows, so unlike the other mirrors it cannot be a bundle
     /// of atomics; a `Mutex<Option<..>>` keeps the static initializer
@@ -901,6 +1011,7 @@ mod imp {
         pub gate: Gate,
         pub serve: Serve,
         pub tune: Tune,
+        pub tile: Tile,
     }
 
     pub static REGISTRY: Registry = Registry {
@@ -914,6 +1025,7 @@ mod imp {
         gate: Gate::new(),
         serve: Serve::new(),
         tune: Tune::new(),
+        tile: Tile::new(),
     };
 
     pub fn reset() {
@@ -933,6 +1045,7 @@ mod imp {
         REGISTRY.gate.reset();
         REGISTRY.serve.reset();
         REGISTRY.tune.reset();
+        REGISTRY.tile.reset();
     }
 
     pub fn record_gate(delta: &super::GateCell) {
@@ -945,6 +1058,17 @@ mod imp {
 
     pub fn record_tune(delta: &super::TuneCell) {
         REGISTRY.tune.merge(delta);
+    }
+
+    pub fn record_tile(delta: &super::TileCell) {
+        REGISTRY.tile.merge(delta);
+    }
+
+    pub fn record_tile_spill(bytes: u64) {
+        REGISTRY
+            .tile
+            .spilled_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
     pub fn record_tune_load(loaded: u64, rejected: u64) {
@@ -1151,6 +1275,12 @@ mod imp {
 
     #[inline(always)]
     pub fn record_tune_fallback() {}
+
+    #[inline(always)]
+    pub fn record_tile(_delta: &super::TileCell) {}
+
+    #[inline(always)]
+    pub fn record_tile_spill(_bytes: u64) {}
 }
 
 /// RAII timing probe returned by [`kernel_scope`], [`call_scope`], and
@@ -1293,6 +1423,23 @@ pub fn record_tune_fallback() {
     imp::record_tune_fallback()
 }
 
+/// Merge tile-cache counts into the registry's tile cell (no-op when
+/// telemetry is compiled out). Counters accumulate except
+/// `peak_resident_bytes`, which folds in as a running maximum. The tiled
+/// LSQR operator calls this once per cache access with the delta the
+/// access just cost.
+#[inline]
+pub fn record_tile(delta: &TileCell) {
+    imp::record_tile(delta)
+}
+
+/// Record bytes written to a tile spill directory (no-op when telemetry
+/// is compiled out).
+#[inline]
+pub fn record_tile_spill(bytes: u64) {
+    imp::record_tile_spill(bytes)
+}
+
 /// Freeze the registry into a serializable snapshot. Disabled builds
 /// return [`TelemetrySnapshot::empty`] with `enabled: false`.
 pub fn snapshot() -> TelemetrySnapshot {
@@ -1320,6 +1467,7 @@ pub fn snapshot() -> TelemetrySnapshot {
         snap.gate = imp::REGISTRY.gate.cell();
         snap.serve = imp::REGISTRY.serve.cell();
         snap.tune = imp::REGISTRY.tune.cell();
+        snap.tile = imp::REGISTRY.tile.cell();
         snap
     }
     #[cfg(not(feature = "enabled"))]
@@ -1428,6 +1576,22 @@ pub fn kernel_table(snap: &TelemetrySnapshot) -> String {
             a.lint_files,
             a.lint_diagnostics,
             a.lint_suppressions,
+        ));
+    }
+    if !snap.tile.is_empty() {
+        let t = &snap.tile;
+        out.push_str(&format!(
+            "tile: {} load(s), {} hit(s) ({:.1}% hit rate), {} eviction(s), \
+             {:.2} MiB loaded, {:.2} MiB evicted, {:.2} MiB spilled, \
+             peak resident {:.2} MiB\n",
+            t.loads,
+            t.hits,
+            t.hit_rate() * 100.0,
+            t.evictions,
+            t.loaded_bytes as f64 / (1024.0 * 1024.0),
+            t.evicted_bytes as f64 / (1024.0 * 1024.0),
+            t.spilled_bytes as f64 / (1024.0 * 1024.0),
+            t.peak_resident_bytes as f64 / (1024.0 * 1024.0),
         ));
     }
     if !snap.gate.is_empty() {
@@ -1724,6 +1888,44 @@ mod tests {
         assert!(table.contains("serve:"), "{table}");
         reset();
         assert!(snapshot().serve.is_empty());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn tile_counters_accumulate_peak_is_a_max_and_reset() {
+        reset();
+        record_tile(&TileCell {
+            loads: 3,
+            hits: 1,
+            evictions: 2,
+            loaded_bytes: 300,
+            evicted_bytes: 200,
+            peak_resident_bytes: 150,
+            ..Default::default()
+        });
+        record_tile(&TileCell {
+            loads: 1,
+            hits: 7,
+            peak_resident_bytes: 120,
+            ..Default::default()
+        });
+        record_tile_spill(4096);
+        let snap = snapshot();
+        assert_eq!(snap.tile.loads, 4);
+        assert_eq!(snap.tile.hits, 8);
+        assert_eq!(snap.tile.evictions, 2);
+        assert_eq!(snap.tile.loaded_bytes, 300);
+        assert_eq!(snap.tile.evicted_bytes, 200);
+        assert_eq!(snap.tile.spilled_bytes, 4096);
+        assert_eq!(
+            snap.tile.peak_resident_bytes, 150,
+            "peak is a high-water mark, not a sum"
+        );
+        assert!((snap.tile.hit_rate() - 8.0 / 12.0).abs() < 1e-12);
+        let table = kernel_table(&snap);
+        assert!(table.contains("tile:"), "{table}");
+        reset();
+        assert!(snapshot().tile.is_empty());
     }
 
     #[test]

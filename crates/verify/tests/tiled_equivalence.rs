@@ -1,0 +1,187 @@
+//! Out-of-core equivalence over the committed seed corpus: solving
+//! through a `gaia-tiles/v1` spill directory must be indistinguishable
+//! from solving the resident system.
+//!
+//! Determinism classes mirror the kernel-equivalence suite:
+//!
+//! * `seq` and owner-computes `chunked` backends accumulate every output
+//!   slot in ascending row order, and the tiled operator streams tiles in
+//!   ascending row order, so the tiled solve is **bitwise** identical to
+//!   the resident solve — at any capacity budget, including budgets that
+//!   force evictions on every access;
+//! * `striped` reduces in schedule-dependent stripe order, so its tiled
+//!   solve is bounded by [`TOLERANCE`] instead.
+//!
+//! Streamed generation (`Generator::generate_tiled`) must round-trip:
+//! assembling the spill directory reproduces the in-memory generator's
+//! arrays bit for bit, index for index.
+
+use std::path::PathBuf;
+
+use gaia_backends::{backend_by_name, Backend};
+use gaia_lsqr::{solve, solve_tiled, LsqrConfig};
+use gaia_sparse::{fuzz, Generator, TiledSystem};
+use gaia_verify::corpus;
+
+/// Per-element relative |tiled − resident| bound for reduction-reordering
+/// strategies (scaled by `max(1, |x_i|)`): far above the stripe-order
+/// rounding noise a 12-iteration solve accumulates, far below a dropped
+/// or double-counted tile contribution.
+const TOLERANCE: f64 = 1e-12;
+
+/// Iterations for the fixed-trajectory solves (matches the metamorphic
+/// suite's budget).
+const FIXED_ITERS: usize = 12;
+
+/// Stars per tile: small enough that every corpus layout (2–8 stars)
+/// splits into multiple tiles, so the equivalence actually exercises the
+/// gather/scatter seams between tiles.
+const TILE_STARS: u64 = 1;
+
+fn backend(name: &str) -> Box<dyn Backend> {
+    backend_by_name(name, 3).unwrap_or_else(|| panic!("unknown backend {name:?}"))
+}
+
+/// Spill `seed`'s system into a scratch directory, run `f`, clean up.
+fn with_tiles<R>(seed: u64, tag: &str, f: impl FnOnce(&PathBuf) -> R) -> R {
+    let dir = std::env::temp_dir().join(format!(
+        "gaia-verify-tiled-{}-{tag}-{seed}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    Generator::new(fuzz::config_from_seed(seed))
+        .generate_tiled(&dir, TILE_STARS)
+        .unwrap_or_else(|e| panic!("seed {seed}: streamed generation failed: {e}"));
+    let out = f(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// The two capacity budgets each solve runs under: everything resident,
+/// and half the matrix (clamped up to the largest tile so the cache can
+/// still operate), which forces evictions mid-solve.
+fn budgets(tiles_dir: &PathBuf) -> Vec<(&'static str, Option<u64>)> {
+    let probe = TiledSystem::open(tiles_dir).expect("probe open");
+    let half = (probe.matrix_bytes() / 2).max(probe.min_budget());
+    vec![("unbounded", None), ("half-matrix", Some(half))]
+}
+
+fn open_at(dir: &PathBuf, budget_bytes: Option<u64>) -> TiledSystem {
+    match budget_bytes {
+        None => TiledSystem::open(dir),
+        Some(b) => TiledSystem::open_with_budget(dir, gaia_sparse::CapacityBudget::limited(b)),
+    }
+    .expect("open tiled system")
+}
+
+#[test]
+fn tiled_solves_are_bitwise_identical_to_resident_for_ordered_backends() {
+    let cfg = LsqrConfig::fixed_iterations(FIXED_ITERS);
+    for seed in corpus::corpus_seeds() {
+        let sys = fuzz::system_from_seed(seed);
+        with_tiles(seed, "bitwise", |dir| {
+            for name in ["seq", "chunked-t3"] {
+                let be = backend(name);
+                let resident = solve(&sys, be.as_ref(), &cfg);
+                for (blabel, bytes) in budgets(dir) {
+                    let tiles = open_at(dir, bytes);
+                    let tiled = solve_tiled(&tiles, be.as_ref(), &cfg)
+                        .unwrap_or_else(|e| panic!("seed {seed} {name} {blabel}: {e}"));
+                    assert_eq!(resident.iterations, tiled.iterations, "seed {seed} {name}");
+                    for (i, (r, t)) in resident.x.iter().zip(&tiled.x).enumerate() {
+                        assert_eq!(
+                            r.to_bits(),
+                            t.to_bits(),
+                            "seed {seed} backend {name} budget {blabel}: x[{i}] \
+                             resident={r:e} tiled={t:e}"
+                        );
+                    }
+                    if bytes.is_some() {
+                        assert!(
+                            tiles.stats().evictions > 0,
+                            "seed {seed} {name} {blabel}: bounded budget never evicted \
+                             (the eviction path was not exercised)"
+                        );
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn tiled_striped_solves_match_resident_within_tolerance() {
+    let cfg = LsqrConfig::fixed_iterations(FIXED_ITERS);
+    for seed in corpus::corpus_seeds() {
+        let sys = fuzz::system_from_seed(seed);
+        with_tiles(seed, "striped", |dir| {
+            let be = backend("striped-t3");
+            let resident = solve(&sys, be.as_ref(), &cfg);
+            for (blabel, bytes) in budgets(dir) {
+                let tiles = open_at(dir, bytes);
+                let tiled = solve_tiled(&tiles, be.as_ref(), &cfg)
+                    .unwrap_or_else(|e| panic!("seed {seed} striped {blabel}: {e}"));
+                for (i, (r, t)) in resident.x.iter().zip(&tiled.x).enumerate() {
+                    assert!(
+                        (r - t).abs() <= TOLERANCE * r.abs().max(1.0),
+                        "seed {seed} striped budget {blabel}: x[{i}] resident={r:e} \
+                         tiled={t:e} diff={:e}",
+                        (r - t).abs()
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn streamed_generation_round_trips_bit_identically() {
+    for seed in corpus::corpus_seeds() {
+        let resident = fuzz::system_from_seed(seed);
+        with_tiles(seed, "roundtrip", |dir| {
+            let tiles = TiledSystem::open(dir).expect("open");
+            let assembled = tiles.assemble().expect("assemble");
+            assert_eq!(assembled.layout(), resident.layout(), "seed {seed}");
+            assert_eq!(
+                assembled.known_terms(),
+                resident.known_terms(),
+                "seed {seed}: known terms"
+            );
+            assert_eq!(
+                assembled.values_astro(),
+                resident.values_astro(),
+                "seed {seed}: astro values"
+            );
+            assert_eq!(
+                assembled.values_att(),
+                resident.values_att(),
+                "seed {seed}: att values"
+            );
+            assert_eq!(
+                assembled.values_instr(),
+                resident.values_instr(),
+                "seed {seed}: instr values"
+            );
+            assert_eq!(
+                assembled.values_glob(),
+                resident.values_glob(),
+                "seed {seed}: glob values"
+            );
+            assert_eq!(
+                assembled.matrix_index_astro(),
+                resident.matrix_index_astro(),
+                "seed {seed}: astro indices"
+            );
+            assert_eq!(
+                assembled.matrix_index_att(),
+                resident.matrix_index_att(),
+                "seed {seed}: att indices"
+            );
+            assert_eq!(
+                assembled.instr_col(),
+                resident.instr_col(),
+                "seed {seed}: instr columns"
+            );
+        });
+    }
+}

@@ -10,8 +10,21 @@
 //!            [--dataset FILE (load instead of generating)]
 //!            [--save-dataset FILE] [--checkpoint FILE] [--force-fresh]
 //!            [--checkpoint-every N] [--chaos-seed S] [--max-retries K]
+//!            [--tiles DIR] [--tile-stars N] [--budget-bytes B]
 //!            [--telemetry] [--list-backends]
 //! ```
+//!
+//! `--tiles DIR` switches to the out-of-core path of §V-B capacity
+//! framing: if `DIR` holds a `gaia-tiles/v1` spill (a manifest plus
+//! per-tile binaries) it is opened as-is; otherwise the preset/seed
+//! system is *stream-generated* into it — bit-identical to the in-memory
+//! generator without ever materializing the full matrix. `--tile-stars`
+//! sets the stars per tile at generation time and `--budget-bytes` caps
+//! resident matrix bytes during the solve (the LRU tile cache evicts to
+//! stay under it). Checkpoints taken on this path record the spill
+//! directory and matrix fingerprint as provenance, so a resume refuses a
+//! regenerated or foreign tile set; a relocated spill directory is found
+//! through the `GAIA_TILES_DIR` override.
 //!
 //! The `serve` subcommand instead runs the multi-tenant solve service
 //! for one batch of concurrent tenants (see `crates/serve`):
@@ -83,6 +96,9 @@ struct Args {
     chaos_seed: Option<u64>,
     max_retries: Option<usize>,
     force_fresh: bool,
+    tiles: Option<PathBuf>,
+    tile_stars: u64,
+    budget_bytes: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -91,7 +107,8 @@ fn usage() -> ! {
          [--iterations N] [--converge] [--backend NAME] [--threads N] \
          [--ranks N] [--dataset FILE] [--save-dataset FILE] \
          [--checkpoint FILE] [--force-fresh] [--checkpoint-every N] \
-         [--chaos-seed S] [--max-retries K] [--lsmr] [--profile] \
+         [--chaos-seed S] [--max-retries K] [--tiles DIR] [--tile-stars N] \
+         [--budget-bytes B] [--lsmr] [--profile] \
          [--telemetry] [--list-backends]"
     );
     exit(2)
@@ -118,6 +135,9 @@ fn parse_args() -> Args {
         chaos_seed: None,
         max_retries: None,
         force_fresh: false,
+        tiles: None,
+        tile_stars: 0, // 0 = derive from the layout at generation time
+        budget_bytes: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -155,6 +175,13 @@ fn parse_args() -> Args {
                 args.max_retries = Some(val("--max-retries").parse().unwrap_or_else(|_| usage()))
             }
             "--force-fresh" => args.force_fresh = true,
+            "--tiles" => args.tiles = Some(PathBuf::from(val("--tiles"))),
+            "--tile-stars" => {
+                args.tile_stars = val("--tile-stars").parse().unwrap_or_else(|_| usage())
+            }
+            "--budget-bytes" => {
+                args.budget_bytes = Some(val("--budget-bytes").parse().unwrap_or_else(|_| usage()))
+            }
             "--list-backends" => {
                 for name in backend_names() {
                     println!("{name}");
@@ -560,6 +587,212 @@ fn run_tune() -> ! {
     exit(0)
 }
 
+/// The out-of-core path (`--tiles DIR`): open an existing `gaia-tiles/v1`
+/// spill directory — or stream-generate the preset/seed system into it —
+/// and run LSQR through the tiled operator under the requested capacity
+/// budget. Checkpoints taken here carry tile provenance (the spill
+/// directory and matrix fingerprint), so resumes validate they replay
+/// the same matrix, and `GAIA_TILES_DIR` can redirect a relocated spill.
+fn run_tiled(args: &Args) -> ! {
+    use gaia_avugsr::lsqr::{OperatorLsqr, TiledOperator};
+    use gaia_avugsr::sparse::tiled::MANIFEST_NAME;
+    use gaia_avugsr::sparse::{CapacityBudget, TiledSystem};
+
+    if args.dataset.is_some()
+        || args.lsmr
+        || args.ranks > 1
+        || args.chaos_seed.is_some()
+        || args.max_retries.is_some()
+    {
+        eprintln!(
+            "--tiles drives the single-rank out-of-core LSQR path; it cannot \
+             be combined with --dataset, --lsmr, --ranks, --chaos-seed, or \
+             --max-retries"
+        );
+        exit(2)
+    }
+    let dir = args.tiles.as_ref().expect("caller checked --tiles");
+
+    if args.telemetry {
+        if !gaia_avugsr::telemetry::is_enabled() {
+            eprintln!(
+                "note: telemetry probes are compiled out; rebuild with \
+                 `cargo run --features telemetry --bin solvergaia` for real counts"
+            );
+        }
+        gaia_avugsr::telemetry::reset();
+    }
+
+    // An existing spill directory is authoritative (its manifest fixes
+    // shape and seed); otherwise stream the preset/seed system into it.
+    if dir.join(MANIFEST_NAME).exists() {
+        if args.tile_stars > 0 {
+            println!(
+                "--tile-stars ignored: {} already holds tiles",
+                dir.display()
+            );
+        }
+    } else {
+        let layout = match args.preset.as_str() {
+            "tiny" => SystemLayout::tiny(),
+            "small" => SystemLayout::small(),
+            "medium" => SystemLayout::medium(),
+            other => {
+                eprintln!("unknown preset {other}");
+                usage()
+            }
+        };
+        let tile_stars = if args.tile_stars > 0 {
+            args.tile_stars
+        } else {
+            (layout.n_stars / 8).max(1)
+        };
+        let manifest = Generator::new(
+            GeneratorConfig::new(layout)
+                .seed(args.seed)
+                .rhs(Rhs::FromTrueSolution { noise_sigma: 1e-8 }),
+        )
+        .generate_tiled(dir, tile_stars)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot stream tiles into {}: {e}", dir.display());
+            exit(1)
+        });
+        let disk_bytes: u64 = manifest.tiles.iter().map(|t| t.bytes).sum();
+        gaia_avugsr::telemetry::record_tile_spill(disk_bytes);
+        println!(
+            "streamed {} tile(s), {disk_bytes} bytes into {}",
+            manifest.n_tiles,
+            dir.display()
+        );
+    }
+
+    let budget = match args.budget_bytes {
+        Some(b) => CapacityBudget::limited(b),
+        None => CapacityBudget::unbounded(),
+    };
+    let tiles = TiledSystem::open_with_budget(dir, budget).unwrap_or_else(|e| {
+        eprintln!("cannot open tile directory {}: {e}", dir.display());
+        exit(1)
+    });
+    println!(
+        "tiled system: {} rows x {} cols ({} stars), {} tile(s), budget {}",
+        tiles.n_rows(),
+        tiles.n_cols(),
+        tiles.layout().n_stars,
+        tiles.n_tiles(),
+        args.budget_bytes
+            .map_or("unbounded".to_string(), |b| format!("{b} bytes")),
+    );
+
+    let Some(backend) = backend_by_name(&args.backend, args.threads) else {
+        eprintln!("unknown backend {} (try --list-backends)", args.backend);
+        exit(1)
+    };
+    println!("backend: {} ({} threads)", backend.name(), args.threads);
+    let cfg = if args.converge {
+        LsqrConfig::new().max_iters(args.iterations)
+    } else {
+        LsqrConfig::fixed_iterations(args.iterations)
+    };
+    let solver = OperatorLsqr::new(TiledOperator::new(&tiles, backend.as_ref()), cfg)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot start tiled solve: {e}");
+            exit(1)
+        });
+
+    // Same resume discipline as the resident path, but through the
+    // provenance-validating tiled capture/restore pair.
+    let state = match &args.checkpoint {
+        Some(path) if path.exists() && args.force_fresh => {
+            println!(
+                "--force-fresh: ignoring existing checkpoint {}",
+                path.display()
+            );
+            None
+        }
+        Some(path) if path.exists() => {
+            match Checkpoint::load(path).and_then(|c| c.restore_tiled(&tiles, &cfg)) {
+                Ok(state) => {
+                    println!("resumed from {} at iteration {}", path.display(), state.itn);
+                    Some(state)
+                }
+                Err(e) => {
+                    eprintln!("cannot resume checkpoint: {e} (pass --force-fresh to discard)");
+                    exit(1)
+                }
+            }
+        }
+        _ => None,
+    };
+    let mut state = match state {
+        Some(s) => s,
+        None => solver.try_init_state().unwrap_or_else(|e| {
+            eprintln!("tiled solve failed during initialization: {e}");
+            exit(1)
+        }),
+    };
+    let rotation = args
+        .checkpoint
+        .as_ref()
+        .filter(|_| args.checkpoint_every > 0)
+        .map(|p| CheckpointRotation::new(p.clone(), 3));
+    while !state.is_done() {
+        if let Err(e) = solver.try_step(&mut state) {
+            eprintln!("tiled solve failed at iteration {}: {e}", state.itn);
+            exit(1)
+        }
+        if let Some(rot) = &rotation {
+            if !state.is_done() && state.itn % args.checkpoint_every == 0 {
+                if let Err(e) =
+                    rot.save(state.itn, &Checkpoint::capture_tiled(&tiles, &cfg, &state))
+                {
+                    eprintln!("warning: cannot write periodic checkpoint: {e}");
+                }
+            }
+        }
+    }
+    if let Some(path) = &args.checkpoint {
+        if let Err(e) = Checkpoint::capture_tiled(&tiles, &cfg, &state).save(path) {
+            eprintln!("warning: cannot write checkpoint: {e}");
+        } else {
+            println!("checkpoint written to {}", path.display());
+        }
+    }
+    let solution = solver.finish(state);
+
+    println!(
+        "stop: {:?} after {} iterations",
+        solution.stop, solution.iterations
+    );
+    println!(
+        "|r| = {:.6e}  (|r|/|b| = {:.3e})  cond(A) ~ {:.3e}",
+        solution.rnorm,
+        solution.relative_residual(),
+        solution.acond
+    );
+    println!(
+        "mean iteration time: {:.3} ms",
+        1e3 * solution.mean_iteration_seconds()
+    );
+    let stats = tiles.stats();
+    println!(
+        "tile cache: {} load(s), {} hit(s), {} eviction(s), peak resident {} bytes",
+        stats.loads, stats.hits, stats.evictions, stats.peak_resident_bytes
+    );
+    if args.telemetry {
+        println!("per-kernel telemetry:");
+        print!(
+            "{}",
+            gaia_avugsr::telemetry::kernel_table(&gaia_avugsr::telemetry::snapshot())
+        );
+    }
+    if args.profile {
+        println!("convergence profile:");
+        print!("{}", profile_text(&solution));
+    }
+    exit(0)
+}
+
 fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("serve") => run_serve(),
@@ -567,6 +800,9 @@ fn main() {
         _ => {}
     }
     let args = parse_args();
+    if args.tiles.is_some() {
+        run_tiled(&args);
+    }
 
     // Obtain the system: load a dataset or synthesize one, as in the
     // artifact ("it randomly generates, given a certain seed, a dataset
