@@ -1,0 +1,463 @@
+//! Atomic-protocol pairing and ordering-drift checks.
+//!
+//! **`atomic-pairing`** — per crate, every struct field typed `Atomic*`
+//! whose writers use Release-class orderings (`Release`, `AcqRel`,
+//! `SeqCst`) is a *published* field: its readers must use Acquire-class
+//! orderings. A `Relaxed` load of a published field is flagged at the
+//! load; a published field with no Acquire-class reader anywhere in the
+//! crate is flagged at the store (dead publish or missing reader).
+//! Standalone `fence(Ordering::Release)` / `fence(Ordering::Acquire)`
+//! calls must pair up per crate too.
+//!
+//! **`ordering-drift`** — a file that documents its protocol with an
+//! `// ORDERING:` comment must keep the comment honest: every ordering
+//! the code actually uses has to be named somewhere in the file's
+//! `ORDERING:` comment blocks.
+//!
+//! Receivers that resolve to nothing (locals, parameters, ambiguous
+//! names, indexed elements) are skipped — the checker prefers silence to
+//! guessing. Test code is exempt throughout.
+
+use std::collections::BTreeMap;
+
+use super::{orderings_in_call, receiver_before, Finding};
+use crate::index::{crate_of, SymbolIndex};
+use crate::items::SyncKind;
+use crate::lexer::path_is_test;
+
+/// Atomic operations: `(method, reads, writes)`.
+const OPS: &[(&str, bool, bool)] = &[
+    (".load(", true, false),
+    (".store(", false, true),
+    (".swap(", true, true),
+    (".fetch_add(", true, true),
+    (".fetch_sub(", true, true),
+    (".fetch_and(", true, true),
+    (".fetch_or(", true, true),
+    (".fetch_xor(", true, true),
+    (".fetch_update(", true, true),
+    (".compare_exchange(", true, true),
+    (".compare_exchange_weak(", true, true),
+];
+
+#[derive(Default)]
+struct Proto {
+    release_writes: Vec<(usize, usize)>,
+    acquire_reads: Vec<(usize, usize)>,
+    relaxed_reads: Vec<(usize, usize)>,
+}
+
+/// Which fn (by index) encloses each 0-based line; innermost wins.
+fn fn_by_line(entry: &crate::index::FileEntry) -> Vec<Option<usize>> {
+    let mut map = vec![None; entry.view.lines.len()];
+    for (fi, f) in entry.items.fns.iter().enumerate() {
+        for ln in f.body.clone() {
+            if let Some(slot) = map.get_mut(ln - 1) {
+                *slot = Some(fi);
+            }
+        }
+    }
+    map
+}
+
+/// Run both checks over the whole index. Returns the findings and the
+/// number of atomic sites classified.
+pub fn check(index: &SymbolIndex) -> (Vec<Finding>, u64) {
+    let mut findings = Vec::new();
+    let mut sites = 0u64;
+
+    let crate_names: Vec<String> = index.crate_names().map(str::to_owned).collect();
+    for krate in &crate_names {
+        let mut protos: BTreeMap<String, Proto> = BTreeMap::new();
+        let mut release_fences: Vec<(usize, usize)> = Vec::new();
+        let mut acquire_fences: Vec<(usize, usize)> = Vec::new();
+
+        for &fidx in index.crate_files(krate) {
+            let entry = &index.files[fidx];
+            if path_is_test(&entry.path) {
+                continue;
+            }
+            debug_assert_eq!(crate_of(&entry.path), krate);
+            let owner = fn_by_line(entry);
+            for (ln, l) in entry.view.lines.iter().enumerate() {
+                if l.in_test || l.code.trim_start().starts_with("use ") {
+                    continue;
+                }
+                for (op, reads, writes) in OPS {
+                    let mut from = 0;
+                    while let Some(rel) = l.code[from..].find(op) {
+                        let col = from + rel;
+                        from = col + op.len();
+                        let names = orderings_in_call(&entry.view, ln, col + op.len() - 1);
+                        if names.is_empty() {
+                            continue; // not an atomic op (io `.load`, …)
+                        }
+                        sites += 1;
+                        let (recv, stmt_ln) = receiver_before(&entry.view.lines, ln, col);
+                        let impl_type = owner[stmt_ln]
+                            .or(owner[ln])
+                            .and_then(|fi| entry.items.fns[fi].impl_type.as_deref());
+                        let Some(field) = index.resolve_field(krate, impl_type, &recv) else {
+                            continue;
+                        };
+                        if field.kind != SyncKind::Atomic {
+                            continue;
+                        }
+                        let has_release = names
+                            .iter()
+                            .any(|n| matches!(*n, "Release" | "AcqRel" | "SeqCst"));
+                        let has_acquire = names
+                            .iter()
+                            .any(|n| matches!(*n, "Acquire" | "AcqRel" | "SeqCst"));
+                        let p = protos.entry(field.key.clone()).or_default();
+                        if *writes && has_release {
+                            p.release_writes.push((fidx, ln + 1));
+                        }
+                        if *reads && has_acquire {
+                            p.acquire_reads.push((fidx, ln + 1));
+                        }
+                        if *reads && !has_acquire {
+                            p.relaxed_reads.push((fidx, ln + 1));
+                        }
+                    }
+                }
+                // Standalone fences.
+                let mut from = 0;
+                while let Some(rel) = l.code[from..].find("fence(") {
+                    let at = from + rel;
+                    from = at + "fence(".len();
+                    // Word boundary: `atomic::fence(` yes, `confence(` no.
+                    if at > 0 {
+                        let prev = l.code.as_bytes()[at - 1] as char;
+                        if prev.is_alphanumeric() || prev == '_' {
+                            continue;
+                        }
+                    }
+                    let names = orderings_in_call(&entry.view, ln, at + "fence(".len() - 1);
+                    if names.contains(&"Release") || names.contains(&"AcqRel") {
+                        release_fences.push((fidx, ln + 1));
+                    }
+                    if names.contains(&"Acquire") || names.contains(&"AcqRel") {
+                        acquire_fences.push((fidx, ln + 1));
+                    }
+                }
+            }
+        }
+
+        for (key, p) in &protos {
+            if p.release_writes.is_empty() {
+                continue;
+            }
+            for &(file, line) in &p.relaxed_reads {
+                findings.push(Finding {
+                    file,
+                    line,
+                    rule: "atomic-pairing",
+                    message: format!(
+                        "`{key}` is published with Release-class stores but read \
+                         here with a Relaxed load — an Acquire-class load is \
+                         required to observe the writes it orders"
+                    ),
+                });
+            }
+            if p.acquire_reads.is_empty() && p.relaxed_reads.is_empty() {
+                let (file, line) = p.release_writes[0];
+                findings.push(Finding {
+                    file,
+                    line,
+                    rule: "atomic-pairing",
+                    message: format!(
+                        "Release-class store to `{key}` has no Acquire-class \
+                         reader anywhere in crate `{krate}` — the publish \
+                         protocol is unpaired"
+                    ),
+                });
+            }
+        }
+        if !release_fences.is_empty() && acquire_fences.is_empty() {
+            let (file, line) = release_fences[0];
+            findings.push(Finding {
+                file,
+                line,
+                rule: "atomic-pairing",
+                message: format!(
+                    "`fence(Ordering::Release)` has no Acquire-class fence \
+                     anywhere in crate `{krate}` — the fence pair is incomplete"
+                ),
+            });
+        }
+        if !acquire_fences.is_empty() && release_fences.is_empty() {
+            let (file, line) = acquire_fences[0];
+            findings.push(Finding {
+                file,
+                line,
+                rule: "atomic-pairing",
+                message: format!(
+                    "`fence(Ordering::Acquire)` has no Release-class fence \
+                     anywhere in crate `{krate}` — the fence pair is incomplete"
+                ),
+            });
+        }
+    }
+
+    // ordering-drift is file-local.
+    for (fidx, entry) in index.files.iter().enumerate() {
+        if path_is_test(&entry.path) {
+            continue;
+        }
+        let doc = ordering_doc_text(entry);
+        if doc.is_empty() {
+            continue;
+        }
+        for name in ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"] {
+            let tagged = format!("Ordering::{name}");
+            let first_use = entry.view.lines.iter().enumerate().find(|(_, l)| {
+                !l.in_test && !l.code.trim_start().starts_with("use ") && l.code.contains(&tagged)
+            });
+            let Some((ln, _)) = first_use else { continue };
+            if !doc.contains(name) {
+                findings.push(Finding {
+                    file: fidx,
+                    line: ln + 1,
+                    rule: "ordering-drift",
+                    message: format!(
+                        "code uses `Ordering::{name}` but the file's \
+                         `// ORDERING:` protocol comment never mentions \
+                         {name} — the documented protocol has drifted from \
+                         the code"
+                    ),
+                });
+            }
+        }
+    }
+
+    (findings, sites)
+}
+
+/// Concatenated text of every contiguous comment block that contains an
+/// `ORDERING:` tag. Empty when the file documents no protocol.
+fn ordering_doc_text(entry: &crate::index::FileEntry) -> String {
+    let lines = &entry.view.lines;
+    let mut doc = String::new();
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].comment.trim().is_empty() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < lines.len() && !lines[i].comment.trim().is_empty() {
+            i += 1;
+        }
+        if lines[start..i]
+            .iter()
+            .any(|l| l.comment.contains("ORDERING:"))
+        {
+            for l in &lines[start..i] {
+                doc.push_str(&l.comment);
+                doc.push('\n');
+            }
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(files: &[(&str, &str)]) -> Vec<(String, usize, &'static str)> {
+        let idx = SymbolIndex::build(
+            files
+                .iter()
+                .map(|(p, s)| ((*p).to_owned(), lex(s)))
+                .collect(),
+        );
+        let (findings, _) = check(&idx);
+        findings
+            .into_iter()
+            .map(|f| (idx.files[f.file].path.clone(), f.line, f.rule))
+            .collect()
+    }
+
+    const PUBLISHED_RELAXED: &str = "\
+// ORDERING: `ready` is published with Release and must be read with
+// Acquire; Relaxed is reserved for the counters.
+use std::sync::atomic::{AtomicBool, Ordering};
+pub struct Flag { ready: AtomicBool }
+impl Flag {
+    pub fn publish(&self) { self.ready.store(true, Ordering::Release); }
+    pub fn poll(&self) -> bool { self.ready.load(Ordering::Relaxed) }
+}
+";
+
+    #[test]
+    fn relaxed_read_of_released_field_is_flagged() {
+        let f = run(&[("crates/a/src/lib.rs", PUBLISHED_RELAXED)]);
+        assert_eq!(
+            f,
+            vec![("crates/a/src/lib.rs".to_owned(), 7, "atomic-pairing")]
+        );
+    }
+
+    #[test]
+    fn paired_protocol_is_clean() {
+        let src = "\
+// ORDERING: `ready` is a Release/Acquire handshake.
+use std::sync::atomic::{AtomicBool, Ordering};
+pub struct Flag { ready: AtomicBool }
+impl Flag {
+    pub fn publish(&self) { self.ready.store(true, Ordering::Release); }
+    pub fn wait(&self) -> bool { self.ready.load(Ordering::Acquire) }
+}
+";
+        assert!(run(&[("crates/a/src/lib.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn unpaired_release_store_is_flagged_at_the_store() {
+        let src = "\
+// ORDERING: `done` uses Release; the reader lives in another crate (it
+// does not — that is the bug this fixture models).
+use std::sync::atomic::{AtomicBool, Ordering};
+pub struct S { done: AtomicBool }
+impl S {
+    pub fn finish(&self) { self.done.store(true, Ordering::Release); }
+}
+";
+        let f = run(&[("crates/a/src/lib.rs", src)]);
+        assert_eq!(
+            f,
+            vec![("crates/a/src/lib.rs".to_owned(), 6, "atomic-pairing")]
+        );
+    }
+
+    #[test]
+    fn pairing_resolves_across_files_within_a_crate() {
+        let writer = "\
+// ORDERING: `stop` store is Release, paired with the Acquire load in
+// worker.rs.
+use std::sync::atomic::{AtomicBool, Ordering};
+pub struct Shared { pub stop: AtomicBool }
+pub fn halt(s: &Shared) { s.stop.store(true, Ordering::Release); }
+";
+        let reader_ok = "\
+// ORDERING: Acquire pairs with the Release store in shared.rs.
+use std::sync::atomic::Ordering;
+use crate::Shared;
+pub fn poll(s: &Shared) -> bool { s.stop.load(Ordering::Acquire) }
+";
+        assert!(run(&[
+            ("crates/a/src/shared.rs", writer),
+            ("crates/a/src/worker.rs", reader_ok),
+        ])
+        .is_empty());
+
+        let reader_bad = "\
+// ORDERING: Relaxed — deliberately wrong for this fixture.
+use std::sync::atomic::Ordering;
+use crate::Shared;
+pub fn poll(s: &Shared) -> bool { s.stop.load(Ordering::Relaxed) }
+";
+        let f = run(&[
+            ("crates/a/src/shared.rs", writer),
+            ("crates/a/src/worker.rs", reader_bad),
+        ]);
+        assert_eq!(
+            f,
+            vec![("crates/a/src/worker.rs".to_owned(), 4, "atomic-pairing")]
+        );
+    }
+
+    #[test]
+    fn test_code_and_unresolved_receivers_are_exempt() {
+        // Same racy shape, but in a tests/ tree: exempt.
+        assert!(run(&[("crates/a/tests/x.rs", PUBLISHED_RELAXED)]).is_empty());
+        // Receiver is a parameter — unresolved, skipped.
+        let src = "\
+// ORDERING: Release/Relaxed on a caller-owned slot.
+use std::sync::atomic::{AtomicBool, Ordering};
+pub fn f(slot: &AtomicBool) {
+    slot.store(true, Ordering::Release);
+    let _ = slot.load(Ordering::Relaxed);
+}
+";
+        assert!(run(&[("crates/a/src/lib.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn ordering_argument_may_sit_on_the_next_line() {
+        let src = "\
+// ORDERING: Release publish of `ready`, Relaxed poll (the bug).
+use std::sync::atomic::{AtomicBool, Ordering};
+pub struct Flag { ready: AtomicBool }
+impl Flag {
+    pub fn publish(&self) {
+        self.ready.store(
+            true,
+            Ordering::Release,
+        );
+    }
+    pub fn poll(&self) -> bool {
+        self.ready
+            .load(Ordering::Relaxed)
+    }
+}
+";
+        let f = run(&[("crates/a/src/lib.rs", src)]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].2, "atomic-pairing");
+        assert_eq!(f[0].1, 13, "flagged at the wrapped load");
+    }
+
+    #[test]
+    fn unpaired_fences_are_flagged_per_crate() {
+        let src = "\
+// ORDERING: Release fence before the flag store; the Acquire side was
+// deleted in a refactor (this fixture).
+use std::sync::atomic::{fence, Ordering};
+pub fn publish() { fence(Ordering::Release); }
+";
+        let f = run(&[("crates/a/src/lib.rs", src)]);
+        assert_eq!(
+            f,
+            vec![("crates/a/src/lib.rs".to_owned(), 4, "atomic-pairing")]
+        );
+
+        let paired = "\
+// ORDERING: Release fence pairs with the Acquire fence below.
+use std::sync::atomic::{fence, Ordering};
+pub fn publish() { fence(Ordering::Release); }
+pub fn observe() { fence(Ordering::Acquire); }
+";
+        assert!(run(&[("crates/a/src/lib.rs", paired)]).is_empty());
+    }
+
+    #[test]
+    fn drift_flags_orderings_missing_from_the_protocol_comment() {
+        let src = "\
+// ORDERING: counters are independent tallies; Relaxed everywhere.
+use std::sync::atomic::{AtomicU64, Ordering};
+pub fn read(c: &AtomicU64) -> u64 { c.load(Ordering::Acquire) }
+";
+        let f = run(&[("crates/a/src/lib.rs", src)]);
+        assert_eq!(
+            f,
+            vec![("crates/a/src/lib.rs".to_owned(), 3, "ordering-drift")]
+        );
+    }
+
+    #[test]
+    fn drift_is_silent_without_an_ordering_comment_and_when_documented() {
+        // No ORDERING comment at all: ordering-doc's province, not drift's.
+        let bare = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+                    pub fn read(c: &AtomicU64) -> u64 { c.load(Ordering::Acquire) }";
+        assert!(run(&[("crates/a/src/lib.rs", bare)]).is_empty());
+        // Documented ordering: clean.
+        let ok = "// ORDERING: Acquire pairs with a Release store elsewhere.\n\
+                  use std::sync::atomic::{AtomicU64, Ordering};\n\
+                  pub fn read(c: &AtomicU64) -> u64 { c.load(Ordering::Acquire) }";
+        assert!(run(&[("crates/a/src/lib.rs", ok)]).is_empty());
+    }
+}

@@ -1,0 +1,561 @@
+//! Lock-order checking: build the Mutex/RwLock acquisition-nesting graph
+//! per crate and reject cycles.
+//!
+//! An *acquisition site* is a `.lock()`, `.read()`, or `.write()` call
+//! (empty argument list — io `read(&mut buf)` never matches) whose
+//! receiver resolves to a field of the matching kind (`lock` → `Mutex`,
+//! `read`/`write` → `RwLock`). Each site gets an approximate *guard
+//! region*:
+//!
+//! * `if let` / `while let` / `match` acquisitions — the opened block;
+//! * `let`-bound guards — the rest of the enclosing block, cut early at
+//!   a `drop(guard)` line;
+//! * inline temporaries — the rest of the statement's line.
+//!
+//! A second acquisition inside a region adds a nesting edge
+//! `held → acquired`; a call inside a region adds edges to every lock
+//! the callee transitively takes (intra-crate call graph, fixpoint).
+//! Re-acquiring the *same* key while held is an immediate deadlock
+//! finding when either side is write-capable (Mutex `lock` or RwLock
+//! `write`); shared `read`/`read` recursion is tolerated. Cycles in the
+//! per-crate edge graph are reported once per distinct cycle.
+//!
+//! Interprocedural *self*-edges (a fn whose callee takes the same lock
+//! the caller holds) are deliberately skipped: name resolution is
+//! approximate, and wrapper methods like `fn lock(&self)` would
+//! otherwise self-accuse.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::{depth_starts, receiver_before, Finding};
+use crate::index::{FnId, SymbolIndex};
+use crate::items::SyncKind;
+use crate::lexer::path_is_test;
+
+/// Acquisition methods: `(suffix, kind, write_capable)`.
+const ACQ_OPS: &[(&str, SyncKind, bool)] = &[
+    (".lock()", SyncKind::Mutex, true),
+    (".read()", SyncKind::RwLock, false),
+    (".write()", SyncKind::RwLock, true),
+];
+
+/// Enumerating cycles is exponential in pathological graphs; real lock
+/// graphs are tiny, so cap the search rather than the build.
+const MAX_CYCLES: usize = 64;
+const MAX_DEPTH: usize = 16;
+
+#[derive(Debug, Clone)]
+struct Site {
+    /// 0-based op line.
+    ln: usize,
+    /// 0-based column of the `.` in `.lock()`.
+    col: usize,
+    key: String,
+    write_capable: bool,
+    /// 0-based exclusive end of the guard region.
+    end: usize,
+    /// Guard is a temporary: region is the op line only, after `col`.
+    inline: bool,
+}
+
+impl Site {
+    /// Is 0-based position `(ln, col)` inside this site's guard region
+    /// and strictly after the acquisition?
+    fn covers(&self, ln: usize, col: usize) -> bool {
+        if ln == self.ln {
+            return col > self.col;
+        }
+        !self.inline && ln > self.ln && ln < self.end
+    }
+}
+
+/// The `let` binding introduced on a statement line, unwrapping one
+/// level of `Ok(..)` / `Some(..)` / `Err(..)`. `None` for `_`, pattern
+/// matches, and expression statements.
+fn binding_ident(code: &str) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut at = 0;
+    let p = loop {
+        let p = code[at..].find("let")? + at;
+        let before_ok = p == 0 || !(bytes[p - 1].is_ascii_alphanumeric() || bytes[p - 1] == b'_');
+        let after = p + 3;
+        let after_ok =
+            after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+        if before_ok && after_ok {
+            break p;
+        }
+        at = p + 3;
+    };
+    let mut rest = code[p + 3..].trim_start();
+    if let Some(r) = rest.strip_prefix("mut ") {
+        rest = r.trim_start();
+    }
+    let ident: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    let tail = rest[ident.len()..].trim_start();
+    if matches!(ident.as_str(), "Ok" | "Some" | "Err") && tail.starts_with('(') {
+        let inner = tail[1..].trim_start();
+        let inner = inner.strip_prefix("mut ").unwrap_or(inner).trim_start();
+        let ident: String = inner
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        return (!ident.is_empty() && ident != "_").then_some(ident);
+    }
+    (!ident.is_empty() && ident != "_").then_some(ident)
+}
+
+/// Run the lock-order check over the whole index. Returns the findings
+/// and the number of acquisition sites resolved to known fields.
+pub fn check(index: &SymbolIndex) -> (Vec<Finding>, u64) {
+    let mut findings = Vec::new();
+    let mut total_sites = 0u64;
+
+    let crate_names: Vec<String> = index.crate_names().map(str::to_owned).collect();
+    for krate in &crate_names {
+        // 1. Acquisition sites per fn, with guard regions.
+        let mut per_fn: BTreeMap<FnId, Vec<Site>> = BTreeMap::new();
+        for &fidx in index.crate_files(krate) {
+            let entry = &index.files[fidx];
+            if path_is_test(&entry.path) {
+                continue;
+            }
+            let depths = depth_starts(&entry.view);
+            for (gi, f) in entry.items.fns.iter().enumerate() {
+                if f.is_test || f.body.is_empty() {
+                    continue;
+                }
+                let mut sites = Vec::new();
+                for ln1 in f.body.clone() {
+                    let ln = ln1 - 1;
+                    let l = &entry.view.lines[ln];
+                    if l.in_test {
+                        continue;
+                    }
+                    for (op, kind, write_capable) in ACQ_OPS {
+                        let mut from = 0;
+                        while let Some(rel) = l.code[from..].find(op) {
+                            let col = from + rel;
+                            from = col + op.len();
+                            let (recv, stmt_ln) = receiver_before(&entry.view.lines, ln, col);
+                            let impl_type = f.impl_type.as_deref();
+                            let Some(field) = index.resolve_field(krate, impl_type, &recv) else {
+                                continue;
+                            };
+                            if field.kind != *kind {
+                                continue;
+                            }
+                            total_sites += 1;
+                            let body_end = (f.body.end - 1).min(entry.view.lines.len());
+                            let d = depths[stmt_ln];
+                            let opens_block =
+                                ln + 1 < depths.len() && depths[ln + 1] > depths[stmt_ln];
+                            let binding = binding_ident(&entry.view.lines[stmt_ln].code);
+                            let (end, inline) = if opens_block {
+                                let e = ((ln + 1)..body_end)
+                                    .find(|&e| depths[e] <= d)
+                                    .unwrap_or(body_end);
+                                (e, false)
+                            } else if let Some(ident) = binding {
+                                let mut e = ((ln + 1)..body_end)
+                                    .find(|&e| depths[e] < d)
+                                    .unwrap_or(body_end);
+                                let dropped = format!("drop({ident})");
+                                if let Some(cut) = ((ln + 1)..e)
+                                    .find(|&i| entry.view.lines[i].code.contains(&dropped))
+                                {
+                                    e = cut;
+                                }
+                                (e, false)
+                            } else {
+                                (ln + 1, true)
+                            };
+                            sites.push(Site {
+                                ln,
+                                col,
+                                key: field.key.clone(),
+                                write_capable: *write_capable,
+                                end,
+                                inline,
+                            });
+                        }
+                    }
+                }
+                if !sites.is_empty() {
+                    per_fn.insert((fidx, gi), sites);
+                }
+            }
+        }
+
+        // 2. Transitive lock sets per fn (fixpoint over resolved calls).
+        let mut trans: BTreeMap<FnId, BTreeSet<String>> = per_fn
+            .iter()
+            .map(|(id, sites)| (*id, sites.iter().map(|s| s.key.clone()).collect()))
+            .collect();
+        loop {
+            let mut changed = false;
+            for &fidx in index.crate_files(krate) {
+                let entry = &index.files[fidx];
+                if path_is_test(&entry.path) {
+                    continue;
+                }
+                for (gi, f) in entry.items.fns.iter().enumerate() {
+                    if f.is_test {
+                        continue;
+                    }
+                    let mut add = BTreeSet::new();
+                    for call in &f.calls {
+                        if let Some(callee) = index.resolve_call(krate, f, call) {
+                            if let Some(t) = trans.get(&callee) {
+                                add.extend(t.iter().cloned());
+                            }
+                        }
+                    }
+                    if add.is_empty() {
+                        continue;
+                    }
+                    let t = trans.entry((fidx, gi)).or_default();
+                    let before = t.len();
+                    t.extend(add);
+                    changed |= t.len() != before;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // 3. Edges (held → acquired) and direct re-acquisition findings.
+        let mut edges: BTreeMap<String, BTreeMap<String, (usize, usize)>> = BTreeMap::new();
+        for (&(fidx, gi), sites) in &per_fn {
+            let entry = &index.files[fidx];
+            let f = &entry.items.fns[gi];
+            for a in sites {
+                for b in sites {
+                    if std::ptr::eq(a, b) || !a.covers(b.ln, b.col) {
+                        continue;
+                    }
+                    if b.key == a.key {
+                        if a.write_capable || b.write_capable {
+                            findings.push(Finding {
+                                file: fidx,
+                                line: b.ln + 1,
+                                rule: "lock-order",
+                                message: format!(
+                                    "`{}` is re-acquired here while the guard taken on \
+                                     line {} is still live — self-deadlock",
+                                    a.key,
+                                    a.ln + 1
+                                ),
+                            });
+                        }
+                        continue;
+                    }
+                    edges
+                        .entry(a.key.clone())
+                        .or_default()
+                        .entry(b.key.clone())
+                        .or_insert((fidx, b.ln + 1));
+                }
+                for call in &f.calls {
+                    if !a.covers(call.line - 1, call.col) {
+                        continue;
+                    }
+                    let Some(callee) = index.resolve_call(krate, f, call) else {
+                        continue;
+                    };
+                    let Some(taken) = trans.get(&callee) else {
+                        continue;
+                    };
+                    for k in taken {
+                        if *k == a.key {
+                            continue; // interprocedural self-edges: see module docs
+                        }
+                        edges
+                            .entry(a.key.clone())
+                            .or_default()
+                            .entry(k.clone())
+                            .or_insert((fidx, call.line));
+                    }
+                }
+            }
+        }
+
+        // 4. Cycles.
+        for cycle in find_cycles(&edges) {
+            let (file, line) = edges[&cycle[0]][&cycle[1 % cycle.len()]];
+            let path = cycle.join("` → `");
+            findings.push(Finding {
+                file,
+                line,
+                rule: "lock-order",
+                message: format!(
+                    "lock acquisition order cycle in crate `{krate}`: \
+                     `{path}` → `{}` — two threads taking these locks in \
+                     opposite nesting orders can deadlock",
+                    cycle[0]
+                ),
+            });
+        }
+    }
+
+    (findings, total_sites)
+}
+
+/// Distinct simple cycles, each rotated so its minimal key comes first.
+/// A cycle is enumerated from its minimal node only, so each distinct
+/// cycle is produced once.
+fn find_cycles(edges: &BTreeMap<String, BTreeMap<String, (usize, usize)>>) -> Vec<Vec<String>> {
+    let mut out: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in edges.keys() {
+        let mut path = vec![start.clone()];
+        dfs(edges, start, start, &mut path, &mut out);
+        if out.len() >= MAX_CYCLES {
+            break;
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn dfs(
+    edges: &BTreeMap<String, BTreeMap<String, (usize, usize)>>,
+    start: &str,
+    at: &str,
+    path: &mut Vec<String>,
+    out: &mut BTreeSet<Vec<String>>,
+) {
+    if path.len() > MAX_DEPTH || out.len() >= MAX_CYCLES {
+        return;
+    }
+    let Some(next) = edges.get(at) else { return };
+    for n in next.keys() {
+        if n == start {
+            out.insert(path.clone());
+            continue;
+        }
+        // Only walk nodes greater than `start` so each cycle is found
+        // exactly once, from its minimal node.
+        if n.as_str() < start || path.contains(n) {
+            continue;
+        }
+        path.push(n.clone());
+        dfs(edges, start, n, path, out);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(files: &[(&str, &str)]) -> Vec<(usize, &'static str, String)> {
+        let idx = SymbolIndex::build(
+            files
+                .iter()
+                .map(|(p, s)| ((*p).to_owned(), lex(s)))
+                .collect(),
+        );
+        let (findings, _) = check(&idx);
+        findings
+            .into_iter()
+            .map(|f| (f.line, f.rule, f.message))
+            .collect()
+    }
+
+    const PAIR: &str = "\
+pub struct Pair { a: Mutex<u32>, b: Mutex<u32> }
+";
+
+    #[test]
+    fn reversed_nesting_orders_are_a_cycle() {
+        let src = format!(
+            "{PAIR}\
+impl Pair {{
+    fn ab(&self) {{
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        drop(gb);
+        drop(ga);
+    }}
+    fn ba(&self) {{
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        drop(ga);
+        drop(gb);
+    }}
+}}
+"
+        );
+        let f = run(&[("crates/x/src/lib.rs", &src)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].1, "lock-order");
+        assert!(f[0].2.contains("Pair::a` → `Pair::b"), "{}", f[0].2);
+    }
+
+    #[test]
+    fn consistent_nesting_is_clean() {
+        let src = format!(
+            "{PAIR}\
+impl Pair {{
+    fn ab(&self) {{
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        let _ = (*ga, *gb);
+    }}
+    fn ab_again(&self) {{
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        let _ = (*ga, *gb);
+    }}
+}}
+"
+        );
+        assert!(run(&[("crates/x/src/lib.rs", &src)]).is_empty());
+    }
+
+    #[test]
+    fn direct_reacquisition_is_a_self_deadlock() {
+        let src = format!(
+            "{PAIR}\
+impl Pair {{
+    fn double(&self) {{
+        let g1 = self.a.lock().unwrap();
+        let g2 = self.a.lock().unwrap();
+        let _ = (*g1, *g2);
+    }}
+}}
+"
+        );
+        let f = run(&[("crates/x/src/lib.rs", &src)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].0, 5, "flagged at the second acquisition");
+        assert!(f[0].2.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn dropping_the_guard_ends_the_region() {
+        let src = format!(
+            "{PAIR}\
+impl Pair {{
+    fn ab_released(&self) {{
+        let ga = self.a.lock().unwrap();
+        drop(ga);
+        let gb = self.b.lock().unwrap();
+        let _ = *gb;
+    }}
+    fn ba(&self) {{
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        let _ = (*ga, *gb);
+    }}
+}}
+"
+        );
+        // `ab_released` holds nothing when it takes `b`, so only the
+        // b→a edge exists: no cycle.
+        assert!(run(&[("crates/x/src/lib.rs", &src)]).is_empty());
+    }
+
+    #[test]
+    fn if_let_guard_scope_is_the_block() {
+        let src = format!(
+            "{PAIR}\
+impl Pair {{
+    fn scoped(&self) {{
+        if let Ok(ga) = self.a.lock() {{
+            let _ = *ga;
+        }}
+        let gb = self.b.lock().unwrap();
+        let _ = *gb;
+    }}
+    fn ba(&self) {{
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        let _ = (*ga, *gb);
+    }}
+}}
+"
+        );
+        // `b` is taken after the if-let block closed, so there is no
+        // a→b edge and no cycle.
+        assert!(run(&[("crates/x/src/lib.rs", &src)]).is_empty());
+    }
+
+    #[test]
+    fn nesting_through_a_callee_still_forms_the_cycle() {
+        let src = format!(
+            "{PAIR}\
+impl Pair {{
+    fn ab(&self) {{
+        let ga = self.a.lock().unwrap();
+        self.grab_b();
+        let _ = *ga;
+    }}
+    fn grab_b(&self) {{
+        let gb = self.b.lock().unwrap();
+        let _ = *gb;
+    }}
+    fn ba(&self) {{
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        let _ = (*ga, *gb);
+    }}
+}}
+"
+        );
+        let f = run(&[("crates/x/src/lib.rs", &src)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].2.contains("cycle"), "{}", f[0].2);
+    }
+
+    #[test]
+    fn rwlock_read_recursion_is_tolerated_but_read_write_is_not() {
+        let src = "\
+pub struct Cfg { map: RwLock<u32> }
+impl Cfg {
+    fn rr(&self) {
+        let r1 = self.map.read().unwrap();
+        let r2 = self.map.read().unwrap();
+        let _ = (*r1, *r2);
+    }
+}
+";
+        assert!(run(&[("crates/x/src/lib.rs", src)]).is_empty());
+
+        let src = "\
+pub struct Cfg { map: RwLock<u32> }
+impl Cfg {
+    fn rw(&self) {
+        let r = self.map.read().unwrap();
+        let mut w = self.map.write().unwrap();
+        *w += *r;
+    }
+}
+";
+        let f = run(&[("crates/x/src/lib.rs", src)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].2.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn indexed_and_kind_mismatched_receivers_are_skipped() {
+        let src = "\
+pub struct Grid { stripes: Mutex<u32> }
+impl Grid {
+    fn per_element(&self, i: usize, j: usize) {
+        let gi = self.stripes[i].lock().unwrap();
+        let gj = self.stripes[j].lock().unwrap();
+        let _ = (*gi, *gj);
+    }
+    fn wrong_kind(&self) {
+        let r = self.stripes.read().unwrap();
+        let _ = *r;
+    }
+}
+";
+        assert!(run(&[("crates/x/src/lib.rs", src)]).is_empty());
+    }
+}

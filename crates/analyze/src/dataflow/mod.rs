@@ -1,0 +1,143 @@
+//! Cross-file concurrency dataflow checkers built on the symbol index:
+//! the atomic-protocol pairing checker ([`atomic`]) and the lock-order
+//! checker ([`locks`]).
+//!
+//! Both produce [`Finding`]s keyed by file index; the driver in
+//! [`crate`] routes them through [`crate::rules::emit`] so the in-source
+//! suppression syntax covers dataflow diagnostics exactly like per-file
+//! rule diagnostics.
+
+pub mod atomic;
+pub mod locks;
+
+use crate::lexer::{FileView, LineView};
+
+/// One dataflow finding, keyed by index into `SymbolIndex::files`.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File index.
+    pub file: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Workspace dataflow telemetry: what the checkers actually looked at.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DataflowStats {
+    /// Functions whose bodies were scanned.
+    pub functions: u64,
+    /// Atomic operation sites classified (an ordering in the window).
+    pub atomic_sites: u64,
+    /// Mutex/RwLock acquisition sites resolved to a known field.
+    pub lock_sites: u64,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Reconstruct the dotted receiver chain ending just before 0-based
+/// column `col` of 0-based line `ln` (where `col` points at the `.` of a
+/// method call). Rustfmt-wrapped chains are joined across up to two
+/// preceding continuation lines. Returns the chain text and the 0-based
+/// line the chain starts on (the statement line for region analysis).
+pub(crate) fn receiver_before(lines: &[LineView], ln: usize, col: usize) -> (String, usize) {
+    let mut chain = String::new();
+    let mut line = ln;
+    let mut chars: Vec<char> = lines[line].code.chars().collect();
+    let mut i = col.min(chars.len());
+    let mut jumps = 0;
+    loop {
+        while i > 0 {
+            let c = chars[i - 1];
+            if is_ident(c) || matches!(c, '.' | '[' | ']' | '(' | ')') {
+                chain.insert(0, c);
+                i -= 1;
+            } else {
+                break;
+            }
+        }
+        // If only indentation remains and the previous line ends in
+        // something a chain can continue from (`self.ready\n    .load(`),
+        // join it; otherwise this is the statement start.
+        let leading_ws = chars[..i].iter().all(|c| c.is_whitespace());
+        if !leading_ws || line == 0 || jumps >= 2 {
+            break;
+        }
+        let prev = lines[line - 1].code.trim_end();
+        let continues = prev
+            .chars()
+            .last()
+            .is_some_and(|c| is_ident(c) || matches!(c, '.' | ')' | ']'));
+        if !continues {
+            break;
+        }
+        line -= 1;
+        jumps += 1;
+        chars = prev.chars().collect();
+        i = chars.len();
+    }
+    (chain, line)
+}
+
+/// How many lines a wrapped call's argument list may span past the call
+/// line before we give up looking for its closing paren.
+const CALL_SPAN: usize = 4;
+
+/// The atomic orderings named inside the call whose opening paren sits at
+/// byte `open_col` of 0-based line `ln` — the argument text up to the
+/// matching `)`, wrapped across at most [`CALL_SPAN`] lines. Scoping to
+/// the argument list (rather than a line window) keeps an adjacent
+/// statement's ordering from bleeding into this call's classification.
+pub(crate) fn orderings_in_call(view: &FileView, ln: usize, open_col: usize) -> Vec<&'static str> {
+    const NAMES: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+    let mut text = String::new();
+    let mut depth = 0i64;
+    'lines: for (k, l) in view.lines.iter().enumerate().skip(ln).take(CALL_SPAN) {
+        let code = if k == ln {
+            &l.code[open_col..]
+        } else {
+            l.code.as_str()
+        };
+        for c in code.chars() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        break 'lines;
+                    }
+                }
+                _ => {}
+            }
+            text.push(c);
+        }
+        text.push('\n');
+    }
+    NAMES
+        .iter()
+        .filter(|name| text.contains(&format!("Ordering::{name}")))
+        .copied()
+        .collect()
+}
+
+/// Brace depth at the start of each 0-based line of the file.
+pub(crate) fn depth_starts(view: &FileView) -> Vec<i64> {
+    let mut out = Vec::with_capacity(view.lines.len());
+    let mut depth = 0i64;
+    for l in &view.lines {
+        out.push(depth);
+        for c in l.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    out
+}

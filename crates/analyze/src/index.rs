@@ -1,0 +1,280 @@
+//! Workspace symbol index over [`crate::items`]: per-crate field-symbol
+//! resolution and an approximate intra-crate call graph.
+//!
+//! Resolution is deliberately conservative — a receiver or callee that
+//! cannot be pinned to exactly one symbol resolves to *nothing*, so the
+//! dataflow checkers built on top stay quiet rather than guess:
+//!
+//! * `self.field` resolves through the enclosing `impl` type first
+//!   (`Type::field`), then by unique field name within the crate;
+//! * any other dotted receiver resolves by unique *last-segment* field
+//!   name within the crate;
+//! * indexed receivers (`stripes[i].lock()`) never resolve — per-element
+//!   locks are ordered by index, not by field;
+//! * `self.method()` / `Self::assoc()` calls resolve through the
+//!   enclosing `impl` type first, then by unique fn name; free calls by
+//!   unique fn name only.
+
+use std::collections::BTreeMap;
+
+use crate::items::{parse_items, CallSite, FnItem, ParsedFile, SyncKind};
+use crate::lexer::FileView;
+
+/// One file held by the index.
+#[derive(Debug)]
+pub struct FileEntry {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The lexed view (rules and dataflow share it).
+    pub view: FileView,
+    /// Parsed items.
+    pub items: ParsedFile,
+}
+
+/// A resolved synchronization field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldRef {
+    /// Stable key: `Type::field`.
+    pub key: String,
+    /// Which primitive.
+    pub kind: SyncKind,
+    /// File index into [`SymbolIndex::files`].
+    pub file: usize,
+    /// 1-based declaration line.
+    pub line: usize,
+}
+
+/// Identifier of a fn in the index: `(file index, fn index)`.
+pub type FnId = (usize, usize);
+
+#[derive(Debug, Default)]
+struct CrateIndex {
+    files: Vec<usize>,
+    fields_by_key: BTreeMap<String, FieldRef>,
+    fields_by_name: BTreeMap<String, Vec<String>>,
+    fns_by_qual: BTreeMap<String, Vec<FnId>>,
+    fns_by_name: BTreeMap<String, Vec<FnId>>,
+}
+
+/// The whole-workspace (or single-file) symbol index.
+#[derive(Debug, Default)]
+pub struct SymbolIndex {
+    /// Every indexed file.
+    pub files: Vec<FileEntry>,
+    crates: BTreeMap<String, CrateIndex>,
+}
+
+/// The crate a workspace-relative path belongs to: `crates/<name>/…` →
+/// `<name>`; anything else groups under its first path segment.
+pub fn crate_of(path: &str) -> &str {
+    let mut segs = path.split('/');
+    match (segs.next(), segs.next()) {
+        (Some("crates"), Some(name)) => name,
+        (Some(first), _) => first,
+        _ => path,
+    }
+}
+
+impl SymbolIndex {
+    /// Build the index from lexed files.
+    pub fn build(files: Vec<(String, FileView)>) -> Self {
+        let mut out = SymbolIndex::default();
+        for (path, view) in files {
+            let items = parse_items(&view);
+            out.files.push(FileEntry { path, view, items });
+        }
+        for (fi, entry) in out.files.iter().enumerate() {
+            let ci = out
+                .crates
+                .entry(crate_of(&entry.path).to_owned())
+                .or_default();
+            ci.files.push(fi);
+            for s in &entry.items.structs {
+                for f in &s.sync_fields {
+                    let key = format!("{}::{}", s.name, f.name);
+                    ci.fields_by_name
+                        .entry(f.name.clone())
+                        .or_default()
+                        .push(key.clone());
+                    ci.fields_by_key.entry(key.clone()).or_insert(FieldRef {
+                        key,
+                        kind: f.kind,
+                        file: fi,
+                        line: f.line,
+                    });
+                }
+            }
+            for (gi, f) in entry.items.fns.iter().enumerate() {
+                let id: FnId = (fi, gi);
+                if let Some(ty) = &f.impl_type {
+                    ci.fns_by_qual
+                        .entry(format!("{ty}::{}", f.name))
+                        .or_default()
+                        .push(id);
+                }
+                ci.fns_by_name.entry(f.name.clone()).or_default().push(id);
+            }
+        }
+        out
+    }
+
+    /// Crate names present in the index, sorted.
+    pub fn crate_names(&self) -> impl Iterator<Item = &str> {
+        self.crates.keys().map(String::as_str)
+    }
+
+    /// File indices belonging to `krate`.
+    pub fn crate_files<'a>(&'a self, krate: &str) -> &'a [usize] {
+        self.crates
+            .get(krate)
+            .map(|c| c.files.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Resolve a dotted receiver (`self.shared.shutdown`, `flag`) against
+    /// the crate's sync fields. `impl_type` is the enclosing method's
+    /// `impl` type, used for the `self.field` fast path.
+    pub fn resolve_field(
+        &self,
+        krate: &str,
+        impl_type: Option<&str>,
+        receiver: &str,
+    ) -> Option<&FieldRef> {
+        if receiver.contains('[') {
+            return None; // indexed: element identity is not a field
+        }
+        let ci = self.crates.get(krate)?;
+        let segs: Vec<&str> = receiver.split('.').collect();
+        let last = segs.last()?.trim();
+        if last.is_empty() || !last.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return None;
+        }
+        if segs.len() == 2 && segs[0] == "self" {
+            if let Some(ty) = impl_type {
+                if let Some(f) = ci.fields_by_key.get(&format!("{ty}::{last}")) {
+                    return Some(f);
+                }
+            }
+        }
+        match ci.fields_by_name.get(last).map(Vec::as_slice) {
+            Some([only]) => ci.fields_by_key.get(only),
+            _ => None,
+        }
+    }
+
+    /// Resolve a call site from `caller` to an intra-crate fn, or `None`
+    /// when ambiguous / external.
+    pub fn resolve_call(&self, krate: &str, caller: &FnItem, call: &CallSite) -> Option<FnId> {
+        let ci = self.crates.get(krate)?;
+        if call.on_self {
+            if let Some(ty) = &caller.impl_type {
+                if let Some([only]) = ci
+                    .fns_by_qual
+                    .get(&format!("{ty}::{}", call.callee))
+                    .map(Vec::as_slice)
+                {
+                    return Some(*only);
+                }
+            }
+        }
+        match ci.fns_by_name.get(&call.callee).map(Vec::as_slice) {
+            Some([only]) => Some(*only),
+            _ => None,
+        }
+    }
+
+    /// Look up a fn by id.
+    pub fn fn_item(&self, id: FnId) -> (&FileEntry, &FnItem) {
+        let entry = &self.files[id.0];
+        (entry, &entry.items.fns[id.1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn index_of(files: &[(&str, &str)]) -> SymbolIndex {
+        SymbolIndex::build(
+            files
+                .iter()
+                .map(|(p, s)| ((*p).to_owned(), lex(s)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn crate_of_groups_by_crates_dir() {
+        assert_eq!(crate_of("crates/backends/src/exec.rs"), "backends");
+        assert_eq!(crate_of("crates/serve/tests/service.rs"), "serve");
+        assert_eq!(crate_of("xtask/src/main.rs"), "xtask");
+    }
+
+    #[test]
+    fn self_field_resolves_through_impl_type_before_unique_name() {
+        let idx = index_of(&[(
+            "crates/a/src/lib.rs",
+            "struct P { state: Mutex<u32> }\nstruct Q { state: Mutex<u32> }\n\
+             impl P { fn go(&self) { self.state.lock(); } }",
+        )]);
+        // `state` is ambiguous by name (P::state, Q::state)…
+        assert!(idx.resolve_field("a", None, "state").is_none());
+        // …but `self.state` inside `impl P` pins it.
+        let f = idx.resolve_field("a", Some("P"), "self.state").unwrap();
+        assert_eq!(f.key, "P::state");
+    }
+
+    #[test]
+    fn unique_name_resolves_across_files_in_crate() {
+        let idx = index_of(&[
+            (
+                "crates/a/src/one.rs",
+                "pub struct Shared { shutdown: AtomicBool }",
+            ),
+            ("crates/a/src/two.rs", "fn f() {}"),
+        ]);
+        let f = idx
+            .resolve_field("a", None, "shared.shutdown")
+            .expect("unique name match");
+        assert_eq!(f.key, "Shared::shutdown");
+        assert_eq!(f.kind, SyncKind::Atomic);
+        // Other crates do not see it.
+        assert!(idx.resolve_field("b", None, "shutdown").is_none());
+    }
+
+    #[test]
+    fn indexed_receivers_never_resolve() {
+        let idx = index_of(&[("crates/a/src/lib.rs", "struct S { stripes: Mutex<u32> }")]);
+        assert!(idx.resolve_field("a", None, "stripes[i]").is_none());
+    }
+
+    #[test]
+    fn call_resolution_prefers_impl_then_unique() {
+        let idx = index_of(&[(
+            "crates/a/src/lib.rs",
+            "struct P;\nstruct Q;\n\
+             impl P { fn lock(&self) {} fn go(&self) { self.lock(); } }\n\
+             impl Q { fn lock(&self) {} }\n\
+             fn free() { helper(); }\nfn helper() {}",
+        )]);
+        let entry = &idx.files[0];
+        let go = entry.items.fns.iter().find(|f| f.name == "go").unwrap();
+        let call = go.calls.iter().find(|c| c.callee == "lock").unwrap();
+        let id = idx.resolve_call("a", go, call).expect("impl-qualified");
+        assert_eq!(idx.fn_item(id).1.impl_type.as_deref(), Some("P"));
+
+        let free = entry.items.fns.iter().find(|f| f.name == "free").unwrap();
+        let call = free.calls.iter().find(|c| c.callee == "helper").unwrap();
+        assert!(idx.resolve_call("a", free, call).is_some());
+
+        // `lock` without a self receiver is ambiguous (P::lock, Q::lock).
+        let fake = CallSite {
+            callee: "lock".into(),
+            on_self: false,
+            line: 1,
+            col: 0,
+        };
+        assert!(idx.resolve_call("a", free, &fake).is_none());
+    }
+}

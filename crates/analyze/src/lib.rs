@@ -21,14 +21,21 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod dataflow;
+pub mod index;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::process::Command;
 
+pub use dataflow::DataflowStats;
+pub use index::SymbolIndex;
 pub use report::Report;
 pub use rules::{Diagnostic, FileFindings, Suppression};
 
@@ -37,9 +44,50 @@ pub use rules::{Diagnostic, FileFindings, Suppression};
 const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", "fixtures", "corpus", "results"];
 
 /// Lint one file's text under a workspace-relative `path` (which drives
-/// the per-file allow-lists — pass the path the file *would* have).
+/// the per-file allow-lists — pass the path the file *would* have). Runs
+/// the full pipeline: per-file rules, then the dataflow checkers over a
+/// single-file symbol index, then the unused-suppression sweep.
 pub fn analyze_source(path: &str, text: &str) -> FileFindings {
-    rules::check_file(path, &lexer::lex(text))
+    let view = lexer::lex(text);
+    let mut findings = vec![rules::check_file(path, &view)];
+    let index = SymbolIndex::build(vec![(path.to_owned(), view)]);
+    dataflow_pass(&index, &mut findings);
+    findings.pop().expect("one file in, one findings out")
+}
+
+/// Run the dataflow checkers over `index` and fold their findings into
+/// the per-file `findings` (parallel to `index.files`), routing each one
+/// through [`rules::emit`] so in-source suppressions apply. The
+/// unused-suppression sweep runs last, after every rule family has had
+/// the chance to mark its directives used.
+fn dataflow_pass(index: &SymbolIndex, findings: &mut [FileFindings]) -> DataflowStats {
+    let (atomic_findings, atomic_sites) = dataflow::atomic::check(index);
+    let (lock_findings, lock_sites) = dataflow::locks::check(index);
+    for f in atomic_findings.into_iter().chain(lock_findings) {
+        let entry = &index.files[f.file];
+        rules::emit(
+            &mut findings[f.file],
+            &entry.path,
+            &entry.view,
+            f.line,
+            f.rule,
+            f.message,
+        );
+    }
+    for (i, entry) in index.files.iter().enumerate() {
+        rules::unused_suppression_pass(&entry.path, &entry.view, &mut findings[i]);
+    }
+    let functions = index
+        .files
+        .iter()
+        .filter(|e| !lexer::path_is_test(&e.path))
+        .map(|e| e.items.fns.iter().filter(|f| !f.is_test).count() as u64)
+        .sum();
+    DataflowStats {
+        functions,
+        atomic_sites,
+        lock_sites,
+    }
 }
 
 /// Collect every `.rs` file under `root`, skipping [`SKIP_DIRS`], sorted
@@ -71,16 +119,28 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lint every workspace source under `root` and assemble the [`Report`].
-/// Records `record_analyze_lint` telemetry when the `telemetry` feature
-/// is on.
+/// Lint every workspace source under `root` and assemble the [`Report`]:
+/// lex everything once, run the per-file rules, build the workspace
+/// [`SymbolIndex`], run the cross-file dataflow checkers, then the
+/// unused-suppression sweep. Records `record_analyze_lint` and
+/// `record_analyze_dataflow` telemetry when the `telemetry` feature is
+/// on.
 pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
     let sources = workspace_sources(root)?;
-    let mut diagnostics = Vec::new();
-    let mut suppressions = Vec::new();
+    let mut files = Vec::with_capacity(sources.len());
     for rel in &sources {
         let text = fs::read_to_string(root.join(rel))?;
-        let mut f = analyze_source(&rel.to_string_lossy(), &text);
+        files.push((rel.to_string_lossy().into_owned(), lexer::lex(&text)));
+    }
+    let mut findings: Vec<FileFindings> = files
+        .iter()
+        .map(|(path, view)| rules::check_file(path, view))
+        .collect();
+    let index = SymbolIndex::build(files);
+    let stats = dataflow_pass(&index, &mut findings);
+    let mut diagnostics = Vec::new();
+    let mut suppressions = Vec::new();
+    for f in &mut findings {
         diagnostics.append(&mut f.diagnostics);
         suppressions.append(&mut f.suppressions);
     }
@@ -90,7 +150,31 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
         report.diagnostics.len() as u64,
         report.suppressions.len() as u64,
     );
+    gaia_telemetry::record_analyze_dataflow(stats.functions, stats.atomic_sites, stats.lock_sites);
     Ok(report)
+}
+
+/// Paths changed relative to `rev`, per `git diff --name-only` (plus
+/// files added since), as workspace-relative `/`-separated strings.
+/// `None` when git is unavailable or `rev` is unknown — callers fall
+/// back to a full scan.
+pub fn changed_files(root: &Path, rev: &str) -> Option<BTreeSet<String>> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", rev])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    Some(
+        text.lines()
+            .map(|l| l.trim().replace('\\', "/"))
+            .filter(|l| !l.is_empty())
+            .collect(),
+    )
 }
 
 /// Find the workspace root: walk up from `start` to the first directory

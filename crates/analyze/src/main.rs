@@ -1,7 +1,7 @@
 //! `gaia-analyze` — lint the workspace against the project rule set.
 //!
 //! ```text
-//! gaia-analyze [--root DIR] [--deny] [--json PATH] [--quiet]
+//! gaia-analyze [--root DIR] [--deny] [--json PATH] [--quiet] [--since REV]
 //! ```
 //!
 //! * `--root DIR`   workspace root (default: walk up to `[workspace]`)
@@ -9,20 +9,26 @@
 //! * `--json PATH`  write the JSON report here instead of
 //!   `results/analyze/report.json`
 //! * `--quiet`      suppress the per-diagnostic listing
+//! * `--since REV`  report only findings in files changed since REV
+//!   (`git diff --name-only REV`); the whole workspace is still scanned
+//!   so cross-file dataflow stays sound, and the scan silently falls
+//!   back to full-workspace reporting when git or REV is unavailable
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use gaia_analyze::report::DEFAULT_REPORT_PATH;
-use gaia_analyze::{analyze_workspace, find_workspace_root};
+use gaia_analyze::{analyze_workspace, changed_files, find_workspace_root, Report};
 
-const USAGE: &str = "usage: gaia-analyze [--root DIR] [--deny] [--json PATH] [--quiet]";
+const USAGE: &str =
+    "usage: gaia-analyze [--root DIR] [--deny] [--json PATH] [--quiet] [--since REV]";
 
 struct Args {
     root: Option<PathBuf>,
     deny: bool,
     json: Option<PathBuf>,
     quiet: bool,
+    since: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         deny: false,
         json: None,
         quiet: false,
+        since: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -40,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
             "--deny" => args.deny = true,
             "--json" => args.json = Some(PathBuf::from(value("--json")?)),
             "--quiet" => args.quiet = true,
+            "--since" => args.since = Some(value("--since")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -77,13 +85,40 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match analyze_workspace(&root) {
+    let mut report = match analyze_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("analysis failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    // Diff-aware mode: the full workspace was scanned (cross-file
+    // dataflow needs every file), but only findings in changed files are
+    // reported and gated.
+    if let Some(rev) = &args.since {
+        match changed_files(&root, rev) {
+            Some(changed) => {
+                let files_scanned = report.files_scanned;
+                let diagnostics = report
+                    .diagnostics
+                    .into_iter()
+                    .filter(|d| changed.contains(&d.path))
+                    .collect();
+                let suppressions = report
+                    .suppressions
+                    .into_iter()
+                    .filter(|s| changed.contains(&s.path))
+                    .collect();
+                report = Report::new(files_scanned, diagnostics, suppressions);
+                report.since = Some(rev.clone());
+            }
+            None => eprintln!(
+                "gaia-analyze: --since {rev}: git diff unavailable, \
+                 falling back to a full-workspace report"
+            ),
+        }
+    }
 
     if !args.quiet {
         for d in &report.diagnostics {
@@ -99,6 +134,9 @@ fn main() -> ExitCode {
         report.diagnostics.len(),
         report.suppressions.len()
     );
+    if let Some(rev) = &report.since {
+        println!("diff-aware: findings restricted to files changed since {rev}");
+    }
 
     let write_result = match &args.json {
         Some(path) => {

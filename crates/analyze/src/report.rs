@@ -8,10 +8,13 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
-use crate::rules::{Diagnostic, Suppression, RULE_IDS};
+use crate::rules::{Diagnostic, Suppression, RULES, RULE_IDS};
 
-/// Report schema identifier; bump on incompatible change.
-pub const SCHEMA: &str = "gaia-analyze/v1";
+/// Report schema identifier; bump on incompatible change. `v2` added the
+/// dataflow rule families (`atomic-pairing`, `lock-order`,
+/// `ordering-drift`, `suppression-unused`), per-rule descriptions, and
+/// the `since` field for diff-aware scans.
+pub const SCHEMA: &str = "gaia-analyze/v2";
 
 /// Default location of the JSON artifact, relative to the workspace root.
 pub const DEFAULT_REPORT_PATH: &str = "results/analyze/report.json";
@@ -21,6 +24,9 @@ pub const DEFAULT_REPORT_PATH: &str = "results/analyze/report.json";
 pub struct RuleCount {
     /// Rule identifier.
     pub rule: String,
+    /// One-line rule description (from the rule inventory).
+    #[serde(default)]
+    pub description: String,
     /// Unsuppressed diagnostics for this rule.
     pub diagnostics: usize,
     /// Honored suppressions for this rule.
@@ -40,6 +46,10 @@ pub struct Report {
     pub suppressions: Vec<Suppression>,
     /// Per-rule tallies over the two lists above.
     pub rules: Vec<RuleCount>,
+    /// Revision this scan was restricted against (`--since <rev>`), or
+    /// `None` (serialized as `null`) for a full-workspace scan.
+    #[serde(default)]
+    pub since: Option<String>,
 }
 
 impl Report {
@@ -55,6 +65,11 @@ impl Report {
             .iter()
             .map(|id| RuleCount {
                 rule: (*id).to_owned(),
+                description: RULES
+                    .iter()
+                    .find(|(r, _)| r == id)
+                    .map(|(_, d)| (*d).to_owned())
+                    .unwrap_or_default(),
                 diagnostics: diagnostics.iter().filter(|d| d.rule == *id).count(),
                 suppressions: suppressions.iter().filter(|s| s.rule == *id).count(),
             })
@@ -65,6 +80,7 @@ impl Report {
             diagnostics,
             suppressions,
             rules,
+            since: None,
         }
     }
 
@@ -110,6 +126,10 @@ mod tests {
         let timing = r.rules.iter().find(|c| c.rule == "timing").unwrap();
         assert_eq!(timing.diagnostics, 2);
         assert_eq!(timing.suppressions, 0);
+        assert!(
+            r.rules.iter().all(|c| !c.description.is_empty()),
+            "every rule in the inventory carries a description"
+        );
         assert!(Report::new(3, vec![], vec![]).clean());
     }
 

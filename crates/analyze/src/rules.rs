@@ -44,10 +44,61 @@ pub const RULE_IDS: &[&str] = &[
     "safety-comment",
     "ordering-seqcst",
     "ordering-doc",
+    "ordering-drift",
+    "atomic-pairing",
+    "lock-order",
     "thread-spawn",
     "timing",
     "hot-unwrap",
     "suppression",
+    "suppression-unused",
+];
+
+/// The rule inventory: `(id, one-line description)`, in [`RULE_IDS`]
+/// order. This is what the v2 report embeds so a consumer can interpret
+/// per-rule counts without this crate's source.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "safety-comment",
+        "`unsafe` requires a `// SAFETY:` comment within its window",
+    ),
+    (
+        "ordering-seqcst",
+        "`SeqCst` requires an `// ORDERING:` rationale at the site",
+    ),
+    (
+        "ordering-doc",
+        "files touching atomic orderings need an `// ORDERING:` protocol comment",
+    ),
+    (
+        "ordering-drift",
+        "every ordering the code uses must be named by the file's `// ORDERING:` protocol comment",
+    ),
+    (
+        "atomic-pairing",
+        "Release-class stores must pair with Acquire-class loads; Relaxed reads of published fields and unpaired fences are flagged",
+    ),
+    (
+        "lock-order",
+        "Mutex/RwLock acquisition nesting must be cycle-free, with no re-acquisition under a live guard",
+    ),
+    (
+        "thread-spawn",
+        "OS threads may only be created by the executor-pool allowlist",
+    ),
+    ("timing", "clock reads belong to gaia-telemetry"),
+    (
+        "hot-unwrap",
+        "panicking shortcuts are banned in kernel hot paths",
+    ),
+    (
+        "suppression",
+        "suppressions need a justification and must name a known rule",
+    ),
+    (
+        "suppression-unused",
+        "a suppression must suppress at least one diagnostic in the current scan",
+    ),
 ];
 
 /// One finding: where, which rule, and what the line looked like.
@@ -77,6 +128,10 @@ pub struct Suppression {
     pub rule: String,
     /// The stated justification.
     pub justification: String,
+    /// 1-based line of the `allow(...)` directive itself (feeds the
+    /// `suppression-unused` pass).
+    #[serde(default)]
+    pub directive_line: usize,
 }
 
 /// Result of linting one file.
@@ -86,6 +141,10 @@ pub struct FileFindings {
     pub diagnostics: Vec<Diagnostic>,
     /// Honored suppressions.
     pub suppressions: Vec<Suppression>,
+    /// Directive lines that suppressed at least one diagnostic — the
+    /// complement (well-formed directives not listed here) is what the
+    /// `suppression-unused` pass flags.
+    pub used_directives: Vec<usize>,
 }
 
 /// Find a substring match of `needle` in `hay` at identifier boundaries
@@ -160,6 +219,117 @@ fn suppression_for(view: &FileView, line: usize, rule: &str) -> Option<(usize, S
     None
 }
 
+fn excerpt_of(view: &FileView, line: usize) -> String {
+    let text = view.raw.get(line - 1).map(String::as_str).unwrap_or("");
+    let t = text.trim();
+    if t.len() > 120 {
+        format!(
+            "{}…",
+            &t[..t.char_indices().nth(117).map(|(i, _)| i).unwrap_or(0)]
+        )
+    } else {
+        t.to_owned()
+    }
+}
+
+/// Record a candidate finding into `out`, honoring suppressions. This is
+/// the single emission path for the per-file rules *and* the cross-file
+/// dataflow checkers, so the suppression syntax and the used-directive
+/// bookkeeping behave identically everywhere.
+pub fn emit(
+    out: &mut FileFindings,
+    path: &str,
+    view: &FileView,
+    line: usize,
+    rule: &str,
+    message: String,
+) {
+    if let Some((sup_line, justification)) = suppression_for(view, line, rule) {
+        if justification.is_empty() {
+            out.diagnostics.push(Diagnostic {
+                path: path.to_owned(),
+                line: sup_line,
+                rule: "suppression".into(),
+                message: format!(
+                    "suppression of `{rule}` carries no justification \
+                     (write `// gaia-analyze: allow({rule}): <why>`)"
+                ),
+                excerpt: excerpt_of(view, sup_line),
+            });
+        } else {
+            out.suppressions.push(Suppression {
+                path: path.to_owned(),
+                line,
+                rule: rule.to_owned(),
+                justification,
+                directive_line: sup_line,
+            });
+            out.used_directives.push(sup_line);
+            return;
+        }
+    }
+    let excerpt = excerpt_of(view, line);
+    out.diagnostics.push(Diagnostic {
+        path: path.to_owned(),
+        line,
+        rule: rule.to_owned(),
+        message,
+        excerpt,
+    });
+}
+
+/// Every well-formed suppression directive in the file: a known rule
+/// *and* a nonempty justification. Bare or unknown-rule directives are
+/// excluded — those are already `suppression` diagnostics and should not
+/// be double-reported as unused.
+pub fn well_formed_directives(view: &FileView) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, l) in view.lines.iter().enumerate() {
+        let c = &l.comment;
+        let Some(at) = c.find("gaia-analyze: allow(") else {
+            continue;
+        };
+        let rest = &c[at + "gaia-analyze: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim();
+        if !RULE_IDS.contains(&rule) {
+            continue;
+        }
+        let after = rest[close + 1..].trim();
+        let justification = after.strip_prefix(':').unwrap_or("").trim();
+        // Same-line-nonempty matches exactly what `suppression_for`
+        // honors, so "well-formed" here means "would actually suppress".
+        if !justification.is_empty() {
+            out.push((idx + 1, rule.to_owned()));
+        }
+    }
+    out
+}
+
+/// `suppression-unused`: flag every well-formed directive that suppressed
+/// nothing in this scan. Must run after every other rule (including the
+/// dataflow families) has emitted into `out`.
+pub fn unused_suppression_pass(path: &str, view: &FileView, out: &mut FileFindings) {
+    for (line, rule) in well_formed_directives(view) {
+        if out.used_directives.contains(&line) {
+            continue;
+        }
+        emit(
+            out,
+            path,
+            view,
+            line,
+            "suppression-unused",
+            format!(
+                "suppression of `{rule}` matches no diagnostic in this scan — \
+                 the allow is dead; remove it (or the code it covered has moved)"
+            ),
+        );
+    }
+}
+
 struct Ctx<'a> {
     path: &'a str,
     view: &'a FileView,
@@ -168,56 +338,13 @@ struct Ctx<'a> {
 }
 
 impl Ctx<'_> {
-    fn excerpt(&self, line: usize) -> String {
-        let text = self
-            .view
-            .raw
-            .get(line - 1)
-            .map(String::as_str)
-            .unwrap_or("");
-        let t = text.trim();
-        if t.len() > 120 {
-            format!(
-                "{}…",
-                &t[..t.char_indices().nth(117).map(|(i, _)| i).unwrap_or(0)]
-            )
-        } else {
-            t.to_owned()
-        }
-    }
-
     /// Record a candidate finding, honoring suppressions.
     fn emit(&mut self, line: usize, rule: &str, message: String) {
-        if let Some((sup_line, justification)) = suppression_for(self.view, line, rule) {
-            if justification.is_empty() {
-                self.out.diagnostics.push(Diagnostic {
-                    path: self.path.to_owned(),
-                    line: sup_line,
-                    rule: "suppression".into(),
-                    message: format!(
-                        "suppression of `{rule}` carries no justification \
-                         (write `// gaia-analyze: allow({rule}): <why>`)"
-                    ),
-                    excerpt: self.excerpt(sup_line),
-                });
-            } else {
-                self.out.suppressions.push(Suppression {
-                    path: self.path.to_owned(),
-                    line,
-                    rule: rule.to_owned(),
-                    justification,
-                });
-                return;
-            }
-        }
-        let excerpt = self.excerpt(line);
-        self.out.diagnostics.push(Diagnostic {
-            path: self.path.to_owned(),
-            line,
-            rule: rule.to_owned(),
-            message,
-            excerpt,
-        });
+        emit(&mut self.out, self.path, self.view, line, rule, message);
+    }
+
+    fn excerpt(&self, line: usize) -> String {
+        excerpt_of(self.view, line)
     }
 
     /// Is line (1-based) test code, by file location or `#[cfg(test)]`?

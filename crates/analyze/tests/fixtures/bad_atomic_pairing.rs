@@ -1,0 +1,22 @@
+// Fixture: broken publish protocol. The writer publishes `ready` with a
+// Release store, but the reader polls it with a Relaxed load, so the
+// writes the store was meant to order are not guaranteed visible.
+//
+// ORDERING: `ready` is stored with Release and (incorrectly) loaded with
+// Relaxed — the drift checker is satisfied, the pairing checker is not.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Flag {
+    ready: AtomicBool,
+}
+
+impl Flag {
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn poll(&self) -> bool {
+        self.ready.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,25 @@
+// Fixture: reversed lock-acquisition nesting. `transfer` takes `a` then
+// `b`; `audit` takes `b` then `a`. Two threads running one each can
+// deadlock — the acquisition graph has the cycle a → b → a.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn transfer(&self, amount: u64) {
+        let mut ga = self.a.lock().unwrap();
+        let mut gb = self.b.lock().unwrap();
+        *ga -= amount;
+        *gb += amount;
+    }
+
+    pub fn audit(&self) -> u64 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga + *gb
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: the protocol comment has drifted from the code. The comment
+// below documents a Relaxed-only counter, but the code was since changed
+// to an Acquire load — the documented protocol no longer matches.
+//
+// ORDERING: `hits` is an independent tally; Relaxed everywhere.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn read_hits(hits: &AtomicU64) -> u64 {
+    hits.load(Ordering::Acquire)
+}

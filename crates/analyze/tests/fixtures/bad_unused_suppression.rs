@@ -1,0 +1,12 @@
+// Fixture: a well-formed, justified suppression whose rule never fires.
+// The clock read it once excused was refactored away; the directive now
+// suppresses nothing and must itself be flagged so it gets pruned.
+
+// gaia-analyze: allow(timing): measures the warm-up loop, not a kernel
+pub fn how_long(reps: usize) -> usize {
+    let mut acc = 0;
+    for i in 0..reps {
+        acc += i;
+    }
+    acc
+}

@@ -87,6 +87,63 @@ fn bad_suppression_is_flagged_and_does_not_suppress() {
 }
 
 #[test]
+fn bad_atomic_pairing_is_flagged_at_the_relaxed_load() {
+    let f = analyze_source(
+        "crates/x/src/bad_atomic_pairing.rs",
+        include_str!("fixtures/bad_atomic_pairing.rs"),
+    );
+    let rules: Vec<_> = f.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+    assert_eq!(rules, vec!["atomic-pairing"]);
+    let d = &f.diagnostics[0];
+    assert_eq!(d.line, 20, "flagged at the Relaxed load, not the store");
+    assert!(d.message.contains("Flag::ready"), "{}", d.message);
+}
+
+#[test]
+fn bad_lock_order_is_flagged_as_a_cycle() {
+    let f = analyze_source(
+        "crates/x/src/bad_lock_order.rs",
+        include_str!("fixtures/bad_lock_order.rs"),
+    );
+    let rules: Vec<_> = f.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+    assert_eq!(rules, vec!["lock-order"]);
+    let d = &f.diagnostics[0];
+    assert!(d.message.contains("cycle"), "{}", d.message);
+    assert!(d.message.contains("Pair::a"), "{}", d.message);
+    assert!(d.message.contains("Pair::b"), "{}", d.message);
+}
+
+#[test]
+fn bad_unused_suppression_is_flagged_at_its_directive() {
+    let f = analyze_source(
+        "crates/x/src/bad_unused_suppression.rs",
+        include_str!("fixtures/bad_unused_suppression.rs"),
+    );
+    let rules: Vec<_> = f.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+    assert_eq!(rules, vec!["suppression-unused"]);
+    assert_eq!(f.diagnostics[0].line, 5, "flagged at the directive line");
+    assert!(
+        f.suppressions.is_empty(),
+        "an unused directive is not an honored suppression"
+    );
+}
+
+#[test]
+fn bad_ordering_drift_is_flagged_at_the_undocumented_use() {
+    let f = analyze_source(
+        "crates/x/src/bad_ordering_drift.rs",
+        include_str!("fixtures/bad_ordering_drift.rs"),
+    );
+    let rules: Vec<_> = f.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+    assert_eq!(rules, vec!["ordering-drift"]);
+    assert!(
+        f.diagnostics[0].message.contains("Acquire"),
+        "{}",
+        f.diagnostics[0].message
+    );
+}
+
+#[test]
 fn clean_fixture_passes_with_one_honored_suppression() {
     let f = analyze_source("crates/x/src/clean.rs", include_str!("fixtures/clean.rs"));
     assert!(

@@ -383,11 +383,22 @@ impl LaunchPlan {
         self
     }
 
-    /// Lower this plan against `dims` to the symbolic write model
+    /// Lower this plan against `dims` to the symbolic access model
     /// [`aprod2`](Self::aprod2) / [`aprod1`](Self::aprod1) would execute —
     /// see [`crate::plan_check`].
     pub fn write_model(&self, dims: &plan_check::PlanDims) -> Vec<plan_check::SectionModel> {
         plan_check::write_model(self, dims)
+    }
+
+    /// Lower this plan restricted to a global row range — the access model
+    /// [`aprod2_rows`](Self::aprod2_rows) / [`aprod1_rows`](Self::aprod1_rows)
+    /// would execute for an out-of-core row tile.
+    pub fn access_model_rows(
+        &self,
+        dims: &plan_check::PlanDims,
+        rows: Range<usize>,
+    ) -> Vec<plan_check::SectionModel> {
+        plan_check::access_model_rows(self, dims, rows)
     }
 
     /// Statically verify this plan against one problem shape: every

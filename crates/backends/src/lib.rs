@@ -74,8 +74,8 @@ pub use launch::{
     Aprod2Spec, Aprod2Strategy, AtomicFlavor, KernelVariant, LaunchPlan, WorkerBudget,
 };
 pub use plan_check::{
-    check_sections, PlanDims, PlanError, PlanProof, PlanViolation, SectionId, SectionModel,
-    WriteAccess,
+    access_model_rows, check_sections, PlanDims, PlanError, PlanProof, PlanViolation, ReadAccess,
+    ReadSpace, ReadSync, SectionId, SectionModel, WriteAccess,
 };
 pub use profile::{LaunchProfile, ProfileError, PROFILE_SCHEMA};
 pub use registry::{

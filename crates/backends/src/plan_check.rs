@@ -1,24 +1,31 @@
 //! Static soundness checking for [`LaunchPlan`] — the analysis layer that
-//! proves a plan's write-sets are race-free *before* anything runs.
+//! proves a plan's memory accesses are race-free *before* anything runs.
 //!
 //! The paper's portability hazard is that each framework port silently
 //! changes how colliding `aprod2` updates are resolved (atomics vs
 //! owner-computes vs privatization, §IV–V). The dynamic harness
 //! (`gaia-verify`) can only catch a bad resolution *after* executing it
 //! under a sampled schedule; this module closes the gap statically. A plan
-//! is lowered to a symbolic **write model** — for every output section, the
-//! list of ranges each job writes and the synchronization discipline those
-//! writes run under — and [`check_sections`] proves the model sound:
+//! is lowered to a symbolic **access model** — for every output section,
+//! the ranges each job writes, the ranges it reads (input vector, matrix
+//! rows or ELL mirror, other sections, wave-1 private buffers), and the
+//! synchronization discipline both run under — and [`check_sections`]
+//! proves the model sound:
 //!
 //! * [`WriteAccess::Owned`] write-sets must be pairwise disjoint **and**
-//!   exactly cover the section (a gap is as wrong as an overlap: the
-//!   uncovered columns silently keep stale values);
+//!   exactly cover the section span the launch claims (a gap is as wrong
+//!   as an overlap: the uncovered columns silently keep stale values);
 //! * [`WriteAccess::PlainShared`] write-sets must be pairwise disjoint,
 //!   because nothing orders two plain stores to the same slot — an overlap
 //!   is precisely the lost-update race the `gaia-verify` canary exhibits;
 //! * [`WriteAccess::Atomic`], [`WriteAccess::Locked`], and
 //!   [`WriteAccess::Private`] write-sets may overlap by design and are
-//!   checked for bounds only.
+//!   checked for bounds only;
+//! * no job may **read** a section location another job of the same wave
+//!   writes, unless the read and the write agree on a synchronizing
+//!   discipline (atomic read of an atomic section, lock-guarded read of a
+//!   lock-guarded section) — the read/write half of the canary's race,
+//!   invisible to a write-only model.
 //!
 //! [`LaunchPlan::analyze`] additionally proves the streamed worker budget
 //! conserves the thread budget. Registry construction routes every
@@ -29,10 +36,11 @@
 use std::fmt;
 use std::ops::Range;
 
-use gaia_sparse::SparseSystem;
+use gaia_sparse::{MatrixLayout, SparseSystem};
 
 use crate::launch::{
-    split_ranges, stream_worker_budget, Aprod2Strategy, LaunchPlan, Stream, WorkerBudget,
+    split_ranges, split_span, stream_worker_budget, Aprod2Strategy, LaunchPlan, Stream,
+    WorkerBudget,
 };
 
 /// The problem-shape parameters a plan's lowering depends on. Decouples the
@@ -67,6 +75,52 @@ impl PlanDims {
             n_att: (c.instr - c.att) as usize,
             n_instr: (c.glob - c.instr) as usize,
             n_glob: sys.layout().n_glob_params as usize,
+        }
+    }
+
+    /// Total solution columns — the `aprod1` input vector's length.
+    pub fn n_cols(&self) -> usize {
+        self.n_stars * 5 + self.n_att + self.n_instr + self.n_glob
+    }
+
+    /// Observation rows per star, as the row-tile alignment sees it.
+    /// Canonical shapes need not divide evenly; the read model only uses
+    /// this to map star chunks back to approximate row spans.
+    fn obs_per_star(&self) -> usize {
+        self.n_obs_rows
+            .checked_div(self.n_stars)
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// The star span covered by an observation-row span (mirrors
+    /// `aprod2_rows`' alignment arithmetic; a full span maps to all stars
+    /// exactly, sidestepping non-divisible canonical shapes).
+    fn stars_for(&self, obs: &Range<usize>) -> Range<usize> {
+        if obs.is_empty() || self.n_stars == 0 {
+            0..0
+        } else if *obs == (0..self.n_obs_rows) {
+            0..self.n_stars
+        } else {
+            let ops = self.obs_per_star();
+            obs.start / ops..(obs.end.div_ceil(ops)).min(self.n_stars)
+        }
+    }
+
+    /// The observation rows a star chunk's kernels read (inverse of
+    /// [`stars_for`](Self::stars_for), clamped to the launch's span).
+    fn rows_for_stars(&self, stars: &Range<usize>, obs: &Range<usize>) -> Range<usize> {
+        if stars.is_empty() {
+            obs.start..obs.start
+        } else {
+            let ops = self.obs_per_star();
+            let start = (stars.start * ops).min(obs.end).max(obs.start);
+            let end = if stars.end == self.n_stars {
+                obs.end
+            } else {
+                (stars.end * ops).clamp(start, obs.end)
+            };
+            start..end
         }
     }
 
@@ -194,8 +248,106 @@ impl fmt::Display for SectionId {
     }
 }
 
-/// The symbolic write-set of one section under one plan: which ranges the
-/// section's jobs write, and under which discipline.
+/// Which address space a [`ReadAccess`] range indexes into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadSpace {
+    /// The launch's input vector (`x` for `aprod1`, `y` for `aprod2`), in
+    /// that vector's own coordinates. Immutable for the launch's duration.
+    Input,
+    /// Row-major matrix coefficient arrays, global row coordinates.
+    /// Immutable for the launch's duration.
+    MatrixRows,
+    /// The ELL mirror's slot-major arrays, global row coordinates. The
+    /// launcher materializes the mirror *before* queueing jobs precisely
+    /// so these reads never race its lazy construction.
+    EllMirror,
+    /// An output section, section-local coordinates — the one space writes
+    /// also land in, and therefore the only space the race check inspects.
+    Section(SectionId),
+    /// The wave-1 private / stripe accumulators a wave-2 reduction reads,
+    /// section-local coordinates.
+    Privates(SectionId),
+}
+
+impl fmt::Display for ReadSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadSpace::Input => f.write_str("input"),
+            ReadSpace::MatrixRows => f.write_str("matrix-rows"),
+            ReadSpace::EllMirror => f.write_str("ell-mirror"),
+            ReadSpace::Section(id) => write!(f, "section:{id}"),
+            ReadSpace::Privates(id) => write!(f, "privates:{id}"),
+        }
+    }
+}
+
+/// The synchronization discipline a read runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadSync {
+    /// Plain load — safe only against writes the job itself owns or that
+    /// happen in another wave.
+    Plain,
+    /// Atomic load (or the read half of an RMW) — safe against
+    /// [`WriteAccess::Atomic`] writes.
+    Atomic,
+    /// Read under the same mutex that guards the writes — safe against
+    /// [`WriteAccess::Locked`] writes.
+    Locked,
+}
+
+impl fmt::Display for ReadSync {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReadSync::Plain => "plain",
+            ReadSync::Atomic => "atomic",
+            ReadSync::Locked => "locked",
+        })
+    }
+}
+
+/// One range a job reads: address space, range, and the synchronization
+/// the read runs under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadAccess {
+    /// Address space the range indexes.
+    pub space: ReadSpace,
+    /// Half-open range read (coordinates per [`ReadSpace`]).
+    pub range: Range<usize>,
+    /// Synchronization discipline of the read.
+    pub sync: ReadSync,
+}
+
+impl ReadAccess {
+    /// A plain (unsynchronized) read.
+    pub fn plain(space: ReadSpace, range: Range<usize>) -> Self {
+        ReadAccess {
+            space,
+            range,
+            sync: ReadSync::Plain,
+        }
+    }
+
+    /// An atomic read (or the read half of an RMW).
+    pub fn atomic(space: ReadSpace, range: Range<usize>) -> Self {
+        ReadAccess {
+            space,
+            range,
+            sync: ReadSync::Atomic,
+        }
+    }
+
+    /// A read under the lock that guards the target's writes.
+    pub fn locked(space: ReadSpace, range: Range<usize>) -> Self {
+        ReadAccess {
+            space,
+            range,
+            sync: ReadSync::Locked,
+        }
+    }
+}
+
+/// The symbolic access-set of one section under one plan: which ranges the
+/// section's jobs write and read, and under which disciplines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SectionModel {
     /// Section this model describes.
@@ -204,11 +356,61 @@ pub struct SectionModel {
     pub access: WriteAccess,
     /// Length of the section the ranges index into.
     pub section_len: usize,
+    /// The span `Owned` write-sets must exactly tile. Full launches cover
+    /// the whole section; a row-tile sub-launch only claims the span its
+    /// rows touch (`aprod1` row tiles, star-aligned astrometric slices).
+    pub cover: Range<usize>,
+    /// Which barrier-separated wave the jobs run in: 1 for the main
+    /// launch, 2 for deferred reductions (a `pool.run` barrier sits
+    /// between, so cross-wave overlap is ordered, not racy).
+    pub wave: u8,
     /// One range per job (section-local coordinates).
     pub writes: Vec<Range<usize>>,
+    /// Per-job read sets, parallel to `writes` (`reads[i]` belongs to the
+    /// job writing `writes[i]`). May be empty for write-only models.
+    pub reads: Vec<Vec<ReadAccess>>,
 }
 
-/// One way a plan's write model fails soundness.
+impl SectionModel {
+    /// A wave-1, full-cover, write-only model (reads attach via
+    /// [`with_reads`](Self::with_reads)).
+    pub fn new(
+        id: SectionId,
+        access: WriteAccess,
+        section_len: usize,
+        writes: Vec<Range<usize>>,
+    ) -> Self {
+        SectionModel {
+            id,
+            access,
+            section_len,
+            cover: 0..section_len,
+            wave: 1,
+            writes,
+            reads: Vec::new(),
+        }
+    }
+
+    /// Attach per-job read sets (parallel to `writes`).
+    pub fn with_reads(mut self, reads: Vec<Vec<ReadAccess>>) -> Self {
+        self.reads = reads;
+        self
+    }
+
+    /// Place the model in a later wave.
+    pub fn with_wave(mut self, wave: u8) -> Self {
+        self.wave = wave;
+        self
+    }
+
+    /// Restrict the span `Owned` writes must exactly tile.
+    pub fn with_cover(mut self, cover: Range<usize>) -> Self {
+        self.cover = cover;
+        self
+    }
+}
+
+/// One way a plan's access model fails soundness.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlanViolation {
     /// A job writes past the end of its section.
@@ -229,7 +431,7 @@ pub enum PlanViolation {
         /// Second overlapping range.
         b: Range<usize>,
     },
-    /// Exclusive-ownership ranges leave part of the section unwritten.
+    /// Exclusive-ownership ranges leave part of the claimed span unwritten.
     Gap {
         /// Offending section.
         section: SectionId,
@@ -245,6 +447,23 @@ pub enum PlanViolation {
         a: Range<usize>,
         /// Second colliding range.
         b: Range<usize>,
+    },
+    /// A job reads a section location another job of the same wave writes,
+    /// with no synchronizing discipline shared between them — the
+    /// read/write half of the canary's data race.
+    ReadWriteRace {
+        /// Section being written (the read's target space).
+        section: SectionId,
+        /// Section whose job performs the read.
+        reader: SectionId,
+        /// The racing read range.
+        read: Range<usize>,
+        /// The overlapping write range.
+        write: Range<usize>,
+        /// Discipline of the read.
+        read_sync: ReadSync,
+        /// Discipline of the write.
+        write_access: WriteAccess,
     },
     /// The streamed per-stream shares exceed the effective thread budget.
     BudgetOversubscribed {
@@ -288,6 +507,19 @@ impl fmt::Display for PlanViolation {
                 "[{section}] illegal strategy/block pairing: unsynchronized \
                  shared writes {a:?} and {b:?} collide (lost-update race)"
             ),
+            PlanViolation::ReadWriteRace {
+                section,
+                reader,
+                read,
+                write,
+                read_sync,
+                write_access,
+            } => write!(
+                f,
+                "[{section}] read/write race: a `{reader}` job {read_sync}-reads \
+                 {read:?} while another job {write_access}-writes {write:?} in \
+                 the same wave (no synchronization pairs them)"
+            ),
             PlanViolation::BudgetOversubscribed {
                 threads,
                 effective,
@@ -311,6 +543,8 @@ pub struct PlanProof {
     pub sections: usize,
     /// Total job write-ranges examined across the sections.
     pub jobs: usize,
+    /// Total read accesses examined across the sections.
+    pub reads: usize,
 }
 
 /// Verification failure: every violation found, rendered one per line.
@@ -318,6 +552,29 @@ pub struct PlanProof {
 pub struct PlanError {
     /// All violations, in section order.
     pub violations: Vec<PlanViolation>,
+}
+
+impl PlanError {
+    /// Whether any violation comes from the write-disjointness layer
+    /// (overlap / gap / bounds / illegal shared writes).
+    pub fn has_write_violation(&self) -> bool {
+        self.violations.iter().any(|v| {
+            matches!(
+                v,
+                PlanViolation::OutOfBounds { .. }
+                    | PlanViolation::Overlap { .. }
+                    | PlanViolation::Gap { .. }
+                    | PlanViolation::IllegalSharedWrites { .. }
+            )
+        })
+    }
+
+    /// Whether any violation comes from the read/write access layer.
+    pub fn has_read_violation(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|v| matches!(v, PlanViolation::ReadWriteRace { .. }))
+    }
 }
 
 impl fmt::Display for PlanError {
@@ -337,13 +594,15 @@ impl fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
-/// Prove a set of section write-models sound. See the module docs for the
+/// Prove a set of section access-models sound. See the module docs for the
 /// per-discipline obligations.
 pub fn check_sections(sections: &[SectionModel]) -> Result<PlanProof, PlanError> {
     let mut violations = Vec::new();
     let mut jobs = 0usize;
+    let mut reads = 0usize;
     for s in sections {
         jobs += s.writes.len();
+        reads += s.reads.iter().map(Vec::len).sum::<usize>();
         for r in &s.writes {
             if r.end > s.section_len {
                 violations.push(PlanViolation::OutOfBounds {
@@ -359,23 +618,25 @@ pub fn check_sections(sections: &[SectionModel]) -> Result<PlanProof, PlanError>
             WriteAccess::Atomic | WriteAccess::Locked | WriteAccess::Private => {}
         }
     }
+    check_read_write_races(sections, &mut violations);
     if violations.is_empty() {
         Ok(PlanProof {
             sections: sections.len(),
             jobs,
+            reads,
         })
     } else {
         Err(PlanError { violations })
     }
 }
 
-/// Disjointness (and, for `Owned`, exact-coverage) check over one section's
-/// write ranges.
+/// Disjointness (and, for `Owned`, exact-coverage of the claimed span)
+/// check over one section's write ranges.
 fn check_exclusive(s: &SectionModel, require_cover: bool, violations: &mut Vec<PlanViolation>) {
     let mut ranges: Vec<Range<usize>> =
         s.writes.iter().filter(|r| !r.is_empty()).cloned().collect();
     ranges.sort_by_key(|r| (r.start, r.end));
-    let mut cursor = 0usize;
+    let mut cursor = s.cover.start;
     for r in &ranges {
         if r.start < cursor {
             // Report against the previous range that reached `cursor`.
@@ -383,7 +644,7 @@ fn check_exclusive(s: &SectionModel, require_cover: bool, violations: &mut Vec<P
                 .iter()
                 .find(|p| p.end == cursor && p.start < r.start)
                 .cloned()
-                .unwrap_or(0..cursor);
+                .unwrap_or(s.cover.start..cursor);
             let violation = if s.access == WriteAccess::PlainShared {
                 PlanViolation::IllegalSharedWrites {
                     section: s.id,
@@ -406,17 +667,87 @@ fn check_exclusive(s: &SectionModel, require_cover: bool, violations: &mut Vec<P
         }
         cursor = cursor.max(r.end);
     }
-    if require_cover && cursor < s.section_len {
+    if require_cover && cursor < s.cover.end {
         violations.push(PlanViolation::Gap {
             section: s.id,
-            missing: cursor..s.section_len,
+            missing: cursor..s.cover.end,
         });
+    }
+}
+
+/// Can a read under `sync` observe writes under `access` without racing?
+/// Private writes land in job-local buffers, so nothing can read them
+/// concurrently at all; otherwise read and write must share a
+/// synchronizing discipline.
+fn read_write_compatible(sync: ReadSync, access: WriteAccess) -> bool {
+    matches!(
+        (sync, access),
+        (_, WriteAccess::Private)
+            | (ReadSync::Atomic, WriteAccess::Atomic)
+            | (ReadSync::Locked, WriteAccess::Locked)
+    )
+}
+
+/// Prove no job reads a section location another job of the same wave
+/// writes without a pairing synchronization discipline. Only
+/// [`ReadSpace::Section`] reads can race: the input vector, matrix arrays,
+/// ELL mirror, and wave-1 privates are all immutable for the duration of
+/// the wave that reads them. At most one violation is reported per read
+/// access (the canary's 8 lanes would otherwise flood 56 copies of the
+/// same race).
+fn check_read_write_races(sections: &[SectionModel], violations: &mut Vec<PlanViolation>) {
+    for (ai, a) in sections.iter().enumerate() {
+        for (job, job_reads) in a.reads.iter().enumerate() {
+            'reads: for rd in job_reads {
+                let ReadSpace::Section(target) = rd.space else {
+                    continue;
+                };
+                for (bi, b) in sections.iter().enumerate() {
+                    if b.id != target || b.wave != a.wave {
+                        continue;
+                    }
+                    if read_write_compatible(rd.sync, b.access) {
+                        continue;
+                    }
+                    for (wj, w) in b.writes.iter().enumerate() {
+                        // A job may freely read what it alone writes.
+                        if ai == bi && job == wj {
+                            continue;
+                        }
+                        if rd.range.start < w.end && w.start < rd.range.end {
+                            violations.push(PlanViolation::ReadWriteRace {
+                                section: b.id,
+                                reader: a.id,
+                                read: rd.range.clone(),
+                                write: w.clone(),
+                                read_sync: rd.sync,
+                                write_access: b.access,
+                            });
+                            continue 'reads;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The matrix space a non-atomic kernel reads under `plan`'s layout.
+/// Atomic section kernels always read row-major (their cost is the RMW
+/// traffic, not the gather), so they bypass the ELL mirror even when the
+/// plan selects it; the global kernels are row-major unconditionally.
+fn matrix_space(plan: &LaunchPlan, atomic_kernel: bool) -> ReadSpace {
+    if plan.matrix_layout == MatrixLayout::Ell && !atomic_kernel {
+        ReadSpace::EllMirror
+    } else {
+        ReadSpace::MatrixRows
     }
 }
 
 /// Lower one colliding-section strategy to its wave-1 model (and wave-2
 /// reduction model, when the strategy defers one). Mirrors
-/// `LaunchPlan::section_jobs` exactly.
+/// `LaunchPlan::section_jobs` exactly, including the row span the
+/// sub-launch restricts each stream to.
 // The parameter list mirrors `section_jobs`' signature one-for-one; folding
 // them into a struct would obscure that correspondence.
 #[allow(clippy::too_many_arguments)]
@@ -425,7 +756,7 @@ fn lower_section(
     stream: Stream,
     wave1: SectionId,
     wave2: SectionId,
-    rows: usize,
+    rows: Range<usize>,
     section_len: usize,
     strategy: Aprod2Strategy,
     out: &mut Vec<SectionModel>,
@@ -433,95 +764,235 @@ fn lower_section(
     if section_len == 0 {
         return;
     }
+    let glob_stream = stream == Stream::Glob;
     match strategy {
+        // A single global slot degenerates ownership and striping to one
+        // exclusive reduction job (mirrors `glob_jobs`).
+        Aprod2Strategy::OwnerComputes | Aprod2Strategy::LockStriped { .. } if glob_stream => {
+            let reads = vec![vec![
+                ReadAccess::plain(ReadSpace::Input, rows.clone()),
+                ReadAccess::plain(ReadSpace::MatrixRows, rows),
+                ReadAccess::plain(ReadSpace::Section(wave1), 0..section_len),
+            ]];
+            out.push(
+                SectionModel::new(
+                    wave1,
+                    WriteAccess::Owned,
+                    section_len,
+                    vec![0..section_len; 1],
+                )
+                .with_reads(reads),
+            );
+        }
         Aprod2Strategy::OwnerComputes => {
-            out.push(SectionModel {
-                id: wave1,
-                access: WriteAccess::Owned,
-                section_len,
-                writes: split_ranges(section_len, plan.section_chunks(stream, section_len)),
-            });
+            let chunks = plan.section_chunks(stream, section_len);
+            let writes = split_ranges(section_len, chunks);
+            let reads = writes
+                .iter()
+                .map(|own| {
+                    vec![
+                        ReadAccess::plain(ReadSpace::Input, rows.clone()),
+                        ReadAccess::plain(matrix_space(plan, false), rows.clone()),
+                        ReadAccess::plain(ReadSpace::Section(wave1), own.clone()),
+                    ]
+                })
+                .collect();
+            out.push(
+                SectionModel::new(wave1, WriteAccess::Owned, section_len, writes).with_reads(reads),
+            );
         }
         Aprod2Strategy::Atomic | Aprod2Strategy::CasLoop => {
-            let chunks = plan.section_chunks(stream, rows);
-            out.push(SectionModel {
-                id: wave1,
-                access: WriteAccess::Atomic,
-                section_len,
-                writes: vec![0..section_len; chunks],
-            });
+            let chunks = plan.section_chunks(stream, rows.len());
+            let spans = split_span(rows, chunks);
+            let reads = spans
+                .iter()
+                .map(|chunk| {
+                    vec![
+                        ReadAccess::plain(ReadSpace::Input, chunk.clone()),
+                        ReadAccess::plain(matrix_space(plan, true), chunk.clone()),
+                        ReadAccess::atomic(ReadSpace::Section(wave1), 0..section_len),
+                    ]
+                })
+                .collect();
+            out.push(
+                SectionModel::new(
+                    wave1,
+                    WriteAccess::Atomic,
+                    section_len,
+                    vec![0..section_len; spans.len()],
+                )
+                .with_reads(reads),
+            );
         }
         Aprod2Strategy::Replicated => {
-            let chunks = plan.section_chunks(stream, rows);
-            out.push(SectionModel {
-                id: wave1,
-                access: WriteAccess::Private,
-                section_len,
-                writes: vec![0..section_len; chunks],
-            });
-            out.push(SectionModel {
-                id: wave2,
-                access: WriteAccess::Owned,
-                section_len,
-                writes: split_ranges(section_len, plan.tuning.chunk_count(section_len)),
-            });
+            let chunks = plan.section_chunks(stream, rows.len());
+            let spans = split_span(rows, chunks);
+            let reads = spans
+                .iter()
+                .map(|chunk| {
+                    vec![
+                        ReadAccess::plain(ReadSpace::Input, chunk.clone()),
+                        ReadAccess::plain(matrix_space(plan, glob_stream), chunk.clone()),
+                    ]
+                })
+                .collect();
+            out.push(
+                SectionModel::new(
+                    wave1,
+                    WriteAccess::Private,
+                    section_len,
+                    vec![0..section_len; spans.len()],
+                )
+                .with_reads(reads),
+            );
+            // Wave 2: column-parallel owned reduction over the privates
+            // (the single caller-side combine, for the global slot).
+            let red_writes = if glob_stream {
+                vec![0..section_len; 1]
+            } else {
+                split_ranges(section_len, plan.tuning.chunk_count(section_len))
+            };
+            let red_reads = red_writes
+                .iter()
+                .map(|own| {
+                    vec![
+                        ReadAccess::plain(ReadSpace::Privates(wave1), own.clone()),
+                        ReadAccess::plain(ReadSpace::Section(wave2), own.clone()),
+                    ]
+                })
+                .collect();
+            out.push(
+                SectionModel::new(wave2, WriteAccess::Owned, section_len, red_writes)
+                    .with_wave(2)
+                    .with_reads(red_reads),
+            );
         }
         Aprod2Strategy::LockStriped { stripes } => {
-            let chunks = plan.section_chunks(stream, rows);
-            out.push(SectionModel {
-                id: wave1,
-                access: WriteAccess::Locked,
-                section_len,
-                writes: vec![0..section_len; chunks],
-            });
+            let chunks = plan.section_chunks(stream, rows.len());
+            let spans = split_span(rows, chunks);
+            let reads = spans
+                .iter()
+                .map(|chunk| {
+                    vec![
+                        ReadAccess::plain(ReadSpace::Input, chunk.clone()),
+                        ReadAccess::plain(matrix_space(plan, false), chunk.clone()),
+                        ReadAccess::locked(ReadSpace::Section(wave1), 0..section_len),
+                    ]
+                })
+                .collect();
+            out.push(
+                SectionModel::new(
+                    wave1,
+                    WriteAccess::Locked,
+                    section_len,
+                    vec![0..section_len; spans.len()],
+                )
+                .with_reads(reads),
+            );
             // Wave 2 copies each stripe accumulator back into its owned
             // slice of the section.
             let n_stripes = stripes.max(1).min(section_len);
-            out.push(SectionModel {
-                id: wave2,
-                access: WriteAccess::Owned,
-                section_len,
-                writes: split_ranges(section_len, n_stripes),
-            });
+            let red_writes = split_ranges(section_len, n_stripes);
+            let red_reads = red_writes
+                .iter()
+                .map(|own| {
+                    vec![
+                        ReadAccess::locked(ReadSpace::Privates(wave1), own.clone()),
+                        ReadAccess::plain(ReadSpace::Section(wave2), own.clone()),
+                    ]
+                })
+                .collect();
+            out.push(
+                SectionModel::new(wave2, WriteAccess::Owned, section_len, red_writes)
+                    .with_wave(2)
+                    .with_reads(red_reads),
+            );
         }
     }
 }
 
-/// Lower `plan` against `dims` to the symbolic write model `aprod1` +
-/// `aprod2` would execute — one [`SectionModel`] per output section and
-/// deferred reduction, in launch order.
-pub fn write_model(plan: &LaunchPlan, dims: &PlanDims) -> Vec<SectionModel> {
+/// Lower `plan` against `dims` restricted to a global row range — the
+/// symbolic access model `aprod1_rows` + `aprod2_rows` would execute for a
+/// row tile: one [`SectionModel`] per output section and deferred
+/// reduction, in launch order. Each stream's reads and the spans `Owned`
+/// writes must tile are clamped exactly the way the launcher clamps them
+/// (attitude sees every row in the range, instrumental/global stop at the
+/// observation rows, astrometric work is star-aligned).
+pub fn access_model_rows(
+    plan: &LaunchPlan,
+    dims: &PlanDims,
+    rows: Range<usize>,
+) -> Vec<SectionModel> {
     let mut out = Vec::new();
 
-    // aprod1: row-range ownership over the output rows.
-    out.push(SectionModel {
-        id: SectionId::Aprod1,
-        access: WriteAccess::Owned,
-        section_len: dims.n_rows,
-        writes: split_ranges(dims.n_rows, plan.aprod1_chunks(dims.n_rows)),
-    });
+    let att_rows = rows.start.min(dims.n_rows)..rows.end.min(dims.n_rows);
+    let obs_rows = rows.start.min(dims.n_obs_rows)..rows.end.min(dims.n_obs_rows);
+
+    // aprod1: row-range ownership over the output rows. The kernels gather
+    // from the whole input vector (column-scattered nonzeros).
+    let a1_writes = split_span(att_rows.clone(), plan.aprod1_chunks(att_rows.len()));
+    let a1_reads = a1_writes
+        .iter()
+        .map(|r| {
+            vec![
+                ReadAccess::plain(ReadSpace::Input, 0..dims.n_cols()),
+                ReadAccess::plain(matrix_space(plan, false), r.clone()),
+                ReadAccess::plain(ReadSpace::Section(SectionId::Aprod1), r.clone()),
+            ]
+        })
+        .collect();
+    out.push(
+        SectionModel::new(
+            SectionId::Aprod1,
+            WriteAccess::Owned,
+            dims.n_rows,
+            a1_writes,
+        )
+        .with_cover(att_rows.clone())
+        .with_reads(a1_reads),
+    );
 
     // Astrometric stream: star chunks own matching ×5 column slices.
     let n_astro = dims.n_stars * 5;
-    out.push(SectionModel {
-        id: SectionId::Astro,
-        access: WriteAccess::Owned,
-        section_len: n_astro,
-        writes: split_ranges(
-            dims.n_stars,
-            plan.section_chunks(Stream::Astro, dims.n_stars),
+    let stars = dims.stars_for(&obs_rows);
+    let star_spans = split_span(
+        stars.clone(),
+        plan.section_chunks(Stream::Astro, stars.len()),
+    );
+    let astro_reads = star_spans
+        .iter()
+        .map(|chunk| {
+            let rows = dims.rows_for_stars(chunk, &obs_rows);
+            vec![
+                ReadAccess::plain(ReadSpace::Input, rows.clone()),
+                ReadAccess::plain(matrix_space(plan, false), rows),
+                ReadAccess::plain(
+                    ReadSpace::Section(SectionId::Astro),
+                    chunk.start * 5..chunk.end * 5,
+                ),
+            ]
+        })
+        .collect();
+    out.push(
+        SectionModel::new(
+            SectionId::Astro,
+            WriteAccess::Owned,
+            n_astro,
+            star_spans
+                .into_iter()
+                .map(|stars| stars.start * 5..stars.end * 5)
+                .collect(),
         )
-        .into_iter()
-        .map(|stars| stars.start * 5..stars.end * 5)
-        .collect(),
-    });
+        .with_cover(stars.start * 5..stars.end * 5)
+        .with_reads(astro_reads),
+    );
 
     lower_section(
         plan,
         Stream::Att,
         SectionId::Att,
         SectionId::AttReduction,
-        dims.n_rows,
+        att_rows,
         dims.n_att,
         plan.spec.att,
         &mut out,
@@ -531,58 +1002,37 @@ pub fn write_model(plan: &LaunchPlan, dims: &PlanDims) -> Vec<SectionModel> {
         Stream::Instr,
         SectionId::Instr,
         SectionId::InstrReduction,
-        dims.n_obs_rows,
+        obs_rows.clone(),
         dims.n_instr,
         plan.spec.instr,
         &mut out,
     );
-
     if dims.n_glob > 0 {
-        match plan.spec.glob {
-            // A single global slot: ownership and striping degenerate to
-            // one exclusive reduction job (mirrors `glob_jobs`).
-            Aprod2Strategy::OwnerComputes | Aprod2Strategy::LockStriped { .. } => {
-                out.push(SectionModel {
-                    id: SectionId::Glob,
-                    access: WriteAccess::Owned,
-                    section_len: dims.n_glob,
-                    writes: vec![0..dims.n_glob; 1],
-                });
-            }
-            Aprod2Strategy::Atomic | Aprod2Strategy::CasLoop => {
-                let chunks = plan.section_chunks(Stream::Glob, dims.n_obs_rows);
-                out.push(SectionModel {
-                    id: SectionId::Glob,
-                    access: WriteAccess::Atomic,
-                    section_len: dims.n_glob,
-                    writes: vec![0..dims.n_glob; chunks],
-                });
-            }
-            Aprod2Strategy::Replicated => {
-                let chunks = plan.section_chunks(Stream::Glob, dims.n_obs_rows);
-                out.push(SectionModel {
-                    id: SectionId::Glob,
-                    access: WriteAccess::Private,
-                    section_len: dims.n_glob,
-                    writes: vec![0..dims.n_glob; chunks],
-                });
-                // The caller combines the partials serially.
-                out.push(SectionModel {
-                    id: SectionId::GlobCombine,
-                    access: WriteAccess::Owned,
-                    section_len: dims.n_glob,
-                    writes: vec![0..dims.n_glob; 1],
-                });
-            }
-        }
+        lower_section(
+            plan,
+            Stream::Glob,
+            SectionId::Glob,
+            SectionId::GlobCombine,
+            obs_rows,
+            dims.n_glob,
+            plan.spec.glob,
+            &mut out,
+        );
     }
 
     out
 }
 
-/// Verify `plan` against `dims`: lower to the write model, prove every
-/// section sound, and prove the streamed budget conserves the thread
-/// budget. Records an `analyze` telemetry cell entry either way.
+/// Lower `plan` against `dims` to the symbolic access model `aprod1` +
+/// `aprod2` would execute over the full row range.
+pub fn write_model(plan: &LaunchPlan, dims: &PlanDims) -> Vec<SectionModel> {
+    access_model_rows(plan, dims, 0..dims.n_rows)
+}
+
+/// Verify `plan` against `dims`: lower to the access model, prove every
+/// section sound (write disjointness *and* read/write race freedom), and
+/// prove the streamed budget conserves the thread budget. Records an
+/// `analyze` telemetry cell entry either way.
 pub fn analyze_plan(plan: &LaunchPlan, dims: &PlanDims) -> Result<PlanProof, PlanError> {
     let model = write_model(plan, dims);
     let mut result = check_sections(&model);
@@ -625,7 +1075,7 @@ pub fn analyze_plan(plan: &LaunchPlan, dims: &PlanDims) -> Result<PlanProof, Pla
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::launch::Aprod2Spec;
+    use crate::launch::{Aprod2Spec, KernelVariant};
     use crate::tuning::Tuning;
 
     fn plan(strategy: Aprod2Strategy, streamed: bool) -> LaunchPlan {
@@ -643,16 +1093,17 @@ mod tests {
         )
     }
 
+    const STRATEGIES: [Aprod2Strategy; 5] = [
+        Aprod2Strategy::OwnerComputes,
+        Aprod2Strategy::Atomic,
+        Aprod2Strategy::CasLoop,
+        Aprod2Strategy::Replicated,
+        Aprod2Strategy::LockStriped { stripes: 8 },
+    ];
+
     #[test]
     fn every_strategy_and_budget_is_sound_on_canonical_dims() {
-        let strategies = [
-            Aprod2Strategy::OwnerComputes,
-            Aprod2Strategy::Atomic,
-            Aprod2Strategy::CasLoop,
-            Aprod2Strategy::Replicated,
-            Aprod2Strategy::LockStriped { stripes: 8 },
-        ];
-        for strategy in strategies {
+        for strategy in STRATEGIES {
             for streamed in [false, true] {
                 let p = plan(strategy, streamed);
                 p.analyze_canonical().unwrap_or_else(|e| {
@@ -662,12 +1113,28 @@ mod tests {
         }
     }
 
+    /// Strip the layout-dependent half of a model: map ELL-mirror reads
+    /// back to their row-major twins (same rows, different value arrays).
+    fn normalize_layout(mut model: Vec<SectionModel>) -> Vec<SectionModel> {
+        for s in &mut model {
+            for reads in &mut s.reads {
+                for r in reads {
+                    if r.space == ReadSpace::EllMirror {
+                        r.space = ReadSpace::MatrixRows;
+                    }
+                }
+            }
+        }
+        model
+    }
+
     /// Kernel variant and value layout change loop shape and gather
-    /// source, never write-sets: every variant × layout combination must
-    /// lower to the same sound model as the scalar row-major plan.
+    /// source, never access-sets: every variant × layout combination must
+    /// lower to the same sound model as the scalar row-major plan, up to
+    /// the matrix space non-atomic kernels gather from (`Ell` redirects
+    /// those reads to the mirror; identical rows either way).
     #[test]
     fn every_variant_and_layout_is_sound_on_canonical_dims() {
-        use crate::launch::KernelVariant;
         use gaia_sparse::MatrixLayout;
         let strategies = [
             Aprod2Strategy::OwnerComputes,
@@ -690,11 +1157,11 @@ mod tests {
                         });
                         let model: Vec<_> = PlanDims::canonical()
                             .iter()
-                            .map(|d| write_model(&p, d))
+                            .map(|d| normalize_layout(write_model(&p, d)))
                             .collect();
                         assert_eq!(
                             model, scalar_model,
-                            "{variant}/{layout:?} changed the write model"
+                            "{variant}/{layout:?} changed the access model"
                         );
                     }
                 }
@@ -702,14 +1169,138 @@ mod tests {
         }
     }
 
+    /// Under the ELL layout, every non-atomic kernel's matrix read must
+    /// come from the mirror, and atomic kernels must keep reading
+    /// row-major (they bypass the mirror by design).
+    #[test]
+    fn ell_layout_redirects_exactly_the_non_atomic_matrix_reads() {
+        use gaia_sparse::MatrixLayout;
+        let dims = &PlanDims::canonical()[0];
+        for strategy in STRATEGIES {
+            let p = plan(strategy, false).with_matrix_layout(MatrixLayout::Ell);
+            let atomic_strategy =
+                matches!(strategy, Aprod2Strategy::Atomic | Aprod2Strategy::CasLoop);
+            for s in write_model(&p, dims) {
+                for rd in s.reads.iter().flatten() {
+                    match rd.space {
+                        ReadSpace::EllMirror => assert!(
+                            !(atomic_strategy
+                                && matches!(
+                                    s.id,
+                                    SectionId::Att | SectionId::Instr | SectionId::Glob
+                                )),
+                            "[{}] atomic kernels must not read the mirror",
+                            s.id
+                        ),
+                        ReadSpace::MatrixRows => assert!(
+                            s.id == SectionId::Glob
+                                || s.id == SectionId::GlobCombine
+                                || (atomic_strategy
+                                    && matches!(s.id, SectionId::Att | SectionId::Instr)),
+                            "[{}] non-atomic kernel read row-major under Ell",
+                            s.id
+                        ),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every job carries a read-set in the full model: the access model is
+    /// total, not just patched onto some strategies.
+    #[test]
+    fn every_job_in_every_strategy_model_carries_reads() {
+        for strategy in STRATEGIES {
+            for streamed in [false, true] {
+                let p = plan(strategy, streamed);
+                for dims in PlanDims::canonical() {
+                    for s in write_model(&p, &dims) {
+                        assert_eq!(
+                            s.reads.len(),
+                            s.writes.len(),
+                            "[{}] {strategy:?} read-sets not parallel to writes",
+                            s.id
+                        );
+                        for (job, reads) in s.reads.iter().enumerate() {
+                            assert!(
+                                !reads.is_empty(),
+                                "[{}] {strategy:?} job {job} has no reads",
+                                s.id
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Row-tile sub-launches clamp reads and cover to the tile: the
+    /// attitude stream sees the whole row range, instrumental/global stop
+    /// at the observation rows, and `aprod1`/astro only claim (and must
+    /// exactly tile) the spans the tile touches.
+    #[test]
+    fn row_restricted_model_clamps_reads_and_cover_to_the_tile() {
+        let dims = PlanDims {
+            n_rows: 230,
+            n_obs_rows: 200,
+            n_stars: 40,
+            n_att: 90,
+            n_instr: 24,
+            n_glob: 1,
+        };
+        // A star-aligned mid-system tile: rows 50..105 (stars 10..21).
+        let p = plan(Aprod2Strategy::OwnerComputes, false);
+        let model = access_model_rows(&p, &dims, 50..105);
+        check_sections(&model).expect("restricted owner-computes model is sound");
+
+        let a1 = model.iter().find(|s| s.id == SectionId::Aprod1).unwrap();
+        assert_eq!(a1.cover, 50..105);
+        assert!(a1.writes.iter().all(|w| w.start >= 50 && w.end <= 105));
+
+        let astro = model.iter().find(|s| s.id == SectionId::Astro).unwrap();
+        assert_eq!(astro.cover, 10 * 5..21 * 5);
+
+        let att = model.iter().find(|s| s.id == SectionId::Att).unwrap();
+        // Owner-computes partitions columns fully even in a sub-launch…
+        assert_eq!(att.cover, 0..dims.n_att);
+        // …but every job's input read is clamped to the tile's rows.
+        for reads in &att.reads {
+            let input = reads
+                .iter()
+                .find(|r| r.space == ReadSpace::Input)
+                .expect("att job reads input");
+            assert_eq!(input.range, 50..105);
+        }
+
+        let instr = model.iter().find(|s| s.id == SectionId::Instr).unwrap();
+        for reads in &instr.reads {
+            let input = reads
+                .iter()
+                .find(|r| r.space == ReadSpace::Input)
+                .expect("instr job reads input");
+            assert_eq!(input.range, 50..105, "instr clamps to obs rows");
+        }
+
+        // A constraint-tail tile past the observation rows: no astro /
+        // instr / glob work, attitude and aprod1 restricted to the tail.
+        let tail = access_model_rows(&p, &dims, 200..230);
+        check_sections(&tail).expect("tail model is sound");
+        let astro = tail.iter().find(|s| s.id == SectionId::Astro).unwrap();
+        assert_eq!(astro.cover, 0..0);
+        assert!(astro.writes.iter().all(Range::is_empty));
+        let a1 = tail.iter().find(|s| s.id == SectionId::Aprod1).unwrap();
+        assert_eq!(a1.cover, 200..230);
+    }
+
     #[test]
     fn overlapping_owned_partition_is_rejected_as_overlap() {
-        let s = SectionModel {
-            id: SectionId::Att,
-            access: WriteAccess::Owned,
-            section_len: 100,
-            writes: vec![0..60, 40..100],
-        };
+        let s = SectionModel::new(
+            SectionId::Att,
+            WriteAccess::Owned,
+            100,
+            vec![0..60, 40..100],
+        );
         let err = check_sections(&[s]).unwrap_err();
         assert!(
             err.violations.iter().any(|v| matches!(
@@ -725,12 +1316,12 @@ mod tests {
 
     #[test]
     fn gapped_owned_partition_is_rejected_as_gap() {
-        let s = SectionModel {
-            id: SectionId::Instr,
-            access: WriteAccess::Owned,
-            section_len: 100,
-            writes: vec![0..40, 60..100],
-        };
+        let s = SectionModel::new(
+            SectionId::Instr,
+            WriteAccess::Owned,
+            100,
+            vec![0..40, 60..100],
+        );
         let err = check_sections(&[s]).unwrap_err();
         assert!(
             err.violations.iter().any(|v| matches!(
@@ -746,12 +1337,7 @@ mod tests {
 
     #[test]
     fn short_owned_cover_is_rejected_as_trailing_gap() {
-        let s = SectionModel {
-            id: SectionId::Aprod1,
-            access: WriteAccess::Owned,
-            section_len: 10,
-            writes: vec![0..7; 1],
-        };
+        let s = SectionModel::new(SectionId::Aprod1, WriteAccess::Owned, 10, vec![0..7; 1]);
         let err = check_sections(&[s]).unwrap_err();
         assert!(
             err.violations.iter().any(|v| matches!(
@@ -763,15 +1349,39 @@ mod tests {
     }
 
     #[test]
+    fn restricted_cover_accepts_a_partial_tile_and_still_demands_it_whole() {
+        // A row tile owning 50..105 exactly is sound…
+        let ok = SectionModel::new(
+            SectionId::Aprod1,
+            WriteAccess::Owned,
+            230,
+            vec![50..80, 80..105],
+        )
+        .with_cover(50..105);
+        check_sections(&[ok]).expect("exact tile cover is sound");
+        // …but a gap inside the claimed tile is still a violation.
+        let bad = SectionModel::new(
+            SectionId::Aprod1,
+            WriteAccess::Owned,
+            230,
+            vec![50..70, 80..105],
+        )
+        .with_cover(50..105);
+        let err = check_sections(&[bad]).unwrap_err();
+        assert!(
+            err.violations.iter().any(|v| matches!(
+                v,
+                PlanViolation::Gap { missing, .. } if *missing == (70..80)
+            )),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn colliding_plain_shared_writes_are_an_illegal_pairing() {
         // The canary's shape: several lanes plain-storing over the whole
         // attitude section.
-        let s = SectionModel {
-            id: SectionId::Att,
-            access: WriteAccess::PlainShared,
-            section_len: 90,
-            writes: vec![0..90; 8],
-        };
+        let s = SectionModel::new(SectionId::Att, WriteAccess::PlainShared, 90, vec![0..90; 8]);
         let err = check_sections(&[s]).unwrap_err();
         assert!(
             err.violations
@@ -790,23 +1400,125 @@ mod tests {
     fn disjoint_plain_shared_writes_pass_without_cover() {
         // Disjoint plain stores are fine, and PlainShared carries no
         // coverage obligation (a partial scatter is legal).
-        let s = SectionModel {
-            id: SectionId::Att,
-            access: WriteAccess::PlainShared,
-            section_len: 90,
-            writes: vec![0..30, 50..90],
-        };
+        let s = SectionModel::new(
+            SectionId::Att,
+            WriteAccess::PlainShared,
+            90,
+            vec![0..30, 50..90],
+        );
         check_sections(&[s]).expect("disjoint plain writes are sound");
     }
 
     #[test]
+    fn plain_read_of_a_plain_written_range_is_a_read_write_race() {
+        // The canary's read half: every lane plain-reads the whole section
+        // other lanes plain-write (read slot → preempt → store back).
+        let s = SectionModel::new(SectionId::Att, WriteAccess::PlainShared, 90, vec![0..90; 8])
+            .with_reads(vec![
+                vec![ReadAccess::plain(
+                    ReadSpace::Section(SectionId::Att),
+                    0..90
+                )];
+                8
+            ]);
+        let err = check_sections(&[s]).unwrap_err();
+        assert!(err.has_read_violation(), "{err}");
+        assert!(err.has_write_violation(), "{err}");
+        let rendered = err.to_string();
+        assert!(rendered.contains("read/write race"), "{rendered}");
+        // One race per reading job, not one per (reader, writer) pair.
+        let races = err
+            .violations
+            .iter()
+            .filter(|v| matches!(v, PlanViolation::ReadWriteRace { .. }))
+            .count();
+        assert_eq!(races, 8, "{err}");
+    }
+
+    #[test]
+    fn cross_section_plain_read_of_owned_writes_races() {
+        // A hypothetical gather section reading attitude columns another
+        // section's jobs own-write in the same wave.
+        let writer = SectionModel::new(SectionId::Att, WriteAccess::Owned, 90, vec![0..45, 45..90]);
+        let reader = SectionModel::new(SectionId::Instr, WriteAccess::Owned, 10, vec![0..10])
+            .with_reads(vec![vec![
+                ReadAccess::plain(ReadSpace::Section(SectionId::Att), 30..60),
+                ReadAccess::plain(ReadSpace::Section(SectionId::Instr), 0..10),
+            ]]);
+        let err = check_sections(&[writer, reader]).unwrap_err();
+        assert!(
+            err.violations.iter().any(|v| matches!(
+                v,
+                PlanViolation::ReadWriteRace {
+                    section: SectionId::Att,
+                    reader: SectionId::Instr,
+                    ..
+                }
+            )),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn synchronized_and_cross_wave_reads_do_not_race() {
+        // Atomic reads of an atomic section pair up.
+        let atomic = SectionModel::new(SectionId::Att, WriteAccess::Atomic, 90, vec![0..90; 4])
+            .with_reads(vec![
+                vec![ReadAccess::atomic(
+                    ReadSpace::Section(SectionId::Att),
+                    0..90
+                )];
+                4
+            ]);
+        check_sections(&[atomic]).expect("atomic read/write pairs are sound");
+
+        // Locked reads of a locked section pair up.
+        let locked = SectionModel::new(SectionId::Att, WriteAccess::Locked, 90, vec![0..90; 4])
+            .with_reads(vec![
+                vec![ReadAccess::locked(
+                    ReadSpace::Section(SectionId::Att),
+                    0..90
+                )];
+                4
+            ]);
+        check_sections(&[locked]).expect("locked read/write pairs are sound");
+
+        // A wave-2 reduction plain-reads what wave 1 wrote: the barrier
+        // orders them, so no race.
+        let wave1 = SectionModel::new(SectionId::Att, WriteAccess::Private, 90, vec![0..90; 4]);
+        let wave2 = SectionModel::new(
+            SectionId::AttReduction,
+            WriteAccess::Owned,
+            90,
+            vec![0..45, 45..90],
+        )
+        .with_wave(2)
+        .with_reads(vec![
+            vec![ReadAccess::plain(
+                ReadSpace::Section(SectionId::Att),
+                0..90
+            )];
+            2
+        ]);
+        check_sections(&[wave1, wave2]).expect("cross-wave reads are barrier-ordered");
+    }
+
+    #[test]
+    fn a_jobs_read_of_its_own_exclusive_range_is_not_a_race() {
+        let s = SectionModel::new(SectionId::Att, WriteAccess::Owned, 90, vec![0..45, 45..90])
+            .with_reads(vec![
+                vec![ReadAccess::plain(ReadSpace::Section(SectionId::Att), 0..45)],
+                vec![ReadAccess::plain(
+                    ReadSpace::Section(SectionId::Att),
+                    45..90,
+                )],
+            ]);
+        check_sections(&[s]).expect("own-range accumulation reads are sound");
+    }
+
+    #[test]
     fn out_of_bounds_write_is_rejected() {
-        let s = SectionModel {
-            id: SectionId::Glob,
-            access: WriteAccess::Atomic,
-            section_len: 1,
-            writes: vec![0..2; 1],
-        };
+        let s = SectionModel::new(SectionId::Glob, WriteAccess::Atomic, 1, vec![0..2; 1]);
         let err = check_sections(&[s]).unwrap_err();
         assert!(
             err.violations
@@ -818,12 +1530,7 @@ mod tests {
 
     #[test]
     fn atomic_overlap_is_legal() {
-        let s = SectionModel {
-            id: SectionId::Att,
-            access: WriteAccess::Atomic,
-            section_len: 90,
-            writes: vec![0..90; 16],
-        };
+        let s = SectionModel::new(SectionId::Att, WriteAccess::Atomic, 90, vec![0..90; 16]);
         check_sections(&[s]).expect("atomic overlap is the strategy's point");
     }
 
@@ -853,7 +1560,16 @@ mod tests {
                 SectionId::GlobCombine,
             ]
         );
-        check_sections(&model).expect("replicated model is sound");
+        let proof = check_sections(&model).expect("replicated model is sound");
+        assert!(proof.reads > 0, "full model carries read-sets");
+        // Reductions run behind the barrier.
+        for s in &model {
+            let expect_wave = matches!(
+                s.id,
+                SectionId::AttReduction | SectionId::InstrReduction | SectionId::GlobCombine
+            );
+            assert_eq!(s.wave == 2, expect_wave, "[{}] wave mislabeled", s.id);
+        }
     }
 
     #[test]

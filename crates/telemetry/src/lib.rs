@@ -209,6 +209,16 @@ pub struct AnalyzeCell {
     pub lint_diagnostics: u64,
     /// Justified `gaia-analyze: allow(...)` suppressions honored.
     pub lint_suppressions: u64,
+    /// Functions whose bodies the dataflow checkers scanned (absent in
+    /// pre-v2 artifacts, hence the serde default).
+    #[serde(default)]
+    pub dataflow_functions: u64,
+    /// Atomic operation sites classified by the protocol checker.
+    #[serde(default)]
+    pub dataflow_atomic_sites: u64,
+    /// Mutex/RwLock acquisition sites resolved by the lock-order checker.
+    #[serde(default)]
+    pub dataflow_lock_sites: u64,
 }
 
 impl AnalyzeCell {
@@ -740,6 +750,9 @@ mod imp {
         pub lint_files: AtomicU64,
         pub lint_diagnostics: AtomicU64,
         pub lint_suppressions: AtomicU64,
+        pub dataflow_functions: AtomicU64,
+        pub dataflow_atomic_sites: AtomicU64,
+        pub dataflow_lock_sites: AtomicU64,
     }
 
     impl Analyze {
@@ -751,6 +764,9 @@ mod imp {
                 lint_files: AtomicU64::new(0),
                 lint_diagnostics: AtomicU64::new(0),
                 lint_suppressions: AtomicU64::new(0),
+                dataflow_functions: AtomicU64::new(0),
+                dataflow_atomic_sites: AtomicU64::new(0),
+                dataflow_lock_sites: AtomicU64::new(0),
             }
         }
 
@@ -761,6 +777,9 @@ mod imp {
             self.lint_files.store(0, Ordering::Relaxed);
             self.lint_diagnostics.store(0, Ordering::Relaxed);
             self.lint_suppressions.store(0, Ordering::Relaxed);
+            self.dataflow_functions.store(0, Ordering::Relaxed);
+            self.dataflow_atomic_sites.store(0, Ordering::Relaxed);
+            self.dataflow_lock_sites.store(0, Ordering::Relaxed);
         }
 
         pub fn cell(&self) -> super::AnalyzeCell {
@@ -771,6 +790,9 @@ mod imp {
                 lint_files: self.lint_files.load(Ordering::Relaxed),
                 lint_diagnostics: self.lint_diagnostics.load(Ordering::Relaxed),
                 lint_suppressions: self.lint_suppressions.load(Ordering::Relaxed),
+                dataflow_functions: self.dataflow_functions.load(Ordering::Relaxed),
+                dataflow_atomic_sites: self.dataflow_atomic_sites.load(Ordering::Relaxed),
+                dataflow_lock_sites: self.dataflow_lock_sites.load(Ordering::Relaxed),
             }
         }
     }
@@ -1096,6 +1118,15 @@ mod imp {
             .fetch_add(suppressions, Ordering::Relaxed);
     }
 
+    pub fn record_analyze_dataflow(functions: u64, atomic_sites: u64, lock_sites: u64) {
+        let a = &REGISTRY.analyze;
+        a.dataflow_functions.fetch_add(functions, Ordering::Relaxed);
+        a.dataflow_atomic_sites
+            .fetch_add(atomic_sites, Ordering::Relaxed);
+        a.dataflow_lock_sites
+            .fetch_add(lock_sites, Ordering::Relaxed);
+    }
+
     pub fn record_verify_schedule(failed: bool) {
         let v = &REGISTRY.verify;
         v.schedules.fetch_add(1, Ordering::Relaxed);
@@ -1262,6 +1293,9 @@ mod imp {
     pub fn record_analyze_lint(_files: u64, _diagnostics: u64, _suppressions: u64) {}
 
     #[inline(always)]
+    pub fn record_analyze_dataflow(_functions: u64, _atomic_sites: u64, _lock_sites: u64) {}
+
+    #[inline(always)]
     pub fn record_gate(_delta: &super::GateCell) {}
 
     #[inline(always)]
@@ -1382,6 +1416,15 @@ pub fn record_analyze_plan(sections: u64, violations: u64) {
 #[inline]
 pub fn record_analyze_lint(files: u64, diagnostics: u64, suppressions: u64) {
     imp::record_analyze_lint(files, diagnostics, suppressions)
+}
+
+/// Record one concurrency-dataflow pass: `functions` scanned,
+/// `atomic_sites` classified by the protocol checker, `lock_sites`
+/// resolved by the lock-order checker (no-op when telemetry is compiled
+/// out).
+#[inline]
+pub fn record_analyze_dataflow(functions: u64, atomic_sites: u64, lock_sites: u64) {
+    imp::record_analyze_dataflow(functions, atomic_sites, lock_sites)
 }
 
 /// Merge perf-gate counts into the registry's gate cell (no-op when
@@ -1569,13 +1612,17 @@ pub fn kernel_table(snap: &TelemetrySnapshot) -> String {
         let a = &snap.analyze;
         out.push_str(&format!(
             "analyze: {} plan(s) checked ({} section(s), {} violation(s)), \
-             {} file(s) linted ({} diagnostic(s), {} suppression(s))\n",
+             {} file(s) linted ({} diagnostic(s), {} suppression(s)), \
+             dataflow over {} fn(s) ({} atomic site(s), {} lock site(s))\n",
             a.plans_checked,
             a.sections_checked,
             a.plan_violations,
             a.lint_files,
             a.lint_diagnostics,
             a.lint_suppressions,
+            a.dataflow_functions,
+            a.dataflow_atomic_sites,
+            a.dataflow_lock_sites,
         ));
     }
     if !snap.tile.is_empty() {
@@ -1780,6 +1827,8 @@ mod tests {
         record_analyze_plan(6, 0);
         record_analyze_plan(4, 2);
         record_analyze_lint(31, 3, 5);
+        record_analyze_dataflow(120, 14, 9);
+        record_analyze_dataflow(1, 1, 1);
         let snap = snapshot();
         assert_eq!(snap.analyze.plans_checked, 2);
         assert_eq!(snap.analyze.sections_checked, 10);
@@ -1787,8 +1836,12 @@ mod tests {
         assert_eq!(snap.analyze.lint_files, 31);
         assert_eq!(snap.analyze.lint_diagnostics, 3);
         assert_eq!(snap.analyze.lint_suppressions, 5);
+        assert_eq!(snap.analyze.dataflow_functions, 121);
+        assert_eq!(snap.analyze.dataflow_atomic_sites, 15);
+        assert_eq!(snap.analyze.dataflow_lock_sites, 10);
         let table = kernel_table(&snap);
         assert!(table.contains("analyze:"), "{table}");
+        assert!(table.contains("dataflow over"), "{table}");
         reset();
         assert!(snapshot().analyze.is_empty());
     }

@@ -74,17 +74,29 @@ fn main() -> ExitCode {
     if args.canary {
         let seeds = corpus::schedule_seeds(args.schedules.clamp(4, 16));
         let rep = schedule::explore_broken(&seeds);
-        if !rep.statically_flagged {
+        if !rep.write_model_flagged {
             eprintln!(
-                "CANARY FAILURE: the static plan checker did not flag the racy \
-                 write model as an illegal strategy/block pairing"
+                "CANARY FAILURE: the static write-model layer did not flag the \
+                 racy model as an illegal strategy/block pairing"
             );
+            return ExitCode::FAILURE;
+        }
+        if !rep.read_model_flagged {
+            eprintln!(
+                "CANARY FAILURE: the static read/write access layer did not \
+                 flag the racy model's stale cross-lane reads"
+            );
+            return ExitCode::FAILURE;
+        }
+        if !rep.statically_flagged {
+            eprintln!("CANARY FAILURE: static layers flagged but the union bit is unset");
             return ExitCode::FAILURE;
         }
         if rep.failures > 0 {
             println!(
-                "canary caught: statically flagged, and {}/{} schedules exposed \
-                 the lost-update race (max error {:.3e})",
+                "canary caught by all three layers: write model + read/write \
+                 model statically flagged, and {}/{} schedules exposed the \
+                 lost-update race (max error {:.3e})",
                 rep.failures, rep.schedules, rep.max_abs_error
             );
             return ExitCode::SUCCESS;

@@ -26,7 +26,7 @@ use gaia_backends::exec::{ExecutorPool, Job};
 use gaia_backends::{atomicf64, kernels};
 use gaia_backends::{
     check_sections, Aprod2Spec, Aprod2Strategy, Backend, KernelVariant, LaunchPlan, PlanDims,
-    SectionId, SectionModel, SeqBackend, Tuning, WriteAccess,
+    PlanError, ReadAccess, ReadSpace, SectionId, SectionModel, SeqBackend, Tuning, WriteAccess,
 };
 use gaia_sparse::{
     AttitudePattern, Generator, GeneratorConfig, MatrixLayout, Rhs, SparseSystem, SystemLayout,
@@ -103,7 +103,8 @@ pub fn explore_variant(
     )
     .with_variant(variant)
     .with_matrix_layout(layout);
-    let statically_flagged = plan.analyze(&PlanDims::for_system(&sys)).is_err();
+    let analysis = plan.analyze(&PlanDims::for_system(&sys));
+    let (statically_flagged, write_model_flagged, read_model_flagged) = static_flags(&analysis);
 
     let pool = ExecutorPool::new(THREADS);
     let mut baseline = vec![0.0f64; sys.n_cols()];
@@ -138,6 +139,8 @@ pub fn explore_variant(
         expect_bitwise: false,
         bitwise_stable,
         statically_flagged,
+        write_model_flagged,
+        read_model_flagged,
     }
 }
 
@@ -157,11 +160,28 @@ pub struct ScheduleReport {
     /// Whether every schedule reproduced the unperturbed run bit-for-bit.
     pub bitwise_stable: bool,
     /// Whether the *static* plan checker (`gaia_backends::plan_check`)
-    /// already rejected this subject's write model before any schedule
+    /// already rejected this subject's access model before any schedule
     /// ran. Real strategies must report `false`; the racy canary must
     /// report `true` — the static and dynamic layers cross-check each
     /// other.
     pub statically_flagged: bool,
+    /// Whether the write-disjointness layer specifically rejected the
+    /// model (colliding / gapped / out-of-bounds write-sets).
+    pub write_model_flagged: bool,
+    /// Whether the read/write access layer specifically rejected the model
+    /// (a job reads what another unsynchronized job writes in the same
+    /// wave). Together with `write_model_flagged` and the dynamic
+    /// `failures`, the canary must trip all three independent layers.
+    pub read_model_flagged: bool,
+}
+
+/// Split a static analysis result into (any, write-layer, read-layer)
+/// flags for a [`ScheduleReport`].
+fn static_flags<T>(result: &Result<T, PlanError>) -> (bool, bool, bool) {
+    match result {
+        Ok(_) => (false, false, false),
+        Err(e) => (true, e.has_write_violation(), e.has_read_violation()),
+    }
 }
 
 impl ScheduleReport {
@@ -202,18 +222,28 @@ fn bits_differ(a: &[f64], b: &[f64]) -> bool {
     a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())
 }
 
-/// The symbolic write model of the [`explore_broken`] kernel: `lanes`
-/// row-interleaved jobs plain-storing over the whole attitude section.
-/// This is exactly the shape the static checker must reject as an illegal
-/// strategy/block pairing ([`WriteAccess::PlainShared`] with colliding
-/// write-sets) — the canary is flagged before it ever runs.
+/// The symbolic access model of the [`explore_broken`] kernel: `lanes`
+/// row-interleaved jobs, each plain-*reading* and plain-storing over the
+/// whole attitude section (the canary's read → preempt → store window).
+/// This is exactly the shape the static checker must reject twice over:
+/// once as an illegal strategy/block pairing ([`WriteAccess::PlainShared`]
+/// with colliding write-sets), and once as a read/write race (every lane's
+/// stale read overlaps every other lane's unsynchronized store) — the
+/// canary is flagged by both static layers before it ever runs.
 pub fn broken_write_model(n_att: usize, lanes: usize) -> SectionModel {
-    SectionModel {
-        id: SectionId::Att,
-        access: WriteAccess::PlainShared,
-        section_len: n_att,
-        writes: vec![0..n_att; lanes],
-    }
+    SectionModel::new(
+        SectionId::Att,
+        WriteAccess::PlainShared,
+        n_att,
+        vec![0..n_att; lanes],
+    )
+    .with_reads(vec![
+        vec![ReadAccess::plain(
+            ReadSpace::Section(SectionId::Att),
+            0..n_att
+        )];
+        lanes
+    ])
 }
 
 /// Replay `strategy` (under the uniform or streamed worker budget) against
@@ -245,7 +275,8 @@ pub fn explore_strategy(
     );
     // Cross-check with the static layer: every real strategy's plan must
     // pass the checker on this very system's shape.
-    let statically_flagged = plan.analyze(&PlanDims::for_system(&sys)).is_err();
+    let analysis = plan.analyze(&PlanDims::for_system(&sys));
+    let (statically_flagged, write_model_flagged, read_model_flagged) = static_flags(&analysis);
 
     // A private pool: schedule controllers must never leak into the shared
     // pools other tests use.
@@ -283,6 +314,8 @@ pub fn explore_strategy(
         expect_bitwise: expect_bitwise(strategy),
         bitwise_stable,
         statically_flagged,
+        write_model_flagged,
+        read_model_flagged,
     }
 }
 
@@ -309,9 +342,11 @@ pub fn explore_broken(seeds: &[u64]) -> ScheduleReport {
     // write-write collisions on its ~24 shared columns.
     const LANES: usize = 8;
 
-    // The static layer must catch this shape without running anything:
-    // unsynchronized full-section writes from every lane.
-    let statically_flagged = check_sections(&[broken_write_model(n_att, LANES)]).is_err();
+    // The static layers must catch this shape without running anything:
+    // unsynchronized full-section writes from every lane (write model) and
+    // every lane's stale read of slots its siblings store (read model).
+    let analysis = check_sections(&[broken_write_model(n_att, LANES)]);
+    let (statically_flagged, write_model_flagged, read_model_flagged) = static_flags(&analysis);
 
     let mut failures = 0usize;
     let mut max_abs_error = 0.0f64;
@@ -378,5 +413,7 @@ pub fn explore_broken(seeds: &[u64]) -> ScheduleReport {
         expect_bitwise: false,
         bitwise_stable,
         statically_flagged,
+        write_model_flagged,
+        read_model_flagged,
     }
 }

@@ -23,6 +23,13 @@ fn assert_clean(rep: &ScheduleReport) {
          harness accepts",
         rep.subject,
     );
+    assert!(
+        !rep.write_model_flagged && !rep.read_model_flagged,
+        "{}: a static layer flag is set on a clean subject (write={}, read={})",
+        rep.subject,
+        rep.write_model_flagged,
+        rep.read_model_flagged,
+    );
 }
 
 #[test]
@@ -93,10 +100,20 @@ fn broken_strategy_canary_is_caught() {
         "the static plan checker failed to flag the canary's colliding \
          plain-shared write model as an illegal strategy/block pairing"
     );
+    assert!(
+        rep.write_model_flagged,
+        "the write-disjointness layer missed the canary"
+    );
+    assert!(
+        rep.read_model_flagged,
+        "the read/write access-model layer missed the canary's stale \
+         cross-lane reads"
+    );
 }
 
-/// The static layer alone: the canary's write model is rejected without
-/// running a single schedule.
+/// The static layers alone: the canary's access model is rejected without
+/// running a single schedule — by the write-disjointness check *and* by
+/// the read/write race check (two independent static detections).
 #[test]
 fn broken_write_model_is_statically_illegal() {
     let model = schedule::broken_write_model(90, 8);
@@ -105,4 +122,13 @@ fn broken_write_model_is_statically_illegal() {
         err.to_string().contains("illegal strategy/block pairing"),
         "{err}"
     );
+    assert!(
+        err.has_write_violation(),
+        "write layer must reject the canary: {err}"
+    );
+    assert!(
+        err.has_read_violation(),
+        "read/write layer must reject the canary: {err}"
+    );
+    assert!(err.to_string().contains("read/write race"), "{err}");
 }
